@@ -1,0 +1,59 @@
+//! Criterion benchmarks of the dynamic compiler itself: parse, translate,
+//! vectorize, optimize. These measure real wall time on the host (the
+//! paper's compilation-cost dimension).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpvk_core::{specialize, translate, SpecializeOptions};
+use dpvk_ptx::parse_kernel;
+use dpvk_workloads::workload;
+use std::hint::black_box;
+
+fn source() -> String {
+    workload("blackscholes").expect("suite includes blackscholes").source()
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let src = source();
+    c.bench_function("parse blackscholes", |b| {
+        b.iter(|| parse_kernel(black_box(&src)).unwrap())
+    });
+}
+
+fn bench_translate(c: &mut Criterion) {
+    let kernel = parse_kernel(&source()).unwrap();
+    c.bench_function("translate blackscholes", |b| {
+        b.iter(|| translate(black_box(&kernel)).unwrap())
+    });
+}
+
+fn bench_specialize(c: &mut Criterion) {
+    let kernel = parse_kernel(&source()).unwrap();
+    let tk = translate(&kernel).unwrap();
+    let mut group = c.benchmark_group("specialize blackscholes");
+    for w in [1u32, 2, 4, 8] {
+        group.bench_function(format!("w{w}"), |b| {
+            b.iter(|| specialize(black_box(&tk), &SpecializeOptions::dynamic(w)).unwrap())
+        });
+    }
+    group.bench_function("w4 no-opt", |b| {
+        let opts = SpecializeOptions { optimize: false, ..SpecializeOptions::dynamic(4) };
+        b.iter(|| specialize(black_box(&tk), &opts).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_opt_pipeline(c: &mut Criterion) {
+    let kernel = parse_kernel(&source()).unwrap();
+    let tk = translate(&kernel).unwrap();
+    let opts = SpecializeOptions { optimize: false, ..SpecializeOptions::dynamic(4) };
+    let unoptimized = specialize(&tk, &opts).unwrap().function;
+    c.bench_function("optimization pipeline w4", |b| {
+        b.iter(|| {
+            let mut f = unoptimized.clone();
+            dpvk_ir::opt::standard_pipeline(&mut f)
+        })
+    });
+}
+
+criterion_group!(benches, bench_parse, bench_translate, bench_specialize, bench_opt_pipeline);
+criterion_main!(benches);

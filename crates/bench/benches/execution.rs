@@ -1,0 +1,28 @@
+//! Criterion benchmarks of end-to-end kernel launches (host wall time of
+//! the simulated execution, including the dynamic execution manager).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpvk_core::ExecConfig;
+use dpvk_workloads::{workload, WorkloadExt};
+
+fn bench_workload(c: &mut Criterion, name: &str) {
+    let w = workload(name).unwrap_or_else(|| panic!("workload {name}"));
+    let mut group = c.benchmark_group(name.to_string());
+    group.sample_size(10);
+    group.bench_function("baseline", |b| {
+        b.iter(|| w.run_checked(&ExecConfig::baseline().with_workers(1)).unwrap())
+    });
+    group.bench_function("dynamic w4", |b| {
+        b.iter(|| w.run_checked(&ExecConfig::dynamic(4).with_workers(1)).unwrap())
+    });
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    for name in ["vecadd", "cp", "reduction"] {
+        bench_workload(c, name);
+    }
+}
+
+criterion_group!(execution, benches);
+criterion_main!(execution);

@@ -1,0 +1,41 @@
+//! Ablation: the uniform-value (divergence) analysis on/off.
+//!
+//! This quantifies the optimization the paper defers to future work
+//! (divergence analysis [11] / affine analysis [12]): warp-invariant
+//! values are computed once per warp and warp-invariant loads issue once
+//! instead of per lane. It is what lifts compute-bound kernels with
+//! warp-invariant inner-loop data (cp, nbody, mri-q) toward the paper's
+//! hardware numbers under our costlier load model.
+
+use dpvk_bench::format_table;
+use dpvk_core::{specialize, translate, SpecializeOptions};
+use dpvk_workloads::all_workloads;
+
+fn main() {
+    let mut rows = Vec::new();
+    for w in all_workloads() {
+        let module = dpvk_ptx::parse_module(&w.source()).expect("suite kernels parse");
+        let mut with = 0usize;
+        let mut without = 0usize;
+        for k in &module.kernels {
+            let tk = translate(k).expect("suite kernels translate");
+            let on = specialize(&tk, &SpecializeOptions::dynamic(4)).expect("specialize");
+            let off = specialize(
+                &tk,
+                &SpecializeOptions::dynamic(4).without_uniform_analysis(),
+            )
+            .expect("specialize");
+            with += on.post_opt_instructions;
+            without += off.post_opt_instructions;
+        }
+        rows.push(vec![
+            w.name().to_string(),
+            without.to_string(),
+            with.to_string(),
+            format!("{:.1}%", 100.0 * (1.0 - with as f64 / without.max(1) as f64)),
+        ]);
+    }
+    println!("Ablation: uniform-value analysis (width-4 dynamic specialization)");
+    println!();
+    println!("{}", format_table(&["app", "insts (off)", "insts (on)", "removed"], &rows));
+}

@@ -1,0 +1,29 @@
+//! Figure 7: average warp size mix under dynamic warp formation —
+//! the fraction of kernel entries executed at warp sizes 1/2/4.
+//!
+//! Paper shape: most applications enter mostly at the maximum warp size;
+//! SimpleVoteIntrinsics is capped at 2 by its tiny CTAs.
+
+use dpvk_bench::{format_table, run_suite};
+
+fn main() {
+    let results = run_suite(1).expect("suite validates");
+    let mut rows = Vec::new();
+    for r in &results {
+        let fr = r.dynamic.warp_size_fractions();
+        let get = |i: usize| fr.get(i).copied().unwrap_or(0.0);
+        rows.push(vec![
+            r.name.to_string(),
+            format!("{:.0}%", 100.0 * get(1)),
+            format!("{:.0}%", 100.0 * get(2)),
+            format!("{:.0}%", 100.0 * (get(3) + get(4))),
+            format!("{:.2}", r.dynamic.exec.average_warp_size()),
+        ]);
+    }
+    println!("Figure 7: warp-size mix under dynamic warp formation (max 4)");
+    println!();
+    println!(
+        "{}",
+        format_table(&["app", "w=1", "w=2", "w=3..4", "avg warp"], &rows)
+    );
+}

@@ -1,0 +1,30 @@
+//! Figure 9: fraction of modeled cycles spent in the execution manager,
+//! in yield save/restore handlers, and in the vectorized subkernel, under
+//! dynamic warp formation.
+//!
+//! Paper shape: compute-bound kernels (Nbody, CP) spend nearly all time
+//! in the subkernel; synchronization-heavy kernels (BinomialOptions,
+//! MatrixMul) spend a large share in the execution manager.
+
+use dpvk_bench::{format_table, run_suite};
+
+fn main() {
+    let results = run_suite(1).expect("suite validates");
+    let mut rows = Vec::new();
+    for r in &results {
+        let e = &r.dynamic.exec;
+        let total = e.total_cycles().max(1) as f64;
+        rows.push(vec![
+            r.name.to_string(),
+            format!("{:.0}%", 100.0 * e.cycles_manager as f64 / total),
+            format!("{:.0}%", 100.0 * e.cycles_yield as f64 / total),
+            format!("{:.0}%", 100.0 * e.cycles_body as f64 / total),
+        ]);
+    }
+    println!("Figure 9: cycle breakdown under dynamic warp formation");
+    println!();
+    println!(
+        "{}",
+        format_table(&["app", "exec manager", "yields", "subkernel"], &rows)
+    );
+}

@@ -1,0 +1,28 @@
+//! Run every table/figure reproduction in sequence (the full evaluation).
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table1_throughput",
+        "fig6_speedup",
+        "fig7_warp_size",
+        "fig8_liveness",
+        "fig9_breakdown",
+        "fig10_static_tie",
+    ];
+    for bin in bins {
+        println!("================================================================");
+        let status = Command::new(std::env::current_exe().expect("self path")
+            .parent().expect("bin dir").join(bin))
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            other => {
+                eprintln!("{bin} failed: {other:?}");
+                std::process::exit(1);
+            }
+        }
+        println!();
+    }
+}

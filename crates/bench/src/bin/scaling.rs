@@ -1,0 +1,42 @@
+//! Scalability sweep (paper Sections 1 & 8: "performance scalability is
+//! expected from 2-wide to arbitrary-width vector units"): the throughput
+//! microbenchmark across warp widths on three machine models.
+
+use dpvk_bench::{format_table, gflops};
+use dpvk_core::ExecConfig;
+use dpvk_vm::MachineModel;
+use dpvk_workloads::{workload, WorkloadExt};
+
+fn main() {
+    let throughput = workload("throughput").expect("suite includes throughput");
+    let models = [
+        MachineModel::sandybridge_sse(),
+        MachineModel::sandybridge_avx(),
+        MachineModel::wide16(),
+    ];
+    let widths = [1u32, 2, 4, 8, 16];
+    let mut rows = Vec::new();
+    for model in &models {
+        let mut row = vec![model.name.clone(), format!("{:.0}", model.peak_gflops())];
+        for &w in &widths {
+            let config = if w == 1 {
+                ExecConfig::baseline().with_workers(1)
+            } else {
+                ExecConfig::dynamic(w).with_workers(1)
+            };
+            let stats = throughput
+                .run_on_model(model.clone(), &config)
+                .expect("throughput validates")
+                .stats;
+            row.push(format!("{:.1}", gflops(&stats, model)));
+        }
+        rows.push(row);
+    }
+    println!("Scalability: throughput microbenchmark GFLOP/s per machine model");
+    println!("(vector speedup tracks the machine width until register pressure bites)");
+    println!();
+    println!(
+        "{}",
+        format_table(&["model", "peak", "w1", "w2", "w4", "w8", "w16"], &rows)
+    );
+}

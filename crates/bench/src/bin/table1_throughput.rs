@@ -1,0 +1,41 @@
+//! Table 1: peak single-precision throughput vs warp size (1/2/4/8)
+//! for the FMA-chain microbenchmark.
+//!
+//! Paper: 25.0 / 47.9 / 97.1 / 37.0 GFLOP/s on a machine with an
+//! estimated 108 GFLOP/s peak (warp 4 reaches 90% of peak; warp 8
+//! collapses under register pressure).
+
+use dpvk_bench::{format_table, gflops};
+use dpvk_core::ExecConfig;
+use dpvk_vm::MachineModel;
+use dpvk_workloads::{workload, WorkloadExt};
+
+fn main() {
+    let model = MachineModel::sandybridge_sse();
+    let throughput = workload("throughput").expect("suite includes throughput");
+    let mut rows = Vec::new();
+    for w in [1u32, 2, 4, 8] {
+        // Width 1 is plain scalar execution (the paper's scalar row);
+        // wider rows use the vectorized dynamic-formation specializations.
+        let config = if w == 1 {
+            ExecConfig::baseline().with_workers(1)
+        } else {
+            ExecConfig::dynamic(w).with_workers(1)
+        };
+        let stats = throughput
+            .run_checked(&config)
+            .expect("throughput validates")
+            .stats;
+        let g = gflops(&stats, &model);
+        rows.push(vec![
+            w.to_string(),
+            format!("{g:.1}"),
+            format!("{:.0}%", 100.0 * g / model.peak_gflops()),
+        ]);
+    }
+    println!("Table 1: peak floating-point throughput ({})", model.name);
+    println!("machine peak: {:.1} GFLOP/s", model.peak_gflops());
+    println!();
+    println!("{}", format_table(&["Warp size", "GFLOP/s", "% of peak"], &rows));
+    println!("paper reference: w1 25.0, w2 47.9, w4 97.1, w8 37.0 GFLOP/s");
+}

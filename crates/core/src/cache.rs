@@ -1,0 +1,290 @@
+//! The dynamic translation cache (paper, Section 5.1).
+//!
+//! Kernels are registered as PTX-like modules, translated lazily to scalar
+//! IR, and specialized per `(warp size, variant)` on first request.
+//! Execution managers running in worker threads query the cache under a
+//! single lock — matching the paper's "execution managers block while
+//! contending for a lock on the dynamic translation cache", with
+//! compilation performed in the querying thread.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use dpvk_ptx as ptx;
+use dpvk_vm::{CostInfo, MachineModel};
+
+use crate::error::CoreError;
+use crate::translate::{translate, TranslatedKernel};
+use crate::vectorize::{specialize, Specialized, SpecializeOptions};
+
+/// Which family of specialization is requested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Serialized scalar baseline: direct branches, yields only at
+    /// barriers (always width 1).
+    Baseline,
+    /// Dynamic-warp-formation specialization (cooperative scalar at
+    /// width 1).
+    Dynamic,
+    /// Static warp formation with thread-invariant elimination (width 1
+    /// falls back to the baseline code).
+    StaticTie,
+}
+
+impl Variant {
+    fn options(self, warp_size: u32) -> SpecializeOptions {
+        match self {
+            Variant::Baseline => SpecializeOptions::baseline(),
+            Variant::Dynamic => SpecializeOptions::dynamic(warp_size),
+            Variant::StaticTie => {
+                if warp_size == 1 {
+                    SpecializeOptions::baseline()
+                } else {
+                    SpecializeOptions::static_tie(warp_size)
+                }
+            }
+        }
+    }
+}
+
+/// A compiled, cost-analyzed kernel specialization ready for execution.
+#[derive(Debug, Clone)]
+pub struct CompiledKernel {
+    /// The specialized function.
+    pub function: Arc<dpvk_ir::Function>,
+    /// Cost analysis under the cache's machine model.
+    pub cost: CostInfo,
+    /// Static instruction count before optimization.
+    pub pre_opt_instructions: usize,
+    /// Static instruction count after optimization.
+    pub post_opt_instructions: usize,
+}
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Specialization requests served from the cache.
+    pub hits: u64,
+    /// Requests that triggered compilation.
+    pub misses: u64,
+    /// Total nanoseconds spent compiling.
+    pub compile_ns: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    translated: HashMap<String, Arc<TranslatedKernel>>,
+    compiled: HashMap<(String, u32, Variant), Arc<CompiledKernel>>,
+    stats: CacheStats,
+}
+
+/// The translation cache: kernels in, specialized functions out.
+pub struct TranslationCache {
+    model: MachineModel,
+    kernels: Mutex<HashMap<String, ptx::Kernel>>,
+    inner: Mutex<Inner>,
+}
+
+impl TranslationCache {
+    /// Create an empty cache compiling for `model`.
+    pub fn new(model: MachineModel) -> Self {
+        TranslationCache {
+            model,
+            kernels: Mutex::new(HashMap::new()),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// The machine model this cache compiles for.
+    pub fn model(&self) -> &MachineModel {
+        &self.model
+    }
+
+    /// Register every kernel of a module (later registrations shadow
+    /// earlier kernels with the same name).
+    pub fn register_module(&self, module: &ptx::Module) {
+        let mut k = self.kernels.lock();
+        for kernel in &module.kernels {
+            k.insert(kernel.name.clone(), kernel.clone());
+        }
+    }
+
+    /// The translated (canonical scalar) form of `kernel`, translating on
+    /// first use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NotFound`] for unregistered kernels and any
+    /// translation error otherwise.
+    pub fn translated(&self, kernel: &str) -> Result<Arc<TranslatedKernel>, CoreError> {
+        {
+            let inner = self.inner.lock();
+            if let Some(t) = inner.translated.get(kernel) {
+                return Ok(Arc::clone(t));
+            }
+        }
+        let ptx_kernel = {
+            let kernels = self.kernels.lock();
+            kernels
+                .get(kernel)
+                .cloned()
+                .ok_or_else(|| CoreError::NotFound(format!("kernel `{kernel}`")))?
+        };
+        let t = Arc::new(translate(&ptx_kernel)?);
+        let mut inner = self.inner.lock();
+        Ok(Arc::clone(
+            inner
+                .translated
+                .entry(kernel.to_string())
+                .or_insert(t),
+        ))
+    }
+
+    /// The specialization of `kernel` for `(warp_size, variant)`,
+    /// compiling on a miss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation/specialization errors; see
+    /// [`TranslationCache::translated`].
+    pub fn get(
+        &self,
+        kernel: &str,
+        warp_size: u32,
+        variant: Variant,
+    ) -> Result<Arc<CompiledKernel>, CoreError> {
+        let key = (kernel.to_string(), warp_size, variant);
+        {
+            let mut inner = self.inner.lock();
+            if let Some(c) = inner.compiled.get(&key) {
+                let c = Arc::clone(c);
+                inner.stats.hits += 1;
+                return Ok(c);
+            }
+        }
+        let tk = self.translated(kernel)?;
+        let start = Instant::now();
+        let Specialized { function, pre_opt_instructions, post_opt_instructions, .. } =
+            specialize(&tk, &variant.options(warp_size))?;
+        let cost = CostInfo::analyze(&function, &self.model);
+        let compiled = Arc::new(CompiledKernel {
+            function: Arc::new(function),
+            cost,
+            pre_opt_instructions,
+            post_opt_instructions,
+        });
+        let elapsed = start.elapsed().as_nanos() as u64;
+        let mut inner = self.inner.lock();
+        inner.stats.misses += 1;
+        inner.stats.compile_ns += elapsed;
+        Ok(Arc::clone(inner.compiled.entry(key).or_insert(compiled)))
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().stats
+    }
+
+    /// The registered declaration of `kernel` (signature, register file,
+    /// variables).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NotFound`] for unregistered kernels.
+    pub fn kernel_declaration(&self, kernel: &str) -> Result<ptx::Kernel, CoreError> {
+        self.kernels
+            .lock()
+            .get(kernel)
+            .cloned()
+            .ok_or_else(|| CoreError::NotFound(format!("kernel `{kernel}`")))
+    }
+}
+
+impl std::fmt::Debug for TranslationCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("TranslationCache")
+            .field("model", &self.model.name)
+            .field("translated", &inner.translated.len())
+            .field("compiled", &inner.compiled.len())
+            .field("stats", &inner.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+.kernel k (.param .u64 p, .param .u32 n) {
+  .reg .u32 %r<4>;
+  .reg .pred %p<2>;
+entry:
+  mov.u32 %r1, %tid.x;
+  ld.param.u32 %r2, [n];
+  setp.ge.u32 %p1, %r1, %r2;
+  @%p1 bra done;
+  add.u32 %r1, %r1, 1;
+done:
+  ret;
+}
+"#;
+
+    fn cache_with_kernel() -> TranslationCache {
+        let cache = TranslationCache::new(MachineModel::sandybridge_sse());
+        cache.register_module(&ptx::parse_module(SRC).unwrap());
+        cache
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let cache = cache_with_kernel();
+        let a = cache.get("k", 4, Variant::Dynamic).unwrap();
+        let b = cache.get("k", 4, Variant::Dynamic).unwrap();
+        assert!(Arc::ptr_eq(&a.function, &b.function));
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert!(stats.compile_ns > 0);
+    }
+
+    #[test]
+    fn distinct_specializations_are_distinct_entries() {
+        let cache = cache_with_kernel();
+        let a = cache.get("k", 2, Variant::Dynamic).unwrap();
+        let b = cache.get("k", 4, Variant::Dynamic).unwrap();
+        let c = cache.get("k", 4, Variant::StaticTie).unwrap();
+        assert_eq!(a.function.warp_size, 2);
+        assert_eq!(b.function.warp_size, 4);
+        assert_eq!(c.function.warp_size, 4);
+        assert_eq!(cache.stats().misses, 3);
+    }
+
+    #[test]
+    fn unknown_kernel_is_not_found() {
+        let cache = cache_with_kernel();
+        assert!(matches!(cache.get("absent", 4, Variant::Dynamic), Err(CoreError::NotFound(_))));
+    }
+
+    #[test]
+    fn concurrent_queries_converge() {
+        let cache = Arc::new(cache_with_kernel());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let cache = Arc::clone(&cache);
+                s.spawn(move || {
+                    for w in [1u32, 2, 4] {
+                        cache.get("k", w, Variant::Dynamic).unwrap();
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 24);
+        assert!(stats.misses >= 3);
+    }
+}

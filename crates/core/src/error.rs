@@ -1,0 +1,91 @@
+//! Errors of the dynamic compilation pipeline and runtime.
+
+use std::fmt;
+
+use dpvk_ir::VerifyError;
+use dpvk_ptx::PtxError;
+use dpvk_vm::VmError;
+
+/// Error from translation, vectorization, caching or kernel execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Front-end (parse/validate) failure.
+    Ptx(PtxError),
+    /// IR verification failure after a transformation.
+    Verify(VerifyError),
+    /// Runtime failure inside the vector machine.
+    Vm(VmError),
+    /// A construct the translator does not support.
+    Unsupported {
+        /// Kernel name.
+        kernel: String,
+        /// Explanation.
+        message: String,
+    },
+    /// Kernel or specialization not found.
+    NotFound(String),
+    /// Launch configuration problem (zero-sized grid, oversized CTA, ...).
+    BadLaunch(String),
+    /// Device memory exhausted or bad pointer.
+    Memory(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Ptx(e) => write!(f, "front-end error: {e}"),
+            CoreError::Verify(e) => write!(f, "IR verification failed: {e}"),
+            CoreError::Vm(e) => write!(f, "execution error: {e}"),
+            CoreError::Unsupported { kernel, message } => {
+                write!(f, "unsupported construct in `{kernel}`: {message}")
+            }
+            CoreError::NotFound(what) => write!(f, "not found: {what}"),
+            CoreError::BadLaunch(m) => write!(f, "bad launch configuration: {m}"),
+            CoreError::Memory(m) => write!(f, "device memory error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Ptx(e) => Some(e),
+            CoreError::Verify(e) => Some(e),
+            CoreError::Vm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PtxError> for CoreError {
+    fn from(e: PtxError) -> Self {
+        CoreError::Ptx(e)
+    }
+}
+
+impl From<VerifyError> for CoreError {
+    fn from(e: VerifyError) -> Self {
+        CoreError::Verify(e)
+    }
+}
+
+impl From<VmError> for CoreError {
+    fn from(e: VmError) -> Self {
+        CoreError::Vm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = PtxError::UndefinedLabel("x".into()).into();
+        assert!(e.to_string().contains("front-end"));
+        let e: CoreError = VmError::DivisionByZero.into();
+        assert!(e.to_string().contains("division"));
+        let e = CoreError::Unsupported { kernel: "k".into(), message: "guarded store".into() };
+        assert!(e.to_string().contains("k"));
+    }
+}

@@ -1,0 +1,605 @@
+//! The dynamic execution manager (paper, Sections 3 and 5.2).
+//!
+//! Each worker thread runs one execution manager over a statically
+//! partitioned set of CTAs. Within a CTA the manager keeps a pool of
+//! ready thread contexts, forms warps of threads waiting at the same
+//! entry point (round-robin pick, then greedy gather), executes the
+//! matching specialization from the translation cache, and routes yields:
+//! diverged threads re-enter the ready pool at their recorded resume
+//! points, barrier arrivals wait in a per-CTA pool until every live
+//! thread has arrived, and terminated threads are discarded.
+
+use std::collections::VecDeque;
+
+use dpvk_vm::{
+    execute_warp, ExecLimits, ExecStats, GlobalMem, MemAccess, ThreadContext,
+};
+use dpvk_ir::ResumeStatus;
+
+use crate::cache::{TranslationCache, Variant};
+use crate::error::CoreError;
+
+/// How warps are formed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FormationPolicy {
+    /// No warps: every thread runs the serialized scalar baseline
+    /// (the comparison baseline of the paper's Figure 6).
+    ScalarBaseline,
+    /// Dynamic warp formation: any ready threads waiting at the same
+    /// entry point may form a warp.
+    Dynamic,
+    /// Static warp formation: only the predetermined group of
+    /// consecutively indexed threads may form a warp, enabling
+    /// thread-invariant expression elimination (Section 6.2).
+    Static,
+}
+
+/// Modeled cycle charges for execution-manager work (the "EM" bars of the
+/// paper's Figure 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmCostModel {
+    /// Base cost of forming one warp.
+    pub formation_base: u64,
+    /// Cost per ready-pool entry examined while gathering.
+    pub per_thread_scanned: u64,
+    /// Cost per thread of processing a yield (status dispatch, re-queue).
+    pub per_yield_thread: u64,
+    /// Cost per thread of barrier bookkeeping.
+    pub per_barrier_thread: u64,
+    /// Cost of one translation-cache query.
+    pub per_cache_query: u64,
+}
+
+impl Default for EmCostModel {
+    fn default() -> Self {
+        EmCostModel {
+            formation_base: 20,
+            per_thread_scanned: 2,
+            per_yield_thread: 6,
+            per_barrier_thread: 4,
+            per_cache_query: 25,
+        }
+    }
+}
+
+/// Execution configuration for one launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Warp-formation policy.
+    pub policy: FormationPolicy,
+    /// Maximum warp width (the machine vector width in the paper's
+    /// evaluation: 4).
+    pub max_warp: u32,
+    /// Worker threads; 0 means one per modeled core.
+    pub workers: usize,
+    /// Interpreter limits.
+    pub limits: ExecLimits,
+    /// Execution-manager cycle charges.
+    pub em_cost: EmCostModel,
+}
+
+impl ExecConfig {
+    /// Dynamic warp formation at the given maximum width.
+    pub fn dynamic(max_warp: u32) -> Self {
+        ExecConfig {
+            policy: FormationPolicy::Dynamic,
+            max_warp,
+            workers: 0,
+            limits: ExecLimits::default(),
+            em_cost: EmCostModel::default(),
+        }
+    }
+
+    /// The serialized scalar baseline.
+    pub fn baseline() -> Self {
+        ExecConfig { policy: FormationPolicy::ScalarBaseline, max_warp: 1, ..Self::dynamic(1) }
+    }
+
+    /// Static warp formation with thread-invariant elimination.
+    pub fn static_tie(max_warp: u32) -> Self {
+        ExecConfig { policy: FormationPolicy::Static, ..Self::dynamic(max_warp) }
+    }
+
+    /// Use exactly `n` worker threads.
+    pub fn with_workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+}
+
+/// Statistics of one launch: VM counters plus the warp-size histogram
+/// (the paper's Figure 7).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LaunchStats {
+    /// Cycle/instruction counters.
+    pub exec: ExecStats,
+    /// `warp_hist[w]` = number of kernel entries with warp size `w`.
+    pub warp_hist: Vec<u64>,
+}
+
+impl LaunchStats {
+    fn new(max_warp: u32) -> Self {
+        LaunchStats { exec: ExecStats::default(), warp_hist: vec![0; max_warp as usize + 1] }
+    }
+
+    /// Merge another stats block into this one.
+    pub fn merge(&mut self, other: &LaunchStats) {
+        self.exec.merge(&other.exec);
+        if self.warp_hist.len() < other.warp_hist.len() {
+            self.warp_hist.resize(other.warp_hist.len(), 0);
+        }
+        for (i, v) in other.warp_hist.iter().enumerate() {
+            self.warp_hist[i] += v;
+        }
+    }
+
+    /// Fraction of kernel entries at each warp size (index = warp size).
+    pub fn warp_size_fractions(&self) -> Vec<f64> {
+        let total: u64 = self.warp_hist.iter().sum();
+        if total == 0 {
+            return vec![0.0; self.warp_hist.len()];
+        }
+        self.warp_hist.iter().map(|&c| c as f64 / total as f64).collect()
+    }
+}
+
+/// Run a full kernel grid, partitioning CTAs across worker threads.
+///
+/// # Errors
+///
+/// Returns the first error raised by any worker (bad launch geometry,
+/// compilation failure, memory fault, barrier deadlock).
+pub fn run_grid(
+    cache: &TranslationCache,
+    kernel: &str,
+    grid: [u32; 3],
+    block: [u32; 3],
+    param: &[u8],
+    cbank: &[u8],
+    global: &GlobalMem,
+    config: &ExecConfig,
+) -> Result<LaunchStats, CoreError> {
+    let cta_count = (grid[0] as u64) * (grid[1] as u64) * (grid[2] as u64);
+    let cta_size = (block[0] as u64) * (block[1] as u64) * (block[2] as u64);
+    if cta_count == 0 || cta_size == 0 {
+        return Err(CoreError::BadLaunch("grid and block dimensions must be positive".into()));
+    }
+    if cta_size > 4096 {
+        return Err(CoreError::BadLaunch(format!("CTA size {cta_size} exceeds the 4096 limit")));
+    }
+    // Force translation before spawning workers so errors surface eagerly.
+    let _ = cache.translated(kernel)?;
+
+    let workers = if config.workers == 0 {
+        cache.model().cores as usize
+    } else {
+        config.workers
+    }
+    .min(cta_count as usize)
+    .max(1);
+
+    let results: Vec<Result<LaunchStats, CoreError>> = std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(workers);
+        for worker in 0..workers {
+            handles.push(s.spawn(move || {
+                let mut stats = LaunchStats::new(config.max_warp);
+                let mut cta = worker as u64;
+                while cta < cta_count {
+                    run_cta(
+                        cache, kernel, grid, block, cta as u32, param, cbank, global, config,
+                        &mut stats,
+                    )?;
+                    cta += workers as u64;
+                }
+                Ok(stats)
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+
+    let mut total = LaunchStats::new(config.max_warp);
+    for r in results {
+        total.merge(&r?);
+    }
+    Ok(total)
+}
+
+/// Execute all threads of one CTA to completion.
+#[allow(clippy::too_many_arguments)]
+fn run_cta(
+    cache: &TranslationCache,
+    kernel: &str,
+    grid: [u32; 3],
+    block: [u32; 3],
+    cta_flat: u32,
+    param: &[u8],
+    cbank: &[u8],
+    global: &GlobalMem,
+    config: &ExecConfig,
+    stats: &mut LaunchStats,
+) -> Result<(), CoreError> {
+    let tk = cache.translated(kernel)?;
+    let cta_size = (block[0] * block[1] * block[2]) as usize;
+    let ctaid = [
+        cta_flat % grid[0],
+        (cta_flat / grid[0]) % grid[1],
+        cta_flat / (grid[0] * grid[1]),
+    ];
+
+    // Build thread contexts.
+    let mut ready: VecDeque<ThreadContext> = VecDeque::with_capacity(cta_size);
+    for tz in 0..block[2] {
+        for ty in 0..block[1] {
+            for tx in 0..block[0] {
+                let mut ctx = ThreadContext::new([tx, ty, tz], block, ctaid, grid);
+                let flat = ctx.flat_tid() as usize;
+                ctx.local_base = (flat * tk.local_bytes) as u64;
+                ready.push_back(ctx);
+            }
+        }
+    }
+
+    let mut shared = vec![0u8; tk.shared_bytes.max(1)];
+    let mut local = vec![0u8; (tk.local_bytes * cta_size).max(1)];
+    let mut barrier_pool: Vec<ThreadContext> = Vec::new();
+    let mut exited: usize = 0;
+
+    while let Some(front) = ready.front() {
+        let rp = front.resume_point;
+        // Gather a warp (round-robin from the queue head, greedy collect of
+        // matching resume points).
+        let (mut warp, scanned) = gather(&mut ready, rp, config, tk.local_bytes);
+        stats.exec.cycles_manager +=
+            config.em_cost.formation_base + config.em_cost.per_thread_scanned * scanned as u64;
+
+        // Pick the widest available specialization.
+        let (w, variant) = match config.policy {
+            FormationPolicy::ScalarBaseline => (1u32, Variant::Baseline),
+            FormationPolicy::Dynamic => {
+                let mut w = config.max_warp;
+                while w as usize > warp.len() {
+                    w /= 2;
+                }
+                (w.max(1), Variant::Dynamic)
+            }
+            FormationPolicy::Static => {
+                if warp.len() == config.max_warp as usize && config.max_warp > 1 {
+                    (config.max_warp, Variant::StaticTie)
+                } else {
+                    (1, Variant::StaticTie)
+                }
+            }
+        };
+        // Return surplus threads to the queue head (they keep priority).
+        while warp.len() > w as usize {
+            let ctx = warp.pop().expect("warp longer than w");
+            ready.push_front(ctx);
+        }
+
+        stats.exec.cycles_manager += config.em_cost.per_cache_query;
+        let compiled = cache.get(kernel, w, variant)?;
+
+        let mut mem = MemAccess {
+            global,
+            shared: &mut shared,
+            local: &mut local,
+            param,
+            cbank,
+        };
+        let outcome = execute_warp(
+            &compiled.function,
+            &compiled.cost,
+            cache.model(),
+            &mut warp,
+            rp,
+            &mut mem,
+            &mut stats.exec,
+            &config.limits,
+        )?;
+        if (w as usize) < stats.warp_hist.len() {
+            stats.warp_hist[w as usize] += 1;
+        }
+
+        stats.exec.cycles_manager += config.em_cost.per_yield_thread * w as u64;
+        match outcome.status {
+            ResumeStatus::Exit => {
+                exited += warp.len();
+            }
+            ResumeStatus::Branch => {
+                for ctx in warp {
+                    if ctx.is_terminated() {
+                        exited += 1;
+                    } else {
+                        ready.push_back(ctx);
+                    }
+                }
+            }
+            ResumeStatus::Barrier => {
+                stats.exec.cycles_manager +=
+                    config.em_cost.per_barrier_thread * w as u64;
+                barrier_pool.extend(warp);
+            }
+        }
+
+        // Barrier release: when every live thread has arrived, everyone
+        // resumes at the continuation entry point.
+        let alive = cta_size - exited;
+        if !barrier_pool.is_empty() && barrier_pool.len() == alive {
+            stats.exec.cycles_manager +=
+                config.em_cost.per_barrier_thread * barrier_pool.len() as u64;
+            ready.extend(barrier_pool.drain(..));
+        }
+    }
+
+    if !barrier_pool.is_empty() {
+        return Err(CoreError::BadLaunch(format!(
+            "barrier deadlock in kernel `{kernel}`: {} thread(s) waiting, {} exited",
+            barrier_pool.len(),
+            exited
+        )));
+    }
+    Ok(())
+}
+
+/// Collect up to `max_warp` contexts with resume point `rp` from the
+/// queue, scanning from the front. For static formation only contexts of
+/// the front thread's group are eligible, and the result is sorted by
+/// thread index (lane order). Returns the gathered warp and the number of
+/// queue entries examined.
+fn gather(
+    ready: &mut VecDeque<ThreadContext>,
+    rp: i64,
+    config: &ExecConfig,
+    local_bytes: usize,
+) -> (Vec<ThreadContext>, usize) {
+    let max = config.max_warp as usize;
+    let is_static = config.policy == FormationPolicy::Static;
+    let group_of = |ctx: &ThreadContext| -> u32 {
+        if config.max_warp == 0 {
+            0
+        } else {
+            ctx.flat_tid() / config.max_warp
+        }
+    };
+    let front_group = ready.front().map(group_of).unwrap_or(0);
+
+    let mut picked: Vec<usize> = Vec::with_capacity(max);
+    let mut scanned = 0usize;
+    for (i, ctx) in ready.iter().enumerate() {
+        scanned += 1;
+        if ctx.resume_point == rp && (!is_static || group_of(ctx) == front_group) {
+            picked.push(i);
+            if picked.len() == max {
+                break;
+            }
+        }
+    }
+    let mut warp: Vec<ThreadContext> = Vec::with_capacity(picked.len());
+    for &i in picked.iter().rev() {
+        warp.push(ready.remove(i).expect("picked index valid"));
+    }
+    warp.reverse();
+    if is_static {
+        warp.sort_by_key(|c| c.flat_tid());
+    }
+    let _ = local_bytes;
+    (warp, scanned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpvk_ptx::parse_module;
+    use dpvk_vm::MachineModel;
+
+    const VECADD: &str = r#"
+.kernel vecadd (.param .u64 a, .param .u64 b, .param .u64 c, .param .u32 n) {
+  .reg .u32 %r<8>;
+  .reg .u64 %rd<8>;
+  .reg .f32 %f<4>;
+  .reg .pred %p<2>;
+entry:
+  mov.u32 %r1, %tid.x;
+  mad.lo.u32 %r3, %ctaid.x, %ntid.x, %r1;
+  ld.param.u32 %r4, [n];
+  setp.ge.u32 %p1, %r3, %r4;
+  @%p1 bra done;
+  cvt.u64.u32 %rd1, %r3;
+  shl.u64 %rd1, %rd1, 2;
+  ld.param.u64 %rd2, [a];
+  add.u64 %rd2, %rd2, %rd1;
+  ld.global.f32 %f1, [%rd2];
+  ld.param.u64 %rd3, [b];
+  add.u64 %rd3, %rd3, %rd1;
+  ld.global.f32 %f2, [%rd3];
+  add.f32 %f3, %f1, %f2;
+  ld.param.u64 %rd4, [c];
+  add.u64 %rd4, %rd4, %rd1;
+  st.global.f32 [%rd4], %f3;
+done:
+  ret;
+}
+"#;
+
+    fn setup(src: &str) -> TranslationCache {
+        let cache = TranslationCache::new(MachineModel::sandybridge_sse());
+        cache.register_module(&parse_module(src).unwrap());
+        cache
+    }
+
+    fn pack_params(items: &[(usize, &[u8])]) -> Vec<u8> {
+        let size = items.iter().map(|(off, b)| off + b.len()).max().unwrap_or(0);
+        let mut buf = vec![0u8; size];
+        for (off, bytes) in items {
+            buf[*off..*off + bytes.len()].copy_from_slice(bytes);
+        }
+        buf
+    }
+
+    fn run_vecadd(config: &ExecConfig) -> (Vec<f32>, LaunchStats) {
+        let cache = setup(VECADD);
+        let n: u32 = 100; // not a multiple of the CTA size: tests divergence
+        let global = GlobalMem::new(4096);
+        let (a_ptr, b_ptr, c_ptr) = (0u64, 1024u64, 2048u64);
+        let a: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let b: Vec<f32> = (0..n).map(|i| 2.0 * i as f32).collect();
+        for (i, v) in a.iter().enumerate() {
+            global.write::<4>(a_ptr + 4 * i as u64, v.to_le_bytes()).unwrap();
+        }
+        for (i, v) in b.iter().enumerate() {
+            global.write::<4>(b_ptr + 4 * i as u64, v.to_le_bytes()).unwrap();
+        }
+        let param = pack_params(&[
+            (0, &a_ptr.to_le_bytes()),
+            (8, &b_ptr.to_le_bytes()),
+            (16, &c_ptr.to_le_bytes()),
+            (24, &n.to_le_bytes()),
+        ]);
+        let stats = run_grid(
+            &cache,
+            "vecadd",
+            [4, 1, 1],
+            [32, 1, 1],
+            &param,
+            &[],
+            &global,
+            config,
+        )
+        .unwrap();
+        let mut out = vec![0f32; n as usize];
+        for (i, v) in out.iter_mut().enumerate() {
+            *v = f32::from_le_bytes(global.read::<4>(c_ptr + 4 * i as u64).unwrap());
+        }
+        (out, stats)
+    }
+
+    #[test]
+    fn vecadd_baseline_is_correct() {
+        let (out, stats) = run_vecadd(&ExecConfig::baseline().with_workers(1));
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, 3.0 * i as f32, "element {i}");
+        }
+        assert!(stats.exec.cycles_body > 0);
+    }
+
+    #[test]
+    fn vecadd_dynamic_matches_baseline_and_forms_warps() {
+        let (out, stats) = run_vecadd(&ExecConfig::dynamic(4).with_workers(2));
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, 3.0 * i as f32, "element {i}");
+        }
+        // Most entries are full 4-wide warps.
+        assert!(stats.warp_hist[4] > 0, "{:?}", stats.warp_hist);
+        assert!(stats.exec.average_warp_size() > 2.0);
+    }
+
+    #[test]
+    fn vecadd_static_matches() {
+        let (out, stats) = run_vecadd(&ExecConfig::static_tie(4).with_workers(1));
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, 3.0 * i as f32, "element {i}");
+        }
+        assert!(stats.warp_hist[4] > 0);
+    }
+
+    #[test]
+    fn vectorization_speeds_up_vecadd() {
+        let (_, scalar) = run_vecadd(&ExecConfig::baseline().with_workers(1));
+        let (_, vec4) = run_vecadd(&ExecConfig::dynamic(4).with_workers(1));
+        let s = scalar.exec.total_cycles() as f64 / vec4.exec.total_cycles() as f64;
+        // Memory-bound kernel: modest speedup, but not a slowdown.
+        assert!(s > 0.9, "speedup {s}");
+    }
+
+    const REDUCTION: &str = r#"
+.kernel reduce_sum (.param .u64 data, .param .u64 out) {
+  .shared .f32 tile[32];
+  .reg .u32 %r<8>;
+  .reg .u64 %rd<8>;
+  .reg .f32 %f<4>;
+  .reg .pred %p<2>;
+entry:
+  mov.u32 %r1, %tid.x;
+  cvt.u64.u32 %rd1, %r1;
+  shl.u64 %rd2, %rd1, 2;
+  ld.param.u64 %rd3, [data];
+  add.u64 %rd3, %rd3, %rd2;
+  ld.global.f32 %f1, [%rd3];
+  mov.u64 %rd4, tile;
+  add.u64 %rd4, %rd4, %rd2;
+  st.shared.f32 [%rd4], %f1;
+  mov.u32 %r2, 16;
+loop:
+  bar.sync 0;
+  setp.ge.u32 %p1, %r1, %r2;
+  @%p1 bra skip;
+  add.u32 %r3, %r1, %r2;
+  cvt.u64.u32 %rd5, %r3;
+  shl.u64 %rd5, %rd5, 2;
+  mov.u64 %rd6, tile;
+  add.u64 %rd6, %rd6, %rd5;
+  ld.shared.f32 %f2, [%rd6];
+  ld.shared.f32 %f3, [%rd4];
+  add.f32 %f3, %f3, %f2;
+  st.shared.f32 [%rd4], %f3;
+skip:
+  shr.u32 %r2, %r2, 1;
+  setp.gt.u32 %p1, %r2, 0;
+  @%p1 bra loop;
+  setp.ne.u32 %p1, %r1, 0;
+  @%p1 bra done;
+  ld.shared.f32 %f3, [tile];
+  ld.param.u64 %rd7, [out];
+  st.global.f32 [%rd7], %f3;
+done:
+  ret;
+}
+"#;
+
+    fn run_reduction(config: &ExecConfig) -> f32 {
+        let cache = setup(REDUCTION);
+        let global = GlobalMem::new(1024);
+        for i in 0..32u64 {
+            global.write::<4>(4 * i, ((i + 1) as f32).to_le_bytes()).unwrap();
+        }
+        let out_ptr = 512u64;
+        let param = pack_params(&[(0, &0u64.to_le_bytes()), (8, &out_ptr.to_le_bytes())]);
+        run_grid(&cache, "reduce_sum", [1, 1, 1], [32, 1, 1], &param, &[], &global, config)
+            .unwrap();
+        f32::from_le_bytes(global.read::<4>(out_ptr).unwrap())
+    }
+
+    #[test]
+    fn barrier_reduction_all_policies() {
+        // sum(1..=32) = 528.
+        assert_eq!(run_reduction(&ExecConfig::baseline().with_workers(1)), 528.0);
+        assert_eq!(run_reduction(&ExecConfig::dynamic(4).with_workers(1)), 528.0);
+        assert_eq!(run_reduction(&ExecConfig::static_tie(4).with_workers(1)), 528.0);
+        assert_eq!(run_reduction(&ExecConfig::dynamic(2).with_workers(1)), 528.0);
+    }
+
+    #[test]
+    fn zero_grid_is_rejected() {
+        let cache = setup(VECADD);
+        let global = GlobalMem::new(64);
+        let err = run_grid(
+            &cache,
+            "vecadd",
+            [0, 1, 1],
+            [32, 1, 1],
+            &[0u8; 28],
+            &[],
+            &global,
+            &ExecConfig::baseline(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::BadLaunch(_)));
+    }
+
+    #[test]
+    fn warp_fractions_sum_to_one() {
+        let (_, stats) = run_vecadd(&ExecConfig::dynamic(4).with_workers(1));
+        let total: f64 = stats.warp_size_fractions().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

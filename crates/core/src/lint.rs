@@ -1,0 +1,218 @@
+//! Warp-synchronous programming lint.
+//!
+//! The paper (Section 4, "Implicit Synchronization", discussing Guo et
+//! al.) notes that kernels relying on lock-step warp execution — reading
+//! shared memory written by a neighbour without an intervening barrier —
+//! have undefined behaviour under this compilation model, because warp
+//! membership and width change dynamically. This module flags the idiom:
+//! a `.shared` load that can execute after a `.shared` store with no
+//! CTA-wide barrier on some path between them.
+//!
+//! The analysis is necessarily approximate (it ignores addresses), so a
+//! finding is a *warning*: the access pattern may still be benign when
+//! each thread reads only locations it wrote itself.
+
+use dpvk_ir::{BlockId, Inst, Space};
+
+use crate::translate::TranslatedKernel;
+
+/// One potential warp-synchronous dependence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintFinding {
+    /// Block (label) containing the suspicious load.
+    pub block: String,
+    /// Index of the load within the block.
+    pub inst_index: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Scan a translated kernel for shared-memory loads that may observe
+/// another thread's store without an intervening barrier.
+///
+/// Returns one finding per suspicious load (empty = clean).
+pub fn warp_sync_lint(tk: &TranslatedKernel) -> Vec<LintFinding> {
+    let f = &tk.scalar;
+    let n = f.blocks.len();
+    // Forward data-flow: `dirty[b]` = a shared store may have executed
+    // since the last barrier on entry to b.
+    let mut dirty_in = vec![false; n];
+    let mut dirty_out = vec![false; n];
+    let preds = f.predecessors();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..n {
+            let mut din = false;
+            for p in &preds[i] {
+                // A barrier edge cleans the flag: every thread of the CTA
+                // synchronizes before the continuation runs.
+                let is_barrier_edge = tk.barrier_edges.get(p) == Some(&BlockId(i as u32));
+                if !is_barrier_edge && dirty_out[p.index()] {
+                    din = true;
+                    break;
+                }
+            }
+            let mut dout = din;
+            for inst in &f.blocks[i].insts {
+                if matches!(inst, Inst::Store { space: Space::Shared, .. })
+                    || matches!(inst, Inst::Atom { space: Space::Shared, .. })
+                {
+                    dout = true;
+                }
+            }
+            if din != dirty_in[i] || dout != dirty_out[i] {
+                dirty_in[i] = din;
+                dirty_out[i] = dout;
+                changed = true;
+            }
+        }
+    }
+    // Report loads that execute while the flag is set.
+    let mut findings = Vec::new();
+    for (i, b) in f.blocks.iter().enumerate() {
+        let mut dirty = dirty_in[i];
+        for (j, inst) in b.insts.iter().enumerate() {
+            match inst {
+                Inst::Store { space: Space::Shared, .. }
+                | Inst::Atom { space: Space::Shared, .. } => dirty = true,
+                Inst::Load { space: Space::Shared, .. } if dirty => {
+                    findings.push(LintFinding {
+                        block: b.label.clone(),
+                        inst_index: j,
+                        message: format!(
+                            "shared-memory load in `{}` may observe another thread's \
+                             store without an intervening bar.sync; behaviour is \
+                             undefined under dynamic warp formation (warp-synchronous \
+                             idiom)",
+                            b.label
+                        ),
+                    });
+                }
+                _ => {}
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::translate::translate;
+    use dpvk_ptx::parse_kernel;
+
+    fn lint(src: &str) -> Vec<LintFinding> {
+        warp_sync_lint(&translate(&parse_kernel(src).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn synchronized_exchange_is_clean() {
+        let findings = lint(
+            r#"
+.kernel ok (.param .u64 out) {
+  .shared .u32 buf[32];
+  .reg .u32 %r<4>;
+  .reg .u64 %rd<4>;
+entry:
+  mov.u32 %r0, %tid.x;
+  shl.u32 %r1, %r0, 2;
+  cvt.u64.u32 %rd0, %r1;
+  mov.u64 %rd1, buf;
+  add.u64 %rd1, %rd1, %rd0;
+  st.shared.u32 [%rd1], %r0;
+  bar.sync 0;
+  ld.shared.u32 %r2, [%rd1];
+  ld.param.u64 %rd2, [out];
+  st.global.u32 [%rd2], %r2;
+  ret;
+}
+"#,
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn unsynchronized_exchange_is_flagged() {
+        let findings = lint(
+            r#"
+.kernel racy (.param .u64 out) {
+  .shared .u32 buf[32];
+  .reg .u32 %r<4>;
+  .reg .u64 %rd<4>;
+entry:
+  mov.u32 %r0, %tid.x;
+  shl.u32 %r1, %r0, 2;
+  cvt.u64.u32 %rd0, %r1;
+  mov.u64 %rd1, buf;
+  add.u64 %rd1, %rd1, %rd0;
+  st.shared.u32 [%rd1], %r0;
+  ld.shared.u32 %r2, [%rd1];
+  ld.param.u64 %rd2, [out];
+  st.global.u32 [%rd2], %r2;
+  ret;
+}
+"#,
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("warp-synchronous"));
+    }
+
+    #[test]
+    fn store_after_barrier_in_loop_is_flagged_on_back_edge() {
+        // The store at the loop bottom reaches the load at the loop top on
+        // the back edge without a barrier.
+        let findings = lint(
+            r#"
+.kernel loopy () {
+  .shared .u32 buf[32];
+  .reg .u32 %r<6>;
+  .reg .u64 %rd<3>;
+  .reg .pred %p<2>;
+entry:
+  mov.u32 %r0, %tid.x;
+  mov.u32 %r1, 0;
+  mov.u64 %rd0, buf;
+head:
+  ld.shared.u32 %r2, [%rd0];
+  add.u32 %r2, %r2, 1;
+  st.shared.u32 [%rd0], %r2;
+  add.u32 %r1, %r1, 1;
+  setp.lt.u32 %p0, %r1, 4;
+  @%p0 bra head;
+  ret;
+}
+"#,
+        );
+        assert!(!findings.is_empty());
+    }
+
+    #[test]
+    fn barrier_in_loop_cleans_each_iteration() {
+        let findings = lint(
+            r#"
+.kernel clean_loop () {
+  .shared .u32 buf[32];
+  .reg .u32 %r<6>;
+  .reg .u64 %rd<3>;
+  .reg .pred %p<2>;
+entry:
+  mov.u32 %r0, %tid.x;
+  mov.u32 %r1, 0;
+  mov.u64 %rd0, buf;
+head:
+  ld.shared.u32 %r2, [%rd0];
+  add.u32 %r2, %r2, 1;
+  bar.sync 0;
+  st.shared.u32 [%rd0], %r2;
+  bar.sync 0;
+  add.u32 %r1, %r1, 1;
+  setp.lt.u32 %p0, %r1, 4;
+  @%p0 bra head;
+  ret;
+}
+"#,
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

@@ -1,0 +1,258 @@
+//! Data-flow analyses over IR functions: liveness and def-use counts.
+
+use std::collections::HashSet;
+
+use crate::function::Function;
+use crate::inst::BlockId;
+use crate::value::VReg;
+
+/// Per-block register liveness for an IR function.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// Registers live on entry to each block.
+    pub live_in: Vec<HashSet<VReg>>,
+    /// Registers live on exit from each block.
+    pub live_out: Vec<HashSet<VReg>>,
+}
+
+impl Liveness {
+    /// Compute liveness with the standard backward iteration.
+    pub fn compute(f: &Function) -> Self {
+        let n = f.blocks.len();
+        let mut gen_set: Vec<HashSet<VReg>> = Vec::with_capacity(n);
+        let mut kill: Vec<HashSet<VReg>> = Vec::with_capacity(n);
+        for b in &f.blocks {
+            let mut g = HashSet::new();
+            let mut k = HashSet::new();
+            for inst in &b.insts {
+                for v in inst.uses() {
+                    if let Some(r) = v.as_reg() {
+                        if !k.contains(&r) {
+                            g.insert(r);
+                        }
+                    }
+                }
+                if let Some(d) = inst.dst() {
+                    k.insert(d);
+                }
+            }
+            for v in b.term.uses() {
+                if let Some(r) = v.as_reg() {
+                    if !k.contains(&r) {
+                        g.insert(r);
+                    }
+                }
+            }
+            gen_set.push(g);
+            kill.push(k);
+        }
+        let mut live_in: Vec<HashSet<VReg>> = vec![HashSet::new(); n];
+        let mut live_out: Vec<HashSet<VReg>> = vec![HashSet::new(); n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in (0..n).rev() {
+                let mut out = HashSet::new();
+                for s in f.blocks[i].term.successors() {
+                    out.extend(live_in[s.index()].iter().copied());
+                }
+                let mut inn: HashSet<VReg> = gen_set[i].clone();
+                for &r in &out {
+                    if !kill[i].contains(&r) {
+                        inn.insert(r);
+                    }
+                }
+                if out != live_out[i] || inn != live_in[i] {
+                    live_out[i] = out;
+                    live_in[i] = inn;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// Registers live on entry to `b`, sorted for deterministic iteration.
+    pub fn live_in_sorted(&self, b: BlockId) -> Vec<VReg> {
+        let mut v: Vec<VReg> = self.live_in[b.index()].iter().copied().collect();
+        v.sort();
+        v
+    }
+}
+
+/// Number of uses of each register across the whole function (including
+/// terminators).
+pub fn use_counts(f: &Function) -> Vec<u32> {
+    let mut counts = vec![0u32; f.regs.len()];
+    for b in &f.blocks {
+        for inst in &b.insts {
+            for v in inst.uses() {
+                if let Some(r) = v.as_reg() {
+                    counts[r.index()] += 1;
+                }
+            }
+        }
+        for v in b.term.uses() {
+            if let Some(r) = v.as_reg() {
+                counts[r.index()] += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Maximum number of simultaneously live *vector* registers anywhere in
+/// the function, computed per instruction point. The machine model uses
+/// this to estimate register pressure (the paper's Table 1 shows the
+/// width-8 collapse caused by exceeding the architectural register file).
+pub fn max_live_vector_regs(f: &Function) -> usize {
+    let lv = Liveness::compute(f);
+    let is_vec = |r: VReg| f.reg_type(r).is_vector();
+    let mut max = 0usize;
+    for (i, b) in f.blocks.iter().enumerate() {
+        // Walk backwards from live-out.
+        let mut live: HashSet<VReg> = lv.live_out[i].iter().copied().filter(|&r| is_vec(r)).collect();
+        max = max.max(live.len());
+        for inst in b.insts.iter().rev() {
+            if let Some(d) = inst.dst() {
+                live.remove(&d);
+            }
+            for v in inst.uses() {
+                if let Some(r) = v.as_reg() {
+                    if is_vec(r) {
+                        live.insert(r);
+                    }
+                }
+            }
+            max = max.max(live.len());
+        }
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::Block;
+    use crate::inst::{BinOp, Inst, Term};
+    use crate::types::{STy, Type};
+    use crate::value::Value;
+
+    fn straightline() -> Function {
+        let mut f = Function::new("t", 1);
+        let a = f.new_reg(Type::scalar(STy::I32));
+        let b = f.new_reg(Type::scalar(STy::I32));
+        let c = f.new_reg(Type::scalar(STy::I32));
+        let mut blk = Block::new("entry");
+        blk.insts.push(Inst::Mov { ty: Type::scalar(STy::I32), dst: a, a: Value::ImmI(1) });
+        blk.insts.push(Inst::Bin {
+            op: BinOp::Add,
+            ty: Type::scalar(STy::I32),
+            signed: false,
+            dst: b,
+            a: Value::Reg(a),
+            b: Value::ImmI(2),
+        });
+        blk.insts.push(Inst::Bin {
+            op: BinOp::Add,
+            ty: Type::scalar(STy::I32),
+            signed: false,
+            dst: c,
+            a: Value::Reg(b),
+            b: Value::Reg(a),
+        });
+        blk.term = Term::Ret;
+        f.add_block(blk);
+        f
+    }
+
+    #[test]
+    fn straightline_has_empty_boundary_liveness() {
+        let f = straightline();
+        let lv = Liveness::compute(&f);
+        assert!(lv.live_in[0].is_empty());
+        assert!(lv.live_out[0].is_empty());
+    }
+
+    #[test]
+    fn use_counts_count_all_uses() {
+        let f = straightline();
+        let counts = use_counts(&f);
+        assert_eq!(counts[0], 2); // a used twice
+        assert_eq!(counts[1], 1); // b used once
+        assert_eq!(counts[2], 0); // c never used
+    }
+
+    #[test]
+    fn loop_keeps_carried_register_live() {
+        let mut f = Function::new("t", 1);
+        let i = f.new_reg(Type::scalar(STy::I32));
+        let p = f.new_reg(Type::scalar(STy::I1));
+        let mut entry = Block::new("entry");
+        entry.insts.push(Inst::Mov { ty: Type::scalar(STy::I32), dst: i, a: Value::ImmI(0) });
+        let mut head = Block::new("head");
+        head.insts.push(Inst::Bin {
+            op: BinOp::Add,
+            ty: Type::scalar(STy::I32),
+            signed: false,
+            dst: i,
+            a: Value::Reg(i),
+            b: Value::ImmI(1),
+        });
+        head.insts.push(Inst::Cmp {
+            pred: crate::CmpPred::Lt,
+            ty: Type::scalar(STy::I32),
+            signed: true,
+            dst: p,
+            a: Value::Reg(i),
+            b: Value::ImmI(10),
+        });
+        let e = f.add_block(entry);
+        let h_placeholder = Block::new("placeholder");
+        let h = f.add_block(h_placeholder);
+        let mut done = Block::new("done");
+        done.term = Term::Ret;
+        let d = f.add_block(done);
+        head.term = Term::CondBr { cond: Value::Reg(p), taken: h, fall: d };
+        f.blocks[h.index()] = head;
+        f.block_mut(e).term = Term::Br(h);
+
+        let lv = Liveness::compute(&f);
+        assert!(lv.live_in[h.index()].contains(&i));
+        assert!(!lv.live_in[e.index()].contains(&i));
+    }
+
+    #[test]
+    fn max_live_vectors_counts_only_vectors() {
+        let mut f = Function::new("t", 4);
+        let v1 = f.new_reg(Type::vector(STy::F32, 4));
+        let v2 = f.new_reg(Type::vector(STy::F32, 4));
+        let s = f.new_reg(Type::scalar(STy::F32));
+        let mut blk = Block::new("entry");
+        blk.insts.push(Inst::Splat { ty: Type::vector(STy::F32, 4), dst: v1, a: Value::ImmF(1.0) });
+        blk.insts.push(Inst::Splat { ty: Type::vector(STy::F32, 4), dst: v2, a: Value::ImmF(2.0) });
+        blk.insts.push(Inst::Bin {
+            op: BinOp::Add,
+            ty: Type::vector(STy::F32, 4),
+            signed: false,
+            dst: v1,
+            a: Value::Reg(v1),
+            b: Value::Reg(v2),
+        });
+        blk.insts.push(Inst::Extract {
+            ty: Type::vector(STy::F32, 4),
+            dst: s,
+            vec: Value::Reg(v1),
+            lane: 0,
+        });
+        blk.insts.push(Inst::Store {
+            ty: STy::F32,
+            space: crate::Space::Global,
+            addr: Value::ImmI(0),
+            value: Value::Reg(s),
+        });
+        blk.term = Term::Ret;
+        f.add_block(blk);
+        assert_eq!(max_live_vector_regs(&f), 2);
+    }
+}

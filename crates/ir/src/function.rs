@@ -1,0 +1,218 @@
+//! Functions and basic blocks.
+
+use crate::inst::{BlockId, Inst, Term};
+use crate::types::Type;
+use crate::value::VReg;
+
+/// Role of a block, used for cycle attribution in the machine model
+/// (the paper's Figure 9 separates subkernel execution from yield
+/// save/restore overhead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockKind {
+    /// Ordinary kernel code.
+    Body,
+    /// The compiler-inserted scheduler (trampoline) block.
+    Scheduler,
+    /// An entry handler restoring live state from thread-local memory.
+    EntryHandler,
+    /// An exit handler spilling live state before yielding.
+    ExitHandler,
+}
+
+/// A basic block: label, role, straight-line instructions, terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Label for printing and debugging.
+    pub label: String,
+    /// Role of the block.
+    pub kind: BlockKind,
+    /// Instructions in execution order.
+    pub insts: Vec<Inst>,
+    /// The terminator.
+    pub term: Term,
+}
+
+impl Block {
+    /// Create an empty body block ending in `Ret` (replace the terminator
+    /// while building).
+    pub fn new(label: impl Into<String>) -> Self {
+        Block { label: label.into(), kind: BlockKind::Body, insts: Vec::new(), term: Term::Ret }
+    }
+}
+
+/// An IR function: a register file typed per virtual register and a list
+/// of basic blocks, entered at block 0.
+///
+/// The implicit signature of every function is
+/// `(warp: &[ThreadContext], entry_id: i64) -> (ResumeStatus, resume points)`
+/// — the interpreter in `dpvk-vm` supplies the contexts and reads back the
+/// yield information written by [`Inst::SetResumePoint`] and
+/// [`Inst::SetResumeStatus`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name (kernel name plus specialization tag).
+    pub name: String,
+    /// Warp width this function was specialized for (1 = scalar).
+    pub warp_size: u32,
+    /// Type of each virtual register, indexed by [`VReg`].
+    pub regs: Vec<Type>,
+    /// Basic blocks; index 0 is the entry (the scheduler block in
+    /// vectorized functions).
+    pub blocks: Vec<Block>,
+}
+
+impl Function {
+    /// Create an empty function.
+    pub fn new(name: impl Into<String>, warp_size: u32) -> Self {
+        Function { name: name.into(), warp_size, regs: Vec::new(), blocks: Vec::new() }
+    }
+
+    /// Allocate a fresh virtual register of the given type.
+    pub fn new_reg(&mut self, ty: Type) -> VReg {
+        let r = VReg(self.regs.len() as u32);
+        self.regs.push(ty);
+        r
+    }
+
+    /// Type of a register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register is out of range.
+    pub fn reg_type(&self, r: VReg) -> Type {
+        self.regs[r.index()]
+    }
+
+    /// Append a block, returning its id.
+    pub fn add_block(&mut self, block: Block) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(block);
+        id
+    }
+
+    /// The block with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Mutable access to the block with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.index()]
+    }
+
+    /// Find a block id by label.
+    pub fn block_by_label(&self, label: &str) -> Option<BlockId> {
+        self.blocks
+            .iter()
+            .position(|b| b.label == label)
+            .map(|i| BlockId(i as u32))
+    }
+
+    /// Predecessor lists for every block.
+    pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (i, b) in self.blocks.iter().enumerate() {
+            for s in b.term.successors() {
+                preds[s.index()].push(BlockId(i as u32));
+            }
+        }
+        preds
+    }
+
+    /// Blocks in reverse postorder from the entry; unreachable blocks are
+    /// appended in index order.
+    pub fn reverse_postorder(&self) -> Vec<BlockId> {
+        let n = self.blocks.len();
+        let mut visited = vec![false; n];
+        let mut post = Vec::with_capacity(n);
+        if n > 0 {
+            let mut stack: Vec<(BlockId, usize)> = vec![(BlockId(0), 0)];
+            visited[0] = true;
+            while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+                let succs = self.blocks[b.index()].term.successors();
+                if *next < succs.len() {
+                    let s = succs[*next];
+                    *next += 1;
+                    if !visited[s.index()] {
+                        visited[s.index()] = true;
+                        stack.push((s, 0));
+                    }
+                } else {
+                    post.push(b);
+                    stack.pop();
+                }
+            }
+        }
+        post.reverse();
+        for i in 0..n {
+            if !visited[i] {
+                post.push(BlockId(i as u32));
+            }
+        }
+        post
+    }
+
+    /// Total instruction count (terminators excluded).
+    pub fn instruction_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Term;
+    use crate::types::{STy, Type};
+
+    #[test]
+    fn register_allocation() {
+        let mut f = Function::new("f", 1);
+        let a = f.new_reg(Type::scalar(STy::I32));
+        let b = f.new_reg(Type::vector(STy::F32, 4));
+        assert_ne!(a, b);
+        assert_eq!(f.reg_type(b), Type::vector(STy::F32, 4));
+    }
+
+    #[test]
+    fn rpo_and_preds() {
+        let mut f = Function::new("f", 1);
+        let mut b0 = Block::new("entry");
+        let b1 = Block::new("then");
+        let mut b2 = Block::new("join");
+        b2.term = Term::Ret;
+        // entry -> (then | join), then -> join
+        let id0 = f.add_block(Block::new("placeholder"));
+        let id1 = f.add_block(b1);
+        let id2 = f.add_block(b2);
+        b0.term = Term::CondBr {
+            cond: crate::Value::ImmI(1),
+            taken: id1,
+            fall: id2,
+        };
+        f.blocks[id0.index()] = b0;
+        f.block_mut(id1).term = Term::Br(id2);
+
+        let rpo = f.reverse_postorder();
+        assert_eq!(rpo[0], id0);
+        assert_eq!(rpo.len(), 3);
+        let preds = f.predecessors();
+        assert_eq!(preds[id2.index()].len(), 2);
+    }
+
+    #[test]
+    fn block_lookup_by_label() {
+        let mut f = Function::new("f", 2);
+        f.add_block(Block::new("a"));
+        f.add_block(Block::new("b"));
+        assert_eq!(f.block_by_label("b"), Some(BlockId(1)));
+        assert_eq!(f.block_by_label("c"), None);
+    }
+}

@@ -1,0 +1,379 @@
+//! Block-local constant propagation and folding.
+
+use std::collections::HashMap;
+
+use crate::function::Function;
+use crate::inst::{BinOp, CmpPred, Inst, UnOp};
+use crate::types::{STy, Type};
+use crate::value::{VReg, Value};
+
+/// Propagate constants within each block and fold instructions whose
+/// operands are all constants into `Mov` of an immediate. Returns the
+/// number of instructions folded or operands substituted.
+///
+/// The analysis is block-local, which is sound without SSA form: a
+/// register's constant binding is invalidated by any redefinition.
+pub fn const_fold(f: &mut Function) -> usize {
+    let mut changed = 0;
+    for b in &mut f.blocks {
+        let mut env: HashMap<VReg, Value> = HashMap::new();
+        for inst in &mut b.insts {
+            // Substitute known-constant registers into operands.
+            inst.map_uses(|v| {
+                if let Value::Reg(r) = v {
+                    if let Some(c) = env.get(r) {
+                        *v = *c;
+                        changed += 1;
+                    }
+                }
+            });
+            // Try to fold.
+            if let Some((dst, folded)) = fold(inst) {
+                let ty = match inst {
+                    Inst::Bin { ty, .. }
+                    | Inst::Un { ty, .. }
+                    | Inst::Select { ty, .. }
+                    | Inst::Mov { ty, .. } => *ty,
+                    Inst::Cmp { ty, .. } => Type { scalar: STy::I1, width: ty.width },
+                    Inst::Cvt { to, width, .. } => Type { scalar: *to, width: *width },
+                    _ => Type::scalar(STy::I64),
+                };
+                if !ty.is_vector() {
+                    *inst = Inst::Mov { ty, dst, a: folded };
+                    changed += 1;
+                }
+            }
+            // Update the environment.
+            if let Some(d) = inst.dst() {
+                match inst {
+                    Inst::Mov { a, .. } if a.is_const() => {
+                        env.insert(d, *a);
+                    }
+                    _ => {
+                        env.remove(&d);
+                    }
+                }
+            }
+        }
+        // Terminator operands.
+        let term = &mut b.term;
+        match term {
+            crate::Term::CondBr { cond, .. } => {
+                if let Value::Reg(r) = cond {
+                    if let Some(c) = env.get(r) {
+                        *cond = *c;
+                        changed += 1;
+                    }
+                }
+            }
+            crate::Term::Switch { value, .. } => {
+                if let Value::Reg(r) = value {
+                    if let Some(c) = env.get(r) {
+                        *value = *c;
+                        changed += 1;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    changed
+}
+
+fn as_i64(v: Value) -> Option<i64> {
+    match v {
+        Value::ImmI(x) => Some(x),
+        _ => None,
+    }
+}
+
+fn as_f64(v: Value) -> Option<f64> {
+    match v {
+        Value::ImmF(x) => Some(x),
+        _ => None,
+    }
+}
+
+/// Fold a single instruction with constant operands into `(dst, value)`.
+fn fold(inst: &Inst) -> Option<(VReg, Value)> {
+    match inst {
+        Inst::Bin { op, ty, signed, dst, a, b } if ty.width == 1 => {
+            if ty.scalar.is_float() {
+                let (x, y) = (as_f64(*a)?, as_f64(*b)?);
+                let r = match op {
+                    BinOp::Add => x + y,
+                    BinOp::Sub => x - y,
+                    BinOp::Mul => x * y,
+                    BinOp::Div => x / y,
+                    BinOp::Min => x.min(y),
+                    BinOp::Max => x.max(y),
+                    _ => return None,
+                };
+                let r = if ty.scalar == STy::F32 { (r as f32) as f64 } else { r };
+                Some((*dst, Value::ImmF(r)))
+            } else {
+                let (x, y) = (as_i64(*a)?, as_i64(*b)?);
+                let bits = ty.scalar.bits();
+                let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+                let r: i64 = match op {
+                    BinOp::Add => x.wrapping_add(y),
+                    BinOp::Sub => x.wrapping_sub(y),
+                    BinOp::Mul => x.wrapping_mul(y),
+                    BinOp::And => x & y,
+                    BinOp::Or => x | y,
+                    BinOp::Xor => x ^ y,
+                    BinOp::Shl => x.wrapping_shl(y as u32),
+                    BinOp::Shr => {
+                        if *signed {
+                            x.wrapping_shr(y as u32)
+                        } else {
+                            ((x as u64 & mask).wrapping_shr(y as u32)) as i64
+                        }
+                    }
+                    BinOp::Div => {
+                        if y == 0 {
+                            return None;
+                        }
+                        if *signed {
+                            x.wrapping_div(y)
+                        } else {
+                            ((x as u64) / (y as u64)) as i64
+                        }
+                    }
+                    BinOp::Rem => {
+                        if y == 0 {
+                            return None;
+                        }
+                        if *signed {
+                            x.wrapping_rem(y)
+                        } else {
+                            ((x as u64) % (y as u64)) as i64
+                        }
+                    }
+                    BinOp::Min => {
+                        if *signed {
+                            x.min(y)
+                        } else {
+                            ((x as u64).min(y as u64)) as i64
+                        }
+                    }
+                    BinOp::Max => {
+                        if *signed {
+                            x.max(y)
+                        } else {
+                            ((x as u64).max(y as u64)) as i64
+                        }
+                    }
+                    BinOp::MulHi => return None,
+                };
+                Some((*dst, Value::ImmI(r)))
+            }
+        }
+        Inst::Un { op, ty, dst, a } if ty.width == 1 => {
+            if ty.scalar.is_float() {
+                let x = as_f64(*a)?;
+                let r = match op {
+                    UnOp::Neg => -x,
+                    UnOp::Abs => x.abs(),
+                    UnOp::Sqrt => x.sqrt(),
+                    _ => return None,
+                };
+                Some((*dst, Value::ImmF(r)))
+            } else {
+                let x = as_i64(*a)?;
+                let r = match op {
+                    UnOp::Neg => x.wrapping_neg(),
+                    UnOp::Not => {
+                        if ty.scalar == STy::I1 {
+                            (x == 0) as i64
+                        } else {
+                            !x
+                        }
+                    }
+                    UnOp::Abs => x.wrapping_abs(),
+                    _ => return None,
+                };
+                Some((*dst, Value::ImmI(r)))
+            }
+        }
+        Inst::Cmp { pred, ty, signed, dst, a, b } if ty.width == 1 => {
+            let r = if ty.scalar.is_float() {
+                let (x, y) = (as_f64(*a)?, as_f64(*b)?);
+                eval_cmp_f(*pred, x, y)
+            } else if *signed {
+                let (x, y) = (as_i64(*a)?, as_i64(*b)?);
+                eval_cmp_i(*pred, x, y)
+            } else {
+                let (x, y) = (as_i64(*a)? as u64, as_i64(*b)? as u64);
+                eval_cmp_u(*pred, x, y)
+            };
+            Some((*dst, Value::ImmI(r as i64)))
+        }
+        Inst::Select { ty, dst, cond, a, b } if ty.width == 1 => {
+            let c = as_i64(*cond)?;
+            if !a.is_const() || !b.is_const() {
+                return None;
+            }
+            Some((*dst, if c != 0 { *a } else { *b }))
+        }
+        _ => None,
+    }
+}
+
+fn eval_cmp_i(p: CmpPred, a: i64, b: i64) -> bool {
+    match p {
+        CmpPred::Eq => a == b,
+        CmpPred::Ne => a != b,
+        CmpPred::Lt => a < b,
+        CmpPred::Le => a <= b,
+        CmpPred::Gt => a > b,
+        CmpPred::Ge => a >= b,
+    }
+}
+
+fn eval_cmp_u(p: CmpPred, a: u64, b: u64) -> bool {
+    match p {
+        CmpPred::Eq => a == b,
+        CmpPred::Ne => a != b,
+        CmpPred::Lt => a < b,
+        CmpPred::Le => a <= b,
+        CmpPred::Gt => a > b,
+        CmpPred::Ge => a >= b,
+    }
+}
+
+fn eval_cmp_f(p: CmpPred, a: f64, b: f64) -> bool {
+    match p {
+        CmpPred::Eq => a == b,
+        CmpPred::Ne => a != b,
+        CmpPred::Lt => a < b,
+        CmpPred::Le => a <= b,
+        CmpPred::Gt => a > b,
+        CmpPred::Ge => a >= b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::Block;
+    use crate::inst::Term;
+
+    #[test]
+    fn folds_constant_chain() {
+        let mut f = Function::new("t", 1);
+        let a = f.new_reg(Type::scalar(STy::I32));
+        let b = f.new_reg(Type::scalar(STy::I32));
+        let mut blk = Block::new("entry");
+        blk.insts.push(Inst::Mov { ty: Type::scalar(STy::I32), dst: a, a: Value::ImmI(6) });
+        blk.insts.push(Inst::Bin {
+            op: BinOp::Mul,
+            ty: Type::scalar(STy::I32),
+            signed: false,
+            dst: b,
+            a: Value::Reg(a),
+            b: Value::ImmI(7),
+        });
+        blk.term = Term::Ret;
+        f.add_block(blk);
+        const_fold(&mut f);
+        match &f.blocks[0].insts[1] {
+            Inst::Mov { a: Value::ImmI(42), .. } => {}
+            other => panic!("expected folded mov 42, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn redefinition_invalidates_binding() {
+        let mut f = Function::new("t", 1);
+        let a = f.new_reg(Type::scalar(STy::I32));
+        let b = f.new_reg(Type::scalar(STy::I32));
+        let mut blk = Block::new("entry");
+        blk.insts.push(Inst::Mov { ty: Type::scalar(STy::I32), dst: a, a: Value::ImmI(1) });
+        // Redefine `a` from a non-constant source.
+        blk.insts.push(Inst::Load {
+            ty: STy::I32,
+            space: crate::Space::Global,
+            dst: a,
+            addr: Value::ImmI(0),
+        });
+        blk.insts.push(Inst::Bin {
+            op: BinOp::Add,
+            ty: Type::scalar(STy::I32),
+            signed: false,
+            dst: b,
+            a: Value::Reg(a),
+            b: Value::ImmI(1),
+        });
+        blk.term = Term::Ret;
+        f.add_block(blk);
+        const_fold(&mut f);
+        // The add must not be folded.
+        assert!(matches!(&f.blocks[0].insts[2], Inst::Bin { .. }));
+    }
+
+    #[test]
+    fn folds_unsigned_comparison() {
+        let mut f = Function::new("t", 1);
+        let p = f.new_reg(Type::scalar(STy::I1));
+        let mut blk = Block::new("entry");
+        blk.insts.push(Inst::Cmp {
+            pred: CmpPred::Lt,
+            ty: Type::scalar(STy::I32),
+            signed: false,
+            dst: p,
+            a: Value::ImmI(-1), // 0xFFFF_FFFF unsigned
+            b: Value::ImmI(0),
+        });
+        blk.term = Term::Ret;
+        f.add_block(blk);
+        const_fold(&mut f);
+        match &f.blocks[0].insts[0] {
+            Inst::Mov { a: Value::ImmI(0), .. } => {}
+            other => panic!("unsigned -1 < 0 must be false, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn division_by_zero_is_not_folded() {
+        let mut f = Function::new("t", 1);
+        let a = f.new_reg(Type::scalar(STy::I32));
+        let mut blk = Block::new("entry");
+        blk.insts.push(Inst::Bin {
+            op: BinOp::Div,
+            ty: Type::scalar(STy::I32),
+            signed: true,
+            dst: a,
+            a: Value::ImmI(1),
+            b: Value::ImmI(0),
+        });
+        blk.term = Term::Ret;
+        f.add_block(blk);
+        const_fold(&mut f);
+        assert!(matches!(&f.blocks[0].insts[0], Inst::Bin { .. }));
+    }
+
+    #[test]
+    fn f32_rounding_is_applied() {
+        let mut f = Function::new("t", 1);
+        let a = f.new_reg(Type::scalar(STy::F32));
+        let mut blk = Block::new("entry");
+        blk.insts.push(Inst::Bin {
+            op: BinOp::Add,
+            ty: Type::scalar(STy::F32),
+            signed: false,
+            dst: a,
+            a: Value::ImmF(0.1),
+            b: Value::ImmF(0.2),
+        });
+        blk.term = Term::Ret;
+        f.add_block(blk);
+        const_fold(&mut f);
+        match &f.blocks[0].insts[0] {
+            Inst::Mov { a: Value::ImmF(v), .. } => {
+                assert_eq!(*v, ((0.1f64 + 0.2f64) as f32) as f64);
+            }
+            other => panic!("expected folded mov, got {other:?}"),
+        }
+    }
+}

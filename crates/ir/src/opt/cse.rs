@@ -1,0 +1,283 @@
+//! Block-local common-subexpression elimination with copy propagation.
+//!
+//! This is the pass that implements the paper's *thread-invariant
+//! expression elimination* payoff (Section 6.2): after static warp
+//! formation rewrites lane-k context reads of CTA-uniform fields to lane-0
+//! reads, the replicated per-lane expressions become textually identical
+//! and are removed here.
+
+use std::collections::HashMap;
+
+use crate::function::Function;
+use crate::inst::{Inst, Space};
+use crate::value::{VReg, Value};
+
+/// Key identifying a pure expression, with operands resolved to
+/// `(register, version)` pairs so redefinitions invalidate entries.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum OperandKey {
+    Reg(VReg, u32),
+    ImmI(i64),
+    ImmF(u64),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ExprKey {
+    shape: String,
+    operands: Vec<OperandKey>,
+}
+
+/// Run local CSE and copy propagation on every block. Returns the number
+/// of instructions replaced by copies (candidates for later DCE).
+pub fn local_cse(f: &mut Function) -> usize {
+    let nregs = f.regs.len();
+    let mut replaced = 0;
+    for bi in 0..f.blocks.len() {
+        let mut version = vec![0u32; nregs];
+        let mut avail: HashMap<ExprKey, (VReg, u32)> = HashMap::new();
+        // Copy bindings: dst -> (src, version-of-src-at-copy).
+        let mut copies: HashMap<VReg, (VReg, u32)> = HashMap::new();
+        let block = &mut f.blocks[bi];
+        for inst in &mut block.insts {
+            // Copy propagation on uses.
+            inst.map_uses(|v| {
+                if let Value::Reg(r) = v {
+                    if let Some(&(src, ver)) = copies.get(r) {
+                        if version[src.index()] == ver {
+                            *v = Value::Reg(src);
+                        }
+                    }
+                }
+            });
+            let key = expr_key(inst, &version);
+            let mut was_replaced = false;
+            if let Some(key) = &key {
+                if let Some(&(prev, ver)) = avail.get(key) {
+                    if version[prev.index()] == ver {
+                        let dst = inst.dst().expect("keyed instructions define a register");
+                        if prev != dst {
+                            let ty = f.regs[dst.index()];
+                            *inst = Inst::Mov { ty, dst, a: Value::Reg(prev) };
+                            replaced += 1;
+                        }
+                        was_replaced = true;
+                    }
+                }
+            }
+            if let Some(d) = inst.dst() {
+                version[d.index()] += 1;
+                // Invalidate copies whose source was overwritten is handled
+                // by the version check; record new binding.
+                if let Inst::Mov { a: Value::Reg(src), .. } = inst {
+                    if *src != d {
+                        copies.insert(d, (*src, version[src.index()]));
+                    } else {
+                        copies.remove(&d);
+                    }
+                } else {
+                    copies.remove(&d);
+                }
+                if let (Some(key), false) = (key, was_replaced) {
+                    avail.insert(key, (d, version[d.index()]));
+                }
+            }
+        }
+        // Terminator copy propagation.
+        let term_sub = |v: &mut Value| {
+            if let Value::Reg(r) = v {
+                if let Some(&(src, ver)) = copies.get(r) {
+                    if version[src.index()] == ver {
+                        *v = Value::Reg(src);
+                    }
+                }
+            }
+        };
+        match &mut block.term {
+            crate::Term::CondBr { cond, .. } => term_sub(cond),
+            crate::Term::Switch { value, .. } => term_sub(value),
+            _ => {}
+        }
+    }
+    replaced
+}
+
+fn operand_key(v: Value, version: &[u32]) -> OperandKey {
+    match v {
+        Value::Reg(r) => OperandKey::Reg(r, version[r.index()]),
+        Value::ImmI(i) => OperandKey::ImmI(i),
+        Value::ImmF(x) => OperandKey::ImmF(x.to_bits()),
+    }
+}
+
+/// Expression key for CSE-able instructions, `None` for the rest.
+fn expr_key(inst: &Inst, version: &[u32]) -> Option<ExprKey> {
+    use Inst::*;
+    let shape = match inst {
+        Bin { op, ty, signed, .. } => format!("bin.{op:?}.{ty}.{signed}"),
+        Un { op, ty, .. } => format!("un.{op:?}.{ty}"),
+        Fma { ty, .. } => format!("fma.{ty}"),
+        Cmp { pred, ty, signed, .. } => format!("cmp.{pred:?}.{ty}.{signed}"),
+        Select { ty, .. } => format!("sel.{ty}"),
+        Cvt { to, from, signed, width, .. } => format!("cvt.{to}.{from}.{signed}.{width}"),
+        Insert { ty, lane, .. } => format!("ins.{ty}.{lane}"),
+        Extract { ty, lane, .. } => format!("ext.{ty}.{lane}"),
+        Splat { ty, .. } => format!("splat.{ty}"),
+        Reduce { op, ty, .. } => format!("red.{op:?}.{ty}"),
+        CtxRead { field, lane, .. } => format!("ctx.{field:?}.{lane}"),
+        // Loads from read-only spaces are pure and safe to CSE.
+        Load { ty, space: Space::Param, .. } => format!("ld.param.{ty}"),
+        Load { ty, space: Space::Const, .. } => format!("ld.const.{ty}"),
+        _ => return None,
+    };
+    let operands = inst.uses().iter().map(|&v| operand_key(v, version)).collect();
+    Some(ExprKey { shape, operands })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::Block;
+    use crate::inst::{BinOp, CtxField, Term};
+    use crate::opt::dead_code_elimination;
+    use crate::types::{STy, Type};
+
+    #[test]
+    fn merges_identical_expressions() {
+        let mut f = Function::new("t", 1);
+        let t = Type::scalar(STy::I32);
+        let a = f.new_reg(t);
+        let b = f.new_reg(t);
+        let c = f.new_reg(t);
+        let d = f.new_reg(t);
+        let mut blk = Block::new("entry");
+        blk.insts.push(Inst::CtxRead { field: CtxField::Tid(0), lane: 0, dst: a });
+        blk.insts.push(Inst::Bin {
+            op: BinOp::Add, ty: t, signed: false, dst: b,
+            a: Value::Reg(a), b: Value::ImmI(1),
+        });
+        blk.insts.push(Inst::Bin {
+            op: BinOp::Add, ty: t, signed: false, dst: c,
+            a: Value::Reg(a), b: Value::ImmI(1),
+        });
+        blk.insts.push(Inst::Bin {
+            op: BinOp::Add, ty: t, signed: false, dst: d,
+            a: Value::Reg(b), b: Value::Reg(c),
+        });
+        blk.insts.push(Inst::Store {
+            ty: STy::I32, space: Space::Global, addr: Value::ImmI(0), value: Value::Reg(d),
+        });
+        blk.term = Term::Ret;
+        f.add_block(blk);
+
+        let replaced = local_cse(&mut f);
+        assert_eq!(replaced, 1);
+        // After copy propagation the final add reads %b twice.
+        match &f.blocks[0].insts[3] {
+            Inst::Bin { a: Value::Reg(x), b: Value::Reg(y), .. } => {
+                assert_eq!(x, y);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The replacement mov is now dead.
+        assert!(dead_code_elimination(&mut f) >= 1);
+    }
+
+    #[test]
+    fn redefinition_blocks_reuse() {
+        let mut f = Function::new("t", 1);
+        let t = Type::scalar(STy::I32);
+        let a = f.new_reg(t);
+        let b = f.new_reg(t);
+        let c = f.new_reg(t);
+        let mut blk = Block::new("entry");
+        blk.insts.push(Inst::Bin {
+            op: BinOp::Add, ty: t, signed: false, dst: b,
+            a: Value::Reg(a), b: Value::ImmI(1),
+        });
+        // Redefine the operand.
+        blk.insts.push(Inst::Load {
+            ty: STy::I32, space: Space::Global, dst: a, addr: Value::ImmI(0),
+        });
+        blk.insts.push(Inst::Bin {
+            op: BinOp::Add, ty: t, signed: false, dst: c,
+            a: Value::Reg(a), b: Value::ImmI(1),
+        });
+        blk.insts.push(Inst::Store {
+            ty: STy::I32, space: Space::Global, addr: Value::ImmI(4), value: Value::Reg(c),
+        });
+        blk.insts.push(Inst::Store {
+            ty: STy::I32, space: Space::Global, addr: Value::ImmI(8), value: Value::Reg(b),
+        });
+        blk.term = Term::Ret;
+        f.add_block(blk);
+        assert_eq!(local_cse(&mut f), 0);
+    }
+
+    #[test]
+    fn global_loads_are_not_cse_candidates() {
+        let mut f = Function::new("t", 1);
+        let t = Type::scalar(STy::I32);
+        let a = f.new_reg(t);
+        let b = f.new_reg(t);
+        let mut blk = Block::new("entry");
+        blk.insts.push(Inst::Load {
+            ty: STy::I32, space: Space::Global, dst: a, addr: Value::ImmI(0),
+        });
+        blk.insts.push(Inst::Load {
+            ty: STy::I32, space: Space::Global, dst: b, addr: Value::ImmI(0),
+        });
+        blk.insts.push(Inst::Store {
+            ty: STy::I32, space: Space::Global, addr: Value::ImmI(4), value: Value::Reg(a),
+        });
+        blk.insts.push(Inst::Store {
+            ty: STy::I32, space: Space::Global, addr: Value::ImmI(8), value: Value::Reg(b),
+        });
+        blk.term = Term::Ret;
+        f.add_block(blk);
+        assert_eq!(local_cse(&mut f), 0);
+    }
+
+    #[test]
+    fn param_loads_are_merged() {
+        let mut f = Function::new("t", 1);
+        let t = Type::scalar(STy::I32);
+        let a = f.new_reg(t);
+        let b = f.new_reg(t);
+        let mut blk = Block::new("entry");
+        blk.insts.push(Inst::Load {
+            ty: STy::I32, space: Space::Param, dst: a, addr: Value::ImmI(0),
+        });
+        blk.insts.push(Inst::Load {
+            ty: STy::I32, space: Space::Param, dst: b, addr: Value::ImmI(0),
+        });
+        blk.insts.push(Inst::Store {
+            ty: STy::I32, space: Space::Global, addr: Value::ImmI(0), value: Value::Reg(a),
+        });
+        blk.insts.push(Inst::Store {
+            ty: STy::I32, space: Space::Global, addr: Value::ImmI(4), value: Value::Reg(b),
+        });
+        blk.term = Term::Ret;
+        f.add_block(blk);
+        assert_eq!(local_cse(&mut f), 1);
+    }
+
+    #[test]
+    fn ctx_reads_of_different_lanes_stay() {
+        let mut f = Function::new("t", 2);
+        let t = Type::scalar(STy::I32);
+        let a = f.new_reg(t);
+        let b = f.new_reg(t);
+        let mut blk = Block::new("entry");
+        blk.insts.push(Inst::CtxRead { field: CtxField::Tid(0), lane: 0, dst: a });
+        blk.insts.push(Inst::CtxRead { field: CtxField::Tid(0), lane: 1, dst: b });
+        blk.insts.push(Inst::Store {
+            ty: STy::I32, space: Space::Global, addr: Value::ImmI(0), value: Value::Reg(a),
+        });
+        blk.insts.push(Inst::Store {
+            ty: STy::I32, space: Space::Global, addr: Value::ImmI(4), value: Value::Reg(b),
+        });
+        blk.term = Term::Ret;
+        f.add_block(blk);
+        assert_eq!(local_cse(&mut f), 0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Dead-code elimination.
+
+use crate::analysis::use_counts;
+use crate::function::Function;
+
+/// Remove instructions that define a register with no uses anywhere in the
+/// function and have no side effects. Iterates to a fixpoint (removing one
+/// dead instruction can make its operands dead). Returns the number of
+/// instructions removed.
+///
+/// The pass is conservative in the presence of register redefinition: a
+/// definition is only removed when *no* use of the register exists
+/// anywhere, which is sound without SSA form.
+pub fn dead_code_elimination(f: &mut Function) -> usize {
+    let mut removed_total = 0;
+    loop {
+        let counts = use_counts(f);
+        let mut removed = 0;
+        for b in &mut f.blocks {
+            b.insts.retain(|inst| {
+                if inst.has_side_effects() || inst.reads_memory() {
+                    return true;
+                }
+                match inst.dst() {
+                    Some(d) if counts[d.index()] == 0 => {
+                        removed += 1;
+                        false
+                    }
+                    _ => true,
+                }
+            });
+        }
+        removed_total += removed;
+        if removed == 0 {
+            break;
+        }
+    }
+    removed_total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::Block;
+    use crate::inst::{BinOp, Inst, Space, Term};
+    use crate::types::{STy, Type};
+    use crate::value::Value;
+
+    #[test]
+    fn removes_transitively_dead_chain() {
+        let mut f = Function::new("t", 1);
+        let a = f.new_reg(Type::scalar(STy::I32));
+        let b = f.new_reg(Type::scalar(STy::I32));
+        let c = f.new_reg(Type::scalar(STy::I32));
+        let mut blk = Block::new("entry");
+        blk.insts.push(Inst::Mov { ty: Type::scalar(STy::I32), dst: a, a: Value::ImmI(1) });
+        blk.insts.push(Inst::Bin {
+            op: BinOp::Add,
+            ty: Type::scalar(STy::I32),
+            signed: false,
+            dst: b,
+            a: Value::Reg(a),
+            b: Value::ImmI(1),
+        });
+        blk.insts.push(Inst::Bin {
+            op: BinOp::Add,
+            ty: Type::scalar(STy::I32),
+            signed: false,
+            dst: c,
+            a: Value::Reg(b),
+            b: Value::ImmI(1),
+        });
+        blk.term = Term::Ret;
+        f.add_block(blk);
+        let removed = dead_code_elimination(&mut f);
+        assert_eq!(removed, 3);
+        assert_eq!(f.instruction_count(), 0);
+    }
+
+    #[test]
+    fn keeps_stores_and_their_operands() {
+        let mut f = Function::new("t", 1);
+        let a = f.new_reg(Type::scalar(STy::F32));
+        let mut blk = Block::new("entry");
+        blk.insts.push(Inst::Mov { ty: Type::scalar(STy::F32), dst: a, a: Value::ImmF(1.0) });
+        blk.insts.push(Inst::Store {
+            ty: STy::F32,
+            space: Space::Global,
+            addr: Value::ImmI(0),
+            value: Value::Reg(a),
+        });
+        blk.term = Term::Ret;
+        f.add_block(blk);
+        assert_eq!(dead_code_elimination(&mut f), 0);
+        assert_eq!(f.instruction_count(), 2);
+    }
+
+    #[test]
+    fn keeps_loads_with_unused_results() {
+        // A load may fault or have timing effects in the model; keep it.
+        let mut f = Function::new("t", 1);
+        let a = f.new_reg(Type::scalar(STy::F32));
+        let mut blk = Block::new("entry");
+        blk.insts.push(Inst::Load {
+            ty: STy::F32,
+            space: Space::Global,
+            dst: a,
+            addr: Value::ImmI(0),
+        });
+        blk.term = Term::Ret;
+        f.add_block(blk);
+        assert_eq!(dead_code_elimination(&mut f), 0);
+    }
+}

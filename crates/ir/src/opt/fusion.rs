@@ -1,0 +1,177 @@
+//! Basic-block fusion and unreachable-block removal.
+
+use crate::function::{BlockKind, Function};
+use crate::inst::{BlockId, Term};
+
+/// Merge each block that ends in an unconditional branch to a block with
+/// exactly one predecessor into its successor, provided both are
+/// [`BlockKind::Body`] blocks (handler blocks keep their identity for
+/// cycle attribution). Returns the number of merges performed.
+pub fn fuse_blocks(f: &mut Function) -> usize {
+    let mut fused = 0;
+    loop {
+        let preds = f.predecessors();
+        let mut candidate = None;
+        for (i, b) in f.blocks.iter().enumerate() {
+            if let Term::Br(succ) = b.term {
+                let si = succ.index();
+                if si != i
+                    && si != 0
+                    && preds[si].len() == 1
+                    && b.kind == BlockKind::Body
+                    && f.blocks[si].kind == BlockKind::Body
+                {
+                    candidate = Some((i, si));
+                    break;
+                }
+            }
+        }
+        let Some((i, si)) = candidate else { break };
+        let succ_block = f.blocks[si].clone();
+        let b = &mut f.blocks[i];
+        b.insts.extend(succ_block.insts);
+        b.term = succ_block.term;
+        // The successor is now unreachable; leave it for
+        // `remove_unreachable_blocks`.
+        f.blocks[si].insts.clear();
+        f.blocks[si].term = Term::Ret;
+        fused += 1;
+    }
+    if fused > 0 {
+        remove_unreachable_blocks(f);
+    }
+    fused
+}
+
+/// Remove blocks not reachable from the entry and remap branch targets.
+/// Returns the number of blocks removed.
+pub fn remove_unreachable_blocks(f: &mut Function) -> usize {
+    let n = f.blocks.len();
+    let mut reachable = vec![false; n];
+    let mut stack = vec![BlockId(0)];
+    if n > 0 {
+        reachable[0] = true;
+    }
+    while let Some(b) = stack.pop() {
+        for s in f.blocks[b.index()].term.successors() {
+            if !reachable[s.index()] {
+                reachable[s.index()] = true;
+                stack.push(s);
+            }
+        }
+    }
+    let removed = reachable.iter().filter(|&&r| !r).count();
+    if removed == 0 {
+        return 0;
+    }
+    // Build the remapping old -> new.
+    let mut remap = vec![BlockId(0); n];
+    let mut next = 0u32;
+    for i in 0..n {
+        if reachable[i] {
+            remap[i] = BlockId(next);
+            next += 1;
+        }
+    }
+    let mut old_blocks = std::mem::take(&mut f.blocks);
+    for (i, mut b) in old_blocks.drain(..).enumerate() {
+        if reachable[i] {
+            b.term.map_targets(|t| remap[t.index()]);
+            f.blocks.push(b);
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::Block;
+    use crate::inst::{Inst, Term};
+    use crate::types::{STy, Type};
+    use crate::value::Value;
+
+    fn mov_inst(f: &mut Function) -> Inst {
+        let r = f.new_reg(Type::scalar(STy::I32));
+        Inst::Mov { ty: Type::scalar(STy::I32), dst: r, a: Value::ImmI(0) }
+    }
+
+    #[test]
+    fn fuses_linear_chain() {
+        let mut f = Function::new("t", 1);
+        let i0 = mov_inst(&mut f);
+        let i1 = mov_inst(&mut f);
+        let i2 = mov_inst(&mut f);
+        let mut b0 = Block::new("a");
+        b0.insts.push(i0);
+        b0.term = Term::Br(BlockId(1));
+        let mut b1 = Block::new("b");
+        b1.insts.push(i1);
+        b1.term = Term::Br(BlockId(2));
+        let mut b2 = Block::new("c");
+        b2.insts.push(i2);
+        b2.term = Term::Ret;
+        f.add_block(b0);
+        f.add_block(b1);
+        f.add_block(b2);
+
+        let fused = fuse_blocks(&mut f);
+        assert_eq!(fused, 2);
+        assert_eq!(f.blocks.len(), 1);
+        assert_eq!(f.blocks[0].insts.len(), 3);
+        assert_eq!(f.blocks[0].term, Term::Ret);
+    }
+
+    #[test]
+    fn does_not_fuse_merge_points() {
+        let mut f = Function::new("t", 1);
+        let c = f.new_reg(Type::scalar(STy::I1));
+        let mut b0 = Block::new("entry");
+        b0.term = Term::CondBr { cond: Value::Reg(c), taken: BlockId(1), fall: BlockId(2) };
+        let mut b1 = Block::new("left");
+        b1.term = Term::Br(BlockId(3));
+        let mut b2 = Block::new("right");
+        b2.term = Term::Br(BlockId(3));
+        let mut b3 = Block::new("join");
+        b3.term = Term::Ret;
+        f.add_block(b0);
+        f.add_block(b1);
+        f.add_block(b2);
+        f.add_block(b3);
+        // join has two predecessors: no fusion.
+        assert_eq!(fuse_blocks(&mut f), 0);
+        assert_eq!(f.blocks.len(), 4);
+    }
+
+    #[test]
+    fn removes_unreachable_and_remaps() {
+        let mut f = Function::new("t", 1);
+        let mut b0 = Block::new("entry");
+        b0.term = Term::Br(BlockId(2));
+        let mut dead = Block::new("dead");
+        dead.term = Term::Ret;
+        let mut b2 = Block::new("tail");
+        b2.term = Term::Ret;
+        f.add_block(b0);
+        f.add_block(dead);
+        f.add_block(b2);
+        assert_eq!(remove_unreachable_blocks(&mut f), 1);
+        assert_eq!(f.blocks.len(), 2);
+        // entry now branches to remapped index 1.
+        assert_eq!(f.blocks[0].term, Term::Br(BlockId(1)));
+        assert_eq!(f.blocks[1].label, "tail");
+    }
+
+    #[test]
+    fn self_loop_is_not_fused() {
+        let mut f = Function::new("t", 1);
+        let mut b0 = Block::new("entry");
+        b0.term = Term::Br(BlockId(1));
+        let mut b1 = Block::new("spin");
+        b1.term = Term::Br(BlockId(1));
+        f.add_block(b0);
+        f.add_block(b1);
+        // b1 -> b1: the self-loop must survive (its predecessor count is 2).
+        assert_eq!(fuse_blocks(&mut f), 0);
+    }
+}

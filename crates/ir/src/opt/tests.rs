@@ -1,0 +1,147 @@
+//! Integration tests of the full optimization pipeline.
+
+use crate::function::Block;
+use crate::inst::{BinOp, BlockId, CtxField, Inst, Space, Term};
+use crate::opt::standard_pipeline;
+use crate::types::{STy, Type};
+use crate::value::{VReg, Value};
+use crate::verify::verify;
+use crate::Function;
+
+fn i32t() -> Type {
+    Type::scalar(STy::I32)
+}
+
+/// A function computing redundant thread-invariant expressions twice and
+/// storing the result, with a dead chain on the side.
+fn build_redundant() -> Function {
+    let mut f = Function::new("t", 1);
+    let a = f.new_reg(i32t());
+    let b = f.new_reg(i32t());
+    let c = f.new_reg(i32t());
+    let d = f.new_reg(i32t());
+    let dead = f.new_reg(i32t());
+    let mut blk = Block::new("entry");
+    blk.insts.push(Inst::CtxRead { field: CtxField::Ntid(0), lane: 0, dst: a });
+    blk.insts.push(Inst::CtxRead { field: CtxField::Ntid(0), lane: 0, dst: b });
+    blk.insts.push(Inst::Bin {
+        op: BinOp::Mul, ty: i32t(), signed: false, dst: c,
+        a: Value::Reg(a), b: Value::ImmI(4),
+    });
+    blk.insts.push(Inst::Bin {
+        op: BinOp::Mul, ty: i32t(), signed: false, dst: d,
+        a: Value::Reg(b), b: Value::ImmI(4),
+    });
+    blk.insts.push(Inst::Bin {
+        op: BinOp::Add, ty: i32t(), signed: false, dst: dead,
+        a: Value::Reg(c), b: Value::ImmI(1),
+    });
+    blk.insts.push(Inst::Bin {
+        op: BinOp::Add, ty: i32t(), signed: false, dst: c,
+        a: Value::Reg(c), b: Value::Reg(d),
+    });
+    blk.insts.push(Inst::Store {
+        ty: STy::I32, space: Space::Global, addr: Value::ImmI(0), value: Value::Reg(c),
+    });
+    blk.term = Term::Ret;
+    f.add_block(blk);
+    f
+}
+
+#[test]
+fn pipeline_removes_redundancy_and_verifies() {
+    let mut f = build_redundant();
+    let before = f.instruction_count();
+    let stats = standard_pipeline(&mut f);
+    verify(&f).unwrap();
+    assert!(stats.total_simplifications() > 0, "{stats:?}");
+    assert!(f.instruction_count() < before);
+    // One ctx read, one mul, one add, one store survive at minimum.
+    assert!(f.instruction_count() >= 4);
+}
+
+#[test]
+fn pipeline_is_idempotent() {
+    let mut f = build_redundant();
+    standard_pipeline(&mut f);
+    let once = f.clone();
+    let stats = standard_pipeline(&mut f);
+    assert_eq!(stats.total_simplifications(), 0, "{stats:?}");
+    assert_eq!(f, once);
+}
+
+#[test]
+fn pipeline_fuses_straightline_chains() {
+    let mut f = Function::new("t", 1);
+    let a = f.new_reg(i32t());
+    let mut b0 = Block::new("a");
+    b0.insts.push(Inst::Mov { ty: i32t(), dst: a, a: Value::ImmI(3) });
+    b0.term = Term::Br(BlockId(1));
+    f.add_block(b0);
+    let mut b1 = Block::new("b");
+    b1.insts.push(Inst::Store {
+        ty: STy::I32, space: Space::Global, addr: Value::ImmI(0), value: Value::Reg(a),
+    });
+    b1.term = Term::Ret;
+    f.add_block(b1);
+
+    let stats = standard_pipeline(&mut f);
+    assert_eq!(stats.blocks_fused, 1);
+    assert_eq!(f.blocks.len(), 1);
+    verify(&f).unwrap();
+    // Constant propagation folded the mov into the store's operand or
+    // kept it; either way the store must still write 3.
+    match &f.blocks[0].insts[..] {
+        [Inst::Store { value: Value::ImmI(3), .. }] => {}
+        [Inst::Mov { .. }, Inst::Store { .. }] => {}
+        other => panic!("unexpected shape: {other:?}"),
+    }
+}
+
+#[test]
+fn constant_branches_leave_unreachable_blocks_removable() {
+    let mut f = Function::new("t", 1);
+    let c = f.new_reg(Type::scalar(STy::I1));
+    let mut b0 = Block::new("entry");
+    b0.insts.push(Inst::Mov { ty: Type::scalar(STy::I1), dst: c, a: Value::ImmI(1) });
+    b0.term = Term::CondBr { cond: Value::Reg(c), taken: BlockId(1), fall: BlockId(2) };
+    f.add_block(b0);
+    let mut b1 = Block::new("taken");
+    b1.term = Term::Ret;
+    f.add_block(b1);
+    let mut b2 = Block::new("fall");
+    b2.insts.push(Inst::Store {
+        ty: STy::I32, space: Space::Global, addr: Value::ImmI(0), value: Value::ImmI(9),
+    });
+    b2.term = Term::Ret;
+    f.add_block(b2);
+
+    standard_pipeline(&mut f);
+    verify(&f).unwrap();
+    // After const-fold the branch condition is the constant 1; the VM will
+    // never take the fall edge, but the pipeline keeps both targets (it
+    // does not fold terminators). Ensure structure is still sound.
+    assert!(f.blocks.len() >= 2);
+}
+
+#[test]
+fn spills_and_resume_points_are_never_eliminated() {
+    use crate::inst::ResumeStatus;
+    let mut f = Function::new("t", 2);
+    let a = f.new_reg(i32t());
+    let mut blk = Block::new("exit");
+    blk.kind = crate::BlockKind::ExitHandler;
+    blk.insts.push(Inst::Mov { ty: i32t(), dst: a, a: Value::ImmI(5) });
+    blk.insts.push(Inst::SetResumePoint { lane: 0, value: Value::Reg(a) });
+    blk.insts.push(Inst::SetResumePoint { lane: 1, value: Value::ImmI(5) });
+    blk.insts.push(Inst::SetResumeStatus { status: ResumeStatus::Branch });
+    blk.term = Term::Ret;
+    f.add_block(blk);
+    standard_pipeline(&mut f);
+    let kinds: Vec<bool> = f.blocks[0]
+        .insts
+        .iter()
+        .map(|i| matches!(i, Inst::SetResumePoint { .. } | Inst::SetResumeStatus { .. }))
+        .collect();
+    assert_eq!(kinds.iter().filter(|&&k| k).count(), 3, "{:?}", f.blocks[0].insts);
+}

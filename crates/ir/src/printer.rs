@@ -1,0 +1,113 @@
+//! Human-readable printing of IR functions for debugging and snapshots.
+
+use std::fmt::Write as _;
+
+use crate::function::{BlockKind, Function};
+use crate::inst::{Inst, Term};
+
+/// Render a function as readable text.
+pub fn print_function(f: &Function) -> String {
+    let mut s = String::new();
+    writeln!(s, "fn {} (warp_size={}) {{", f.name, f.warp_size).expect("string write");
+    for (i, b) in f.blocks.iter().enumerate() {
+        let kind = match b.kind {
+            BlockKind::Body => "",
+            BlockKind::Scheduler => "  ; scheduler",
+            BlockKind::EntryHandler => "  ; entry handler",
+            BlockKind::ExitHandler => "  ; exit handler",
+        };
+        writeln!(s, "b{i} ({}):{kind}", b.label).expect("string write");
+        for inst in &b.insts {
+            writeln!(s, "  {}", render_inst(f, inst)).expect("string write");
+        }
+        writeln!(s, "  {}", render_term(&b.term)).expect("string write");
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn render_inst(f: &Function, inst: &Inst) -> String {
+    use Inst::*;
+    let ty_of = |r: crate::VReg| f.reg_type(r);
+    match inst {
+        Bin { op, ty, signed, dst, a, b } => {
+            format!("{dst} = {op:?}.{ty}{} {a}, {b}", if *signed { ".s" } else { "" })
+        }
+        Un { op, ty, dst, a } => format!("{dst} = {op:?}.{ty} {a}"),
+        Fma { ty, dst, a, b, c } => format!("{dst} = fma.{ty} {a}, {b}, {c}"),
+        Cmp { pred, ty, signed, dst, a, b } => {
+            format!("{dst} = cmp.{pred:?}.{ty}{} {a}, {b}", if *signed { ".s" } else { "" })
+        }
+        Select { ty, dst, cond, a, b } => format!("{dst} = select.{ty} {cond}, {a}, {b}"),
+        Cvt { to, from, signed, width, dst, a } => {
+            format!("{dst} = cvt.{to}.{from}{} x{width} {a}", if *signed { ".s" } else { "" })
+        }
+        Load { ty, space, dst, addr } => format!("{dst} = ld.{space:?}.{ty} [{addr}]"),
+        Store { ty, space, addr, value } => format!("st.{space:?}.{ty} [{addr}], {value}"),
+        Atom { ty, space, op, dst, addr, a, b, .. } => {
+            let extra = b.map(|b| format!(", {b}")).unwrap_or_default();
+            format!("{dst} = atom.{space:?}.{op:?}.{ty} [{addr}], {a}{extra}")
+        }
+        Insert { ty, dst, vec, elem, lane } => {
+            format!("{dst} = insert.{ty} {vec}, {elem}, lane {lane}")
+        }
+        Extract { ty, dst, vec, lane } => format!("{dst} = extract.{ty} {vec}, lane {lane}"),
+        Splat { ty, dst, a } => format!("{dst} = splat.{ty} {a}"),
+        Reduce { op, ty, dst, vec } => format!("{dst} = reduce.{op:?}.{ty} {vec}"),
+        CtxRead { field, lane, dst } => {
+            format!("{dst} = ctx[{lane}].{field:?} : {}", ty_of(*dst))
+        }
+        SetResumePoint { lane, value } => format!("ctx[{lane}].resume_point = {value}"),
+        SetResumeStatus { status } => format!("resume_status = {status:?}"),
+        Vote { op, dst, a } => format!("{dst} = vote.{op:?} {a}"),
+        Mov { ty, dst, a } => format!("{dst} = mov.{ty} {a}"),
+    }
+}
+
+fn render_term(t: &Term) -> String {
+    match t {
+        Term::Br(b) => format!("br {b}"),
+        Term::CondBr { cond, taken, fall } => format!("br {cond}, {taken}, {fall}"),
+        Term::Switch { value, cases, default } => {
+            let cs: Vec<String> = cases.iter().map(|(v, b)| format!("{v} -> {b}")).collect();
+            format!("switch {value} [{}], default {default}", cs.join(", "))
+        }
+        Term::Ret => "ret".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::Block;
+    use crate::inst::{BinOp, BlockId};
+    use crate::types::{STy, Type};
+    use crate::value::Value;
+
+    #[test]
+    fn prints_every_block_and_inst() {
+        let mut f = Function::new("demo", 2);
+        let a = f.new_reg(Type::vector(STy::F32, 2));
+        let mut b0 = Block::new("entry");
+        b0.insts.push(Inst::Splat { ty: Type::vector(STy::F32, 2), dst: a, a: Value::ImmF(0.0) });
+        b0.term = Term::Br(BlockId(1));
+        f.add_block(b0);
+        let mut b1 = Block::new("exit");
+        b1.insts.push(Inst::Bin {
+            op: BinOp::Add,
+            ty: Type::vector(STy::F32, 2),
+            signed: false,
+            dst: a,
+            a: Value::Reg(a),
+            b: Value::Reg(a),
+        });
+        b1.term = Term::Ret;
+        f.add_block(b1);
+
+        let text = print_function(&f);
+        assert!(text.contains("fn demo (warp_size=2)"));
+        assert!(text.contains("splat.<2 x f32>"));
+        assert!(text.contains("br b1"));
+        assert!(text.contains("ret"));
+    }
+}

@@ -1,0 +1,164 @@
+//! Scalar and vector types of the IR.
+
+use std::fmt;
+
+/// Scalar element kind. `I64` doubles as the pointer type; `I1` is the
+/// boolean/predicate type produced by comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum STy {
+    /// 1-bit boolean.
+    I1,
+    /// 8-bit integer.
+    I8,
+    /// 16-bit integer.
+    I16,
+    /// 32-bit integer.
+    I32,
+    /// 64-bit integer / pointer.
+    I64,
+    /// IEEE-754 single precision.
+    F32,
+    /// IEEE-754 double precision.
+    F64,
+}
+
+impl STy {
+    /// Size in bytes when stored to memory (I1 stores as one byte).
+    pub fn size_bytes(self) -> usize {
+        match self {
+            STy::I1 | STy::I8 => 1,
+            STy::I16 => 2,
+            STy::I32 | STy::F32 => 4,
+            STy::I64 | STy::F64 => 8,
+        }
+    }
+
+    /// Whether the kind is floating point.
+    pub fn is_float(self) -> bool {
+        matches!(self, STy::F32 | STy::F64)
+    }
+
+    /// Whether the kind is an integer (including `I1`).
+    pub fn is_int(self) -> bool {
+        !self.is_float()
+    }
+
+    /// Bit width of the integer kinds (1, 8, 16, 32, 64); floats report
+    /// their storage width.
+    pub fn bits(self) -> u32 {
+        match self {
+            STy::I1 => 1,
+            STy::I8 => 8,
+            STy::I16 => 16,
+            STy::I32 | STy::F32 => 32,
+            STy::I64 | STy::F64 => 64,
+        }
+    }
+}
+
+impl fmt::Display for STy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            STy::I1 => "i1",
+            STy::I8 => "i8",
+            STy::I16 => "i16",
+            STy::I32 => "i32",
+            STy::I64 => "i64",
+            STy::F32 => "f32",
+            STy::F64 => "f64",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A possibly-vector type: `width` lanes of `scalar`. Width 1 is scalar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Type {
+    /// Element kind.
+    pub scalar: STy,
+    /// Lane count; 1 for scalars.
+    pub width: u32,
+}
+
+impl Type {
+    /// A scalar type.
+    pub const fn scalar(scalar: STy) -> Self {
+        Type { scalar, width: 1 }
+    }
+
+    /// A vector type of `width` lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn vector(scalar: STy, width: u32) -> Self {
+        assert!(width > 0, "vector width must be positive");
+        Type { scalar, width }
+    }
+
+    /// Whether this is a vector (width > 1).
+    pub fn is_vector(self) -> bool {
+        self.width > 1
+    }
+
+    /// The same element kind at scalar width.
+    pub fn element(self) -> Type {
+        Type::scalar(self.scalar)
+    }
+
+    /// The same element kind at the given width.
+    pub fn with_width(self, width: u32) -> Type {
+        Type { scalar: self.scalar, width }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.width == 1 {
+            write!(f, "{}", self.scalar)
+        } else {
+            write!(f, "<{} x {}>", self.width, self.scalar)
+        }
+    }
+}
+
+impl From<STy> for Type {
+    fn from(s: STy) -> Self {
+        Type::scalar(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(Type::scalar(STy::F32).to_string(), "f32");
+        assert_eq!(Type::vector(STy::I32, 4).to_string(), "<4 x i32>");
+    }
+
+    #[test]
+    fn widths() {
+        let t = Type::vector(STy::F32, 4);
+        assert!(t.is_vector());
+        assert_eq!(t.element(), Type::scalar(STy::F32));
+        assert_eq!(t.with_width(2).width, 2);
+        assert!(!Type::scalar(STy::I1).is_vector());
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_panics() {
+        Type::vector(STy::I32, 0);
+    }
+
+    #[test]
+    fn sizes_and_kinds() {
+        assert_eq!(STy::I1.size_bytes(), 1);
+        assert_eq!(STy::F64.size_bytes(), 8);
+        assert!(STy::F32.is_float());
+        assert!(STy::I64.is_int());
+        assert_eq!(STy::I1.bits(), 1);
+    }
+}

@@ -1,0 +1,98 @@
+//! Virtual registers and values.
+
+use std::fmt;
+
+/// A virtual register. The owning [`Function`](crate::Function) maps each
+/// register to its [`Type`](crate::Type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VReg(pub u32);
+
+impl VReg {
+    /// Dense index for table lookups.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// An operand value: a register or a scalar immediate.
+///
+/// Immediates are always scalar; vector constants are built with
+/// [`Inst::Splat`](crate::Inst::Splat). Integer immediates are stored as
+/// `i64` bit patterns and interpreted at the instruction's type.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// A virtual register.
+    Reg(VReg),
+    /// An integer immediate.
+    ImmI(i64),
+    /// A floating-point immediate.
+    ImmF(f64),
+}
+
+impl Value {
+    /// The register, when this value is one.
+    pub fn as_reg(&self) -> Option<VReg> {
+        match self {
+            Value::Reg(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// Whether this value is a compile-time constant.
+    pub fn is_const(&self) -> bool {
+        !matches!(self, Value::Reg(_))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Reg(r) => write!(f, "{r}"),
+            Value::ImmI(v) => write!(f, "{v}"),
+            Value::ImmF(v) => write!(f, "{v:?}"),
+        }
+    }
+}
+
+impl From<VReg> for Value {
+    fn from(r: VReg) -> Self {
+        Value::Reg(r)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::ImmI(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::ImmF(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(VReg(3)).as_reg(), Some(VReg(3)));
+        assert_eq!(Value::from(4i64), Value::ImmI(4));
+        assert!(Value::from(1.5f64).is_const());
+        assert!(!Value::Reg(VReg(0)).is_const());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Reg(VReg(7)).to_string(), "%7");
+        assert_eq!(Value::ImmI(-2).to_string(), "-2");
+    }
+}

@@ -1,0 +1,395 @@
+//! IR well-formedness verification. Every pass is expected to preserve
+//! `verify(f).is_ok()`.
+
+use std::fmt;
+
+use crate::function::Function;
+use crate::inst::{BinOp, CtxField, Inst, ReduceOp, Term};
+use crate::types::{STy, Type};
+use crate::value::{VReg, Value};
+
+/// A verification failure: function, block label and message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyError {
+    /// Function name.
+    pub function: String,
+    /// Block label.
+    pub block: String,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "verify error in `{}`, block `{}`: {}", self.function, self.block, self.message)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verify structural and type well-formedness of a function.
+///
+/// Checks: register indices in range, branch targets in range, operand
+/// types consistent with instruction types, scalar conditions on
+/// terminators, and lane indices within instruction width.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] found.
+pub fn verify(f: &Function) -> Result<(), VerifyError> {
+    if f.blocks.is_empty() {
+        return Err(VerifyError {
+            function: f.name.clone(),
+            block: String::new(),
+            message: "function has no blocks".into(),
+        });
+    }
+    for block in &f.blocks {
+        let fail = |message: String| VerifyError {
+            function: f.name.clone(),
+            block: block.label.clone(),
+            message,
+        };
+        for inst in &block.insts {
+            check_inst(f, inst).map_err(|m| fail(format!("{m}: {inst:?}")))?;
+        }
+        for target in block.term.successors() {
+            if target.index() >= f.blocks.len() {
+                return Err(fail(format!("branch target {target} out of range")));
+            }
+        }
+        match &block.term {
+            Term::CondBr { cond, .. } => {
+                let t = value_type(f, *cond, Type::scalar(STy::I1))
+                    .map_err(fail)?;
+                if t != Type::scalar(STy::I1) {
+                    return Err(fail(format!("cond_br condition has type {t}, expected i1")));
+                }
+            }
+            Term::Switch { value, .. } => {
+                if let Value::Reg(r) = value {
+                    let t = reg_type(f, *r).map_err(fail)?;
+                    if t.is_vector() || t.scalar.is_float() {
+                        return Err(fail(format!("switch value has type {t}, expected scalar int")));
+                    }
+                }
+            }
+            Term::Br(_) | Term::Ret => {}
+        }
+    }
+    Ok(())
+}
+
+fn reg_type(f: &Function, r: VReg) -> Result<Type, String> {
+    f.regs
+        .get(r.index())
+        .copied()
+        .ok_or_else(|| format!("register {r} out of range"))
+}
+
+/// Type of a value: register types come from the function; immediates
+/// adopt `expected`.
+fn value_type(f: &Function, v: Value, expected: Type) -> Result<Type, String> {
+    match v {
+        Value::Reg(r) => reg_type(f, r),
+        Value::ImmI(_) | Value::ImmF(_) => Ok(expected),
+    }
+}
+
+fn expect(f: &Function, v: Value, expected: Type, what: &str) -> Result<(), String> {
+    let t = value_type(f, v, expected)?;
+    if t != expected {
+        return Err(format!("{what} has type {t}, expected {expected}"));
+    }
+    // Float immediates in integer positions and vice versa.
+    match v {
+        Value::ImmF(_) if !expected.scalar.is_float() => {
+            Err(format!("{what} is a float immediate at integer type {expected}"))
+        }
+        _ => Ok(()),
+    }
+}
+
+fn expect_dst(f: &Function, dst: VReg, expected: Type) -> Result<(), String> {
+    let t = reg_type(f, dst)?;
+    if t != expected {
+        return Err(format!("destination {dst} has type {t}, expected {expected}"));
+    }
+    Ok(())
+}
+
+fn check_inst(f: &Function, inst: &Inst) -> Result<(), String> {
+    use Inst::*;
+    match inst {
+        Bin { op, ty, dst, a, b, .. } => {
+            if matches!(op, BinOp::Rem) && ty.scalar.is_float() {
+                return Err("rem on float type".into());
+            }
+            expect_dst(f, *dst, *ty)?;
+            expect(f, *a, *ty, "lhs")?;
+            // Shift amounts are scalar-typed i32 broadcast per lane; allow
+            // the operation type as well for uniformity.
+            if matches!(op, BinOp::Shl | BinOp::Shr) {
+                let alt = Type { scalar: STy::I32, width: ty.width };
+                if expect(f, *b, *ty, "shift amount").is_err() {
+                    expect(f, *b, alt, "shift amount")?;
+                }
+                Ok(())
+            } else {
+                expect(f, *b, *ty, "rhs")
+            }
+        }
+        Un { op, ty, dst, a } => {
+            if op.is_transcendental() && !ty.scalar.is_float() {
+                return Err(format!("{op:?} on non-float type {ty}"));
+            }
+            expect_dst(f, *dst, *ty)?;
+            expect(f, *a, *ty, "operand")
+        }
+        Fma { ty, dst, a, b, c } => {
+            expect_dst(f, *dst, *ty)?;
+            expect(f, *a, *ty, "a")?;
+            expect(f, *b, *ty, "b")?;
+            expect(f, *c, *ty, "c")
+        }
+        Cmp { ty, dst, a, b, .. } => {
+            expect_dst(f, *dst, Type { scalar: STy::I1, width: ty.width })?;
+            expect(f, *a, *ty, "lhs")?;
+            expect(f, *b, *ty, "rhs")
+        }
+        Select { ty, dst, cond, a, b } => {
+            expect_dst(f, *dst, *ty)?;
+            expect(f, *cond, Type { scalar: STy::I1, width: ty.width }, "condition")?;
+            expect(f, *a, *ty, "true value")?;
+            expect(f, *b, *ty, "false value")
+        }
+        Cvt { to, from, width, dst, a, .. } => {
+            expect_dst(f, *dst, Type { scalar: *to, width: *width })?;
+            expect(f, *a, Type { scalar: *from, width: *width }, "operand")
+        }
+        Load { ty, dst, addr, .. } => {
+            expect_dst(f, *dst, Type::scalar(*ty))?;
+            check_addr(f, *addr)
+        }
+        Store { ty, addr, value, .. } => {
+            check_addr(f, *addr)?;
+            expect(f, *value, Type::scalar(*ty), "stored value")
+        }
+        Atom { ty, dst, addr, a, b, .. } => {
+            expect_dst(f, *dst, Type::scalar(*ty))?;
+            check_addr(f, *addr)?;
+            expect(f, *a, Type::scalar(*ty), "atomic operand")?;
+            if let Some(b) = b {
+                expect(f, *b, Type::scalar(*ty), "swap value")?;
+            }
+            Ok(())
+        }
+        Insert { ty, dst, vec, elem, lane } => {
+            if !ty.is_vector() {
+                return Err("insertelement requires a vector type".into());
+            }
+            if *lane >= ty.width {
+                return Err(format!("lane {lane} out of range for {ty}"));
+            }
+            expect_dst(f, *dst, *ty)?;
+            expect(f, *vec, *ty, "vector")?;
+            expect(f, *elem, ty.element(), "element")
+        }
+        Extract { ty, dst, vec, lane } => {
+            if !ty.is_vector() {
+                return Err("extractelement requires a vector type".into());
+            }
+            if *lane >= ty.width {
+                return Err(format!("lane {lane} out of range for {ty}"));
+            }
+            expect_dst(f, *dst, ty.element())?;
+            expect(f, *vec, *ty, "vector")
+        }
+        Splat { ty, dst, a } => {
+            if !ty.is_vector() {
+                return Err("splat requires a vector type".into());
+            }
+            expect_dst(f, *dst, *ty)?;
+            expect(f, *a, ty.element(), "broadcast value")
+        }
+        Reduce { op, ty, dst, vec } => {
+            if !ty.is_vector() {
+                return Err("reduce requires a vector type".into());
+            }
+            let dst_ty = match op {
+                ReduceOp::Add => Type::scalar(STy::I32),
+                ReduceOp::All | ReduceOp::Any => Type::scalar(STy::I1),
+            };
+            expect_dst(f, *dst, dst_ty)?;
+            expect(f, *vec, *ty, "vector")
+        }
+        CtxRead { field, lane, dst } => {
+            let want = match field {
+                CtxField::LocalBase => Type::scalar(STy::I64),
+                _ => Type::scalar(STy::I32),
+            };
+            let _ = lane;
+            expect_dst(f, *dst, want)
+        }
+        SetResumePoint { value, .. } => {
+            // Any scalar integer value is acceptable.
+            if let Value::Reg(r) = value {
+                let t = reg_type(f, *r)?;
+                if t.is_vector() || t.scalar.is_float() {
+                    return Err(format!("resume point has type {t}, expected scalar int"));
+                }
+            }
+            Ok(())
+        }
+        SetResumeStatus { .. } => Ok(()),
+        Vote { dst, a, .. } => {
+            expect_dst(f, *dst, Type::scalar(STy::I1))?;
+            expect(f, *a, Type::scalar(STy::I1), "vote operand")
+        }
+        Mov { ty, dst, a } => {
+            expect_dst(f, *dst, *ty)?;
+            expect(f, *a, *ty, "source")
+        }
+    }
+}
+
+fn check_addr(f: &Function, addr: Value) -> Result<(), String> {
+    match addr {
+        Value::Reg(r) => {
+            let t = reg_type(f, r)?;
+            if t.is_vector() || t.scalar.is_float() {
+                return Err(format!("address has type {t}, expected scalar int"));
+            }
+            Ok(())
+        }
+        Value::ImmI(_) => Ok(()),
+        Value::ImmF(_) => Err("address is a float immediate".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::Block;
+    use crate::inst::{BinOp, UnOp};
+
+    fn func_with(insts: Vec<Inst>, regs: Vec<Type>) -> Function {
+        let mut f = Function::new("t", 1);
+        f.regs = regs;
+        let mut b = Block::new("entry");
+        b.insts = insts;
+        b.term = Term::Ret;
+        f.add_block(b);
+        f
+    }
+
+    #[test]
+    fn accepts_well_typed() {
+        let f = func_with(
+            vec![Inst::Bin {
+                op: BinOp::Add,
+                ty: Type::scalar(STy::I32),
+                signed: false,
+                dst: VReg(0),
+                a: Value::ImmI(1),
+                b: Value::ImmI(2),
+            }],
+            vec![Type::scalar(STy::I32)],
+        );
+        verify(&f).unwrap();
+    }
+
+    #[test]
+    fn rejects_type_mismatch() {
+        let f = func_with(
+            vec![Inst::Bin {
+                op: BinOp::Add,
+                ty: Type::scalar(STy::F32),
+                signed: false,
+                dst: VReg(0),
+                a: Value::ImmF(1.0),
+                b: Value::ImmF(2.0),
+            }],
+            vec![Type::scalar(STy::I32)],
+        );
+        assert!(verify(&f).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_register() {
+        let f = func_with(
+            vec![Inst::Mov {
+                ty: Type::scalar(STy::I32),
+                dst: VReg(5),
+                a: Value::ImmI(0),
+            }],
+            vec![Type::scalar(STy::I32)],
+        );
+        assert!(verify(&f).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_branch_target() {
+        let mut f = Function::new("t", 1);
+        let mut b = Block::new("entry");
+        b.term = Term::Br(crate::BlockId(9));
+        f.add_block(b);
+        assert!(verify(&f).is_err());
+    }
+
+    #[test]
+    fn rejects_vector_condition() {
+        let mut f = Function::new("t", 1);
+        let c = f.new_reg(Type::vector(STy::I1, 4));
+        let mut b = Block::new("entry");
+        b.term = Term::CondBr { cond: Value::Reg(c), taken: crate::BlockId(0), fall: crate::BlockId(0) };
+        f.add_block(b);
+        assert!(verify(&f).is_err());
+    }
+
+    #[test]
+    fn rejects_lane_out_of_range() {
+        let mut f = Function::new("t", 1);
+        let v = f.new_reg(Type::vector(STy::F32, 2));
+        let d = f.new_reg(Type::scalar(STy::F32));
+        let mut b = Block::new("entry");
+        b.insts.push(Inst::Extract {
+            ty: Type::vector(STy::F32, 2),
+            dst: d,
+            vec: Value::Reg(v),
+            lane: 2,
+        });
+        f.add_block(b);
+        assert!(verify(&f).is_err());
+    }
+
+    #[test]
+    fn rejects_float_rem() {
+        let f = func_with(
+            vec![Inst::Bin {
+                op: BinOp::Rem,
+                ty: Type::scalar(STy::F32),
+                signed: false,
+                dst: VReg(0),
+                a: Value::ImmF(1.0),
+                b: Value::ImmF(2.0),
+            }],
+            vec![Type::scalar(STy::F32)],
+        );
+        assert!(verify(&f).is_err());
+    }
+
+    #[test]
+    fn rejects_int_transcendental() {
+        let f = func_with(
+            vec![Inst::Un {
+                op: UnOp::Sin,
+                ty: Type::scalar(STy::I32),
+                dst: VReg(0),
+                a: Value::ImmI(1),
+            }],
+            vec![Type::scalar(STy::I32)],
+        );
+        assert!(verify(&f).is_err());
+    }
+}

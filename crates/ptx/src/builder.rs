@@ -1,0 +1,289 @@
+//! Programmatic construction of kernels, as an alternative to the parser.
+
+use crate::error::PtxError;
+use crate::instruction::{CmpOp, Instruction, MulHalf, Opcode};
+use crate::kernel::{BasicBlock, Kernel};
+use crate::operand::{Address, Operand, RegId, SpecialReg};
+use crate::types::{AddressSpace, ScalarType};
+use crate::validate::validate_kernel;
+
+/// Builder for assembling a [`Kernel`] in code.
+///
+/// ```
+/// use dpvk_ptx::{KernelBuilder, ScalarType, AddressSpace, Operand, SpecialReg, Dim};
+///
+/// let mut b = KernelBuilder::new("scale");
+/// let out = b.param("out", ScalarType::U64);
+/// let tid = b.reg("tid", ScalarType::U32);
+/// let addr = b.reg("addr", ScalarType::U64);
+/// b.block("entry");
+/// b.mov(tid, Operand::Special(SpecialReg::Tid(Dim::X)));
+/// b.cvt(addr, ScalarType::U32, tid);
+/// b.ld(ScalarType::U64, addr, AddressSpace::Param, dpvk_ptx::Address::param("out"));
+/// b.ret();
+/// let kernel = b.finish()?;
+/// assert_eq!(kernel.name, "scale");
+/// # let _ = out;
+/// # Ok::<(), dpvk_ptx::PtxError>(())
+/// ```
+#[derive(Debug)]
+pub struct KernelBuilder {
+    kernel: Kernel,
+    current: Option<BasicBlock>,
+}
+
+impl KernelBuilder {
+    /// Start building a kernel with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        KernelBuilder { kernel: Kernel::new(name), current: None }
+    }
+
+    /// Declare a parameter; returns its buffer offset.
+    pub fn param(&mut self, name: impl Into<String>, ty: ScalarType) -> usize {
+        self.kernel.add_param(name, ty)
+    }
+
+    /// Declare a register.
+    pub fn reg(&mut self, name: impl Into<String>, ty: ScalarType) -> RegId {
+        let name = name.into();
+        self.kernel.add_register(format!("%{name}"), ty)
+    }
+
+    /// Declare a `.shared` or `.local` array; returns its space offset.
+    pub fn var(
+        &mut self,
+        name: impl Into<String>,
+        ty: ScalarType,
+        len: usize,
+        space: AddressSpace,
+    ) -> usize {
+        self.kernel.add_var(name, ty, len, space)
+    }
+
+    /// Open a new basic block; the previous block (if any) is sealed.
+    pub fn block(&mut self, label: impl Into<String>) {
+        if let Some(b) = self.current.take() {
+            self.kernel.add_block(b);
+        }
+        self.current = Some(BasicBlock::new(label));
+    }
+
+    /// Append a raw instruction to the open block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no block has been opened.
+    pub fn push(&mut self, inst: Instruction) {
+        self.current
+            .as_mut()
+            .expect("open a block with `block()` before appending instructions")
+            .instructions
+            .push(inst);
+    }
+
+    fn ty_of(&self, r: RegId) -> ScalarType {
+        self.kernel.reg_type(r)
+    }
+
+    /// `mov` into `dst`.
+    pub fn mov(&mut self, dst: RegId, src: impl Into<Operand>) {
+        let ty = self.ty_of(dst);
+        self.push(Instruction::new(Opcode::Mov, ty, Some(dst), vec![src.into()]));
+    }
+
+    /// Binary operation typed by the destination register.
+    pub fn binary(
+        &mut self,
+        opcode: Opcode,
+        dst: RegId,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) {
+        let ty = self.ty_of(dst);
+        self.push(Instruction::new(opcode, ty, Some(dst), vec![a.into(), b.into()]));
+    }
+
+    /// `add` typed by the destination register.
+    pub fn add(&mut self, dst: RegId, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.binary(Opcode::Add, dst, a, b);
+    }
+
+    /// `sub` typed by the destination register.
+    pub fn sub(&mut self, dst: RegId, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.binary(Opcode::Sub, dst, a, b);
+    }
+
+    /// `mul.lo` typed by the destination register.
+    pub fn mul(&mut self, dst: RegId, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.binary(Opcode::Mul(MulHalf::Lo), dst, a, b);
+    }
+
+    /// `mad.lo d, a, b, c` typed by the destination register.
+    pub fn mad(
+        &mut self,
+        dst: RegId,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+        c: impl Into<Operand>,
+    ) {
+        let ty = self.ty_of(dst);
+        self.push(Instruction::new(
+            Opcode::Mad,
+            ty,
+            Some(dst),
+            vec![a.into(), b.into(), c.into()],
+        ));
+    }
+
+    /// `fma.rn d, a, b, c` typed by the destination register.
+    pub fn fma(
+        &mut self,
+        dst: RegId,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+        c: impl Into<Operand>,
+    ) {
+        let ty = self.ty_of(dst);
+        self.push(Instruction::new(
+            Opcode::Fma,
+            ty,
+            Some(dst),
+            vec![a.into(), b.into(), c.into()],
+        ));
+    }
+
+    /// `setp.<cmp>` typed by operand `a`'s register type.
+    pub fn setp(&mut self, cmp: CmpOp, dst: RegId, a: RegId, b: impl Into<Operand>) {
+        let ty = self.ty_of(a);
+        self.push(Instruction::new(
+            Opcode::Setp(cmp),
+            ty,
+            Some(dst),
+            vec![Operand::Reg(a), b.into()],
+        ));
+    }
+
+    /// `selp d, a, b, p` typed by the destination register.
+    pub fn selp(
+        &mut self,
+        dst: RegId,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+        pred: RegId,
+    ) {
+        let ty = self.ty_of(dst);
+        self.push(Instruction::new(
+            Opcode::Selp,
+            ty,
+            Some(dst),
+            vec![a.into(), b.into(), Operand::Reg(pred)],
+        ));
+    }
+
+    /// `cvt.<dst_ty>.<from>` where the destination type is the register's.
+    pub fn cvt(&mut self, dst: RegId, from: ScalarType, src: RegId) {
+        let ty = self.ty_of(dst);
+        self.push(Instruction::new(Opcode::Cvt(from), ty, Some(dst), vec![Operand::Reg(src)]));
+    }
+
+    /// Load of the given type from `space` at `addr`.
+    pub fn ld(&mut self, ty: ScalarType, dst: RegId, space: AddressSpace, addr: Address) {
+        self.push(Instruction::new(Opcode::Ld(space), ty, Some(dst), vec![Operand::Addr(addr)]));
+    }
+
+    /// Store of the given type to `space` at `addr`.
+    pub fn st(&mut self, ty: ScalarType, space: AddressSpace, addr: Address, value: RegId) {
+        self.push(Instruction::new(
+            Opcode::St(space),
+            ty,
+            None,
+            vec![Operand::Addr(addr), Operand::Reg(value)],
+        ));
+    }
+
+    /// Unconditional branch to `label`.
+    pub fn bra(&mut self, label: impl Into<String>) {
+        self.push(Instruction::new(Opcode::Bra(label.into()), ScalarType::Pred, None, vec![]));
+    }
+
+    /// Branch to `label` when `pred` (optionally negated) holds.
+    pub fn bra_if(&mut self, pred: RegId, negated: bool, label: impl Into<String>) {
+        self.push(
+            Instruction::new(Opcode::Bra(label.into()), ScalarType::Pred, None, vec![])
+                .with_guard(pred, negated),
+        );
+    }
+
+    /// CTA-wide barrier.
+    pub fn bar(&mut self) {
+        self.push(Instruction::new(Opcode::Bar, ScalarType::Pred, None, vec![]));
+    }
+
+    /// Return from the kernel.
+    pub fn ret(&mut self) {
+        self.push(Instruction::new(Opcode::Ret, ScalarType::Pred, None, vec![]));
+    }
+
+    /// Read a special register into `dst`.
+    pub fn special(&mut self, dst: RegId, sr: SpecialReg) {
+        self.mov(dst, Operand::Special(sr));
+    }
+
+    /// Seal the last block, validate, and return the kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first validation error (see
+    /// [`validate_kernel`](crate::validate_kernel)).
+    pub fn finish(mut self) -> Result<Kernel, PtxError> {
+        if let Some(b) = self.current.take() {
+            self.kernel.add_block(b);
+        }
+        validate_kernel(&self.kernel)?;
+        Ok(self.kernel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operand::Dim;
+
+    #[test]
+    fn builds_a_valid_kernel() {
+        let mut b = KernelBuilder::new("k");
+        b.param("n", ScalarType::U32);
+        let tid = b.reg("tid", ScalarType::U32);
+        let n = b.reg("n", ScalarType::U32);
+        let p = b.reg("p", ScalarType::Pred);
+        b.block("entry");
+        b.special(tid, SpecialReg::Tid(Dim::X));
+        b.ld(ScalarType::U32, n, AddressSpace::Param, Address::param("n"));
+        b.setp(CmpOp::Ge, p, tid, Operand::Reg(n));
+        b.bra_if(p, false, "done");
+        b.block("body");
+        b.add(tid, Operand::Reg(tid), Operand::Imm(1));
+        b.block("done");
+        b.ret();
+        let k = b.finish().unwrap();
+        assert_eq!(k.blocks.len(), 3);
+        assert_eq!(k.registers.len(), 3);
+    }
+
+    #[test]
+    fn finish_rejects_invalid_kernel() {
+        let mut b = KernelBuilder::new("k");
+        let r = b.reg("r", ScalarType::U32);
+        b.block("entry");
+        b.add(r, Operand::Reg(r), Operand::Imm(1));
+        // No terminator: validation must fail.
+        assert!(b.finish().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "open a block")]
+    fn push_without_block_panics() {
+        let mut b = KernelBuilder::new("k");
+        b.ret();
+    }
+}

@@ -1,0 +1,433 @@
+//! Instructions of the virtual ISA.
+
+use std::fmt;
+
+use crate::error::PtxError;
+use crate::operand::{Operand, RegId};
+use crate::types::{AddressSpace, ScalarType};
+
+/// Comparison operator of `setp`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl CmpOp {
+    /// Parse a comparison token (`eq`, `lt`, ...).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PtxError::UnknownOpcode`] for unknown tokens.
+    pub fn from_token(s: &str) -> Result<Self, PtxError> {
+        Ok(match s {
+            "eq" => CmpOp::Eq,
+            "ne" => CmpOp::Ne,
+            "lt" => CmpOp::Lt,
+            "le" => CmpOp::Le,
+            "gt" => CmpOp::Gt,
+            "ge" => CmpOp::Ge,
+            other => return Err(PtxError::UnknownOpcode(format!("setp.{other}"))),
+        })
+    }
+
+    /// The token used in the textual form.
+    pub fn token(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+        }
+    }
+
+    /// Evaluate on a signed-integer interpretation.
+    pub fn eval_i64(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+
+    /// Evaluate on an unsigned-integer interpretation.
+    pub fn eval_u64(self, a: u64, b: u64) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+
+    /// Evaluate on a floating-point interpretation (ordered comparison).
+    pub fn eval_f64(self, a: f64, b: f64) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+}
+
+/// Which half of a full-width integer multiply is kept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MulHalf {
+    /// Low half (`mul.lo`).
+    Lo,
+    /// High half (`mul.hi`).
+    Hi,
+}
+
+/// Atomic read-modify-write operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AtomOp {
+    /// Atomic add; returns the old value.
+    Add,
+    /// Atomic minimum; returns the old value.
+    Min,
+    /// Atomic maximum; returns the old value.
+    Max,
+    /// Atomic exchange; returns the old value.
+    Exch,
+    /// Atomic compare-and-swap; returns the old value.
+    Cas,
+}
+
+impl AtomOp {
+    /// The token used in the textual form.
+    pub fn token(self) -> &'static str {
+        match self {
+            AtomOp::Add => "add",
+            AtomOp::Min => "min",
+            AtomOp::Max => "max",
+            AtomOp::Exch => "exch",
+            AtomOp::Cas => "cas",
+        }
+    }
+}
+
+/// Warp-wide vote mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VoteMode {
+    /// True when every active lane's predicate is true.
+    All,
+    /// True when any active lane's predicate is true.
+    Any,
+    /// True when all lanes agree (all true or all false).
+    Uni,
+}
+
+impl VoteMode {
+    /// The token used in the textual form.
+    pub fn token(self) -> &'static str {
+        match self {
+            VoteMode::All => "all",
+            VoteMode::Any => "any",
+            VoteMode::Uni => "uni",
+        }
+    }
+}
+
+/// Operation performed by an [`Instruction`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Opcode {
+    /// Integer or floating-point addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication; integers keep the selected half.
+    Mul(MulHalf),
+    /// Multiply-add `d = a*b + c`; integers keep the low half.
+    Mad,
+    /// Fused multiply-add on floats.
+    Fma,
+    /// Division.
+    Div,
+    /// Remainder (integers only).
+    Rem,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Absolute value.
+    Abs,
+    /// Negation.
+    Neg,
+    /// Bitwise and (also defined on predicates).
+    And,
+    /// Bitwise or (also defined on predicates).
+    Or,
+    /// Bitwise xor (also defined on predicates).
+    Xor,
+    /// Bitwise not (also defined on predicates).
+    Not,
+    /// Shift left.
+    Shl,
+    /// Shift right (arithmetic for signed types, logical otherwise).
+    Shr,
+    /// Compare and set predicate: `setp.<cmp>.<ty> %p, a, b`.
+    Setp(CmpOp),
+    /// Select between two values by a predicate: `selp.<ty> d, a, b, %p`.
+    Selp,
+    /// Register/immediate/special-register move.
+    Mov,
+    /// Convert from the given source type to the instruction type.
+    Cvt(ScalarType),
+    /// Load from the given space: `ld.<space>.<ty> d, [addr]`.
+    Ld(AddressSpace),
+    /// Store to the given space: `st.<space>.<ty> [addr], a`.
+    St(AddressSpace),
+    /// Atomic RMW in the given space: `atom.<space>.<op>.<ty> d, [addr], a`.
+    Atom(AddressSpace, AtomOp),
+    /// Square root.
+    Sqrt,
+    /// Reciprocal square root.
+    Rsqrt,
+    /// Reciprocal.
+    Rcp,
+    /// Sine (radians).
+    Sin,
+    /// Cosine (radians).
+    Cos,
+    /// Base-2 exponential.
+    Ex2,
+    /// Base-2 logarithm.
+    Lg2,
+    /// Warp-wide vote producing a predicate.
+    Vote(VoteMode),
+    /// Unconditional (or guarded) branch to a label.
+    Bra(String),
+    /// CTA-wide barrier.
+    Bar,
+    /// Return from the kernel (thread terminates).
+    Ret,
+    /// Terminate the thread (alias of `ret` for kernels).
+    Exit,
+}
+
+impl Opcode {
+    /// Whether this opcode ends a basic block.
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, Opcode::Bra(_) | Opcode::Ret | Opcode::Exit)
+    }
+
+    /// Whether this opcode may touch memory.
+    pub fn is_memory(&self) -> bool {
+        matches!(self, Opcode::Ld(_) | Opcode::St(_) | Opcode::Atom(..))
+    }
+
+    /// Mnemonic without type suffixes, for diagnostics.
+    pub fn mnemonic(&self) -> String {
+        match self {
+            Opcode::Add => "add".into(),
+            Opcode::Sub => "sub".into(),
+            Opcode::Mul(MulHalf::Lo) => "mul.lo".into(),
+            Opcode::Mul(MulHalf::Hi) => "mul.hi".into(),
+            Opcode::Mad => "mad.lo".into(),
+            Opcode::Fma => "fma.rn".into(),
+            Opcode::Div => "div".into(),
+            Opcode::Rem => "rem".into(),
+            Opcode::Min => "min".into(),
+            Opcode::Max => "max".into(),
+            Opcode::Abs => "abs".into(),
+            Opcode::Neg => "neg".into(),
+            Opcode::And => "and".into(),
+            Opcode::Or => "or".into(),
+            Opcode::Xor => "xor".into(),
+            Opcode::Not => "not".into(),
+            Opcode::Shl => "shl".into(),
+            Opcode::Shr => "shr".into(),
+            Opcode::Setp(c) => format!("setp.{}", c.token()),
+            Opcode::Selp => "selp".into(),
+            Opcode::Mov => "mov".into(),
+            Opcode::Cvt(from) => format!("cvt.<to>.{from}"),
+            Opcode::Ld(sp) => format!("ld.{sp}"),
+            Opcode::St(sp) => format!("st.{sp}"),
+            Opcode::Atom(sp, op) => format!("atom.{sp}.{}", op.token()),
+            Opcode::Sqrt => "sqrt".into(),
+            Opcode::Rsqrt => "rsqrt".into(),
+            Opcode::Rcp => "rcp".into(),
+            Opcode::Sin => "sin".into(),
+            Opcode::Cos => "cos".into(),
+            Opcode::Ex2 => "ex2".into(),
+            Opcode::Lg2 => "lg2".into(),
+            Opcode::Vote(m) => format!("vote.{}", m.token()),
+            Opcode::Bra(_) => "bra".into(),
+            Opcode::Bar => "bar.sync".into(),
+            Opcode::Ret => "ret".into(),
+            Opcode::Exit => "exit".into(),
+        }
+    }
+}
+
+/// Guard predicate attached to an instruction (`@%p` / `@!%p`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Guard {
+    /// The predicate register.
+    pub pred: RegId,
+    /// Whether the guard is negated (`@!%p`).
+    pub negated: bool,
+}
+
+/// One instruction of the virtual ISA.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instruction {
+    /// Optional guard predicate; when false, the instruction is a no-op
+    /// (and a guarded `bra` falls through).
+    pub guard: Option<Guard>,
+    /// Operation.
+    pub opcode: Opcode,
+    /// Operation type (destination type for `cvt`).
+    pub ty: ScalarType,
+    /// Destination register, when the operation produces a value.
+    pub dst: Option<RegId>,
+    /// Source operands in instruction order.
+    pub srcs: Vec<Operand>,
+}
+
+impl Instruction {
+    /// Construct an unguarded instruction.
+    pub fn new(opcode: Opcode, ty: ScalarType, dst: Option<RegId>, srcs: Vec<Operand>) -> Self {
+        Instruction { guard: None, opcode, ty, dst, srcs }
+    }
+
+    /// Attach a guard predicate.
+    pub fn with_guard(mut self, pred: RegId, negated: bool) -> Self {
+        self.guard = Some(Guard { pred, negated });
+        self
+    }
+
+    /// Registers read by this instruction, including the guard and address
+    /// bases. Duplicates are possible when a register appears twice.
+    pub fn regs_read(&self) -> Vec<RegId> {
+        let mut out = Vec::with_capacity(self.srcs.len() + 1);
+        if let Some(g) = self.guard {
+            out.push(g.pred);
+        }
+        for s in &self.srcs {
+            out.extend(s.regs_read());
+        }
+        out
+    }
+
+    /// The register written by this instruction, if any.
+    pub fn reg_written(&self) -> Option<RegId> {
+        self.dst
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(g) = self.guard {
+            write!(f, "@{}%{} ", if g.negated { "!" } else { "" }, g.pred.0)?;
+        }
+        match &self.opcode {
+            Opcode::Bra(label) => {
+                write!(f, "bra {label};")?;
+                return Ok(());
+            }
+            Opcode::Bar => {
+                write!(f, "bar.sync 0;")?;
+                return Ok(());
+            }
+            Opcode::Ret => {
+                write!(f, "ret;")?;
+                return Ok(());
+            }
+            Opcode::Exit => {
+                write!(f, "exit;")?;
+                return Ok(());
+            }
+            Opcode::Cvt(from) => {
+                write!(f, "cvt.{}.{}", self.ty, from)?;
+            }
+            op => {
+                write!(f, "{}.{}", op.mnemonic(), self.ty)?;
+            }
+        }
+        let mut first = true;
+        if let Some(d) = self.dst {
+            write!(f, " {d}")?;
+            first = false;
+        }
+        for s in &self.srcs {
+            if first {
+                write!(f, " {s}")?;
+                first = false;
+            } else {
+                write!(f, ", {s}")?;
+            }
+        }
+        write!(f, ";")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_eval() {
+        assert!(CmpOp::Lt.eval_i64(-1, 0));
+        assert!(!CmpOp::Lt.eval_u64(u64::MAX, 0));
+        assert!(CmpOp::Ge.eval_f64(1.5, 1.5));
+        assert!(CmpOp::Ne.eval_f64(f64::NAN, f64::NAN));
+        assert!(!CmpOp::Eq.eval_f64(f64::NAN, f64::NAN));
+    }
+
+    #[test]
+    fn terminators() {
+        assert!(Opcode::Bra("l".into()).is_terminator());
+        assert!(Opcode::Ret.is_terminator());
+        assert!(!Opcode::Bar.is_terminator());
+        assert!(!Opcode::Add.is_terminator());
+    }
+
+    #[test]
+    fn regs_read_includes_guard() {
+        let i = Instruction::new(
+            Opcode::Add,
+            ScalarType::U32,
+            Some(RegId(0)),
+            vec![Operand::Reg(RegId(1)), Operand::Imm(2)],
+        )
+        .with_guard(RegId(9), true);
+        assert_eq!(i.regs_read(), vec![RegId(9), RegId(1)]);
+        assert_eq!(i.reg_written(), Some(RegId(0)));
+    }
+
+    #[test]
+    fn display_formats() {
+        let i = Instruction::new(
+            Opcode::Add,
+            ScalarType::F32,
+            Some(RegId(1)),
+            vec![Operand::Reg(RegId(2)), Operand::ImmF(1.0)],
+        );
+        assert_eq!(i.to_string(), "add.f32 %1, %2, 1.0;");
+        let b = Instruction::new(Opcode::Bra("head".into()), ScalarType::Pred, None, vec![])
+            .with_guard(RegId(3), false);
+        assert_eq!(b.to_string(), "@%3 bra head;");
+    }
+}

@@ -1,0 +1,321 @@
+//! Tokenizer for the textual kernel format.
+
+use crate::error::PtxError;
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Bare word, possibly dotted: opcodes (`add.f32`), labels, names.
+    Word(String),
+    /// Directive starting with `.` (`.kernel`, `.reg`, `.param`, ...).
+    Directive(String),
+    /// Register reference starting with `%`, possibly dotted (`%tid.x`).
+    Register(String),
+    /// Integer literal (decimal or `0x` hexadecimal).
+    Int(i64),
+    /// Floating-point literal (decimal, `0f`/`0d` raw-bits forms).
+    Float(f64),
+    /// Single punctuation character: `(){}[],;:@!+<>-`.
+    Punct(char),
+}
+
+/// A token together with its source line (1-based).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+fn is_word_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$'
+}
+
+/// Tokenize kernel source text.
+///
+/// Comments (`// ...` and `/* ... */`) are skipped.
+///
+/// # Errors
+///
+/// Returns [`PtxError::Lex`] on malformed numeric literals or unexpected
+/// characters.
+pub fn tokenize(src: &str) -> Result<Vec<Spanned>, PtxError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let n = bytes.len();
+
+    let lex_err = |line: u32, col: u32, message: &str| PtxError::Lex {
+        line,
+        col,
+        message: message.to_string(),
+    };
+
+    while i < n {
+        let c = bytes[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n {
+            if bytes[i + 1] == '/' {
+                while i < n && bytes[i] != '\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            if bytes[i + 1] == '*' {
+                i += 2;
+                while i + 1 < n && !(bytes[i] == '*' && bytes[i + 1] == '/') {
+                    if bytes[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                if i + 1 >= n {
+                    return Err(lex_err(line, 0, "unterminated block comment"));
+                }
+                i += 2;
+                continue;
+            }
+        }
+        // Registers.
+        if c == '%' {
+            let start = i + 1;
+            let mut j = start;
+            while j < n && is_word_char(bytes[j]) {
+                j += 1;
+            }
+            if j == start {
+                return Err(lex_err(line, i as u32, "`%` not followed by a register name"));
+            }
+            let name: String = bytes[start..j].iter().collect();
+            out.push(Spanned { token: Token::Register(name), line });
+            i = j;
+            continue;
+        }
+        // Directives.
+        if c == '.' {
+            let start = i + 1;
+            let mut j = start;
+            while j < n && is_word_char(bytes[j]) && bytes[j] != '.' {
+                j += 1;
+            }
+            if j == start {
+                return Err(lex_err(line, i as u32, "`.` not followed by a directive name"));
+            }
+            let name: String = bytes[start..j].iter().collect();
+            out.push(Spanned { token: Token::Directive(name), line });
+            i = j;
+            continue;
+        }
+        // Numbers (optionally negative).
+        if c.is_ascii_digit()
+            || (c == '-' && i + 1 < n && (bytes[i + 1].is_ascii_digit() || bytes[i + 1] == '.'))
+        {
+            let start = i;
+            let mut j = i;
+            if bytes[j] == '-' {
+                j += 1;
+            }
+            // Raw-bits float forms: 0fXXXXXXXX / 0dXXXXXXXXXXXXXXXX.
+            if j + 1 < n && bytes[j] == '0' && (bytes[j + 1] == 'f' || bytes[j + 1] == 'd') {
+                let is_f32 = bytes[j + 1] == 'f';
+                let hex_start = j + 2;
+                let mut k = hex_start;
+                while k < n && bytes[k].is_ascii_hexdigit() {
+                    k += 1;
+                }
+                let digits: String = bytes[hex_start..k].iter().collect();
+                let expected = if is_f32 { 8 } else { 16 };
+                if digits.len() == expected {
+                    let neg = bytes[start] == '-';
+                    let value = if is_f32 {
+                        let bits = u32::from_str_radix(&digits, 16)
+                            .map_err(|_| lex_err(line, start as u32, "bad 0f literal"))?;
+                        f32::from_bits(bits) as f64
+                    } else {
+                        let bits = u64::from_str_radix(&digits, 16)
+                            .map_err(|_| lex_err(line, start as u32, "bad 0d literal"))?;
+                        f64::from_bits(bits)
+                    };
+                    out.push(Spanned {
+                        token: Token::Float(if neg { -value } else { value }),
+                        line,
+                    });
+                    i = k;
+                    continue;
+                }
+            }
+            // Hexadecimal integers.
+            if j + 1 < n && bytes[j] == '0' && (bytes[j + 1] == 'x' || bytes[j + 1] == 'X') {
+                let hex_start = j + 2;
+                let mut k = hex_start;
+                while k < n && bytes[k].is_ascii_hexdigit() {
+                    k += 1;
+                }
+                let digits: String = bytes[hex_start..k].iter().collect();
+                if digits.is_empty() {
+                    return Err(lex_err(line, start as u32, "empty hex literal"));
+                }
+                let mag = u64::from_str_radix(&digits, 16)
+                    .map_err(|_| lex_err(line, start as u32, "hex literal out of range"))? as i64;
+                let value = if bytes[start] == '-' { -mag } else { mag };
+                out.push(Spanned { token: Token::Int(value), line });
+                i = k;
+                continue;
+            }
+            // Decimal integer or float.
+            let mut k = j;
+            let mut is_float = false;
+            while k < n {
+                let ch = bytes[k];
+                if ch.is_ascii_digit() {
+                    k += 1;
+                } else if ch == '.' && !is_float && k + 1 < n && bytes[k + 1].is_ascii_digit() {
+                    is_float = true;
+                    k += 1;
+                } else if (ch == 'e' || ch == 'E')
+                    && k + 1 < n
+                    && (bytes[k + 1].is_ascii_digit()
+                        || ((bytes[k + 1] == '+' || bytes[k + 1] == '-')
+                            && k + 2 < n
+                            && bytes[k + 2].is_ascii_digit()))
+                {
+                    is_float = true;
+                    k += 1;
+                    if bytes[k] == '+' || bytes[k] == '-' {
+                        k += 1;
+                    }
+                } else {
+                    break;
+                }
+            }
+            let text: String = bytes[start..k].iter().collect();
+            if is_float {
+                let v: f64 = text
+                    .parse()
+                    .map_err(|_| lex_err(line, start as u32, "bad float literal"))?;
+                out.push(Spanned { token: Token::Float(v), line });
+            } else {
+                let v: i64 = text
+                    .parse()
+                    .map_err(|_| lex_err(line, start as u32, "integer literal out of range"))?;
+                out.push(Spanned { token: Token::Int(v), line });
+            }
+            i = k;
+            continue;
+        }
+        // Words.
+        if c.is_ascii_alphabetic() || c == '_' || c == '$' {
+            let start = i;
+            let mut j = i;
+            while j < n && is_word_char(bytes[j]) {
+                j += 1;
+            }
+            let w: String = bytes[start..j].iter().collect();
+            out.push(Spanned { token: Token::Word(w), line });
+            i = j;
+            continue;
+        }
+        // Punctuation.
+        if "(){}[],;:@!+<>-".contains(c) {
+            out.push(Spanned { token: Token::Punct(c), line });
+            i += 1;
+            continue;
+        }
+        return Err(lex_err(line, i as u32, &format!("unexpected character `{c}`")));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn words_and_directives() {
+        assert_eq!(
+            toks(".kernel foo"),
+            vec![Token::Directive("kernel".into()), Token::Word("foo".into())]
+        );
+    }
+
+    #[test]
+    fn dotted_mnemonics_are_one_word() {
+        assert_eq!(toks("setp.ge.u32"), vec![Token::Word("setp.ge.u32".into())]);
+    }
+
+    #[test]
+    fn registers_keep_dots() {
+        assert_eq!(
+            toks("%tid.x %r1"),
+            vec![Token::Register("tid.x".into()), Token::Register("r1".into())]
+        );
+    }
+
+    #[test]
+    fn numeric_literals() {
+        assert_eq!(toks("42"), vec![Token::Int(42)]);
+        assert_eq!(toks("-7"), vec![Token::Int(-7)]);
+        assert_eq!(toks("0x1F"), vec![Token::Int(31)]);
+        assert_eq!(toks("1.5"), vec![Token::Float(1.5)]);
+        assert_eq!(toks("2e3"), vec![Token::Float(2000.0)]);
+        assert_eq!(toks("0f3F800000"), vec![Token::Float(1.0)]);
+        assert_eq!(toks("-0f3F800000"), vec![Token::Float(-1.0)]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(toks("add // comment\nsub"), vec![
+            Token::Word("add".into()),
+            Token::Word("sub".into())
+        ]);
+        assert_eq!(toks("a /* x\ny */ b"), vec![
+            Token::Word("a".into()),
+            Token::Word("b".into())
+        ]);
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let spanned = tokenize("a\nb\n\nc").unwrap();
+        let lines: Vec<u32> = spanned.iter().map(|s| s.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn punctuation() {
+        assert_eq!(
+            toks("[%r1+8]"),
+            vec![
+                Token::Punct('['),
+                Token::Register("r1".into()),
+                Token::Punct('+'),
+                Token::Int(8),
+                Token::Punct(']'),
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let err = tokenize("a\n  ?").unwrap_err();
+        match err {
+            PtxError::Lex { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected lex error, got {other:?}"),
+        }
+    }
+}

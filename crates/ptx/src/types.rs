@@ -1,0 +1,249 @@
+//! Scalar value types and address spaces of the virtual ISA.
+
+use std::fmt;
+
+use crate::error::PtxError;
+
+/// Scalar type of a register or of an instruction's operation.
+///
+/// Mirrors the PTX fundamental types that the evaluated workloads use.
+/// `Pred` is the one-bit predicate type produced by `setp` and consumed by
+/// guards and `selp`.
+///
+/// ```
+/// use dpvk_ptx::ScalarType;
+/// assert_eq!(ScalarType::F32.size_bytes(), 4);
+/// assert!(ScalarType::S32.is_signed());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ScalarType {
+    /// One-bit predicate.
+    Pred,
+    /// Unsigned 8-bit integer.
+    U8,
+    /// Signed 8-bit integer.
+    S8,
+    /// Unsigned 16-bit integer.
+    U16,
+    /// Signed 16-bit integer.
+    S16,
+    /// Unsigned 32-bit integer.
+    U32,
+    /// Signed 32-bit integer.
+    S32,
+    /// Unsigned 64-bit integer (also the pointer type).
+    U64,
+    /// Signed 64-bit integer.
+    S64,
+    /// IEEE-754 single precision.
+    F32,
+    /// IEEE-754 double precision.
+    F64,
+    /// Untyped 8-bit bits (used in `.b8` array declarations).
+    B8,
+    /// Untyped 32-bit bits.
+    B32,
+    /// Untyped 64-bit bits.
+    B64,
+}
+
+impl ScalarType {
+    /// Size of a value of this type in bytes. Predicates occupy one byte
+    /// when stored to memory.
+    pub fn size_bytes(self) -> usize {
+        use ScalarType::*;
+        match self {
+            Pred | U8 | S8 | B8 => 1,
+            U16 | S16 => 2,
+            U32 | S32 | F32 | B32 => 4,
+            U64 | S64 | F64 | B64 => 8,
+        }
+    }
+
+    /// Whether this is a floating-point type.
+    pub fn is_float(self) -> bool {
+        matches!(self, ScalarType::F32 | ScalarType::F64)
+    }
+
+    /// Whether this is a signed integer type.
+    pub fn is_signed(self) -> bool {
+        matches!(self, ScalarType::S8 | ScalarType::S16 | ScalarType::S32 | ScalarType::S64)
+    }
+
+    /// Whether this is any integer (signed, unsigned or untyped-bits) type.
+    pub fn is_integer(self) -> bool {
+        !self.is_float() && self != ScalarType::Pred
+    }
+
+    /// Parse a PTX type suffix such as `u32`, `f64` or `pred`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PtxError::UnknownType`] when the suffix is not recognized.
+    pub fn from_suffix(s: &str) -> Result<Self, PtxError> {
+        use ScalarType::*;
+        Ok(match s {
+            "pred" => Pred,
+            "u8" => U8,
+            "s8" => S8,
+            "u16" => U16,
+            "s16" => S16,
+            "u32" => U32,
+            "s32" => S32,
+            "u64" => U64,
+            "s64" => S64,
+            "f32" => F32,
+            "f64" => F64,
+            "b8" => B8,
+            "b32" => B32,
+            "b64" => B64,
+            other => return Err(PtxError::UnknownType(other.to_string())),
+        })
+    }
+
+    /// The suffix string used in the textual form (`u32`, `pred`, ...).
+    pub fn suffix(self) -> &'static str {
+        use ScalarType::*;
+        match self {
+            Pred => "pred",
+            U8 => "u8",
+            S8 => "s8",
+            U16 => "u16",
+            S16 => "s16",
+            U32 => "u32",
+            S32 => "s32",
+            U64 => "u64",
+            S64 => "s64",
+            F32 => "f32",
+            F64 => "f64",
+            B8 => "b8",
+            B32 => "b32",
+            B64 => "b64",
+        }
+    }
+}
+
+impl fmt::Display for ScalarType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.suffix())
+    }
+}
+
+/// Memory address space targeted by a load, store or atomic.
+///
+/// Matches the PTX state spaces used by the evaluated workloads. Generic
+/// addressing is intentionally unsupported: kernels name the space they
+/// access, which is what the translator relies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AddressSpace {
+    /// Off-chip, weakly consistent, shared by the whole grid.
+    Global,
+    /// On-chip, shared by one CTA, cleared at CTA start.
+    Shared,
+    /// Per-thread private memory (also holds spill slots).
+    Local,
+    /// Read-only kernel parameter buffer.
+    Param,
+    /// Read-only module-level constant bank.
+    Const,
+}
+
+impl AddressSpace {
+    /// Parse a state-space token such as `global` or `shared`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PtxError::UnknownAddressSpace`] for unknown tokens.
+    pub fn from_token(s: &str) -> Result<Self, PtxError> {
+        Ok(match s {
+            "global" => AddressSpace::Global,
+            "shared" => AddressSpace::Shared,
+            "local" => AddressSpace::Local,
+            "param" => AddressSpace::Param,
+            "const" => AddressSpace::Const,
+            other => return Err(PtxError::UnknownAddressSpace(other.to_string())),
+        })
+    }
+
+    /// The token used in the textual form.
+    pub fn token(self) -> &'static str {
+        match self {
+            AddressSpace::Global => "global",
+            AddressSpace::Shared => "shared",
+            AddressSpace::Local => "local",
+            AddressSpace::Param => "param",
+            AddressSpace::Const => "const",
+        }
+    }
+}
+
+impl fmt::Display for AddressSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_ptx() {
+        assert_eq!(ScalarType::U8.size_bytes(), 1);
+        assert_eq!(ScalarType::S16.size_bytes(), 2);
+        assert_eq!(ScalarType::F32.size_bytes(), 4);
+        assert_eq!(ScalarType::U64.size_bytes(), 8);
+        assert_eq!(ScalarType::Pred.size_bytes(), 1);
+    }
+
+    #[test]
+    fn suffix_round_trip() {
+        for ty in [
+            ScalarType::Pred,
+            ScalarType::U8,
+            ScalarType::S8,
+            ScalarType::U16,
+            ScalarType::S16,
+            ScalarType::U32,
+            ScalarType::S32,
+            ScalarType::U64,
+            ScalarType::S64,
+            ScalarType::F32,
+            ScalarType::F64,
+            ScalarType::B8,
+            ScalarType::B32,
+            ScalarType::B64,
+        ] {
+            assert_eq!(ScalarType::from_suffix(ty.suffix()).unwrap(), ty);
+        }
+    }
+
+    #[test]
+    fn unknown_suffix_is_error() {
+        assert!(ScalarType::from_suffix("u128").is_err());
+    }
+
+    #[test]
+    fn classification() {
+        assert!(ScalarType::F64.is_float());
+        assert!(!ScalarType::F64.is_integer());
+        assert!(ScalarType::U32.is_integer());
+        assert!(!ScalarType::U32.is_signed());
+        assert!(ScalarType::S64.is_signed());
+        assert!(!ScalarType::Pred.is_integer());
+    }
+
+    #[test]
+    fn address_space_round_trip() {
+        for sp in [
+            AddressSpace::Global,
+            AddressSpace::Shared,
+            AddressSpace::Local,
+            AddressSpace::Param,
+            AddressSpace::Const,
+        ] {
+            assert_eq!(AddressSpace::from_token(sp.token()).unwrap(), sp);
+        }
+        assert!(AddressSpace::from_token("generic").is_err());
+    }
+}

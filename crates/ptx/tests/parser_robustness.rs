@@ -1,0 +1,198 @@
+//! Robustness tests for the front end: the parser must reject malformed
+//! input with errors (never panic), and accept the full documented
+//! surface.
+
+use dpvk_ptx::{parse_kernel, parse_module, tokenize, validate_kernel, PtxError};
+use proptest::prelude::*;
+
+#[test]
+fn rejects_truncations_gracefully() {
+    let src = r#"
+.kernel k (.param .u64 p, .param .u32 n) {
+  .reg .u32 %r<4>;
+  .reg .u64 %rd<3>;
+  .reg .pred %p<2>;
+entry:
+  mov.u32 %r1, %tid.x;
+  ld.param.u32 %r2, [n];
+  setp.ge.u32 %p1, %r1, %r2;
+  @%p1 bra done;
+  add.u32 %r1, %r1, 1;
+done:
+  ret;
+}
+"#;
+    // Every prefix of the source must produce an error, not a panic.
+    for end in 0..src.len() {
+        if !src.is_char_boundary(end) {
+            continue;
+        }
+        let prefix = &src[..end];
+        let _ = parse_module(prefix); // must not panic
+    }
+    parse_kernel(src).unwrap();
+}
+
+#[test]
+fn error_cases_name_the_problem() {
+    let cases: Vec<(&str, &str)> = vec![
+        (".kernel k () { entry: add.u32 %r1, %r1, 1; ret; }", "undeclared register"),
+        (".kernel k () { entry: bra nowhere; }", "undefined label"),
+        (".kernel k () { .reg .u128 %r<2>; entry: ret; }", "unknown type"),
+        (".kernel k () { entry: frobnicate.u32 %r1; ret; }", "unknown"),
+        (".kernel k (.param .u32 n) { .reg .u32 %r<2>; entry: ld.param.u32 %r1, [m]; ret; }", "m"),
+    ];
+    for (src, needle) in cases {
+        let err = parse_kernel(src).expect_err(src);
+        let msg = err.to_string().to_lowercase();
+        assert!(
+            msg.contains(&needle.to_lowercase()),
+            "error `{msg}` should mention `{needle}` for {src}"
+        );
+    }
+}
+
+#[test]
+fn full_surface_parses_and_validates() {
+    // One kernel exercising every opcode family the ISA documents.
+    let src = r#"
+.kernel surface (.param .u64 p, .param .f32 alpha, .param .u32 n,
+                 .param .f64 beta, .param .s32 signed_n) {
+  .shared .f32 tile[16];
+  .local .u32 scratch[8];
+  .reg .u32 %r<10>;
+  .reg .s32 %s<4>;
+  .reg .u64 %rd<8>;
+  .reg .f32 %f<8>;
+  .reg .f64 %d<4>;
+  .reg .pred %p<6>;
+entry:
+  mov.u32 %r0, %tid.x;
+  mov.u32 %r1, %tid.y;
+  mov.u32 %r2, %ctaid.z;
+  mov.u32 %r3, %laneid;
+  mov.u32 %r4, %warpsize;
+  mad.lo.u32 %r5, %r0, %r1, %r2;
+  mul.hi.u32 %r6, %r5, %r5;
+  div.u32 %r6, %r6, 7;
+  rem.u32 %r6, %r6, 5;
+  min.u32 %r6, %r6, %r5;
+  max.u32 %r6, %r6, %r0;
+  and.b32 %r7, %r6, 255;
+  or.b32 %r7, %r7, 1;
+  xor.b32 %r7, %r7, %r5;
+  not.b32 %r7, %r7;
+  shl.u32 %r7, %r7, 2;
+  shr.u32 %r7, %r7, 1;
+  shr.s32 %s0, %s1, 3;
+  abs.s32 %s2, %s0;
+  neg.s32 %s3, %s2;
+  cvt.u64.u32 %rd0, %r7;
+  cvt.f32.u32 %f0, %r7;
+  cvt.f64.f32 %d0, %f0;
+  cvt.u32.f32 %r8, %f0;
+  ld.param.f32 %f1, [alpha];
+  ld.param.f64 %d1, [beta];
+  add.f32 %f2, %f0, %f1;
+  sub.f32 %f2, %f2, 1.5;
+  mul.f32 %f2, %f2, %f2;
+  div.rn.f32 %f2, %f2, 3.0;
+  fma.rn.f32 %f3, %f0, %f1, %f2;
+  sqrt.rn.f32 %f4, %f3;
+  rsqrt.approx.f32 %f4, %f3;
+  rcp.approx.f32 %f4, %f3;
+  sin.approx.f32 %f5, %f4;
+  cos.approx.f32 %f5, %f4;
+  ex2.approx.f32 %f5, %f4;
+  lg2.approx.f32 %f5, %f3;
+  add.f64 %d2, %d0, %d1;
+  setp.lt.f32 %p0, %f5, 0.0;
+  selp.f32 %f6, %f5, %f4, %p0;
+  setp.eq.u32 %p1, %r0, 0;
+  vote.all.pred %p2, %p1;
+  vote.any.pred %p3, %p1;
+  vote.uni.pred %p4, %p1;
+  and.pred %p2, %p2, %p3;
+  or.pred %p2, %p2, %p4;
+  xor.pred %p2, %p2, %p1;
+  not.pred %p2, %p2;
+  mov.u64 %rd1, tile;
+  st.shared.f32 [%rd1+4], %f6;
+  ld.shared.f32 %f7, [tile+4];
+  mov.u64 %rd2, scratch;
+  st.local.u32 [%rd2], %r7;
+  ld.local.u32 %r9, [scratch];
+  ld.param.u64 %rd3, [p];
+  atom.global.add.u32 %r9, [%rd3], %r9;
+  atom.global.cas.u32 %r9, [%rd3+8], %r9, %r0;
+  atom.global.exch.u32 %r9, [%rd3+16], %r0;
+  atom.global.min.s32 %s0, [%rd3+24], %s1;
+  atom.global.max.u32 %r9, [%rd3+32], %r0;
+  st.global.f32 [%rd3+36], %f7;
+  bar.sync 0;
+  setp.lt.u32 %p5, %r0, 1;
+  @!%p5 bra done;
+  st.global.f64 [%rd3+40], %d2;
+done:
+  ret;
+}
+"#;
+    let k = parse_kernel(src).unwrap();
+    validate_kernel(&k).unwrap();
+    // It also survives a print/parse round trip.
+    let printed = dpvk_ptx::print_kernel(&k);
+    let k2 = parse_kernel(&printed).unwrap();
+    validate_kernel(&k2).unwrap();
+}
+
+proptest! {
+    /// The lexer never panics on arbitrary input.
+    #[test]
+    fn lexer_total_on_arbitrary_bytes(s in "\\PC*") {
+        let _ = tokenize(&s);
+    }
+
+    /// The parser never panics on arbitrary token-ish input.
+    #[test]
+    fn parser_total_on_arbitrary_input(s in "[ -~\\n]{0,200}") {
+        let _ = parse_module(&s);
+    }
+
+    /// Register-range declarations expand exactly.
+    #[test]
+    fn register_ranges_expand(count in 1u32..50) {
+        let src = format!(
+            ".kernel k () {{ .reg .u32 %x<{count}>; entry: ret; }}"
+        );
+        let k = parse_kernel(&src).unwrap();
+        prop_assert_eq!(k.registers.len(), count as usize);
+    }
+
+    /// Integer immediates round-trip through parse → print → parse.
+    #[test]
+    fn immediates_round_trip(v in any::<i32>()) {
+        let src = format!(
+            ".kernel k () {{ .reg .u32 %r<2>; entry: add.u32 %r1, %r0, {v}; ret; }}"
+        );
+        let k1 = parse_kernel(&src).unwrap();
+        let k2 = parse_kernel(&dpvk_ptx::print_kernel(&k1)).unwrap();
+        prop_assert_eq!(&k1.blocks[0].instructions, &k2.blocks[0].instructions);
+    }
+}
+
+#[test]
+fn module_with_duplicate_kernel_names_shadows() {
+    let m = parse_module(
+        ".kernel a () { entry: ret; } .kernel a (.param .u32 x) { entry: ret; }",
+    )
+    .unwrap();
+    assert_eq!(m.kernel("a").unwrap().params.len(), 1);
+}
+
+#[test]
+fn lex_error_type_is_stable() {
+    match tokenize("добрый ?") {
+        Err(PtxError::Lex { .. }) => {}
+        other => panic!("expected lex error, got {other:?}"),
+    }
+}

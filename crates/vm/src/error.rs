@@ -1,0 +1,61 @@
+//! Runtime errors of the vector machine.
+
+use std::fmt;
+
+use dpvk_ir::Space;
+
+/// Error raised while executing a kernel on the simulated machine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VmError {
+    /// A memory access fell outside its space.
+    OutOfBounds {
+        /// The accessed space.
+        space: Space,
+        /// Byte address of the access.
+        addr: u64,
+        /// Access size in bytes.
+        size: usize,
+        /// Size of the space in bytes.
+        space_size: usize,
+    },
+    /// Integer division or remainder by zero.
+    DivisionByZero,
+    /// The watchdog instruction limit was exceeded (runaway kernel).
+    Watchdog {
+        /// The limit that was hit.
+        limit: u64,
+    },
+    /// An instruction the interpreter cannot execute (e.g. a misaligned
+    /// atomic).
+    Unsupported(String),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::OutOfBounds { space, addr, size, space_size } => write!(
+                f,
+                "out-of-bounds access: {size} bytes at {addr:#x} in {space:?} (size {space_size})"
+            ),
+            VmError::DivisionByZero => write!(f, "integer division by zero"),
+            VmError::Watchdog { limit } => {
+                write!(f, "watchdog: instruction limit {limit} exceeded")
+            }
+            VmError::Unsupported(m) => write!(f, "unsupported operation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_space_and_address() {
+        let e = VmError::OutOfBounds { space: Space::Global, addr: 64, size: 4, space_size: 32 };
+        let s = e.to_string();
+        assert!(s.contains("Global") && s.contains("0x40"), "{s}");
+    }
+}

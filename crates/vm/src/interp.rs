@@ -1,0 +1,1162 @@
+//! The IR interpreter: executes one warp of thread contexts through a
+//! (scalar or vectorized) kernel function, charging modeled cycles.
+
+use dpvk_ir::{
+    AtomKind, BinOp, BlockKind, CmpPred, CtxField, Function, Inst, ReduceOp, ResumeStatus, STy,
+    Term, Type, UnOp, Value,
+};
+
+use crate::context::ThreadContext;
+use crate::cost::{inst_cost, inst_flops, term_cost, CostInfo};
+use crate::error::VmError;
+use crate::machine::MachineModel;
+use crate::memory::MemAccess;
+use crate::stats::ExecStats;
+
+/// Execution limits guarding against runaway kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecLimits {
+    /// Maximum dynamic instructions per warp call.
+    pub max_instructions: u64,
+}
+
+impl Default for ExecLimits {
+    fn default() -> Self {
+        ExecLimits { max_instructions: 1 << 32 }
+    }
+}
+
+/// Outcome of one warp execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarpOutcome {
+    /// Why the warp yielded. Per-thread resume points have been written to
+    /// the thread contexts.
+    pub status: ResumeStatus,
+}
+
+/// Register value: scalar bits or per-lane bits.
+#[derive(Debug, Clone, PartialEq)]
+enum RVal {
+    S(u64),
+    V(Vec<u64>),
+}
+
+impl RVal {
+    fn lane(&self, i: usize) -> u64 {
+        match self {
+            RVal::S(v) => *v,
+            RVal::V(v) => v[i],
+        }
+    }
+
+    fn scalar(&self) -> u64 {
+        match self {
+            RVal::S(v) => *v,
+            RVal::V(v) => v[0],
+        }
+    }
+}
+
+/// Mask `bits` to the width of `sty` (zero-extension representation).
+fn mask_to(bits: u64, sty: STy) -> u64 {
+    match sty.bits() {
+        1 => bits & 1,
+        8 => bits & 0xFF,
+        16 => bits & 0xFFFF,
+        32 => bits & 0xFFFF_FFFF,
+        _ => bits,
+    }
+}
+
+/// Sign-extend the `sty`-width value in `bits` to i64.
+fn sext(bits: u64, sty: STy) -> i64 {
+    match sty.bits() {
+        1 => {
+            if bits & 1 != 0 {
+                -1
+            } else {
+                0
+            }
+        }
+        8 => bits as u8 as i8 as i64,
+        16 => bits as u16 as i16 as i64,
+        32 => bits as u32 as i32 as i64,
+        _ => bits as i64,
+    }
+}
+
+fn encode_imm(v: Value, sty: STy) -> u64 {
+    match v {
+        Value::ImmI(i) => mask_to(i as u64, sty),
+        Value::ImmF(x) => match sty {
+            STy::F32 => (x as f32).to_bits() as u64,
+            STy::F64 => x.to_bits(),
+            _ => mask_to(x as i64 as u64, sty),
+        },
+        Value::Reg(_) => unreachable!("encode_imm called on a register"),
+    }
+}
+
+fn f_of(bits: u64, sty: STy) -> f64 {
+    match sty {
+        STy::F32 => f32::from_bits(bits as u32) as f64,
+        STy::F64 => f64::from_bits(bits),
+        _ => unreachable!("f_of on integer type"),
+    }
+}
+
+fn f_enc(v: f64, sty: STy) -> u64 {
+    match sty {
+        STy::F32 => (v as f32).to_bits() as u64,
+        STy::F64 => v.to_bits(),
+        _ => unreachable!("f_enc on integer type"),
+    }
+}
+
+fn scalar_bin(op: BinOp, sty: STy, signed: bool, a: u64, b: u64) -> Result<u64, VmError> {
+    if sty.is_float() {
+        let (x, y) = (f_of(a, sty), f_of(b, sty));
+        let r = match op {
+            BinOp::Add => x + y,
+            BinOp::Sub => x - y,
+            BinOp::Mul => x * y,
+            BinOp::Div => x / y,
+            BinOp::Min => x.min(y),
+            BinOp::Max => x.max(y),
+            BinOp::And | BinOp::Or | BinOp::Xor => {
+                let r = match op {
+                    BinOp::And => a & b,
+                    BinOp::Or => a | b,
+                    _ => a ^ b,
+                };
+                return Ok(mask_to(r, sty));
+            }
+            other => {
+                return Err(VmError::Unsupported(format!("{other:?} on float type")));
+            }
+        };
+        return Ok(f_enc(r, sty));
+    }
+    let bits = sty.bits().max(1);
+    let shift_mask = (bits - 1).max(1) as u64;
+    let r: u64 = match op {
+        BinOp::Add => (sext(a, sty).wrapping_add(sext(b, sty))) as u64,
+        BinOp::Sub => (sext(a, sty).wrapping_sub(sext(b, sty))) as u64,
+        BinOp::Mul => (sext(a, sty).wrapping_mul(sext(b, sty))) as u64,
+        BinOp::MulHi => {
+            if signed {
+                let p = (sext(a, sty) as i128) * (sext(b, sty) as i128);
+                (p >> bits) as u64
+            } else {
+                let p = (mask_to(a, sty) as u128) * (mask_to(b, sty) as u128);
+                (p >> bits) as u64
+            }
+        }
+        BinOp::Div => {
+            if mask_to(b, sty) == 0 {
+                return Err(VmError::DivisionByZero);
+            }
+            if signed {
+                sext(a, sty).wrapping_div(sext(b, sty)) as u64
+            } else {
+                mask_to(a, sty) / mask_to(b, sty)
+            }
+        }
+        BinOp::Rem => {
+            if mask_to(b, sty) == 0 {
+                return Err(VmError::DivisionByZero);
+            }
+            if signed {
+                sext(a, sty).wrapping_rem(sext(b, sty)) as u64
+            } else {
+                mask_to(a, sty) % mask_to(b, sty)
+            }
+        }
+        BinOp::Min => {
+            if signed {
+                sext(a, sty).min(sext(b, sty)) as u64
+            } else {
+                mask_to(a, sty).min(mask_to(b, sty))
+            }
+        }
+        BinOp::Max => {
+            if signed {
+                sext(a, sty).max(sext(b, sty)) as u64
+            } else {
+                mask_to(a, sty).max(mask_to(b, sty))
+            }
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => mask_to(a, sty) << (b & shift_mask),
+        BinOp::Shr => {
+            if signed {
+                (sext(a, sty) >> (b & shift_mask)) as u64
+            } else {
+                mask_to(a, sty) >> (b & shift_mask)
+            }
+        }
+    };
+    Ok(mask_to(r, sty))
+}
+
+fn scalar_un(op: UnOp, sty: STy, a: u64) -> Result<u64, VmError> {
+    if sty.is_float() {
+        let x = f_of(a, sty);
+        let r = match op {
+            UnOp::Neg => -x,
+            UnOp::Abs => x.abs(),
+            UnOp::Sqrt => x.sqrt(),
+            UnOp::Rsqrt => 1.0 / x.sqrt(),
+            UnOp::Rcp => 1.0 / x,
+            UnOp::Sin => x.sin(),
+            UnOp::Cos => x.cos(),
+            UnOp::Ex2 => x.exp2(),
+            UnOp::Lg2 => x.log2(),
+            UnOp::Not => return Err(VmError::Unsupported("not on float".into())),
+        };
+        return Ok(f_enc(r, sty));
+    }
+    let r = match op {
+        UnOp::Neg => sext(a, sty).wrapping_neg() as u64,
+        UnOp::Not => {
+            if sty == STy::I1 {
+                (a & 1) ^ 1
+            } else {
+                !a
+            }
+        }
+        UnOp::Abs => sext(a, sty).wrapping_abs() as u64,
+        other => return Err(VmError::Unsupported(format!("{other:?} on integer type"))),
+    };
+    Ok(mask_to(r, sty))
+}
+
+fn scalar_cmp(pred: CmpPred, sty: STy, signed: bool, a: u64, b: u64) -> u64 {
+    let r = if sty.is_float() {
+        let (x, y) = (f_of(a, sty), f_of(b, sty));
+        match pred {
+            CmpPred::Eq => x == y,
+            CmpPred::Ne => x != y,
+            CmpPred::Lt => x < y,
+            CmpPred::Le => x <= y,
+            CmpPred::Gt => x > y,
+            CmpPred::Ge => x >= y,
+        }
+    } else if signed {
+        let (x, y) = (sext(a, sty), sext(b, sty));
+        match pred {
+            CmpPred::Eq => x == y,
+            CmpPred::Ne => x != y,
+            CmpPred::Lt => x < y,
+            CmpPred::Le => x <= y,
+            CmpPred::Gt => x > y,
+            CmpPred::Ge => x >= y,
+        }
+    } else {
+        let (x, y) = (mask_to(a, sty), mask_to(b, sty));
+        match pred {
+            CmpPred::Eq => x == y,
+            CmpPred::Ne => x != y,
+            CmpPred::Lt => x < y,
+            CmpPred::Le => x <= y,
+            CmpPred::Gt => x > y,
+            CmpPred::Ge => x >= y,
+        }
+    };
+    r as u64
+}
+
+fn scalar_cvt(to: STy, from: STy, signed: bool, a: u64) -> u64 {
+    if from.is_float() {
+        let x = f_of(a, from);
+        if to.is_float() {
+            f_enc(x, to)
+        } else if signed {
+            mask_to((x as i64) as u64, to)
+        } else {
+            mask_to(x as u64, to)
+        }
+    } else {
+        let v: i64 = if signed { sext(a, from) } else { mask_to(a, from) as i64 };
+        if to.is_float() {
+            if signed {
+                f_enc(v as f64, to)
+            } else {
+                f_enc((v as u64) as f64, to)
+            }
+        } else {
+            mask_to(v as u64, to)
+        }
+    }
+}
+
+struct Machine<'a, 'm> {
+    f: &'a Function,
+    regs: Vec<RVal>,
+    ctxs: &'a mut [ThreadContext],
+    entry_id: i64,
+    mem: &'a mut MemAccess<'m>,
+}
+
+impl<'a, 'm> Machine<'a, 'm> {
+    fn eval(&self, v: Value, ty: Type) -> RVal {
+        match v {
+            Value::Reg(r) => self.regs[r.index()].clone(),
+            imm => {
+                let bits = encode_imm(imm, ty.scalar);
+                if ty.is_vector() {
+                    RVal::V(vec![bits; ty.width as usize])
+                } else {
+                    RVal::S(bits)
+                }
+            }
+        }
+    }
+
+    fn eval_scalar(&self, v: Value, sty: STy) -> u64 {
+        match v {
+            Value::Reg(r) => self.regs[r.index()].scalar(),
+            imm => encode_imm(imm, sty),
+        }
+    }
+
+    fn set(&mut self, r: dpvk_ir::VReg, v: RVal) {
+        self.regs[r.index()] = v;
+    }
+
+    fn elementwise2(
+        &mut self,
+        ty: Type,
+        dst: dpvk_ir::VReg,
+        a: Value,
+        b: Value,
+        f: impl Fn(u64, u64) -> Result<u64, VmError>,
+    ) -> Result<(), VmError> {
+        let av = self.eval(a, ty);
+        let bv = self.eval(b, ty);
+        if ty.is_vector() {
+            let mut out = Vec::with_capacity(ty.width as usize);
+            for i in 0..ty.width as usize {
+                out.push(f(av.lane(i), bv.lane(i))?);
+            }
+            self.set(dst, RVal::V(out));
+        } else {
+            self.set(dst, RVal::S(f(av.scalar(), bv.scalar())?));
+        }
+        Ok(())
+    }
+
+    fn exec_inst(&mut self, inst: &Inst) -> Result<(), VmError> {
+        use Inst::*;
+        match inst {
+            Bin { op, ty, signed, dst, a, b } => {
+                let (op, sty, sg) = (*op, ty.scalar, *signed);
+                self.elementwise2(*ty, *dst, *a, *b, move |x, y| scalar_bin(op, sty, sg, x, y))
+            }
+            Un { op, ty, dst, a } => {
+                let av = self.eval(*a, *ty);
+                if ty.is_vector() {
+                    let mut out = Vec::with_capacity(ty.width as usize);
+                    for i in 0..ty.width as usize {
+                        out.push(scalar_un(*op, ty.scalar, av.lane(i))?);
+                    }
+                    self.set(*dst, RVal::V(out));
+                } else {
+                    self.set(*dst, RVal::S(scalar_un(*op, ty.scalar, av.scalar())?));
+                }
+                Ok(())
+            }
+            Fma { ty, dst, a, b, c } => {
+                let av = self.eval(*a, *ty);
+                let bv = self.eval(*b, *ty);
+                let cv = self.eval(*c, *ty);
+                let sty = ty.scalar;
+                let one = |x: u64, y: u64, z: u64| -> Result<u64, VmError> {
+                    if sty.is_float() {
+                        let r = f_of(x, sty).mul_add(f_of(y, sty), f_of(z, sty));
+                        Ok(f_enc(r, sty))
+                    } else {
+                        let r = sext(x, sty)
+                            .wrapping_mul(sext(y, sty))
+                            .wrapping_add(sext(z, sty));
+                        Ok(mask_to(r as u64, sty))
+                    }
+                };
+                if ty.is_vector() {
+                    let mut out = Vec::with_capacity(ty.width as usize);
+                    for i in 0..ty.width as usize {
+                        out.push(one(av.lane(i), bv.lane(i), cv.lane(i))?);
+                    }
+                    self.set(*dst, RVal::V(out));
+                } else {
+                    self.set(*dst, RVal::S(one(av.scalar(), bv.scalar(), cv.scalar())?));
+                }
+                Ok(())
+            }
+            Cmp { pred, ty, signed, dst, a, b } => {
+                let (p, sty, sg) = (*pred, ty.scalar, *signed);
+                self.elementwise2(*ty, *dst, *a, *b, move |x, y| Ok(scalar_cmp(p, sty, sg, x, y)))
+            }
+            Select { ty, dst, cond, a, b } => {
+                let cond_ty = Type { scalar: STy::I1, width: ty.width };
+                let cv = self.eval(*cond, cond_ty);
+                let av = self.eval(*a, *ty);
+                let bv = self.eval(*b, *ty);
+                if ty.is_vector() {
+                    let mut out = Vec::with_capacity(ty.width as usize);
+                    for i in 0..ty.width as usize {
+                        out.push(if cv.lane(i) & 1 != 0 { av.lane(i) } else { bv.lane(i) });
+                    }
+                    self.set(*dst, RVal::V(out));
+                } else {
+                    self.set(
+                        *dst,
+                        RVal::S(if cv.scalar() & 1 != 0 { av.scalar() } else { bv.scalar() }),
+                    );
+                }
+                Ok(())
+            }
+            Cvt { to, from, signed, width, dst, a } => {
+                let src_ty = Type { scalar: *from, width: *width };
+                let av = self.eval(*a, src_ty);
+                if *width > 1 {
+                    let mut out = Vec::with_capacity(*width as usize);
+                    for i in 0..*width as usize {
+                        out.push(scalar_cvt(*to, *from, *signed, av.lane(i)));
+                    }
+                    self.set(*dst, RVal::V(out));
+                } else {
+                    self.set(*dst, RVal::S(scalar_cvt(*to, *from, *signed, av.scalar())));
+                }
+                Ok(())
+            }
+            Load { ty, space, dst, addr } => {
+                let a = self.eval_scalar(*addr, STy::I64);
+                let bits = self.mem.read(*space, a, ty.size_bytes())?;
+                self.set(*dst, RVal::S(mask_to(bits, *ty)));
+                Ok(())
+            }
+            Store { ty, space, addr, value } => {
+                let a = self.eval_scalar(*addr, STy::I64);
+                let v = self.eval_scalar(*value, *ty);
+                self.mem.write(*space, a, ty.size_bytes(), v)
+            }
+            Atom { ty, space, op, signed, dst, addr, a, b } => {
+                let addr_v = self.eval_scalar(*addr, STy::I64);
+                let av = self.eval_scalar(*a, *ty);
+                let bv = b.map(|b| self.eval_scalar(b, *ty));
+                let old = self.exec_atom(*ty, *space, *op, *signed, addr_v, av, bv)?;
+                self.set(*dst, RVal::S(mask_to(old, *ty)));
+                Ok(())
+            }
+            Insert { ty, dst, vec, elem, lane } => {
+                let mut v = match self.eval(*vec, *ty) {
+                    RVal::V(v) => v,
+                    RVal::S(s) => vec![s; ty.width as usize],
+                };
+                v[*lane as usize] = self.eval_scalar(*elem, ty.scalar);
+                self.set(*dst, RVal::V(v));
+                Ok(())
+            }
+            Extract { ty, dst, vec, lane } => {
+                let v = self.eval(*vec, *ty);
+                self.set(*dst, RVal::S(v.lane(*lane as usize)));
+                Ok(())
+            }
+            Splat { ty, dst, a } => {
+                let s = self.eval_scalar(*a, ty.scalar);
+                self.set(*dst, RVal::V(vec![s; ty.width as usize]));
+                Ok(())
+            }
+            Reduce { op, ty, dst, vec } => {
+                let v = self.eval(*vec, *ty);
+                let w = ty.width as usize;
+                let r = match op {
+                    ReduceOp::Add => {
+                        let mut sum: u64 = 0;
+                        for i in 0..w {
+                            sum = sum.wrapping_add(mask_to(v.lane(i), ty.scalar));
+                        }
+                        mask_to(sum, STy::I32)
+                    }
+                    ReduceOp::All => (0..w).all(|i| v.lane(i) & 1 != 0) as u64,
+                    ReduceOp::Any => (0..w).any(|i| v.lane(i) & 1 != 0) as u64,
+                };
+                self.set(*dst, RVal::S(r));
+                Ok(())
+            }
+            CtxRead { field, lane, dst } => {
+                let li = *lane as usize;
+                let ctx = &self.ctxs[li.min(self.ctxs.len() - 1)];
+                let v: u64 = match field {
+                    CtxField::Tid(d) => ctx.tid[*d as usize] as u64,
+                    CtxField::Ntid(d) => ctx.ntid[*d as usize] as u64,
+                    CtxField::Ctaid(d) => ctx.ctaid[*d as usize] as u64,
+                    CtxField::Nctaid(d) => ctx.nctaid[*d as usize] as u64,
+                    CtxField::LocalBase => ctx.local_base,
+                    CtxField::LaneId => *lane as u64,
+                    CtxField::WarpSize => self.f.warp_size as u64,
+                    CtxField::EntryId => mask_to(self.entry_id as u64, STy::I32),
+                };
+                self.set(*dst, RVal::S(v));
+                Ok(())
+            }
+            SetResumePoint { lane, value } => {
+                let bits = self.eval_scalar(*value, STy::I32);
+                let id = match value {
+                    Value::Reg(r) => sext(bits, self.f.reg_type(*r).scalar),
+                    Value::ImmI(i) => *i,
+                    Value::ImmF(_) => {
+                        return Err(VmError::Unsupported("float resume point".into()))
+                    }
+                };
+                self.ctxs[*lane as usize].resume_point = id;
+                Ok(())
+            }
+            SetResumeStatus { .. } => Ok(()), // handled by the caller loop
+            Vote { dst, a, .. } => {
+                // Scalar (width-1) semantics: the warp is this one thread.
+                let v = self.eval_scalar(*a, STy::I1);
+                self.set(*dst, RVal::S(v & 1));
+                Ok(())
+            }
+            Mov { ty, dst, a } => {
+                let v = self.eval(*a, *ty);
+                self.set(*dst, v);
+                Ok(())
+            }
+        }
+    }
+
+    fn exec_atom(
+        &mut self,
+        ty: STy,
+        space: dpvk_ir::Space,
+        op: AtomKind,
+        signed: bool,
+        addr: u64,
+        a: u64,
+        b: Option<u64>,
+    ) -> Result<u64, VmError> {
+        let apply = move |old: u64| -> u64 {
+            match op {
+                AtomKind::Add => {
+                    if ty.is_float() {
+                        f_enc(f_of(old, ty) + f_of(a, ty), ty)
+                    } else {
+                        mask_to(old.wrapping_add(a), ty)
+                    }
+                }
+                AtomKind::Min => {
+                    if ty.is_float() {
+                        f_enc(f_of(old, ty).min(f_of(a, ty)), ty)
+                    } else if signed {
+                        mask_to(sext(old, ty).min(sext(a, ty)) as u64, ty)
+                    } else {
+                        mask_to(mask_to(old, ty).min(mask_to(a, ty)), ty)
+                    }
+                }
+                AtomKind::Max => {
+                    if ty.is_float() {
+                        f_enc(f_of(old, ty).max(f_of(a, ty)), ty)
+                    } else if signed {
+                        mask_to(sext(old, ty).max(sext(a, ty)) as u64, ty)
+                    } else {
+                        mask_to(mask_to(old, ty).max(mask_to(a, ty)), ty)
+                    }
+                }
+                AtomKind::Exch => mask_to(a, ty),
+                AtomKind::Cas => {
+                    if mask_to(old, ty) == mask_to(a, ty) {
+                        mask_to(b.unwrap_or(0), ty)
+                    } else {
+                        old
+                    }
+                }
+            }
+        };
+        match space {
+            dpvk_ir::Space::Global => match ty.size_bytes() {
+                4 => Ok(self
+                    .mem
+                    .global
+                    .atomic_rmw_u32(addr, |v| apply(v as u64) as u32)?
+                    as u64),
+                8 => self.mem.global.atomic_rmw_u64(addr, |v| apply(v)),
+                n => Err(VmError::Unsupported(format!("{n}-byte atomic"))),
+            },
+            dpvk_ir::Space::Shared | dpvk_ir::Space::Local => {
+                // Within one execution manager the CTA's threads are
+                // serialized, so a plain read-modify-write is atomic.
+                let old = self.mem.read(space, addr, ty.size_bytes())?;
+                let new = apply(old);
+                self.mem.write(space, addr, ty.size_bytes(), new)?;
+                Ok(old)
+            }
+            other => Err(VmError::Unsupported(format!("atomic in {other:?} space"))),
+        }
+    }
+}
+
+/// Execute one warp through `f`, starting at `entry_id`.
+///
+/// `ctxs` must contain exactly `f.warp_size` contexts, all waiting at the
+/// same entry point. On return their `resume_point` fields have been
+/// updated by the kernel's exit handlers (for scalar `Ret` without an
+/// explicit status the warp is treated as terminated).
+///
+/// # Errors
+///
+/// Returns a [`VmError`] on memory faults, division by zero, or when the
+/// instruction watchdog trips.
+///
+/// # Panics
+///
+/// Panics if `ctxs.len() != f.warp_size`.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_warp(
+    f: &Function,
+    info: &CostInfo,
+    model: &MachineModel,
+    ctxs: &mut [ThreadContext],
+    entry_id: i64,
+    mem: &mut MemAccess<'_>,
+    stats: &mut ExecStats,
+    limits: &ExecLimits,
+) -> Result<WarpOutcome, VmError> {
+    assert_eq!(
+        ctxs.len(),
+        f.warp_size as usize,
+        "warp size mismatch: {} contexts for a width-{} function",
+        ctxs.len(),
+        f.warp_size
+    );
+    let mut m = Machine { f, regs: init_regs(f), ctxs, entry_id, mem };
+    let mut cur = dpvk_ir::BlockId(0);
+    let mut status: Option<ResumeStatus> = None;
+    let mut executed: u64 = 0;
+
+    stats.warp_entries += 1;
+    stats.thread_entries += f.warp_size as u64;
+
+    loop {
+        let block = f.block(cur);
+        let is_overhead = !matches!(block.kind, BlockKind::Body);
+        let mut cycles: u64 = 0;
+        for inst in &block.insts {
+            executed += 1;
+            if executed > limits.max_instructions {
+                return Err(VmError::Watchdog { limit: limits.max_instructions });
+            }
+            cycles += inst_cost(inst, model, info);
+            stats.flops += inst_flops(inst);
+            match inst {
+                Inst::Load { .. } => {
+                    stats.loads += 1;
+                    if block.kind == BlockKind::EntryHandler {
+                        stats.restore_loads += 1;
+                    }
+                }
+                Inst::Store { .. } => {
+                    stats.stores += 1;
+                    if block.kind == BlockKind::ExitHandler {
+                        stats.spill_stores += 1;
+                    }
+                }
+                Inst::SetResumeStatus { status: s } => {
+                    status = Some(*s);
+                }
+                _ => {}
+            }
+            m.exec_inst(inst)?;
+        }
+        cycles += term_cost(&block.term);
+        executed += 1;
+        if executed > limits.max_instructions {
+            return Err(VmError::Watchdog { limit: limits.max_instructions });
+        }
+        stats.instructions += block.insts.len() as u64 + 1;
+        if is_overhead {
+            stats.cycles_yield += cycles;
+        } else {
+            stats.cycles_body += cycles;
+        }
+        match &block.term {
+            Term::Br(b) => cur = *b,
+            Term::CondBr { cond, taken, fall } => {
+                let c = m.eval_scalar(*cond, STy::I1);
+                cur = if c & 1 != 0 { *taken } else { *fall };
+            }
+            Term::Switch { value, cases, default } => {
+                let bits = m.eval_scalar(*value, STy::I64);
+                let v = match value {
+                    Value::Reg(r) => sext(bits, f.reg_type(*r).scalar),
+                    Value::ImmI(i) => *i,
+                    Value::ImmF(_) => {
+                        return Err(VmError::Unsupported("float switch".into()))
+                    }
+                };
+                cur = cases
+                    .iter()
+                    .find(|(case, _)| *case == v)
+                    .map(|(_, b)| *b)
+                    .unwrap_or(*default);
+            }
+            Term::Ret => {
+                let status = status.unwrap_or(ResumeStatus::Exit);
+                if status == ResumeStatus::Exit {
+                    for c in m.ctxs.iter_mut() {
+                        c.resume_point = dpvk_ir::EXIT_ENTRY_ID;
+                    }
+                }
+                return Ok(WarpOutcome { status });
+            }
+        }
+    }
+}
+
+fn init_regs(f: &Function) -> Vec<RVal> {
+    f.regs
+        .iter()
+        .map(|t| {
+            if t.is_vector() {
+                RVal::V(vec![0; t.width as usize])
+            } else {
+                RVal::S(0)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::GlobalMem;
+    use dpvk_ir::{Block, BlockId, VReg};
+
+    fn run(
+        f: &Function,
+        global: &GlobalMem,
+        param: &[u8],
+    ) -> (WarpOutcome, ExecStats, Vec<ThreadContext>) {
+        let model = MachineModel::default();
+        let info = CostInfo::analyze(f, &model);
+        let mut ctxs: Vec<ThreadContext> = (0..f.warp_size)
+            .map(|i| ThreadContext::new([i, 0, 0], [f.warp_size, 1, 1], [0; 3], [1, 1, 1]))
+            .collect();
+        let mut shared = vec![0u8; 1024];
+        let mut local = vec![0u8; 4096];
+        for (i, c) in ctxs.iter_mut().enumerate() {
+            c.local_base = (i * 1024) as u64;
+        }
+        let mut mem = MemAccess {
+            global,
+            shared: &mut shared,
+            local: &mut local,
+            param,
+            cbank: &[],
+        };
+        let mut stats = ExecStats::default();
+        let out = execute_warp(
+            f,
+            &info,
+            &model,
+            &mut ctxs,
+            0,
+            &mut mem,
+            &mut stats,
+            &ExecLimits::default(),
+        )
+        .unwrap();
+        (out, stats, ctxs)
+    }
+
+    #[test]
+    fn scalar_arith_and_store() {
+        // Compute 6*7+4 and store to global[0].
+        let mut f = Function::new("t", 1);
+        let t = Type::scalar(STy::I32);
+        let a = f.new_reg(t);
+        let mut b = Block::new("entry");
+        b.insts.push(Inst::Fma { ty: t, dst: a, a: Value::ImmI(6), b: Value::ImmI(7), c: Value::ImmI(4) });
+        b.insts.push(Inst::Store { ty: STy::I32, space: dpvk_ir::Space::Global, addr: Value::ImmI(0), value: Value::Reg(a) });
+        b.term = Term::Ret;
+        f.add_block(b);
+        let g = GlobalMem::new(16);
+        let (out, stats, ctxs) = run(&f, &g, &[]);
+        assert_eq!(out.status, ResumeStatus::Exit);
+        assert_eq!(u32::from_le_bytes(g.read::<4>(0).unwrap()), 46);
+        assert!(stats.cycles_body > 0);
+        assert!(ctxs[0].is_terminated());
+    }
+
+    #[test]
+    fn vector_fma_f32() {
+        let mut f = Function::new("t", 4);
+        let vt = Type::vector(STy::F32, 4);
+        let v = f.new_reg(vt);
+        let e = f.new_reg(Type::scalar(STy::F32));
+        let mut b = Block::new("entry");
+        b.insts.push(Inst::Splat { ty: vt, dst: v, a: Value::ImmF(2.0) });
+        b.insts.push(Inst::Fma { ty: vt, dst: v, a: Value::Reg(v), b: Value::Reg(v), c: Value::Reg(v) });
+        b.insts.push(Inst::Extract { ty: vt, dst: e, vec: Value::Reg(v), lane: 3 });
+        b.insts.push(Inst::Store { ty: STy::F32, space: dpvk_ir::Space::Global, addr: Value::ImmI(0), value: Value::Reg(e) });
+        b.term = Term::Ret;
+        f.add_block(b);
+        let g = GlobalMem::new(16);
+        let (_, stats, _) = run(&f, &g, &[]);
+        assert_eq!(f32::from_bits(u32::from_le_bytes(g.read::<4>(0).unwrap())), 6.0);
+        assert_eq!(stats.flops, 8); // one 4-wide FMA
+    }
+
+    #[test]
+    fn loop_with_condbr() {
+        // Sum 0..10 into global[0].
+        let mut f = Function::new("t", 1);
+        let t = Type::scalar(STy::I32);
+        let i = f.new_reg(t);
+        let acc = f.new_reg(t);
+        let p = f.new_reg(Type::scalar(STy::I1));
+        let mut entry = Block::new("entry");
+        entry.insts.push(Inst::Mov { ty: t, dst: i, a: Value::ImmI(0) });
+        entry.insts.push(Inst::Mov { ty: t, dst: acc, a: Value::ImmI(0) });
+        let mut head = Block::new("head");
+        head.insts.push(Inst::Bin { op: BinOp::Add, ty: t, signed: false, dst: acc, a: Value::Reg(acc), b: Value::Reg(i) });
+        head.insts.push(Inst::Bin { op: BinOp::Add, ty: t, signed: false, dst: i, a: Value::Reg(i), b: Value::ImmI(1) });
+        head.insts.push(Inst::Cmp { pred: CmpPred::Lt, ty: t, signed: true, dst: p, a: Value::Reg(i), b: Value::ImmI(10) });
+        let mut tail = Block::new("tail");
+        tail.insts.push(Inst::Store { ty: STy::I32, space: dpvk_ir::Space::Global, addr: Value::ImmI(0), value: Value::Reg(acc) });
+        tail.term = Term::Ret;
+        let e = f.add_block(entry);
+        let h = f.add_block(Block::new("p"));
+        let tl = f.add_block(tail);
+        head.term = Term::CondBr { cond: Value::Reg(p), taken: h, fall: tl };
+        f.blocks[h.index()] = head;
+        f.block_mut(e).term = Term::Br(h);
+        let g = GlobalMem::new(16);
+        run(&f, &g, &[]);
+        assert_eq!(u32::from_le_bytes(g.read::<4>(0).unwrap()), 45);
+    }
+
+    #[test]
+    fn switch_dispatch() {
+        let mut f = Function::new("t", 1);
+        let t = Type::scalar(STy::I32);
+        let id = f.new_reg(t);
+        let mut entry = Block::new("sched");
+        entry.insts.push(Inst::CtxRead { field: CtxField::EntryId, lane: 0, dst: id });
+        entry.term = Term::Switch {
+            value: Value::Reg(id),
+            cases: vec![(0, BlockId(1)), (5, BlockId(2))],
+            default: BlockId(1),
+        };
+        f.add_block(entry);
+        let mut b1 = Block::new("zero");
+        b1.insts.push(Inst::Store { ty: STy::I32, space: dpvk_ir::Space::Global, addr: Value::ImmI(0), value: Value::ImmI(111) });
+        b1.term = Term::Ret;
+        f.add_block(b1);
+        let mut b2 = Block::new("five");
+        b2.insts.push(Inst::Store { ty: STy::I32, space: dpvk_ir::Space::Global, addr: Value::ImmI(0), value: Value::ImmI(222) });
+        b2.term = Term::Ret;
+        f.add_block(b2);
+
+        let model = MachineModel::default();
+        let info = CostInfo::analyze(&f, &model);
+        let g = GlobalMem::new(16);
+        let mut ctxs = vec![ThreadContext::new([0; 3], [1, 1, 1], [0; 3], [1, 1, 1])];
+        let mut shared = vec![];
+        let mut local = vec![];
+        let mut mem = MemAccess { global: &g, shared: &mut shared, local: &mut local, param: &[], cbank: &[] };
+        let mut stats = ExecStats::default();
+        execute_warp(&f, &info, &model, &mut ctxs, 5, &mut mem, &mut stats, &ExecLimits::default()).unwrap();
+        assert_eq!(u32::from_le_bytes(g.read::<4>(0).unwrap()), 222);
+    }
+
+    #[test]
+    fn resume_points_and_status() {
+        let mut f = Function::new("t", 2);
+        let mut b = Block::new("exit");
+        b.kind = dpvk_ir::BlockKind::ExitHandler;
+        b.insts.push(Inst::SetResumePoint { lane: 0, value: Value::ImmI(3) });
+        b.insts.push(Inst::SetResumePoint { lane: 1, value: Value::ImmI(7) });
+        b.insts.push(Inst::SetResumeStatus { status: ResumeStatus::Branch });
+        b.term = Term::Ret;
+        f.add_block(b);
+        let g = GlobalMem::new(4);
+        let (out, stats, ctxs) = run(&f, &g, &[]);
+        assert_eq!(out.status, ResumeStatus::Branch);
+        assert_eq!(ctxs[0].resume_point, 3);
+        assert_eq!(ctxs[1].resume_point, 7);
+        // Cycles landed in the yield bucket.
+        assert!(stats.cycles_yield > 0);
+        assert_eq!(stats.cycles_body, 0);
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        let mut f = Function::new("t", 1);
+        let t = Type::scalar(STy::I32);
+        let a = f.new_reg(t);
+        let mut b = Block::new("entry");
+        b.insts.push(Inst::Bin { op: BinOp::Div, ty: t, signed: true, dst: a, a: Value::ImmI(1), b: Value::ImmI(0) });
+        b.term = Term::Ret;
+        f.add_block(b);
+        let model = MachineModel::default();
+        let info = CostInfo::zero();
+        let g = GlobalMem::new(4);
+        let mut ctxs = vec![ThreadContext::new([0; 3], [1, 1, 1], [0; 3], [1, 1, 1])];
+        let mut shared = vec![];
+        let mut local = vec![];
+        let mut mem = MemAccess { global: &g, shared: &mut shared, local: &mut local, param: &[], cbank: &[] };
+        let mut stats = ExecStats::default();
+        let err = execute_warp(&f, &info, &model, &mut ctxs, 0, &mut mem, &mut stats, &ExecLimits::default()).unwrap_err();
+        assert_eq!(err, VmError::DivisionByZero);
+    }
+
+    #[test]
+    fn watchdog_catches_infinite_loop() {
+        let mut f = Function::new("t", 1);
+        let mut b = Block::new("spin");
+        b.term = Term::Br(BlockId(0));
+        f.add_block(b);
+        let model = MachineModel::default();
+        let info = CostInfo::zero();
+        let g = GlobalMem::new(4);
+        let mut ctxs = vec![ThreadContext::new([0; 3], [1, 1, 1], [0; 3], [1, 1, 1])];
+        let mut shared = vec![];
+        let mut local = vec![];
+        let mut mem = MemAccess { global: &g, shared: &mut shared, local: &mut local, param: &[], cbank: &[] };
+        let mut stats = ExecStats::default();
+        let limits = ExecLimits { max_instructions: 1000 };
+        let err = execute_warp(&f, &info, &model, &mut ctxs, 0, &mut mem, &mut stats, &limits).unwrap_err();
+        assert!(matches!(err, VmError::Watchdog { .. }));
+    }
+
+    #[test]
+    fn signed_and_unsigned_semantics() {
+        assert_eq!(scalar_bin(BinOp::Shr, STy::I32, true, 0xFFFF_FFF0, 4).unwrap(), 0xFFFF_FFFF);
+        assert_eq!(scalar_bin(BinOp::Shr, STy::I32, false, 0xFFFF_FFF0, 4).unwrap(), 0x0FFF_FFFF);
+        assert_eq!(scalar_cmp(CmpPred::Lt, STy::I32, true, (-1i32) as u32 as u64, 0), 1);
+        assert_eq!(scalar_cmp(CmpPred::Lt, STy::I32, false, (-1i32) as u32 as u64, 0), 0);
+        assert_eq!(scalar_bin(BinOp::Min, STy::I32, true, (-5i32) as u32 as u64, 3).unwrap(), (-5i32) as u32 as u64);
+    }
+
+    #[test]
+    fn conversions() {
+        // f32 -> i32 truncation.
+        let bits = (3.7f32).to_bits() as u64;
+        assert_eq!(scalar_cvt(STy::I32, STy::F32, true, bits), 3);
+        // negative float to signed int.
+        let bits = (-2.5f32).to_bits() as u64;
+        assert_eq!(scalar_cvt(STy::I32, STy::F32, true, bits) as u32 as i32, -2);
+        // u32 -> f32.
+        let r = scalar_cvt(STy::F32, STy::I32, false, 0xFFFF_FFFF);
+        assert_eq!(f32::from_bits(r as u32), 4294967295.0f32);
+        // sign extension i16 -> i32.
+        assert_eq!(scalar_cvt(STy::I32, STy::I16, true, 0x8000) as u32, 0xFFFF_8000);
+    }
+
+    #[test]
+    fn reduce_and_vote() {
+        let mut f = Function::new("t", 1);
+        let vt = Type::vector(STy::I1, 4);
+        let v = f.new_reg(vt);
+        let sum = f.new_reg(Type::scalar(STy::I32));
+        let all = f.new_reg(Type::scalar(STy::I1));
+        let any = f.new_reg(Type::scalar(STy::I1));
+        let outv = f.new_reg(Type::scalar(STy::I32));
+        let mut b = Block::new("entry");
+        b.insts.push(Inst::Splat { ty: vt, dst: v, a: Value::ImmI(1) });
+        b.insts.push(Inst::Insert { ty: vt, dst: v, vec: Value::Reg(v), elem: Value::ImmI(0), lane: 2 });
+        b.insts.push(Inst::Reduce { op: ReduceOp::Add, ty: vt, dst: sum, vec: Value::Reg(v) });
+        b.insts.push(Inst::Reduce { op: ReduceOp::All, ty: vt, dst: all, vec: Value::Reg(v) });
+        b.insts.push(Inst::Reduce { op: ReduceOp::Any, ty: vt, dst: any, vec: Value::Reg(v) });
+        b.insts.push(Inst::Store { ty: STy::I32, space: dpvk_ir::Space::Global, addr: Value::ImmI(0), value: Value::Reg(sum) });
+        b.insts.push(Inst::Cvt { to: STy::I32, from: STy::I1, signed: false, width: 1, dst: outv, a: Value::Reg(all) });
+        b.insts.push(Inst::Store { ty: STy::I32, space: dpvk_ir::Space::Global, addr: Value::ImmI(4), value: Value::Reg(outv) });
+        b.insts.push(Inst::Cvt { to: STy::I32, from: STy::I1, signed: false, width: 1, dst: outv, a: Value::Reg(any) });
+        b.insts.push(Inst::Store { ty: STy::I32, space: dpvk_ir::Space::Global, addr: Value::ImmI(8), value: Value::Reg(outv) });
+        b.term = Term::Ret;
+        f.add_block(b);
+        let g = GlobalMem::new(16);
+        run(&f, &g, &[]);
+        assert_eq!(u32::from_le_bytes(g.read::<4>(0).unwrap()), 3);
+        assert_eq!(u32::from_le_bytes(g.read::<4>(4).unwrap()), 0);
+        assert_eq!(u32::from_le_bytes(g.read::<4>(8).unwrap()), 1);
+    }
+
+    #[test]
+    fn atomics_in_global_and_shared() {
+        let mut f = Function::new("t", 1);
+        let t = STy::I32;
+        let old = f.new_reg(Type::scalar(STy::I32));
+        let mut b = Block::new("entry");
+        b.insts.push(Inst::Atom { ty: t, space: dpvk_ir::Space::Global, op: AtomKind::Add, signed: false, dst: old, addr: Value::ImmI(0), a: Value::ImmI(5), b: None });
+        b.insts.push(Inst::Atom { ty: t, space: dpvk_ir::Space::Shared, op: AtomKind::Max, signed: true, dst: old, addr: Value::ImmI(0), a: Value::ImmI(9), b: None });
+        b.term = Term::Ret;
+        f.add_block(b);
+        let g = GlobalMem::new(16);
+        run(&f, &g, &[]);
+        assert_eq!(u32::from_le_bytes(g.read::<4>(0).unwrap()), 5);
+    }
+
+    #[test]
+    fn param_loads() {
+        let mut f = Function::new("t", 1);
+        let r = f.new_reg(Type::scalar(STy::I32));
+        let mut b = Block::new("entry");
+        b.insts.push(Inst::Load { ty: STy::I32, space: dpvk_ir::Space::Param, dst: r, addr: Value::ImmI(4) });
+        b.insts.push(Inst::Store { ty: STy::I32, space: dpvk_ir::Space::Global, addr: Value::ImmI(0), value: Value::Reg(r) });
+        b.term = Term::Ret;
+        f.add_block(b);
+        let g = GlobalMem::new(16);
+        let mut param = vec![0u8; 8];
+        param[4..8].copy_from_slice(&99u32.to_le_bytes());
+        run(&f, &g, &param);
+        assert_eq!(u32::from_le_bytes(g.read::<4>(0).unwrap()), 99);
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+    use crate::memory::GlobalMem;
+    use dpvk_ir::{Block, Space, VReg};
+
+    fn exec_single(f: &Function, g: &GlobalMem) {
+        let model = MachineModel::default();
+        let info = CostInfo::analyze(f, &model);
+        let mut ctxs: Vec<ThreadContext> = (0..f.warp_size)
+            .map(|i| ThreadContext::new([i, 0, 0], [f.warp_size, 1, 1], [0; 3], [1, 1, 1]))
+            .collect();
+        let mut shared = vec![0u8; 256];
+        let mut local = vec![0u8; 256];
+        let mut mem = MemAccess { global: g, shared: &mut shared, local: &mut local, param: &[], cbank: &[] };
+        let mut stats = ExecStats::default();
+        execute_warp(f, &info, &model, &mut ctxs, 0, &mut mem, &mut stats, &ExecLimits::default())
+            .unwrap();
+    }
+
+    fn store32(f: &mut Function, b: &mut Block, addr: i64, v: VReg) {
+        b.insts.push(Inst::Store { ty: STy::I32, space: Space::Global, addr: Value::ImmI(addr), value: Value::Reg(v) });
+        let _ = f;
+    }
+
+    #[test]
+    fn mulhi_signed_and_unsigned() {
+        let mut f = Function::new("t", 1);
+        let t = Type::scalar(STy::I32);
+        let a = f.new_reg(t);
+        let b_reg = f.new_reg(t);
+        let mut b = Block::new("entry");
+        // unsigned: 0xFFFFFFFF * 2 = 0x1_FFFF_FFFE -> hi = 1
+        b.insts.push(Inst::Bin { op: BinOp::MulHi, ty: t, signed: false, dst: a, a: Value::ImmI(0xFFFF_FFFF), b: Value::ImmI(2) });
+        // signed: -1 * 2 = -2 -> hi = -1 (0xFFFFFFFF)
+        b.insts.push(Inst::Bin { op: BinOp::MulHi, ty: t, signed: true, dst: b_reg, a: Value::ImmI(-1), b: Value::ImmI(2) });
+        store32(&mut f, &mut b, 0, a);
+        store32(&mut f, &mut b, 4, b_reg);
+        b.term = Term::Ret;
+        f.add_block(b);
+        let g = GlobalMem::new(16);
+        exec_single(&f, &g);
+        assert_eq!(u32::from_le_bytes(g.read::<4>(0).unwrap()), 1);
+        assert_eq!(u32::from_le_bytes(g.read::<4>(4).unwrap()), 0xFFFF_FFFF);
+    }
+
+    #[test]
+    fn vector_cvt_round_trips_lanes() {
+        let mut f = Function::new("t", 4);
+        let iv = Type::vector(STy::I32, 4);
+        let fv = Type::vector(STy::F32, 4);
+        let src = f.new_reg(iv);
+        let dst = f.new_reg(fv);
+        let e = f.new_reg(Type::scalar(STy::F32));
+        let mut b = Block::new("entry");
+        b.insts.push(Inst::Splat { ty: iv, dst: src, a: Value::ImmI(3) });
+        b.insts.push(Inst::Insert { ty: iv, dst: src, vec: Value::Reg(src), elem: Value::ImmI(-7), lane: 2 });
+        b.insts.push(Inst::Cvt { to: STy::F32, from: STy::I32, signed: true, width: 4, dst, a: Value::Reg(src) });
+        b.insts.push(Inst::Extract { ty: fv, dst: e, vec: Value::Reg(dst), lane: 2 });
+        b.insts.push(Inst::Store { ty: STy::F32, space: Space::Global, addr: Value::ImmI(0), value: Value::Reg(e) });
+        b.term = Term::Ret;
+        f.add_block(b);
+        let g = GlobalMem::new(16);
+        exec_single(&f, &g);
+        assert_eq!(f32::from_bits(u32::from_le_bytes(g.read::<4>(0).unwrap())), -7.0);
+    }
+
+    #[test]
+    fn i64_arithmetic_full_width() {
+        let mut f = Function::new("t", 1);
+        let t = Type::scalar(STy::I64);
+        let a = f.new_reg(t);
+        let mut b = Block::new("entry");
+        b.insts.push(Inst::Bin { op: BinOp::Mul, ty: t, signed: false, dst: a, a: Value::ImmI(0x1_0000_0001), b: Value::ImmI(0x10) });
+        b.insts.push(Inst::Store { ty: STy::I64, space: Space::Global, addr: Value::ImmI(0), value: Value::Reg(a) });
+        b.term = Term::Ret;
+        f.add_block(b);
+        let g = GlobalMem::new(16);
+        exec_single(&f, &g);
+        assert_eq!(u64::from_le_bytes(g.read::<8>(0).unwrap()), 0x10_0000_0010);
+    }
+
+    #[test]
+    fn f64_precision_is_preserved() {
+        let mut f = Function::new("t", 1);
+        let t = Type::scalar(STy::F64);
+        let a = f.new_reg(t);
+        let mut b = Block::new("entry");
+        b.insts.push(Inst::Bin { op: BinOp::Div, ty: t, signed: false, dst: a, a: Value::ImmF(1.0), b: Value::ImmF(3.0) });
+        b.insts.push(Inst::Store { ty: STy::F64, space: Space::Global, addr: Value::ImmI(0), value: Value::Reg(a) });
+        b.term = Term::Ret;
+        f.add_block(b);
+        let g = GlobalMem::new(16);
+        exec_single(&f, &g);
+        assert_eq!(f64::from_bits(u64::from_le_bytes(g.read::<8>(0).unwrap())), 1.0 / 3.0);
+    }
+
+    #[test]
+    fn narrow_memory_ops_mask_correctly() {
+        let mut f = Function::new("t", 1);
+        let a = f.new_reg(Type::scalar(STy::I32));
+        let mut b = Block::new("entry");
+        b.insts.push(Inst::Mov { ty: Type::scalar(STy::I32), dst: a, a: Value::ImmI(0x1234_5678) });
+        b.insts.push(Inst::Store { ty: STy::I8, space: Space::Global, addr: Value::ImmI(0), value: Value::Reg(a) });
+        b.insts.push(Inst::Store { ty: STy::I16, space: Space::Global, addr: Value::ImmI(2), value: Value::Reg(a) });
+        b.term = Term::Ret;
+        f.add_block(b);
+        let g = GlobalMem::new(16);
+        exec_single(&f, &g);
+        assert_eq!(g.read::<1>(0).unwrap()[0], 0x78);
+        assert_eq!(u16::from_le_bytes(g.read::<2>(2).unwrap()), 0x5678);
+        assert_eq!(g.read::<1>(1).unwrap()[0], 0); // byte store touched one byte
+    }
+
+    #[test]
+    fn out_of_bounds_shared_access_reports_space() {
+        let mut f = Function::new("t", 1);
+        let a = f.new_reg(Type::scalar(STy::I32));
+        let mut b = Block::new("entry");
+        b.insts.push(Inst::Load { ty: STy::I32, space: Space::Shared, dst: a, addr: Value::ImmI(10_000) });
+        b.term = Term::Ret;
+        f.add_block(b);
+        let model = MachineModel::default();
+        let info = CostInfo::zero();
+        let g = GlobalMem::new(16);
+        let mut ctxs = vec![ThreadContext::new([0; 3], [1, 1, 1], [0; 3], [1, 1, 1])];
+        let mut shared = vec![0u8; 64];
+        let mut local = vec![];
+        let mut mem = MemAccess { global: &g, shared: &mut shared, local: &mut local, param: &[], cbank: &[] };
+        let mut stats = ExecStats::default();
+        let err = execute_warp(&f, &info, &model, &mut ctxs, 0, &mut mem, &mut stats, &ExecLimits::default())
+            .unwrap_err();
+        match err {
+            VmError::OutOfBounds { space, space_size, .. } => {
+                assert_eq!(space, Space::Shared);
+                assert_eq!(space_size, 64);
+            }
+            other => panic!("expected OOB, got {other:?}"),
+        }
+    }
+}

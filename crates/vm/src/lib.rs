@@ -1,0 +1,71 @@
+//! # dpvk-vm
+//!
+//! The simulated vector machine of the CGO 2012 reproduction: an
+//! interpreter for `dpvk-ir` functions with a Sandybridge-like cost model.
+//!
+//! In the paper, vectorized kernels are JIT-compiled by LLVM and run on a
+//! real i7-2600. This crate substitutes a cycle-accurate-*enough*
+//! interpreter: every instruction charges issue slots under a
+//! [`MachineModel`], vector operations amortize lanes up to the machine
+//! width, register pressure beyond the architectural vector file charges
+//! spill penalties, and cycles are attributed to subkernel vs. yield
+//! buckets per block kind. The resulting *shapes* — vector speedup, the
+//! width-8 collapse of Table 1, the overhead split of Figure 9 — are the
+//! quantities the paper's evaluation measures.
+//!
+//! ## Example: running a warp by hand
+//!
+//! ```
+//! use dpvk_ir::{Block, Function, Inst, Space, STy, Term, Type, Value};
+//! use dpvk_vm::{
+//!     execute_warp, CostInfo, ExecLimits, ExecStats, GlobalMem, MachineModel, MemAccess,
+//!     ThreadContext,
+//! };
+//!
+//! // A one-instruction kernel: global[0] = 42.
+//! let mut f = Function::new("store42", 1);
+//! let mut b = Block::new("entry");
+//! b.insts.push(Inst::Store {
+//!     ty: STy::I32,
+//!     space: Space::Global,
+//!     addr: Value::ImmI(0),
+//!     value: Value::ImmI(42),
+//! });
+//! b.term = Term::Ret;
+//! f.add_block(b);
+//!
+//! let model = MachineModel::sandybridge_sse();
+//! let info = CostInfo::analyze(&f, &model);
+//! let global = GlobalMem::new(64);
+//! let mut ctxs = vec![ThreadContext::new([0; 3], [1, 1, 1], [0; 3], [1, 1, 1])];
+//! let (mut shared, mut local) = (vec![0u8; 0], vec![0u8; 0]);
+//! let mut mem = MemAccess {
+//!     global: &global,
+//!     shared: &mut shared,
+//!     local: &mut local,
+//!     param: &[],
+//!     cbank: &[],
+//! };
+//! let mut stats = ExecStats::default();
+//! execute_warp(&f, &info, &model, &mut ctxs, 0, &mut mem, &mut stats, &ExecLimits::default())?;
+//! assert_eq!(u32::from_le_bytes(global.read::<4>(0)?), 42);
+//! # Ok::<(), dpvk_vm::VmError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod context;
+mod cost;
+mod error;
+mod interp;
+mod machine;
+mod memory;
+mod stats;
+
+pub use context::ThreadContext;
+pub use cost::{inst_cost, inst_flops, term_cost, CostInfo};
+pub use error::VmError;
+pub use interp::{execute_warp, ExecLimits, WarpOutcome};
+pub use machine::MachineModel;
+pub use memory::{GlobalMem, MemAccess};
+pub use stats::ExecStats;

@@ -1,0 +1,114 @@
+//! Execution statistics: the raw material of the paper's Figures 7–9.
+
+/// Cycle and event counters accumulated while executing kernels.
+///
+/// Cycles are split into the three phases of the paper's Figure 9:
+/// subkernel execution (`cycles_body`), yield save/restore overhead
+/// (`cycles_yield`, cycles spent in compiler-inserted scheduler, entry and
+/// exit handler blocks), and execution-manager overhead (`cycles_manager`,
+/// charged by `dpvk-core`'s execution manager for warp formation, barrier
+/// bookkeeping and translation-cache queries).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Modeled cycles in kernel body blocks.
+    pub cycles_body: u64,
+    /// Modeled cycles in scheduler/entry/exit handler blocks.
+    pub cycles_yield: u64,
+    /// Modeled cycles charged by the execution manager.
+    pub cycles_manager: u64,
+    /// Dynamic instructions executed (terminators included).
+    pub instructions: u64,
+    /// Single-precision-equivalent floating-point operations.
+    pub flops: u64,
+    /// Scalar loads executed.
+    pub loads: u64,
+    /// Scalar stores executed.
+    pub stores: u64,
+    /// Loads executed inside entry-handler blocks (live-state restores);
+    /// divided by thread-entries this gives the paper's Figure 8 metric.
+    pub restore_loads: u64,
+    /// Stores executed inside exit-handler blocks (live-state spills).
+    pub spill_stores: u64,
+    /// Warp executions, i.e. kernel entries from the execution manager.
+    pub warp_entries: u64,
+    /// Sum of warp sizes over all entries (thread-entries).
+    pub thread_entries: u64,
+}
+
+impl ExecStats {
+    /// Total modeled cycles across all phases.
+    pub fn total_cycles(&self) -> u64 {
+        self.cycles_body + self.cycles_yield + self.cycles_manager
+    }
+
+    /// Add another stats block into this one.
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.cycles_body += other.cycles_body;
+        self.cycles_yield += other.cycles_yield;
+        self.cycles_manager += other.cycles_manager;
+        self.instructions += other.instructions;
+        self.flops += other.flops;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.restore_loads += other.restore_loads;
+        self.spill_stores += other.spill_stores;
+        self.warp_entries += other.warp_entries;
+        self.thread_entries += other.thread_entries;
+    }
+
+    /// Average warp size over all kernel entries.
+    pub fn average_warp_size(&self) -> f64 {
+        if self.warp_entries == 0 {
+            return 0.0;
+        }
+        self.thread_entries as f64 / self.warp_entries as f64
+    }
+
+    /// Average values restored per thread at entry points (Figure 8).
+    pub fn average_values_restored(&self) -> f64 {
+        if self.thread_entries == 0 {
+            return 0.0;
+        }
+        self.restore_loads as f64 / self.thread_entries as f64
+    }
+
+    /// GFLOP/s at the given clock, from modeled cycles on one core.
+    pub fn gflops(&self, clock_ghz: f64) -> f64 {
+        let cycles = self.total_cycles();
+        if cycles == 0 {
+            return 0.0;
+        }
+        self.flops as f64 * clock_ghz / cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = ExecStats { cycles_body: 10, flops: 4, warp_entries: 1, thread_entries: 4, ..Default::default() };
+        let b = ExecStats { cycles_body: 5, cycles_manager: 2, flops: 2, warp_entries: 1, thread_entries: 2, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.cycles_body, 15);
+        assert_eq!(a.cycles_manager, 2);
+        assert_eq!(a.flops, 6);
+        assert_eq!(a.average_warp_size(), 3.0);
+    }
+
+    #[test]
+    fn gflops_uses_total_cycles() {
+        let s = ExecStats { cycles_body: 50, cycles_yield: 25, cycles_manager: 25, flops: 200, ..Default::default() };
+        // 200 flops / 100 cycles * 1 GHz = 2 GFLOP/s.
+        assert!((s.gflops(1.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_divide_safely() {
+        let s = ExecStats::default();
+        assert_eq!(s.average_warp_size(), 0.0);
+        assert_eq!(s.average_values_restored(), 0.0);
+        assert_eq!(s.gflops(3.4), 0.0);
+    }
+}

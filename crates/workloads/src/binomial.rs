@@ -1,0 +1,205 @@
+//! Binomial option pricing: one option per CTA, a barrier-stepped
+//! backward-induction loop over a shared-memory value array. Uniform
+//! control flow with heavy synchronization (the paper reports 2.25×
+//! speedup but substantial execution-manager time).
+
+use dpvk_core::{Device, ExecConfig, ParamValue};
+
+use crate::common::{check_f32, random_f32, rng_for, Outcome, Workload, WorkloadError};
+
+const OPTIONS: usize = 8;
+const STEPS: usize = 32; // also the CTA size
+const RISK_FREE: f32 = 0.02;
+const VOLATILITY: f32 = 0.3;
+const YEARS: f32 = 1.0;
+
+/// European call priced on a recombining binomial tree.
+#[derive(Debug)]
+pub struct BinomialOptions;
+
+impl Workload for BinomialOptions {
+    fn name(&self) -> &'static str {
+        "binomial_options"
+    }
+
+    fn stands_for(&self) -> &'static str {
+        "BinomialOptions (uniform, barrier-stepped reduction)"
+    }
+
+    fn source(&self) -> String {
+        // Leaf i value: max(S*u^i*d^(STEPS-i) - X, 0); then STEPS rounds of
+        // v[i] = (pu*v[i+1] + pd*v[i]) * discount with a barrier each round.
+        // Parameters per option: [S, X] pairs; pu, pd, discount, u, d are
+        // uniform scalars.
+        r#"
+.kernel binomial (.param .u64 sx, .param .u64 out, .param .u32 steps,
+                  .param .f32 pu, .param .f32 pd, .param .f32 disc,
+                  .param .f32 up, .param .f32 down) {
+  .shared .f32 vals[33];
+  .reg .u32 %r<8>;
+  .reg .u64 %rd<8>;
+  .reg .f32 %f<18>;
+  .reg .pred %p<3>;
+entry:
+  mov.u32 %r0, %tid.x;          // leaf index
+  mov.u32 %r1, %ctaid.x;        // option index
+  shl.u32 %r2, %r1, 3;
+  cvt.u64.u32 %rd0, %r2;
+  ld.param.u64 %rd1, [sx];
+  add.u64 %rd1, %rd1, %rd0;
+  ld.global.f32 %f0, [%rd1];    // S
+  ld.global.f32 %f1, [%rd1+4];  // X
+  // leaf value for index tid: S * up^tid * down^(steps-tid)
+  ld.param.f32 %f2, [up];
+  ld.param.f32 %f3, [down];
+  ld.param.u32 %r3, [steps];
+  // leaf = S * up^tid * down^(steps - tid), computed branch-free via
+  // exp2/log2 so the setup stays uniform across the warp.
+  cvt.rn.f32.u32 %f14, %r0;
+  lg2.approx.f32 %f15, %f2;
+  mul.f32 %f15, %f15, %f14;
+  ex2.approx.f32 %f15, %f15;      // up^tid
+  sub.u32 %r5, %r3, %r0;
+  cvt.rn.f32.u32 %f14, %r5;
+  lg2.approx.f32 %f16, %f3;
+  mul.f32 %f16, %f16, %f14;
+  ex2.approx.f32 %f16, %f16;      // down^(steps-tid)
+  mul.f32 %f4, %f0, %f15;
+  mul.f32 %f4, %f4, %f16;
+  sub.f32 %f4, %f4, %f1;
+  mov.f32 %f5, 0.0;
+  max.f32 %f4, %f4, %f5;
+  // vals[tid] = leaf (also thread 0 computes vals[steps] via an extra
+  // iteration handled by the thread with tid == 0 writing index steps).
+  shl.u32 %r6, %r0, 2;
+  cvt.u64.u32 %rd2, %r6;
+  mov.u64 %rd3, vals;
+  add.u64 %rd4, %rd3, %rd2;
+  st.shared.f32 [%rd4], %f4;
+  // Thread 0 computes the top leaf (index steps).
+  setp.ne.u32 %p0, %r0, 0;
+  @%p0 bra reduce_init;
+  cvt.rn.f32.u32 %f14, %r3;
+  lg2.approx.f32 %f15, %f2;
+  mul.f32 %f15, %f15, %f14;
+  ex2.approx.f32 %f15, %f15;      // up^steps
+  mul.f32 %f6, %f0, %f15;
+  sub.f32 %f6, %f6, %f1;
+  mov.f32 %f5, 0.0;
+  max.f32 %f6, %f6, %f5;
+  shl.u32 %r6, %r3, 2;
+  cvt.u64.u32 %rd5, %r6;
+  add.u64 %rd5, %rd3, %rd5;
+  st.shared.f32 [%rd5], %f6;
+reduce_init:
+  ld.param.f32 %f7, [pu];
+  ld.param.f32 %f8, [pd];
+  ld.param.f32 %f9, [disc];
+  mov.u32 %r7, %r3;             // active = steps
+reduce:
+  bar.sync 0;
+  setp.ge.u32 %p1, %r0, %r7;
+  @%p1 bra next;
+  ld.shared.f32 %f10, [%rd4+4]; // v[tid+1]
+  ld.shared.f32 %f11, [%rd4];   // v[tid]
+  mul.f32 %f12, %f7, %f10;
+  fma.rn.f32 %f12, %f8, %f11, %f12;
+  mul.f32 %f12, %f12, %f9;
+  bar.sync 0;
+  st.shared.f32 [%rd4], %f12;
+  bra merged;
+next:
+  bar.sync 0;
+merged:
+  sub.u32 %r7, %r7, 1;
+  setp.gt.u32 %p2, %r7, 0;
+  @%p2 bra reduce;
+  setp.ne.u32 %p0, %r0, 0;
+  @%p0 bra done;
+  ld.shared.f32 %f13, [vals];
+  cvt.u64.u32 %rd6, %r1;
+  shl.u64 %rd6, %rd6, 2;
+  ld.param.u64 %rd7, [out];
+  add.u64 %rd7, %rd7, %rd6;
+  st.global.f32 [%rd7], %f13;
+done:
+  ret;
+}
+"#
+        .to_string()
+    }
+
+    fn run(&self, dev: &Device, config: &ExecConfig) -> Result<Outcome, WorkloadError> {
+        let mut rng = rng_for(self.name());
+        let spots = random_f32(&mut rng, OPTIONS, 10.0, 50.0);
+        let strikes = random_f32(&mut rng, OPTIONS, 10.0, 50.0);
+        let mut sx = Vec::with_capacity(OPTIONS * 2);
+        for i in 0..OPTIONS {
+            sx.push(spots[i]);
+            sx.push(strikes[i]);
+        }
+        let dt = YEARS / STEPS as f32;
+        let up = (VOLATILITY * dt.sqrt()).exp();
+        let down = 1.0 / up;
+        let growth = (RISK_FREE * dt).exp();
+        let pu = (growth - down) / (up - down);
+        let pd = 1.0 - pu;
+        let disc = 1.0 / growth;
+
+        let psx = dev.malloc(OPTIONS * 8)?;
+        let pout = dev.malloc(OPTIONS * 4)?;
+        dev.copy_f32_htod(psx, &sx)?;
+        let stats = dev.launch(
+            "binomial",
+            [OPTIONS as u32, 1, 1],
+            [STEPS as u32, 1, 1],
+            &[
+                ParamValue::Ptr(psx),
+                ParamValue::Ptr(pout),
+                ParamValue::U32(STEPS as u32),
+                ParamValue::F32(pu),
+                ParamValue::F32(pd),
+                ParamValue::F32(disc),
+                ParamValue::F32(up),
+                ParamValue::F32(down),
+            ],
+            config,
+        )?;
+        let got = dev.copy_f32_dtoh(pout, OPTIONS)?;
+        let want: Vec<f32> = (0..OPTIONS)
+            .map(|i| reference(spots[i], strikes[i], pu, pd, disc, up, down))
+            .collect();
+        check_f32(self.name(), &got, &want, 5e-3)?;
+        Ok(Outcome { stats })
+    }
+}
+
+fn reference(s: f32, x: f32, pu: f32, pd: f32, disc: f32, up: f32, down: f32) -> f32 {
+    let mut vals: Vec<f32> = (0..=STEPS)
+        .map(|i| {
+            // Match the kernel's exp2/log2 leaf computation.
+            let up_i = (i as f32 * up.log2()).exp2();
+            let down_i = ((STEPS - i) as f32 * down.log2()).exp2();
+            (s * up_i * down_i - x).max(0.0)
+        })
+        .collect();
+    for active in (1..=STEPS).rev() {
+        for i in 0..active {
+            vals[i] = pd.mul_add(vals[i], pu * vals[i + 1]) * disc;
+        }
+    }
+    vals[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::WorkloadExt;
+
+    #[test]
+    fn validates() {
+        BinomialOptions.run_checked(&ExecConfig::baseline()).unwrap();
+        BinomialOptions.run_checked(&ExecConfig::dynamic(4)).unwrap();
+        BinomialOptions.run_checked(&ExecConfig::static_tie(4)).unwrap();
+    }
+}

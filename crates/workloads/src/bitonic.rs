@@ -1,0 +1,123 @@
+//! Bitonic sort of one shared-memory segment per CTA: nested strides with
+//! a barrier per step and direction-dependent compare-exchange — heavy
+//! structured divergence.
+
+use dpvk_core::{Device, ExecConfig, ParamValue};
+
+use crate::common::{check_u32, random_u32, rng_for, Outcome, Workload, WorkloadError};
+
+const N: usize = 128;
+const CTA: usize = 64;
+
+/// Sorts each 64-element segment ascending.
+#[derive(Debug)]
+pub struct BitonicSort;
+
+impl Workload for BitonicSort {
+    fn name(&self) -> &'static str {
+        "bitonic"
+    }
+
+    fn stands_for(&self) -> &'static str {
+        "Bitonic sort (heavy structured divergence + barriers)"
+    }
+
+    fn source(&self) -> String {
+        r#"
+.kernel bitonic (.param .u64 data, .param .u64 out) {
+  .shared .u32 buf[64];
+  .reg .u32 %r<14>;
+  .reg .u64 %rd<8>;
+  .reg .pred %p<6>;
+entry:
+  mov.u32 %r0, %tid.x;
+  mad.lo.u32 %r1, %ctaid.x, %ntid.x, %r0;
+  shl.u32 %r2, %r1, 2;
+  cvt.u64.u32 %rd0, %r2;
+  ld.param.u64 %rd1, [data];
+  add.u64 %rd1, %rd1, %rd0;
+  ld.global.u32 %r3, [%rd1];
+  shl.u32 %r4, %r0, 2;
+  cvt.u64.u32 %rd2, %r4;
+  mov.u64 %rd3, buf;
+  add.u64 %rd4, %rd3, %rd2;
+  st.shared.u32 [%rd4], %r3;
+  mov.u32 %r5, 2;               // k: size of sorted runs
+outer:
+  shr.u32 %r6, %r5, 1;          // j
+inner:
+  bar.sync 0;
+  xor.b32 %r7, %r0, %r6;        // partner
+  setp.le.u32 %p0, %r7, %r0;    // only the low thread of a pair works
+  @%p0 bra skip;
+  shl.u32 %r8, %r7, 2;
+  cvt.u64.u32 %rd5, %r8;
+  add.u64 %rd6, %rd3, %rd5;
+  ld.shared.u32 %r9, [%rd6];    // partner value
+  ld.shared.u32 %r10, [%rd4];   // own value
+  // ascending iff (tid & k) == 0
+  and.b32 %r11, %r0, %r5;
+  setp.eq.u32 %p1, %r11, 0;
+  setp.gt.u32 %p2, %r10, %r9;   // own > partner
+  and.pred %p3, %p1, %p2;
+  not.pred %p4, %p1;
+  setp.lt.u32 %p2, %r10, %r9;
+  and.pred %p5, %p4, %p2;
+  or.pred %p3, %p3, %p5;        // swap?
+  @!%p3 bra skip;
+  st.shared.u32 [%rd4], %r9;
+  st.shared.u32 [%rd6], %r10;
+skip:
+  shr.u32 %r6, %r6, 1;
+  setp.gt.u32 %p0, %r6, 0;
+  @%p0 bra inner;
+  shl.u32 %r5, %r5, 1;
+  setp.le.u32 %p0, %r5, %ntid.x;
+  @%p0 bra outer;
+  bar.sync 0;
+  ld.shared.u32 %r12, [%rd4];
+  ld.param.u64 %rd7, [out];
+  add.u64 %rd7, %rd7, %rd0;
+  st.global.u32 [%rd7], %r12;
+  ret;
+}
+"#
+        .to_string()
+    }
+
+    fn run(&self, dev: &Device, config: &ExecConfig) -> Result<Outcome, WorkloadError> {
+        let mut rng = rng_for(self.name());
+        let data = random_u32(&mut rng, N, 10_000);
+        let pd = dev.malloc(N * 4)?;
+        let po = dev.malloc(N * 4)?;
+        dev.copy_u32_htod(pd, &data)?;
+        let stats = dev.launch(
+            "bitonic",
+            [(N / CTA) as u32, 1, 1],
+            [CTA as u32, 1, 1],
+            &[ParamValue::Ptr(pd), ParamValue::Ptr(po)],
+            config,
+        )?;
+        let got = dev.copy_u32_dtoh(po, N)?;
+        let mut want = vec![0u32; N];
+        for seg in 0..(N / CTA) {
+            let mut v: Vec<u32> = data[seg * CTA..(seg + 1) * CTA].to_vec();
+            v.sort_unstable();
+            want[seg * CTA..(seg + 1) * CTA].copy_from_slice(&v);
+        }
+        check_u32(self.name(), &got, &want)?;
+        Ok(Outcome { stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::WorkloadExt;
+
+    #[test]
+    fn validates() {
+        BitonicSort.run_checked(&ExecConfig::baseline()).unwrap();
+        BitonicSort.run_checked(&ExecConfig::dynamic(4)).unwrap();
+    }
+}

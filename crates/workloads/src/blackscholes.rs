@@ -1,0 +1,233 @@
+//! Black–Scholes European option pricing: compute-bound, fully uniform,
+//! transcendental-heavy (the classic CUDA SDK workload).
+
+use dpvk_core::{Device, ExecConfig, ParamValue};
+
+use crate::common::{check_f32, random_f32, rng_for, Outcome, Workload, WorkloadError};
+
+const N: usize = 1024;
+const CTA: u32 = 64;
+const RISK_FREE: f32 = 0.02;
+const VOLATILITY: f32 = 0.30;
+
+/// Call-option pricing via the cumulative-normal polynomial approximation.
+#[derive(Debug)]
+pub struct BlackScholes;
+
+impl Workload for BlackScholes {
+    fn name(&self) -> &'static str {
+        "blackscholes"
+    }
+
+    fn stands_for(&self) -> &'static str {
+        "BlackScholes (compute-bound uniform, transcendentals)"
+    }
+
+    fn source(&self) -> String {
+        // CND(d) = 1 - n(d)(a1 k + a2 k^2 + ... + a5 k^5), k = 1/(1+0.2316419 d)
+        // with the d<0 mirror handled by selp (no control flow).
+        r#"
+.kernel blackscholes (.param .u64 spot, .param .u64 strike, .param .u64 years,
+                      .param .u64 call, .param .u32 n,
+                      .param .f32 riskfree, .param .f32 vol) {
+  .reg .u32 %r<4>;
+  .reg .u64 %rd<6>;
+  .reg .f32 %f<30>;
+  .reg .pred %p<4>;
+entry:
+  mov.u32 %r0, %tid.x;
+  mad.lo.u32 %r0, %ctaid.x, %ntid.x, %r0;
+  ld.param.u32 %r1, [n];
+  setp.ge.u32 %p0, %r0, %r1;
+  @%p0 bra done;
+  cvt.u64.u32 %rd0, %r0;
+  shl.u64 %rd0, %rd0, 2;
+  ld.param.u64 %rd1, [spot];
+  add.u64 %rd1, %rd1, %rd0;
+  ld.global.f32 %f0, [%rd1];      // S
+  ld.param.u64 %rd2, [strike];
+  add.u64 %rd2, %rd2, %rd0;
+  ld.global.f32 %f1, [%rd2];      // X
+  ld.param.u64 %rd3, [years];
+  add.u64 %rd3, %rd3, %rd0;
+  ld.global.f32 %f2, [%rd3];      // T
+  ld.param.f32 %f3, [riskfree];   // R
+  ld.param.f32 %f4, [vol];        // V
+
+  // d1 = (log(S/X) + (R + V*V/2) T) / (V sqrt(T)); log(x) = lg2(x) * ln(2)
+  div.rn.f32 %f5, %f0, %f1;
+  lg2.approx.f32 %f5, %f5;
+  mov.f32 %f6, 0.6931471805599453;
+  mul.f32 %f5, %f5, %f6;          // ln(S/X)
+  mul.f32 %f7, %f4, %f4;
+  mov.f32 %f8, 0.5;
+  mul.f32 %f7, %f7, %f8;
+  add.f32 %f7, %f7, %f3;          // R + V^2/2
+  fma.rn.f32 %f5, %f7, %f2, %f5;  // + (R+V^2/2) T
+  sqrt.rn.f32 %f9, %f2;           // sqrt(T)
+  mul.f32 %f10, %f4, %f9;         // V sqrt(T)
+  div.rn.f32 %f11, %f5, %f10;     // d1
+  sub.f32 %f12, %f11, %f10;       // d2
+
+  // CND(d1) -> %f13, CND(d2) -> %f14 (inlined twice).
+  // --- CND(%f11) ---
+  abs.f32 %f15, %f11;
+  mov.f32 %f16, 0.2316419;
+  fma.rn.f32 %f16, %f16, %f15, 1.0;
+  rcp.approx.f32 %f16, %f16;      // k
+  mul.f32 %f17, %f15, %f15;
+  mov.f32 %f18, -0.5;
+  mul.f32 %f17, %f17, %f18;
+  mov.f32 %f19, 1.4426950408889634;
+  mul.f32 %f17, %f17, %f19;
+  ex2.approx.f32 %f17, %f17;      // exp(-d^2/2)
+  mov.f32 %f18, 0.39894228040143267;
+  mul.f32 %f17, %f17, %f18;       // n(d)
+  mov.f32 %f20, 1.330274429;
+  mov.f32 %f21, -1.821255978;
+  fma.rn.f32 %f21, %f20, %f16, %f21;
+  mov.f32 %f20, 1.781477937;
+  fma.rn.f32 %f20, %f21, %f16, %f20;
+  mov.f32 %f21, -0.356563782;
+  fma.rn.f32 %f21, %f20, %f16, %f21;
+  mov.f32 %f20, 0.319381530;
+  fma.rn.f32 %f20, %f21, %f16, %f20;
+  mul.f32 %f20, %f20, %f16;       // poly(k)
+  mul.f32 %f20, %f20, %f17;       // n(d) poly(k)
+  mov.f32 %f21, 1.0;
+  sub.f32 %f13, %f21, %f20;       // CND(|d|)
+  sub.f32 %f22, %f21, %f13;       // 1 - CND
+  setp.lt.f32 %p1, %f11, 0.0;
+  selp.f32 %f13, %f22, %f13, %p1;
+  // --- CND(%f12) ---
+  abs.f32 %f15, %f12;
+  mov.f32 %f16, 0.2316419;
+  fma.rn.f32 %f16, %f16, %f15, 1.0;
+  rcp.approx.f32 %f16, %f16;
+  mul.f32 %f17, %f15, %f15;
+  mov.f32 %f18, -0.5;
+  mul.f32 %f17, %f17, %f18;
+  mov.f32 %f19, 1.4426950408889634;
+  mul.f32 %f17, %f17, %f19;
+  ex2.approx.f32 %f17, %f17;
+  mov.f32 %f18, 0.39894228040143267;
+  mul.f32 %f17, %f17, %f18;
+  mov.f32 %f20, 1.330274429;
+  mov.f32 %f21, -1.821255978;
+  fma.rn.f32 %f21, %f20, %f16, %f21;
+  mov.f32 %f20, 1.781477937;
+  fma.rn.f32 %f20, %f21, %f16, %f20;
+  mov.f32 %f21, -0.356563782;
+  fma.rn.f32 %f21, %f20, %f16, %f21;
+  mov.f32 %f20, 0.319381530;
+  fma.rn.f32 %f20, %f21, %f16, %f20;
+  mul.f32 %f20, %f20, %f16;
+  mul.f32 %f20, %f20, %f17;
+  mov.f32 %f21, 1.0;
+  sub.f32 %f14, %f21, %f20;
+  sub.f32 %f22, %f21, %f14;
+  setp.lt.f32 %p2, %f12, 0.0;
+  selp.f32 %f14, %f22, %f14, %p2;
+
+  // call = S*CND(d1) - X*exp(-R T)*CND(d2); exp(x) = ex2(x*log2 e)
+  neg.f32 %f23, %f3;
+  mul.f32 %f23, %f23, %f2;
+  mov.f32 %f19, 1.4426950408889634;
+  mul.f32 %f23, %f23, %f19;
+  ex2.approx.f32 %f23, %f23;      // exp(-RT)
+  mul.f32 %f24, %f1, %f23;        // X exp(-RT)
+  mul.f32 %f24, %f24, %f14;       // * CND(d2)
+  mul.f32 %f25, %f0, %f13;        // S CND(d1)
+  sub.f32 %f25, %f25, %f24;
+  ld.param.u64 %rd4, [call];
+  add.u64 %rd4, %rd4, %rd0;
+  st.global.f32 [%rd4], %f25;
+done:
+  ret;
+}
+"#
+        .to_string()
+    }
+
+    fn run(&self, dev: &Device, config: &ExecConfig) -> Result<Outcome, WorkloadError> {
+        let mut rng = rng_for(self.name());
+        let spot = random_f32(&mut rng, N, 5.0, 30.0);
+        let strike = random_f32(&mut rng, N, 1.0, 100.0);
+        let years = random_f32(&mut rng, N, 0.25, 10.0);
+        let ps = dev.malloc(N * 4)?;
+        let px = dev.malloc(N * 4)?;
+        let pt = dev.malloc(N * 4)?;
+        let pc = dev.malloc(N * 4)?;
+        dev.copy_f32_htod(ps, &spot)?;
+        dev.copy_f32_htod(px, &strike)?;
+        dev.copy_f32_htod(pt, &years)?;
+        let stats = dev.launch(
+            "blackscholes",
+            [(N as u32).div_ceil(CTA), 1, 1],
+            [CTA, 1, 1],
+            &[
+                ParamValue::Ptr(ps),
+                ParamValue::Ptr(px),
+                ParamValue::Ptr(pt),
+                ParamValue::Ptr(pc),
+                ParamValue::U32(N as u32),
+                ParamValue::F32(RISK_FREE),
+                ParamValue::F32(VOLATILITY),
+            ],
+            config,
+        )?;
+        let got = dev.copy_f32_dtoh(pc, N)?;
+        let want: Vec<f32> = (0..N)
+            .map(|i| reference_call(spot[i], strike[i], years[i], RISK_FREE, VOLATILITY))
+            .collect();
+        check_f32(self.name(), &got, &want, 2e-3)?;
+        Ok(Outcome { stats })
+    }
+}
+
+fn cnd(d: f32) -> f32 {
+    let a = d.abs();
+    let k = 1.0 / 0.2316419f32.mul_add(a, 1.0);
+    let pdf = 0.39894228040143267 * (-0.5 * a * a).exp();
+    let poly = 0.319381530f32
+        + k * (-0.356563782 + k * (1.781477937 + k * (-1.821255978 + k * 1.330274429)));
+    let c = 1.0 - pdf * poly * k;
+    if d < 0.0 {
+        1.0 - c
+    } else {
+        c
+    }
+}
+
+fn reference_call(s: f32, x: f32, t: f32, r: f32, v: f32) -> f32 {
+    let sqrt_t = t.sqrt();
+    let d1 = ((s / x).ln() + (r + 0.5 * v * v) * t) / (v * sqrt_t);
+    let d2 = d1 - v * sqrt_t;
+    s * cnd(d1) - x * (-r * t).exp() * cnd(d2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::WorkloadExt;
+
+    #[test]
+    fn validates_scalar_and_vector() {
+        BlackScholes.run_checked(&ExecConfig::baseline()).unwrap();
+        BlackScholes.run_checked(&ExecConfig::dynamic(4)).unwrap();
+    }
+
+    #[test]
+    fn compute_bound_kernel_speeds_up() {
+        let s1 = BlackScholes
+            .run_checked(&ExecConfig::baseline().with_workers(1))
+            .unwrap()
+            .stats;
+        let s4 = BlackScholes
+            .run_checked(&ExecConfig::dynamic(4).with_workers(1))
+            .unwrap()
+            .stats;
+        let speedup = s1.exec.total_cycles() as f64 / s4.exec.total_cycles() as f64;
+        assert!(speedup > 1.3, "speedup {speedup}");
+    }
+}

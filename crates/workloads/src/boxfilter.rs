@@ -1,0 +1,112 @@
+//! 1-D box filter with clamped borders: memory-bound stencil, branch-free
+//! (min/max clamping), uniform control flow.
+
+use dpvk_core::{Device, ExecConfig, ParamValue};
+
+use crate::common::{check_f32, random_f32, rng_for, Outcome, Workload, WorkloadError};
+
+const N: usize = 1024;
+const RADIUS: i64 = 4;
+
+/// `out[i] = mean(data[clamp(i-4)..=clamp(i+4)])`.
+#[derive(Debug)]
+pub struct BoxFilter;
+
+impl Workload for BoxFilter {
+    fn name(&self) -> &'static str {
+        "boxfilter"
+    }
+
+    fn stands_for(&self) -> &'static str {
+        "BoxFilter (memory-bound stencil)"
+    }
+
+    fn source(&self) -> String {
+        r#"
+.kernel boxfilter (.param .u64 data, .param .u64 out, .param .u32 n) {
+  .reg .u32 %r<10>;
+  .reg .s32 %s<6>;
+  .reg .u64 %rd<6>;
+  .reg .f32 %f<6>;
+  .reg .pred %p<3>;
+entry:
+  mov.u32 %r0, %tid.x;
+  mad.lo.u32 %r0, %ctaid.x, %ntid.x, %r0;
+  ld.param.u32 %r1, [n];
+  setp.ge.u32 %p0, %r0, %r1;
+  @%p0 bra done;
+  mov.f32 %f0, 0.0;
+  mov.s32 %s0, -4;              // offset
+  sub.u32 %r2, %r1, 1;          // n-1
+  ld.param.u64 %rd0, [data];
+window:
+  cvt.s32.u32 %s1, %r0;
+  add.s32 %s2, %s1, %s0;        // i + offset
+  mov.s32 %s3, 0;
+  max.s32 %s2, %s2, %s3;        // clamp low
+  cvt.s32.u32 %s4, %r2;
+  min.s32 %s2, %s2, %s4;        // clamp high
+  cvt.u32.s32 %r3, %s2;
+  shl.u32 %r3, %r3, 2;
+  cvt.u64.u32 %rd1, %r3;
+  add.u64 %rd2, %rd0, %rd1;
+  ld.global.f32 %f1, [%rd2];
+  add.f32 %f0, %f0, %f1;
+  add.s32 %s0, %s0, 1;
+  mov.s32 %s5, 4;
+  setp.le.s32 %p1, %s0, %s5;
+  @%p1 bra window;
+  mov.f32 %f2, 0.1111111111111111;
+  mul.f32 %f0, %f0, %f2;        // / 9
+  shl.u32 %r4, %r0, 2;
+  cvt.u64.u32 %rd3, %r4;
+  ld.param.u64 %rd4, [out];
+  add.u64 %rd4, %rd4, %rd3;
+  st.global.f32 [%rd4], %f0;
+done:
+  ret;
+}
+"#
+        .to_string()
+    }
+
+    fn run(&self, dev: &Device, config: &ExecConfig) -> Result<Outcome, WorkloadError> {
+        let mut rng = rng_for(self.name());
+        let data = random_f32(&mut rng, N, 0.0, 255.0);
+        let pd = dev.malloc(N * 4)?;
+        let po = dev.malloc(N * 4)?;
+        dev.copy_f32_htod(pd, &data)?;
+        let stats = dev.launch(
+            "boxfilter",
+            [(N as u32).div_ceil(64), 1, 1],
+            [64, 1, 1],
+            &[ParamValue::Ptr(pd), ParamValue::Ptr(po), ParamValue::U32(N as u32)],
+            config,
+        )?;
+        let got = dev.copy_f32_dtoh(po, N)?;
+        let want: Vec<f32> = (0..N as i64)
+            .map(|i| {
+                let mut acc = 0f32;
+                for off in -RADIUS..=RADIUS {
+                    let j = (i + off).clamp(0, N as i64 - 1) as usize;
+                    acc += data[j];
+                }
+                acc * (1.0 / 9.0)
+            })
+            .collect();
+        check_f32(self.name(), &got, &want, 1e-3)?;
+        Ok(Outcome { stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::WorkloadExt;
+
+    #[test]
+    fn validates() {
+        BoxFilter.run_checked(&ExecConfig::baseline()).unwrap();
+        BoxFilter.run_checked(&ExecConfig::dynamic(4)).unwrap();
+    }
+}

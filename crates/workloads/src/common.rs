@@ -1,0 +1,202 @@
+//! Workload infrastructure: the `Workload` trait, validation helpers and
+//! deterministic input generation.
+
+use std::fmt;
+
+use dpvk_core::{CoreError, Device, ExecConfig, LaunchStats};
+use dpvk_vm::MachineModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Error from running a workload.
+#[derive(Debug)]
+pub enum WorkloadError {
+    /// The runtime failed.
+    Core(CoreError),
+    /// The kernel ran but produced wrong results.
+    Mismatch {
+        /// Workload name.
+        workload: String,
+        /// What differed.
+        detail: String,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::Core(e) => write!(f, "runtime error: {e}"),
+            WorkloadError::Mismatch { workload, detail } => {
+                write!(f, "validation mismatch in `{workload}`: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WorkloadError::Core(e) => Some(e),
+            WorkloadError::Mismatch { .. } => None,
+        }
+    }
+}
+
+impl From<CoreError> for WorkloadError {
+    fn from(e: CoreError) -> Self {
+        WorkloadError::Core(e)
+    }
+}
+
+/// Result of one validated workload run.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Launch statistics (merged over all launches the workload performs).
+    pub stats: LaunchStats,
+}
+
+/// A benchmark workload: kernel source, driver and validation.
+pub trait Workload: Send + Sync {
+    /// Short name used in reports (matches DESIGN.md §5).
+    fn name(&self) -> &'static str;
+
+    /// The paper application this workload stands in for.
+    fn stands_for(&self) -> &'static str;
+
+    /// Kernel source text (generated for parameterized workloads).
+    fn source(&self) -> String;
+
+    /// Prepare inputs on `dev`, launch, validate, and return statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::Core`] on runtime failures and
+    /// [`WorkloadError::Mismatch`] when validation fails.
+    fn run(&self, dev: &Device, config: &ExecConfig) -> Result<Outcome, WorkloadError>;
+}
+
+/// Convenience helpers implemented for every workload.
+pub trait WorkloadExt: Workload {
+    /// Run on a fresh default device (Sandybridge SSE model, 64 MiB heap).
+    ///
+    /// # Errors
+    ///
+    /// See [`Workload::run`].
+    fn run_checked(&self, config: &ExecConfig) -> Result<Outcome, WorkloadError> {
+        let dev = Device::new(MachineModel::sandybridge_sse(), 64 << 20);
+        dev.register_source(&self.source())?;
+        self.run(&dev, config)
+    }
+
+    /// Run on a device built from a specific machine model.
+    ///
+    /// # Errors
+    ///
+    /// See [`Workload::run`].
+    fn run_on_model(
+        &self,
+        model: MachineModel,
+        config: &ExecConfig,
+    ) -> Result<Outcome, WorkloadError> {
+        let dev = Device::new(model, 64 << 20);
+        dev.register_source(&self.source())?;
+        self.run(&dev, config)
+    }
+}
+
+impl<W: Workload + ?Sized> WorkloadExt for W {}
+
+/// Deterministic RNG for input generation (one stream per workload name).
+pub fn rng_for(name: &str) -> StdRng {
+    let mut seed = [0u8; 32];
+    for (i, b) in name.bytes().enumerate() {
+        seed[i % 32] ^= b;
+    }
+    seed[31] ^= 0x5A;
+    StdRng::from_seed(seed)
+}
+
+/// Uniform `f32` inputs in `[lo, hi)`.
+pub fn random_f32(rng: &mut StdRng, n: usize, lo: f32, hi: f32) -> Vec<f32> {
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// Uniform `u32` inputs in `[0, bound)`.
+pub fn random_u32(rng: &mut StdRng, n: usize, bound: u32) -> Vec<u32> {
+    (0..n).map(|_| rng.gen_range(0..bound)).collect()
+}
+
+/// Compare `got` against `want` with combined absolute/relative tolerance;
+/// returns a [`WorkloadError::Mismatch`] naming the first bad element.
+pub fn check_f32(
+    workload: &str,
+    got: &[f32],
+    want: &[f32],
+    tol: f32,
+) -> Result<(), WorkloadError> {
+    if got.len() != want.len() {
+        return Err(WorkloadError::Mismatch {
+            workload: workload.to_string(),
+            detail: format!("length {} != {}", got.len(), want.len()),
+        });
+    }
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        let err = (g - w).abs();
+        let scale = w.abs().max(1.0);
+        if !(err <= tol * scale) {
+            return Err(WorkloadError::Mismatch {
+                workload: workload.to_string(),
+                detail: format!("element {i}: got {g}, want {w} (|err| {err})"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Exact comparison for integer outputs.
+pub fn check_u32(workload: &str, got: &[u32], want: &[u32]) -> Result<(), WorkloadError> {
+    if got.len() != want.len() {
+        return Err(WorkloadError::Mismatch {
+            workload: workload.to_string(),
+            detail: format!("length {} != {}", got.len(), want.len()),
+        });
+    }
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        if g != w {
+            return Err(WorkloadError::Mismatch {
+                workload: workload.to_string(),
+                detail: format!("element {i}: got {g}, want {w}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let a: Vec<f32> = random_f32(&mut rng_for("x"), 4, 0.0, 1.0);
+        let b: Vec<f32> = random_f32(&mut rng_for("x"), 4, 0.0, 1.0);
+        let c: Vec<f32> = random_f32(&mut rng_for("y"), 4, 0.0, 1.0);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn check_f32_tolerance() {
+        assert!(check_f32("t", &[1.0], &[1.0005], 1e-3).is_ok());
+        assert!(check_f32("t", &[1.0], &[1.1], 1e-3).is_err());
+        assert!(check_f32("t", &[1.0], &[1.0, 2.0], 1e-3).is_err());
+        // NaN never passes.
+        assert!(check_f32("t", &[f32::NAN], &[1.0], 1e-3).is_err());
+    }
+
+    #[test]
+    fn check_u32_exact() {
+        assert!(check_u32("t", &[1, 2], &[1, 2]).is_ok());
+        assert!(check_u32("t", &[1, 3], &[1, 2]).is_err());
+    }
+}

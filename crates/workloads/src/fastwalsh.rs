@@ -1,0 +1,140 @@
+//! Fast Walsh–Hadamard transform: butterfly exchanges through shared
+//! memory with a barrier per stage.
+
+use dpvk_core::{Device, ExecConfig, ParamValue};
+
+use crate::common::{check_f32, random_f32, rng_for, Outcome, Workload, WorkloadError};
+
+const N: usize = 256;
+const CTA: usize = 64; // transform size per CTA = 2*CTA? No: size = CTA, one element per thread
+
+/// 64-point Walsh–Hadamard transform per CTA.
+#[derive(Debug)]
+pub struct FastWalshTransform;
+
+impl Workload for FastWalshTransform {
+    fn name(&self) -> &'static str {
+        "fastwalsh"
+    }
+
+    fn stands_for(&self) -> &'static str {
+        "FastWalshTransform (butterflies + barriers)"
+    }
+
+    fn source(&self) -> String {
+        // Each stage pairs index i with partner i ^ stride:
+        // lower element gets a+b, upper gets (partner - self) so that
+        // new[i] = a + b when bit clear, a - b when bit set, with
+        // a = value at the clear-bit index.
+        r#"
+.kernel fastwalsh (.param .u64 data, .param .u64 out) {
+  .shared .f32 buf[64];
+  .reg .u32 %r<8>;
+  .reg .u64 %rd<8>;
+  .reg .f32 %f<6>;
+  .reg .pred %p<3>;
+entry:
+  mov.u32 %r0, %tid.x;
+  mad.lo.u32 %r1, %ctaid.x, %ntid.x, %r0;
+  cvt.u64.u32 %rd0, %r1;
+  shl.u64 %rd0, %rd0, 2;
+  ld.param.u64 %rd1, [data];
+  add.u64 %rd1, %rd1, %rd0;
+  ld.global.f32 %f0, [%rd1];
+  shl.u32 %r2, %r0, 2;
+  cvt.u64.u32 %rd2, %r2;
+  mov.u64 %rd3, buf;
+  add.u64 %rd4, %rd3, %rd2;
+  st.shared.f32 [%rd4], %f0;
+  mov.u32 %r3, 1;                 // stride
+stage:
+  bar.sync 0;
+  xor.b32 %r4, %r0, %r3;          // partner
+  shl.u32 %r5, %r4, 2;
+  cvt.u64.u32 %rd5, %r5;
+  add.u64 %rd6, %rd3, %rd5;
+  ld.shared.f32 %f1, [%rd6];      // partner value
+  ld.shared.f32 %f2, [%rd4];      // own value
+  // if (tid & stride) == 0: new = own + partner else new = partner - own
+  and.b32 %r6, %r0, %r3;
+  setp.eq.u32 %p0, %r6, 0;
+  add.f32 %f3, %f2, %f1;
+  sub.f32 %f4, %f1, %f2;
+  selp.f32 %f5, %f3, %f4, %p0;
+  bar.sync 0;
+  st.shared.f32 [%rd4], %f5;
+  shl.u32 %r3, %r3, 1;
+  setp.lt.u32 %p1, %r3, %ntid.x;
+  @%p1 bra stage;
+  bar.sync 0;
+  ld.shared.f32 %f0, [%rd4];
+  ld.param.u64 %rd7, [out];
+  add.u64 %rd7, %rd7, %rd0;
+  st.global.f32 [%rd7], %f0;
+  ret;
+}
+"#
+        .to_string()
+    }
+
+    fn run(&self, dev: &Device, config: &ExecConfig) -> Result<Outcome, WorkloadError> {
+        let mut rng = rng_for(self.name());
+        let data = random_f32(&mut rng, N, -1.0, 1.0);
+        let pd = dev.malloc(N * 4)?;
+        let po = dev.malloc(N * 4)?;
+        dev.copy_f32_htod(pd, &data)?;
+        let stats = dev.launch(
+            "fastwalsh",
+            [(N / CTA) as u32, 1, 1],
+            [CTA as u32, 1, 1],
+            &[ParamValue::Ptr(pd), ParamValue::Ptr(po)],
+            config,
+        )?;
+        let got = dev.copy_f32_dtoh(po, N)?;
+        let mut want = vec![0f32; N];
+        for seg in 0..(N / CTA) {
+            let mut cur: Vec<f32> = data[seg * CTA..(seg + 1) * CTA].to_vec();
+            let mut stride = 1;
+            while stride < CTA {
+                let prev = cur.clone();
+                for (i, v) in cur.iter_mut().enumerate() {
+                    let partner = prev[i ^ stride];
+                    *v = if i & stride == 0 { prev[i] + partner } else { partner - prev[i] };
+                }
+                stride <<= 1;
+            }
+            want[seg * CTA..(seg + 1) * CTA].copy_from_slice(&cur);
+        }
+        check_f32(self.name(), &got, &want, 1e-4)?;
+        Ok(Outcome { stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::WorkloadExt;
+
+    #[test]
+    fn validates() {
+        FastWalshTransform.run_checked(&ExecConfig::baseline()).unwrap();
+        FastWalshTransform.run_checked(&ExecConfig::dynamic(4)).unwrap();
+    }
+
+    #[test]
+    fn walsh_of_impulse_is_constant() {
+        // Host-side sanity of the reference transform: WHT of e0 = all-ones.
+        let mut cur = vec![0f32; 8];
+        cur[0] = 1.0;
+        let mut stride = 1;
+        while stride < 8 {
+            let prev = cur.clone();
+            for (i, v) in cur.iter_mut().enumerate() {
+                let partner = prev[i ^ stride];
+                *v = if i & stride == 0 { prev[i] + partner } else { partner - prev[i] };
+            }
+            stride <<= 1;
+        }
+        assert!(cur.iter().all(|&v| v == 1.0), "{cur:?}");
+    }
+}

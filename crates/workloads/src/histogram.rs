@@ -1,0 +1,124 @@
+//! 64-bin histogram: per-thread sub-histograms in private (local) memory,
+//! merged with global atomics (the SDK's Histogram64 strategy).
+
+use dpvk_core::{Device, ExecConfig, ParamValue};
+
+use crate::common::{check_u32, random_u32, rng_for, Outcome, Workload, WorkloadError};
+
+const N: usize = 4096;
+const BINS: usize = 64;
+const CTA: usize = 64;
+const CTAS: usize = 2;
+
+/// `hist[b] = |{ i : data[i] == b }|`.
+#[derive(Debug)]
+pub struct Histogram64;
+
+impl Workload for Histogram64 {
+    fn name(&self) -> &'static str {
+        "histogram64"
+    }
+
+    fn stands_for(&self) -> &'static str {
+        "Histogram64 (per-thread private bins + atomic merge)"
+    }
+
+    fn source(&self) -> String {
+        r#"
+.kernel histogram64 (.param .u64 data, .param .u64 hist, .param .u32 n) {
+  .local .u32 bins[64];
+  .reg .u32 %r<10>;
+  .reg .u64 %rd<10>;
+  .reg .pred %p<3>;
+entry:
+  mov.u32 %r0, %tid.x;
+  mad.lo.u32 %r1, %ctaid.x, %ntid.x, %r0;  // global thread id
+  mul.lo.u32 %r2, %ntid.x, %nctaid.x;      // total threads
+  // zero the private bins
+  mov.u32 %r3, 0;
+zero:
+  shl.u32 %r4, %r3, 2;
+  cvt.u64.u32 %rd0, %r4;
+  mov.u64 %rd1, bins;
+  add.u64 %rd1, %rd1, %rd0;
+  mov.u32 %r5, 0;
+  st.local.u32 [%rd1], %r5;
+  add.u32 %r3, %r3, 1;
+  setp.lt.u32 %p0, %r3, 64;
+  @%p0 bra zero;
+  // grid-stride accumulation
+  ld.param.u32 %r6, [n];
+  mov.u32 %r3, %r1;
+accum:
+  setp.ge.u32 %p1, %r3, %r6;
+  @%p1 bra merge_init;
+  shl.u32 %r4, %r3, 2;
+  cvt.u64.u32 %rd2, %r4;
+  ld.param.u64 %rd3, [data];
+  add.u64 %rd3, %rd3, %rd2;
+  ld.global.u32 %r5, [%rd3];
+  and.b32 %r5, %r5, 63;
+  shl.u32 %r5, %r5, 2;
+  cvt.u64.u32 %rd4, %r5;
+  mov.u64 %rd5, bins;
+  add.u64 %rd5, %rd5, %rd4;
+  ld.local.u32 %r7, [%rd5];
+  add.u32 %r7, %r7, 1;
+  st.local.u32 [%rd5], %r7;
+  add.u32 %r3, %r3, %r2;
+  bra accum;
+merge_init:
+  mov.u32 %r3, 0;
+merge:
+  shl.u32 %r4, %r3, 2;
+  cvt.u64.u32 %rd6, %r4;
+  mov.u64 %rd7, bins;
+  add.u64 %rd7, %rd7, %rd6;
+  ld.local.u32 %r7, [%rd7];
+  ld.param.u64 %rd8, [hist];
+  add.u64 %rd8, %rd8, %rd6;
+  atom.global.add.u32 %r8, [%rd8], %r7;
+  add.u32 %r3, %r3, 1;
+  setp.lt.u32 %p0, %r3, 64;
+  @%p0 bra merge;
+  ret;
+}
+"#
+        .to_string()
+    }
+
+    fn run(&self, dev: &Device, config: &ExecConfig) -> Result<Outcome, WorkloadError> {
+        let mut rng = rng_for(self.name());
+        let data = random_u32(&mut rng, N, BINS as u32);
+        let pd = dev.malloc(N * 4)?;
+        let ph = dev.malloc(BINS * 4)?;
+        dev.copy_u32_htod(pd, &data)?;
+        dev.copy_u32_htod(ph, &vec![0u32; BINS])?;
+        let stats = dev.launch(
+            "histogram64",
+            [CTAS as u32, 1, 1],
+            [CTA as u32, 1, 1],
+            &[ParamValue::Ptr(pd), ParamValue::Ptr(ph), ParamValue::U32(N as u32)],
+            config,
+        )?;
+        let got = dev.copy_u32_dtoh(ph, BINS)?;
+        let mut want = vec![0u32; BINS];
+        for &v in &data {
+            want[v as usize] += 1;
+        }
+        check_u32(self.name(), &got, &want)?;
+        Ok(Outcome { stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::WorkloadExt;
+
+    #[test]
+    fn validates() {
+        Histogram64.run_checked(&ExecConfig::baseline()).unwrap();
+        Histogram64.run_checked(&ExecConfig::dynamic(4)).unwrap();
+    }
+}

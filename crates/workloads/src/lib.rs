@@ -1,0 +1,110 @@
+//! # dpvk-workloads
+//!
+//! The benchmark suite of the reproduction: data-parallel kernels written
+//! in the PTX-like virtual ISA, each with a host-side driver that prepares
+//! inputs, launches the kernel through [`dpvk_core::Device`], and checks
+//! the output against a Rust reference implementation.
+//!
+//! The suite covers the behaviour classes of the paper's evaluation
+//! (CUDA SDK 2.2 + Parboil): compute-bound uniform kernels (`cp`, `nbody`,
+//! `blackscholes`, ...), barrier-heavy kernels (`matrixmul`, `reduction`,
+//! `scan`, ...), memory-bound kernels (`boxfilter`, `sobolqrng`, ...) and
+//! divergence-heavy kernels (`mersenne`, `bitonic`, `montecarlo`, ...).
+//! See DESIGN.md §5 for the mapping to the paper's applications.
+//!
+//! ```
+//! use dpvk_workloads::{all_workloads, WorkloadExt};
+//! use dpvk_core::ExecConfig;
+//!
+//! let vecadd = all_workloads()
+//!     .into_iter()
+//!     .find(|w| w.name() == "vecadd")
+//!     .expect("vecadd is part of the suite");
+//! let outcome = vecadd.run_checked(&ExecConfig::dynamic(4))?;
+//! assert!(outcome.stats.exec.total_cycles() > 0);
+//! # Ok::<(), dpvk_workloads::WorkloadError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod common;
+
+mod binomial;
+mod bitonic;
+mod blackscholes;
+mod boxfilter;
+mod cp;
+mod fastwalsh;
+mod histogram;
+mod matrixmul;
+mod mersenne;
+mod montecarlo;
+mod mrifhd;
+mod mriq;
+mod nbody;
+mod reduction;
+mod scalarprod;
+mod scan;
+mod simplevote;
+mod sobel;
+mod sobolqrng;
+mod throughput;
+mod transpose;
+mod vecadd;
+
+pub use common::{Outcome, Workload, WorkloadError, WorkloadExt};
+
+/// All workloads of the suite, in report order.
+pub fn all_workloads() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(throughput::Throughput::default()),
+        Box::new(vecadd::VecAdd),
+        Box::new(blackscholes::BlackScholes),
+        Box::new(binomial::BinomialOptions),
+        Box::new(cp::CoulombicPotential),
+        Box::new(nbody::Nbody),
+        Box::new(mriq::MriQ),
+        Box::new(mrifhd::MriFhd),
+        Box::new(matrixmul::MatrixMul),
+        Box::new(transpose::Transpose),
+        Box::new(reduction::Reduction),
+        Box::new(scan::Scan),
+        Box::new(scalarprod::ScalarProd),
+        Box::new(fastwalsh::FastWalshTransform),
+        Box::new(histogram::Histogram64),
+        Box::new(sobolqrng::SobolQrng),
+        Box::new(mersenne::MersenneTwister),
+        Box::new(montecarlo::MonteCarlo),
+        Box::new(bitonic::BitonicSort),
+        Box::new(boxfilter::BoxFilter),
+        Box::new(sobel::SobelFilter),
+        Box::new(simplevote::SimpleVote),
+    ]
+}
+
+/// Look up one workload by name.
+pub fn workload(name: &str) -> Option<Box<dyn Workload>> {
+    all_workloads().into_iter().find(|w| w.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_unique_names() {
+        let ws = all_workloads();
+        let mut names: Vec<&str> = ws.iter().map(|w| w.name()).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before);
+        assert!(before >= 22, "expected at least 22 workloads, found {before}");
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(workload("cp").is_some());
+        assert!(workload("absent").is_none());
+    }
+}

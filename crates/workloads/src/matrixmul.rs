@@ -1,0 +1,154 @@
+//! Tiled matrix multiplication with shared-memory tiles and barriers.
+
+use dpvk_core::{Device, ExecConfig, ParamValue};
+
+use crate::common::{check_f32, random_f32, rng_for, Outcome, Workload, WorkloadError};
+
+const DIM: usize = 32; // square matrices
+const TILE: usize = 8; // tile edge; CTA = TILE*TILE threads
+
+/// `C = A × B` with TILE×TILE shared tiles.
+#[derive(Debug)]
+pub struct MatrixMul;
+
+impl Workload for MatrixMul {
+    fn name(&self) -> &'static str {
+        "matrixmul"
+    }
+
+    fn stands_for(&self) -> &'static str {
+        "MatrixMul (shared-memory tiles + barriers)"
+    }
+
+    fn source(&self) -> String {
+        r#"
+.kernel matrixmul (.param .u64 a, .param .u64 b, .param .u64 c, .param .u32 dim) {
+  .shared .f32 tile_a[64];
+  .shared .f32 tile_b[64];
+  .reg .u32 %r<16>;
+  .reg .u64 %rd<10>;
+  .reg .f32 %f<6>;
+  .reg .pred %p<2>;
+entry:
+  mov.u32 %r0, %tid.x;            // tx
+  mov.u32 %r1, %tid.y;            // ty
+  mov.u32 %r2, %ctaid.x;          // bx
+  mov.u32 %r3, %ctaid.y;          // by
+  ld.param.u32 %r4, [dim];
+  mad.lo.u32 %r5, %r3, 8, %r1;    // row = by*TILE + ty
+  mad.lo.u32 %r6, %r2, 8, %r0;    // col = bx*TILE + tx
+  mov.f32 %f0, 0.0;               // acc
+  mov.u32 %r7, 0;                 // k0 = tile base
+  // shared offsets: (ty*TILE + tx) * 4
+  mad.lo.u32 %r8, %r1, 8, %r0;
+  shl.u32 %r8, %r8, 2;
+  cvt.u64.u32 %rd0, %r8;
+  mov.u64 %rd1, tile_a;
+  add.u64 %rd1, %rd1, %rd0;
+  mov.u64 %rd2, tile_b;
+  add.u64 %rd2, %rd2, %rd0;
+tile_loop:
+  // load A[row][k0+tx] and B[k0+ty][col] into the tiles
+  add.u32 %r9, %r7, %r0;          // k0+tx
+  mad.lo.u32 %r10, %r5, %r4, %r9; // row*dim + k0+tx
+  shl.u32 %r10, %r10, 2;
+  cvt.u64.u32 %rd3, %r10;
+  ld.param.u64 %rd4, [a];
+  add.u64 %rd4, %rd4, %rd3;
+  ld.global.f32 %f1, [%rd4];
+  st.shared.f32 [%rd1], %f1;
+  add.u32 %r11, %r7, %r1;         // k0+ty
+  mad.lo.u32 %r12, %r11, %r4, %r6;
+  shl.u32 %r12, %r12, 2;
+  cvt.u64.u32 %rd5, %r12;
+  ld.param.u64 %rd6, [b];
+  add.u64 %rd6, %rd6, %rd5;
+  ld.global.f32 %f2, [%rd6];
+  st.shared.f32 [%rd2], %f2;
+  bar.sync 0;
+  // multiply the tiles
+  mov.u32 %r13, 0;
+inner:
+  mad.lo.u32 %r14, %r1, 8, %r13;  // ty*TILE + k
+  shl.u32 %r14, %r14, 2;
+  cvt.u64.u32 %rd7, %r14;
+  mov.u64 %rd8, tile_a;
+  add.u64 %rd8, %rd8, %rd7;
+  ld.shared.f32 %f3, [%rd8];
+  mad.lo.u32 %r15, %r13, 8, %r0;  // k*TILE + tx
+  shl.u32 %r15, %r15, 2;
+  cvt.u64.u32 %rd7, %r15;
+  mov.u64 %rd9, tile_b;
+  add.u64 %rd9, %rd9, %rd7;
+  ld.shared.f32 %f4, [%rd9];
+  fma.rn.f32 %f0, %f3, %f4, %f0;
+  add.u32 %r13, %r13, 1;
+  setp.lt.u32 %p0, %r13, 8;
+  @%p0 bra inner;
+  bar.sync 0;
+  add.u32 %r7, %r7, 8;
+  setp.lt.u32 %p0, %r7, %r4;
+  @%p0 bra tile_loop;
+  // C[row][col] = acc
+  mad.lo.u32 %r9, %r5, %r4, %r6;
+  shl.u32 %r9, %r9, 2;
+  cvt.u64.u32 %rd3, %r9;
+  ld.param.u64 %rd4, [c];
+  add.u64 %rd4, %rd4, %rd3;
+  st.global.f32 [%rd4], %f0;
+  ret;
+}
+"#
+        .to_string()
+    }
+
+    fn run(&self, dev: &Device, config: &ExecConfig) -> Result<Outcome, WorkloadError> {
+        let mut rng = rng_for(self.name());
+        let a = random_f32(&mut rng, DIM * DIM, -1.0, 1.0);
+        let b = random_f32(&mut rng, DIM * DIM, -1.0, 1.0);
+        let pa = dev.malloc(DIM * DIM * 4)?;
+        let pb = dev.malloc(DIM * DIM * 4)?;
+        let pc = dev.malloc(DIM * DIM * 4)?;
+        dev.copy_f32_htod(pa, &a)?;
+        dev.copy_f32_htod(pb, &b)?;
+        let blocks = (DIM / TILE) as u32;
+        let stats = dev.launch(
+            "matrixmul",
+            [blocks, blocks, 1],
+            [TILE as u32, TILE as u32, 1],
+            &[
+                ParamValue::Ptr(pa),
+                ParamValue::Ptr(pb),
+                ParamValue::Ptr(pc),
+                ParamValue::U32(DIM as u32),
+            ],
+            config,
+        )?;
+        let got = dev.copy_f32_dtoh(pc, DIM * DIM)?;
+        let mut want = vec![0f32; DIM * DIM];
+        for row in 0..DIM {
+            for col in 0..DIM {
+                let mut acc = 0f32;
+                for k in 0..DIM {
+                    acc = a[row * DIM + k].mul_add(b[k * DIM + col], acc);
+                }
+                want[row * DIM + col] = acc;
+            }
+        }
+        check_f32(self.name(), &got, &want, 1e-3)?;
+        Ok(Outcome { stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::WorkloadExt;
+
+    #[test]
+    fn validates() {
+        MatrixMul.run_checked(&ExecConfig::baseline()).unwrap();
+        MatrixMul.run_checked(&ExecConfig::dynamic(4)).unwrap();
+        MatrixMul.run_checked(&ExecConfig::static_tie(4)).unwrap();
+    }
+}

@@ -1,0 +1,118 @@
+//! Monte Carlo path accumulation: per-step branch on the thread's own
+//! random stream with reconvergence each iteration (moderate divergence).
+
+use dpvk_core::{Device, ExecConfig, ParamValue};
+
+use crate::common::{check_f32, random_u32, rng_for, Outcome, Workload, WorkloadError};
+
+const N: usize = 256;
+const STEPS: u32 = 16;
+
+/// A random walk where up-moves take an extra (costlier) path.
+#[derive(Debug)]
+pub struct MonteCarlo;
+
+impl Workload for MonteCarlo {
+    fn name(&self) -> &'static str {
+        "montecarlo"
+    }
+
+    fn stands_for(&self) -> &'static str {
+        "MonteCarlo (divergent paths, per-step reconvergence)"
+    }
+
+    fn source(&self) -> String {
+        r#"
+.kernel montecarlo (.param .u64 seeds, .param .u64 out, .param .u32 steps) {
+  .reg .u32 %r<10>;
+  .reg .u64 %rd<6>;
+  .reg .f32 %f<8>;
+  .reg .pred %p<3>;
+entry:
+  mov.u32 %r0, %tid.x;
+  mad.lo.u32 %r0, %ctaid.x, %ntid.x, %r0;
+  shl.u32 %r1, %r0, 2;
+  cvt.u64.u32 %rd0, %r1;
+  ld.param.u64 %rd1, [seeds];
+  add.u64 %rd1, %rd1, %rd0;
+  ld.global.u32 %r2, [%rd1];    // rng state
+  mov.f32 %f0, 100.0;           // price
+  ld.param.u32 %r3, [steps];
+  mov.u32 %r4, 0;
+step:
+  // LCG advance
+  mov.u32 %r5, 1664525;
+  mul.lo.u32 %r2, %r2, %r5;
+  mov.u32 %r5, 1013904223;
+  add.u32 %r2, %r2, %r5;
+  shr.u32 %r6, %r2, 31;         // top bit decides the move
+  setp.eq.u32 %p0, %r6, 0;
+  @%p0 bra down_move;
+  // up: multiplicative bump with a sqrt (costlier path)
+  mov.f32 %f1, 1.02;
+  mul.f32 %f0, %f0, %f1;
+  sqrt.rn.f32 %f2, %f0;
+  mov.f32 %f3, 0.001;
+  fma.rn.f32 %f0, %f2, %f3, %f0;
+  bra next;
+down_move:
+  mov.f32 %f1, 0.985;
+  mul.f32 %f0, %f0, %f1;
+next:
+  add.u32 %r4, %r4, 1;
+  setp.lt.u32 %p1, %r4, %r3;
+  @%p1 bra step;
+  ld.param.u64 %rd2, [out];
+  add.u64 %rd2, %rd2, %rd0;
+  st.global.f32 [%rd2], %f0;
+  ret;
+}
+"#
+        .to_string()
+    }
+
+    fn run(&self, dev: &Device, config: &ExecConfig) -> Result<Outcome, WorkloadError> {
+        let mut rng = rng_for(self.name());
+        let seeds = random_u32(&mut rng, N, u32::MAX);
+        let ps = dev.malloc(N * 4)?;
+        let po = dev.malloc(N * 4)?;
+        dev.copy_u32_htod(ps, &seeds)?;
+        let stats = dev.launch(
+            "montecarlo",
+            [(N as u32).div_ceil(64), 1, 1],
+            [64, 1, 1],
+            &[ParamValue::Ptr(ps), ParamValue::Ptr(po), ParamValue::U32(STEPS)],
+            config,
+        )?;
+        let got = dev.copy_f32_dtoh(po, N)?;
+        let want: Vec<f32> = seeds.iter().map(|&s| reference(s, STEPS)).collect();
+        check_f32(self.name(), &got, &want, 1e-3)?;
+        Ok(Outcome { stats })
+    }
+}
+
+fn reference(mut state: u32, steps: u32) -> f32 {
+    let mut price = 100.0f32;
+    for _ in 0..steps {
+        state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+        if state >> 31 != 0 {
+            price *= 1.02;
+            price = price.sqrt().mul_add(0.001, price);
+        } else {
+            price *= 0.985;
+        }
+    }
+    price
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::WorkloadExt;
+
+    #[test]
+    fn validates() {
+        MonteCarlo.run_checked(&ExecConfig::baseline()).unwrap();
+        MonteCarlo.run_checked(&ExecConfig::dynamic(4)).unwrap();
+    }
+}

@@ -1,0 +1,146 @@
+//! MRI FHd computation (Parboil `mri-fhd`): transcendental-heavy with a
+//! data-dependent branch in the inner loop (moderate, uncorrelated
+//! divergence — one of the paper's slowdown cases under dynamic warp
+//! formation).
+
+use dpvk_core::{Device, ExecConfig, ParamValue};
+
+use crate::common::{check_f32, random_f32, rng_for, Outcome, Workload, WorkloadError};
+
+const POINTS: usize = 256;
+const SAMPLES: usize = 32;
+const TWO_PI: f32 = std::f32::consts::TAU;
+const CUTOFF: f32 = 0.25;
+
+/// FHd with a per-sample magnitude cutoff branch.
+#[derive(Debug)]
+pub struct MriFhd;
+
+impl Workload for MriFhd {
+    fn name(&self) -> &'static str {
+        "mrifhd"
+    }
+
+    fn stands_for(&self) -> &'static str {
+        "Parboil mri-fhd (transcendentals + data-dependent branch)"
+    }
+
+    fn source(&self) -> String {
+        // traj: [kx, ky, kz, rho] * SAMPLES; pos: [x, y, z] * POINTS.
+        // Samples whose |rho * x| is below a cutoff are skipped — the
+        // branch outcome depends on the thread's own position, so warps
+        // diverge irregularly.
+        r#"
+.kernel mrifhd (.param .u64 traj, .param .u64 pos, .param .u64 out,
+                .param .u32 nsamples, .param .f32 cutoff) {
+  .reg .u32 %r<6>;
+  .reg .u64 %rd<8>;
+  .reg .f32 %f<20>;
+  .reg .pred %p<3>;
+entry:
+  mov.u32 %r0, %tid.x;
+  mad.lo.u32 %r0, %ctaid.x, %ntid.x, %r0;
+  mul.lo.u32 %r1, %r0, 12;
+  cvt.u64.u32 %rd0, %r1;
+  ld.param.u64 %rd1, [pos];
+  add.u64 %rd1, %rd1, %rd0;
+  ld.global.f32 %f0, [%rd1];
+  ld.global.f32 %f1, [%rd1+4];
+  ld.global.f32 %f2, [%rd1+8];
+  mov.f32 %f3, 0.0;
+  mov.f32 %f4, 0.0;
+  ld.param.u64 %rd2, [traj];
+  ld.param.u32 %r2, [nsamples];
+  ld.param.f32 %f13, [cutoff];
+  mov.u32 %r3, 0;
+loop:
+  ld.global.f32 %f8, [%rd2+12];   // rho
+  mul.f32 %f14, %f8, %f0;         // rho * x: thread-dependent
+  abs.f32 %f14, %f14;
+  setp.lt.f32 %p1, %f14, %f13;
+  @%p1 bra skip;
+  ld.global.f32 %f5, [%rd2];
+  ld.global.f32 %f6, [%rd2+4];
+  ld.global.f32 %f7, [%rd2+8];
+  mul.f32 %f9, %f5, %f0;
+  fma.rn.f32 %f9, %f6, %f1, %f9;
+  fma.rn.f32 %f9, %f7, %f2, %f9;
+  mov.f32 %f10, 6.283185307179586;
+  mul.f32 %f9, %f9, %f10;
+  cos.approx.f32 %f11, %f9;
+  sin.approx.f32 %f12, %f9;
+  fma.rn.f32 %f3, %f8, %f11, %f3;
+  fma.rn.f32 %f4, %f8, %f12, %f4;
+skip:
+  add.u64 %rd2, %rd2, 16;
+  add.u32 %r3, %r3, 1;
+  setp.lt.u32 %p0, %r3, %r2;
+  @%p0 bra loop;
+  cvt.u64.u32 %rd3, %r0;
+  shl.u64 %rd3, %rd3, 3;
+  ld.param.u64 %rd4, [out];
+  add.u64 %rd4, %rd4, %rd3;
+  st.global.f32 [%rd4], %f3;
+  st.global.f32 [%rd4+4], %f4;
+  ret;
+}
+"#
+        .to_string()
+    }
+
+    fn run(&self, dev: &Device, config: &ExecConfig) -> Result<Outcome, WorkloadError> {
+        let mut rng = rng_for(self.name());
+        let traj = random_f32(&mut rng, SAMPLES * 4, -1.0, 1.0);
+        let pos = random_f32(&mut rng, POINTS * 3, -1.0, 1.0);
+        let pt = dev.malloc(SAMPLES * 16)?;
+        let pp = dev.malloc(POINTS * 12)?;
+        let po = dev.malloc(POINTS * 8)?;
+        dev.copy_f32_htod(pt, &traj)?;
+        dev.copy_f32_htod(pp, &pos)?;
+        let stats = dev.launch(
+            "mrifhd",
+            [(POINTS as u32).div_ceil(64), 1, 1],
+            [64, 1, 1],
+            &[
+                ParamValue::Ptr(pt),
+                ParamValue::Ptr(pp),
+                ParamValue::Ptr(po),
+                ParamValue::U32(SAMPLES as u32),
+                ParamValue::F32(CUTOFF),
+            ],
+            config,
+        )?;
+        let got = dev.copy_f32_dtoh(po, POINTS * 2)?;
+        let mut want = vec![0f32; POINTS * 2];
+        for i in 0..POINTS {
+            let (x, y, z) = (pos[3 * i], pos[3 * i + 1], pos[3 * i + 2]);
+            let (mut qr, mut qi) = (0f32, 0f32);
+            for s in 0..SAMPLES {
+                let (kx, ky, kz, rho) =
+                    (traj[4 * s], traj[4 * s + 1], traj[4 * s + 2], traj[4 * s + 3]);
+                if (rho * x).abs() < CUTOFF {
+                    continue;
+                }
+                let phi = TWO_PI * kz.mul_add(z, ky.mul_add(y, kx * x));
+                qr = rho.mul_add(phi.cos(), qr);
+                qi = rho.mul_add(phi.sin(), qi);
+            }
+            want[2 * i] = qr;
+            want[2 * i + 1] = qi;
+        }
+        check_f32(self.name(), &got, &want, 5e-3)?;
+        Ok(Outcome { stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::WorkloadExt;
+
+    #[test]
+    fn validates() {
+        MriFhd.run_checked(&ExecConfig::baseline()).unwrap();
+        MriFhd.run_checked(&ExecConfig::dynamic(4)).unwrap();
+    }
+}

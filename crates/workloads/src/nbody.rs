@@ -1,0 +1,131 @@
+//! All-pairs n-body force computation: compute-bound, uniform inner loop.
+
+use dpvk_core::{Device, ExecConfig, ParamValue};
+
+use crate::common::{check_f32, random_f32, rng_for, Outcome, Workload, WorkloadError};
+
+const N: usize = 128;
+const SOFTENING: f32 = 0.1;
+
+/// One acceleration step of an O(n²) n-body simulation.
+#[derive(Debug)]
+pub struct Nbody;
+
+impl Workload for Nbody {
+    fn name(&self) -> &'static str {
+        "nbody"
+    }
+
+    fn stands_for(&self) -> &'static str {
+        "Nbody (compute-bound, uniform O(n²) loop)"
+    }
+
+    fn source(&self) -> String {
+        // bodies: [x, y, z, m] * n; out: [ax, ay, az] * n.
+        r#"
+.kernel nbody (.param .u64 bodies, .param .u64 accel, .param .u32 n) {
+  .reg .u32 %r<6>;
+  .reg .u64 %rd<8>;
+  .reg .f32 %f<20>;
+  .reg .pred %p<2>;
+entry:
+  mov.u32 %r0, %tid.x;
+  mad.lo.u32 %r0, %ctaid.x, %ntid.x, %r0;
+  cvt.u64.u32 %rd0, %r0;
+  shl.u64 %rd1, %rd0, 4;
+  ld.param.u64 %rd2, [bodies];
+  add.u64 %rd3, %rd2, %rd1;
+  ld.global.f32 %f0, [%rd3];       // xi
+  ld.global.f32 %f1, [%rd3+4];     // yi
+  ld.global.f32 %f2, [%rd3+8];     // zi
+  mov.f32 %f3, 0.0;                // ax
+  mov.f32 %f4, 0.0;                // ay
+  mov.f32 %f5, 0.0;                // az
+  ld.param.u32 %r1, [n];
+  mov.u32 %r2, 0;
+  mov.u64 %rd4, %rd2;              // cursor over bodies
+loop:
+  ld.global.f32 %f6, [%rd4];       // xj
+  ld.global.f32 %f7, [%rd4+4];     // yj
+  ld.global.f32 %f8, [%rd4+8];     // zj
+  ld.global.f32 %f9, [%rd4+12];    // mj
+  sub.f32 %f10, %f6, %f0;
+  sub.f32 %f11, %f7, %f1;
+  sub.f32 %f12, %f8, %f2;
+  mul.f32 %f13, %f10, %f10;
+  fma.rn.f32 %f13, %f11, %f11, %f13;
+  fma.rn.f32 %f13, %f12, %f12, %f13;
+  add.f32 %f13, %f13, 0.01;        // softening^2
+  rsqrt.approx.f32 %f14, %f13;     // 1/r
+  mul.f32 %f15, %f14, %f14;
+  mul.f32 %f15, %f15, %f14;        // 1/r^3
+  mul.f32 %f15, %f15, %f9;         // mj/r^3
+  fma.rn.f32 %f3, %f10, %f15, %f3;
+  fma.rn.f32 %f4, %f11, %f15, %f4;
+  fma.rn.f32 %f5, %f12, %f15, %f5;
+  add.u64 %rd4, %rd4, 16;
+  add.u32 %r2, %r2, 1;
+  setp.lt.u32 %p0, %r2, %r1;
+  @%p0 bra loop;
+  mul.lo.u32 %r3, %r0, 12;
+  cvt.u64.u32 %rd5, %r3;
+  ld.param.u64 %rd6, [accel];
+  add.u64 %rd6, %rd6, %rd5;
+  st.global.f32 [%rd6], %f3;
+  st.global.f32 [%rd6+4], %f4;
+  st.global.f32 [%rd6+8], %f5;
+  ret;
+}
+"#
+        .to_string()
+    }
+
+    fn run(&self, dev: &Device, config: &ExecConfig) -> Result<Outcome, WorkloadError> {
+        let mut rng = rng_for(self.name());
+        let bodies = random_f32(&mut rng, N * 4, -2.0, 2.0);
+        let pb = dev.malloc(N * 16)?;
+        let pa = dev.malloc(N * 12)?;
+        dev.copy_f32_htod(pb, &bodies)?;
+        let stats = dev.launch(
+            "nbody",
+            [(N as u32).div_ceil(64), 1, 1],
+            [64, 1, 1],
+            &[ParamValue::Ptr(pb), ParamValue::Ptr(pa), ParamValue::U32(N as u32)],
+            config,
+        )?;
+        let got = dev.copy_f32_dtoh(pa, N * 3)?;
+        let mut want = vec![0f32; N * 3];
+        for i in 0..N {
+            let (xi, yi, zi) = (bodies[4 * i], bodies[4 * i + 1], bodies[4 * i + 2]);
+            let (mut ax, mut ay, mut az) = (0f32, 0f32, 0f32);
+            for j in 0..N {
+                let (xj, yj, zj, mj) =
+                    (bodies[4 * j], bodies[4 * j + 1], bodies[4 * j + 2], bodies[4 * j + 3]);
+                let (dx, dy, dz) = (xj - xi, yj - yi, zj - zi);
+                let r2 = dz.mul_add(dz, dy.mul_add(dy, dx * dx)) + SOFTENING * SOFTENING;
+                let inv_r = 1.0 / r2.sqrt();
+                let s = mj * inv_r * inv_r * inv_r;
+                ax = dx.mul_add(s, ax);
+                ay = dy.mul_add(s, ay);
+                az = dz.mul_add(s, az);
+            }
+            want[3 * i] = ax;
+            want[3 * i + 1] = ay;
+            want[3 * i + 2] = az;
+        }
+        check_f32(self.name(), &got, &want, 5e-3)?;
+        Ok(Outcome { stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::WorkloadExt;
+
+    #[test]
+    fn validates() {
+        Nbody.run_checked(&ExecConfig::baseline()).unwrap();
+        Nbody.run_checked(&ExecConfig::dynamic(4)).unwrap();
+    }
+}

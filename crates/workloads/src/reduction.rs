@@ -1,0 +1,108 @@
+//! Parallel sum reduction: shared-memory tree per CTA with a barrier per
+//! level, then a global atomic to combine CTAs.
+
+use dpvk_core::{Device, ExecConfig, ParamValue};
+
+use crate::common::{check_f32, random_f32, rng_for, Outcome, Workload, WorkloadError};
+
+const N: usize = 512;
+const CTA: usize = 64;
+
+/// `out[0] = sum(data)`.
+#[derive(Debug)]
+pub struct Reduction;
+
+impl Workload for Reduction {
+    fn name(&self) -> &'static str {
+        "reduction"
+    }
+
+    fn stands_for(&self) -> &'static str {
+        "Reduction / ThreadFenceReduction (barrier ladder)"
+    }
+
+    fn source(&self) -> String {
+        r#"
+.kernel reduce (.param .u64 data, .param .u64 out) {
+  .shared .f32 tile[64];
+  .reg .u32 %r<6>;
+  .reg .u64 %rd<8>;
+  .reg .f32 %f<6>;
+  .reg .pred %p<3>;
+entry:
+  mov.u32 %r0, %tid.x;
+  mad.lo.u32 %r1, %ctaid.x, %ntid.x, %r0;
+  cvt.u64.u32 %rd0, %r1;
+  shl.u64 %rd0, %rd0, 2;
+  ld.param.u64 %rd1, [data];
+  add.u64 %rd1, %rd1, %rd0;
+  ld.global.f32 %f0, [%rd1];
+  shl.u32 %r2, %r0, 2;
+  cvt.u64.u32 %rd2, %r2;
+  mov.u64 %rd3, tile;
+  add.u64 %rd3, %rd3, %rd2;
+  st.shared.f32 [%rd3], %f0;
+  mov.u32 %r3, 32;              // stride
+level:
+  bar.sync 0;
+  setp.ge.u32 %p0, %r0, %r3;
+  @%p0 bra skip;
+  add.u32 %r4, %r0, %r3;
+  shl.u32 %r4, %r4, 2;
+  cvt.u64.u32 %rd4, %r4;
+  mov.u64 %rd5, tile;
+  add.u64 %rd5, %rd5, %rd4;
+  ld.shared.f32 %f1, [%rd5];
+  ld.shared.f32 %f2, [%rd3];
+  add.f32 %f2, %f2, %f1;
+  st.shared.f32 [%rd3], %f2;
+skip:
+  shr.u32 %r3, %r3, 1;
+  setp.gt.u32 %p1, %r3, 0;
+  @%p1 bra level;
+  setp.ne.u32 %p2, %r0, 0;
+  @%p2 bra done;
+  ld.shared.f32 %f3, [tile];
+  ld.param.u64 %rd6, [out];
+  atom.global.add.f32 %f4, [%rd6], %f3;
+done:
+  ret;
+}
+"#
+        .to_string()
+    }
+
+    fn run(&self, dev: &Device, config: &ExecConfig) -> Result<Outcome, WorkloadError> {
+        let mut rng = rng_for(self.name());
+        let data = random_f32(&mut rng, N, 0.0, 1.0);
+        let pd = dev.malloc(N * 4)?;
+        let po = dev.malloc(4)?;
+        dev.copy_f32_htod(pd, &data)?;
+        dev.copy_f32_htod(po, &[0.0])?;
+        let stats = dev.launch(
+            "reduce",
+            [(N / CTA) as u32, 1, 1],
+            [CTA as u32, 1, 1],
+            &[ParamValue::Ptr(pd), ParamValue::Ptr(po)],
+            config,
+        )?;
+        let got = dev.copy_f32_dtoh(po, 1)?;
+        let want: f32 = data.iter().sum();
+        // Atomic combination order varies; use a loose tolerance.
+        check_f32(self.name(), &got, &[want], 1e-2)?;
+        Ok(Outcome { stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::WorkloadExt;
+
+    #[test]
+    fn validates() {
+        Reduction.run_checked(&ExecConfig::baseline()).unwrap();
+        Reduction.run_checked(&ExecConfig::dynamic(4)).unwrap();
+        Reduction.run_checked(&ExecConfig::static_tie(4)).unwrap();
+    }
+}

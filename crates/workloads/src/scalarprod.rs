@@ -1,0 +1,156 @@
+//! Batched dot products: one pair of vectors per CTA, per-thread partials
+//! combined in a shared-memory tree. Memory-bound with frequent
+//! synchronization — one of the paper's ~1.0× cases.
+
+use dpvk_core::{Device, ExecConfig, ParamValue};
+
+use crate::common::{check_f32, random_f32, rng_for, Outcome, Workload, WorkloadError};
+
+const PAIRS: usize = 8;
+const LEN: usize = 256; // elements per vector
+const CTA: usize = 64;
+
+/// `out[p] = dot(a[p], b[p])`.
+#[derive(Debug)]
+pub struct ScalarProd;
+
+impl Workload for ScalarProd {
+    fn name(&self) -> &'static str {
+        "scalarprod"
+    }
+
+    fn stands_for(&self) -> &'static str {
+        "ScalarProd (memory-bound + frequent synchronization)"
+    }
+
+    fn source(&self) -> String {
+        r#"
+.kernel scalarprod (.param .u64 a, .param .u64 b, .param .u64 out,
+                    .param .u32 len) {
+  .shared .f32 partial[64];
+  .reg .u32 %r<8>;
+  .reg .u64 %rd<10>;
+  .reg .f32 %f<6>;
+  .reg .pred %p<3>;
+entry:
+  mov.u32 %r0, %tid.x;
+  mov.u32 %r1, %ctaid.x;          // pair index
+  ld.param.u32 %r2, [len];
+  mad.lo.u32 %r3, %r1, %r2, %r0;  // element index = pair*len + tid
+  mov.f32 %f0, 0.0;
+  mov.u32 %r4, %r0;               // i = tid
+accum:
+  setp.ge.u32 %p0, %r4, %r2;
+  @%p0 bra reduce_init;
+  mad.lo.u32 %r5, %r1, %r2, %r4;
+  shl.u32 %r5, %r5, 2;
+  cvt.u64.u32 %rd0, %r5;
+  ld.param.u64 %rd1, [a];
+  add.u64 %rd1, %rd1, %rd0;
+  ld.global.f32 %f1, [%rd1];
+  ld.param.u64 %rd2, [b];
+  add.u64 %rd2, %rd2, %rd0;
+  ld.global.f32 %f2, [%rd2];
+  fma.rn.f32 %f0, %f1, %f2, %f0;
+  add.u32 %r4, %r4, %ntid.x;
+  bra accum;
+reduce_init:
+  shl.u32 %r6, %r0, 2;
+  cvt.u64.u32 %rd3, %r6;
+  mov.u64 %rd4, partial;
+  add.u64 %rd4, %rd4, %rd3;
+  st.shared.f32 [%rd4], %f0;
+  mov.u32 %r7, 32;
+level:
+  bar.sync 0;
+  setp.ge.u32 %p1, %r0, %r7;
+  @%p1 bra skip;
+  add.u32 %r6, %r0, %r7;
+  shl.u32 %r6, %r6, 2;
+  cvt.u64.u32 %rd5, %r6;
+  mov.u64 %rd6, partial;
+  add.u64 %rd6, %rd6, %rd5;
+  ld.shared.f32 %f3, [%rd6];
+  ld.shared.f32 %f4, [%rd4];
+  add.f32 %f4, %f4, %f3;
+  st.shared.f32 [%rd4], %f4;
+skip:
+  shr.u32 %r7, %r7, 1;
+  setp.gt.u32 %p2, %r7, 0;
+  @%p2 bra level;
+  setp.ne.u32 %p0, %r0, 0;
+  @%p0 bra done;
+  ld.shared.f32 %f5, [partial];
+  cvt.u64.u32 %rd7, %r1;
+  shl.u64 %rd7, %rd7, 2;
+  ld.param.u64 %rd8, [out];
+  add.u64 %rd8, %rd8, %rd7;
+  st.global.f32 [%rd8], %f5;
+done:
+  ret;
+}
+"#
+        .to_string()
+    }
+
+    fn run(&self, dev: &Device, config: &ExecConfig) -> Result<Outcome, WorkloadError> {
+        let mut rng = rng_for(self.name());
+        let a = random_f32(&mut rng, PAIRS * LEN, -1.0, 1.0);
+        let b = random_f32(&mut rng, PAIRS * LEN, -1.0, 1.0);
+        let pa = dev.malloc(PAIRS * LEN * 4)?;
+        let pb = dev.malloc(PAIRS * LEN * 4)?;
+        let po = dev.malloc(PAIRS * 4)?;
+        dev.copy_f32_htod(pa, &a)?;
+        dev.copy_f32_htod(pb, &b)?;
+        let stats = dev.launch(
+            "scalarprod",
+            [PAIRS as u32, 1, 1],
+            [CTA as u32, 1, 1],
+            &[
+                ParamValue::Ptr(pa),
+                ParamValue::Ptr(pb),
+                ParamValue::Ptr(po),
+                ParamValue::U32(LEN as u32),
+            ],
+            config,
+        )?;
+        let got = dev.copy_f32_dtoh(po, PAIRS)?;
+        let want: Vec<f32> = (0..PAIRS)
+            .map(|p| {
+                // Match the kernel's strided accumulation + tree order as
+                // closely as sequential code can; tolerance covers the
+                // associativity difference.
+                let mut partials = vec![0f32; CTA];
+                for (t, acc) in partials.iter_mut().enumerate() {
+                    let mut i = t;
+                    while i < LEN {
+                        *acc = a[p * LEN + i].mul_add(b[p * LEN + i], *acc);
+                        i += CTA;
+                    }
+                }
+                let mut stride = CTA / 2;
+                while stride > 0 {
+                    for t in 0..stride {
+                        partials[t] += partials[t + stride];
+                    }
+                    stride /= 2;
+                }
+                partials[0]
+            })
+            .collect();
+        check_f32(self.name(), &got, &want, 1e-4)?;
+        Ok(Outcome { stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::WorkloadExt;
+
+    #[test]
+    fn validates() {
+        ScalarProd.run_checked(&ExecConfig::baseline()).unwrap();
+        ScalarProd.run_checked(&ExecConfig::dynamic(4)).unwrap();
+    }
+}

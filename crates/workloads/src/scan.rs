@@ -1,0 +1,144 @@
+//! Hillis–Steele inclusive prefix sum per CTA: log₂(n) barrier rounds with
+//! structured divergence (threads below the offset idle each round).
+
+use dpvk_core::{Device, ExecConfig, ParamValue};
+
+use crate::common::{check_f32, random_f32, rng_for, Outcome, Workload, WorkloadError};
+
+const N: usize = 256;
+const CTA: usize = 64;
+
+/// Per-CTA inclusive scan (each 64-element segment scanned independently).
+#[derive(Debug)]
+pub struct Scan;
+
+impl Workload for Scan {
+    fn name(&self) -> &'static str {
+        "scan"
+    }
+
+    fn stands_for(&self) -> &'static str {
+        "Scan / ScanLargeArray (barriers + structured divergence)"
+    }
+
+    fn source(&self) -> String {
+        // Double-buffered Hillis-Steele in one 128-element shared array.
+        r#"
+.kernel scan (.param .u64 data, .param .u64 out) {
+  .shared .f32 buf[128];
+  .reg .u32 %r<10>;
+  .reg .u64 %rd<10>;
+  .reg .f32 %f<4>;
+  .reg .pred %p<3>;
+entry:
+  mov.u32 %r0, %tid.x;
+  mad.lo.u32 %r1, %ctaid.x, %ntid.x, %r0;
+  cvt.u64.u32 %rd0, %r1;
+  shl.u64 %rd0, %rd0, 2;
+  ld.param.u64 %rd1, [data];
+  add.u64 %rd1, %rd1, %rd0;
+  ld.global.f32 %f0, [%rd1];
+  // ping-pong halves: pin = 0, pout = 64 floats
+  mov.u32 %r2, 0;                // pin offset (elements)
+  mov.u32 %r3, 64;               // pout offset
+  add.u32 %r4, %r2, %r0;
+  shl.u32 %r4, %r4, 2;
+  cvt.u64.u32 %rd2, %r4;
+  mov.u64 %rd3, buf;
+  add.u64 %rd4, %rd3, %rd2;
+  st.shared.f32 [%rd4], %f0;
+  mov.u32 %r5, 1;                // offset
+round:
+  bar.sync 0;
+  // out[tid] = in[tid] + (tid >= offset ? in[tid-offset] : 0)
+  add.u32 %r4, %r2, %r0;
+  shl.u32 %r4, %r4, 2;
+  cvt.u64.u32 %rd2, %r4;
+  add.u64 %rd4, %rd3, %rd2;
+  ld.shared.f32 %f1, [%rd4];
+  setp.lt.u32 %p0, %r0, %r5;
+  @%p0 bra write;
+  sub.u32 %r6, %r0, %r5;
+  add.u32 %r6, %r2, %r6;
+  shl.u32 %r6, %r6, 2;
+  cvt.u64.u32 %rd5, %r6;
+  add.u64 %rd6, %rd3, %rd5;
+  ld.shared.f32 %f2, [%rd6];
+  add.f32 %f1, %f1, %f2;
+write:
+  add.u32 %r7, %r3, %r0;
+  shl.u32 %r7, %r7, 2;
+  cvt.u64.u32 %rd7, %r7;
+  add.u64 %rd8, %rd3, %rd7;
+  st.shared.f32 [%rd8], %f1;
+  // swap pin/pout
+  mov.u32 %r8, %r2;
+  mov.u32 %r2, %r3;
+  mov.u32 %r3, %r8;
+  shl.u32 %r5, %r5, 1;
+  setp.lt.u32 %p1, %r5, %ntid.x;
+  @%p1 bra round;
+  bar.sync 0;
+  // result lives in the `pin` half after the final swap
+  add.u32 %r4, %r2, %r0;
+  shl.u32 %r4, %r4, 2;
+  cvt.u64.u32 %rd2, %r4;
+  add.u64 %rd4, %rd3, %rd2;
+  ld.shared.f32 %f3, [%rd4];
+  ld.param.u64 %rd9, [out];
+  add.u64 %rd9, %rd9, %rd0;
+  st.global.f32 [%rd9], %f3;
+  ret;
+}
+"#
+        .to_string()
+    }
+
+    fn run(&self, dev: &Device, config: &ExecConfig) -> Result<Outcome, WorkloadError> {
+        let mut rng = rng_for(self.name());
+        let data = random_f32(&mut rng, N, -1.0, 1.0);
+        let pd = dev.malloc(N * 4)?;
+        let po = dev.malloc(N * 4)?;
+        dev.copy_f32_htod(pd, &data)?;
+        let stats = dev.launch(
+            "scan",
+            [(N / CTA) as u32, 1, 1],
+            [CTA as u32, 1, 1],
+            &[ParamValue::Ptr(pd), ParamValue::Ptr(po)],
+            config,
+        )?;
+        let got = dev.copy_f32_dtoh(po, N)?;
+        let mut want = vec![0f32; N];
+        for seg in 0..(N / CTA) {
+            // Hillis-Steele addition order differs from a serial prefix
+            // sum only by float association; recompute the same rounds.
+            let mut cur: Vec<f32> = data[seg * CTA..(seg + 1) * CTA].to_vec();
+            let mut offset = 1;
+            while offset < CTA {
+                let mut next = cur.clone();
+                for (i, n) in next.iter_mut().enumerate() {
+                    if i >= offset {
+                        *n = cur[i] + cur[i - offset];
+                    }
+                }
+                cur = next;
+                offset <<= 1;
+            }
+            want[seg * CTA..(seg + 1) * CTA].copy_from_slice(&cur);
+        }
+        check_f32(self.name(), &got, &want, 1e-4)?;
+        Ok(Outcome { stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::WorkloadExt;
+
+    #[test]
+    fn validates() {
+        Scan.run_checked(&ExecConfig::baseline()).unwrap();
+        Scan.run_checked(&ExecConfig::dynamic(4)).unwrap();
+    }
+}

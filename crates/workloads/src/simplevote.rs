@@ -1,0 +1,116 @@
+//! Warp-vote intrinsics demo: CTAs of two threads exercise `vote.all`,
+//! `vote.any` and `vote.uni` (the paper's SimpleVoteIntrinsics only ever
+//! forms warps of two).
+
+use dpvk_core::{Device, ExecConfig, ParamValue};
+
+use crate::common::{check_u32, Outcome, Workload, WorkloadError};
+
+const CTAS: u32 = 32;
+const CTA: u32 = 2;
+
+/// Stores, per thread, a bitfield of the three vote results over the
+/// predicate `tid == 0`.
+#[derive(Debug)]
+pub struct SimpleVote;
+
+impl Workload for SimpleVote {
+    fn name(&self) -> &'static str {
+        "simplevote"
+    }
+
+    fn stands_for(&self) -> &'static str {
+        "SimpleVoteIntrinsics (warp-wide votes, 2-thread CTAs)"
+    }
+
+    fn source(&self) -> String {
+        r#"
+.kernel simplevote (.param .u64 out) {
+  .reg .u32 %r<8>;
+  .reg .u64 %rd<4>;
+  .reg .pred %p<6>;
+entry:
+  mov.u32 %r0, %tid.x;
+  mad.lo.u32 %r1, %ctaid.x, %ntid.x, %r0;
+  setp.eq.u32 %p0, %r0, 0;
+  vote.all.pred %p1, %p0;
+  vote.any.pred %p2, %p0;
+  vote.uni.pred %p3, %p0;
+  selp.u32 %r2, 1, 0, %p1;
+  selp.u32 %r3, 2, 0, %p2;
+  selp.u32 %r4, 4, 0, %p3;
+  or.b32 %r2, %r2, %r3;
+  or.b32 %r2, %r2, %r4;
+  shl.u32 %r5, %r1, 2;
+  cvt.u64.u32 %rd0, %r5;
+  ld.param.u64 %rd1, [out];
+  add.u64 %rd1, %rd1, %rd0;
+  st.global.u32 [%rd1], %r2;
+  ret;
+}
+"#
+        .to_string()
+    }
+
+    fn run(&self, dev: &Device, config: &ExecConfig) -> Result<Outcome, WorkloadError> {
+        let n = (CTAS * CTA) as usize;
+        let po = dev.malloc(n * 4)?;
+        let stats = dev.launch(
+            "simplevote",
+            [CTAS, 1, 1],
+            [CTA, 1, 1],
+            &[ParamValue::Ptr(po)],
+            config,
+        )?;
+        let got = dev.copy_u32_dtoh(po, n)?;
+        // The vote results depend on the dynamically formed warp. With a
+        // 2-thread CTA a warp is either both threads (all=false, any=true,
+        // uni=false) or a single thread (all=any=pred, uni=true). Check
+        // every element is one of the legal encodings for its thread.
+        for (i, &v) in got.iter().enumerate() {
+            let tid = (i as u32) % CTA;
+            let legal: &[u32] = if tid == 0 {
+                // pred = true: pair -> any|... = all?false any true uni false = 2
+                // alone -> all true any true uni true = 7
+                &[2, 7]
+            } else {
+                // pred = false: pair -> 2; alone -> all false any false uni true = 4
+                &[2, 4]
+            };
+            if !legal.contains(&v) {
+                return Err(WorkloadError::Mismatch {
+                    workload: self.name().to_string(),
+                    detail: format!("thread {i}: vote encoding {v} not in {legal:?}"),
+                });
+            }
+        }
+        // Under any policy, thread counts must be complete.
+        check_u32(self.name(), &[got.len() as u32], &[n as u32])?;
+        Ok(Outcome { stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::WorkloadExt;
+
+    #[test]
+    fn validates() {
+        SimpleVote.run_checked(&ExecConfig::baseline()).unwrap();
+        SimpleVote.run_checked(&ExecConfig::dynamic(4)).unwrap();
+    }
+
+    #[test]
+    fn warps_are_capped_at_cta_size() {
+        // Two-thread CTAs can never form warps wider than 2 (Figure 7's
+        // SimpleVoteIntrinsics observation).
+        let stats = SimpleVote
+            .run_checked(&ExecConfig::dynamic(4).with_workers(1))
+            .unwrap()
+            .stats;
+        assert_eq!(stats.warp_hist[4], 0, "{:?}", stats.warp_hist);
+        assert_eq!(stats.warp_hist[3], 0);
+        assert!(stats.warp_hist[2] > 0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Sobel edge detection on a 2-D image: stencil loads plus an early-exit
+//! branch for border threads (minor divergence at tile edges).
+
+use dpvk_core::{Device, ExecConfig, ParamValue};
+
+use crate::common::{check_f32, random_f32, rng_for, Outcome, Workload, WorkloadError};
+
+const W: usize = 32;
+const H: usize = 32;
+
+/// Gradient magnitude |Gx| + |Gy| on interior pixels; borders output 0.
+#[derive(Debug)]
+pub struct SobelFilter;
+
+impl Workload for SobelFilter {
+    fn name(&self) -> &'static str {
+        "sobel"
+    }
+
+    fn stands_for(&self) -> &'static str {
+        "SobelFilter (stencil + border divergence)"
+    }
+
+    fn source(&self) -> String {
+        r#"
+.kernel sobel (.param .u64 img, .param .u64 out, .param .u32 width,
+               .param .u32 height) {
+  .reg .u32 %r<12>;
+  .reg .u64 %rd<8>;
+  .reg .f32 %f<16>;
+  .reg .pred %p<5>;
+entry:
+  mov.u32 %r0, %tid.x;
+  mad.lo.u32 %r0, %ctaid.x, %ntid.x, %r0;   // pixel index
+  ld.param.u32 %r1, [width];
+  ld.param.u32 %r2, [height];
+  mul.lo.u32 %r3, %r1, %r2;
+  setp.ge.u32 %p0, %r0, %r3;
+  @%p0 bra done;
+  rem.u32 %r4, %r0, %r1;          // x
+  div.u32 %r5, %r0, %r1;          // y
+  shl.u32 %r6, %r0, 2;
+  cvt.u64.u32 %rd0, %r6;
+  ld.param.u64 %rd1, [out];
+  add.u64 %rd1, %rd1, %rd0;
+  // border -> write zero and exit (divergent at tile edges)
+  setp.eq.u32 %p1, %r4, 0;
+  sub.u32 %r7, %r1, 1;
+  setp.eq.u32 %p2, %r4, %r7;
+  or.pred %p1, %p1, %p2;
+  setp.eq.u32 %p3, %r5, 0;
+  or.pred %p1, %p1, %p3;
+  sub.u32 %r8, %r2, 1;
+  setp.eq.u32 %p4, %r5, %r8;
+  or.pred %p1, %p1, %p4;
+  @!%p1 bra interior;
+  mov.f32 %f0, 0.0;
+  st.global.f32 [%rd1], %f0;
+  ret;
+interior:
+  ld.param.u64 %rd2, [img];
+  // address of pixel (x-1, y-1)
+  sub.u32 %r9, %r0, %r1;
+  sub.u32 %r9, %r9, 1;
+  shl.u32 %r10, %r9, 2;
+  cvt.u64.u32 %rd3, %r10;
+  add.u64 %rd4, %rd2, %rd3;
+  ld.global.f32 %f1, [%rd4];      // NW
+  ld.global.f32 %f2, [%rd4+4];    // N
+  ld.global.f32 %f3, [%rd4+8];    // NE
+  shl.u32 %r11, %r1, 2;
+  cvt.u64.u32 %rd5, %r11;
+  add.u64 %rd6, %rd4, %rd5;       // (x-1, y)
+  ld.global.f32 %f4, [%rd6];      // Wp
+  ld.global.f32 %f5, [%rd6+8];    // E
+  add.u64 %rd7, %rd6, %rd5;       // (x-1, y+1)
+  ld.global.f32 %f6, [%rd7];      // SW
+  ld.global.f32 %f7, [%rd7+4];    // S
+  ld.global.f32 %f8, [%rd7+8];    // SE
+  // Gx = (NE + 2E + SE) - (NW + 2W + SW)
+  add.f32 %f9, %f3, %f8;
+  fma.rn.f32 %f9, %f5, 2.0, %f9;
+  add.f32 %f10, %f1, %f6;
+  fma.rn.f32 %f10, %f4, 2.0, %f10;
+  sub.f32 %f9, %f9, %f10;
+  abs.f32 %f9, %f9;
+  // Gy = (SW + 2S + SE) - (NW + 2N + NE)
+  add.f32 %f11, %f6, %f8;
+  fma.rn.f32 %f11, %f7, 2.0, %f11;
+  add.f32 %f12, %f1, %f3;
+  fma.rn.f32 %f12, %f2, 2.0, %f12;
+  sub.f32 %f11, %f11, %f12;
+  abs.f32 %f11, %f11;
+  add.f32 %f13, %f9, %f11;
+  st.global.f32 [%rd1], %f13;
+done:
+  ret;
+}
+"#
+        .to_string()
+    }
+
+    fn run(&self, dev: &Device, config: &ExecConfig) -> Result<Outcome, WorkloadError> {
+        let mut rng = rng_for(self.name());
+        let img = random_f32(&mut rng, W * H, 0.0, 1.0);
+        let pi = dev.malloc(W * H * 4)?;
+        let po = dev.malloc(W * H * 4)?;
+        dev.copy_f32_htod(pi, &img)?;
+        let stats = dev.launch(
+            "sobel",
+            [((W * H) as u32).div_ceil(64), 1, 1],
+            [64, 1, 1],
+            &[
+                ParamValue::Ptr(pi),
+                ParamValue::Ptr(po),
+                ParamValue::U32(W as u32),
+                ParamValue::U32(H as u32),
+            ],
+            config,
+        )?;
+        let got = dev.copy_f32_dtoh(po, W * H)?;
+        let mut want = vec![0f32; W * H];
+        for y in 1..H - 1 {
+            for x in 1..W - 1 {
+                let at = |dx: i64, dy: i64| -> f32 {
+                    img[((y as i64 + dy) as usize) * W + (x as i64 + dx) as usize]
+                };
+                let gx = (at(1, -1) + 2.0f32.mul_add(at(1, 0), at(1, 1)))
+                    - (at(-1, -1) + 2.0f32.mul_add(at(-1, 0), at(-1, 1)));
+                let gy = (at(-1, 1) + 2.0f32.mul_add(at(0, 1), at(1, 1)))
+                    - (at(-1, -1) + 2.0f32.mul_add(at(0, -1), at(1, -1)));
+                want[y * W + x] = gx.abs() + gy.abs();
+            }
+        }
+        check_f32(self.name(), &got, &want, 1e-3)?;
+        Ok(Outcome { stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::WorkloadExt;
+
+    #[test]
+    fn validates() {
+        SobelFilter.run_checked(&ExecConfig::baseline()).unwrap();
+        SobelFilter.run_checked(&ExecConfig::dynamic(4)).unwrap();
+    }
+}

@@ -1,0 +1,105 @@
+//! Sobol quasirandom generator: per-output XOR of direction vectors
+//! selected by index bits (branch-free via select), memory-bound.
+
+use dpvk_core::{Device, ExecConfig, ParamValue};
+
+use crate::common::{check_u32, rng_for, Outcome, Workload, WorkloadError};
+use rand::Rng;
+
+const N: usize = 1024;
+const DIRECTIONS: usize = 32;
+
+/// `out[i] = xor over bits b of i of dir[b]`.
+#[derive(Debug)]
+pub struct SobolQrng;
+
+impl Workload for SobolQrng {
+    fn name(&self) -> &'static str {
+        "sobolqrng"
+    }
+
+    fn stands_for(&self) -> &'static str {
+        "SobolQRNG (bit manipulation, memory-bound)"
+    }
+
+    fn source(&self) -> String {
+        r#"
+.kernel sobol (.param .u64 dirs, .param .u64 out, .param .u32 n) {
+  .reg .u32 %r<10>;
+  .reg .u64 %rd<6>;
+  .reg .pred %p<3>;
+entry:
+  mov.u32 %r0, %tid.x;
+  mad.lo.u32 %r0, %ctaid.x, %ntid.x, %r0;
+  ld.param.u32 %r1, [n];
+  setp.ge.u32 %p0, %r0, %r1;
+  @%p0 bra done;
+  mov.u32 %r2, 0;               // acc
+  mov.u32 %r3, 0;               // bit
+  ld.param.u64 %rd0, [dirs];
+bits:
+  shr.u32 %r4, %r0, %r3;
+  and.b32 %r4, %r4, 1;
+  shl.u32 %r5, %r3, 2;
+  cvt.u64.u32 %rd1, %r5;
+  add.u64 %rd2, %rd0, %rd1;
+  ld.global.u32 %r6, [%rd2];    // dir[bit]
+  setp.eq.u32 %p1, %r4, 1;
+  xor.b32 %r7, %r2, %r6;
+  selp.u32 %r2, %r7, %r2, %p1;  // acc ^= dir[bit] when the bit is set
+  add.u32 %r3, %r3, 1;
+  setp.lt.u32 %p2, %r3, 32;
+  @%p2 bra bits;
+  shl.u32 %r8, %r0, 2;
+  cvt.u64.u32 %rd3, %r8;
+  ld.param.u64 %rd4, [out];
+  add.u64 %rd4, %rd4, %rd3;
+  st.global.u32 [%rd4], %r2;
+done:
+  ret;
+}
+"#
+        .to_string()
+    }
+
+    fn run(&self, dev: &Device, config: &ExecConfig) -> Result<Outcome, WorkloadError> {
+        let mut rng = rng_for(self.name());
+        let dirs: Vec<u32> = (0..DIRECTIONS).map(|_| rng.gen()).collect();
+        let pd = dev.malloc(DIRECTIONS * 4)?;
+        let po = dev.malloc(N * 4)?;
+        dev.copy_u32_htod(pd, &dirs)?;
+        let stats = dev.launch(
+            "sobol",
+            [(N as u32).div_ceil(64), 1, 1],
+            [64, 1, 1],
+            &[ParamValue::Ptr(pd), ParamValue::Ptr(po), ParamValue::U32(N as u32)],
+            config,
+        )?;
+        let got = dev.copy_u32_dtoh(po, N)?;
+        let want: Vec<u32> = (0..N as u32)
+            .map(|i| {
+                let mut acc = 0u32;
+                for (b, d) in dirs.iter().enumerate() {
+                    if (i >> b) & 1 == 1 {
+                        acc ^= d;
+                    }
+                }
+                acc
+            })
+            .collect();
+        check_u32(self.name(), &got, &want)?;
+        Ok(Outcome { stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::WorkloadExt;
+
+    #[test]
+    fn validates() {
+        SobolQrng.run_checked(&ExecConfig::baseline()).unwrap();
+        SobolQrng.run_checked(&ExecConfig::dynamic(4)).unwrap();
+    }
+}

@@ -1,0 +1,110 @@
+//! Matrix transpose through shared-memory tiles: memory-bound with
+//! barriers.
+
+use dpvk_core::{Device, ExecConfig, ParamValue};
+
+use crate::common::{check_f32, random_f32, rng_for, Outcome, Workload, WorkloadError};
+
+const DIM: usize = 32;
+const TILE: usize = 8;
+
+/// `B = Aᵀ` with a staging tile per CTA.
+#[derive(Debug)]
+pub struct Transpose;
+
+impl Workload for Transpose {
+    fn name(&self) -> &'static str {
+        "transpose"
+    }
+
+    fn stands_for(&self) -> &'static str {
+        "Transpose (memory-bound shared-memory tiles)"
+    }
+
+    fn source(&self) -> String {
+        r#"
+.kernel transpose (.param .u64 a, .param .u64 b, .param .u32 dim) {
+  .shared .f32 tile[64];
+  .reg .u32 %r<12>;
+  .reg .u64 %rd<8>;
+  .reg .f32 %f<3>;
+entry:
+  mov.u32 %r0, %tid.x;
+  mov.u32 %r1, %tid.y;
+  mov.u32 %r2, %ctaid.x;
+  mov.u32 %r3, %ctaid.y;
+  ld.param.u32 %r4, [dim];
+  // read A[by*T+ty][bx*T+tx] into tile[ty][tx]
+  mad.lo.u32 %r5, %r3, 8, %r1;    // row
+  mad.lo.u32 %r6, %r2, 8, %r0;    // col
+  mad.lo.u32 %r7, %r5, %r4, %r6;
+  shl.u32 %r7, %r7, 2;
+  cvt.u64.u32 %rd0, %r7;
+  ld.param.u64 %rd1, [a];
+  add.u64 %rd1, %rd1, %rd0;
+  ld.global.f32 %f0, [%rd1];
+  mad.lo.u32 %r8, %r1, 8, %r0;
+  shl.u32 %r8, %r8, 2;
+  cvt.u64.u32 %rd2, %r8;
+  mov.u64 %rd3, tile;
+  add.u64 %rd3, %rd3, %rd2;
+  st.shared.f32 [%rd3], %f0;
+  bar.sync 0;
+  // write tile[tx][ty] to B[bx*T+ty][by*T+tx]
+  mad.lo.u32 %r9, %r0, 8, %r1;    // tx*T + ty
+  shl.u32 %r9, %r9, 2;
+  cvt.u64.u32 %rd4, %r9;
+  mov.u64 %rd5, tile;
+  add.u64 %rd5, %rd5, %rd4;
+  ld.shared.f32 %f1, [%rd5];
+  mad.lo.u32 %r10, %r2, 8, %r1;   // out row = bx*T + ty
+  mad.lo.u32 %r11, %r3, 8, %r0;   // out col = by*T + tx
+  mad.lo.u32 %r10, %r10, %r4, %r11;
+  shl.u32 %r10, %r10, 2;
+  cvt.u64.u32 %rd6, %r10;
+  ld.param.u64 %rd7, [b];
+  add.u64 %rd7, %rd7, %rd6;
+  st.global.f32 [%rd7], %f1;
+  ret;
+}
+"#
+        .to_string()
+    }
+
+    fn run(&self, dev: &Device, config: &ExecConfig) -> Result<Outcome, WorkloadError> {
+        let mut rng = rng_for(self.name());
+        let a = random_f32(&mut rng, DIM * DIM, -5.0, 5.0);
+        let pa = dev.malloc(DIM * DIM * 4)?;
+        let pb = dev.malloc(DIM * DIM * 4)?;
+        dev.copy_f32_htod(pa, &a)?;
+        let blocks = (DIM / TILE) as u32;
+        let stats = dev.launch(
+            "transpose",
+            [blocks, blocks, 1],
+            [TILE as u32, TILE as u32, 1],
+            &[ParamValue::Ptr(pa), ParamValue::Ptr(pb), ParamValue::U32(DIM as u32)],
+            config,
+        )?;
+        let got = dev.copy_f32_dtoh(pb, DIM * DIM)?;
+        let mut want = vec![0f32; DIM * DIM];
+        for r in 0..DIM {
+            for c in 0..DIM {
+                want[c * DIM + r] = a[r * DIM + c];
+            }
+        }
+        check_f32(self.name(), &got, &want, 0.0)?;
+        Ok(Outcome { stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::WorkloadExt;
+
+    #[test]
+    fn validates() {
+        Transpose.run_checked(&ExecConfig::baseline()).unwrap();
+        Transpose.run_checked(&ExecConfig::dynamic(4)).unwrap();
+    }
+}

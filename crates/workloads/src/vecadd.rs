@@ -1,0 +1,96 @@
+//! Element-wise vector addition: the trivially uniform, memory-bound
+//! quickstart workload.
+
+use dpvk_core::{Device, ExecConfig, ParamValue};
+
+use crate::common::{check_f32, random_f32, rng_for, Outcome, Workload, WorkloadError};
+
+const N: usize = 2000; // not a CTA multiple: the tail diverges
+const CTA: u32 = 64;
+
+/// `c[i] = a[i] + b[i]`.
+#[derive(Debug)]
+pub struct VecAdd;
+
+impl Workload for VecAdd {
+    fn name(&self) -> &'static str {
+        "vecadd"
+    }
+
+    fn stands_for(&self) -> &'static str {
+        "Template / AlignedTypes (uniform memory-bound)"
+    }
+
+    fn source(&self) -> String {
+        r#"
+.kernel vecadd (.param .u64 a, .param .u64 b, .param .u64 c, .param .u32 n) {
+  .reg .u32 %r<4>;
+  .reg .u64 %rd<6>;
+  .reg .f32 %f<4>;
+  .reg .pred %p<2>;
+entry:
+  mov.u32 %r0, %tid.x;
+  mad.lo.u32 %r0, %ctaid.x, %ntid.x, %r0;
+  ld.param.u32 %r1, [n];
+  setp.ge.u32 %p0, %r0, %r1;
+  @%p0 bra done;
+  cvt.u64.u32 %rd0, %r0;
+  shl.u64 %rd0, %rd0, 2;
+  ld.param.u64 %rd1, [a];
+  add.u64 %rd1, %rd1, %rd0;
+  ld.global.f32 %f0, [%rd1];
+  ld.param.u64 %rd2, [b];
+  add.u64 %rd2, %rd2, %rd0;
+  ld.global.f32 %f1, [%rd2];
+  add.f32 %f2, %f0, %f1;
+  ld.param.u64 %rd3, [c];
+  add.u64 %rd3, %rd3, %rd0;
+  st.global.f32 [%rd3], %f2;
+done:
+  ret;
+}
+"#
+        .to_string()
+    }
+
+    fn run(&self, dev: &Device, config: &ExecConfig) -> Result<Outcome, WorkloadError> {
+        let mut rng = rng_for(self.name());
+        let a = random_f32(&mut rng, N, -10.0, 10.0);
+        let b = random_f32(&mut rng, N, -10.0, 10.0);
+        let pa = dev.malloc(N * 4)?;
+        let pb = dev.malloc(N * 4)?;
+        let pc = dev.malloc(N * 4)?;
+        dev.copy_f32_htod(pa, &a)?;
+        dev.copy_f32_htod(pb, &b)?;
+        let ctas = (N as u32).div_ceil(CTA);
+        let stats = dev.launch(
+            "vecadd",
+            [ctas, 1, 1],
+            [CTA, 1, 1],
+            &[
+                ParamValue::Ptr(pa),
+                ParamValue::Ptr(pb),
+                ParamValue::Ptr(pc),
+                ParamValue::U32(N as u32),
+            ],
+            config,
+        )?;
+        let got = dev.copy_f32_dtoh(pc, N)?;
+        let want: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        check_f32(self.name(), &got, &want, 1e-6)?;
+        Ok(Outcome { stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::WorkloadExt;
+
+    #[test]
+    fn validates_under_all_policies() {
+        VecAdd.run_checked(&ExecConfig::baseline()).unwrap();
+        VecAdd.run_checked(&ExecConfig::dynamic(4)).unwrap();
+        VecAdd.run_checked(&ExecConfig::static_tie(4)).unwrap();
+    }
+}

@@ -1,0 +1,27 @@
+//! Run the Black–Scholes workload from the benchmark suite and compare
+//! the execution policies — the paper's Figure 6 for one application.
+//!
+//! Run with `cargo run --release --example blackscholes`.
+
+use dpvk::core::ExecConfig;
+use dpvk::workloads::{workload, WorkloadExt};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bs = workload("blackscholes").expect("suite includes blackscholes");
+    println!("workload: {} (stands for {})", bs.name(), bs.stands_for());
+
+    let scalar = bs.run_checked(&ExecConfig::baseline().with_workers(1))?.stats;
+    let vec2 = bs.run_checked(&ExecConfig::dynamic(2).with_workers(1))?.stats;
+    let vec4 = bs.run_checked(&ExecConfig::dynamic(4).with_workers(1))?.stats;
+
+    let base = scalar.exec.total_cycles() as f64;
+    println!("\npolicy              cycles      speedup");
+    println!("----------------------------------------");
+    for (label, s) in [("scalar baseline", &scalar), ("dynamic w2", &vec2), ("dynamic w4", &vec4)]
+    {
+        let c = s.exec.total_cycles();
+        println!("{label:<18}  {c:>9}  {:>6.2}x", base / c as f64);
+    }
+    println!("\nevery run validates the option prices against the host reference.");
+    Ok(())
+}

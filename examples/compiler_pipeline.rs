@@ -1,0 +1,70 @@
+//! Walk the dynamic compilation pipeline by hand: parse → translate →
+//! specialize, printing the IR after each stage — useful for seeing what
+//! vectorization and yield-on-diverge actually emit.
+//!
+//! Run with `cargo run --example compiler_pipeline`.
+
+use dpvk::core::{specialize, translate, SpecializeOptions};
+use dpvk::ir;
+use dpvk::ptx;
+
+const KERNEL: &str = r#"
+.kernel clamp_scale (.param .u64 data, .param .f32 hi, .param .u32 n) {
+  .reg .u32 %r<4>;
+  .reg .u64 %rd<4>;
+  .reg .f32 %f<4>;
+  .reg .pred %p<2>;
+entry:
+  mov.u32 %r0, %tid.x;
+  mad.lo.u32 %r0, %ctaid.x, %ntid.x, %r0;
+  ld.param.u32 %r1, [n];
+  setp.ge.u32 %p0, %r0, %r1;
+  @%p0 bra done;
+  cvt.u64.u32 %rd0, %r0;
+  shl.u64 %rd0, %rd0, 2;
+  ld.param.u64 %rd1, [data];
+  add.u64 %rd1, %rd1, %rd0;
+  ld.global.f32 %f0, [%rd1];
+  ld.param.f32 %f1, [hi];
+  setp.gt.f32 %p1, %f0, %f1;
+  @%p1 bra clamp;
+  mul.f32 %f0, %f0, 2.0;
+  bra write;
+clamp:
+  mov.f32 %f0, %f1;
+write:
+  st.global.f32 [%rd1], %f0;
+done:
+  ret;
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Stage 1: parse and validate the PTX-like source.
+    let kernel = ptx::parse_kernel(KERNEL)?;
+    println!("=== PTX-like source (round-tripped through the printer) ===\n");
+    println!("{}", ptx::print_kernel(&kernel));
+
+    // Stage 2: translate to canonical scalar IR.
+    let tk = translate(&kernel)?;
+    println!("=== canonical scalar IR ===\n");
+    println!("{}", ir::print_function(&tk.scalar));
+    println!(
+        "entry points: {} | spill slots: {} | local bytes/thread: {}\n",
+        tk.entry_points.len(),
+        tk.spill_slots.len(),
+        tk.local_bytes
+    );
+
+    // Stage 3: vectorize for a warp of 4 with divergence handling.
+    let spec = specialize(&tk, &SpecializeOptions::dynamic(4))?;
+    println!("=== width-4 specialization (scheduler + handlers + body) ===\n");
+    println!("{}", ir::print_function(&spec.function));
+    println!(
+        "instructions: {} before opt, {} after ({} simplifications)",
+        spec.pre_opt_instructions,
+        spec.post_opt_instructions,
+        spec.opt_stats.total_simplifications()
+    );
+    Ok(())
+}

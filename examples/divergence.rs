@@ -1,0 +1,98 @@
+//! Yield-on-diverge in action: a kernel whose threads take different
+//! paths, executed under the three warp-formation policies, with the
+//! divergence statistics the execution manager collects.
+//!
+//! Run with `cargo run --example divergence`.
+
+use dpvk::core::{Device, ExecConfig, ParamValue};
+use dpvk::vm::MachineModel;
+
+/// Odd threads do extra expensive work; even threads take the short path.
+const DIVERGE: &str = r#"
+.kernel collatz_steps (.param .u64 seeds, .param .u64 out, .param .u32 n) {
+  .reg .u32 %r<8>;
+  .reg .u64 %rd<4>;
+  .reg .pred %p<4>;
+entry:
+  mov.u32 %r0, %tid.x;
+  mad.lo.u32 %r0, %ctaid.x, %ntid.x, %r0;
+  ld.param.u32 %r1, [n];
+  setp.ge.u32 %p0, %r0, %r1;
+  @%p0 bra done;
+  shl.u32 %r2, %r0, 2;
+  cvt.u64.u32 %rd0, %r2;
+  ld.param.u64 %rd1, [seeds];
+  add.u64 %rd1, %rd1, %rd0;
+  ld.global.u32 %r3, [%rd1];    // x
+  mov.u32 %r4, 0;               // steps
+loop:
+  setp.le.u32 %p1, %r3, 1;
+  @%p1 bra store;
+  and.b32 %r5, %r3, 1;
+  setp.eq.u32 %p2, %r5, 0;
+  @%p2 bra even;
+  mad.lo.u32 %r3, %r3, 3, 1;    // x = 3x + 1 (divergent path)
+  bra next;
+even:
+  shr.u32 %r3, %r3, 1;          // x = x / 2
+next:
+  add.u32 %r4, %r4, 1;
+  bra loop;
+store:
+  ld.param.u64 %rd2, [out];
+  add.u64 %rd2, %rd2, %rd0;
+  st.global.u32 [%rd2], %r4;
+done:
+  ret;
+}
+"#;
+
+fn collatz_steps(mut x: u32) -> u32 {
+    let mut steps = 0;
+    while x > 1 {
+        x = if x % 2 == 0 { x / 2 } else { 3 * x + 1 };
+        steps += 1;
+    }
+    steps
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 256usize;
+    let seeds: Vec<u32> = (0..n as u32).map(|i| i * 7 + 1).collect();
+    let expected: Vec<u32> = seeds.iter().map(|&s| collatz_steps(s)).collect();
+
+    for (label, config) in [
+        ("scalar baseline     ", ExecConfig::baseline().with_workers(1)),
+        ("dynamic formation w4", ExecConfig::dynamic(4).with_workers(1)),
+        ("static formation w4 ", ExecConfig::static_tie(4).with_workers(1)),
+    ] {
+        let dev = Device::new(MachineModel::sandybridge_sse(), 4 << 20);
+        dev.register_source(DIVERGE)?;
+        let ps = dev.malloc(n * 4)?;
+        let po = dev.malloc(n * 4)?;
+        dev.copy_u32_htod(ps, &seeds)?;
+        let stats = dev.launch(
+            "collatz_steps",
+            [(n as u32).div_ceil(64), 1, 1],
+            [64, 1, 1],
+            &[ParamValue::Ptr(ps), ParamValue::Ptr(po), ParamValue::U32(n as u32)],
+            &config,
+        )?;
+        let got = dev.copy_u32_dtoh(po, n)?;
+        assert_eq!(got, expected, "{label} computed wrong step counts");
+        let e = &stats.exec;
+        println!(
+            "{label}  cycles {:>9}  warp entries {:>6}  avg warp {:>4.2}  \
+             EM {:>4.1}%  yields {:>4.1}%",
+            e.total_cycles(),
+            e.warp_entries,
+            e.average_warp_size(),
+            100.0 * e.cycles_manager as f64 / e.total_cycles() as f64,
+            100.0 * e.cycles_yield as f64 / e.total_cycles() as f64,
+        );
+    }
+    println!("\nCollatz trip counts are uncorrelated across threads, so dynamic");
+    println!("warp formation pays heavy yield traffic — the paper's MersenneTwister");
+    println!("phenomenon. Static formation recovers by running stragglers scalar.");
+    Ok(())
+}

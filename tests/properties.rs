@@ -1,0 +1,216 @@
+//! Property-based tests: randomly generated kernels must compute the same
+//! results under every execution policy, and the front end must
+//! round-trip.
+
+use dpvk::core::{Device, ExecConfig, ParamValue};
+use dpvk::ptx;
+use dpvk::vm::MachineModel;
+use proptest::prelude::*;
+
+/// One random straight-line integer instruction over registers
+/// `%v0..%v{NREGS}`.
+#[derive(Debug, Clone)]
+enum Op {
+    Bin { mnemonic: &'static str, dst: usize, a: usize, b: usize },
+    BinImm { mnemonic: &'static str, dst: usize, a: usize, imm: u32 },
+    Shift { mnemonic: &'static str, dst: usize, a: usize, amount: u32 },
+    SelpGe { dst: usize, a: usize, b: usize, x: usize, y: usize },
+}
+
+const NREGS: usize = 6;
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let reg = 0..NREGS;
+    let bin = (
+        prop::sample::select(vec!["add.u32", "sub.u32", "mul.lo.u32", "and.b32", "or.b32", "xor.b32", "min.u32", "max.u32", "min.s32", "max.s32"]),
+        reg.clone(),
+        reg.clone(),
+        reg.clone(),
+    )
+        .prop_map(|(m, d, a, b)| Op::Bin { mnemonic: m, dst: d, a, b });
+    let binimm = (
+        prop::sample::select(vec!["add.u32", "mul.lo.u32", "xor.b32"]),
+        0..NREGS,
+        0..NREGS,
+        any::<u32>(),
+    )
+        .prop_map(|(m, d, a, imm)| Op::BinImm { mnemonic: m, dst: d, a, imm });
+    let shift = (
+        prop::sample::select(vec!["shl.u32", "shr.u32", "shr.s32"]),
+        0..NREGS,
+        0..NREGS,
+        0u32..32,
+    )
+        .prop_map(|(m, d, a, amount)| Op::Shift { mnemonic: m, dst: d, a, amount });
+    let selp = (0..NREGS, 0..NREGS, 0..NREGS, 0..NREGS, 0..NREGS)
+        .prop_map(|(d, a, b, x, y)| Op::SelpGe { dst: d, a, b, x, y });
+    prop_oneof![4 => bin, 2 => binimm, 2 => shift, 1 => selp]
+}
+
+/// Render the ops as a kernel: seed registers from tid, apply ops, store
+/// the xor of all registers.
+fn kernel_source(ops: &[Op]) -> String {
+    let mut body = String::new();
+    for op in ops {
+        match op {
+            Op::Bin { mnemonic, dst, a, b } => {
+                body.push_str(&format!("  {mnemonic} %v{dst}, %v{a}, %v{b};\n"));
+            }
+            Op::BinImm { mnemonic, dst, a, imm } => {
+                body.push_str(&format!("  {mnemonic} %v{dst}, %v{a}, {imm};\n"));
+            }
+            Op::Shift { mnemonic, dst, a, amount } => {
+                body.push_str(&format!("  {mnemonic} %v{dst}, %v{a}, {amount};\n"));
+            }
+            Op::SelpGe { dst, a, b, x, y } => {
+                body.push_str(&format!("  setp.ge.u32 %p0, %v{a}, %v{b};\n"));
+                body.push_str(&format!("  selp.u32 %v{dst}, %v{x}, %v{y}, %p0;\n"));
+            }
+        }
+    }
+    let mut seed = String::new();
+    for i in 0..NREGS {
+        seed.push_str(&format!("  mad.lo.u32 %v{i}, %r0, {}, {};\n", 2 * i + 1, 7 * i + 3));
+    }
+    let mut fold = String::new();
+    for i in 1..NREGS {
+        fold.push_str(&format!("  xor.b32 %v0, %v0, %v{i};\n"));
+    }
+    format!(
+        r#"
+.kernel prop (.param .u64 out) {{
+  .reg .u32 %r<4>;
+  .reg .u32 %v<{NREGS}>;
+  .reg .u64 %rd<3>;
+  .reg .pred %p<2>;
+entry:
+  mov.u32 %r0, %tid.x;
+  mad.lo.u32 %r0, %ctaid.x, %ntid.x, %r0;
+{seed}{body}{fold}  shl.u32 %r1, %r0, 2;
+  cvt.u64.u32 %rd0, %r1;
+  ld.param.u64 %rd1, [out];
+  add.u64 %rd1, %rd1, %rd0;
+  st.global.u32 [%rd1], %v0;
+  ret;
+}}
+"#
+    )
+}
+
+fn run(src: &str, config: &ExecConfig, n: u32) -> Vec<u32> {
+    let dev = Device::new(MachineModel::sandybridge_sse(), 1 << 20);
+    dev.register_source(src).unwrap();
+    let po = dev.malloc(n as usize * 4).unwrap();
+    dev.launch(
+        "prop",
+        [n.div_ceil(16), 1, 1],
+        [16, 1, 1],
+        &[ParamValue::Ptr(po)],
+        config,
+    )
+    .unwrap();
+    dev.copy_u32_dtoh(po, n as usize).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Vectorized execution of random straight-line kernels matches the
+    /// scalar baseline exactly.
+    #[test]
+    fn vectorization_preserves_straightline_semantics(
+        ops in prop::collection::vec(op_strategy(), 1..24)
+    ) {
+        let src = kernel_source(&ops);
+        let scalar = run(&src, &ExecConfig::baseline(), 32);
+        let vec4 = run(&src, &ExecConfig::dynamic(4), 32);
+        let tie = run(&src, &ExecConfig::static_tie(4), 32);
+        prop_assert_eq!(&scalar, &vec4);
+        prop_assert_eq!(&scalar, &tie);
+    }
+
+    /// Adding a data-dependent branch over half the ops preserves
+    /// semantics under yield-on-diverge.
+    #[test]
+    fn vectorization_preserves_divergent_semantics(
+        ops in prop::collection::vec(op_strategy(), 2..16),
+        bit in 0u32..4,
+    ) {
+        // Wrap the second half of the ops in `if (tid >> bit) & 1`.
+        let half = ops.len() / 2;
+        let prefix = kernel_body_fragment(&ops[..half]);
+        let suffix = kernel_body_fragment(&ops[half..]);
+        let mut seed = String::new();
+        for i in 0..NREGS {
+            seed.push_str(&format!("  mad.lo.u32 %v{i}, %r0, {}, {};\n", 2 * i + 1, 7 * i + 3));
+        }
+        let mut fold = String::new();
+        for i in 1..NREGS {
+            fold.push_str(&format!("  xor.b32 %v0, %v0, %v{i};\n"));
+        }
+        let src = format!(
+            r#"
+.kernel prop (.param .u64 out) {{
+  .reg .u32 %r<4>;
+  .reg .u32 %v<{NREGS}>;
+  .reg .u64 %rd<3>;
+  .reg .pred %p<3>;
+entry:
+  mov.u32 %r0, %tid.x;
+  mad.lo.u32 %r0, %ctaid.x, %ntid.x, %r0;
+{seed}{prefix}  shr.u32 %r2, %r0, {bit};
+  and.b32 %r2, %r2, 1;
+  setp.eq.u32 %p1, %r2, 0;
+  @%p1 bra merge;
+{suffix}merge:
+{fold}  shl.u32 %r1, %r0, 2;
+  cvt.u64.u32 %rd0, %r1;
+  ld.param.u64 %rd1, [out];
+  add.u64 %rd1, %rd1, %rd0;
+  st.global.u32 [%rd1], %v0;
+  ret;
+}}
+"#
+        );
+        let scalar = run(&src, &ExecConfig::baseline(), 32);
+        let vec4 = run(&src, &ExecConfig::dynamic(4), 32);
+        let vec2 = run(&src, &ExecConfig::dynamic(2), 32);
+        prop_assert_eq!(&scalar, &vec4);
+        prop_assert_eq!(&scalar, &vec2);
+    }
+
+    /// The printer's output parses back to an equivalent kernel.
+    #[test]
+    fn printer_round_trips(ops in prop::collection::vec(op_strategy(), 1..16)) {
+        let src = kernel_source(&ops);
+        let k1 = ptx::parse_kernel(&src).unwrap();
+        let text = ptx::print_kernel(&k1);
+        let k2 = ptx::parse_kernel(&text).unwrap();
+        prop_assert_eq!(k1.blocks.len(), k2.blocks.len());
+        for (b1, b2) in k1.blocks.iter().zip(&k2.blocks) {
+            prop_assert_eq!(&b1.instructions, &b2.instructions);
+        }
+    }
+}
+
+fn kernel_body_fragment(ops: &[Op]) -> String {
+    let mut body = String::new();
+    for op in ops {
+        match op {
+            Op::Bin { mnemonic, dst, a, b } => {
+                body.push_str(&format!("  {mnemonic} %v{dst}, %v{a}, %v{b};\n"));
+            }
+            Op::BinImm { mnemonic, dst, a, imm } => {
+                body.push_str(&format!("  {mnemonic} %v{dst}, %v{a}, {imm};\n"));
+            }
+            Op::Shift { mnemonic, dst, a, amount } => {
+                body.push_str(&format!("  {mnemonic} %v{dst}, %v{a}, {amount};\n"));
+            }
+            Op::SelpGe { dst, a, b, x, y } => {
+                body.push_str(&format!("  setp.ge.u32 %p0, %v{a}, %v{b};\n"));
+                body.push_str(&format!("  selp.u32 %v{dst}, %v{x}, %v{y}, %p0;\n"));
+            }
+        }
+    }
+    body
+}
