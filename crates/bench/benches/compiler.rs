@@ -1,59 +1,75 @@
-//! Criterion benchmarks of the dynamic compiler itself: parse, translate,
+//! Benchmarks of the dynamic compiler itself: parse, translate,
 //! vectorize, optimize. These measure real wall time on the host (the
 //! paper's compilation-cost dimension).
+//!
+//! Plain timing harness (no external benchmark dependency): each case is
+//! warmed up, then timed over enough iterations to smooth scheduler
+//! noise, reporting the per-iteration mean and minimum.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dpvk_core::{specialize, translate, SpecializeOptions};
 use dpvk_ptx::parse_kernel;
 use dpvk_workloads::workload;
 use std::hint::black_box;
+use std::time::Instant;
+
+/// Time `f` over repeated batches and print mean / best per-iteration ns.
+fn bench<F: FnMut()>(name: &str, mut f: F) {
+    // Warm-up, and a rough calibration of how many iterations fit in a
+    // few milliseconds.
+    let start = Instant::now();
+    f();
+    let once = start.elapsed().as_nanos().max(1);
+    let iters = ((5_000_000 / once).clamp(1, 10_000)) as u32;
+
+    let mut best = u128::MAX;
+    let mut total = 0u128;
+    const BATCHES: u32 = 20;
+    for _ in 0..BATCHES {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let ns = start.elapsed().as_nanos() / iters as u128;
+        best = best.min(ns);
+        total += ns;
+    }
+    let mean = total / BATCHES as u128;
+    println!("{name:<40} mean {mean:>12} ns/iter   best {best:>12} ns/iter   ({iters} iters x {BATCHES})");
+}
 
 fn source() -> String {
     workload("blackscholes").expect("suite includes blackscholes").source()
 }
 
-fn bench_parse(c: &mut Criterion) {
+fn main() {
     let src = source();
-    c.bench_function("parse blackscholes", |b| {
-        b.iter(|| parse_kernel(black_box(&src)).unwrap())
+    bench("parse blackscholes", || {
+        black_box(parse_kernel(black_box(&src)).unwrap());
     });
-}
 
-fn bench_translate(c: &mut Criterion) {
-    let kernel = parse_kernel(&source()).unwrap();
-    c.bench_function("translate blackscholes", |b| {
-        b.iter(|| translate(black_box(&kernel)).unwrap())
+    let kernel = parse_kernel(&src).unwrap();
+    bench("translate blackscholes", || {
+        black_box(translate(black_box(&kernel)).unwrap());
     });
-}
 
-fn bench_specialize(c: &mut Criterion) {
-    let kernel = parse_kernel(&source()).unwrap();
     let tk = translate(&kernel).unwrap();
-    let mut group = c.benchmark_group("specialize blackscholes");
     for w in [1u32, 2, 4, 8] {
-        group.bench_function(format!("w{w}"), |b| {
-            b.iter(|| specialize(black_box(&tk), &SpecializeOptions::dynamic(w)).unwrap())
+        bench(&format!("specialize blackscholes w{w}"), || {
+            black_box(specialize(black_box(&tk), &SpecializeOptions::dynamic(w)).unwrap());
         });
     }
-    group.bench_function("w4 no-opt", |b| {
-        let opts = SpecializeOptions { optimize: false, ..SpecializeOptions::dynamic(4) };
-        b.iter(|| specialize(black_box(&tk), &opts).unwrap())
+    let no_opt = SpecializeOptions { optimize: false, ..SpecializeOptions::dynamic(4) };
+    bench("specialize blackscholes w4 no-opt", || {
+        black_box(specialize(black_box(&tk), &no_opt).unwrap());
     });
-    group.finish();
-}
 
-fn bench_opt_pipeline(c: &mut Criterion) {
-    let kernel = parse_kernel(&source()).unwrap();
-    let tk = translate(&kernel).unwrap();
-    let opts = SpecializeOptions { optimize: false, ..SpecializeOptions::dynamic(4) };
-    let unoptimized = specialize(&tk, &opts).unwrap().function;
-    c.bench_function("optimization pipeline w4", |b| {
-        b.iter(|| {
-            let mut f = unoptimized.clone();
-            dpvk_ir::opt::standard_pipeline(&mut f)
-        })
+    let unoptimized = specialize(&tk, &no_opt).unwrap().function;
+    bench("optimization pipeline w4", || {
+        let mut f = unoptimized.clone();
+        black_box(dpvk_ir::opt::standard_pipeline(&mut f));
     });
-}
 
-criterion_group!(benches, bench_parse, bench_translate, bench_specialize, bench_opt_pipeline);
-criterion_main!(benches);
+    if let Err(e) = dpvk_trace::write_if_enabled() {
+        eprintln!("warning: failed to write trace report: {e}");
+    }
+}

@@ -1,28 +1,39 @@
-//! Criterion benchmarks of end-to-end kernel launches (host wall time of
-//! the simulated execution, including the dynamic execution manager).
+//! Benchmarks of end-to-end kernel launches (host wall time of the
+//! simulated execution, including the dynamic execution manager).
+//!
+//! Plain timing harness (no external benchmark dependency): a small fixed
+//! number of samples per configuration, reporting mean and best.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dpvk_core::ExecConfig;
 use dpvk_workloads::{workload, WorkloadExt};
+use std::time::Instant;
 
-fn bench_workload(c: &mut Criterion, name: &str) {
+fn bench_config(name: &str, label: &str, config: &ExecConfig) {
     let w = workload(name).unwrap_or_else(|| panic!("workload {name}"));
-    let mut group = c.benchmark_group(name.to_string());
-    group.sample_size(10);
-    group.bench_function("baseline", |b| {
-        b.iter(|| w.run_checked(&ExecConfig::baseline().with_workers(1)).unwrap())
-    });
-    group.bench_function("dynamic w4", |b| {
-        b.iter(|| w.run_checked(&ExecConfig::dynamic(4).with_workers(1)).unwrap())
-    });
-    group.finish();
+    // Warm-up (also populates the translation cache).
+    w.run_checked(config).unwrap();
+
+    const SAMPLES: u32 = 10;
+    let mut best = u128::MAX;
+    let mut total = 0u128;
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        w.run_checked(config).unwrap();
+        let us = start.elapsed().as_micros();
+        best = best.min(us);
+        total += us;
+    }
+    let mean = total / SAMPLES as u128;
+    println!("{name:<12} {label:<12} mean {mean:>9} us   best {best:>9} us   ({SAMPLES} samples)");
 }
 
-fn benches(c: &mut Criterion) {
+fn main() {
     for name in ["vecadd", "cp", "reduction"] {
-        bench_workload(c, name);
+        bench_config(name, "baseline", &ExecConfig::baseline().with_workers(1));
+        bench_config(name, "dynamic w4", &ExecConfig::dynamic(4).with_workers(1));
+    }
+
+    if let Err(e) = dpvk_trace::write_if_enabled() {
+        eprintln!("warning: failed to write trace report: {e}");
     }
 }
-
-criterion_group!(execution, benches);
-criterion_main!(execution);

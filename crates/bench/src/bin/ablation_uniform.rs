@@ -20,11 +20,8 @@ fn main() {
         for k in &module.kernels {
             let tk = translate(k).expect("suite kernels translate");
             let on = specialize(&tk, &SpecializeOptions::dynamic(4)).expect("specialize");
-            let off = specialize(
-                &tk,
-                &SpecializeOptions::dynamic(4).without_uniform_analysis(),
-            )
-            .expect("specialize");
+            let off = specialize(&tk, &SpecializeOptions::dynamic(4).without_uniform_analysis())
+                .expect("specialize");
             with += on.post_opt_instructions;
             without += off.post_opt_instructions;
         }

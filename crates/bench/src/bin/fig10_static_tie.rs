@@ -30,10 +30,7 @@ fn main() {
     println!();
     println!(
         "{}",
-        format_table(
-            &["app", "static/dynamic", "insts removed w2", "insts removed w4"],
-            &rows
-        )
+        format_table(&["app", "static/dynamic", "insts removed w2", "insts removed w4"], &rows)
     );
     println!(
         "geomean speedup: {:.2}x (paper avg +11.3%); mean reduction w2 {:.1}% (paper 9.5%), w4 {:.1}% (paper 11.5%)",

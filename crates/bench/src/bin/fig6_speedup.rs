@@ -32,10 +32,7 @@ fn main() {
     println!();
     println!(
         "{}",
-        format_table(
-            &["app", "speedup", "scalar cycles", "vec4 cycles", "stands for"],
-            &rows
-        )
+        format_table(&["app", "speedup", "scalar cycles", "vec4 cycles", "stands for"], &rows)
     );
     println!("geometric mean speedup: {geomean:.2}x (paper average: 1.45x)");
 }

@@ -22,8 +22,5 @@ fn main() {
     }
     println!("Figure 7: warp-size mix under dynamic warp formation (max 4)");
     println!();
-    println!(
-        "{}",
-        format_table(&["app", "w=1", "w=2", "w=3..4", "avg warp"], &rows)
-    );
+    println!("{}", format_table(&["app", "w=1", "w=2", "w=3..4", "avg warp"], &rows));
 }

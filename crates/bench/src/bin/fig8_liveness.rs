@@ -18,8 +18,5 @@ fn main() {
     println!("Figure 8: average values restored per thread at entry points");
     println!();
     println!("{}", format_table(&["app", "avg restores/thread"], &rows));
-    println!(
-        "suite average: {:.2} (paper average: 4.54)",
-        sum / results.len() as f64
-    );
+    println!("suite average: {:.2} (paper average: 4.54)", sum / results.len() as f64);
 }

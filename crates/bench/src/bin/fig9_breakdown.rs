@@ -13,18 +13,17 @@ fn main() {
     let mut rows = Vec::new();
     for r in &results {
         let e = &r.dynamic.exec;
-        let total = e.total_cycles().max(1) as f64;
         rows.push(vec![
             r.name.to_string(),
-            format!("{:.0}%", 100.0 * e.cycles_manager as f64 / total),
-            format!("{:.0}%", 100.0 * e.cycles_yield as f64 / total),
-            format!("{:.0}%", 100.0 * e.cycles_body as f64 / total),
+            format!("{:.0}%", 100.0 * e.manager_fraction()),
+            format!("{:.0}%", 100.0 * e.yield_fraction()),
+            format!("{:.0}%", 100.0 * e.body_fraction()),
         ]);
     }
     println!("Figure 9: cycle breakdown under dynamic warp formation");
     println!();
-    println!(
-        "{}",
-        format_table(&["app", "exec manager", "yields", "subkernel"], &rows)
-    );
+    println!("{}", format_table(&["app", "exec manager", "yields", "subkernel"], &rows));
+    if let Err(e) = dpvk_trace::write_if_enabled() {
+        eprintln!("warning: failed to write trace report: {e}");
+    }
 }

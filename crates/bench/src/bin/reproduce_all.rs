@@ -13,9 +13,10 @@ fn main() {
     ];
     for bin in bins {
         println!("================================================================");
-        let status = Command::new(std::env::current_exe().expect("self path")
-            .parent().expect("bin dir").join(bin))
-            .status();
+        let status = Command::new(
+            std::env::current_exe().expect("self path").parent().expect("bin dir").join(bin),
+        )
+        .status();
         match status {
             Ok(s) if s.success() => {}
             other => {

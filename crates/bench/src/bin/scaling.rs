@@ -9,11 +9,8 @@ use dpvk_workloads::{workload, WorkloadExt};
 
 fn main() {
     let throughput = workload("throughput").expect("suite includes throughput");
-    let models = [
-        MachineModel::sandybridge_sse(),
-        MachineModel::sandybridge_avx(),
-        MachineModel::wide16(),
-    ];
+    let models =
+        [MachineModel::sandybridge_sse(), MachineModel::sandybridge_avx(), MachineModel::wide16()];
     let widths = [1u32, 2, 4, 8, 16];
     let mut rows = Vec::new();
     for model in &models {
@@ -35,8 +32,5 @@ fn main() {
     println!("Scalability: throughput microbenchmark GFLOP/s per machine model");
     println!("(vector speedup tracks the machine width until register pressure bites)");
     println!();
-    println!(
-        "{}",
-        format_table(&["model", "peak", "w1", "w2", "w4", "w8", "w16"], &rows)
-    );
+    println!("{}", format_table(&["model", "peak", "w1", "w2", "w4", "w8", "w16"], &rows));
 }

@@ -22,10 +22,7 @@ fn main() {
         } else {
             ExecConfig::dynamic(w).with_workers(1)
         };
-        let stats = throughput
-            .run_checked(&config)
-            .expect("throughput validates")
-            .stats;
+        let stats = throughput.run_checked(&config).expect("throughput validates").stats;
         let g = gflops(&stats, &model);
         rows.push(vec![
             w.to_string(),
@@ -38,4 +35,7 @@ fn main() {
     println!();
     println!("{}", format_table(&["Warp size", "GFLOP/s", "% of peak"], &rows));
     println!("paper reference: w1 25.0, w2 47.9, w4 97.1, w8 37.0 GFLOP/s");
+    if let Err(e) = dpvk_trace::write_if_enabled() {
+        eprintln!("warning: failed to write trace report: {e}");
+    }
 }

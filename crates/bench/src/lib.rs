@@ -85,7 +85,8 @@ pub fn run_suite(workers: usize) -> Result<Vec<AppResult>, WorkloadError> {
     for w in all_workloads() {
         let (baseline, _) = run_one(w.as_ref(), &ExecConfig::baseline().with_workers(workers))?;
         let (dynamic, dev) = run_one(w.as_ref(), &ExecConfig::dynamic(4).with_workers(workers))?;
-        let (static_tie, _) = run_one(w.as_ref(), &ExecConfig::static_tie(4).with_workers(workers))?;
+        let (static_tie, _) =
+            run_one(w.as_ref(), &ExecConfig::static_tie(4).with_workers(workers))?;
         let insts_w4 = instruction_counts(&dev, w.as_ref(), 4)?;
         let insts_w2 = instruction_counts(&dev, w.as_ref(), 2)?;
         out.push(AppResult {
@@ -116,8 +117,8 @@ fn instruction_counts(
 ) -> Result<(usize, usize), WorkloadError> {
     use dpvk_core::{specialize, translate, SpecializeOptions};
     let _ = dev;
-    let module = dpvk_ptx::parse_module(&workload.source())
-        .map_err(|e| WorkloadError::Core(e.into()))?;
+    let module =
+        dpvk_ptx::parse_module(&workload.source()).map_err(|e| WorkloadError::Core(e.into()))?;
     let mut dynamic = 0;
     let mut tie = 0;
     for k in &module.kernels {
@@ -154,12 +155,7 @@ pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     }
     let mut s = String::new();
     let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-        cells
-            .iter()
-            .zip(widths)
-            .map(|(c, w)| format!("{c:<w$}"))
-            .collect::<Vec<_>>()
-            .join("  ")
+        cells.iter().zip(widths).map(|(c, w)| format!("{c:<w$}")).collect::<Vec<_>>().join("  ")
     };
     let headers: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
     s.push_str(&fmt_row(&headers, &widths));
@@ -181,10 +177,7 @@ mod tests {
     fn table_formatting_aligns_columns() {
         let t = format_table(
             &["app", "speedup"],
-            &[
-                vec!["cp".into(), "3.9x".into()],
-                vec!["blackscholes".into(), "1.8x".into()],
-            ],
+            &[vec!["cp".into(), "3.9x".into()], vec!["blackscholes".into(), "1.8x".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -11,14 +11,14 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 
 use dpvk_ptx as ptx;
 use dpvk_vm::{CostInfo, MachineModel};
 
 use crate::error::CoreError;
 use crate::translate::{translate, TranslatedKernel};
-use crate::vectorize::{specialize, Specialized, SpecializeOptions};
+use crate::vectorize::{specialize, SpecializeOptions, Specialized};
 
 /// Which family of specialization is requested.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -35,6 +35,15 @@ pub enum Variant {
 }
 
 impl Variant {
+    /// Stable label used in trace reports and human output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Variant::Baseline => "baseline",
+            Variant::Dynamic => "dynamic",
+            Variant::StaticTie => "static_tie",
+        }
+    }
+
     fn options(self, warp_size: u32) -> SpecializeOptions {
         match self {
             Variant::Baseline => SpecializeOptions::baseline(),
@@ -72,6 +81,21 @@ pub struct CacheStats {
     pub misses: u64,
     /// Total nanoseconds spent compiling.
     pub compile_ns: u64,
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let queries = self.hits + self.misses;
+        let hit_rate = if queries == 0 { 0.0 } else { 100.0 * self.hits as f64 / queries as f64 };
+        write!(
+            f,
+            "cache: {} queries ({} hits, {} misses, {hit_rate:.1}% hit rate), {:.2} ms compiling",
+            queries,
+            self.hits,
+            self.misses,
+            self.compile_ns as f64 / 1e6
+        )
+    }
 }
 
 #[derive(Default)]
@@ -133,14 +157,12 @@ impl TranslationCache {
                 .cloned()
                 .ok_or_else(|| CoreError::NotFound(format!("kernel `{kernel}`")))?
         };
-        let t = Arc::new(translate(&ptx_kernel)?);
+        let t = {
+            let _phase = dpvk_trace::phase(kernel, "translate");
+            Arc::new(translate(&ptx_kernel)?)
+        };
         let mut inner = self.inner.lock();
-        Ok(Arc::clone(
-            inner
-                .translated
-                .entry(kernel.to_string())
-                .or_insert(t),
-        ))
+        Ok(Arc::clone(inner.translated.entry(kernel.to_string()).or_insert(t)))
     }
 
     /// The specialization of `kernel` for `(warp_size, variant)`,
@@ -162,13 +184,17 @@ impl TranslationCache {
             if let Some(c) = inner.compiled.get(&key) {
                 let c = Arc::clone(c);
                 inner.stats.hits += 1;
+                dpvk_trace::record_cache_query(kernel, warp_size, variant.label(), true);
                 return Ok(c);
             }
         }
+        dpvk_trace::record_cache_query(kernel, warp_size, variant.label(), false);
         let tk = self.translated(kernel)?;
         let start = Instant::now();
-        let Specialized { function, pre_opt_instructions, post_opt_instructions, .. } =
-            specialize(&tk, &variant.options(warp_size))?;
+        let Specialized { function, pre_opt_instructions, post_opt_instructions, .. } = {
+            let _phase = dpvk_trace::phase(kernel, "specialize");
+            specialize(&tk, &variant.options(warp_size))?
+        };
         let cost = CostInfo::analyze(&function, &self.model);
         let compiled = Arc::new(CompiledKernel {
             function: Arc::new(function),
@@ -177,6 +203,7 @@ impl TranslationCache {
             post_opt_instructions,
         });
         let elapsed = start.elapsed().as_nanos() as u64;
+        dpvk_trace::record_compile(kernel, warp_size, variant.label(), elapsed);
         let mut inner = self.inner.lock();
         inner.stats.misses += 1;
         inner.stats.compile_ns += elapsed;

@@ -11,10 +11,8 @@
 
 use std::collections::VecDeque;
 
-use dpvk_vm::{
-    execute_warp, ExecLimits, ExecStats, GlobalMem, MemAccess, ThreadContext,
-};
 use dpvk_ir::ResumeStatus;
+use dpvk_vm::{execute_warp, ExecLimits, ExecStats, GlobalMem, MemAccess, ThreadContext};
 
 use crate::cache::{TranslationCache, Variant};
 use crate::error::CoreError;
@@ -149,6 +147,7 @@ impl LaunchStats {
 ///
 /// Returns the first error raised by any worker (bad launch geometry,
 /// compilation failure, memory fault, barrier deadlock).
+#[allow(clippy::too_many_arguments)]
 pub fn run_grid(
     cache: &TranslationCache,
     kernel: &str,
@@ -170,13 +169,9 @@ pub fn run_grid(
     // Force translation before spawning workers so errors surface eagerly.
     let _ = cache.translated(kernel)?;
 
-    let workers = if config.workers == 0 {
-        cache.model().cores as usize
-    } else {
-        config.workers
-    }
-    .min(cta_count as usize)
-    .max(1);
+    let workers = if config.workers == 0 { cache.model().cores as usize } else { config.workers }
+        .min(cta_count as usize)
+        .max(1);
 
     let results: Vec<Result<LaunchStats, CoreError>> = std::thread::scope(|s| {
         let mut handles = Vec::with_capacity(workers);
@@ -201,6 +196,8 @@ pub fn run_grid(
     for r in results {
         total.merge(&r?);
     }
+    dpvk_trace::add(dpvk_trace::Counter::SpillBytes, total.exec.spill_bytes);
+    dpvk_trace::add(dpvk_trace::Counter::RestoreBytes, total.exec.restore_bytes);
     Ok(total)
 }
 
@@ -220,11 +217,8 @@ fn run_cta(
 ) -> Result<(), CoreError> {
     let tk = cache.translated(kernel)?;
     let cta_size = (block[0] * block[1] * block[2]) as usize;
-    let ctaid = [
-        cta_flat % grid[0],
-        (cta_flat / grid[0]) % grid[1],
-        cta_flat / (grid[0] * grid[1]),
-    ];
+    let ctaid =
+        [cta_flat % grid[0], (cta_flat / grid[0]) % grid[1], cta_flat / (grid[0] * grid[1])];
 
     // Build thread contexts.
     let mut ready: VecDeque<ThreadContext> = VecDeque::with_capacity(cta_size);
@@ -243,6 +237,7 @@ fn run_cta(
     let mut local = vec![0u8; (tk.local_bytes * cta_size).max(1)];
     let mut barrier_pool: Vec<ThreadContext> = Vec::new();
     let mut exited: usize = 0;
+    let mut scan_total: u64 = 0;
 
     while let Some(front) = ready.front() {
         let rp = front.resume_point;
@@ -251,6 +246,7 @@ fn run_cta(
         let (mut warp, scanned) = gather(&mut ready, rp, config, tk.local_bytes);
         stats.exec.cycles_manager +=
             config.em_cost.formation_base + config.em_cost.per_thread_scanned * scanned as u64;
+        scan_total += scanned as u64;
 
         // Pick the widest available specialization.
         let (w, variant) = match config.policy {
@@ -279,13 +275,7 @@ fn run_cta(
         stats.exec.cycles_manager += config.em_cost.per_cache_query;
         let compiled = cache.get(kernel, w, variant)?;
 
-        let mut mem = MemAccess {
-            global,
-            shared: &mut shared,
-            local: &mut local,
-            param,
-            cbank,
-        };
+        let mut mem = MemAccess { global, shared: &mut shared, local: &mut local, param, cbank };
         let outcome = execute_warp(
             &compiled.function,
             &compiled.cost,
@@ -298,6 +288,15 @@ fn run_cta(
         )?;
         if (w as usize) < stats.warp_hist.len() {
             stats.warp_hist[w as usize] += 1;
+        }
+        if dpvk_trace::enabled() {
+            dpvk_trace::record_warp_entry(w, std::mem::take(&mut scan_total));
+            let reason = match outcome.status {
+                ResumeStatus::Exit => dpvk_trace::YieldReason::Exit,
+                ResumeStatus::Branch => dpvk_trace::YieldReason::Branch,
+                ResumeStatus::Barrier => dpvk_trace::YieldReason::Barrier,
+            };
+            dpvk_trace::record_yield(kernel, rp.max(0) as u32, reason, w);
         }
 
         stats.exec.cycles_manager += config.em_cost.per_yield_thread * w as u64;
@@ -315,8 +314,7 @@ fn run_cta(
                 }
             }
             ResumeStatus::Barrier => {
-                stats.exec.cycles_manager +=
-                    config.em_cost.per_barrier_thread * w as u64;
+                stats.exec.cycles_manager += config.em_cost.per_barrier_thread * w as u64;
                 barrier_pool.extend(warp);
             }
         }
@@ -354,13 +352,8 @@ fn gather(
 ) -> (Vec<ThreadContext>, usize) {
     let max = config.max_warp as usize;
     let is_static = config.policy == FormationPolicy::Static;
-    let group_of = |ctx: &ThreadContext| -> u32 {
-        if config.max_warp == 0 {
-            0
-        } else {
-            ctx.flat_tid() / config.max_warp
-        }
-    };
+    let group_of =
+        |ctx: &ThreadContext| -> u32 { ctx.flat_tid().checked_div(config.max_warp).unwrap_or(0) };
     let front_group = ready.front().map(group_of).unwrap_or(0);
 
     let mut picked: Vec<usize> = Vec::with_capacity(max);
@@ -455,17 +448,8 @@ done:
             (16, &c_ptr.to_le_bytes()),
             (24, &n.to_le_bytes()),
         ]);
-        let stats = run_grid(
-            &cache,
-            "vecadd",
-            [4, 1, 1],
-            [32, 1, 1],
-            &param,
-            &[],
-            &global,
-            config,
-        )
-        .unwrap();
+        let stats = run_grid(&cache, "vecadd", [4, 1, 1], [32, 1, 1], &param, &[], &global, config)
+            .unwrap();
         let mut out = vec![0f32; n as usize];
         for (i, v) in out.iter_mut().enumerate() {
             *v = f32::from_le_bytes(global.read::<4>(c_ptr + 4 * i as u64).unwrap());

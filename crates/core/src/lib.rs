@@ -67,6 +67,7 @@ pub mod cache;
 pub mod exec;
 pub mod lint;
 pub mod runtime;
+pub mod sync;
 pub mod translate;
 pub mod vectorize;
 
@@ -76,4 +77,4 @@ pub use exec::{run_grid, EmCostModel, ExecConfig, FormationPolicy, LaunchStats};
 pub use lint::{warp_sync_lint, LintFinding};
 pub use runtime::{Device, DevicePtr, ParamValue};
 pub use translate::{translate, TranslatedKernel};
-pub use vectorize::{specialize, Specialized, SpecializeOptions};
+pub use vectorize::{specialize, SpecializeOptions, Specialized};

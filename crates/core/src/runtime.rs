@@ -54,6 +54,7 @@ impl Device {
     /// Create a device with the given machine model and global-memory heap
     /// size in bytes.
     pub fn new(model: MachineModel, heap_size: usize) -> Self {
+        dpvk_trace::init_from_env();
         Device {
             cache: TranslationCache::new(model.clone()),
             model,
@@ -89,6 +90,7 @@ impl Device {
     ///
     /// Returns parse/validation errors.
     pub fn register_source(&self, src: &str) -> Result<(), CoreError> {
+        let _phase = dpvk_trace::phase("module", "parse");
         let module = ptx::parse_module(src)?;
         for k in &module.kernels {
             ptx::validate_kernel(k)?;
@@ -105,9 +107,7 @@ impl Device {
     /// Returns [`CoreError::Memory`] when the heap is exhausted.
     pub fn malloc(&self, size: usize) -> Result<DevicePtr, CoreError> {
         let aligned = (size.max(1) as u64).div_ceil(64) * 64;
-        let base = self
-            .next_alloc
-            .fetch_add(aligned, std::sync::atomic::Ordering::Relaxed);
+        let base = self.next_alloc.fetch_add(aligned, std::sync::atomic::Ordering::Relaxed);
         if base + aligned > self.heap_size {
             return Err(CoreError::Memory(format!(
                 "heap exhausted: {size} bytes requested, {} of {} used",
@@ -155,10 +155,7 @@ impl Device {
     pub fn copy_f32_dtoh(&self, src: DevicePtr, len: usize) -> Result<Vec<f32>, CoreError> {
         let mut bytes = vec![0u8; len * 4];
         self.memcpy_dtoh(&mut bytes, src)?;
-        Ok(bytes
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-            .collect())
+        Ok(bytes.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
     }
 
     /// Copy a slice of `u32` to the device.
@@ -179,10 +176,7 @@ impl Device {
     pub fn copy_u32_dtoh(&self, src: DevicePtr, len: usize) -> Result<Vec<u32>, CoreError> {
         let mut bytes = vec![0u8; len * 4];
         self.memcpy_dtoh(&mut bytes, src)?;
-        Ok(bytes
-            .chunks_exact(4)
-            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-            .collect())
+        Ok(bytes.chunks_exact(4).map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
     }
 
     /// Pack launch parameters according to the kernel's signature.

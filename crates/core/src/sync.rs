@@ -1,0 +1,76 @@
+//! Locking used by the translation cache and runtime.
+//!
+//! By default this is a thin, poison-ignoring wrapper over
+//! [`std::sync::Mutex`], keeping `dpvk-core` free of external
+//! dependencies. Enabling the optional `parking_lot` feature swaps in
+//! `parking_lot::Mutex` (the paper's implementation contends on a single
+//! cache lock from every execution manager, which is exactly the workload
+//! `parking_lot` is tuned for); both expose the same `lock() -> guard`
+//! surface so no call site changes.
+
+#[cfg(feature = "parking_lot")]
+pub use parking_lot::{Mutex, MutexGuard};
+
+#[cfg(not(feature = "parking_lot"))]
+pub use fallback::{Mutex, MutexGuard};
+
+#[cfg(not(feature = "parking_lot"))]
+mod fallback {
+    use std::fmt;
+
+    /// Guard returned by [`Mutex::lock`]; unlocks on drop.
+    pub struct MutexGuard<'a, T: ?Sized>(std::sync::MutexGuard<'a, T>);
+
+    impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.0
+        }
+    }
+
+    impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.0
+        }
+    }
+
+    /// Mutex with the `parking_lot` calling convention: `lock()` returns
+    /// the guard directly, and a panic while the lock is held does not
+    /// poison it (the interpreter's caches hold no invariants that a
+    /// panicking reader could corrupt).
+    #[derive(Default)]
+    pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        /// Create a mutex protecting `value`.
+        pub const fn new(value: T) -> Self {
+            Mutex(std::sync::Mutex::new(value))
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        /// Acquire the lock, blocking until it is available.
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            MutexGuard(self.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner))
+        }
+    }
+
+    impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            self.0.fmt(f)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_guards_mutation() {
+        let m = Mutex::new(Vec::new());
+        m.lock().push(1);
+        m.lock().push(2);
+        assert_eq!(*m.lock(), vec![1, 2]);
+    }
+}

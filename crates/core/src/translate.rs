@@ -19,7 +19,9 @@
 use std::collections::{HashMap, HashSet};
 
 use dpvk_ir as ir;
-use dpvk_ir::{BinOp, Block, BlockId, CmpPred, CtxField, Function, Inst, Term, Type, UnOp, VReg, Value};
+use dpvk_ir::{
+    BinOp, Block, BlockId, CmpPred, CtxField, Function, Inst, Term, Type, UnOp, VReg, Value,
+};
 use dpvk_ptx as ptx;
 use dpvk_ptx::{AddressBase, Operand, ScalarType, SpecialReg};
 
@@ -151,12 +153,7 @@ impl<'k> Translator<'k> {
 
     /// Materialize an operand as an IR value, emitting helper instructions
     /// into `block` as needed.
-    fn value_of(
-        &mut self,
-        block: BlockId,
-        op: &Operand,
-        at: ir::STy,
-    ) -> Result<Value, CoreError> {
+    fn value_of(&mut self, block: BlockId, op: &Operand, at: ir::STy) -> Result<Value, CoreError> {
         Ok(match op {
             Operand::Reg(r) => Value::Reg(self.vreg(*r)),
             Operand::Imm(v) => Value::ImmI(*v),
@@ -168,7 +165,14 @@ impl<'k> Translator<'k> {
                     let c = self.f.new_reg(Type::scalar(at));
                     self.push(
                         block,
-                        Inst::Cvt { to: at, from: ir::STy::I32, signed: false, width: 1, dst: c, a: Value::Reg(t) },
+                        Inst::Cvt {
+                            to: at,
+                            from: ir::STy::I32,
+                            signed: false,
+                            width: 1,
+                            dst: c,
+                            a: Value::Reg(t),
+                        },
                     );
                     Value::Reg(c)
                 } else {
@@ -230,7 +234,10 @@ impl<'k> Translator<'k> {
                     ptx::AddressSpace::Local => {
                         // Local addresses are arena-wide: thread base + offset.
                         let base = self.f.new_reg(Type::scalar(ir::STy::I64));
-                        self.push(block, Inst::CtxRead { field: CtxField::LocalBase, lane: 0, dst: base });
+                        self.push(
+                            block,
+                            Inst::CtxRead { field: CtxField::LocalBase, lane: 0, dst: base },
+                        );
                         let t = self.f.new_reg(Type::scalar(ir::STy::I64));
                         self.push(
                             block,
@@ -274,11 +281,7 @@ impl<'k> Translator<'k> {
 
     /// Translate one non-control PTX instruction into `block`. Guarded
     /// instructions are rewritten into select form (paper, Section 5.1).
-    fn translate_inst(
-        &mut self,
-        block: BlockId,
-        inst: &ptx::Instruction,
-    ) -> Result<(), CoreError> {
+    fn translate_inst(&mut self, block: BlockId, inst: &ptx::Instruction) -> Result<(), CoreError> {
         use ptx::Opcode as P;
         let vty = sty_of(inst.ty);
         let ty = Type::scalar(vty);
@@ -311,8 +314,18 @@ impl<'k> Translator<'k> {
         };
 
         match &inst.opcode {
-            P::Add | P::Sub | P::Mul(_) | P::Div | P::Rem | P::Min | P::Max | P::And | P::Or
-            | P::Xor | P::Shl | P::Shr => {
+            P::Add
+            | P::Sub
+            | P::Mul(_)
+            | P::Div
+            | P::Rem
+            | P::Min
+            | P::Max
+            | P::And
+            | P::Or
+            | P::Xor
+            | P::Shl
+            | P::Shr => {
                 let vs = values(self, vty)?;
                 let op = match &inst.opcode {
                     P::Add => BinOp::Add,
@@ -330,21 +343,40 @@ impl<'k> Translator<'k> {
                     P::Shr => BinOp::Shr,
                     _ => unreachable!(),
                 };
-                self.push(block, Inst::Bin {
-                    op, ty, signed,
-                    dst: d.expect("binary ops have destinations"),
-                    a: vs[0], b: vs[1],
-                });
+                self.push(
+                    block,
+                    Inst::Bin {
+                        op,
+                        ty,
+                        signed,
+                        dst: d.expect("binary ops have destinations"),
+                        a: vs[0],
+                        b: vs[1],
+                    },
+                );
             }
             P::Mad | P::Fma => {
                 let vs = values(self, vty)?;
-                self.push(block, Inst::Fma {
-                    ty,
-                    dst: d.expect("mad/fma has a destination"),
-                    a: vs[0], b: vs[1], c: vs[2],
-                });
+                self.push(
+                    block,
+                    Inst::Fma {
+                        ty,
+                        dst: d.expect("mad/fma has a destination"),
+                        a: vs[0],
+                        b: vs[1],
+                        c: vs[2],
+                    },
+                );
             }
-            P::Abs | P::Neg | P::Not | P::Sqrt | P::Rsqrt | P::Rcp | P::Sin | P::Cos | P::Ex2
+            P::Abs
+            | P::Neg
+            | P::Not
+            | P::Sqrt
+            | P::Rsqrt
+            | P::Rcp
+            | P::Sin
+            | P::Cos
+            | P::Ex2
             | P::Lg2 => {
                 let vs = values(self, vty)?;
                 let op = match &inst.opcode {
@@ -360,11 +392,10 @@ impl<'k> Translator<'k> {
                     P::Lg2 => UnOp::Lg2,
                     _ => unreachable!(),
                 };
-                self.push(block, Inst::Un {
-                    op, ty,
-                    dst: d.expect("unary ops have destinations"),
-                    a: vs[0],
-                });
+                self.push(
+                    block,
+                    Inst::Un { op, ty, dst: d.expect("unary ops have destinations"), a: vs[0] },
+                );
             }
             P::Setp(cmp) => {
                 let vs = values(self, vty)?;
@@ -376,21 +407,26 @@ impl<'k> Translator<'k> {
                     ptx::CmpOp::Gt => CmpPred::Gt,
                     ptx::CmpOp::Ge => CmpPred::Ge,
                 };
-                self.push(block, Inst::Cmp {
-                    pred, ty, signed,
-                    dst: d.expect("setp has a destination"),
-                    a: vs[0], b: vs[1],
-                });
+                self.push(
+                    block,
+                    Inst::Cmp {
+                        pred,
+                        ty,
+                        signed,
+                        dst: d.expect("setp has a destination"),
+                        a: vs[0],
+                        b: vs[1],
+                    },
+                );
             }
             P::Selp => {
                 let a = self.value_of(block, &inst.srcs[0], vty)?;
                 let b = self.value_of(block, &inst.srcs[1], vty)?;
                 let c = self.value_of(block, &inst.srcs[2], ir::STy::I1)?;
-                self.push(block, Inst::Select {
-                    ty,
-                    dst: d.expect("selp has a destination"),
-                    cond: c, a, b,
-                });
+                self.push(
+                    block,
+                    Inst::Select { ty, dst: d.expect("selp has a destination"), cond: c, a, b },
+                );
             }
             P::Mov => {
                 let dst = d.expect("mov has a destination");
@@ -403,7 +439,10 @@ impl<'k> Translator<'k> {
                             .clone();
                         match var.space {
                             ptx::AddressSpace::Shared => {
-                                self.push(block, Inst::Mov { ty, dst, a: Value::ImmI(var.offset as i64) });
+                                self.push(
+                                    block,
+                                    Inst::Mov { ty, dst, a: Value::ImmI(var.offset as i64) },
+                                );
                             }
                             ptx::AddressSpace::Local => {
                                 if vty != ir::STy::I64 {
@@ -412,15 +451,25 @@ impl<'k> Translator<'k> {
                                     ));
                                 }
                                 let base = self.f.new_reg(Type::scalar(ir::STy::I64));
-                                self.push(block, Inst::CtxRead { field: CtxField::LocalBase, lane: 0, dst: base });
-                                self.push(block, Inst::Bin {
-                                    op: BinOp::Add,
-                                    ty: Type::scalar(ir::STy::I64),
-                                    signed: false,
-                                    dst,
-                                    a: Value::Reg(base),
-                                    b: Value::ImmI(var.offset as i64),
-                                });
+                                self.push(
+                                    block,
+                                    Inst::CtxRead {
+                                        field: CtxField::LocalBase,
+                                        lane: 0,
+                                        dst: base,
+                                    },
+                                );
+                                self.push(
+                                    block,
+                                    Inst::Bin {
+                                        op: BinOp::Add,
+                                        ty: Type::scalar(ir::STy::I64),
+                                        signed: false,
+                                        dst,
+                                        a: Value::Reg(base),
+                                        b: Value::ImmI(var.offset as i64),
+                                    },
+                                );
                             }
                             _ => return Err(self.err("address-of non-shared/local variable")),
                         }
@@ -434,23 +483,29 @@ impl<'k> Translator<'k> {
             P::Cvt(from) => {
                 let from_sty = sty_of(*from);
                 let v = self.value_of(block, &inst.srcs[0], from_sty)?;
-                self.push(block, Inst::Cvt {
-                    to: vty,
-                    from: from_sty,
-                    signed: from.is_signed(),
-                    width: 1,
-                    dst: d.expect("cvt has a destination"),
-                    a: v,
-                });
+                self.push(
+                    block,
+                    Inst::Cvt {
+                        to: vty,
+                        from: from_sty,
+                        signed: from.is_signed(),
+                        width: 1,
+                        dst: d.expect("cvt has a destination"),
+                        a: v,
+                    },
+                );
             }
             P::Ld(space) => {
                 let addr = self.addr_of(block, &inst.srcs[0], *space)?;
-                self.push(block, Inst::Load {
-                    ty: vty,
-                    space: space_of(*space),
-                    dst: d.expect("ld has a destination"),
-                    addr,
-                });
+                self.push(
+                    block,
+                    Inst::Load {
+                        ty: vty,
+                        space: space_of(*space),
+                        dst: d.expect("ld has a destination"),
+                        addr,
+                    },
+                );
             }
             P::St(space) => {
                 if guarded.is_some() {
@@ -478,14 +533,19 @@ impl<'k> Translator<'k> {
                     ptx::AtomOp::Exch => ir::AtomKind::Exch,
                     ptx::AtomOp::Cas => ir::AtomKind::Cas,
                 };
-                self.push(block, Inst::Atom {
-                    ty: vty,
-                    space: space_of(*space),
-                    op: kind,
-                    signed,
-                    dst: d.expect("atom has a destination"),
-                    addr, a, b,
-                });
+                self.push(
+                    block,
+                    Inst::Atom {
+                        ty: vty,
+                        space: space_of(*space),
+                        op: kind,
+                        signed,
+                        dst: d.expect("atom has a destination"),
+                        addr,
+                        a,
+                        b,
+                    },
+                );
             }
             P::Vote(mode) => {
                 let a = self.value_of(block, &inst.srcs[0], ir::STy::I1)?;
@@ -505,11 +565,21 @@ impl<'k> Translator<'k> {
                         let t1 = self.f.new_reg(i1);
                         let t2 = self.f.new_reg(i1);
                         self.push(block, Inst::Vote { op: ir::ReduceOp::All, dst: t1, a });
-                        self.push(block, Inst::Vote { op: ir::ReduceOp::All, dst: t2, a: Value::Reg(np) });
-                        self.push(block, Inst::Bin {
-                            op: BinOp::Or, ty: i1, signed: false,
-                            dst, a: Value::Reg(t1), b: Value::Reg(t2),
-                        });
+                        self.push(
+                            block,
+                            Inst::Vote { op: ir::ReduceOp::All, dst: t2, a: Value::Reg(np) },
+                        );
+                        self.push(
+                            block,
+                            Inst::Bin {
+                                op: BinOp::Or,
+                                ty: i1,
+                                signed: false,
+                                dst,
+                                a: Value::Reg(t1),
+                                b: Value::Reg(t2),
+                            },
+                        );
                     }
                 }
             }
@@ -523,13 +593,10 @@ impl<'k> Translator<'k> {
             if t != real {
                 let cond = self.guard_value(block, g);
                 let ty = self.f.reg_type(real);
-                self.push(block, Inst::Select {
-                    ty,
-                    dst: real,
-                    cond,
-                    a: Value::Reg(t),
-                    b: Value::Reg(real),
-                });
+                self.push(
+                    block,
+                    Inst::Select { ty, dst: real, cond, a: Value::Reg(t), b: Value::Reg(real) },
+                );
             }
         }
         Ok(())
@@ -548,11 +615,8 @@ pub fn translate(kernel: &ptx::Kernel) -> Result<TranslatedKernel, CoreError> {
 
     let mut f = Function::new(format!("{}::scalar", kernel.name), 1);
     // One IR register per PTX register.
-    let reg_map: Vec<VReg> = kernel
-        .registers
-        .iter()
-        .map(|ri| f.new_reg(Type::scalar(sty_of(ri.ty))))
-        .collect();
+    let reg_map: Vec<VReg> =
+        kernel.registers.iter().map(|ri| f.new_reg(Type::scalar(sty_of(ri.ty)))).collect();
 
     // Pre-create IR blocks: each PTX block contributes 1 + (number of
     // barriers) blocks, in order.
@@ -561,11 +625,8 @@ pub fn translate(kernel: &ptx::Kernel) -> Result<TranslatedKernel, CoreError> {
         for pb in &kernel.blocks {
             let first = f.add_block(Block::new(pb.label.clone()));
             block_start.push(first);
-            let barriers = pb
-                .instructions
-                .iter()
-                .filter(|i| matches!(i.opcode, ptx::Opcode::Bar))
-                .count();
+            let barriers =
+                pb.instructions.iter().filter(|i| matches!(i.opcode, ptx::Opcode::Bar)).count();
             for k in 0..barriers {
                 f.add_block(Block::new(format!("{}$post_bar{}", pb.label, k)));
             }
@@ -606,8 +667,7 @@ pub fn translate(kernel: &ptx::Kernel) -> Result<TranslatedKernel, CoreError> {
                             let fall = next_ptx_block.ok_or_else(|| {
                                 tr.err("guarded branch at the end of the final block")
                             })?;
-                            tr.f.block_mut(cur).term =
-                                Term::CondBr { cond, taken: target, fall };
+                            tr.f.block_mut(cur).term = Term::CondBr { cond, taken: target, fall };
                         }
                         None => {
                             tr.f.block_mut(cur).term = Term::Br(target);
@@ -632,8 +692,7 @@ pub fn translate(kernel: &ptx::Kernel) -> Result<TranslatedKernel, CoreError> {
                             let fall = next_ptx_block.ok_or_else(|| {
                                 tr.err("guarded ret at the end of the final block")
                             })?;
-                            tr.f.block_mut(cur).term =
-                                Term::CondBr { cond, taken: exit, fall };
+                            tr.f.block_mut(cur).term = Term::CondBr { cond, taken: exit, fall };
                         }
                         None => {
                             tr.f.block_mut(cur).term = Term::Ret;
@@ -681,10 +740,8 @@ pub fn translate(kernel: &ptx::Kernel) -> Result<TranslatedKernel, CoreError> {
             }
             Term::Br(t) => {
                 // Barrier continuations.
-                if let Some(from) = barrier_edges
-                    .iter()
-                    .find(|(_, &cont)| cont == *t)
-                    .map(|(from, _)| *from)
+                if let Some(from) =
+                    barrier_edges.iter().find(|(_, &cont)| cont == *t).map(|(from, _)| *from)
                 {
                     let _ = from;
                     add_entry(*t, &mut entry_points);
@@ -693,11 +750,8 @@ pub fn translate(kernel: &ptx::Kernel) -> Result<TranslatedKernel, CoreError> {
             _ => {}
         }
     }
-    let entry_id_of: HashMap<BlockId, i64> = entry_points
-        .iter()
-        .enumerate()
-        .map(|(i, &b)| (b, i as i64))
-        .collect();
+    let entry_id_of: HashMap<BlockId, i64> =
+        entry_points.iter().enumerate().map(|(i, &b)| (b, i as i64)).collect();
 
     // Spill slots for registers live into any entry point.
     let lv = ir::Liveness::compute(&f);
@@ -833,12 +887,8 @@ entry:
 "#;
         let k = parse_kernel(src).unwrap();
         let t = translate(&k).unwrap();
-        let has_select = t
-            .scalar
-            .blocks
-            .iter()
-            .flat_map(|b| &b.insts)
-            .any(|i| matches!(i, Inst::Select { .. }));
+        let has_select =
+            t.scalar.blocks.iter().flat_map(|b| &b.insts).any(|i| matches!(i, Inst::Select { .. }));
         assert!(has_select, "{}", ir::print_function(&t.scalar));
     }
 
@@ -919,9 +969,7 @@ entry:
             .collect();
         // tid.x, ctaid.x, ntid.x.
         assert!(reads.len() >= 3);
-        assert!(reads
-            .iter()
-            .all(|i| matches!(i, Inst::CtxRead { lane: 0, .. })));
+        assert!(reads.iter().all(|i| matches!(i, Inst::CtxRead { lane: 0, .. })));
     }
 
     #[test]

@@ -265,7 +265,12 @@ impl<'a> Specializer<'a> {
 
     /// Store a vector-instruction result into the scalar register's home.
     /// Returns the register the vector instruction should define.
-    fn vector_dst(&mut self, block: BlockId, dst: VReg, after: impl FnOnce(&mut Self, BlockId, VReg)) {
+    fn vector_dst(
+        &mut self,
+        block: BlockId,
+        dst: VReg,
+        after: impl FnOnce(&mut Self, BlockId, VReg),
+    ) {
         if self.home[dst.index()] == Home::Vector {
             let v = self.vec_home(dst);
             after(self, block, v);
@@ -306,7 +311,11 @@ impl<'a> Specializer<'a> {
             }
             Inst::CtxRead { field, dst, .. } => {
                 let d = self.uni_home(*dst);
-                self.out.block_mut(block).insts.push(Inst::CtxRead { field: *field, lane: 0, dst: d });
+                self.out.block_mut(block).insts.push(Inst::CtxRead {
+                    field: *field,
+                    lane: 0,
+                    dst: d,
+                });
             }
             _ => {
                 // Pre-create uniform homes for all operands (the analysis
@@ -371,7 +380,14 @@ impl<'a> Specializer<'a> {
                 let bv = self.vector_value(block, *b);
                 let (op, signed) = (*op, *signed);
                 self.vector_dst(block, *dst, |s, blk, d| {
-                    s.out.block_mut(blk).insts.push(Inst::Bin { op, ty: vty, signed, dst: d, a: av, b: bv });
+                    s.out.block_mut(blk).insts.push(Inst::Bin {
+                        op,
+                        ty: vty,
+                        signed,
+                        dst: d,
+                        a: av,
+                        b: bv,
+                    });
                 });
             }
             Inst::Un { op, ty, dst, a } => {
@@ -388,7 +404,13 @@ impl<'a> Specializer<'a> {
                 let bv = self.vector_value(block, *b);
                 let cv = self.vector_value(block, *c);
                 self.vector_dst(block, *dst, |s, blk, d| {
-                    s.out.block_mut(blk).insts.push(Inst::Fma { ty: vty, dst: d, a: av, b: bv, c: cv });
+                    s.out.block_mut(blk).insts.push(Inst::Fma {
+                        ty: vty,
+                        dst: d,
+                        a: av,
+                        b: bv,
+                        c: cv,
+                    });
                 });
             }
             Inst::Cmp { pred, ty, signed, dst, a, b } => {
@@ -397,7 +419,14 @@ impl<'a> Specializer<'a> {
                 let bv = self.vector_value(block, *b);
                 let (pred, signed) = (*pred, *signed);
                 self.vector_dst(block, *dst, |s, blk, d| {
-                    s.out.block_mut(blk).insts.push(Inst::Cmp { pred, ty: vty, signed, dst: d, a: av, b: bv });
+                    s.out.block_mut(blk).insts.push(Inst::Cmp {
+                        pred,
+                        ty: vty,
+                        signed,
+                        dst: d,
+                        a: av,
+                        b: bv,
+                    });
                 });
             }
             Inst::Select { ty, dst, cond, a, b } => {
@@ -406,14 +435,27 @@ impl<'a> Specializer<'a> {
                 let av = self.vector_value(block, *a);
                 let bv = self.vector_value(block, *b);
                 self.vector_dst(block, *dst, |s, blk, d| {
-                    s.out.block_mut(blk).insts.push(Inst::Select { ty: vty, dst: d, cond: cv, a: av, b: bv });
+                    s.out.block_mut(blk).insts.push(Inst::Select {
+                        ty: vty,
+                        dst: d,
+                        cond: cv,
+                        a: av,
+                        b: bv,
+                    });
                 });
             }
             Inst::Cvt { to, from, signed, dst, a, .. } => {
                 let av = self.vector_value(block, *a);
                 let (to, from, signed) = (*to, *from, *signed);
                 self.vector_dst(block, *dst, |s, blk, d| {
-                    s.out.block_mut(blk).insts.push(Inst::Cvt { to, from, signed, width: w, dst: d, a: av });
+                    s.out.block_mut(blk).insts.push(Inst::Cvt {
+                        to,
+                        from,
+                        signed,
+                        width: w,
+                        dst: d,
+                        a: av,
+                    });
                 });
             }
             Inst::Mov { ty, dst, a } => {
@@ -428,14 +470,24 @@ impl<'a> Specializer<'a> {
                 for lane in 0..w {
                     let a = self.lane_value(block, *addr, lane);
                     let d = self.lane_home(*dst, lane);
-                    self.out.block_mut(block).insts.push(Inst::Load { ty: *ty, space: *space, dst: d, addr: a });
+                    self.out.block_mut(block).insts.push(Inst::Load {
+                        ty: *ty,
+                        space: *space,
+                        dst: d,
+                        addr: a,
+                    });
                 }
             }
             Inst::Store { ty, space, addr, value } => {
                 for lane in 0..w {
                     let a = self.lane_value(block, *addr, lane);
                     let v = self.lane_value(block, *value, lane);
-                    self.out.block_mut(block).insts.push(Inst::Store { ty: *ty, space: *space, addr: a, value: v });
+                    self.out.block_mut(block).insts.push(Inst::Store {
+                        ty: *ty,
+                        space: *space,
+                        addr: a,
+                        value: v,
+                    });
                 }
             }
             Inst::Atom { ty, space, op, signed, dst, addr, a, b } => {
@@ -445,8 +497,14 @@ impl<'a> Specializer<'a> {
                     let bv = b.map(|b| self.lane_value(block, b, lane));
                     let d = self.lane_home(*dst, lane);
                     self.out.block_mut(block).insts.push(Inst::Atom {
-                        ty: *ty, space: *space, op: *op, signed: *signed,
-                        dst: d, addr: addr_v, a: av, b: bv,
+                        ty: *ty,
+                        space: *space,
+                        op: *op,
+                        signed: *signed,
+                        dst: d,
+                        addr: addr_v,
+                        a: av,
+                        b: bv,
                     });
                 }
             }
@@ -458,7 +516,12 @@ impl<'a> Specializer<'a> {
                 let packed = self.vector_value(block, *a);
                 let i1v = Type::vector(STy::I1, w);
                 let s = self.out.new_reg(Type::scalar(STy::I1));
-                self.out.block_mut(block).insts.push(Inst::Reduce { op: *op, ty: i1v, dst: s, vec: packed });
+                self.out.block_mut(block).insts.push(Inst::Reduce {
+                    op: *op,
+                    ty: i1v,
+                    dst: s,
+                    vec: packed,
+                });
                 for lane in 0..w {
                     let d = self.lane_home(*dst, lane);
                     self.out.block_mut(block).insts.push(Inst::Mov {
@@ -510,10 +573,7 @@ impl<'a> Specializer<'a> {
                         b: Value::ImmI(lane as i64),
                     });
                 }
-                CtxField::Tid(_)
-                | CtxField::Ntid(_)
-                | CtxField::Ctaid(_)
-                | CtxField::Nctaid(_)
+                CtxField::Tid(_) | CtxField::Ntid(_) | CtxField::Ctaid(_) | CtxField::Nctaid(_)
                     if self.opts.static_warp && lane > 0 && !matches!(field, CtxField::Tid(0)) =>
                 {
                     // CTA-uniform fields: read lane 0's context so CSE can
@@ -682,10 +742,7 @@ fn compute_uniform(scalar: &Function) -> Vec<bool> {
         // Demote blocks reached through divergent branches.
         for (i, b) in scalar.blocks.iter().enumerate() {
             let term_uniform = match &b.term {
-                Term::CondBr { cond, .. } => match cond {
-                    Value::Reg(r) => uni[r.index()],
-                    _ => true,
-                },
+                Term::CondBr { cond: Value::Reg(r), .. } => uni[r.index()],
                 _ => true,
             };
             for succ in b.term.successors() {
@@ -745,7 +802,10 @@ fn compute_uniform(scalar: &Function) -> Vec<bool> {
 ///
 /// Returns [`CoreError::Verify`] if the produced function fails IR
 /// verification (an internal invariant violation).
-pub fn specialize(tk: &TranslatedKernel, opts: &SpecializeOptions) -> Result<Specialized, CoreError> {
+pub fn specialize(
+    tk: &TranslatedKernel,
+    opts: &SpecializeOptions,
+) -> Result<Specialized, CoreError> {
     let w = opts.warp_size;
     assert!(w >= 1, "warp size must be at least 1");
     let scalar = &tk.scalar;
@@ -860,17 +920,10 @@ pub fn specialize(tk: &TranslatedKernel, opts: &SpecializeOptions) -> Result<Spe
             lane: 0,
             dst: id_reg,
         });
-        let cases: Vec<(i64, BlockId)> = entry_handlers
-            .iter()
-            .enumerate()
-            .skip(1)
-            .map(|(i, &h)| (i as i64, h))
-            .collect();
-        sp.out.block_mut(sched_id).term = Term::Switch {
-            value: Value::Reg(id_reg),
-            cases,
-            default: entry_handlers[0],
-        };
+        let cases: Vec<(i64, BlockId)> =
+            entry_handlers.iter().enumerate().skip(1).map(|(i, &h)| (i as i64, h)).collect();
+        sp.out.block_mut(sched_id).term =
+            Term::Switch { value: Value::Reg(id_reg), cases, default: entry_handlers[0] };
     }
 
     // Entry handlers: restore live-ins, jump into the body.
@@ -1042,6 +1095,47 @@ pub fn specialize(tk: &TranslatedKernel, opts: &SpecializeOptions) -> Result<Spe
     };
     let post_opt_instructions = out.instruction_count();
 
+    if dpvk_trace::enabled() {
+        // Vectorizer-effectiveness accounting: classify each surviving
+        // instruction as vector-promoted, per-lane replicated, or
+        // pack/unpack glue between the two worlds.
+        let mut replicated = 0u64;
+        let mut promoted = 0u64;
+        let mut pack_glue = 0u64;
+        let mut unpack_glue = 0u64;
+        for b in &out.blocks {
+            for inst in &b.insts {
+                match inst {
+                    Inst::Insert { .. } | Inst::Splat { .. } => pack_glue += 1,
+                    Inst::Extract { .. } | Inst::Reduce { .. } => unpack_glue += 1,
+                    _ => match inst.dst() {
+                        Some(d) if out.regs[d.index()].is_vector() => promoted += 1,
+                        _ => replicated += 1,
+                    },
+                }
+            }
+        }
+        let label = if opts.static_warp {
+            "static_tie"
+        } else if w == 1 && !opts.yield_at_branches {
+            "baseline"
+        } else {
+            "dynamic"
+        };
+        dpvk_trace::record_specialization(dpvk_trace::SpecRecord {
+            kernel: tk.name.clone(),
+            warp_size: w,
+            variant: label,
+            pre_opt_instructions: pre_opt_instructions as u64,
+            post_opt_instructions: post_opt_instructions as u64,
+            replicated,
+            promoted,
+            pack_glue,
+            unpack_glue,
+            dce_removed: opt_stats.dce_removed as u64,
+        });
+    }
+
     Ok(Specialized { function: out, pre_opt_instructions, post_opt_instructions, opt_stats })
 }
 
@@ -1170,9 +1264,12 @@ join:
             &SpecializeOptions { optimize: false, ..SpecializeOptions::dynamic(4) },
         )
         .unwrap();
-        let has_vec_mul = s.function.blocks.iter().flat_map(|b| &b.insts).any(|i| {
-            matches!(i, Inst::Bin { op: BinOp::Mul, ty, .. } if ty.width == 4)
-        });
+        let has_vec_mul = s
+            .function
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .any(|i| matches!(i, Inst::Bin { op: BinOp::Mul, ty, .. } if ty.width == 4));
         assert!(has_vec_mul, "{}", ir::print_function(&s.function));
         // Loads stay scalar.
         let vector_loads = s
@@ -1199,9 +1296,14 @@ join:
             .iter()
             .find(|b| b.kind == BlockKind::ExitHandler && b.label.contains("div_exit"))
             .expect("divergent exit handler exists");
-        let stores = handler.insts.iter().filter(|i| matches!(i, Inst::Store { space: ir::Space::Local, .. })).count();
+        let stores = handler
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Store { space: ir::Space::Local, .. }))
+            .count();
         let selects = handler.insts.iter().filter(|i| matches!(i, Inst::Select { .. })).count();
-        let resume_points = handler.insts.iter().filter(|i| matches!(i, Inst::SetResumePoint { .. })).count();
+        let resume_points =
+            handler.insts.iter().filter(|i| matches!(i, Inst::SetResumePoint { .. })).count();
         assert!(stores > 0);
         assert_eq!(selects, 2);
         assert_eq!(resume_points, 2);
@@ -1324,11 +1426,8 @@ loop:
     fn uniform_loads_issue_once_per_warp() {
         let tk = translate(&parse_kernel(UNIFORM_LOOP).unwrap()).unwrap();
         let on = specialize(&tk, &SpecializeOptions::dynamic(4)).unwrap();
-        let off = specialize(
-            &tk,
-            &SpecializeOptions::dynamic(4).without_uniform_analysis(),
-        )
-        .unwrap();
+        let off =
+            specialize(&tk, &SpecializeOptions::dynamic(4).without_uniform_analysis()).unwrap();
         let count_loop_loads = |f: &Function| -> usize {
             f.blocks
                 .iter()
@@ -1357,11 +1456,7 @@ loop:
             .filter(|b| matches!(b.term, Term::Switch { .. }))
             .count();
         assert_eq!(body_switches, 0, "{}", ir::print_function(&on.function));
-        let has_condbr = on
-            .function
-            .blocks
-            .iter()
-            .any(|b| matches!(b.term, Term::CondBr { .. }));
+        let has_condbr = on.function.blocks.iter().any(|b| matches!(b.term, Term::CondBr { .. }));
         assert!(has_condbr);
     }
 
@@ -1394,8 +1489,8 @@ join:
   ret;
 }
 "#;
-        use crate::runtime::{Device, ParamValue};
         use crate::exec::ExecConfig;
+        use crate::runtime::{Device, ParamValue};
         let dev = Device::new(dpvk_vm::MachineModel::sandybridge_sse(), 1 << 20);
         dev.register_source(src).unwrap();
         let po = dev.malloc(32 * 4).unwrap();

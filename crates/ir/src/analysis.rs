@@ -111,7 +111,8 @@ pub fn max_live_vector_regs(f: &Function) -> usize {
     let mut max = 0usize;
     for (i, b) in f.blocks.iter().enumerate() {
         // Walk backwards from live-out.
-        let mut live: HashSet<VReg> = lv.live_out[i].iter().copied().filter(|&r| is_vec(r)).collect();
+        let mut live: HashSet<VReg> =
+            lv.live_out[i].iter().copied().filter(|&r| is_vec(r)).collect();
         max = max.max(live.len());
         for inst in b.insts.iter().rev() {
             if let Some(d) = inst.dst() {

@@ -110,10 +110,7 @@ impl Function {
 
     /// Find a block id by label.
     pub fn block_by_label(&self, label: &str) -> Option<BlockId> {
-        self.blocks
-            .iter()
-            .position(|b| b.label == label)
-            .map(|i| BlockId(i as u32))
+        self.blocks.iter().position(|b| b.label == label).map(|i| BlockId(i as u32))
     }
 
     /// Predecessor lists for every block.
@@ -152,8 +149,8 @@ impl Function {
             }
         }
         post.reverse();
-        for i in 0..n {
-            if !visited[i] {
+        for (i, seen) in visited.iter().enumerate() {
+            if !seen {
                 post.push(BlockId(i as u32));
             }
         }
@@ -192,11 +189,7 @@ mod tests {
         let id0 = f.add_block(Block::new("placeholder"));
         let id1 = f.add_block(b1);
         let id2 = f.add_block(b2);
-        b0.term = Term::CondBr {
-            cond: crate::Value::ImmI(1),
-            taken: id1,
-            fall: id2,
-        };
+        b0.term = Term::CondBr { cond: crate::Value::ImmI(1), taken: id1, fall: id2 };
         f.blocks[id0.index()] = b0;
         f.block_mut(id1).term = Term::Br(id2);
 

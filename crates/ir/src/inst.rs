@@ -473,9 +473,7 @@ impl Inst {
                 f(a);
                 f(b);
             }
-            Un { a, .. } | Cvt { a, .. } | Splat { a, .. } | Vote { a, .. } | Mov { a, .. } => {
-                f(a)
-            }
+            Un { a, .. } | Cvt { a, .. } | Splat { a, .. } | Vote { a, .. } | Mov { a, .. } => f(a),
             Fma { a, b, c, .. } => {
                 f(a);
                 f(b);
@@ -678,11 +676,7 @@ mod tests {
 
     #[test]
     fn term_map_targets() {
-        let mut t = Term::CondBr {
-            cond: Value::Reg(VReg(0)),
-            taken: BlockId(1),
-            fall: BlockId(2),
-        };
+        let mut t = Term::CondBr { cond: Value::Reg(VReg(0)), taken: BlockId(1), fall: BlockId(2) };
         t.map_targets(|b| BlockId(b.0 + 1));
         assert_eq!(t.successors(), vec![BlockId(2), BlockId(3)]);
     }

@@ -152,19 +152,34 @@ mod tests {
         let mut blk = Block::new("entry");
         blk.insts.push(Inst::CtxRead { field: CtxField::Tid(0), lane: 0, dst: a });
         blk.insts.push(Inst::Bin {
-            op: BinOp::Add, ty: t, signed: false, dst: b,
-            a: Value::Reg(a), b: Value::ImmI(1),
+            op: BinOp::Add,
+            ty: t,
+            signed: false,
+            dst: b,
+            a: Value::Reg(a),
+            b: Value::ImmI(1),
         });
         blk.insts.push(Inst::Bin {
-            op: BinOp::Add, ty: t, signed: false, dst: c,
-            a: Value::Reg(a), b: Value::ImmI(1),
+            op: BinOp::Add,
+            ty: t,
+            signed: false,
+            dst: c,
+            a: Value::Reg(a),
+            b: Value::ImmI(1),
         });
         blk.insts.push(Inst::Bin {
-            op: BinOp::Add, ty: t, signed: false, dst: d,
-            a: Value::Reg(b), b: Value::Reg(c),
+            op: BinOp::Add,
+            ty: t,
+            signed: false,
+            dst: d,
+            a: Value::Reg(b),
+            b: Value::Reg(c),
         });
         blk.insts.push(Inst::Store {
-            ty: STy::I32, space: Space::Global, addr: Value::ImmI(0), value: Value::Reg(d),
+            ty: STy::I32,
+            space: Space::Global,
+            addr: Value::ImmI(0),
+            value: Value::Reg(d),
         });
         blk.term = Term::Ret;
         f.add_block(blk);
@@ -191,22 +206,39 @@ mod tests {
         let c = f.new_reg(t);
         let mut blk = Block::new("entry");
         blk.insts.push(Inst::Bin {
-            op: BinOp::Add, ty: t, signed: false, dst: b,
-            a: Value::Reg(a), b: Value::ImmI(1),
+            op: BinOp::Add,
+            ty: t,
+            signed: false,
+            dst: b,
+            a: Value::Reg(a),
+            b: Value::ImmI(1),
         });
         // Redefine the operand.
         blk.insts.push(Inst::Load {
-            ty: STy::I32, space: Space::Global, dst: a, addr: Value::ImmI(0),
+            ty: STy::I32,
+            space: Space::Global,
+            dst: a,
+            addr: Value::ImmI(0),
         });
         blk.insts.push(Inst::Bin {
-            op: BinOp::Add, ty: t, signed: false, dst: c,
-            a: Value::Reg(a), b: Value::ImmI(1),
+            op: BinOp::Add,
+            ty: t,
+            signed: false,
+            dst: c,
+            a: Value::Reg(a),
+            b: Value::ImmI(1),
         });
         blk.insts.push(Inst::Store {
-            ty: STy::I32, space: Space::Global, addr: Value::ImmI(4), value: Value::Reg(c),
+            ty: STy::I32,
+            space: Space::Global,
+            addr: Value::ImmI(4),
+            value: Value::Reg(c),
         });
         blk.insts.push(Inst::Store {
-            ty: STy::I32, space: Space::Global, addr: Value::ImmI(8), value: Value::Reg(b),
+            ty: STy::I32,
+            space: Space::Global,
+            addr: Value::ImmI(8),
+            value: Value::Reg(b),
         });
         blk.term = Term::Ret;
         f.add_block(blk);
@@ -221,16 +253,28 @@ mod tests {
         let b = f.new_reg(t);
         let mut blk = Block::new("entry");
         blk.insts.push(Inst::Load {
-            ty: STy::I32, space: Space::Global, dst: a, addr: Value::ImmI(0),
+            ty: STy::I32,
+            space: Space::Global,
+            dst: a,
+            addr: Value::ImmI(0),
         });
         blk.insts.push(Inst::Load {
-            ty: STy::I32, space: Space::Global, dst: b, addr: Value::ImmI(0),
+            ty: STy::I32,
+            space: Space::Global,
+            dst: b,
+            addr: Value::ImmI(0),
         });
         blk.insts.push(Inst::Store {
-            ty: STy::I32, space: Space::Global, addr: Value::ImmI(4), value: Value::Reg(a),
+            ty: STy::I32,
+            space: Space::Global,
+            addr: Value::ImmI(4),
+            value: Value::Reg(a),
         });
         blk.insts.push(Inst::Store {
-            ty: STy::I32, space: Space::Global, addr: Value::ImmI(8), value: Value::Reg(b),
+            ty: STy::I32,
+            space: Space::Global,
+            addr: Value::ImmI(8),
+            value: Value::Reg(b),
         });
         blk.term = Term::Ret;
         f.add_block(blk);
@@ -245,16 +289,28 @@ mod tests {
         let b = f.new_reg(t);
         let mut blk = Block::new("entry");
         blk.insts.push(Inst::Load {
-            ty: STy::I32, space: Space::Param, dst: a, addr: Value::ImmI(0),
+            ty: STy::I32,
+            space: Space::Param,
+            dst: a,
+            addr: Value::ImmI(0),
         });
         blk.insts.push(Inst::Load {
-            ty: STy::I32, space: Space::Param, dst: b, addr: Value::ImmI(0),
+            ty: STy::I32,
+            space: Space::Param,
+            dst: b,
+            addr: Value::ImmI(0),
         });
         blk.insts.push(Inst::Store {
-            ty: STy::I32, space: Space::Global, addr: Value::ImmI(0), value: Value::Reg(a),
+            ty: STy::I32,
+            space: Space::Global,
+            addr: Value::ImmI(0),
+            value: Value::Reg(a),
         });
         blk.insts.push(Inst::Store {
-            ty: STy::I32, space: Space::Global, addr: Value::ImmI(4), value: Value::Reg(b),
+            ty: STy::I32,
+            space: Space::Global,
+            addr: Value::ImmI(4),
+            value: Value::Reg(b),
         });
         blk.term = Term::Ret;
         f.add_block(blk);
@@ -271,10 +327,16 @@ mod tests {
         blk.insts.push(Inst::CtxRead { field: CtxField::Tid(0), lane: 0, dst: a });
         blk.insts.push(Inst::CtxRead { field: CtxField::Tid(0), lane: 1, dst: b });
         blk.insts.push(Inst::Store {
-            ty: STy::I32, space: Space::Global, addr: Value::ImmI(0), value: Value::Reg(a),
+            ty: STy::I32,
+            space: Space::Global,
+            addr: Value::ImmI(0),
+            value: Value::Reg(a),
         });
         blk.insts.push(Inst::Store {
-            ty: STy::I32, space: Space::Global, addr: Value::ImmI(4), value: Value::Reg(b),
+            ty: STy::I32,
+            space: Space::Global,
+            addr: Value::ImmI(4),
+            value: Value::Reg(b),
         });
         blk.term = Term::Ret;
         f.add_block(blk);

@@ -49,9 +49,18 @@ pub fn standard_pipeline(f: &mut Function) -> OptStats {
     // The passes interact (folding exposes CSE, CSE exposes DCE); iterate a
     // few rounds, stopping early when a round changes nothing.
     for _ in 0..4 {
-        let folded = const_fold(f);
-        let replaced = local_cse(f);
-        let removed = dead_code_elimination(f);
+        let folded = {
+            let _p = dpvk_trace::phase(&f.name, "opt:const_fold");
+            const_fold(f)
+        };
+        let replaced = {
+            let _p = dpvk_trace::phase(&f.name, "opt:cse");
+            local_cse(f)
+        };
+        let removed = {
+            let _p = dpvk_trace::phase(&f.name, "opt:dce");
+            dead_code_elimination(f)
+        };
         stats.folded += folded;
         stats.cse_replaced += replaced;
         stats.dce_removed += removed;
@@ -59,7 +68,10 @@ pub fn standard_pipeline(f: &mut Function) -> OptStats {
             break;
         }
     }
-    stats.blocks_fused = fuse_blocks(f);
-    stats.blocks_removed = remove_unreachable_blocks(f);
+    {
+        let _p = dpvk_trace::phase(&f.name, "opt:fusion");
+        stats.blocks_fused = fuse_blocks(f);
+        stats.blocks_removed = remove_unreachable_blocks(f);
+    }
     stats
 }

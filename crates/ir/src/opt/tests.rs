@@ -4,7 +4,7 @@ use crate::function::Block;
 use crate::inst::{BinOp, BlockId, CtxField, Inst, Space, Term};
 use crate::opt::standard_pipeline;
 use crate::types::{STy, Type};
-use crate::value::{VReg, Value};
+use crate::value::Value;
 use crate::verify::verify;
 use crate::Function;
 
@@ -25,23 +25,42 @@ fn build_redundant() -> Function {
     blk.insts.push(Inst::CtxRead { field: CtxField::Ntid(0), lane: 0, dst: a });
     blk.insts.push(Inst::CtxRead { field: CtxField::Ntid(0), lane: 0, dst: b });
     blk.insts.push(Inst::Bin {
-        op: BinOp::Mul, ty: i32t(), signed: false, dst: c,
-        a: Value::Reg(a), b: Value::ImmI(4),
+        op: BinOp::Mul,
+        ty: i32t(),
+        signed: false,
+        dst: c,
+        a: Value::Reg(a),
+        b: Value::ImmI(4),
     });
     blk.insts.push(Inst::Bin {
-        op: BinOp::Mul, ty: i32t(), signed: false, dst: d,
-        a: Value::Reg(b), b: Value::ImmI(4),
+        op: BinOp::Mul,
+        ty: i32t(),
+        signed: false,
+        dst: d,
+        a: Value::Reg(b),
+        b: Value::ImmI(4),
     });
     blk.insts.push(Inst::Bin {
-        op: BinOp::Add, ty: i32t(), signed: false, dst: dead,
-        a: Value::Reg(c), b: Value::ImmI(1),
+        op: BinOp::Add,
+        ty: i32t(),
+        signed: false,
+        dst: dead,
+        a: Value::Reg(c),
+        b: Value::ImmI(1),
     });
     blk.insts.push(Inst::Bin {
-        op: BinOp::Add, ty: i32t(), signed: false, dst: c,
-        a: Value::Reg(c), b: Value::Reg(d),
+        op: BinOp::Add,
+        ty: i32t(),
+        signed: false,
+        dst: c,
+        a: Value::Reg(c),
+        b: Value::Reg(d),
     });
     blk.insts.push(Inst::Store {
-        ty: STy::I32, space: Space::Global, addr: Value::ImmI(0), value: Value::Reg(c),
+        ty: STy::I32,
+        space: Space::Global,
+        addr: Value::ImmI(0),
+        value: Value::Reg(c),
     });
     blk.term = Term::Ret;
     f.add_block(blk);
@@ -80,7 +99,10 @@ fn pipeline_fuses_straightline_chains() {
     f.add_block(b0);
     let mut b1 = Block::new("b");
     b1.insts.push(Inst::Store {
-        ty: STy::I32, space: Space::Global, addr: Value::ImmI(0), value: Value::Reg(a),
+        ty: STy::I32,
+        space: Space::Global,
+        addr: Value::ImmI(0),
+        value: Value::Reg(a),
     });
     b1.term = Term::Ret;
     f.add_block(b1);
@@ -111,7 +133,10 @@ fn constant_branches_leave_unreachable_blocks_removable() {
     f.add_block(b1);
     let mut b2 = Block::new("fall");
     b2.insts.push(Inst::Store {
-        ty: STy::I32, space: Space::Global, addr: Value::ImmI(0), value: Value::ImmI(9),
+        ty: STy::I32,
+        space: Space::Global,
+        addr: Value::ImmI(0),
+        value: Value::ImmI(9),
     });
     b2.term = Term::Ret;
     f.add_block(b2);

@@ -60,8 +60,7 @@ pub fn verify(f: &Function) -> Result<(), VerifyError> {
         }
         match &block.term {
             Term::CondBr { cond, .. } => {
-                let t = value_type(f, *cond, Type::scalar(STy::I1))
-                    .map_err(fail)?;
+                let t = value_type(f, *cond, Type::scalar(STy::I1)).map_err(fail)?;
                 if t != Type::scalar(STy::I1) {
                     return Err(fail(format!("cond_br condition has type {t}, expected i1")));
                 }
@@ -70,7 +69,9 @@ pub fn verify(f: &Function) -> Result<(), VerifyError> {
                 if let Value::Reg(r) = value {
                     let t = reg_type(f, *r).map_err(fail)?;
                     if t.is_vector() || t.scalar.is_float() {
-                        return Err(fail(format!("switch value has type {t}, expected scalar int")));
+                        return Err(fail(format!(
+                            "switch value has type {t}, expected scalar int"
+                        )));
                     }
                 }
             }
@@ -81,10 +82,7 @@ pub fn verify(f: &Function) -> Result<(), VerifyError> {
 }
 
 fn reg_type(f: &Function, r: VReg) -> Result<Type, String> {
-    f.regs
-        .get(r.index())
-        .copied()
-        .ok_or_else(|| format!("register {r} out of range"))
+    f.regs.get(r.index()).copied().ok_or_else(|| format!("register {r} out of range"))
 }
 
 /// Type of a value: register types come from the function; immediates
@@ -318,11 +316,7 @@ mod tests {
     #[test]
     fn rejects_out_of_range_register() {
         let f = func_with(
-            vec![Inst::Mov {
-                ty: Type::scalar(STy::I32),
-                dst: VReg(5),
-                a: Value::ImmI(0),
-            }],
+            vec![Inst::Mov { ty: Type::scalar(STy::I32), dst: VReg(5), a: Value::ImmI(0) }],
             vec![Type::scalar(STy::I32)],
         );
         assert!(verify(&f).is_err());
@@ -342,7 +336,8 @@ mod tests {
         let mut f = Function::new("t", 1);
         let c = f.new_reg(Type::vector(STy::I1, 4));
         let mut b = Block::new("entry");
-        b.term = Term::CondBr { cond: Value::Reg(c), taken: crate::BlockId(0), fall: crate::BlockId(0) };
+        b.term =
+            Term::CondBr { cond: Value::Reg(c), taken: crate::BlockId(0), fall: crate::BlockId(0) };
         f.add_block(b);
         assert!(verify(&f).is_err());
     }

@@ -34,8 +34,8 @@ pub fn reverse_postorder(kernel: &Kernel) -> Vec<BlockId> {
         }
     }
     post.reverse();
-    for i in 0..n {
-        if !visited[i] {
+    for (i, seen) in visited.iter().enumerate() {
+        if !seen {
             post.push(BlockId(i as u32));
         }
     }
@@ -246,10 +246,8 @@ join:
         let lv = Liveness::compute(&k);
         let join = k.block_by_label("join").unwrap();
         // %r3 (value merged from both arms) and %r1 are live into join.
-        let names: Vec<&str> = lv.live_in[join.index()]
-            .iter()
-            .map(|r| k.registers[r.index()].name.as_str())
-            .collect();
+        let names: Vec<&str> =
+            lv.live_in[join.index()].iter().map(|r| k.registers[r.index()].name.as_str()).collect();
         assert!(names.contains(&"%r3"), "{names:?}");
         assert!(names.contains(&"%r1"), "{names:?}");
         assert!(!names.contains(&"%r4"), "{names:?}");
@@ -282,10 +280,8 @@ join:
         .unwrap();
         let lv = Liveness::compute(&k);
         let head = k.block_by_label("head").unwrap();
-        let names: Vec<&str> = lv.live_in[head.index()]
-            .iter()
-            .map(|r| k.registers[r.index()].name.as_str())
-            .collect();
+        let names: Vec<&str> =
+            lv.live_in[head.index()].iter().map(|r| k.registers[r.index()].name.as_str()).collect();
         assert!(names.contains(&"%r1"));
         assert!(names.contains(&"%r2"));
     }

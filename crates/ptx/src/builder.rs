@@ -127,12 +127,7 @@ impl KernelBuilder {
         c: impl Into<Operand>,
     ) {
         let ty = self.ty_of(dst);
-        self.push(Instruction::new(
-            Opcode::Mad,
-            ty,
-            Some(dst),
-            vec![a.into(), b.into(), c.into()],
-        ));
+        self.push(Instruction::new(Opcode::Mad, ty, Some(dst), vec![a.into(), b.into(), c.into()]));
     }
 
     /// `fma.rn d, a, b, c` typed by the destination register.
@@ -144,12 +139,7 @@ impl KernelBuilder {
         c: impl Into<Operand>,
     ) {
         let ty = self.ty_of(dst);
-        self.push(Instruction::new(
-            Opcode::Fma,
-            ty,
-            Some(dst),
-            vec![a.into(), b.into(), c.into()],
-        ));
+        self.push(Instruction::new(Opcode::Fma, ty, Some(dst), vec![a.into(), b.into(), c.into()]));
     }
 
     /// `setp.<cmp>` typed by operand `a`'s register type.
@@ -164,13 +154,7 @@ impl KernelBuilder {
     }
 
     /// `selp d, a, b, p` typed by the destination register.
-    pub fn selp(
-        &mut self,
-        dst: RegId,
-        a: impl Into<Operand>,
-        b: impl Into<Operand>,
-        pred: RegId,
-    ) {
+    pub fn selp(&mut self, dst: RegId, a: impl Into<Operand>, b: impl Into<Operand>, pred: RegId) {
         let ty = self.ty_of(dst);
         self.push(Instruction::new(
             Opcode::Selp,

@@ -178,10 +178,7 @@ impl Kernel {
 
     /// Look up a declared variable by name in either space.
     pub fn var(&self, name: &str) -> Option<&VarDecl> {
-        self.shared_vars
-            .iter()
-            .chain(self.local_vars.iter())
-            .find(|v| v.name == name)
+        self.shared_vars.iter().chain(self.local_vars.iter()).find(|v| v.name == name)
     }
 
     /// Total declared shared memory in bytes.
@@ -203,10 +200,7 @@ impl Kernel {
 
     /// Find a block id by label.
     pub fn block_by_label(&self, label: &str) -> Option<BlockId> {
-        self.blocks
-            .iter()
-            .position(|b| b.label == label)
-            .map(|i| BlockId(i as u32))
+        self.blocks.iter().position(|b| b.label == label).map(|i| BlockId(i as u32))
     }
 
     /// Successor block ids of `b` in control-flow order
@@ -217,11 +211,7 @@ impl Kernel {
     /// falls through to the next block in kernel order.
     pub fn successors(&self, b: BlockId) -> Vec<BlockId> {
         let block = &self.blocks[b.index()];
-        let next = if b.index() + 1 < self.blocks.len() {
-            Some(BlockId(b.0 + 1))
-        } else {
-            None
-        };
+        let next = if b.index() + 1 < self.blocks.len() { Some(BlockId(b.0 + 1)) } else { None };
         match block.terminator() {
             Some(term) => match &term.opcode {
                 Opcode::Bra(label) => {
@@ -271,9 +261,7 @@ impl Kernel {
 
     /// Whether any block contains a barrier.
     pub fn has_barrier(&self) -> bool {
-        self.blocks
-            .iter()
-            .any(|b| b.instructions.iter().any(|i| matches!(i.opcode, Opcode::Bar)))
+        self.blocks.iter().any(|b| b.instructions.iter().any(|i| matches!(i.opcode, Opcode::Bar)))
     }
 }
 
@@ -319,8 +307,7 @@ mod tests {
         );
         let b1 = BasicBlock::new("body");
         let mut b2 = BasicBlock::new("exit");
-        b2.instructions
-            .push(Instruction::new(Opcode::Ret, ScalarType::Pred, None, vec![]));
+        b2.instructions.push(Instruction::new(Opcode::Ret, ScalarType::Pred, None, vec![]));
         k.add_block(b0);
         k.add_block(b1);
         k.add_block(b2);

@@ -167,7 +167,8 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, PtxError> {
                     return Err(lex_err(line, start as u32, "empty hex literal"));
                 }
                 let mag = u64::from_str_radix(&digits, 16)
-                    .map_err(|_| lex_err(line, start as u32, "hex literal out of range"))? as i64;
+                    .map_err(|_| lex_err(line, start as u32, "hex literal out of range"))?
+                    as i64;
                 let value = if bytes[start] == '-' { -mag } else { mag };
                 out.push(Spanned { token: Token::Int(value), line });
                 i = k;
@@ -201,9 +202,8 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, PtxError> {
             }
             let text: String = bytes[start..k].iter().collect();
             if is_float {
-                let v: f64 = text
-                    .parse()
-                    .map_err(|_| lex_err(line, start as u32, "bad float literal"))?;
+                let v: f64 =
+                    text.parse().map_err(|_| lex_err(line, start as u32, "bad float literal"))?;
                 out.push(Spanned { token: Token::Float(v), line });
             } else {
                 let v: i64 = text
@@ -279,14 +279,11 @@ mod tests {
 
     #[test]
     fn comments_are_skipped() {
-        assert_eq!(toks("add // comment\nsub"), vec![
-            Token::Word("add".into()),
-            Token::Word("sub".into())
-        ]);
-        assert_eq!(toks("a /* x\ny */ b"), vec![
-            Token::Word("a".into()),
-            Token::Word("b".into())
-        ]);
+        assert_eq!(
+            toks("add // comment\nsub"),
+            vec![Token::Word("add".into()), Token::Word("sub".into())]
+        );
+        assert_eq!(toks("a /* x\ny */ b"), vec![Token::Word("a".into()), Token::Word("b".into())]);
     }
 
     #[test]

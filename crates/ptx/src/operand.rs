@@ -254,9 +254,7 @@ mod tests {
 
     #[test]
     fn special_reg_display_round_trip() {
-        for s in
-            [SpecialReg::Tid(Dim::Y), SpecialReg::Ctaid(Dim::X), SpecialReg::WarpSize]
-        {
+        for s in [SpecialReg::Tid(Dim::Y), SpecialReg::Ctaid(Dim::X), SpecialReg::WarpSize] {
             let text = s.to_string();
             assert_eq!(SpecialReg::from_token(&text[1..]).unwrap(), s);
         }

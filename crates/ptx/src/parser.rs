@@ -192,11 +192,8 @@ impl Parser {
                         self.parse_reg_decl(kernel, &mut regs)?;
                     }
                     "shared" | "local" => {
-                        let space = if d == "shared" {
-                            AddressSpace::Shared
-                        } else {
-                            AddressSpace::Local
-                        };
+                        let space =
+                            if d == "shared" { AddressSpace::Shared } else { AddressSpace::Local };
                         self.pos += 1;
                         self.parse_var_decl(kernel, space)?;
                     }
@@ -352,9 +349,7 @@ impl Parser {
     }
 
     fn resolve_reg(&self, name: &str, regs: &HashMap<String, RegId>) -> Result<RegId, PtxError> {
-        regs.get(name)
-            .copied()
-            .ok_or_else(|| PtxError::UndeclaredRegister(format!("%{name}")))
+        regs.get(name).copied().ok_or_else(|| PtxError::UndeclaredRegister(format!("%{name}")))
     }
 
     fn decode_mnemonic(&self, parts: &[&str]) -> Result<(Opcode, ScalarType), PtxError> {
@@ -363,9 +358,8 @@ impl Parser {
         let last_ty = || -> Result<ScalarType, PtxError> {
             ScalarType::from_suffix(parts.last().expect("split produces at least one part"))
         };
-        let simple = |op: Opcode| -> Result<(Opcode, ScalarType), PtxError> {
-            Ok((op, last_ty()?))
-        };
+        let simple =
+            |op: Opcode| -> Result<(Opcode, ScalarType), PtxError> { Ok((op, last_ty()?)) };
         match base {
             "add" => simple(Opcode::Add),
             "sub" => simple(Opcode::Sub),
@@ -404,10 +398,8 @@ impl Parser {
                 Ok((Opcode::Setp(cmp), last_ty()?))
             }
             "cvt" => {
-                let types: Vec<ScalarType> = parts[1..]
-                    .iter()
-                    .filter_map(|p| ScalarType::from_suffix(p).ok())
-                    .collect();
+                let types: Vec<ScalarType> =
+                    parts[1..].iter().filter_map(|p| ScalarType::from_suffix(p).ok()).collect();
                 if types.len() != 2 {
                     return Err(
                         self.err(format!("cvt `{full}` must name destination and source types"))
@@ -667,10 +659,9 @@ done:
 
     #[test]
     fn shared_declaration() {
-        let k = parse_kernel(
-            ".kernel k () { .shared .f32 tile[64]; .reg .u64 %rd<2>; entry: ret; }",
-        )
-        .unwrap();
+        let k =
+            parse_kernel(".kernel k () { .shared .f32 tile[64]; .reg .u64 %rd<2>; entry: ret; }")
+                .unwrap();
         assert_eq!(k.shared_size(), 256);
     }
 
@@ -682,8 +673,7 @@ done:
 
     #[test]
     fn undeclared_register_is_rejected() {
-        let err =
-            parse_kernel(".kernel k () { entry: add.u32 %r1, %r1, 1; ret; }").unwrap_err();
+        let err = parse_kernel(".kernel k () { entry: add.u32 %r1, %r1, 1; ret; }").unwrap_err();
         assert_eq!(err, PtxError::UndeclaredRegister("%r1".into()));
     }
 
@@ -703,10 +693,7 @@ done:
 
     #[test]
     fn multiple_kernels_in_module() {
-        let m = parse_module(
-            ".kernel a () { entry: ret; } .kernel b () { entry: ret; }",
-        )
-        .unwrap();
+        let m = parse_module(".kernel a () { entry: ret; } .kernel b () { entry: ret; }").unwrap();
         assert_eq!(m.kernels.len(), 2);
         assert!(m.kernel("a").is_some());
         assert!(m.kernel("b").is_some());

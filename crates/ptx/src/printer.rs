@@ -2,9 +2,9 @@
 
 use std::fmt::Write as _;
 
+use crate::instruction::{Instruction, Opcode};
 use crate::kernel::{Kernel, Module};
 use crate::operand::{Address, AddressBase, Operand, RegId};
-use crate::instruction::{Instruction, Opcode};
 
 /// Render a kernel back to parseable source text.
 ///

@@ -86,9 +86,7 @@ fn validate_instruction(kernel: &Kernel, inst: &Instruction) -> Result<(), Strin
         let d = inst.dst.ok_or_else(|| "missing destination".to_string())?;
         let rt = kernel.reg_type(d);
         if !compatible(rt, at) {
-            return Err(format!(
-                "destination register has type {rt}, incompatible with {at}"
-            ));
+            return Err(format!("destination register has type {rt}, incompatible with {at}"));
         }
         Ok(())
     };
@@ -112,14 +110,9 @@ fn validate_instruction(kernel: &Kernel, inst: &Instruction) -> Result<(), Strin
             }
             AddressBase::Param(p) => {
                 if space != AddressSpace::Param {
-                    return Err(format!(
-                        "parameter `{p}` addressed outside the .param space"
-                    ));
+                    return Err(format!("parameter `{p}` addressed outside the .param space"));
                 }
-                kernel
-                    .param(p)
-                    .map(|_| ())
-                    .ok_or_else(|| format!("unknown parameter `{p}`"))
+                kernel.param(p).map(|_| ()).ok_or_else(|| format!("unknown parameter `{p}`"))
             }
             AddressBase::Var(v) => {
                 let var = kernel.var(v).ok_or_else(|| format!("unknown variable `{v}`"))?;
@@ -328,10 +321,8 @@ mod tests {
         use crate::kernel::{BasicBlock, Kernel};
         let mut k = Kernel::new("k");
         let mut b = BasicBlock::new("entry");
-        b.instructions
-            .push(Instruction::new(Opcode::Ret, ScalarType::Pred, None, vec![]));
-        b.instructions
-            .push(Instruction::new(Opcode::Ret, ScalarType::Pred, None, vec![]));
+        b.instructions.push(Instruction::new(Opcode::Ret, ScalarType::Pred, None, vec![]));
+        b.instructions.push(Instruction::new(Opcode::Ret, ScalarType::Pred, None, vec![]));
         k.add_block(b);
         let m = validate_kernel(&k).unwrap_err().to_string();
         assert!(m.contains("middle"), "{m}");
@@ -339,13 +330,12 @@ mod tests {
 
     #[test]
     fn rejects_duplicate_labels() {
-        use crate::kernel::{BasicBlock, Kernel};
         use crate::instruction::{Instruction, Opcode};
+        use crate::kernel::{BasicBlock, Kernel};
         let mut k = Kernel::new("k");
         k.add_block(BasicBlock::new("a"));
         let mut b = BasicBlock::new("a");
-        b.instructions
-            .push(Instruction::new(Opcode::Ret, ScalarType::Pred, None, vec![]));
+        b.instructions.push(Instruction::new(Opcode::Ret, ScalarType::Pred, None, vec![]));
         k.add_block(b);
         let m = validate_kernel(&k).unwrap_err().to_string();
         assert!(m.contains("duplicate"), "{m}");

@@ -1,0 +1,145 @@
+//! Minimal hand-rolled JSON emission (the crate is dependency-free, so
+//! no serde). Only what the trace report needs: objects, arrays,
+//! strings, integers, booleans and floats.
+
+use std::fmt::Write as _;
+
+/// Append `s` as a JSON string literal (with escaping) to `out`.
+pub fn push_str_lit(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Builder that tracks comma placement for one nesting level at a time.
+///
+/// The report writer drives this linearly (open object, emit fields,
+/// close), so a simple "need a comma before the next item?" flag per
+/// builder instance is enough.
+pub struct Json {
+    out: String,
+    need_comma: Vec<bool>,
+}
+
+impl Json {
+    /// Fresh writer.
+    pub fn new() -> Self {
+        Json { out: String::new(), need_comma: Vec::new() }
+    }
+
+    fn pre_item(&mut self) {
+        if let Some(flag) = self.need_comma.last_mut() {
+            if *flag {
+                self.out.push(',');
+            }
+            *flag = true;
+        }
+    }
+
+    /// Open an object as the next value (optionally as field `key`).
+    pub fn open_obj(&mut self, key: Option<&str>) {
+        self.pre_item();
+        if let Some(k) = key {
+            push_str_lit(&mut self.out, k);
+            self.out.push(':');
+        }
+        self.out.push('{');
+        self.need_comma.push(false);
+    }
+
+    /// Close the innermost object.
+    pub fn close_obj(&mut self) {
+        self.need_comma.pop();
+        self.out.push('}');
+    }
+
+    /// Open an array as the next value (optionally as field `key`).
+    pub fn open_arr(&mut self, key: Option<&str>) {
+        self.pre_item();
+        if let Some(k) = key {
+            push_str_lit(&mut self.out, k);
+            self.out.push(':');
+        }
+        self.out.push('[');
+        self.need_comma.push(false);
+    }
+
+    /// Close the innermost array.
+    pub fn close_arr(&mut self) {
+        self.need_comma.pop();
+        self.out.push(']');
+    }
+
+    /// Emit field `key` with an unsigned integer value.
+    pub fn field_u64(&mut self, key: &str, v: u64) {
+        self.pre_item();
+        push_str_lit(&mut self.out, key);
+        let _ = write!(self.out, ":{v}");
+    }
+
+    /// Emit field `key` with a string value.
+    pub fn field_str(&mut self, key: &str, v: &str) {
+        self.pre_item();
+        push_str_lit(&mut self.out, key);
+        self.out.push(':');
+        push_str_lit(&mut self.out, v);
+    }
+
+    /// Emit field `key` with a boolean value.
+    pub fn field_bool(&mut self, key: &str, v: bool) {
+        self.pre_item();
+        push_str_lit(&mut self.out, key);
+        let _ = write!(self.out, ":{v}");
+    }
+
+    /// Emit a bare unsigned integer array element.
+    pub fn elem_u64(&mut self, v: u64) {
+        self.pre_item();
+        let _ = write!(self.out, "{v}");
+    }
+
+    /// Finish and return the JSON text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+impl Default for Json {
+    fn default() -> Self {
+        Json::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_nested_json() {
+        let mut j = Json::new();
+        j.open_obj(None);
+        j.field_str("name", "a\"b\\c\n");
+        j.field_u64("n", 3);
+        j.open_arr(Some("xs"));
+        j.elem_u64(1);
+        j.elem_u64(2);
+        j.close_arr();
+        j.open_obj(Some("inner"));
+        j.field_bool("ok", true);
+        j.close_obj();
+        j.close_obj();
+        assert_eq!(j.finish(), r#"{"name":"a\"b\\c\n","n":3,"xs":[1,2],"inner":{"ok":true}}"#);
+    }
+}

@@ -1,0 +1,612 @@
+//! # dpvk-trace
+//!
+//! Lightweight, dependency-free observability for the dynamic
+//! compilation pipeline: counters, histograms, scoped phase timers and a
+//! bounded structured event ring, feeding a [`TraceReport`] that
+//! serializes to JSON and renders a human-readable summary.
+//!
+//! The paper's evaluation (Figures 7–9) is built from exactly the signals
+//! collected here: warp-occupancy mix, spill/restore volume at yields,
+//! and the split of work between the execution manager, yield handlers
+//! and the vectorized subkernel — plus the compile-side costs (per-phase
+//! wall time, vector-promotion effectiveness) that Table 1's dynamic
+//! compilation story depends on.
+//!
+//! ## Cost model
+//!
+//! Tracing is **disabled by default** and every recording entry point
+//! starts with a single relaxed atomic load ([`enabled`]); the disabled
+//! path does no allocation, locking, or timestamping. Enable it with
+//! `DPVK_TRACE=1` in the environment (checked once by [`init_from_env`],
+//! which `dpvk-core`'s `Device` calls) or programmatically with
+//! [`enable`].
+//!
+//! ## Usage
+//!
+//! ```
+//! dpvk_trace::enable();
+//! dpvk_trace::add(dpvk_trace::Counter::CacheHit, 1);
+//! {
+//!     let _t = dpvk_trace::phase("my_kernel", "translate");
+//!     // ... timed work ...
+//! }
+//! let report = dpvk_trace::TraceReport::capture();
+//! assert_eq!(report.counter("cache_hit"), 1);
+//! dpvk_trace::disable();
+//! dpvk_trace::reset();
+//! ```
+
+#![warn(missing_docs)]
+
+mod json;
+mod report;
+
+pub use report::{write_if_enabled, EventReport, PhaseReport, TraceReport};
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, Once, OnceLock};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Enablement
+// ---------------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static ENV_INIT: Once = Once::new();
+
+/// Whether tracing is currently enabled. This is the only check on the
+/// disabled fast path: one relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn tracing on.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turn tracing off (already-recorded data is kept until [`reset`]).
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Enable tracing if the `DPVK_TRACE` environment variable is truthy
+/// (`1`, `true`, `on`, `yes`). Idempotent; the variable is read once per
+/// process so repeated calls cost one `Once` check.
+pub fn init_from_env() {
+    ENV_INIT.call_once(|| {
+        if let Ok(v) = std::env::var("DPVK_TRACE") {
+            if matches!(v.as_str(), "1" | "true" | "on" | "yes") {
+                enable();
+            }
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------------
+
+/// Monotonic event counters, enum-indexed into a fixed atomic array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Translation-cache requests served from the cache.
+    CacheHit,
+    /// Translation-cache requests that triggered compilation.
+    CacheMiss,
+    /// Nanoseconds spent compiling on cache misses.
+    CacheCompileNs,
+    /// Scalar (per-lane replicated) instructions in specialized bodies.
+    SpecReplicated,
+    /// Vector-promoted instructions in specialized bodies.
+    SpecPromoted,
+    /// `insertelement` pack glue emitted by the vectorizer.
+    SpecPackGlue,
+    /// `extractelement` unpack glue emitted by the vectorizer.
+    SpecUnpackGlue,
+    /// Instructions removed by dead-code elimination.
+    SpecDceRemoved,
+    /// Warp yields whose resume status was a divergent branch.
+    YieldBranch,
+    /// Warp yields whose resume status was a barrier arrival.
+    YieldBarrier,
+    /// Warp yields whose resume status was thread termination.
+    YieldExit,
+    /// Warp executions launched by the execution manager.
+    WarpEntries,
+    /// Sum of warp widths over all warp entries.
+    ThreadEntries,
+    /// Ready-queue slots inspected while gathering warps (formation scan
+    /// cost).
+    ScanSteps,
+    /// Bytes of live state spilled by exit handlers.
+    SpillBytes,
+    /// Bytes of live state restored by entry handlers.
+    RestoreBytes,
+    /// Events discarded because the bounded event ring was full.
+    EventsDropped,
+}
+
+impl Counter {
+    /// Every counter, in declaration order.
+    pub const ALL: [Counter; 17] = [
+        Counter::CacheHit,
+        Counter::CacheMiss,
+        Counter::CacheCompileNs,
+        Counter::SpecReplicated,
+        Counter::SpecPromoted,
+        Counter::SpecPackGlue,
+        Counter::SpecUnpackGlue,
+        Counter::SpecDceRemoved,
+        Counter::YieldBranch,
+        Counter::YieldBarrier,
+        Counter::YieldExit,
+        Counter::WarpEntries,
+        Counter::ThreadEntries,
+        Counter::ScanSteps,
+        Counter::SpillBytes,
+        Counter::RestoreBytes,
+        Counter::EventsDropped,
+    ];
+
+    /// Stable snake_case name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::CacheHit => "cache_hit",
+            Counter::CacheMiss => "cache_miss",
+            Counter::CacheCompileNs => "cache_compile_ns",
+            Counter::SpecReplicated => "spec_replicated",
+            Counter::SpecPromoted => "spec_promoted",
+            Counter::SpecPackGlue => "spec_pack_glue",
+            Counter::SpecUnpackGlue => "spec_unpack_glue",
+            Counter::SpecDceRemoved => "spec_dce_removed",
+            Counter::YieldBranch => "yield_branch",
+            Counter::YieldBarrier => "yield_barrier",
+            Counter::YieldExit => "yield_exit",
+            Counter::WarpEntries => "warp_entries",
+            Counter::ThreadEntries => "thread_entries",
+            Counter::ScanSteps => "scan_steps",
+            Counter::SpillBytes => "spill_bytes",
+            Counter::RestoreBytes => "restore_bytes",
+            Counter::EventsDropped => "events_dropped",
+        }
+    }
+}
+
+const NUM_COUNTERS: usize = Counter::ALL.len();
+
+static COUNTERS: [AtomicU64; NUM_COUNTERS] = [const { AtomicU64::new(0) }; NUM_COUNTERS];
+
+/// Add `n` to a counter. No-op (one atomic load) when tracing is off.
+#[inline]
+pub fn add(counter: Counter, n: u64) {
+    if enabled() {
+        COUNTERS[counter as usize].fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Current value of a counter.
+pub fn counter(counter: Counter) -> u64 {
+    COUNTERS[counter as usize].load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Warp-occupancy histogram (Figure 7 raw data)
+// ---------------------------------------------------------------------------
+
+/// Largest warp width tracked individually by the occupancy histogram;
+/// wider entries are clamped into the last bucket.
+pub const MAX_TRACKED_WIDTH: usize = 64;
+
+static OCCUPANCY: [AtomicU64; MAX_TRACKED_WIDTH + 1] =
+    [const { AtomicU64::new(0) }; MAX_TRACKED_WIDTH + 1];
+
+/// Record one warp entry of `width` threads that cost `scanned`
+/// ready-queue inspections to form.
+#[inline]
+pub fn record_warp_entry(width: u32, scanned: u64) {
+    if !enabled() {
+        return;
+    }
+    let bucket = (width as usize).min(MAX_TRACKED_WIDTH);
+    OCCUPANCY[bucket].fetch_add(1, Ordering::Relaxed);
+    COUNTERS[Counter::WarpEntries as usize].fetch_add(1, Ordering::Relaxed);
+    COUNTERS[Counter::ThreadEntries as usize].fetch_add(u64::from(width), Ordering::Relaxed);
+    COUNTERS[Counter::ScanSteps as usize].fetch_add(scanned, Ordering::Relaxed);
+}
+
+/// The warp-occupancy histogram: `hist[w]` = warp entries at width `w`.
+/// Trailing zero buckets are trimmed.
+pub fn occupancy_histogram() -> Vec<u64> {
+    let mut hist: Vec<u64> = OCCUPANCY.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+    while hist.last() == Some(&0) {
+        hist.pop();
+    }
+    hist
+}
+
+// ---------------------------------------------------------------------------
+// Structured events (bounded ring)
+// ---------------------------------------------------------------------------
+
+/// Why a warp yielded back to the execution manager (mirrors the
+/// interpreter's `ResumeStatus` without depending on it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum YieldReason {
+    /// Divergent conditional branch.
+    Branch,
+    /// Barrier arrival.
+    Barrier,
+    /// Thread termination.
+    Exit,
+}
+
+impl YieldReason {
+    /// Stable lowercase name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            YieldReason::Branch => "branch",
+            YieldReason::Barrier => "barrier",
+            YieldReason::Exit => "exit",
+        }
+    }
+
+    fn counter(self) -> Counter {
+        match self {
+            YieldReason::Branch => Counter::YieldBranch,
+            YieldReason::Barrier => Counter::YieldBarrier,
+            YieldReason::Exit => Counter::YieldExit,
+        }
+    }
+}
+
+/// One structured trace event. Kernel names are interned; resolve them
+/// through a captured [`TraceReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A warp returned to the execution manager.
+    Yield {
+        /// Interned kernel name.
+        kernel: u32,
+        /// Entry point the warp will resume at (0 = kernel entry).
+        entry_point: u32,
+        /// Why the warp yielded.
+        reason: YieldReason,
+        /// Number of threads in the warp.
+        width: u32,
+    },
+    /// A translation-cache lookup.
+    CacheQuery {
+        /// Interned kernel name.
+        kernel: u32,
+        /// Requested warp size.
+        warp_size: u32,
+        /// Requested variant (`"baseline"`, `"dynamic"`, `"static_tie"`).
+        variant: &'static str,
+        /// Whether the specialization was already cached.
+        hit: bool,
+    },
+    /// A cache miss finished compiling a specialization.
+    Compile {
+        /// Interned kernel name.
+        kernel: u32,
+        /// Compiled warp size.
+        warp_size: u32,
+        /// Compiled variant.
+        variant: &'static str,
+        /// Wall time of the compilation.
+        ns: u64,
+    },
+}
+
+/// Capacity of the bounded event ring; past it, events are counted in
+/// [`Counter::EventsDropped`] instead of stored.
+pub const EVENT_CAPACITY: usize = 4096;
+
+/// Per-`(kernel, warp_size, variant)` vectorizer effectiveness record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecRecord {
+    /// Kernel name.
+    pub kernel: String,
+    /// Warp width of the specialization.
+    pub warp_size: u32,
+    /// Variant label (`"baseline"`, `"dynamic"`, `"static_tie"`).
+    pub variant: &'static str,
+    /// Static instructions before the optimization pipeline.
+    pub pre_opt_instructions: u64,
+    /// Static instructions after the optimization pipeline.
+    pub post_opt_instructions: u64,
+    /// Scalar instructions replicated per lane in the final body.
+    pub replicated: u64,
+    /// Instructions promoted to vector form.
+    pub promoted: u64,
+    /// `insertelement` pack glue instructions.
+    pub pack_glue: u64,
+    /// `extractelement` unpack glue instructions.
+    pub unpack_glue: u64,
+    /// Instructions the optimizer's DCE removed.
+    pub dce_removed: u64,
+}
+
+#[derive(Default)]
+struct State {
+    names: Vec<String>,
+    by_name: HashMap<String, u32>,
+    events: Vec<Event>,
+    phases: HashMap<(String, &'static str, usize), PhaseTotals>,
+    specs: Vec<SpecRecord>,
+}
+
+#[derive(Default, Clone, Copy)]
+struct PhaseTotals {
+    calls: u64,
+    total_ns: u64,
+}
+
+fn state() -> &'static Mutex<State> {
+    static STATE: OnceLock<Mutex<State>> = OnceLock::new();
+    STATE.get_or_init(|| Mutex::new(State::default()))
+}
+
+fn lock_state() -> std::sync::MutexGuard<'static, State> {
+    state().lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl State {
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    fn push_event(&mut self, event: Event) {
+        if self.events.len() < EVENT_CAPACITY {
+            self.events.push(event);
+        } else {
+            COUNTERS[Counter::EventsDropped as usize].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Record a warp yield event (reason counter + structured event).
+#[inline]
+pub fn record_yield(kernel: &str, entry_point: u32, reason: YieldReason, width: u32) {
+    if !enabled() {
+        return;
+    }
+    COUNTERS[reason.counter() as usize].fetch_add(1, Ordering::Relaxed);
+    let mut s = lock_state();
+    let kernel = s.intern(kernel);
+    s.push_event(Event::Yield { kernel, entry_point, reason, width });
+}
+
+/// Record a translation-cache lookup.
+#[inline]
+pub fn record_cache_query(kernel: &str, warp_size: u32, variant: &'static str, hit: bool) {
+    if !enabled() {
+        return;
+    }
+    let c = if hit { Counter::CacheHit } else { Counter::CacheMiss };
+    COUNTERS[c as usize].fetch_add(1, Ordering::Relaxed);
+    let mut s = lock_state();
+    let kernel = s.intern(kernel);
+    s.push_event(Event::CacheQuery { kernel, warp_size, variant, hit });
+}
+
+/// Record a finished compilation (cache-miss fill).
+#[inline]
+pub fn record_compile(kernel: &str, warp_size: u32, variant: &'static str, ns: u64) {
+    if !enabled() {
+        return;
+    }
+    COUNTERS[Counter::CacheCompileNs as usize].fetch_add(ns, Ordering::Relaxed);
+    let mut s = lock_state();
+    let kernel = s.intern(kernel);
+    s.push_event(Event::Compile { kernel, warp_size, variant, ns });
+}
+
+/// Record a vectorizer effectiveness record and bump the aggregate
+/// counters.
+pub fn record_specialization(rec: SpecRecord) {
+    if !enabled() {
+        return;
+    }
+    COUNTERS[Counter::SpecReplicated as usize].fetch_add(rec.replicated, Ordering::Relaxed);
+    COUNTERS[Counter::SpecPromoted as usize].fetch_add(rec.promoted, Ordering::Relaxed);
+    COUNTERS[Counter::SpecPackGlue as usize].fetch_add(rec.pack_glue, Ordering::Relaxed);
+    COUNTERS[Counter::SpecUnpackGlue as usize].fetch_add(rec.unpack_glue, Ordering::Relaxed);
+    COUNTERS[Counter::SpecDceRemoved as usize].fetch_add(rec.dce_removed, Ordering::Relaxed);
+    lock_state().specs.push(rec);
+}
+
+// ---------------------------------------------------------------------------
+// Scoped phase timers
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static PHASE_DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// RAII timer for a compile phase; records accumulated wall time (keyed
+/// by kernel, phase name and nesting depth) when dropped.
+#[must_use = "the phase is timed until the guard is dropped"]
+pub struct PhaseGuard {
+    active: Option<(String, &'static str, Instant, usize)>,
+}
+
+/// Start timing `phase` of `kernel`. Nested phases (e.g. individual
+/// optimization passes inside `specialize`) record their depth so
+/// reports can reconstruct the hierarchy. Returns an inert guard when
+/// tracing is disabled.
+pub fn phase(kernel: &str, phase: &'static str) -> PhaseGuard {
+    if !enabled() {
+        return PhaseGuard { active: None };
+    }
+    let depth = PHASE_DEPTH.with(|d| {
+        let v = d.get();
+        d.set(v + 1);
+        v
+    });
+    PhaseGuard { active: Some((kernel.to_string(), phase, Instant::now(), depth)) }
+}
+
+impl Drop for PhaseGuard {
+    fn drop(&mut self) {
+        if let Some((kernel, phase, start, depth)) = self.active.take() {
+            let ns = start.elapsed().as_nanos() as u64;
+            PHASE_DEPTH.with(|d| d.set(depth));
+            let mut s = lock_state();
+            let totals = s.phases.entry((kernel, phase, depth)).or_default();
+            totals.calls += 1;
+            totals.total_ns += ns;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reset + snapshot plumbing (used by report.rs)
+// ---------------------------------------------------------------------------
+
+/// Clear all recorded data (counters, histograms, events, timers).
+/// The enabled flag is left as-is.
+pub fn reset() {
+    for c in &COUNTERS {
+        c.store(0, Ordering::Relaxed);
+    }
+    for c in &OCCUPANCY {
+        c.store(0, Ordering::Relaxed);
+    }
+    let mut s = lock_state();
+    s.names.clear();
+    s.by_name.clear();
+    s.events.clear();
+    s.phases.clear();
+    s.specs.clear();
+}
+
+pub(crate) struct Snapshot {
+    pub counters: Vec<(&'static str, u64)>,
+    pub occupancy: Vec<u64>,
+    pub names: Vec<String>,
+    pub events: Vec<Event>,
+    pub phases: Vec<(String, &'static str, usize, u64, u64)>,
+    pub specs: Vec<SpecRecord>,
+}
+
+pub(crate) fn snapshot() -> Snapshot {
+    let s = lock_state();
+    let mut phases: Vec<_> = s
+        .phases
+        .iter()
+        .map(|((kernel, phase, depth), t)| (kernel.clone(), *phase, *depth, t.calls, t.total_ns))
+        .collect();
+    phases.sort();
+    Snapshot {
+        counters: Counter::ALL.iter().map(|&c| (c.name(), counter(c))).collect(),
+        occupancy: occupancy_histogram(),
+        names: s.names.clone(),
+        events: s.events.clone(),
+        phases,
+        specs: s.specs.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Trace state is process-global; every test below serializes on this
+    // lock and resets around itself.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _g = serial();
+        disable();
+        reset();
+        add(Counter::CacheHit, 3);
+        record_yield("k", 1, YieldReason::Branch, 4);
+        record_warp_entry(4, 2);
+        let _t = phase("k", "translate");
+        drop(_t);
+        assert_eq!(counter(Counter::CacheHit), 0);
+        assert_eq!(counter(Counter::YieldBranch), 0);
+        assert!(occupancy_histogram().is_empty());
+        assert!(snapshot().events.is_empty());
+        assert!(snapshot().phases.is_empty());
+    }
+
+    #[test]
+    fn enabled_records_counters_events_and_histogram() {
+        let _g = serial();
+        enable();
+        reset();
+        add(Counter::CacheHit, 2);
+        record_yield("k", 3, YieldReason::Barrier, 2);
+        record_warp_entry(2, 5);
+        record_warp_entry(4, 1);
+        assert_eq!(counter(Counter::CacheHit), 2);
+        assert_eq!(counter(Counter::YieldBarrier), 1);
+        assert_eq!(counter(Counter::WarpEntries), 2);
+        assert_eq!(counter(Counter::ThreadEntries), 6);
+        assert_eq!(counter(Counter::ScanSteps), 6);
+        let hist = occupancy_histogram();
+        assert_eq!(hist[2], 1);
+        assert_eq!(hist[4], 1);
+        let snap = snapshot();
+        assert_eq!(snap.events.len(), 1);
+        assert_eq!(snap.names, vec!["k".to_string()]);
+        disable();
+        reset();
+    }
+
+    #[test]
+    fn phase_guards_nest_and_accumulate() {
+        let _g = serial();
+        enable();
+        reset();
+        {
+            let _outer = phase("k", "specialize");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = phase("k", "opt:dce");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        let snap = snapshot();
+        let outer = snap.phases.iter().find(|(_, p, ..)| *p == "specialize").unwrap();
+        let inner = snap.phases.iter().find(|(_, p, ..)| *p == "opt:dce").unwrap();
+        assert_eq!(outer.2, 0, "outer phase at depth 0");
+        assert_eq!(inner.2, 1, "inner phase nested at depth 1");
+        assert!(inner.4 <= outer.4, "inner time contained in outer");
+        disable();
+        reset();
+    }
+
+    #[test]
+    fn event_ring_is_bounded() {
+        let _g = serial();
+        enable();
+        reset();
+        for i in 0..(EVENT_CAPACITY as u32 + 10) {
+            record_yield("k", i, YieldReason::Exit, 1);
+        }
+        assert_eq!(snapshot().events.len(), EVENT_CAPACITY);
+        assert_eq!(counter(Counter::EventsDropped), 10);
+        // Aggregate counters still see every yield.
+        assert_eq!(counter(Counter::YieldExit), EVENT_CAPACITY as u64 + 10);
+        disable();
+        reset();
+    }
+}

@@ -1,0 +1,431 @@
+//! Snapshotting recorded trace data into a serializable, printable
+//! report.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::json::Json;
+use crate::{snapshot, Event, SpecRecord};
+
+/// Accumulated wall time of one compile phase of one kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseReport {
+    /// Kernel (or function) the phase ran for.
+    pub kernel: String,
+    /// Phase name (`parse`, `translate`, `specialize`, `opt:<pass>`).
+    pub phase: String,
+    /// Nesting depth at which the phase ran (optimization passes run at
+    /// depth `specialize` + 1).
+    pub depth: usize,
+    /// Number of times the phase ran.
+    pub calls: u64,
+    /// Total wall time across all calls.
+    pub total_ns: u64,
+}
+
+/// One structured event with interned kernel names resolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventReport {
+    /// A warp returned to the execution manager.
+    Yield {
+        /// Kernel name.
+        kernel: String,
+        /// Entry point the warp resumes at.
+        entry_point: u32,
+        /// `"branch"`, `"barrier"` or `"exit"`.
+        reason: &'static str,
+        /// Warp width.
+        width: u32,
+    },
+    /// A translation-cache lookup.
+    CacheQuery {
+        /// Kernel name.
+        kernel: String,
+        /// Requested warp size.
+        warp_size: u32,
+        /// Requested variant.
+        variant: &'static str,
+        /// Served from cache?
+        hit: bool,
+    },
+    /// A compilation triggered by a cache miss.
+    Compile {
+        /// Kernel name.
+        kernel: String,
+        /// Compiled warp size.
+        warp_size: u32,
+        /// Compiled variant.
+        variant: &'static str,
+        /// Compilation wall time.
+        ns: u64,
+    },
+}
+
+/// A point-in-time snapshot of everything the tracer has recorded,
+/// serializable to JSON and printable as a summary table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceReport {
+    /// All counters, in declaration order, as `(name, value)`.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Warp-occupancy histogram (`occupancy[w]` = entries at width `w`).
+    pub occupancy: Vec<u64>,
+    /// Per-kernel compile-phase timings.
+    pub phases: Vec<PhaseReport>,
+    /// Vectorizer effectiveness per specialization.
+    pub specializations: Vec<SpecRecord>,
+    /// Structured events, oldest first (bounded; see
+    /// [`events_dropped`](Self::events_dropped)).
+    pub events: Vec<EventReport>,
+    /// Events discarded after the ring filled.
+    pub events_dropped: u64,
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+impl TraceReport {
+    /// Capture a snapshot of the current trace state.
+    pub fn capture() -> TraceReport {
+        let snap = snapshot();
+        let name_of = |id: u32| {
+            snap.names.get(id as usize).cloned().unwrap_or_else(|| format!("<kernel {id}>"))
+        };
+        let events = snap
+            .events
+            .iter()
+            .map(|e| match *e {
+                Event::Yield { kernel, entry_point, reason, width } => EventReport::Yield {
+                    kernel: name_of(kernel),
+                    entry_point,
+                    reason: reason.name(),
+                    width,
+                },
+                Event::CacheQuery { kernel, warp_size, variant, hit } => {
+                    EventReport::CacheQuery { kernel: name_of(kernel), warp_size, variant, hit }
+                }
+                Event::Compile { kernel, warp_size, variant, ns } => {
+                    EventReport::Compile { kernel: name_of(kernel), warp_size, variant, ns }
+                }
+            })
+            .collect();
+        let events_dropped =
+            snap.counters.iter().find(|(n, _)| *n == "events_dropped").map_or(0, |&(_, v)| v);
+        TraceReport {
+            counters: snap.counters,
+            occupancy: snap.occupancy,
+            phases: snap
+                .phases
+                .into_iter()
+                .map(|(kernel, phase, depth, calls, total_ns)| PhaseReport {
+                    kernel,
+                    phase: phase.to_string(),
+                    depth,
+                    calls,
+                    total_ns,
+                })
+                .collect(),
+            specializations: snap.specs,
+            events,
+            events_dropped,
+        }
+    }
+
+    /// Value of a counter by report name (0 for unknown names).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(n, _)| *n == name).map_or(0, |&(_, v)| v)
+    }
+
+    /// Serialize to a single-line JSON document.
+    pub fn to_json(&self) -> String {
+        let mut j = Json::new();
+        j.open_obj(None);
+        j.open_obj(Some("counters"));
+        for &(name, value) in &self.counters {
+            j.field_u64(name, value);
+        }
+        j.close_obj();
+        j.open_arr(Some("warp_occupancy"));
+        for &n in &self.occupancy {
+            j.elem_u64(n);
+        }
+        j.close_arr();
+        j.open_obj(Some("yield_reasons"));
+        j.field_u64("branch", self.counter("yield_branch"));
+        j.field_u64("barrier", self.counter("yield_barrier"));
+        j.field_u64("exit", self.counter("yield_exit"));
+        j.close_obj();
+        j.open_arr(Some("compile_phases"));
+        for p in &self.phases {
+            j.open_obj(None);
+            j.field_str("kernel", &p.kernel);
+            j.field_str("phase", &p.phase);
+            j.field_u64("depth", p.depth as u64);
+            j.field_u64("calls", p.calls);
+            j.field_u64("total_ns", p.total_ns);
+            j.close_obj();
+        }
+        j.close_arr();
+        j.open_arr(Some("specializations"));
+        for s in &self.specializations {
+            j.open_obj(None);
+            j.field_str("kernel", &s.kernel);
+            j.field_u64("warp_size", u64::from(s.warp_size));
+            j.field_str("variant", s.variant);
+            j.field_u64("pre_opt_instructions", s.pre_opt_instructions);
+            j.field_u64("post_opt_instructions", s.post_opt_instructions);
+            j.field_u64("replicated", s.replicated);
+            j.field_u64("promoted", s.promoted);
+            j.field_u64("pack_glue", s.pack_glue);
+            j.field_u64("unpack_glue", s.unpack_glue);
+            j.field_u64("dce_removed", s.dce_removed);
+            j.close_obj();
+        }
+        j.close_arr();
+        j.field_u64("events_dropped", self.events_dropped);
+        j.open_arr(Some("events"));
+        for e in &self.events {
+            j.open_obj(None);
+            match e {
+                EventReport::Yield { kernel, entry_point, reason, width } => {
+                    j.field_str("type", "yield");
+                    j.field_str("kernel", kernel);
+                    j.field_u64("entry_point", u64::from(*entry_point));
+                    j.field_str("reason", reason);
+                    j.field_u64("width", u64::from(*width));
+                }
+                EventReport::CacheQuery { kernel, warp_size, variant, hit } => {
+                    j.field_str("type", "cache_query");
+                    j.field_str("kernel", kernel);
+                    j.field_u64("warp_size", u64::from(*warp_size));
+                    j.field_str("variant", variant);
+                    j.field_bool("hit", *hit);
+                }
+                EventReport::Compile { kernel, warp_size, variant, ns } => {
+                    j.field_str("type", "compile");
+                    j.field_str("kernel", kernel);
+                    j.field_u64("warp_size", u64::from(*warp_size));
+                    j.field_str("variant", variant);
+                    j.field_u64("ns", *ns);
+                }
+            }
+            j.close_obj();
+        }
+        j.close_arr();
+        j.close_obj();
+        j.finish()
+    }
+
+    /// Render a human-readable multi-line summary.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "dpvk-trace summary");
+        let _ = writeln!(
+            out,
+            "  cache: {} hits / {} misses, compile {}",
+            self.counter("cache_hit"),
+            self.counter("cache_miss"),
+            fmt_ns(self.counter("cache_compile_ns")),
+        );
+        let _ = writeln!(
+            out,
+            "  yields: branch {}, barrier {}, exit {}",
+            self.counter("yield_branch"),
+            self.counter("yield_barrier"),
+            self.counter("yield_exit"),
+        );
+        let entries = self.counter("warp_entries");
+        if entries > 0 {
+            let mut mix = String::new();
+            for (w, &n) in self.occupancy.iter().enumerate() {
+                if n > 0 {
+                    let _ = write!(mix, " w{w}:{n}");
+                }
+            }
+            let _ = writeln!(
+                out,
+                "  warp occupancy:{} (avg {:.2}); formation scanned {} slots",
+                mix,
+                self.counter("thread_entries") as f64 / entries as f64,
+                self.counter("scan_steps"),
+            );
+        }
+        let (spill, restore) = (self.counter("spill_bytes"), self.counter("restore_bytes"));
+        if spill > 0 || restore > 0 {
+            let _ = writeln!(out, "  live state: {spill} B spilled, {restore} B restored");
+        }
+        if !self.phases.is_empty() {
+            let _ = writeln!(out, "  compile phases (kernel · phase · calls · total):");
+            for p in &self.phases {
+                let _ = writeln!(
+                    out,
+                    "    {:<24} {}{:<16} {:>5}  {}",
+                    p.kernel,
+                    "  ".repeat(p.depth),
+                    p.phase,
+                    p.calls,
+                    fmt_ns(p.total_ns),
+                );
+            }
+        }
+        if !self.specializations.is_empty() {
+            let _ = writeln!(
+                out,
+                "  specializations (kernel · w · variant · insts pre→post · vec/scalar · glue · dce):"
+            );
+            for s in &self.specializations {
+                let _ = writeln!(
+                    out,
+                    "    {:<24} {:>2}  {:<10} {:>4}→{:<4} {:>4}/{:<4} {:>4} {:>4}",
+                    s.kernel,
+                    s.warp_size,
+                    s.variant,
+                    s.pre_opt_instructions,
+                    s.post_opt_instructions,
+                    s.promoted,
+                    s.replicated,
+                    s.pack_glue + s.unpack_glue,
+                    s.dce_removed,
+                );
+            }
+        }
+        if self.events_dropped > 0 {
+            let _ = writeln!(
+                out,
+                "  events: {} recorded, {} dropped (ring full)",
+                self.events.len(),
+                self.events_dropped
+            );
+        }
+        out
+    }
+
+    /// Write the JSON report to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating directories or writing the file.
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json())
+    }
+
+    /// The default report location: `$DPVK_TRACE_OUT` if set, else
+    /// `target/dpvk-trace.json` relative to the working directory.
+    pub fn default_path() -> PathBuf {
+        std::env::var_os("DPVK_TRACE_OUT")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("target/dpvk-trace.json"))
+    }
+
+    /// Write the JSON report to [`default_path`](Self::default_path) and
+    /// return where it went.
+    ///
+    /// # Errors
+    ///
+    /// See [`write_to`](Self::write_to).
+    pub fn write_default(&self) -> io::Result<PathBuf> {
+        let path = Self::default_path();
+        self.write_to(&path)?;
+        Ok(path)
+    }
+}
+
+/// If tracing is enabled, capture a report, write it to the default
+/// path, print the summary to stdout, and return the path. No-op
+/// returning `None` when tracing is disabled.
+///
+/// This is the one-liner examples and bench binaries call last thing in
+/// `main`.
+///
+/// # Errors
+///
+/// Any I/O error writing the report file.
+pub fn write_if_enabled() -> io::Result<Option<PathBuf>> {
+    if !crate::enabled() {
+        return Ok(None);
+    }
+    let report = TraceReport::capture();
+    let path = report.write_default()?;
+    print!("{}", report.summary());
+    println!("  report: {}", path.display());
+    Ok(Some(path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_serializes() {
+        let report = TraceReport {
+            counters: vec![("cache_hit", 0)],
+            occupancy: vec![],
+            phases: vec![],
+            specializations: vec![],
+            events: vec![],
+            events_dropped: 0,
+        };
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"cache_hit\":0"));
+        assert!(!report.summary().is_empty());
+    }
+
+    #[test]
+    fn json_contains_all_sections() {
+        let report = TraceReport {
+            counters: vec![("yield_branch", 2), ("warp_entries", 1)],
+            occupancy: vec![0, 0, 0, 0, 3],
+            phases: vec![PhaseReport {
+                kernel: "k".into(),
+                phase: "translate".into(),
+                depth: 0,
+                calls: 1,
+                total_ns: 42,
+            }],
+            specializations: vec![crate::SpecRecord {
+                kernel: "k".into(),
+                warp_size: 4,
+                variant: "dynamic",
+                pre_opt_instructions: 100,
+                post_opt_instructions: 80,
+                replicated: 10,
+                promoted: 50,
+                pack_glue: 5,
+                unpack_glue: 6,
+                dce_removed: 20,
+            }],
+            events: vec![EventReport::Yield {
+                kernel: "k".into(),
+                entry_point: 2,
+                reason: "branch",
+                width: 4,
+            }],
+            events_dropped: 0,
+        };
+        let json = report.to_json();
+        for needle in [
+            "\"warp_occupancy\":[0,0,0,0,3]",
+            "\"compile_phases\":[{\"kernel\":\"k\",\"phase\":\"translate\"",
+            "\"specializations\":[{\"kernel\":\"k\",\"warp_size\":4",
+            "\"events\":[{\"type\":\"yield\"",
+            "\"yield_reasons\":{\"branch\":2",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+}

@@ -31,11 +31,8 @@ impl CostInfo {
     /// Analyze `f` under `model`.
     pub fn analyze(f: &Function, model: &MachineModel) -> Self {
         let max_live = max_live_machine_vregs(f, model);
-        let spill_extra_per_chunk = if max_live > model.vector_registers as u64 {
-            model.spill_penalty as u64
-        } else {
-            0
-        };
+        let spill_extra_per_chunk =
+            if max_live > model.vector_registers as u64 { model.spill_penalty as u64 } else { 0 };
         CostInfo { max_live_machine_vregs: max_live, spill_extra_per_chunk }
     }
 
@@ -60,11 +57,8 @@ fn max_live_machine_vregs(f: &Function, model: &MachineModel) -> u64 {
     };
     let mut max = 0u64;
     for (i, b) in f.blocks.iter().enumerate() {
-        let mut live: HashSet<VReg> = lv.live_out[i]
-            .iter()
-            .copied()
-            .filter(|&r| f.reg_type(r).is_vector())
-            .collect();
+        let mut live: HashSet<VReg> =
+            lv.live_out[i].iter().copied().filter(|&r| f.reg_type(r).is_vector()).collect();
         let mut cur: u64 = live.iter().map(|&r| weight(r)).sum();
         max = max.max(cur);
         for inst in b.insts.iter().rev() {
@@ -128,7 +122,10 @@ pub fn inst_cost(inst: &Inst, model: &MachineModel, info: &CostInfo) -> u64 {
         Cmp { ty, .. } => vec_cost(*ty, 1),
         Select { ty, .. } => vec_cost(*ty, 1),
         Cvt { to, from, width, .. } => {
-            let ty = Type { scalar: if to.size_bytes() > from.size_bytes() { *to } else { *from }, width: *width };
+            let ty = Type {
+                scalar: if to.size_bytes() > from.size_bytes() { *to } else { *from },
+                width: *width,
+            };
             vec_cost(ty, 2)
         }
         // Loads model L1-resident latency-hidden accesses (Sandybridge
@@ -168,12 +165,11 @@ pub fn term_cost(term: &Term) -> u64 {
 pub fn inst_flops(inst: &Inst) -> u64 {
     use Inst::*;
     match inst {
-        Bin { op, ty, .. } if ty.scalar.is_float() => match op {
-            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Min | BinOp::Max => {
-                ty.width as u64
-            }
-            _ => 0,
-        },
+        Bin {
+            op: BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Min | BinOp::Max,
+            ty,
+            ..
+        } if ty.scalar.is_float() => ty.width as u64,
         Fma { ty, .. } if ty.scalar.is_float() => 2 * ty.width as u64,
         Un { op, ty, .. } if ty.scalar.is_float() && op.is_transcendental() => ty.width as u64,
         _ => 0,

@@ -378,9 +378,7 @@ impl<'a, 'm> Machine<'a, 'm> {
                         let r = f_of(x, sty).mul_add(f_of(y, sty), f_of(z, sty));
                         Ok(f_enc(r, sty))
                     } else {
-                        let r = sext(x, sty)
-                            .wrapping_mul(sext(y, sty))
-                            .wrapping_add(sext(z, sty));
+                        let r = sext(x, sty).wrapping_mul(sext(y, sty)).wrapping_add(sext(z, sty));
                         Ok(mask_to(r as u64, sty))
                     }
                 };
@@ -530,6 +528,7 @@ impl<'a, 'm> Machine<'a, 'm> {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn exec_atom(
         &mut self,
         ty: STy,
@@ -579,12 +578,8 @@ impl<'a, 'm> Machine<'a, 'm> {
         };
         match space {
             dpvk_ir::Space::Global => match ty.size_bytes() {
-                4 => Ok(self
-                    .mem
-                    .global
-                    .atomic_rmw_u32(addr, |v| apply(v as u64) as u32)?
-                    as u64),
-                8 => self.mem.global.atomic_rmw_u64(addr, |v| apply(v)),
+                4 => Ok(self.mem.global.atomic_rmw_u32(addr, |v| apply(v as u64) as u32)? as u64),
+                8 => self.mem.global.atomic_rmw_u64(addr, apply),
                 n => Err(VmError::Unsupported(format!("{n}-byte atomic"))),
             },
             dpvk_ir::Space::Shared | dpvk_ir::Space::Local => {
@@ -653,16 +648,18 @@ pub fn execute_warp(
             cycles += inst_cost(inst, model, info);
             stats.flops += inst_flops(inst);
             match inst {
-                Inst::Load { .. } => {
+                Inst::Load { ty, .. } => {
                     stats.loads += 1;
                     if block.kind == BlockKind::EntryHandler {
                         stats.restore_loads += 1;
+                        stats.restore_bytes += ty.size_bytes() as u64;
                     }
                 }
-                Inst::Store { .. } => {
+                Inst::Store { ty, .. } => {
                     stats.stores += 1;
                     if block.kind == BlockKind::ExitHandler {
                         stats.spill_stores += 1;
+                        stats.spill_bytes += ty.size_bytes() as u64;
                     }
                 }
                 Inst::SetResumeStatus { status: s } => {
@@ -694,15 +691,10 @@ pub fn execute_warp(
                 let v = match value {
                     Value::Reg(r) => sext(bits, f.reg_type(*r).scalar),
                     Value::ImmI(i) => *i,
-                    Value::ImmF(_) => {
-                        return Err(VmError::Unsupported("float switch".into()))
-                    }
+                    Value::ImmF(_) => return Err(VmError::Unsupported("float switch".into())),
                 };
-                cur = cases
-                    .iter()
-                    .find(|(case, _)| *case == v)
-                    .map(|(_, b)| *b)
-                    .unwrap_or(*default);
+                cur =
+                    cases.iter().find(|(case, _)| *case == v).map(|(_, b)| *b).unwrap_or(*default);
             }
             Term::Ret => {
                 let status = status.unwrap_or(ResumeStatus::Exit);
@@ -720,13 +712,7 @@ pub fn execute_warp(
 fn init_regs(f: &Function) -> Vec<RVal> {
     f.regs
         .iter()
-        .map(|t| {
-            if t.is_vector() {
-                RVal::V(vec![0; t.width as usize])
-            } else {
-                RVal::S(0)
-            }
-        })
+        .map(|t| if t.is_vector() { RVal::V(vec![0; t.width as usize]) } else { RVal::S(0) })
         .collect()
 }
 
@@ -734,7 +720,7 @@ fn init_regs(f: &Function) -> Vec<RVal> {
 mod tests {
     use super::*;
     use crate::memory::GlobalMem;
-    use dpvk_ir::{Block, BlockId, VReg};
+    use dpvk_ir::{Block, BlockId};
 
     fn run(
         f: &Function,
@@ -751,13 +737,8 @@ mod tests {
         for (i, c) in ctxs.iter_mut().enumerate() {
             c.local_base = (i * 1024) as u64;
         }
-        let mut mem = MemAccess {
-            global,
-            shared: &mut shared,
-            local: &mut local,
-            param,
-            cbank: &[],
-        };
+        let mut mem =
+            MemAccess { global, shared: &mut shared, local: &mut local, param, cbank: &[] };
         let mut stats = ExecStats::default();
         let out = execute_warp(
             f,
@@ -780,8 +761,19 @@ mod tests {
         let t = Type::scalar(STy::I32);
         let a = f.new_reg(t);
         let mut b = Block::new("entry");
-        b.insts.push(Inst::Fma { ty: t, dst: a, a: Value::ImmI(6), b: Value::ImmI(7), c: Value::ImmI(4) });
-        b.insts.push(Inst::Store { ty: STy::I32, space: dpvk_ir::Space::Global, addr: Value::ImmI(0), value: Value::Reg(a) });
+        b.insts.push(Inst::Fma {
+            ty: t,
+            dst: a,
+            a: Value::ImmI(6),
+            b: Value::ImmI(7),
+            c: Value::ImmI(4),
+        });
+        b.insts.push(Inst::Store {
+            ty: STy::I32,
+            space: dpvk_ir::Space::Global,
+            addr: Value::ImmI(0),
+            value: Value::Reg(a),
+        });
         b.term = Term::Ret;
         f.add_block(b);
         let g = GlobalMem::new(16);
@@ -800,9 +792,20 @@ mod tests {
         let e = f.new_reg(Type::scalar(STy::F32));
         let mut b = Block::new("entry");
         b.insts.push(Inst::Splat { ty: vt, dst: v, a: Value::ImmF(2.0) });
-        b.insts.push(Inst::Fma { ty: vt, dst: v, a: Value::Reg(v), b: Value::Reg(v), c: Value::Reg(v) });
+        b.insts.push(Inst::Fma {
+            ty: vt,
+            dst: v,
+            a: Value::Reg(v),
+            b: Value::Reg(v),
+            c: Value::Reg(v),
+        });
         b.insts.push(Inst::Extract { ty: vt, dst: e, vec: Value::Reg(v), lane: 3 });
-        b.insts.push(Inst::Store { ty: STy::F32, space: dpvk_ir::Space::Global, addr: Value::ImmI(0), value: Value::Reg(e) });
+        b.insts.push(Inst::Store {
+            ty: STy::F32,
+            space: dpvk_ir::Space::Global,
+            addr: Value::ImmI(0),
+            value: Value::Reg(e),
+        });
         b.term = Term::Ret;
         f.add_block(b);
         let g = GlobalMem::new(16);
@@ -823,11 +826,37 @@ mod tests {
         entry.insts.push(Inst::Mov { ty: t, dst: i, a: Value::ImmI(0) });
         entry.insts.push(Inst::Mov { ty: t, dst: acc, a: Value::ImmI(0) });
         let mut head = Block::new("head");
-        head.insts.push(Inst::Bin { op: BinOp::Add, ty: t, signed: false, dst: acc, a: Value::Reg(acc), b: Value::Reg(i) });
-        head.insts.push(Inst::Bin { op: BinOp::Add, ty: t, signed: false, dst: i, a: Value::Reg(i), b: Value::ImmI(1) });
-        head.insts.push(Inst::Cmp { pred: CmpPred::Lt, ty: t, signed: true, dst: p, a: Value::Reg(i), b: Value::ImmI(10) });
+        head.insts.push(Inst::Bin {
+            op: BinOp::Add,
+            ty: t,
+            signed: false,
+            dst: acc,
+            a: Value::Reg(acc),
+            b: Value::Reg(i),
+        });
+        head.insts.push(Inst::Bin {
+            op: BinOp::Add,
+            ty: t,
+            signed: false,
+            dst: i,
+            a: Value::Reg(i),
+            b: Value::ImmI(1),
+        });
+        head.insts.push(Inst::Cmp {
+            pred: CmpPred::Lt,
+            ty: t,
+            signed: true,
+            dst: p,
+            a: Value::Reg(i),
+            b: Value::ImmI(10),
+        });
         let mut tail = Block::new("tail");
-        tail.insts.push(Inst::Store { ty: STy::I32, space: dpvk_ir::Space::Global, addr: Value::ImmI(0), value: Value::Reg(acc) });
+        tail.insts.push(Inst::Store {
+            ty: STy::I32,
+            space: dpvk_ir::Space::Global,
+            addr: Value::ImmI(0),
+            value: Value::Reg(acc),
+        });
         tail.term = Term::Ret;
         let e = f.add_block(entry);
         let h = f.add_block(Block::new("p"));
@@ -854,11 +883,21 @@ mod tests {
         };
         f.add_block(entry);
         let mut b1 = Block::new("zero");
-        b1.insts.push(Inst::Store { ty: STy::I32, space: dpvk_ir::Space::Global, addr: Value::ImmI(0), value: Value::ImmI(111) });
+        b1.insts.push(Inst::Store {
+            ty: STy::I32,
+            space: dpvk_ir::Space::Global,
+            addr: Value::ImmI(0),
+            value: Value::ImmI(111),
+        });
         b1.term = Term::Ret;
         f.add_block(b1);
         let mut b2 = Block::new("five");
-        b2.insts.push(Inst::Store { ty: STy::I32, space: dpvk_ir::Space::Global, addr: Value::ImmI(0), value: Value::ImmI(222) });
+        b2.insts.push(Inst::Store {
+            ty: STy::I32,
+            space: dpvk_ir::Space::Global,
+            addr: Value::ImmI(0),
+            value: Value::ImmI(222),
+        });
         b2.term = Term::Ret;
         f.add_block(b2);
 
@@ -868,9 +907,16 @@ mod tests {
         let mut ctxs = vec![ThreadContext::new([0; 3], [1, 1, 1], [0; 3], [1, 1, 1])];
         let mut shared = vec![];
         let mut local = vec![];
-        let mut mem = MemAccess { global: &g, shared: &mut shared, local: &mut local, param: &[], cbank: &[] };
+        let mut mem = MemAccess {
+            global: &g,
+            shared: &mut shared,
+            local: &mut local,
+            param: &[],
+            cbank: &[],
+        };
         let mut stats = ExecStats::default();
-        execute_warp(&f, &info, &model, &mut ctxs, 5, &mut mem, &mut stats, &ExecLimits::default()).unwrap();
+        execute_warp(&f, &info, &model, &mut ctxs, 5, &mut mem, &mut stats, &ExecLimits::default())
+            .unwrap();
         assert_eq!(u32::from_le_bytes(g.read::<4>(0).unwrap()), 222);
     }
 
@@ -900,7 +946,14 @@ mod tests {
         let t = Type::scalar(STy::I32);
         let a = f.new_reg(t);
         let mut b = Block::new("entry");
-        b.insts.push(Inst::Bin { op: BinOp::Div, ty: t, signed: true, dst: a, a: Value::ImmI(1), b: Value::ImmI(0) });
+        b.insts.push(Inst::Bin {
+            op: BinOp::Div,
+            ty: t,
+            signed: true,
+            dst: a,
+            a: Value::ImmI(1),
+            b: Value::ImmI(0),
+        });
         b.term = Term::Ret;
         f.add_block(b);
         let model = MachineModel::default();
@@ -909,9 +962,25 @@ mod tests {
         let mut ctxs = vec![ThreadContext::new([0; 3], [1, 1, 1], [0; 3], [1, 1, 1])];
         let mut shared = vec![];
         let mut local = vec![];
-        let mut mem = MemAccess { global: &g, shared: &mut shared, local: &mut local, param: &[], cbank: &[] };
+        let mut mem = MemAccess {
+            global: &g,
+            shared: &mut shared,
+            local: &mut local,
+            param: &[],
+            cbank: &[],
+        };
         let mut stats = ExecStats::default();
-        let err = execute_warp(&f, &info, &model, &mut ctxs, 0, &mut mem, &mut stats, &ExecLimits::default()).unwrap_err();
+        let err = execute_warp(
+            &f,
+            &info,
+            &model,
+            &mut ctxs,
+            0,
+            &mut mem,
+            &mut stats,
+            &ExecLimits::default(),
+        )
+        .unwrap_err();
         assert_eq!(err, VmError::DivisionByZero);
     }
 
@@ -927,10 +996,17 @@ mod tests {
         let mut ctxs = vec![ThreadContext::new([0; 3], [1, 1, 1], [0; 3], [1, 1, 1])];
         let mut shared = vec![];
         let mut local = vec![];
-        let mut mem = MemAccess { global: &g, shared: &mut shared, local: &mut local, param: &[], cbank: &[] };
+        let mut mem = MemAccess {
+            global: &g,
+            shared: &mut shared,
+            local: &mut local,
+            param: &[],
+            cbank: &[],
+        };
         let mut stats = ExecStats::default();
         let limits = ExecLimits { max_instructions: 1000 };
-        let err = execute_warp(&f, &info, &model, &mut ctxs, 0, &mut mem, &mut stats, &limits).unwrap_err();
+        let err = execute_warp(&f, &info, &model, &mut ctxs, 0, &mut mem, &mut stats, &limits)
+            .unwrap_err();
         assert!(matches!(err, VmError::Watchdog { .. }));
     }
 
@@ -940,7 +1016,10 @@ mod tests {
         assert_eq!(scalar_bin(BinOp::Shr, STy::I32, false, 0xFFFF_FFF0, 4).unwrap(), 0x0FFF_FFFF);
         assert_eq!(scalar_cmp(CmpPred::Lt, STy::I32, true, (-1i32) as u32 as u64, 0), 1);
         assert_eq!(scalar_cmp(CmpPred::Lt, STy::I32, false, (-1i32) as u32 as u64, 0), 0);
-        assert_eq!(scalar_bin(BinOp::Min, STy::I32, true, (-5i32) as u32 as u64, 3).unwrap(), (-5i32) as u32 as u64);
+        assert_eq!(
+            scalar_bin(BinOp::Min, STy::I32, true, (-5i32) as u32 as u64, 3).unwrap(),
+            (-5i32) as u32 as u64
+        );
     }
 
     #[test]
@@ -969,15 +1048,50 @@ mod tests {
         let outv = f.new_reg(Type::scalar(STy::I32));
         let mut b = Block::new("entry");
         b.insts.push(Inst::Splat { ty: vt, dst: v, a: Value::ImmI(1) });
-        b.insts.push(Inst::Insert { ty: vt, dst: v, vec: Value::Reg(v), elem: Value::ImmI(0), lane: 2 });
+        b.insts.push(Inst::Insert {
+            ty: vt,
+            dst: v,
+            vec: Value::Reg(v),
+            elem: Value::ImmI(0),
+            lane: 2,
+        });
         b.insts.push(Inst::Reduce { op: ReduceOp::Add, ty: vt, dst: sum, vec: Value::Reg(v) });
         b.insts.push(Inst::Reduce { op: ReduceOp::All, ty: vt, dst: all, vec: Value::Reg(v) });
         b.insts.push(Inst::Reduce { op: ReduceOp::Any, ty: vt, dst: any, vec: Value::Reg(v) });
-        b.insts.push(Inst::Store { ty: STy::I32, space: dpvk_ir::Space::Global, addr: Value::ImmI(0), value: Value::Reg(sum) });
-        b.insts.push(Inst::Cvt { to: STy::I32, from: STy::I1, signed: false, width: 1, dst: outv, a: Value::Reg(all) });
-        b.insts.push(Inst::Store { ty: STy::I32, space: dpvk_ir::Space::Global, addr: Value::ImmI(4), value: Value::Reg(outv) });
-        b.insts.push(Inst::Cvt { to: STy::I32, from: STy::I1, signed: false, width: 1, dst: outv, a: Value::Reg(any) });
-        b.insts.push(Inst::Store { ty: STy::I32, space: dpvk_ir::Space::Global, addr: Value::ImmI(8), value: Value::Reg(outv) });
+        b.insts.push(Inst::Store {
+            ty: STy::I32,
+            space: dpvk_ir::Space::Global,
+            addr: Value::ImmI(0),
+            value: Value::Reg(sum),
+        });
+        b.insts.push(Inst::Cvt {
+            to: STy::I32,
+            from: STy::I1,
+            signed: false,
+            width: 1,
+            dst: outv,
+            a: Value::Reg(all),
+        });
+        b.insts.push(Inst::Store {
+            ty: STy::I32,
+            space: dpvk_ir::Space::Global,
+            addr: Value::ImmI(4),
+            value: Value::Reg(outv),
+        });
+        b.insts.push(Inst::Cvt {
+            to: STy::I32,
+            from: STy::I1,
+            signed: false,
+            width: 1,
+            dst: outv,
+            a: Value::Reg(any),
+        });
+        b.insts.push(Inst::Store {
+            ty: STy::I32,
+            space: dpvk_ir::Space::Global,
+            addr: Value::ImmI(8),
+            value: Value::Reg(outv),
+        });
         b.term = Term::Ret;
         f.add_block(b);
         let g = GlobalMem::new(16);
@@ -993,8 +1107,26 @@ mod tests {
         let t = STy::I32;
         let old = f.new_reg(Type::scalar(STy::I32));
         let mut b = Block::new("entry");
-        b.insts.push(Inst::Atom { ty: t, space: dpvk_ir::Space::Global, op: AtomKind::Add, signed: false, dst: old, addr: Value::ImmI(0), a: Value::ImmI(5), b: None });
-        b.insts.push(Inst::Atom { ty: t, space: dpvk_ir::Space::Shared, op: AtomKind::Max, signed: true, dst: old, addr: Value::ImmI(0), a: Value::ImmI(9), b: None });
+        b.insts.push(Inst::Atom {
+            ty: t,
+            space: dpvk_ir::Space::Global,
+            op: AtomKind::Add,
+            signed: false,
+            dst: old,
+            addr: Value::ImmI(0),
+            a: Value::ImmI(5),
+            b: None,
+        });
+        b.insts.push(Inst::Atom {
+            ty: t,
+            space: dpvk_ir::Space::Shared,
+            op: AtomKind::Max,
+            signed: true,
+            dst: old,
+            addr: Value::ImmI(0),
+            a: Value::ImmI(9),
+            b: None,
+        });
         b.term = Term::Ret;
         f.add_block(b);
         let g = GlobalMem::new(16);
@@ -1007,8 +1139,18 @@ mod tests {
         let mut f = Function::new("t", 1);
         let r = f.new_reg(Type::scalar(STy::I32));
         let mut b = Block::new("entry");
-        b.insts.push(Inst::Load { ty: STy::I32, space: dpvk_ir::Space::Param, dst: r, addr: Value::ImmI(4) });
-        b.insts.push(Inst::Store { ty: STy::I32, space: dpvk_ir::Space::Global, addr: Value::ImmI(0), value: Value::Reg(r) });
+        b.insts.push(Inst::Load {
+            ty: STy::I32,
+            space: dpvk_ir::Space::Param,
+            dst: r,
+            addr: Value::ImmI(4),
+        });
+        b.insts.push(Inst::Store {
+            ty: STy::I32,
+            space: dpvk_ir::Space::Global,
+            addr: Value::ImmI(0),
+            value: Value::Reg(r),
+        });
         b.term = Term::Ret;
         f.add_block(b);
         let g = GlobalMem::new(16);
@@ -1033,14 +1175,20 @@ mod edge_tests {
             .collect();
         let mut shared = vec![0u8; 256];
         let mut local = vec![0u8; 256];
-        let mut mem = MemAccess { global: g, shared: &mut shared, local: &mut local, param: &[], cbank: &[] };
+        let mut mem =
+            MemAccess { global: g, shared: &mut shared, local: &mut local, param: &[], cbank: &[] };
         let mut stats = ExecStats::default();
         execute_warp(f, &info, &model, &mut ctxs, 0, &mut mem, &mut stats, &ExecLimits::default())
             .unwrap();
     }
 
     fn store32(f: &mut Function, b: &mut Block, addr: i64, v: VReg) {
-        b.insts.push(Inst::Store { ty: STy::I32, space: Space::Global, addr: Value::ImmI(addr), value: Value::Reg(v) });
+        b.insts.push(Inst::Store {
+            ty: STy::I32,
+            space: Space::Global,
+            addr: Value::ImmI(addr),
+            value: Value::Reg(v),
+        });
         let _ = f;
     }
 
@@ -1052,9 +1200,23 @@ mod edge_tests {
         let b_reg = f.new_reg(t);
         let mut b = Block::new("entry");
         // unsigned: 0xFFFFFFFF * 2 = 0x1_FFFF_FFFE -> hi = 1
-        b.insts.push(Inst::Bin { op: BinOp::MulHi, ty: t, signed: false, dst: a, a: Value::ImmI(0xFFFF_FFFF), b: Value::ImmI(2) });
+        b.insts.push(Inst::Bin {
+            op: BinOp::MulHi,
+            ty: t,
+            signed: false,
+            dst: a,
+            a: Value::ImmI(0xFFFF_FFFF),
+            b: Value::ImmI(2),
+        });
         // signed: -1 * 2 = -2 -> hi = -1 (0xFFFFFFFF)
-        b.insts.push(Inst::Bin { op: BinOp::MulHi, ty: t, signed: true, dst: b_reg, a: Value::ImmI(-1), b: Value::ImmI(2) });
+        b.insts.push(Inst::Bin {
+            op: BinOp::MulHi,
+            ty: t,
+            signed: true,
+            dst: b_reg,
+            a: Value::ImmI(-1),
+            b: Value::ImmI(2),
+        });
         store32(&mut f, &mut b, 0, a);
         store32(&mut f, &mut b, 4, b_reg);
         b.term = Term::Ret;
@@ -1075,10 +1237,28 @@ mod edge_tests {
         let e = f.new_reg(Type::scalar(STy::F32));
         let mut b = Block::new("entry");
         b.insts.push(Inst::Splat { ty: iv, dst: src, a: Value::ImmI(3) });
-        b.insts.push(Inst::Insert { ty: iv, dst: src, vec: Value::Reg(src), elem: Value::ImmI(-7), lane: 2 });
-        b.insts.push(Inst::Cvt { to: STy::F32, from: STy::I32, signed: true, width: 4, dst, a: Value::Reg(src) });
+        b.insts.push(Inst::Insert {
+            ty: iv,
+            dst: src,
+            vec: Value::Reg(src),
+            elem: Value::ImmI(-7),
+            lane: 2,
+        });
+        b.insts.push(Inst::Cvt {
+            to: STy::F32,
+            from: STy::I32,
+            signed: true,
+            width: 4,
+            dst,
+            a: Value::Reg(src),
+        });
         b.insts.push(Inst::Extract { ty: fv, dst: e, vec: Value::Reg(dst), lane: 2 });
-        b.insts.push(Inst::Store { ty: STy::F32, space: Space::Global, addr: Value::ImmI(0), value: Value::Reg(e) });
+        b.insts.push(Inst::Store {
+            ty: STy::F32,
+            space: Space::Global,
+            addr: Value::ImmI(0),
+            value: Value::Reg(e),
+        });
         b.term = Term::Ret;
         f.add_block(b);
         let g = GlobalMem::new(16);
@@ -1092,8 +1272,20 @@ mod edge_tests {
         let t = Type::scalar(STy::I64);
         let a = f.new_reg(t);
         let mut b = Block::new("entry");
-        b.insts.push(Inst::Bin { op: BinOp::Mul, ty: t, signed: false, dst: a, a: Value::ImmI(0x1_0000_0001), b: Value::ImmI(0x10) });
-        b.insts.push(Inst::Store { ty: STy::I64, space: Space::Global, addr: Value::ImmI(0), value: Value::Reg(a) });
+        b.insts.push(Inst::Bin {
+            op: BinOp::Mul,
+            ty: t,
+            signed: false,
+            dst: a,
+            a: Value::ImmI(0x1_0000_0001),
+            b: Value::ImmI(0x10),
+        });
+        b.insts.push(Inst::Store {
+            ty: STy::I64,
+            space: Space::Global,
+            addr: Value::ImmI(0),
+            value: Value::Reg(a),
+        });
         b.term = Term::Ret;
         f.add_block(b);
         let g = GlobalMem::new(16);
@@ -1107,8 +1299,20 @@ mod edge_tests {
         let t = Type::scalar(STy::F64);
         let a = f.new_reg(t);
         let mut b = Block::new("entry");
-        b.insts.push(Inst::Bin { op: BinOp::Div, ty: t, signed: false, dst: a, a: Value::ImmF(1.0), b: Value::ImmF(3.0) });
-        b.insts.push(Inst::Store { ty: STy::F64, space: Space::Global, addr: Value::ImmI(0), value: Value::Reg(a) });
+        b.insts.push(Inst::Bin {
+            op: BinOp::Div,
+            ty: t,
+            signed: false,
+            dst: a,
+            a: Value::ImmF(1.0),
+            b: Value::ImmF(3.0),
+        });
+        b.insts.push(Inst::Store {
+            ty: STy::F64,
+            space: Space::Global,
+            addr: Value::ImmI(0),
+            value: Value::Reg(a),
+        });
         b.term = Term::Ret;
         f.add_block(b);
         let g = GlobalMem::new(16);
@@ -1122,8 +1326,18 @@ mod edge_tests {
         let a = f.new_reg(Type::scalar(STy::I32));
         let mut b = Block::new("entry");
         b.insts.push(Inst::Mov { ty: Type::scalar(STy::I32), dst: a, a: Value::ImmI(0x1234_5678) });
-        b.insts.push(Inst::Store { ty: STy::I8, space: Space::Global, addr: Value::ImmI(0), value: Value::Reg(a) });
-        b.insts.push(Inst::Store { ty: STy::I16, space: Space::Global, addr: Value::ImmI(2), value: Value::Reg(a) });
+        b.insts.push(Inst::Store {
+            ty: STy::I8,
+            space: Space::Global,
+            addr: Value::ImmI(0),
+            value: Value::Reg(a),
+        });
+        b.insts.push(Inst::Store {
+            ty: STy::I16,
+            space: Space::Global,
+            addr: Value::ImmI(2),
+            value: Value::Reg(a),
+        });
         b.term = Term::Ret;
         f.add_block(b);
         let g = GlobalMem::new(16);
@@ -1138,7 +1352,12 @@ mod edge_tests {
         let mut f = Function::new("t", 1);
         let a = f.new_reg(Type::scalar(STy::I32));
         let mut b = Block::new("entry");
-        b.insts.push(Inst::Load { ty: STy::I32, space: Space::Shared, dst: a, addr: Value::ImmI(10_000) });
+        b.insts.push(Inst::Load {
+            ty: STy::I32,
+            space: Space::Shared,
+            dst: a,
+            addr: Value::ImmI(10_000),
+        });
         b.term = Term::Ret;
         f.add_block(b);
         let model = MachineModel::default();
@@ -1147,10 +1366,25 @@ mod edge_tests {
         let mut ctxs = vec![ThreadContext::new([0; 3], [1, 1, 1], [0; 3], [1, 1, 1])];
         let mut shared = vec![0u8; 64];
         let mut local = vec![];
-        let mut mem = MemAccess { global: &g, shared: &mut shared, local: &mut local, param: &[], cbank: &[] };
+        let mut mem = MemAccess {
+            global: &g,
+            shared: &mut shared,
+            local: &mut local,
+            param: &[],
+            cbank: &[],
+        };
         let mut stats = ExecStats::default();
-        let err = execute_warp(&f, &info, &model, &mut ctxs, 0, &mut mem, &mut stats, &ExecLimits::default())
-            .unwrap_err();
+        let err = execute_warp(
+            &f,
+            &info,
+            &model,
+            &mut ctxs,
+            0,
+            &mut mem,
+            &mut stats,
+            &ExecLimits::default(),
+        )
+        .unwrap_err();
         match err {
             VmError::OutOfBounds { space, space_size, .. } => {
                 assert_eq!(space, Space::Shared);

@@ -32,7 +32,10 @@ unsafe impl Sync for GlobalMem {}
 impl GlobalMem {
     /// Allocate a zeroed global arena of `size` bytes.
     pub fn new(size: usize) -> Arc<Self> {
-        Arc::new(GlobalMem { bytes: UnsafeCell::new(vec![0u8; size].into_boxed_slice()), len: size })
+        Arc::new(GlobalMem {
+            bytes: UnsafeCell::new(vec![0u8; size].into_boxed_slice()),
+            len: size,
+        })
     }
 
     /// Base pointer of the arena.
@@ -120,11 +123,7 @@ impl GlobalMem {
     ///
     /// Returns [`VmError::Unsupported`] for misaligned addresses and
     /// [`VmError::OutOfBounds`] for out-of-range ones.
-    pub fn atomic_rmw_u32(
-        &self,
-        addr: u64,
-        mut f: impl FnMut(u32) -> u32,
-    ) -> Result<u32, VmError> {
+    pub fn atomic_rmw_u32(&self, addr: u64, mut f: impl FnMut(u32) -> u32) -> Result<u32, VmError> {
         let off = self.check(addr, 4)?;
         if off % 4 != 0 {
             return Err(VmError::Unsupported(format!("misaligned u32 atomic at {addr:#x}")));
@@ -148,11 +147,7 @@ impl GlobalMem {
     ///
     /// Returns [`VmError::Unsupported`] for misaligned addresses and
     /// [`VmError::OutOfBounds`] for out-of-range ones.
-    pub fn atomic_rmw_u64(
-        &self,
-        addr: u64,
-        mut f: impl FnMut(u64) -> u64,
-    ) -> Result<u64, VmError> {
+    pub fn atomic_rmw_u64(&self, addr: u64, mut f: impl FnMut(u64) -> u64) -> Result<u64, VmError> {
         let off = self.check(addr, 8)?;
         if off % 8 != 0 {
             return Err(VmError::Unsupported(format!("misaligned u64 atomic at {addr:#x}")));
@@ -231,7 +226,13 @@ impl<'a> MemAccess<'a> {
     ///
     /// Returns [`VmError::OutOfBounds`] on a bad access and
     /// [`VmError::Unsupported`] for writes to read-only spaces.
-    pub fn write(&mut self, space: Space, addr: u64, size: usize, value: u64) -> Result<(), VmError> {
+    pub fn write(
+        &mut self,
+        space: Space,
+        addr: u64,
+        size: usize,
+        value: u64,
+    ) -> Result<(), VmError> {
         let bytes = value.to_le_bytes();
         match space {
             Space::Global => match size {

@@ -33,6 +33,10 @@ pub struct ExecStats {
     pub warp_entries: u64,
     /// Sum of warp sizes over all entries (thread-entries).
     pub thread_entries: u64,
+    /// Bytes stored by exit-handler live-state spills.
+    pub spill_bytes: u64,
+    /// Bytes loaded by entry-handler live-state restores.
+    pub restore_bytes: u64,
 }
 
 impl ExecStats {
@@ -54,6 +58,31 @@ impl ExecStats {
         self.spill_stores += other.spill_stores;
         self.warp_entries += other.warp_entries;
         self.thread_entries += other.thread_entries;
+        self.spill_bytes += other.spill_bytes;
+        self.restore_bytes += other.restore_bytes;
+    }
+
+    /// Fraction of modeled cycles spent in kernel body blocks.
+    pub fn body_fraction(&self) -> f64 {
+        self.fraction(self.cycles_body)
+    }
+
+    /// Fraction of modeled cycles spent in yield save/restore blocks.
+    pub fn yield_fraction(&self) -> f64 {
+        self.fraction(self.cycles_yield)
+    }
+
+    /// Fraction of modeled cycles charged by the execution manager.
+    pub fn manager_fraction(&self) -> f64 {
+        self.fraction(self.cycles_manager)
+    }
+
+    fn fraction(&self, part: u64) -> f64 {
+        let total = self.total_cycles();
+        if total == 0 {
+            return 0.0;
+        }
+        part as f64 / total as f64
     }
 
     /// Average warp size over all kernel entries.
@@ -82,14 +111,58 @@ impl ExecStats {
     }
 }
 
+impl std::fmt::Display for ExecStats {
+    /// Figure-9-style cycle breakdown plus the aggregate event counters.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "cycles: {:>12} total = body {:>5.1}% + yield {:>5.1}% + manager {:>5.1}%",
+            self.total_cycles(),
+            100.0 * self.body_fraction(),
+            100.0 * self.yield_fraction(),
+            100.0 * self.manager_fraction(),
+        )?;
+        writeln!(
+            f,
+            "instructions: {:>10}   flops: {:>10}   loads: {:>10}   stores: {:>10}",
+            self.instructions, self.flops, self.loads, self.stores
+        )?;
+        writeln!(
+            f,
+            "warp entries: {:>10}   avg warp size: {:.2}   avg restores/thread: {:.2}",
+            self.warp_entries,
+            self.average_warp_size(),
+            self.average_values_restored()
+        )?;
+        write!(
+            f,
+            "spill bytes: {:>11}   restore bytes: {:>10}",
+            self.spill_bytes, self.restore_bytes
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn merge_sums_everything() {
-        let mut a = ExecStats { cycles_body: 10, flops: 4, warp_entries: 1, thread_entries: 4, ..Default::default() };
-        let b = ExecStats { cycles_body: 5, cycles_manager: 2, flops: 2, warp_entries: 1, thread_entries: 2, ..Default::default() };
+        let mut a = ExecStats {
+            cycles_body: 10,
+            flops: 4,
+            warp_entries: 1,
+            thread_entries: 4,
+            ..Default::default()
+        };
+        let b = ExecStats {
+            cycles_body: 5,
+            cycles_manager: 2,
+            flops: 2,
+            warp_entries: 1,
+            thread_entries: 2,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.cycles_body, 15);
         assert_eq!(a.cycles_manager, 2);
@@ -99,7 +172,13 @@ mod tests {
 
     #[test]
     fn gflops_uses_total_cycles() {
-        let s = ExecStats { cycles_body: 50, cycles_yield: 25, cycles_manager: 25, flops: 200, ..Default::default() };
+        let s = ExecStats {
+            cycles_body: 50,
+            cycles_yield: 25,
+            cycles_manager: 25,
+            flops: 200,
+            ..Default::default()
+        };
         // 200 flops / 100 cycles * 1 GHz = 2 GFLOP/s.
         assert!((s.gflops(1.0) - 2.0).abs() < 1e-12);
     }
@@ -110,5 +189,37 @@ mod tests {
         assert_eq!(s.average_warp_size(), 0.0);
         assert_eq!(s.average_values_restored(), 0.0);
         assert_eq!(s.gflops(3.4), 0.0);
+        assert_eq!(s.body_fraction(), 0.0);
+    }
+
+    #[test]
+    fn fractions_partition_total_cycles() {
+        let s = ExecStats {
+            cycles_body: 60,
+            cycles_yield: 30,
+            cycles_manager: 10,
+            ..Default::default()
+        };
+        assert!((s.body_fraction() - 0.6).abs() < 1e-12);
+        assert!((s.yield_fraction() - 0.3).abs() < 1e-12);
+        assert!((s.manager_fraction() - 0.1).abs() < 1e-12);
+        let sum = s.body_fraction() + s.yield_fraction() + s.manager_fraction();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_reports_breakdown_and_bytes() {
+        let s = ExecStats {
+            cycles_body: 50,
+            cycles_yield: 25,
+            cycles_manager: 25,
+            spill_bytes: 128,
+            restore_bytes: 64,
+            ..Default::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("body  50.0%"), "{text}");
+        assert!(text.contains("spill bytes"), "{text}");
+        assert!(text.contains("128"), "{text}");
     }
 }

@@ -166,9 +166,8 @@ done:
             config,
         )?;
         let got = dev.copy_f32_dtoh(pout, OPTIONS)?;
-        let want: Vec<f32> = (0..OPTIONS)
-            .map(|i| reference(spots[i], strikes[i], pu, pd, disc, up, down))
-            .collect();
+        let want: Vec<f32> =
+            (0..OPTIONS).map(|i| reference(spots[i], strikes[i], pu, pd, disc, up, down)).collect();
         check_f32(self.name(), &got, &want, 5e-3)?;
         Ok(Outcome { stats })
     }

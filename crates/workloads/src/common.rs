@@ -5,8 +5,6 @@ use std::fmt;
 
 use dpvk_core::{CoreError, Device, ExecConfig, LaunchStats};
 use dpvk_vm::MachineModel;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Error from running a workload.
 #[derive(Debug)]
@@ -106,34 +104,71 @@ pub trait WorkloadExt: Workload {
 
 impl<W: Workload + ?Sized> WorkloadExt for W {}
 
-/// Deterministic RNG for input generation (one stream per workload name).
-pub fn rng_for(name: &str) -> StdRng {
-    let mut seed = [0u8; 32];
-    for (i, b) in name.bytes().enumerate() {
-        seed[i % 32] ^= b;
+/// Deterministic SplitMix64 generator for input data.
+///
+/// Self-contained so the workspace builds with no external crates; input
+/// generation only needs reproducible, well-mixed streams, not
+/// cryptographic or statistical-suite quality.
+#[derive(Debug, Clone)]
+pub struct Prng(u64);
+
+impl Prng {
+    /// Generator seeded with raw state.
+    pub fn new(seed: u64) -> Self {
+        Prng(seed)
     }
-    seed[31] ^= 0x5A;
-    StdRng::from_seed(seed)
+
+    /// Next raw 64 bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next raw 32 bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    pub fn gen_range_f32(&mut self, lo: f32, hi: f32) -> f32 {
+        let unit = (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32;
+        lo + unit * (hi - lo)
+    }
+
+    /// Uniform `u32` in `[0, bound)`.
+    pub fn gen_range_u32(&mut self, bound: u32) -> u32 {
+        ((u64::from(self.next_u32()) * u64::from(bound)) >> 32) as u32
+    }
+}
+
+/// Deterministic RNG for input generation (one stream per workload name).
+pub fn rng_for(name: &str) -> Prng {
+    // FNV-1a over the name, perturbed so short names don't collide with
+    // their prefixes.
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    Prng(h ^ 0x5A5A_5A5A_5A5A_5A5A)
 }
 
 /// Uniform `f32` inputs in `[lo, hi)`.
-pub fn random_f32(rng: &mut StdRng, n: usize, lo: f32, hi: f32) -> Vec<f32> {
-    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+pub fn random_f32(rng: &mut Prng, n: usize, lo: f32, hi: f32) -> Vec<f32> {
+    (0..n).map(|_| rng.gen_range_f32(lo, hi)).collect()
 }
 
 /// Uniform `u32` inputs in `[0, bound)`.
-pub fn random_u32(rng: &mut StdRng, n: usize, bound: u32) -> Vec<u32> {
-    (0..n).map(|_| rng.gen_range(0..bound)).collect()
+pub fn random_u32(rng: &mut Prng, n: usize, bound: u32) -> Vec<u32> {
+    (0..n).map(|_| rng.gen_range_u32(bound)).collect()
 }
 
 /// Compare `got` against `want` with combined absolute/relative tolerance;
 /// returns a [`WorkloadError::Mismatch`] naming the first bad element.
-pub fn check_f32(
-    workload: &str,
-    got: &[f32],
-    want: &[f32],
-    tol: f32,
-) -> Result<(), WorkloadError> {
+pub fn check_f32(workload: &str, got: &[f32], want: &[f32], tol: f32) -> Result<(), WorkloadError> {
     if got.len() != want.len() {
         return Err(WorkloadError::Mismatch {
             workload: workload.to_string(),
@@ -143,7 +178,8 @@ pub fn check_f32(
     for (i, (g, w)) in got.iter().zip(want).enumerate() {
         let err = (g - w).abs();
         let scale = w.abs().max(1.0);
-        if !(err <= tol * scale) {
+        // NaN must fail the check, so compare with the negation inverted.
+        if err.is_nan() || err > tol * scale {
             return Err(WorkloadError::Mismatch {
                 workload: workload.to_string(),
                 detail: format!("element {i}: got {g}, want {w} (|err| {err})"),

@@ -128,14 +128,10 @@ mod tests {
 
     #[test]
     fn cp_has_large_vector_speedup() {
-        let s1 = CoulombicPotential
-            .run_checked(&ExecConfig::baseline().with_workers(1))
-            .unwrap()
-            .stats;
-        let s4 = CoulombicPotential
-            .run_checked(&ExecConfig::dynamic(4).with_workers(1))
-            .unwrap()
-            .stats;
+        let s1 =
+            CoulombicPotential.run_checked(&ExecConfig::baseline().with_workers(1)).unwrap().stats;
+        let s4 =
+            CoulombicPotential.run_checked(&ExecConfig::dynamic(4).with_workers(1)).unwrap().stats;
         let speedup = s1.exec.total_cycles() as f64 / s4.exec.total_cycles() as f64;
         // The paper reports 3.9x for cp; our model should be well above 2x.
         assert!(speedup > 2.0, "speedup {speedup}");

@@ -52,12 +52,12 @@ mod throughput;
 mod transpose;
 mod vecadd;
 
-pub use common::{Outcome, Workload, WorkloadError, WorkloadExt};
+pub use common::{rng_for, Outcome, Prng, Workload, WorkloadError, WorkloadExt};
 
 /// All workloads of the suite, in report order.
 pub fn all_workloads() -> Vec<Box<dyn Workload>> {
     vec![
-        Box::new(throughput::Throughput::default()),
+        Box::new(throughput::Throughput),
         Box::new(vecadd::VecAdd),
         Box::new(blackscholes::BlackScholes),
         Box::new(binomial::BinomialOptions),

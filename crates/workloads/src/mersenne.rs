@@ -124,14 +124,10 @@ mod tests {
     fn dynamic_formation_is_slower_than_baseline() {
         // The paper's MersenneTwister observation: uncorrelated divergence
         // makes dynamic warp formation lose to plain scalar execution.
-        let base = MersenneTwister
-            .run_checked(&ExecConfig::baseline().with_workers(1))
-            .unwrap()
-            .stats;
-        let dynamic = MersenneTwister
-            .run_checked(&ExecConfig::dynamic(4).with_workers(1))
-            .unwrap()
-            .stats;
+        let base =
+            MersenneTwister.run_checked(&ExecConfig::baseline().with_workers(1)).unwrap().stats;
+        let dynamic =
+            MersenneTwister.run_checked(&ExecConfig::dynamic(4).with_workers(1)).unwrap().stats;
         assert!(
             dynamic.exec.total_cycles() > base.exec.total_cycles(),
             "dynamic {} <= baseline {}",

@@ -55,13 +55,8 @@ entry:
     fn run(&self, dev: &Device, config: &ExecConfig) -> Result<Outcome, WorkloadError> {
         let n = (CTAS * CTA) as usize;
         let po = dev.malloc(n * 4)?;
-        let stats = dev.launch(
-            "simplevote",
-            [CTAS, 1, 1],
-            [CTA, 1, 1],
-            &[ParamValue::Ptr(po)],
-            config,
-        )?;
+        let stats =
+            dev.launch("simplevote", [CTAS, 1, 1], [CTA, 1, 1], &[ParamValue::Ptr(po)], config)?;
         let got = dev.copy_u32_dtoh(po, n)?;
         // The vote results depend on the dynamically formed warp. With a
         // 2-thread CTA a warp is either both threads (all=false, any=true,
@@ -105,10 +100,7 @@ mod tests {
     fn warps_are_capped_at_cta_size() {
         // Two-thread CTAs can never form warps wider than 2 (Figure 7's
         // SimpleVoteIntrinsics observation).
-        let stats = SimpleVote
-            .run_checked(&ExecConfig::dynamic(4).with_workers(1))
-            .unwrap()
-            .stats;
+        let stats = SimpleVote.run_checked(&ExecConfig::dynamic(4).with_workers(1)).unwrap().stats;
         assert_eq!(stats.warp_hist[4], 0, "{:?}", stats.warp_hist);
         assert_eq!(stats.warp_hist[3], 0);
         assert!(stats.warp_hist[2] > 0);

@@ -4,7 +4,6 @@
 use dpvk_core::{Device, ExecConfig, ParamValue};
 
 use crate::common::{check_u32, rng_for, Outcome, Workload, WorkloadError};
-use rand::Rng;
 
 const N: usize = 1024;
 const DIRECTIONS: usize = 32;
@@ -64,7 +63,7 @@ done:
 
     fn run(&self, dev: &Device, config: &ExecConfig) -> Result<Outcome, WorkloadError> {
         let mut rng = rng_for(self.name());
-        let dirs: Vec<u32> = (0..DIRECTIONS).map(|_| rng.gen()).collect();
+        let dirs: Vec<u32> = (0..DIRECTIONS).map(|_| rng.next_u32()).collect();
         let pd = dev.malloc(DIRECTIONS * 4)?;
         let po = dev.malloc(N * 4)?;
         dev.copy_u32_htod(pd, &dirs)?;

@@ -120,18 +120,9 @@ mod tests {
 
     #[test]
     fn vector_speedup_has_table1_shape() {
-        let s1 = Throughput
-            .run_checked(&ExecConfig::dynamic(1).with_workers(1))
-            .unwrap()
-            .stats;
-        let s4 = Throughput
-            .run_checked(&ExecConfig::dynamic(4).with_workers(1))
-            .unwrap()
-            .stats;
-        let s8 = Throughput
-            .run_checked(&ExecConfig::dynamic(8).with_workers(1))
-            .unwrap()
-            .stats;
+        let s1 = Throughput.run_checked(&ExecConfig::dynamic(1).with_workers(1)).unwrap().stats;
+        let s4 = Throughput.run_checked(&ExecConfig::dynamic(4).with_workers(1)).unwrap().stats;
+        let s8 = Throughput.run_checked(&ExecConfig::dynamic(8).with_workers(1)).unwrap().stats;
         let c1 = s1.exec.total_cycles() as f64;
         let c4 = s4.exec.total_cycles() as f64;
         let c8 = s8.exec.total_cycles() as f64;

@@ -17,8 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let base = scalar.exec.total_cycles() as f64;
     println!("\npolicy              cycles      speedup");
     println!("----------------------------------------");
-    for (label, s) in [("scalar baseline", &scalar), ("dynamic w2", &vec2), ("dynamic w4", &vec4)]
-    {
+    for (label, s) in [("scalar baseline", &scalar), ("dynamic w2", &vec2), ("dynamic w4", &vec4)] {
         let c = s.exec.total_cycles();
         println!("{label:<18}  {c:>9}  {:>6.2}x", base / c as f64);
     }

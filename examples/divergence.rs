@@ -2,7 +2,8 @@
 //! paths, executed under the three warp-formation policies, with the
 //! divergence statistics the execution manager collects.
 //!
-//! Run with `cargo run --example divergence`.
+//! Run with `cargo run --example divergence`; set `DPVK_TRACE=1` to also
+//! write a structured trace report to `target/dpvk-trace.json`.
 
 use dpvk::core::{Device, ExecConfig, ParamValue};
 use dpvk::vm::MachineModel;
@@ -50,7 +51,7 @@ done:
 fn collatz_steps(mut x: u32) -> u32 {
     let mut steps = 0;
     while x > 1 {
-        x = if x % 2 == 0 { x / 2 } else { 3 * x + 1 };
+        x = if x.is_multiple_of(2) { x / 2 } else { 3 * x + 1 };
         steps += 1;
     }
     steps
@@ -87,12 +88,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             e.total_cycles(),
             e.warp_entries,
             e.average_warp_size(),
-            100.0 * e.cycles_manager as f64 / e.total_cycles() as f64,
-            100.0 * e.cycles_yield as f64 / e.total_cycles() as f64,
+            100.0 * e.manager_fraction(),
+            100.0 * e.yield_fraction(),
         );
     }
     println!("\nCollatz trip counts are uncorrelated across threads, so dynamic");
     println!("warp formation pays heavy yield traffic — the paper's MersenneTwister");
     println!("phenomenon. Static formation recovers by running stragglers scalar.");
+    dpvk::trace::write_if_enabled()?;
     Ok(())
 }

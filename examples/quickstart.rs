@@ -64,18 +64,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(out.iter().enumerate().all(|(i, &v)| v == 2.0 * i as f32 + 1.0));
 
     println!("saxpy over {n} elements: OK");
-    println!(
-        "modeled cycles: {} (subkernel {}, yields {}, execution manager {})",
-        stats.exec.total_cycles(),
-        stats.exec.cycles_body,
-        stats.exec.cycles_yield,
-        stats.exec.cycles_manager,
-    );
-    println!("average warp size: {:.2}", stats.exec.average_warp_size());
-    println!(
-        "translation cache: {} misses (compiles), {} hits",
-        dev.cache_stats().misses,
-        dev.cache_stats().hits
-    );
+    println!("{}", stats.exec);
+    println!("{}", dev.cache_stats());
+    dpvk::trace::write_if_enabled()?;
     Ok(())
 }

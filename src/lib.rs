@@ -16,6 +16,8 @@
 //! * [`core`] — translation, vectorization, translation cache, execution
 //!   manager, and the CUDA-runtime-like [`Device`](core::Device) API.
 //! * [`workloads`] — the 22-kernel benchmark suite of the evaluation.
+//! * [`trace`] — structured tracing, metrics and profiling hooks across
+//!   the compile + execute pipeline (set `DPVK_TRACE=1` to enable).
 //!
 //! ## Quickstart
 //!
@@ -80,5 +82,6 @@
 pub use dpvk_core as core;
 pub use dpvk_ir as ir;
 pub use dpvk_ptx as ptx;
+pub use dpvk_trace as trace;
 pub use dpvk_vm as vm;
 pub use dpvk_workloads as workloads;

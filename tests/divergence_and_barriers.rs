@@ -108,8 +108,7 @@ entry:
     for config in [ExecConfig::baseline(), ExecConfig::dynamic(4)] {
         let dev = device(src);
         let po = dev.malloc(32 * 4).unwrap();
-        dev.launch("early_exit", [1, 1, 1], [32, 1, 1], &[ParamValue::Ptr(po)], &config)
-            .unwrap();
+        dev.launch("early_exit", [1, 1, 1], [32, 1, 1], &[ParamValue::Ptr(po)], &config).unwrap();
         let got = dev.copy_u32_dtoh(po, 32).unwrap();
         for (i, &v) in got.iter().enumerate() {
             let want = if i % 2 == 1 { 111 } else { 222 };
@@ -159,18 +158,12 @@ fill:
   ret;
 }
 "#;
-    let value = |i: u32| if i % 4 == 0 { i * 100 } else { i * 2 };
+    let value = |i: u32| if i.is_multiple_of(4) { i * 100 } else { i * 2 };
     for config in [ExecConfig::baseline(), ExecConfig::dynamic(4), ExecConfig::dynamic(2)] {
         let dev = device(src);
         let po = dev.malloc(32 * 4).unwrap();
-        dev.launch(
-            "diverge_then_share",
-            [1, 1, 1],
-            [32, 1, 1],
-            &[ParamValue::Ptr(po)],
-            &config,
-        )
-        .unwrap();
+        dev.launch("diverge_then_share", [1, 1, 1], [32, 1, 1], &[ParamValue::Ptr(po)], &config)
+            .unwrap();
         let got = dev.copy_u32_dtoh(po, 32).unwrap();
         for (i, &v) in got.iter().enumerate() {
             assert_eq!(v, value((i as u32 + 1) % 32), "thread {i}, config {config:?}");

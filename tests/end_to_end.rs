@@ -73,11 +73,9 @@ fn all_policies_agree_across_block_shapes() {
 fn machine_models_do_not_change_results() {
     let n = 128;
     let want = expected(n);
-    for model in [
-        MachineModel::sandybridge_sse(),
-        MachineModel::sandybridge_avx(),
-        MachineModel::wide16(),
-    ] {
+    for model in
+        [MachineModel::sandybridge_sse(), MachineModel::sandybridge_avx(), MachineModel::wide16()]
+    {
         let got = run_shift_add(&ExecConfig::dynamic(4), model, 64, n);
         assert_eq!(got, want);
     }

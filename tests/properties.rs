@@ -1,11 +1,13 @@
-//! Property-based tests: randomly generated kernels must compute the same
+//! Property-style tests: randomly generated kernels must compute the same
 //! results under every execution policy, and the front end must
-//! round-trip.
+//! round-trip. Inputs come from a seeded deterministic generator (no
+//! external property-testing dependency), so every failure reproduces
+//! exactly.
 
 use dpvk::core::{Device, ExecConfig, ParamValue};
 use dpvk::ptx;
 use dpvk::vm::MachineModel;
-use proptest::prelude::*;
+use dpvk::workloads::Prng;
 
 /// One random straight-line integer instruction over registers
 /// `%v0..%v{NREGS}`.
@@ -19,37 +21,49 @@ enum Op {
 
 const NREGS: usize = 6;
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    let reg = 0..NREGS;
-    let bin = (
-        prop::sample::select(vec!["add.u32", "sub.u32", "mul.lo.u32", "and.b32", "or.b32", "xor.b32", "min.u32", "max.u32", "min.s32", "max.s32"]),
-        reg.clone(),
-        reg.clone(),
-        reg.clone(),
-    )
-        .prop_map(|(m, d, a, b)| Op::Bin { mnemonic: m, dst: d, a, b });
-    let binimm = (
-        prop::sample::select(vec!["add.u32", "mul.lo.u32", "xor.b32"]),
-        0..NREGS,
-        0..NREGS,
-        any::<u32>(),
-    )
-        .prop_map(|(m, d, a, imm)| Op::BinImm { mnemonic: m, dst: d, a, imm });
-    let shift = (
-        prop::sample::select(vec!["shl.u32", "shr.u32", "shr.s32"]),
-        0..NREGS,
-        0..NREGS,
-        0u32..32,
-    )
-        .prop_map(|(m, d, a, amount)| Op::Shift { mnemonic: m, dst: d, a, amount });
-    let selp = (0..NREGS, 0..NREGS, 0..NREGS, 0..NREGS, 0..NREGS)
-        .prop_map(|(d, a, b, x, y)| Op::SelpGe { dst: d, a, b, x, y });
-    prop_oneof![4 => bin, 2 => binimm, 2 => shift, 1 => selp]
+fn random_op(rng: &mut Prng) -> Op {
+    fn reg(rng: &mut Prng) -> usize {
+        rng.gen_range_u32(NREGS as u32) as usize
+    }
+    // Weights mirror the original distribution: 4 binary : 2 immediate :
+    // 2 shift : 1 select.
+    match rng.gen_range_u32(9) {
+        0..=3 => {
+            const MNEMONICS: [&str; 10] = [
+                "add.u32",
+                "sub.u32",
+                "mul.lo.u32",
+                "and.b32",
+                "or.b32",
+                "xor.b32",
+                "min.u32",
+                "max.u32",
+                "min.s32",
+                "max.s32",
+            ];
+            let m = MNEMONICS[rng.gen_range_u32(MNEMONICS.len() as u32) as usize];
+            Op::Bin { mnemonic: m, dst: reg(rng), a: reg(rng), b: reg(rng) }
+        }
+        4 | 5 => {
+            const MNEMONICS: [&str; 3] = ["add.u32", "mul.lo.u32", "xor.b32"];
+            let m = MNEMONICS[rng.gen_range_u32(MNEMONICS.len() as u32) as usize];
+            Op::BinImm { mnemonic: m, dst: reg(rng), a: reg(rng), imm: rng.next_u32() }
+        }
+        6 | 7 => {
+            const MNEMONICS: [&str; 3] = ["shl.u32", "shr.u32", "shr.s32"];
+            let m = MNEMONICS[rng.gen_range_u32(MNEMONICS.len() as u32) as usize];
+            Op::Shift { mnemonic: m, dst: reg(rng), a: reg(rng), amount: rng.gen_range_u32(32) }
+        }
+        _ => Op::SelpGe { dst: reg(rng), a: reg(rng), b: reg(rng), x: reg(rng), y: reg(rng) },
+    }
 }
 
-/// Render the ops as a kernel: seed registers from tid, apply ops, store
-/// the xor of all registers.
-fn kernel_source(ops: &[Op]) -> String {
+fn random_ops(rng: &mut Prng, min: usize, max: usize) -> Vec<Op> {
+    let n = min + rng.gen_range_u32((max - min) as u32) as usize;
+    (0..n).map(|_| random_op(rng)).collect()
+}
+
+fn kernel_body_fragment(ops: &[Op]) -> String {
     let mut body = String::new();
     for op in ops {
         match op {
@@ -68,6 +82,13 @@ fn kernel_source(ops: &[Op]) -> String {
             }
         }
     }
+    body
+}
+
+/// Render the ops as a kernel: seed registers from tid, apply ops, store
+/// the xor of all registers.
+fn kernel_source(ops: &[Op]) -> String {
+    let body = kernel_body_fragment(ops);
     let mut seed = String::new();
     for i in 0..NREGS {
         seed.push_str(&format!("  mad.lo.u32 %v{i}, %r0, {}, {};\n", 2 * i + 1, 7 * i + 3));
@@ -101,41 +122,34 @@ fn run(src: &str, config: &ExecConfig, n: u32) -> Vec<u32> {
     let dev = Device::new(MachineModel::sandybridge_sse(), 1 << 20);
     dev.register_source(src).unwrap();
     let po = dev.malloc(n as usize * 4).unwrap();
-    dev.launch(
-        "prop",
-        [n.div_ceil(16), 1, 1],
-        [16, 1, 1],
-        &[ParamValue::Ptr(po)],
-        config,
-    )
-    .unwrap();
+    dev.launch("prop", [n.div_ceil(16), 1, 1], [16, 1, 1], &[ParamValue::Ptr(po)], config).unwrap();
     dev.copy_u32_dtoh(po, n as usize).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-
-    /// Vectorized execution of random straight-line kernels matches the
-    /// scalar baseline exactly.
-    #[test]
-    fn vectorization_preserves_straightline_semantics(
-        ops in prop::collection::vec(op_strategy(), 1..24)
-    ) {
+/// Vectorized execution of random straight-line kernels matches the
+/// scalar baseline exactly.
+#[test]
+fn vectorization_preserves_straightline_semantics() {
+    let mut rng = Prng::new(0x5717_a117);
+    for case in 0..24 {
+        let ops = random_ops(&mut rng, 1, 24);
         let src = kernel_source(&ops);
         let scalar = run(&src, &ExecConfig::baseline(), 32);
         let vec4 = run(&src, &ExecConfig::dynamic(4), 32);
         let tie = run(&src, &ExecConfig::static_tie(4), 32);
-        prop_assert_eq!(&scalar, &vec4);
-        prop_assert_eq!(&scalar, &tie);
+        assert_eq!(scalar, vec4, "case {case}: dynamic w4 diverged\n{src}");
+        assert_eq!(scalar, tie, "case {case}: static_tie w4 diverged\n{src}");
     }
+}
 
-    /// Adding a data-dependent branch over half the ops preserves
-    /// semantics under yield-on-diverge.
-    #[test]
-    fn vectorization_preserves_divergent_semantics(
-        ops in prop::collection::vec(op_strategy(), 2..16),
-        bit in 0u32..4,
-    ) {
+/// Adding a data-dependent branch over half the ops preserves semantics
+/// under yield-on-diverge.
+#[test]
+fn vectorization_preserves_divergent_semantics() {
+    let mut rng = Prng::new(0xd1ae_05e7);
+    for case in 0..24 {
+        let ops = random_ops(&mut rng, 2, 16);
+        let bit = rng.gen_range_u32(4);
         // Wrap the second half of the ops in `if (tid >> bit) & 1`.
         let half = ops.len() / 2;
         let prefix = kernel_body_fragment(&ops[..half]);
@@ -175,42 +189,24 @@ entry:
         let scalar = run(&src, &ExecConfig::baseline(), 32);
         let vec4 = run(&src, &ExecConfig::dynamic(4), 32);
         let vec2 = run(&src, &ExecConfig::dynamic(2), 32);
-        prop_assert_eq!(&scalar, &vec4);
-        prop_assert_eq!(&scalar, &vec2);
+        assert_eq!(scalar, vec4, "case {case}: dynamic w4 diverged\n{src}");
+        assert_eq!(scalar, vec2, "case {case}: dynamic w2 diverged\n{src}");
     }
+}
 
-    /// The printer's output parses back to an equivalent kernel.
-    #[test]
-    fn printer_round_trips(ops in prop::collection::vec(op_strategy(), 1..16)) {
+/// The printer's output parses back to an equivalent kernel.
+#[test]
+fn printer_round_trips() {
+    let mut rng = Prng::new(0x0707_1e55);
+    for case in 0..24 {
+        let ops = random_ops(&mut rng, 1, 16);
         let src = kernel_source(&ops);
         let k1 = ptx::parse_kernel(&src).unwrap();
         let text = ptx::print_kernel(&k1);
         let k2 = ptx::parse_kernel(&text).unwrap();
-        prop_assert_eq!(k1.blocks.len(), k2.blocks.len());
+        assert_eq!(k1.blocks.len(), k2.blocks.len(), "case {case}");
         for (b1, b2) in k1.blocks.iter().zip(&k2.blocks) {
-            prop_assert_eq!(&b1.instructions, &b2.instructions);
+            assert_eq!(b1.instructions, b2.instructions, "case {case}");
         }
     }
-}
-
-fn kernel_body_fragment(ops: &[Op]) -> String {
-    let mut body = String::new();
-    for op in ops {
-        match op {
-            Op::Bin { mnemonic, dst, a, b } => {
-                body.push_str(&format!("  {mnemonic} %v{dst}, %v{a}, %v{b};\n"));
-            }
-            Op::BinImm { mnemonic, dst, a, imm } => {
-                body.push_str(&format!("  {mnemonic} %v{dst}, %v{a}, {imm};\n"));
-            }
-            Op::Shift { mnemonic, dst, a, amount } => {
-                body.push_str(&format!("  {mnemonic} %v{dst}, %v{a}, {amount};\n"));
-            }
-            Op::SelpGe { dst, a, b, x, y } => {
-                body.push_str(&format!("  setp.ge.u32 %p0, %v{a}, %v{b};\n"));
-                body.push_str(&format!("  selp.u32 %v{dst}, %v{x}, %v{y}, %p0;\n"));
-            }
-        }
-    }
-    body
 }

@@ -1,0 +1,266 @@
+//! Integration tests of the dpvk-trace observability layer: a
+//! known-divergent kernel must produce the expected yield-reason counts,
+//! a non-trivial warp-occupancy histogram, and properly nested compile
+//! phase timers — and with tracing disabled, no events at all and
+//! bit-identical execution statistics.
+
+use std::sync::Mutex;
+
+use dpvk::core::{Device, ExecConfig, LaunchStats, ParamValue};
+use dpvk::trace::{self, EventReport, TraceReport};
+use dpvk::vm::MachineModel;
+
+/// The tracer is process-global; tests in this binary serialize on this
+/// lock and reset state around themselves.
+static TRACE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Collatz step counts: threads iterate data-dependent trip counts, so
+/// warps diverge heavily (branch yields) and drain at different times
+/// (partial-width warps in the occupancy histogram).
+const DIVERGENT: &str = r#"
+.kernel collatz_steps (.param .u64 seeds, .param .u64 out, .param .u32 n) {
+  .reg .u32 %r<8>;
+  .reg .u64 %rd<4>;
+  .reg .pred %p<4>;
+entry:
+  mov.u32 %r0, %tid.x;
+  mad.lo.u32 %r0, %ctaid.x, %ntid.x, %r0;
+  ld.param.u32 %r1, [n];
+  setp.ge.u32 %p0, %r0, %r1;
+  @%p0 bra done;
+  shl.u32 %r2, %r0, 2;
+  cvt.u64.u32 %rd0, %r2;
+  ld.param.u64 %rd1, [seeds];
+  add.u64 %rd1, %rd1, %rd0;
+  ld.global.u32 %r3, [%rd1];
+  mov.u32 %r4, 0;
+loop:
+  setp.le.u32 %p1, %r3, 1;
+  @%p1 bra store;
+  and.b32 %r5, %r3, 1;
+  setp.eq.u32 %p2, %r5, 0;
+  @%p2 bra even;
+  mad.lo.u32 %r3, %r3, 3, 1;
+  bra next;
+even:
+  shr.u32 %r3, %r3, 1;
+next:
+  add.u32 %r4, %r4, 1;
+  bra loop;
+store:
+  ld.param.u64 %rd2, [out];
+  add.u64 %rd2, %rd2, %rd0;
+  st.global.u32 [%rd2], %r4;
+done:
+  ret;
+}
+"#;
+
+/// A barrier kernel so barrier yields show up too.
+const BARRIER: &str = r#"
+.kernel twophase (.param .u64 out) {
+  .shared .u32 tile[32];
+  .reg .u32 %r<4>;
+  .reg .u64 %rd<4>;
+entry:
+  mov.u32 %r0, %tid.x;
+  cvt.u64.u32 %rd0, %r0;
+  shl.u64 %rd0, %rd0, 2;
+  mov.u64 %rd1, tile;
+  add.u64 %rd1, %rd1, %rd0;
+  st.shared.u32 [%rd1], %r0;
+  bar.sync 0;
+  xor.b32 %r1, %r0, 31;
+  cvt.u64.u32 %rd2, %r1;
+  shl.u64 %rd2, %rd2, 2;
+  mov.u64 %rd3, tile;
+  add.u64 %rd3, %rd3, %rd2;
+  ld.shared.u32 %r2, [%rd3];
+  ld.param.u64 %rd3, [out];
+  add.u64 %rd3, %rd3, %rd0;
+  st.global.u32 [%rd3], %r2;
+  ret;
+}
+"#;
+
+fn run_divergent(config: &ExecConfig) -> LaunchStats {
+    let n = 128usize;
+    let dev = Device::new(MachineModel::sandybridge_sse(), 4 << 20);
+    dev.register_source(DIVERGENT).unwrap();
+    let seeds: Vec<u32> = (0..n as u32).map(|i| i * 7 + 1).collect();
+    let ps = dev.malloc(n * 4).unwrap();
+    let po = dev.malloc(n * 4).unwrap();
+    dev.copy_u32_htod(ps, &seeds).unwrap();
+    dev.launch(
+        "collatz_steps",
+        [(n as u32).div_ceil(32), 1, 1],
+        [32, 1, 1],
+        &[ParamValue::Ptr(ps), ParamValue::Ptr(po), ParamValue::U32(n as u32)],
+        config,
+    )
+    .unwrap()
+}
+
+fn run_barrier(config: &ExecConfig) -> LaunchStats {
+    let dev = Device::new(MachineModel::sandybridge_sse(), 1 << 20);
+    dev.register_source(BARRIER).unwrap();
+    let po = dev.malloc(32 * 4).unwrap();
+    dev.launch("twophase", [1, 1, 1], [32, 1, 1], &[ParamValue::Ptr(po)], config).unwrap()
+}
+
+#[test]
+fn divergent_kernel_yields_and_occupancy() {
+    let _guard = TRACE_LOCK.lock().unwrap();
+    trace::reset();
+    trace::enable();
+
+    run_divergent(&ExecConfig::dynamic(4).with_workers(1));
+    run_barrier(&ExecConfig::dynamic(4).with_workers(1));
+    let report = TraceReport::capture();
+    trace::disable();
+    trace::reset();
+
+    // Collatz trip counts are data-dependent: warps must yield at
+    // divergent branches many times before draining via exit.
+    assert!(report.counter("yield_branch") > 0, "no branch yields recorded");
+    assert!(report.counter("yield_exit") > 0, "no exit yields recorded");
+    assert!(report.counter("yield_barrier") > 0, "no barrier yields recorded");
+
+    // Occupancy: full warps while the pool is deep, partial-width warps
+    // as stragglers drain — the histogram must not be single-bucket.
+    let nonzero = report.occupancy.iter().filter(|&&c| c > 0).count();
+    assert!(nonzero >= 2, "expected a non-trivial occupancy histogram, got {:?}", report.occupancy);
+    assert!(report.occupancy.len() > 4 && report.occupancy[4] > 0, "no full warps formed");
+    let entries: u64 = report.occupancy.iter().sum();
+    assert_eq!(entries, report.counter("warp_entries"));
+
+    // Structured events carry the same story, tagged with the kernel.
+    let mut yields = 0usize;
+    let mut reasons = std::collections::HashSet::new();
+    for e in &report.events {
+        if let EventReport::Yield { kernel, reason, width, .. } = e {
+            assert!(
+                kernel == "collatz_steps" || kernel == "twophase",
+                "unexpected kernel `{kernel}`"
+            );
+            assert!((1..=4).contains(width));
+            reasons.insert(*reason);
+            yields += 1;
+        }
+    }
+    assert!(yields > 0, "no yield events in the ring");
+    assert!(reasons.contains("branch") && reasons.contains("exit"), "{reasons:?}");
+
+    // Cache traffic: every (warp size, variant) specialization compiled
+    // once; re-entries at the same width hit.
+    assert!(report.counter("cache_miss") > 0);
+    assert!(report.counter("cache_hit") > 0);
+
+    // The vectorizer promoted something at width 4.
+    assert!(report.counter("spec_promoted") > 0, "nothing was vector-promoted");
+}
+
+#[test]
+fn compile_phase_timers_nest() {
+    let _guard = TRACE_LOCK.lock().unwrap();
+    trace::reset();
+    trace::enable();
+
+    run_divergent(&ExecConfig::dynamic(4).with_workers(1));
+    let report = TraceReport::capture();
+    trace::disable();
+    trace::reset();
+
+    let total_of = |phase: &str| -> u64 {
+        report.phases.iter().filter(|p| p.phase == phase).map(|p| p.total_ns).sum()
+    };
+    let depths_of = |prefix: &str| -> Vec<usize> {
+        report.phases.iter().filter(|p| p.phase.starts_with(prefix)).map(|p| p.depth).collect()
+    };
+
+    // Every top-level compiler phase ran and was timed.
+    for phase in ["parse", "translate", "specialize"] {
+        assert!(
+            report.phases.iter().any(|p| p.phase == phase),
+            "phase `{phase}` missing from {:?}",
+            report.phases
+        );
+        assert!(depths_of(phase).iter().all(|&d| d == 0), "`{phase}` not at depth 0");
+    }
+
+    // Optimization passes run nested inside specialize, one level down,
+    // and their total time is bounded by the enclosing specialize time.
+    let opt_depths = depths_of("opt:");
+    assert!(!opt_depths.is_empty(), "no opt:* phases recorded");
+    assert!(opt_depths.iter().all(|&d| d == 1), "opt passes not nested at depth 1");
+    let opt_ns: u64 =
+        report.phases.iter().filter(|p| p.phase.starts_with("opt:")).map(|p| p.total_ns).sum();
+    assert!(
+        opt_ns <= total_of("specialize"),
+        "nested opt time {opt_ns} exceeds specialize time {}",
+        total_of("specialize")
+    );
+
+    // Specialize ran once per compiled (warp size, variant) pairing.
+    let spec_calls: u64 =
+        report.phases.iter().filter(|p| p.phase == "specialize").map(|p| p.calls).sum();
+    assert_eq!(spec_calls, report.counter("cache_miss"));
+}
+
+#[test]
+fn disabled_tracing_records_nothing_and_preserves_stats() {
+    let _guard = TRACE_LOCK.lock().unwrap();
+    trace::reset();
+    trace::disable();
+
+    let disabled_stats = run_divergent(&ExecConfig::dynamic(4).with_workers(1));
+    let report = TraceReport::capture();
+
+    for (name, value) in &report.counters {
+        assert_eq!(*value, 0, "counter `{name}` advanced while disabled");
+    }
+    assert!(report.events.is_empty(), "events recorded while disabled");
+    assert!(report.phases.is_empty(), "phases recorded while disabled");
+    assert!(report.specializations.is_empty());
+    assert!(report.occupancy.iter().all(|&c| c == 0), "{:?}", report.occupancy);
+
+    // Tracing must not perturb execution: identical launch, identical
+    // deterministic statistics with tracing on.
+    trace::enable();
+    let enabled_stats = run_divergent(&ExecConfig::dynamic(4).with_workers(1));
+    trace::disable();
+    trace::reset();
+    assert_eq!(disabled_stats, enabled_stats);
+}
+
+#[test]
+fn report_round_trips_to_json() {
+    let _guard = TRACE_LOCK.lock().unwrap();
+    trace::reset();
+    trace::enable();
+
+    run_divergent(&ExecConfig::dynamic(4).with_workers(1));
+    let report = TraceReport::capture();
+    trace::disable();
+    trace::reset();
+
+    let json = report.to_json();
+    // Structural sanity without a JSON parser dependency: balanced
+    // braces, the expected top-level sections, and no raw control bytes.
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    for section in [
+        "\"counters\"",
+        "\"warp_occupancy\"",
+        "\"yield_reasons\"",
+        "\"compile_phases\"",
+        "\"specializations\"",
+        "\"events\"",
+    ] {
+        assert!(json.contains(section), "missing {section}");
+    }
+    assert!(json.contains("\"collatz_steps\""));
+    assert!(!json.bytes().any(|b| b < 0x20 && b != b'\n'), "unescaped control bytes");
+
+    let summary = report.summary();
+    assert!(summary.contains("warp occupancy"), "{summary}");
+}
