@@ -81,6 +81,13 @@ pub struct CacheStats {
     pub misses: u64,
     /// Total nanoseconds spent compiling.
     pub compile_ns: u64,
+    /// Specializations that failed to compile (verify error, unsupported
+    /// construct). Each failed key is recorded once; repeat requests are
+    /// answered from the failure memo.
+    pub spec_failures: u64,
+    /// Requests downgraded to the scalar baseline because the requested
+    /// specialization had failed.
+    pub downgrades: u64,
 }
 
 impl std::fmt::Display for CacheStats {
@@ -94,7 +101,15 @@ impl std::fmt::Display for CacheStats {
             self.hits,
             self.misses,
             self.compile_ns as f64 / 1e6
-        )
+        )?;
+        if self.spec_failures != 0 || self.downgrades != 0 {
+            write!(
+                f,
+                ", {} failed specializations, {} downgrades to scalar",
+                self.spec_failures, self.downgrades
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -102,6 +117,9 @@ impl std::fmt::Display for CacheStats {
 struct Inner {
     translated: HashMap<String, Arc<TranslatedKernel>>,
     compiled: HashMap<(String, u32, Variant), Arc<CompiledKernel>>,
+    /// Specializations that failed to compile, memoized so each launch
+    /// does not retry (and re-pay for) a known-bad compilation.
+    failed: HashMap<(String, u32, Variant), CoreError>,
     stats: CacheStats,
 }
 
@@ -187,14 +205,38 @@ impl TranslationCache {
                 dpvk_trace::record_cache_query(kernel, warp_size, variant.label(), true);
                 return Ok(c);
             }
+            if let Some(e) = inner.failed.get(&key) {
+                return Err(e.clone());
+            }
         }
         dpvk_trace::record_cache_query(kernel, warp_size, variant.label(), false);
         let tk = self.translated(kernel)?;
         let start = Instant::now();
-        let Specialized { function, pre_opt_instructions, post_opt_instructions, .. } = {
+        let specialized = {
             let _phase = dpvk_trace::phase(kernel, "specialize");
-            specialize(&tk, &variant.options(warp_size))?
+            self.specialize_checked(&tk, kernel, warp_size, variant)
         };
+        let Specialized { function, pre_opt_instructions, post_opt_instructions, .. } =
+            match specialized {
+                Ok(s) => s,
+                Err(e) => {
+                    // Memoize compile-type failures so later queries (and
+                    // the downgrade path) answer without recompiling.
+                    if matches!(e, CoreError::Verify(_) | CoreError::Unsupported { .. }) {
+                        dpvk_trace::add(dpvk_trace::Counter::SpecFailures, 1);
+                        dpvk_trace::record_downgrade(
+                            kernel,
+                            warp_size,
+                            variant.label(),
+                            &e.to_string(),
+                        );
+                        let mut inner = self.inner.lock();
+                        inner.stats.spec_failures += 1;
+                        inner.failed.entry(key).or_insert_with(|| e.clone());
+                    }
+                    return Err(e);
+                }
+            };
         let cost = CostInfo::analyze(&function, &self.model);
         let compiled = Arc::new(CompiledKernel {
             function: Arc::new(function),
@@ -208,6 +250,57 @@ impl TranslationCache {
         inner.stats.misses += 1;
         inner.stats.compile_ns += elapsed;
         Ok(Arc::clone(inner.compiled.entry(key).or_insert(compiled)))
+    }
+
+    /// Run `specialize`, with the fault-injection hook (forced verify
+    /// failure for a chosen width) applied first when enabled.
+    fn specialize_checked(
+        &self,
+        tk: &TranslatedKernel,
+        kernel: &str,
+        warp_size: u32,
+        variant: Variant,
+    ) -> Result<Specialized, CoreError> {
+        #[cfg(feature = "fault-inject")]
+        if let Some(e) = crate::faults::injected_specialize_failure(kernel, warp_size, variant) {
+            return Err(e);
+        }
+        #[cfg(not(feature = "fault-inject"))]
+        let _ = kernel;
+        specialize(tk, &variant.options(warp_size))
+    }
+
+    /// Like [`TranslationCache::get`], but degrade gracefully: when the
+    /// requested specialization fails to *compile* (verify error or
+    /// unsupported construct), fall back to the width-1 scalar baseline
+    /// instead of failing the launch. Returns the compiled kernel plus
+    /// `true` when a downgrade happened.
+    ///
+    /// Entry-point numbering is assigned during translation on the
+    /// canonical scalar kernel and shared by every variant, so resuming a
+    /// grid mid-flight on the baseline function is safe.
+    ///
+    /// # Errors
+    ///
+    /// Propagates non-compile failures (unregistered kernel, parse
+    /// errors), and any failure of the baseline itself.
+    pub fn get_or_downgrade(
+        &self,
+        kernel: &str,
+        warp_size: u32,
+        variant: Variant,
+    ) -> Result<(Arc<CompiledKernel>, bool), CoreError> {
+        match self.get(kernel, warp_size, variant) {
+            Ok(c) => Ok((c, false)),
+            Err(CoreError::Verify(_) | CoreError::Unsupported { .. })
+                if !(warp_size == 1 && variant == Variant::Baseline) =>
+            {
+                self.inner.lock().stats.downgrades += 1;
+                let c = self.get(kernel, 1, Variant::Baseline)?;
+                Ok((c, true))
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Current statistics.
@@ -295,6 +388,26 @@ done:
     fn unknown_kernel_is_not_found() {
         let cache = cache_with_kernel();
         assert!(matches!(cache.get("absent", 4, Variant::Dynamic), Err(CoreError::NotFound(_))));
+    }
+
+    #[test]
+    fn get_or_downgrade_passes_through_on_success() {
+        let cache = cache_with_kernel();
+        let (c, downgraded) = cache.get_or_downgrade("k", 4, Variant::Dynamic).unwrap();
+        assert!(!downgraded);
+        assert_eq!(c.function.warp_size, 4);
+        let stats = cache.stats();
+        assert_eq!(stats.downgrades, 0);
+        assert_eq!(stats.spec_failures, 0);
+    }
+
+    #[test]
+    fn get_or_downgrade_propagates_not_found() {
+        let cache = cache_with_kernel();
+        assert!(matches!(
+            cache.get_or_downgrade("absent", 4, Variant::Dynamic),
+            Err(CoreError::NotFound(_))
+        ));
     }
 
     #[test]

@@ -6,6 +6,31 @@ use dpvk_ir::VerifyError;
 use dpvk_ptx::PtxError;
 use dpvk_vm::VmError;
 
+/// Where inside a launch a fault happened: which kernel, CTA, entry
+/// point, and threads were running when the VM raised an error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultContext {
+    /// Kernel name.
+    pub kernel: String,
+    /// Flat CTA index within the grid.
+    pub cta: u32,
+    /// Resume entry point the faulting warp was executing (0 = kernel
+    /// start).
+    pub warp_entry: i64,
+    /// Flat thread indices (within the CTA) that formed the warp.
+    pub thread_ids: Vec<u32>,
+}
+
+impl fmt::Display for FaultContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "kernel `{}`, CTA {}, entry {}, threads {:?}",
+            self.kernel, self.cta, self.warp_entry, self.thread_ids
+        )
+    }
+}
+
 /// Error from translation, vectorization, caching or kernel execution.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CoreError {
@@ -15,6 +40,26 @@ pub enum CoreError {
     Verify(VerifyError),
     /// Runtime failure inside the vector machine.
     Vm(VmError),
+    /// Runtime failure inside the vector machine, with full provenance:
+    /// the execution manager wraps every [`VmError`] it sees in the
+    /// context of the warp that raised it.
+    Fault {
+        /// Where the fault happened.
+        context: FaultContext,
+        /// The underlying VM error.
+        source: VmError,
+    },
+    /// A worker thread panicked while executing a CTA; the panic was
+    /// contained by the execution manager and sibling workers were
+    /// cancelled.
+    WorkerPanic {
+        /// Index of the panicking worker thread.
+        worker: usize,
+        /// Flat CTA index the worker was executing.
+        cta: u32,
+        /// Stringified panic payload.
+        payload: String,
+    },
     /// A construct the translator does not support.
     Unsupported {
         /// Kernel name.
@@ -30,12 +75,37 @@ pub enum CoreError {
     Memory(String),
 }
 
+impl CoreError {
+    /// Whether this error is (or wraps) a cooperative cancellation, as
+    /// opposed to a genuine fault.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(
+            self,
+            CoreError::Vm(VmError::Cancelled) | CoreError::Fault { source: VmError::Cancelled, .. }
+        )
+    }
+
+    /// Whether this error is (or wraps) a launch-deadline expiry.
+    pub fn is_deadline(&self) -> bool {
+        matches!(
+            self,
+            CoreError::Vm(VmError::Deadline) | CoreError::Fault { source: VmError::Deadline, .. }
+        )
+    }
+}
+
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::Ptx(e) => write!(f, "front-end error: {e}"),
             CoreError::Verify(e) => write!(f, "IR verification failed: {e}"),
             CoreError::Vm(e) => write!(f, "execution error: {e}"),
+            CoreError::Fault { context, source } => {
+                write!(f, "execution fault at {context}: {source}")
+            }
+            CoreError::WorkerPanic { worker, cta, payload } => {
+                write!(f, "worker {worker} panicked while executing CTA {cta}: {payload}")
+            }
             CoreError::Unsupported { kernel, message } => {
                 write!(f, "unsupported construct in `{kernel}`: {message}")
             }
@@ -52,6 +122,7 @@ impl std::error::Error for CoreError {
             CoreError::Ptx(e) => Some(e),
             CoreError::Verify(e) => Some(e),
             CoreError::Vm(e) => Some(e),
+            CoreError::Fault { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -87,5 +158,42 @@ mod tests {
         assert!(e.to_string().contains("division"));
         let e = CoreError::Unsupported { kernel: "k".into(), message: "guarded store".into() };
         assert!(e.to_string().contains("k"));
+    }
+
+    #[test]
+    fn fault_display_carries_full_provenance() {
+        let e = CoreError::Fault {
+            context: FaultContext {
+                kernel: "vecadd".into(),
+                cta: 3,
+                warp_entry: 2,
+                thread_ids: vec![4, 5, 6, 7],
+            },
+            source: VmError::DivisionByZero,
+        };
+        let s = e.to_string();
+        for needle in ["vecadd", "CTA 3", "entry 2", "[4, 5, 6, 7]", "division"] {
+            assert!(s.contains(needle), "missing `{needle}` in `{s}`");
+        }
+    }
+
+    #[test]
+    fn worker_panic_display_names_worker_and_cta() {
+        let e = CoreError::WorkerPanic { worker: 1, cta: 9, payload: "boom".into() };
+        let s = e.to_string();
+        assert!(s.contains("worker 1") && s.contains("CTA 9") && s.contains("boom"), "{s}");
+    }
+
+    #[test]
+    fn cancellation_predicates() {
+        let ctx = FaultContext { kernel: "k".into(), cta: 0, warp_entry: 0, thread_ids: vec![] };
+        assert!(CoreError::Vm(VmError::Cancelled).is_cancelled());
+        assert!(
+            CoreError::Fault { context: ctx.clone(), source: VmError::Cancelled }.is_cancelled()
+        );
+        assert!(!CoreError::Vm(VmError::DivisionByZero).is_cancelled());
+        assert!(CoreError::Vm(VmError::Deadline).is_deadline());
+        assert!(CoreError::Fault { context: ctx, source: VmError::Deadline }.is_deadline());
+        assert!(!CoreError::Vm(VmError::Cancelled).is_deadline());
     }
 }

@@ -10,12 +10,16 @@
 //! thread has arrived, and terminated threads are discarded.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
 
 use dpvk_ir::ResumeStatus;
-use dpvk_vm::{execute_warp, ExecLimits, ExecStats, GlobalMem, MemAccess, ThreadContext};
+use dpvk_vm::{
+    execute_warp, CancelToken, ExecLimits, ExecStats, GlobalMem, MemAccess, ThreadContext, VmError,
+};
 
 use crate::cache::{TranslationCache, Variant};
-use crate::error::CoreError;
+use crate::error::{CoreError, FaultContext};
 
 /// How warps are formed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -158,6 +162,47 @@ pub fn run_grid(
     global: &GlobalMem,
     config: &ExecConfig,
 ) -> Result<LaunchStats, CoreError> {
+    run_grid_cancellable(cache, kernel, grid, block, param, cbank, global, config, None)
+}
+
+/// What one worker thread brings home: stats for the CTAs it ran (kept
+/// even on failure, so Figure-9-style breakdowns stay honest under
+/// degradation), the error that stopped it (if any), and the CTA it was
+/// on when it stopped short of its partition.
+struct WorkerOutcome {
+    stats: LaunchStats,
+    error: Option<CoreError>,
+    stopped_at: Option<u32>,
+}
+
+/// [`run_grid`] with cooperative cancellation.
+///
+/// Every worker's CTA loop runs under `catch_unwind`: a panic in one CTA
+/// becomes [`CoreError::WorkerPanic`] instead of tearing down the
+/// process, and the launch's cancellation token is tripped so sibling
+/// workers stop at their next poll instead of burning CPU on a doomed
+/// launch. The caller's `cancel` token (when given) *is* the launch
+/// token — cancelling it from another thread stops the launch, and the
+/// runtime cancels it itself on an internal fault, so a token is good
+/// for one launch only.
+///
+/// # Errors
+///
+/// The first error raised by any worker, with genuine faults preferred
+/// over secondary cancellations. VM faults arrive as
+/// [`CoreError::Fault`] carrying kernel/CTA/warp provenance.
+#[allow(clippy::too_many_arguments)]
+pub fn run_grid_cancellable(
+    cache: &TranslationCache,
+    kernel: &str,
+    grid: [u32; 3],
+    block: [u32; 3],
+    param: &[u8],
+    cbank: &[u8],
+    global: &GlobalMem,
+    config: &ExecConfig,
+    cancel: Option<&CancelToken>,
+) -> Result<LaunchStats, CoreError> {
     let cta_count = (grid[0] as u64) * (grid[1] as u64) * (grid[2] as u64);
     let cta_size = (block[0] as u64) * (block[1] as u64) * (block[2] as u64);
     if cta_count == 0 || cta_size == 0 {
@@ -173,32 +218,165 @@ pub fn run_grid(
         .min(cta_count as usize)
         .max(1);
 
-    let results: Vec<Result<LaunchStats, CoreError>> = std::thread::scope(|s| {
+    // One token per launch: the caller's token if given, a private one
+    // otherwise. Workers trip it on any fault so siblings stop early.
+    let token = cancel.cloned().unwrap_or_default();
+    let token = &token;
+
+    let outcomes: Vec<WorkerOutcome> = std::thread::scope(|s| {
         let mut handles = Vec::with_capacity(workers);
         for worker in 0..workers {
             handles.push(s.spawn(move || {
                 let mut stats = LaunchStats::new(config.max_warp);
+                let mut error = None;
+                let mut stopped_at = None;
                 let mut cta = worker as u64;
                 while cta < cta_count {
-                    run_cta(
-                        cache, kernel, grid, block, cta as u32, param, cbank, global, config,
-                        &mut stats,
-                    )?;
+                    let flat = cta as u32;
+                    if token.is_cancelled() {
+                        stopped_at = Some(flat);
+                        break;
+                    }
+                    if let Some(deadline) = config.limits.deadline {
+                        if Instant::now() >= deadline {
+                            error = Some(boundary_fault(kernel, flat, VmError::Deadline));
+                            stopped_at = Some(flat);
+                            token.cancel();
+                            break;
+                        }
+                    }
+                    let run = catch_unwind(AssertUnwindSafe(|| {
+                        run_cta(
+                            cache, kernel, grid, block, flat, param, cbank, global, config,
+                            &mut stats, token,
+                        )
+                    }));
+                    match run {
+                        Ok(Ok(())) => {}
+                        Ok(Err(e)) => {
+                            // Secondary cancellations are not faults: the
+                            // first failure already tripped the token.
+                            if !e.is_cancelled() {
+                                token.cancel();
+                            }
+                            error = Some(e);
+                            stopped_at = Some(flat);
+                            break;
+                        }
+                        Err(payload) => {
+                            token.cancel();
+                            error = Some(CoreError::WorkerPanic {
+                                worker,
+                                cta: flat,
+                                payload: panic_payload(payload.as_ref()),
+                            });
+                            stopped_at = Some(flat);
+                            break;
+                        }
+                    }
                     cta += workers as u64;
                 }
-                Ok(stats)
+                WorkerOutcome { stats, error, stopped_at }
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|payload| WorkerOutcome {
+                    stats: LaunchStats::new(config.max_warp),
+                    error: Some(CoreError::WorkerPanic {
+                        worker: usize::MAX,
+                        cta: 0,
+                        payload: panic_payload(payload.as_ref()),
+                    }),
+                    stopped_at: Some(0),
+                })
+            })
+            .collect()
     });
 
+    // Merge stats from every worker — including failed ones — then pick
+    // the most meaningful error: a genuine fault beats the secondary
+    // cancellations it caused in sibling workers.
     let mut total = LaunchStats::new(config.max_warp);
-    for r in results {
-        total.merge(&r?);
+    let mut first_error: Option<CoreError> = None;
+    let mut interrupted = false;
+    for o in &outcomes {
+        total.merge(&o.stats);
+        interrupted |= o.stopped_at.is_some();
+        match (&first_error, &o.error) {
+            (None, Some(e)) => first_error = Some(e.clone()),
+            (Some(prev), Some(e)) if prev.is_cancelled() && !e.is_cancelled() => {
+                first_error = Some(e.clone());
+            }
+            _ => {}
+        }
     }
     dpvk_trace::add(dpvk_trace::Counter::SpillBytes, total.exec.spill_bytes);
     dpvk_trace::add(dpvk_trace::Counter::RestoreBytes, total.exec.restore_bytes);
-    Ok(total)
+    if total.exec.downgraded_warps > 0 {
+        dpvk_trace::add(dpvk_trace::Counter::DowngradedWarps, total.exec.downgraded_warps);
+    }
+    if total.exec.cancelled_warps > 0 {
+        dpvk_trace::add(dpvk_trace::Counter::CancelledWarps, total.exec.cancelled_warps);
+    }
+    if first_error.is_none() && interrupted {
+        // The host cancelled the token and no worker faulted: surface the
+        // cancellation with the first interrupted CTA as provenance.
+        let cta = outcomes.iter().filter_map(|o| o.stopped_at).min().unwrap_or(0);
+        first_error = Some(boundary_fault(kernel, cta, VmError::Cancelled));
+    }
+    match first_error {
+        Some(e) => {
+            dpvk_trace::record_fault(kernel, &e.to_string());
+            Err(e)
+        }
+        None => Ok(total),
+    }
+}
+
+/// Provenance for a fault detected between warps (no warp was formed, so
+/// the thread list is empty and the entry point is the kernel start).
+fn boundary_fault(kernel: &str, cta: u32, source: VmError) -> CoreError {
+    CoreError::Fault {
+        context: FaultContext {
+            kernel: kernel.to_string(),
+            cta,
+            warp_entry: 0,
+            thread_ids: Vec::new(),
+        },
+        source,
+    }
+}
+
+/// Provenance for a fault raised while a formed warp was executing.
+fn warp_fault(
+    kernel: &str,
+    cta: u32,
+    warp_entry: i64,
+    warp: &[ThreadContext],
+    source: VmError,
+) -> CoreError {
+    CoreError::Fault {
+        context: FaultContext {
+            kernel: kernel.to_string(),
+            cta,
+            warp_entry,
+            thread_ids: warp.iter().map(|c| c.flat_tid()).collect(),
+        },
+        source,
+    }
+}
+
+/// Best-effort stringification of a panic payload.
+fn panic_payload(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
 }
 
 /// Execute all threads of one CTA to completion.
@@ -214,7 +392,11 @@ fn run_cta(
     global: &GlobalMem,
     config: &ExecConfig,
     stats: &mut LaunchStats,
+    cancel: &CancelToken,
 ) -> Result<(), CoreError> {
+    #[cfg(feature = "fault-inject")]
+    crate::faults::maybe_panic(cta_flat);
+
     let tk = cache.translated(kernel)?;
     let cta_size = (block[0] * block[1] * block[2]) as usize;
     let ctaid =
@@ -238,9 +420,25 @@ fn run_cta(
     let mut barrier_pool: Vec<ThreadContext> = Vec::new();
     let mut exited: usize = 0;
     let mut scan_total: u64 = 0;
+    // The interpreter polls on an instruction stride; this boundary check
+    // covers short warp calls that retire before the first poll.
+    let polling = config.limits.deadline.is_some();
+
+    #[cfg(feature = "fault-inject")]
+    let mut injected_fault_pending = crate::faults::injected_warp_fault(cta_flat);
 
     while let Some(front) = ready.front() {
         let rp = front.resume_point;
+        if cancel.is_cancelled() {
+            return Err(boundary_fault(kernel, cta_flat, VmError::Cancelled));
+        }
+        if polling {
+            if let Some(deadline) = config.limits.deadline {
+                if Instant::now() >= deadline {
+                    return Err(boundary_fault(kernel, cta_flat, VmError::Deadline));
+                }
+            }
+        }
         // Gather a warp (round-robin from the queue head, greedy collect of
         // matching resume points).
         let (mut warp, scanned) = gather(&mut ready, rp, config, tk.local_bytes);
@@ -266,14 +464,30 @@ fn run_cta(
                 }
             }
         };
+        stats.exec.cycles_manager += config.em_cost.per_cache_query;
+        // Degrade instead of failing: a specialization that cannot
+        // compile falls back to the width-1 scalar baseline. Entry-point
+        // numbering is shared across variants (assigned in `translate`),
+        // so baseline warps resume mid-grid safely.
+        let (compiled, downgraded) = cache.get_or_downgrade(kernel, w, variant)?;
+        let w = if downgraded {
+            stats.exec.downgraded_warps += 1;
+            1
+        } else {
+            w
+        };
         // Return surplus threads to the queue head (they keep priority).
         while warp.len() > w as usize {
             let ctx = warp.pop().expect("warp longer than w");
             ready.push_front(ctx);
         }
 
-        stats.exec.cycles_manager += config.em_cost.per_cache_query;
-        let compiled = cache.get(kernel, w, variant)?;
+        #[cfg(feature = "fault-inject")]
+        if let Some(vm_err) = injected_fault_pending.take() {
+            return Err(warp_fault(kernel, cta_flat, rp, &warp, vm_err));
+        }
+        #[cfg(feature = "fault-inject")]
+        crate::faults::maybe_slow_warp(cta_flat);
 
         let mut mem = MemAccess { global, shared: &mut shared, local: &mut local, param, cbank };
         let outcome = execute_warp(
@@ -285,7 +499,14 @@ fn run_cta(
             &mut mem,
             &mut stats.exec,
             &config.limits,
-        )?;
+            Some(cancel),
+        )
+        .map_err(|e| {
+            if matches!(e, VmError::Cancelled | VmError::Deadline) {
+                stats.exec.cancelled_warps += 1;
+            }
+            warp_fault(kernel, cta_flat, rp, &warp, e)
+        })?;
         if (w as usize) < stats.warp_hist.len() {
             stats.warp_hist[w as usize] += 1;
         }

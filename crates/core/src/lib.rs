@@ -65,6 +65,8 @@ mod error;
 
 pub mod cache;
 pub mod exec;
+#[cfg(feature = "fault-inject")]
+pub mod faults;
 pub mod lint;
 pub mod runtime;
 pub mod sync;
@@ -72,8 +74,11 @@ pub mod translate;
 pub mod vectorize;
 
 pub use cache::{CacheStats, CompiledKernel, TranslationCache, Variant};
-pub use error::CoreError;
-pub use exec::{run_grid, EmCostModel, ExecConfig, FormationPolicy, LaunchStats};
+pub use dpvk_vm::CancelToken;
+pub use error::{CoreError, FaultContext};
+pub use exec::{
+    run_grid, run_grid_cancellable, EmCostModel, ExecConfig, FormationPolicy, LaunchStats,
+};
 pub use lint::{warp_sync_lint, LintFinding};
 pub use runtime::{Device, DevicePtr, ParamValue};
 pub use translate::{translate, TranslatedKernel};

@@ -5,14 +5,16 @@
 //! ("the proposed compilation model is wrapped by an API front-end for
 //! heterogeneous computing", Section 3).
 
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use dpvk_ptx as ptx;
-use dpvk_vm::{GlobalMem, MachineModel};
+use dpvk_vm::{CancelToken, GlobalMem, MachineModel};
 
 use crate::cache::{CacheStats, TranslationCache};
 use crate::error::CoreError;
-use crate::exec::{run_grid, ExecConfig, LaunchStats};
+use crate::exec::{run_grid, run_grid_cancellable, ExecConfig, LaunchStats};
 
 /// A kernel launch parameter value.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -104,17 +106,35 @@ impl Device {
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::Memory`] when the heap is exhausted.
+    /// Returns [`CoreError::Memory`] when the heap is exhausted or the
+    /// rounded size overflows.
     pub fn malloc(&self, size: usize) -> Result<DevicePtr, CoreError> {
-        let aligned = (size.max(1) as u64).div_ceil(64) * 64;
-        let base = self.next_alloc.fetch_add(aligned, std::sync::atomic::Ordering::Relaxed);
-        if base + aligned > self.heap_size {
-            return Err(CoreError::Memory(format!(
-                "heap exhausted: {size} bytes requested, {} of {} used",
-                base, self.heap_size
-            )));
+        // Round up to the 64-byte alignment without wrapping: a request
+        // near `u64::MAX` must fail cleanly, not alias a live allocation.
+        let aligned = (size.max(1) as u64).checked_add(63).map(|v| v & !63).ok_or_else(|| {
+            CoreError::Memory(format!("allocation of {size} bytes overflows the address space"))
+        })?;
+        // CAS loop: a failed allocation leaves the bump pointer where it
+        // was instead of permanently burning heap (fetch_add would).
+        let mut base = self.next_alloc.load(Ordering::Relaxed);
+        loop {
+            let end =
+                base.checked_add(aligned).filter(|&e| e <= self.heap_size).ok_or_else(|| {
+                    CoreError::Memory(format!(
+                        "heap exhausted: {size} bytes requested, {base} of {} used",
+                        self.heap_size
+                    ))
+                })?;
+            match self.next_alloc.compare_exchange_weak(
+                base,
+                end,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Ok(DevicePtr(base)),
+                Err(current) => base = current,
+            }
         }
-        Ok(DevicePtr(base))
     }
 
     /// Copy host bytes to device memory.
@@ -239,6 +259,64 @@ impl Device {
         run_grid(&self.cache, kernel, grid, block, &params, &[], &self.global, config)
     }
 
+    /// [`Device::launch`] with a wall-clock budget: the launch fails with
+    /// a [`dpvk_vm::VmError::Deadline`] fault (wrapped in
+    /// [`CoreError::Fault`] with provenance) if it is still running when
+    /// `budget` elapses. The kill is cooperative — workers poll every
+    /// [`dpvk_vm::ExecLimits::check_interval`] interpreted instructions
+    /// and at warp/CTA boundaries — so a runaway kernel dies within a
+    /// small multiple of the poll interval, not instantly.
+    ///
+    /// # Errors
+    ///
+    /// Returns compilation, configuration or execution errors; deadline
+    /// expiry satisfies [`CoreError::is_deadline`].
+    pub fn launch_with_deadline(
+        &self,
+        kernel: &str,
+        grid: [u32; 3],
+        block: [u32; 3],
+        args: &[ParamValue],
+        config: &ExecConfig,
+        budget: Duration,
+    ) -> Result<LaunchStats, CoreError> {
+        let mut config = *config;
+        config.limits.deadline = Some(Instant::now() + budget);
+        self.launch(kernel, grid, block, args, &config)
+    }
+
+    /// [`Device::launch`] with a host-held cancellation token. Cancelling
+    /// `cancel` from any thread stops the launch cooperatively; the
+    /// runtime also cancels the token itself when a worker faults, so
+    /// the token is good for this one launch only.
+    ///
+    /// # Errors
+    ///
+    /// Returns compilation, configuration or execution errors; host
+    /// cancellation satisfies [`CoreError::is_cancelled`].
+    pub fn launch_cancellable(
+        &self,
+        kernel: &str,
+        grid: [u32; 3],
+        block: [u32; 3],
+        args: &[ParamValue],
+        config: &ExecConfig,
+        cancel: &CancelToken,
+    ) -> Result<LaunchStats, CoreError> {
+        let params = self.pack_params(kernel, args)?;
+        run_grid_cancellable(
+            &self.cache,
+            kernel,
+            grid,
+            block,
+            &params,
+            &[],
+            &self.global,
+            config,
+            Some(cancel),
+        )
+    }
+
     /// Translation-cache statistics.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
@@ -344,6 +422,62 @@ done:
         assert_eq!(b.0 % 64, 0);
         assert!(b.0 >= a.0 + 64);
         assert!(dev.malloc(1 << 20).is_err());
+    }
+
+    #[test]
+    fn malloc_overflow_is_reported_not_wrapped() {
+        let dev = Device::new(MachineModel::sandybridge_sse(), 4096);
+        assert!(matches!(dev.malloc(usize::MAX), Err(CoreError::Memory(_))));
+        assert!(matches!(dev.malloc(usize::MAX - 62), Err(CoreError::Memory(_))));
+        // A failed allocation must not consume heap: the next small one
+        // still fits.
+        assert!(dev.malloc(64).is_ok());
+    }
+
+    #[test]
+    fn launch_with_deadline_passes_when_budget_is_generous() {
+        let dev = Device::new(MachineModel::sandybridge_sse(), 1 << 20);
+        dev.register_source(SCALE).unwrap();
+        let n = 16usize;
+        let buf = dev.malloc(n * 4).unwrap();
+        dev.copy_f32_htod(buf, &vec![1.0; n]).unwrap();
+        dev.launch_with_deadline(
+            "scale",
+            [1, 1, 1],
+            [16, 1, 1],
+            &[ParamValue::Ptr(buf), ParamValue::F32(3.0), ParamValue::U32(n as u32)],
+            &ExecConfig::dynamic(4),
+            Duration::from_secs(60),
+        )
+        .unwrap();
+        assert!(dev.copy_f32_dtoh(buf, n).unwrap().iter().all(|&v| v == 3.0));
+    }
+
+    #[test]
+    fn pre_cancelled_launch_fails_and_device_stays_usable() {
+        let dev = Device::new(MachineModel::sandybridge_sse(), 1 << 20);
+        dev.register_source(SCALE).unwrap();
+        let n = 16usize;
+        let buf = dev.malloc(n * 4).unwrap();
+        dev.copy_f32_htod(buf, &vec![1.0; n]).unwrap();
+        let args = [ParamValue::Ptr(buf), ParamValue::F32(2.0), ParamValue::U32(n as u32)];
+        let token = CancelToken::new();
+        token.cancel();
+        let err = dev
+            .launch_cancellable(
+                "scale",
+                [1, 1, 1],
+                [16, 1, 1],
+                &args,
+                &ExecConfig::dynamic(4),
+                &token,
+            )
+            .unwrap_err();
+        assert!(err.is_cancelled(), "{err}");
+        assert!(err.to_string().contains("scale"), "{err}");
+        // The device is not poisoned: a fresh launch succeeds.
+        dev.launch("scale", [1, 1, 1], [16, 1, 1], &args, &ExecConfig::dynamic(4)).unwrap();
+        assert!(dev.copy_f32_dtoh(buf, n).unwrap().iter().all(|&v| v == 2.0));
     }
 
     #[test]

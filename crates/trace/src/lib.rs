@@ -129,11 +129,22 @@ pub enum Counter {
     RestoreBytes,
     /// Events discarded because the bounded event ring was full.
     EventsDropped,
+    /// Warp entries downgraded to the scalar baseline because the
+    /// requested specialization failed to compile.
+    DowngradedWarps,
+    /// Warp executions aborted by cancellation or a launch deadline.
+    CancelledWarps,
+    /// Specializations that failed to compile (verify error, unsupported
+    /// construct).
+    SpecFailures,
+    /// Execution faults surfaced from launches (panics, VM errors,
+    /// deadline/cancellation).
+    Faults,
 }
 
 impl Counter {
     /// Every counter, in declaration order.
-    pub const ALL: [Counter; 17] = [
+    pub const ALL: [Counter; 21] = [
         Counter::CacheHit,
         Counter::CacheMiss,
         Counter::CacheCompileNs,
@@ -151,6 +162,10 @@ impl Counter {
         Counter::SpillBytes,
         Counter::RestoreBytes,
         Counter::EventsDropped,
+        Counter::DowngradedWarps,
+        Counter::CancelledWarps,
+        Counter::SpecFailures,
+        Counter::Faults,
     ];
 
     /// Stable snake_case name used in reports.
@@ -173,6 +188,10 @@ impl Counter {
             Counter::SpillBytes => "spill_bytes",
             Counter::RestoreBytes => "restore_bytes",
             Counter::EventsDropped => "events_dropped",
+            Counter::DowngradedWarps => "downgraded_warps",
+            Counter::CancelledWarps => "cancelled_warps",
+            Counter::SpecFailures => "spec_failures",
+            Counter::Faults => "faults",
         }
     }
 }
@@ -301,6 +320,26 @@ pub enum Event {
         /// Wall time of the compilation.
         ns: u64,
     },
+    /// A specialization request was downgraded to the scalar baseline
+    /// because the requested variant failed to compile.
+    Downgrade {
+        /// Interned kernel name.
+        kernel: u32,
+        /// Warp size that was requested (and refused).
+        warp_size: u32,
+        /// Variant that was requested.
+        variant: &'static str,
+        /// Interned failure message that caused the downgrade.
+        detail: u32,
+    },
+    /// An execution fault escaped a launch (worker panic, VM error,
+    /// deadline expiry or cancellation).
+    Fault {
+        /// Interned kernel name.
+        kernel: u32,
+        /// Interned rendered error (with provenance).
+        detail: u32,
+    },
 }
 
 /// Capacity of the bounded event ring; past it, events are counted in
@@ -411,6 +450,35 @@ pub fn record_compile(kernel: &str, warp_size: u32, variant: &'static str, ns: u
     let mut s = lock_state();
     let kernel = s.intern(kernel);
     s.push_event(Event::Compile { kernel, warp_size, variant, ns });
+}
+
+/// Record a downgrade-to-scalar: `kernel`'s `(warp_size, variant)`
+/// specialization failed to compile (`detail`) and launches now fall
+/// back to the baseline. Emitted once per failed specialization key; the
+/// per-warp volume is in [`Counter::DowngradedWarps`].
+#[inline]
+pub fn record_downgrade(kernel: &str, warp_size: u32, variant: &'static str, detail: &str) {
+    if !enabled() {
+        return;
+    }
+    let mut s = lock_state();
+    let kernel = s.intern(kernel);
+    let detail = s.intern(detail);
+    s.push_event(Event::Downgrade { kernel, warp_size, variant, detail });
+}
+
+/// Record an execution fault that escaped a launch of `kernel`; `detail`
+/// is the rendered error, provenance included.
+#[inline]
+pub fn record_fault(kernel: &str, detail: &str) {
+    if !enabled() {
+        return;
+    }
+    COUNTERS[Counter::Faults as usize].fetch_add(1, Ordering::Relaxed);
+    let mut s = lock_state();
+    let kernel = s.intern(kernel);
+    let detail = s.intern(detail);
+    s.push_event(Event::Fault { kernel, detail });
 }
 
 /// Record a vectorizer effectiveness record and bump the aggregate

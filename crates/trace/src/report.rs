@@ -60,6 +60,25 @@ pub enum EventReport {
         /// Compilation wall time.
         ns: u64,
     },
+    /// A specialization failed to compile and launches now fall back to
+    /// the scalar baseline for it.
+    Downgrade {
+        /// Kernel name.
+        kernel: String,
+        /// Requested (refused) warp size.
+        warp_size: u32,
+        /// Requested variant.
+        variant: &'static str,
+        /// The failure that caused the downgrade.
+        detail: String,
+    },
+    /// An execution fault escaped a launch.
+    Fault {
+        /// Kernel name.
+        kernel: String,
+        /// Rendered error, provenance included.
+        detail: String,
+    },
 }
 
 /// A point-in-time snapshot of everything the tracer has recorded,
@@ -115,6 +134,15 @@ impl TraceReport {
                 }
                 Event::Compile { kernel, warp_size, variant, ns } => {
                     EventReport::Compile { kernel: name_of(kernel), warp_size, variant, ns }
+                }
+                Event::Downgrade { kernel, warp_size, variant, detail } => EventReport::Downgrade {
+                    kernel: name_of(kernel),
+                    warp_size,
+                    variant,
+                    detail: name_of(detail),
+                },
+                Event::Fault { kernel, detail } => {
+                    EventReport::Fault { kernel: name_of(kernel), detail: name_of(detail) }
                 }
             })
             .collect();
@@ -217,6 +245,18 @@ impl TraceReport {
                     j.field_str("variant", variant);
                     j.field_u64("ns", *ns);
                 }
+                EventReport::Downgrade { kernel, warp_size, variant, detail } => {
+                    j.field_str("type", "downgrade");
+                    j.field_str("kernel", kernel);
+                    j.field_u64("warp_size", u64::from(*warp_size));
+                    j.field_str("variant", variant);
+                    j.field_str("detail", detail);
+                }
+                EventReport::Fault { kernel, detail } => {
+                    j.field_str("type", "fault");
+                    j.field_str("kernel", kernel);
+                    j.field_str("detail", detail);
+                }
             }
             j.close_obj();
         }
@@ -297,6 +337,19 @@ impl TraceReport {
                     s.dce_removed,
                 );
             }
+        }
+        let (downgraded, cancelled, spec_failures, faults) = (
+            self.counter("downgraded_warps"),
+            self.counter("cancelled_warps"),
+            self.counter("spec_failures"),
+            self.counter("faults"),
+        );
+        if downgraded > 0 || cancelled > 0 || spec_failures > 0 || faults > 0 {
+            let _ = writeln!(
+                out,
+                "  degradation: {spec_failures} failed specializations, {downgraded} warps \
+                 downgraded to scalar, {cancelled} warps cancelled, {faults} faults",
+            );
         }
         if self.events_dropped > 0 {
             let _ = writeln!(
@@ -427,5 +480,45 @@ mod tests {
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
+    }
+
+    #[test]
+    fn downgrade_and_fault_events_serialize_and_summarize() {
+        let report = TraceReport {
+            counters: vec![
+                ("downgraded_warps", 3),
+                ("cancelled_warps", 1),
+                ("spec_failures", 1),
+                ("faults", 2),
+            ],
+            occupancy: vec![],
+            phases: vec![],
+            specializations: vec![],
+            events: vec![
+                EventReport::Downgrade {
+                    kernel: "k".into(),
+                    warp_size: 4,
+                    variant: "dynamic",
+                    detail: "verify error in `k`".into(),
+                },
+                EventReport::Fault {
+                    kernel: "k".into(),
+                    detail: "execution fault at kernel `k`, CTA 3".into(),
+                },
+            ],
+            events_dropped: 0,
+        };
+        let json = report.to_json();
+        for needle in [
+            "\"type\":\"downgrade\"",
+            "\"detail\":\"verify error in `k`\"",
+            "\"type\":\"fault\"",
+            "CTA 3",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        let summary = report.summary();
+        assert!(summary.contains("3 warps downgraded"), "{summary}");
+        assert!(summary.contains("1 warps cancelled"), "{summary}");
     }
 }

@@ -1,0 +1,67 @@
+//! Cooperative cancellation for kernel launches.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag checked cooperatively by the interpreter
+/// (every [`ExecLimits::check_interval`](crate::ExecLimits::check_interval)
+/// instructions) and by the execution manager at CTA boundaries.
+///
+/// Clones share the same flag, so one token handed to
+/// `Device::launch_cancellable` can be cancelled from any thread. The
+/// runtime also cancels the launch's token itself when a worker faults,
+/// so sibling workers stop early instead of burning CPU on a doomed
+/// launch; a token is therefore good for **one** launch and should not be
+/// reused.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_is_idempotent() {
+        let t = CancelToken::new();
+        t.cancel();
+        t.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_crosses_threads() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || u.cancel());
+        });
+        assert!(t.is_cancelled());
+    }
+}

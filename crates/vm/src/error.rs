@@ -25,6 +25,11 @@ pub enum VmError {
         /// The limit that was hit.
         limit: u64,
     },
+    /// The launch's wall-clock deadline passed while a warp was running.
+    Deadline,
+    /// The launch was cancelled cooperatively (by the host or by the
+    /// runtime aborting a doomed launch).
+    Cancelled,
     /// An instruction the interpreter cannot execute (e.g. a misaligned
     /// atomic).
     Unsupported(String),
@@ -41,6 +46,8 @@ impl fmt::Display for VmError {
             VmError::Watchdog { limit } => {
                 write!(f, "watchdog: instruction limit {limit} exceeded")
             }
+            VmError::Deadline => write!(f, "launch deadline exceeded"),
+            VmError::Cancelled => write!(f, "launch cancelled"),
             VmError::Unsupported(m) => write!(f, "unsupported operation: {m}"),
         }
     }

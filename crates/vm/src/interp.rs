@@ -6,6 +6,9 @@ use dpvk_ir::{
     Term, Type, UnOp, Value,
 };
 
+use std::time::Instant;
+
+use crate::cancel::CancelToken;
 use crate::context::ThreadContext;
 use crate::cost::{inst_cost, inst_flops, term_cost, CostInfo};
 use crate::error::VmError;
@@ -18,11 +21,25 @@ use crate::stats::ExecStats;
 pub struct ExecLimits {
     /// Maximum dynamic instructions per warp call.
     pub max_instructions: u64,
+    /// Wall-clock instant after which execution fails with
+    /// [`VmError::Deadline`]. `None` disables the deadline.
+    pub deadline: Option<Instant>,
+    /// How many interpreted instructions run between deadline and
+    /// cancellation polls. Smaller values kill runaway kernels faster at
+    /// slightly higher interpreter overhead.
+    pub check_interval: u64,
+}
+
+impl ExecLimits {
+    /// Limits with a wall-clock deadline `budget` from now.
+    pub fn with_deadline(budget: std::time::Duration) -> Self {
+        ExecLimits { deadline: Some(Instant::now() + budget), ..Self::default() }
+    }
 }
 
 impl Default for ExecLimits {
     fn default() -> Self {
-        ExecLimits { max_instructions: 1 << 32 }
+        ExecLimits { max_instructions: 1 << 32, deadline: None, check_interval: 1024 }
     }
 }
 
@@ -604,8 +621,10 @@ impl<'a, 'm> Machine<'a, 'm> {
 ///
 /// # Errors
 ///
-/// Returns a [`VmError`] on memory faults, division by zero, or when the
-/// instruction watchdog trips.
+/// Returns a [`VmError`] on memory faults, division by zero, when the
+/// instruction watchdog trips, when the wall-clock deadline passes, or
+/// when `cancel` is cancelled (the latter two are polled every
+/// [`ExecLimits::check_interval`] instructions).
 ///
 /// # Panics
 ///
@@ -620,6 +639,7 @@ pub fn execute_warp(
     mem: &mut MemAccess<'_>,
     stats: &mut ExecStats,
     limits: &ExecLimits,
+    cancel: Option<&CancelToken>,
 ) -> Result<WarpOutcome, VmError> {
     assert_eq!(
         ctxs.len(),
@@ -632,6 +652,11 @@ pub fn execute_warp(
     let mut cur = dpvk_ir::BlockId(0);
     let mut status: Option<ResumeStatus> = None;
     let mut executed: u64 = 0;
+    // Deadline/cancellation are polled on a stride so the common
+    // unlimited case pays one branch per instruction, never a clock read.
+    let poll_stride = limits.check_interval.max(1);
+    let polling = limits.deadline.is_some() || cancel.is_some();
+    let mut next_poll = poll_stride;
 
     stats.warp_entries += 1;
     stats.thread_entries += f.warp_size as u64;
@@ -644,6 +669,19 @@ pub fn execute_warp(
             executed += 1;
             if executed > limits.max_instructions {
                 return Err(VmError::Watchdog { limit: limits.max_instructions });
+            }
+            if polling && executed >= next_poll {
+                next_poll = executed + poll_stride;
+                if let Some(token) = cancel {
+                    if token.is_cancelled() {
+                        return Err(VmError::Cancelled);
+                    }
+                }
+                if let Some(deadline) = limits.deadline {
+                    if Instant::now() >= deadline {
+                        return Err(VmError::Deadline);
+                    }
+                }
             }
             cycles += inst_cost(inst, model, info);
             stats.flops += inst_flops(inst);
@@ -673,6 +711,21 @@ pub fn execute_warp(
         executed += 1;
         if executed > limits.max_instructions {
             return Err(VmError::Watchdog { limit: limits.max_instructions });
+        }
+        // Terminators count too: a block with no instructions (a pure
+        // branch loop) must still hit the deadline/cancellation poll.
+        if polling && executed >= next_poll {
+            next_poll = executed + poll_stride;
+            if let Some(token) = cancel {
+                if token.is_cancelled() {
+                    return Err(VmError::Cancelled);
+                }
+            }
+            if let Some(deadline) = limits.deadline {
+                if Instant::now() >= deadline {
+                    return Err(VmError::Deadline);
+                }
+            }
         }
         stats.instructions += block.insts.len() as u64 + 1;
         if is_overhead {
@@ -749,6 +802,7 @@ mod tests {
             &mut mem,
             &mut stats,
             &ExecLimits::default(),
+            None,
         )
         .unwrap();
         (out, stats, ctxs)
@@ -915,8 +969,18 @@ mod tests {
             cbank: &[],
         };
         let mut stats = ExecStats::default();
-        execute_warp(&f, &info, &model, &mut ctxs, 5, &mut mem, &mut stats, &ExecLimits::default())
-            .unwrap();
+        execute_warp(
+            &f,
+            &info,
+            &model,
+            &mut ctxs,
+            5,
+            &mut mem,
+            &mut stats,
+            &ExecLimits::default(),
+            None,
+        )
+        .unwrap();
         assert_eq!(u32::from_le_bytes(g.read::<4>(0).unwrap()), 222);
     }
 
@@ -979,6 +1043,7 @@ mod tests {
             &mut mem,
             &mut stats,
             &ExecLimits::default(),
+            None,
         )
         .unwrap_err();
         assert_eq!(err, VmError::DivisionByZero);
@@ -1004,10 +1069,119 @@ mod tests {
             cbank: &[],
         };
         let mut stats = ExecStats::default();
-        let limits = ExecLimits { max_instructions: 1000 };
-        let err = execute_warp(&f, &info, &model, &mut ctxs, 0, &mut mem, &mut stats, &limits)
-            .unwrap_err();
+        let limits = ExecLimits { max_instructions: 1000, ..Default::default() };
+        let err =
+            execute_warp(&f, &info, &model, &mut ctxs, 0, &mut mem, &mut stats, &limits, None)
+                .unwrap_err();
         assert!(matches!(err, VmError::Watchdog { .. }));
+    }
+
+    /// An infinite-loop kernel plus fresh execution state, for the
+    /// deadline and cancellation tests.
+    fn spin_setup() -> (Function, MachineModel, CostInfo) {
+        let mut f = Function::new("spin", 1);
+        let mut b = Block::new("spin");
+        b.term = Term::Br(BlockId(0));
+        f.add_block(b);
+        (f, MachineModel::default(), CostInfo::zero())
+    }
+
+    #[test]
+    fn expired_deadline_stops_an_infinite_loop() {
+        let (f, model, info) = spin_setup();
+        let g = GlobalMem::new(4);
+        let mut ctxs = vec![ThreadContext::new([0; 3], [1, 1, 1], [0; 3], [1, 1, 1])];
+        let (mut shared, mut local) = (vec![], vec![]);
+        let mut mem = MemAccess {
+            global: &g,
+            shared: &mut shared,
+            local: &mut local,
+            param: &[],
+            cbank: &[],
+        };
+        let mut stats = ExecStats::default();
+        let limits =
+            ExecLimits { deadline: Some(Instant::now()), check_interval: 16, ..Default::default() };
+        let err =
+            execute_warp(&f, &info, &model, &mut ctxs, 0, &mut mem, &mut stats, &limits, None)
+                .unwrap_err();
+        assert_eq!(err, VmError::Deadline);
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_an_infinite_loop() {
+        let (f, model, info) = spin_setup();
+        let g = GlobalMem::new(4);
+        let mut ctxs = vec![ThreadContext::new([0; 3], [1, 1, 1], [0; 3], [1, 1, 1])];
+        let (mut shared, mut local) = (vec![], vec![]);
+        let mut mem = MemAccess {
+            global: &g,
+            shared: &mut shared,
+            local: &mut local,
+            param: &[],
+            cbank: &[],
+        };
+        let mut stats = ExecStats::default();
+        let token = CancelToken::new();
+        token.cancel();
+        let limits = ExecLimits { check_interval: 16, ..Default::default() };
+        let err = execute_warp(
+            &f,
+            &info,
+            &model,
+            &mut ctxs,
+            0,
+            &mut mem,
+            &mut stats,
+            &limits,
+            Some(&token),
+        )
+        .unwrap_err();
+        assert_eq!(err, VmError::Cancelled);
+    }
+
+    #[test]
+    fn uncancelled_token_and_future_deadline_do_not_interfere() {
+        let mut f = Function::new("t", 1);
+        let mut b = Block::new("entry");
+        b.insts.push(Inst::Store {
+            ty: STy::I32,
+            space: dpvk_ir::Space::Global,
+            addr: Value::ImmI(0),
+            value: Value::ImmI(7),
+        });
+        b.term = Term::Ret;
+        f.add_block(b);
+        let model = MachineModel::default();
+        let info = CostInfo::analyze(&f, &model);
+        let g = GlobalMem::new(16);
+        let mut ctxs = vec![ThreadContext::new([0; 3], [1, 1, 1], [0; 3], [1, 1, 1])];
+        let (mut shared, mut local) = (vec![], vec![]);
+        let mut mem = MemAccess {
+            global: &g,
+            shared: &mut shared,
+            local: &mut local,
+            param: &[],
+            cbank: &[],
+        };
+        let mut stats = ExecStats::default();
+        let token = CancelToken::new();
+        let mut limits = ExecLimits::with_deadline(std::time::Duration::from_secs(60));
+        limits.check_interval = 1;
+        let out = execute_warp(
+            &f,
+            &info,
+            &model,
+            &mut ctxs,
+            0,
+            &mut mem,
+            &mut stats,
+            &limits,
+            Some(&token),
+        )
+        .unwrap();
+        assert_eq!(out.status, ResumeStatus::Exit);
+        assert_eq!(u32::from_le_bytes(g.read::<4>(0).unwrap()), 7);
     }
 
     #[test]
@@ -1178,8 +1352,18 @@ mod edge_tests {
         let mut mem =
             MemAccess { global: g, shared: &mut shared, local: &mut local, param: &[], cbank: &[] };
         let mut stats = ExecStats::default();
-        execute_warp(f, &info, &model, &mut ctxs, 0, &mut mem, &mut stats, &ExecLimits::default())
-            .unwrap();
+        execute_warp(
+            f,
+            &info,
+            &model,
+            &mut ctxs,
+            0,
+            &mut mem,
+            &mut stats,
+            &ExecLimits::default(),
+            None,
+        )
+        .unwrap();
     }
 
     fn store32(f: &mut Function, b: &mut Block, addr: i64, v: VReg) {
@@ -1383,6 +1567,7 @@ mod edge_tests {
             &mut mem,
             &mut stats,
             &ExecLimits::default(),
+            None,
         )
         .unwrap_err();
         match err {

@@ -47,13 +47,14 @@
 //!     cbank: &[],
 //! };
 //! let mut stats = ExecStats::default();
-//! execute_warp(&f, &info, &model, &mut ctxs, 0, &mut mem, &mut stats, &ExecLimits::default())?;
+//! execute_warp(&f, &info, &model, &mut ctxs, 0, &mut mem, &mut stats, &ExecLimits::default(), None)?;
 //! assert_eq!(u32::from_le_bytes(global.read::<4>(0)?), 42);
 //! # Ok::<(), dpvk_vm::VmError>(())
 //! ```
 
 #![warn(missing_docs)]
 
+mod cancel;
 mod context;
 mod cost;
 mod error;
@@ -62,6 +63,7 @@ mod machine;
 mod memory;
 mod stats;
 
+pub use cancel::CancelToken;
 pub use context::ThreadContext;
 pub use cost::{inst_cost, inst_flops, term_cost, CostInfo};
 pub use error::VmError;

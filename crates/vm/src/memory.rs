@@ -52,7 +52,13 @@ impl GlobalMem {
     fn check(&self, addr: u64, size: usize) -> Result<usize, VmError> {
         let len = self.size();
         let addr_usize = addr as usize;
-        if addr_usize.checked_add(size).map(|end| end <= len).unwrap_or(false) {
+        // A zero-sized access still names the byte at `addr`, so `addr ==
+        // len` is rejected even though the empty range [len, len) would fit.
+        let in_bounds = match addr_usize.checked_add(size) {
+            Some(end) => end <= len && (size > 0 || addr_usize < len),
+            None => false,
+        };
+        if in_bounds {
             Ok(addr_usize)
         } else {
             Err(VmError::OutOfBounds { space: Space::Global, addr, size, space_size: len })
@@ -275,6 +281,16 @@ mod tests {
         let g = GlobalMem::new(16);
         assert!(g.read::<8>(12).is_err());
         assert!(g.write::<4>(u64::MAX, [0; 4]).is_err());
+    }
+
+    #[test]
+    fn zero_sized_access_past_the_end_is_rejected() {
+        let g = GlobalMem::new(16);
+        assert!(g.copy_in(16, &[]).is_err());
+        assert!(g.copy_out(17, &mut []).is_err());
+        // Zero-sized copies at a valid address remain fine.
+        assert!(g.copy_in(15, &[]).is_ok());
+        assert!(g.copy_in(0, &[]).is_ok());
     }
 
     #[test]

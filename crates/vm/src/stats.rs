@@ -37,6 +37,12 @@ pub struct ExecStats {
     pub spill_bytes: u64,
     /// Bytes loaded by entry-handler live-state restores.
     pub restore_bytes: u64,
+    /// Warp entries that ran a scalar-baseline fallback because the
+    /// requested vectorized specialization failed to compile.
+    pub downgraded_warps: u64,
+    /// Warp entries aborted by cooperative cancellation or a launch
+    /// deadline before completing.
+    pub cancelled_warps: u64,
 }
 
 impl ExecStats {
@@ -60,6 +66,8 @@ impl ExecStats {
         self.thread_entries += other.thread_entries;
         self.spill_bytes += other.spill_bytes;
         self.restore_bytes += other.restore_bytes;
+        self.downgraded_warps += other.downgraded_warps;
+        self.cancelled_warps += other.cancelled_warps;
     }
 
     /// Fraction of modeled cycles spent in kernel body blocks.
@@ -138,7 +146,15 @@ impl std::fmt::Display for ExecStats {
             f,
             "spill bytes: {:>11}   restore bytes: {:>10}",
             self.spill_bytes, self.restore_bytes
-        )
+        )?;
+        if self.downgraded_warps != 0 || self.cancelled_warps != 0 {
+            write!(
+                f,
+                "\ndegradation: {:>10} warps downgraded to scalar, {} warps cancelled",
+                self.downgraded_warps, self.cancelled_warps
+            )?;
+        }
+        Ok(())
     }
 }
 

@@ -196,9 +196,10 @@ mod tests {
     use crate::common::WorkloadExt;
 
     #[test]
-    fn validates() {
-        BinomialOptions.run_checked(&ExecConfig::baseline()).unwrap();
-        BinomialOptions.run_checked(&ExecConfig::dynamic(4)).unwrap();
-        BinomialOptions.run_checked(&ExecConfig::static_tie(4)).unwrap();
+    fn validates() -> Result<(), WorkloadError> {
+        BinomialOptions.run_checked(&ExecConfig::baseline())?;
+        BinomialOptions.run_checked(&ExecConfig::dynamic(4))?;
+        BinomialOptions.run_checked(&ExecConfig::static_tie(4))?;
+        Ok(())
     }
 }

@@ -116,8 +116,9 @@ mod tests {
     use crate::common::WorkloadExt;
 
     #[test]
-    fn validates() {
-        BitonicSort.run_checked(&ExecConfig::baseline()).unwrap();
-        BitonicSort.run_checked(&ExecConfig::dynamic(4)).unwrap();
+    fn validates() -> Result<(), WorkloadError> {
+        BitonicSort.run_checked(&ExecConfig::baseline())?;
+        BitonicSort.run_checked(&ExecConfig::dynamic(4))?;
+        Ok(())
     }
 }

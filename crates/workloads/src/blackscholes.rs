@@ -214,16 +214,18 @@ mod tests {
     use crate::common::WorkloadExt;
 
     #[test]
-    fn validates_scalar_and_vector() {
-        BlackScholes.run_checked(&ExecConfig::baseline()).unwrap();
-        BlackScholes.run_checked(&ExecConfig::dynamic(4)).unwrap();
+    fn validates_scalar_and_vector() -> Result<(), WorkloadError> {
+        BlackScholes.run_checked(&ExecConfig::baseline())?;
+        BlackScholes.run_checked(&ExecConfig::dynamic(4))?;
+        Ok(())
     }
 
     #[test]
-    fn compute_bound_kernel_speeds_up() {
-        let s1 = BlackScholes.run_checked(&ExecConfig::baseline().with_workers(1)).unwrap().stats;
-        let s4 = BlackScholes.run_checked(&ExecConfig::dynamic(4).with_workers(1)).unwrap().stats;
+    fn compute_bound_kernel_speeds_up() -> Result<(), WorkloadError> {
+        let s1 = BlackScholes.run_checked(&ExecConfig::baseline().with_workers(1))?.stats;
+        let s4 = BlackScholes.run_checked(&ExecConfig::dynamic(4).with_workers(1))?.stats;
         let speedup = s1.exec.total_cycles() as f64 / s4.exec.total_cycles() as f64;
         assert!(speedup > 1.3, "speedup {speedup}");
+        Ok(())
     }
 }

@@ -105,8 +105,9 @@ mod tests {
     use crate::common::WorkloadExt;
 
     #[test]
-    fn validates() {
-        BoxFilter.run_checked(&ExecConfig::baseline()).unwrap();
-        BoxFilter.run_checked(&ExecConfig::dynamic(4)).unwrap();
+    fn validates() -> Result<(), WorkloadError> {
+        BoxFilter.run_checked(&ExecConfig::baseline())?;
+        BoxFilter.run_checked(&ExecConfig::dynamic(4))?;
+        Ok(())
     }
 }

@@ -121,19 +121,19 @@ mod tests {
     use crate::common::WorkloadExt;
 
     #[test]
-    fn validates() {
-        CoulombicPotential.run_checked(&ExecConfig::baseline()).unwrap();
-        CoulombicPotential.run_checked(&ExecConfig::dynamic(4)).unwrap();
+    fn validates() -> Result<(), WorkloadError> {
+        CoulombicPotential.run_checked(&ExecConfig::baseline())?;
+        CoulombicPotential.run_checked(&ExecConfig::dynamic(4))?;
+        Ok(())
     }
 
     #[test]
-    fn cp_has_large_vector_speedup() {
-        let s1 =
-            CoulombicPotential.run_checked(&ExecConfig::baseline().with_workers(1)).unwrap().stats;
-        let s4 =
-            CoulombicPotential.run_checked(&ExecConfig::dynamic(4).with_workers(1)).unwrap().stats;
+    fn cp_has_large_vector_speedup() -> Result<(), WorkloadError> {
+        let s1 = CoulombicPotential.run_checked(&ExecConfig::baseline().with_workers(1))?.stats;
+        let s4 = CoulombicPotential.run_checked(&ExecConfig::dynamic(4).with_workers(1))?.stats;
         let speedup = s1.exec.total_cycles() as f64 / s4.exec.total_cycles() as f64;
         // The paper reports 3.9x for cp; our model should be well above 2x.
         assert!(speedup > 2.0, "speedup {speedup}");
+        Ok(())
     }
 }

@@ -116,9 +116,10 @@ mod tests {
     use crate::common::WorkloadExt;
 
     #[test]
-    fn validates() {
-        FastWalshTransform.run_checked(&ExecConfig::baseline()).unwrap();
-        FastWalshTransform.run_checked(&ExecConfig::dynamic(4)).unwrap();
+    fn validates() -> Result<(), WorkloadError> {
+        FastWalshTransform.run_checked(&ExecConfig::baseline())?;
+        FastWalshTransform.run_checked(&ExecConfig::dynamic(4))?;
+        Ok(())
     }
 
     #[test]

@@ -117,8 +117,9 @@ mod tests {
     use crate::common::WorkloadExt;
 
     #[test]
-    fn validates() {
-        Histogram64.run_checked(&ExecConfig::baseline()).unwrap();
-        Histogram64.run_checked(&ExecConfig::dynamic(4)).unwrap();
+    fn validates() -> Result<(), WorkloadError> {
+        Histogram64.run_checked(&ExecConfig::baseline())?;
+        Histogram64.run_checked(&ExecConfig::dynamic(4))?;
+        Ok(())
     }
 }

@@ -146,9 +146,10 @@ mod tests {
     use crate::common::WorkloadExt;
 
     #[test]
-    fn validates() {
-        MatrixMul.run_checked(&ExecConfig::baseline()).unwrap();
-        MatrixMul.run_checked(&ExecConfig::dynamic(4)).unwrap();
-        MatrixMul.run_checked(&ExecConfig::static_tie(4)).unwrap();
+    fn validates() -> Result<(), WorkloadError> {
+        MatrixMul.run_checked(&ExecConfig::baseline())?;
+        MatrixMul.run_checked(&ExecConfig::dynamic(4))?;
+        MatrixMul.run_checked(&ExecConfig::static_tie(4))?;
+        Ok(())
     }
 }

@@ -114,25 +114,25 @@ mod tests {
     use crate::common::WorkloadExt;
 
     #[test]
-    fn validates() {
-        MersenneTwister.run_checked(&ExecConfig::baseline()).unwrap();
-        MersenneTwister.run_checked(&ExecConfig::dynamic(4)).unwrap();
-        MersenneTwister.run_checked(&ExecConfig::static_tie(4)).unwrap();
+    fn validates() -> Result<(), WorkloadError> {
+        MersenneTwister.run_checked(&ExecConfig::baseline())?;
+        MersenneTwister.run_checked(&ExecConfig::dynamic(4))?;
+        MersenneTwister.run_checked(&ExecConfig::static_tie(4))?;
+        Ok(())
     }
 
     #[test]
-    fn dynamic_formation_is_slower_than_baseline() {
+    fn dynamic_formation_is_slower_than_baseline() -> Result<(), WorkloadError> {
         // The paper's MersenneTwister observation: uncorrelated divergence
         // makes dynamic warp formation lose to plain scalar execution.
-        let base =
-            MersenneTwister.run_checked(&ExecConfig::baseline().with_workers(1)).unwrap().stats;
-        let dynamic =
-            MersenneTwister.run_checked(&ExecConfig::dynamic(4).with_workers(1)).unwrap().stats;
+        let base = MersenneTwister.run_checked(&ExecConfig::baseline().with_workers(1))?.stats;
+        let dynamic = MersenneTwister.run_checked(&ExecConfig::dynamic(4).with_workers(1))?.stats;
         assert!(
             dynamic.exec.total_cycles() > base.exec.total_cycles(),
             "dynamic {} <= baseline {}",
             dynamic.exec.total_cycles(),
             base.exec.total_cycles()
         );
+        Ok(())
     }
 }

@@ -111,8 +111,9 @@ mod tests {
     use crate::common::WorkloadExt;
 
     #[test]
-    fn validates() {
-        MonteCarlo.run_checked(&ExecConfig::baseline()).unwrap();
-        MonteCarlo.run_checked(&ExecConfig::dynamic(4)).unwrap();
+    fn validates() -> Result<(), WorkloadError> {
+        MonteCarlo.run_checked(&ExecConfig::baseline())?;
+        MonteCarlo.run_checked(&ExecConfig::dynamic(4))?;
+        Ok(())
     }
 }

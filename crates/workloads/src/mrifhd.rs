@@ -139,8 +139,9 @@ mod tests {
     use crate::common::WorkloadExt;
 
     #[test]
-    fn validates() {
-        MriFhd.run_checked(&ExecConfig::baseline()).unwrap();
-        MriFhd.run_checked(&ExecConfig::dynamic(4)).unwrap();
+    fn validates() -> Result<(), WorkloadError> {
+        MriFhd.run_checked(&ExecConfig::baseline())?;
+        MriFhd.run_checked(&ExecConfig::dynamic(4))?;
+        Ok(())
     }
 }

@@ -124,8 +124,9 @@ mod tests {
     use crate::common::WorkloadExt;
 
     #[test]
-    fn validates() {
-        MriQ.run_checked(&ExecConfig::baseline()).unwrap();
-        MriQ.run_checked(&ExecConfig::dynamic(4)).unwrap();
+    fn validates() -> Result<(), WorkloadError> {
+        MriQ.run_checked(&ExecConfig::baseline())?;
+        MriQ.run_checked(&ExecConfig::dynamic(4))?;
+        Ok(())
     }
 }

@@ -124,8 +124,9 @@ mod tests {
     use crate::common::WorkloadExt;
 
     #[test]
-    fn validates() {
-        Nbody.run_checked(&ExecConfig::baseline()).unwrap();
-        Nbody.run_checked(&ExecConfig::dynamic(4)).unwrap();
+    fn validates() -> Result<(), WorkloadError> {
+        Nbody.run_checked(&ExecConfig::baseline())?;
+        Nbody.run_checked(&ExecConfig::dynamic(4))?;
+        Ok(())
     }
 }

@@ -100,9 +100,10 @@ mod tests {
     use crate::common::WorkloadExt;
 
     #[test]
-    fn validates() {
-        Reduction.run_checked(&ExecConfig::baseline()).unwrap();
-        Reduction.run_checked(&ExecConfig::dynamic(4)).unwrap();
-        Reduction.run_checked(&ExecConfig::static_tie(4)).unwrap();
+    fn validates() -> Result<(), WorkloadError> {
+        Reduction.run_checked(&ExecConfig::baseline())?;
+        Reduction.run_checked(&ExecConfig::dynamic(4))?;
+        Reduction.run_checked(&ExecConfig::static_tie(4))?;
+        Ok(())
     }
 }

@@ -149,8 +149,9 @@ mod tests {
     use crate::common::WorkloadExt;
 
     #[test]
-    fn validates() {
-        ScalarProd.run_checked(&ExecConfig::baseline()).unwrap();
-        ScalarProd.run_checked(&ExecConfig::dynamic(4)).unwrap();
+    fn validates() -> Result<(), WorkloadError> {
+        ScalarProd.run_checked(&ExecConfig::baseline())?;
+        ScalarProd.run_checked(&ExecConfig::dynamic(4))?;
+        Ok(())
     }
 }

@@ -137,8 +137,9 @@ mod tests {
     use crate::common::WorkloadExt;
 
     #[test]
-    fn validates() {
-        Scan.run_checked(&ExecConfig::baseline()).unwrap();
-        Scan.run_checked(&ExecConfig::dynamic(4)).unwrap();
+    fn validates() -> Result<(), WorkloadError> {
+        Scan.run_checked(&ExecConfig::baseline())?;
+        Scan.run_checked(&ExecConfig::dynamic(4))?;
+        Ok(())
     }
 }

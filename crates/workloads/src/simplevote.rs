@@ -91,18 +91,20 @@ mod tests {
     use crate::common::WorkloadExt;
 
     #[test]
-    fn validates() {
-        SimpleVote.run_checked(&ExecConfig::baseline()).unwrap();
-        SimpleVote.run_checked(&ExecConfig::dynamic(4)).unwrap();
+    fn validates() -> Result<(), WorkloadError> {
+        SimpleVote.run_checked(&ExecConfig::baseline())?;
+        SimpleVote.run_checked(&ExecConfig::dynamic(4))?;
+        Ok(())
     }
 
     #[test]
-    fn warps_are_capped_at_cta_size() {
+    fn warps_are_capped_at_cta_size() -> Result<(), WorkloadError> {
         // Two-thread CTAs can never form warps wider than 2 (Figure 7's
         // SimpleVoteIntrinsics observation).
-        let stats = SimpleVote.run_checked(&ExecConfig::dynamic(4).with_workers(1)).unwrap().stats;
+        let stats = SimpleVote.run_checked(&ExecConfig::dynamic(4).with_workers(1))?.stats;
         assert_eq!(stats.warp_hist[4], 0, "{:?}", stats.warp_hist);
         assert_eq!(stats.warp_hist[3], 0);
         assert!(stats.warp_hist[2] > 0);
+        Ok(())
     }
 }

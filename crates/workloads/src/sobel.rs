@@ -143,8 +143,9 @@ mod tests {
     use crate::common::WorkloadExt;
 
     #[test]
-    fn validates() {
-        SobelFilter.run_checked(&ExecConfig::baseline()).unwrap();
-        SobelFilter.run_checked(&ExecConfig::dynamic(4)).unwrap();
+    fn validates() -> Result<(), WorkloadError> {
+        SobelFilter.run_checked(&ExecConfig::baseline())?;
+        SobelFilter.run_checked(&ExecConfig::dynamic(4))?;
+        Ok(())
     }
 }

@@ -97,8 +97,9 @@ mod tests {
     use crate::common::WorkloadExt;
 
     #[test]
-    fn validates() {
-        SobolQrng.run_checked(&ExecConfig::baseline()).unwrap();
-        SobolQrng.run_checked(&ExecConfig::dynamic(4)).unwrap();
+    fn validates() -> Result<(), WorkloadError> {
+        SobolQrng.run_checked(&ExecConfig::baseline())?;
+        SobolQrng.run_checked(&ExecConfig::dynamic(4))?;
+        Ok(())
     }
 }

@@ -104,7 +104,7 @@ fn reference(tid: u32) -> f32 {
             }
         }
     }
-    accs.iter().copied().reduce(|x, y| x + y).expect("ACCS > 0")
+    accs.iter().sum()
 }
 
 #[cfg(test)]
@@ -113,16 +113,17 @@ mod tests {
     use crate::common::WorkloadExt;
 
     #[test]
-    fn validates_scalar_and_vector() {
-        Throughput.run_checked(&ExecConfig::baseline().with_workers(1)).unwrap();
-        Throughput.run_checked(&ExecConfig::dynamic(4).with_workers(1)).unwrap();
+    fn validates_scalar_and_vector() -> Result<(), WorkloadError> {
+        Throughput.run_checked(&ExecConfig::baseline().with_workers(1))?;
+        Throughput.run_checked(&ExecConfig::dynamic(4).with_workers(1))?;
+        Ok(())
     }
 
     #[test]
-    fn vector_speedup_has_table1_shape() {
-        let s1 = Throughput.run_checked(&ExecConfig::dynamic(1).with_workers(1)).unwrap().stats;
-        let s4 = Throughput.run_checked(&ExecConfig::dynamic(4).with_workers(1)).unwrap().stats;
-        let s8 = Throughput.run_checked(&ExecConfig::dynamic(8).with_workers(1)).unwrap().stats;
+    fn vector_speedup_has_table1_shape() -> Result<(), WorkloadError> {
+        let s1 = Throughput.run_checked(&ExecConfig::dynamic(1).with_workers(1))?.stats;
+        let s4 = Throughput.run_checked(&ExecConfig::dynamic(4).with_workers(1))?.stats;
+        let s8 = Throughput.run_checked(&ExecConfig::dynamic(8).with_workers(1))?.stats;
         let c1 = s1.exec.total_cycles() as f64;
         let c4 = s4.exec.total_cycles() as f64;
         let c8 = s8.exec.total_cycles() as f64;
@@ -130,5 +131,6 @@ mod tests {
         // register pressure (Table 1).
         assert!(c1 / c4 > 2.5, "w4 speedup {}", c1 / c4);
         assert!(c8 > c4, "w8 ({c8}) should be slower than w4 ({c4})");
+        Ok(())
     }
 }

@@ -103,8 +103,9 @@ mod tests {
     use crate::common::WorkloadExt;
 
     #[test]
-    fn validates() {
-        Transpose.run_checked(&ExecConfig::baseline()).unwrap();
-        Transpose.run_checked(&ExecConfig::dynamic(4)).unwrap();
+    fn validates() -> Result<(), WorkloadError> {
+        Transpose.run_checked(&ExecConfig::baseline())?;
+        Transpose.run_checked(&ExecConfig::dynamic(4))?;
+        Ok(())
     }
 }

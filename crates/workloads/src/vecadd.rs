@@ -88,9 +88,10 @@ mod tests {
     use crate::common::WorkloadExt;
 
     #[test]
-    fn validates_under_all_policies() {
-        VecAdd.run_checked(&ExecConfig::baseline()).unwrap();
-        VecAdd.run_checked(&ExecConfig::dynamic(4)).unwrap();
-        VecAdd.run_checked(&ExecConfig::static_tie(4)).unwrap();
+    fn validates_under_all_policies() -> Result<(), WorkloadError> {
+        VecAdd.run_checked(&ExecConfig::baseline())?;
+        VecAdd.run_checked(&ExecConfig::dynamic(4))?;
+        VecAdd.run_checked(&ExecConfig::static_tie(4))?;
+        Ok(())
     }
 }

@@ -1,0 +1,52 @@
+//! Deadline smoke test: launch a kernel that never terminates and prove
+//! the execution manager kills it within the wall-clock budget.
+//!
+//! Exits 0 only if the launch failed with a deadline fault (with full
+//! provenance) in bounded time — CI runs this under an external
+//! `timeout` so a broken kill path fails loudly instead of hanging.
+//!
+//! Run with `cargo run --example deadline_smoke`.
+
+use std::time::{Duration, Instant};
+
+use dpvk::core::{Device, ExecConfig, ParamValue};
+use dpvk::vm::MachineModel;
+
+/// The only block branches to itself: without a deadline this kernel
+/// spins until the instruction watchdog (2^32 instructions) trips.
+const SPIN: &str = r#"
+.kernel spin (.param .u32 n) {
+  .reg .u32 %r<1>;
+entry:
+  bra entry;
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dev = Device::new(MachineModel::sandybridge_sse(), 1 << 20);
+    dev.register_source(SPIN)?;
+
+    let budget = Duration::from_millis(300);
+    let start = Instant::now();
+    let result = dev.launch_with_deadline(
+        "spin",
+        [4, 1, 1],
+        [16, 1, 1],
+        &[ParamValue::U32(0)],
+        &ExecConfig::dynamic(4).with_workers(2),
+        budget,
+    );
+    let elapsed = start.elapsed();
+
+    match result {
+        Err(e) if e.is_deadline() => {
+            println!("runaway kernel killed after {elapsed:?} (budget {budget:?}): {e}");
+            if elapsed > budget * 2 {
+                return Err(format!("kill took {elapsed:?}, over 2x the {budget:?} budget").into());
+            }
+            Ok(())
+        }
+        Err(e) => Err(format!("expected a deadline fault, got: {e}").into()),
+        Ok(_) => Err("the spin kernel cannot terminate; launch must not succeed".into()),
+    }
+}
