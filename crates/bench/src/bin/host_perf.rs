@@ -1,0 +1,289 @@
+//! Wall-clock benchmark of warm-cache launches (host-side hot path).
+//!
+//! Unlike the figure/table binaries, which report *modeled* cycles, this
+//! binary measures real host nanoseconds per launch once the translation
+//! cache is warm — the cost of warp formation, dispatch, and the
+//! interpreter loop itself. It exists to prove host-side optimizations
+//! with numbers rather than assertions, and seeds the `BENCH_*.json`
+//! trajectory at the repo root.
+//!
+//! Usage:
+//!   host_perf [--quick] [--out PATH] [--before PATH] [--check PATH]
+//!
+//! * `--quick` — reduced repeat counts (CI smoke configuration)
+//! * `--out PATH` — write results as JSON (default: no file, stdout table)
+//! * `--before P` — fold a previous results file in as the "before"
+//!   section and emit before/after/speedup in `--out`
+//! * `--check P` — compare against the `after` (or sole) results in a
+//!   committed baseline; exit non-zero only on a gross (>5x)
+//!   per-configuration regression
+
+use std::time::Instant;
+
+use dpvk_bench::format_table;
+use dpvk_core::ExecConfig;
+use dpvk_vm::MachineModel;
+use dpvk_workloads::{workload, Workload};
+
+const WORKLOADS: [&str; 4] = ["throughput", "blackscholes", "matrixmul", "bitonic"];
+const WORKERS: [usize; 3] = [1, 2, 4];
+const HEAP: usize = 256 << 20;
+
+/// Gross-regression threshold for `--check` (CI fails only beyond this).
+const REGRESSION_FACTOR: f64 = 5.0;
+
+#[derive(Debug, Clone)]
+struct Sample {
+    workload: String,
+    workers: usize,
+    launches: u64,
+    min_ns: u64,
+    median_ns: u64,
+    mean_ns: u64,
+}
+
+fn fresh_device(w: &dyn Workload) -> dpvk_core::Device {
+    let dev = dpvk_core::Device::new(MachineModel::sandybridge_sse(), HEAP);
+    dev.register_source(&w.source()).expect("workload source parses");
+    dev
+}
+
+/// Time warm launches of one workload under one worker count.
+///
+/// The first run on a fresh device compiles the specializations; every
+/// timed run after that exercises only the steady-state launch path. If
+/// the bump allocator fills up mid-run the device is recycled (and
+/// re-warmed) without counting the cold run.
+fn bench_one(name: &str, workers: usize, quick: bool) -> Sample {
+    let w = workload(name).expect("workload exists");
+    let config = ExecConfig::dynamic(4).with_workers(workers);
+    let mut dev = fresh_device(w.as_ref());
+    w.run(&dev, &config).expect("warm-up run validates");
+
+    // Calibrate the repeat count so each configuration takes a roughly
+    // fixed slice of wall time regardless of workload size.
+    let t0 = Instant::now();
+    w.run(&dev, &config).expect("calibration run validates");
+    let per = t0.elapsed().as_nanos().max(1) as u64;
+    let (budget_ns, lo, hi) = if quick { (100_000_000, 3, 24) } else { (600_000_000, 8, 160) };
+    let iters = (budget_ns / per).clamp(lo, hi);
+
+    let mut samples_ns = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let t = Instant::now();
+        match w.run(&dev, &config) {
+            Ok(_) => samples_ns.push(t.elapsed().as_nanos() as u64),
+            Err(_) => {
+                // Device heap exhausted: recycle and re-warm, discard
+                // the failed (and the next, cold) run.
+                dev = fresh_device(w.as_ref());
+                w.run(&dev, &config).expect("re-warm run validates");
+            }
+        }
+    }
+    assert!(!samples_ns.is_empty(), "no successful timed runs for {name}");
+    samples_ns.sort_unstable();
+    let launches = samples_ns.len() as u64;
+    Sample {
+        workload: name.to_string(),
+        workers,
+        launches,
+        min_ns: samples_ns[0],
+        median_ns: samples_ns[samples_ns.len() / 2],
+        mean_ns: samples_ns.iter().sum::<u64>() / launches,
+    }
+}
+
+fn result_line(s: &Sample) -> String {
+    format!(
+        "{{\"workload\": \"{}\", \"workers\": {}, \"launches\": {}, \
+         \"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}}}",
+        s.workload, s.workers, s.launches, s.min_ns, s.median_ns, s.mean_ns
+    )
+}
+
+fn render_json(before: Option<&[Sample]>, after: &[Sample]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"host_perf\",\n");
+    out.push_str("  \"unit\": \"ns_per_warm_launch\",\n");
+    out.push_str("  \"policy\": \"dynamic_w4\",\n");
+    let emit = |out: &mut String, key: &str, rows: &[Sample], trailing: bool| {
+        out.push_str(&format!("  \"{key}\": [\n"));
+        for (i, s) in rows.iter().enumerate() {
+            let comma = if i + 1 < rows.len() { "," } else { "" };
+            out.push_str(&format!("    {}{comma}\n", result_line(s)));
+        }
+        out.push_str(if trailing { "  ],\n" } else { "  ]\n" });
+    };
+    if let Some(b) = before {
+        emit(&mut out, "before", b, true);
+        emit(&mut out, "after", after, true);
+        out.push_str("  \"speedup_min\": [\n");
+        let mut rows = Vec::new();
+        for s in after {
+            if let Some(prev) =
+                b.iter().find(|p| p.workload == s.workload && p.workers == s.workers)
+            {
+                rows.push(format!(
+                    "    {{\"workload\": \"{}\", \"workers\": {}, \"speedup\": {:.2}}}",
+                    s.workload,
+                    s.workers,
+                    prev.min_ns as f64 / s.min_ns.max(1) as f64
+                ));
+            }
+        }
+        out.push_str(&rows.join(",\n"));
+        out.push_str("\n  ]\n");
+    } else {
+        emit(&mut out, "after", after, false);
+    }
+    out.push_str("}\n");
+    out
+}
+
+// --- minimal reader for our own result-line format (no JSON dependency) ---
+
+fn extract_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn extract_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Parse result lines from a file previously written by this binary.
+/// If an `"after"` section exists, only its lines are read (so a
+/// combined before/after file compares against the newer numbers).
+fn read_results(path: &str) -> Vec<Sample> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let body = match text.find("\"after\"") {
+        Some(i) => &text[i..],
+        None => &text[..],
+    };
+    let mut out = Vec::new();
+    for line in body.lines() {
+        let Some(workload) = extract_str(line, "workload") else { continue };
+        let (Some(workers), Some(min_ns)) =
+            (extract_u64(line, "workers"), extract_u64(line, "min_ns"))
+        else {
+            continue;
+        };
+        out.push(Sample {
+            workload,
+            workers: workers as usize,
+            launches: extract_u64(line, "launches").unwrap_or(0),
+            min_ns,
+            median_ns: extract_u64(line, "median_ns").unwrap_or(min_ns),
+            mean_ns: extract_u64(line, "mean_ns").unwrap_or(min_ns),
+        });
+    }
+    out
+}
+
+fn check_against(baseline_path: &str, current: &[Sample]) -> bool {
+    let baseline = read_results(baseline_path);
+    assert!(!baseline.is_empty(), "no result lines found in {baseline_path}");
+    let mut ok = true;
+    for s in current {
+        let Some(b) = baseline.iter().find(|p| p.workload == s.workload && p.workers == s.workers)
+        else {
+            continue;
+        };
+        let factor = s.min_ns as f64 / b.min_ns.max(1) as f64;
+        if factor > REGRESSION_FACTOR {
+            eprintln!(
+                "REGRESSION: {} workers={} is {factor:.1}x slower than baseline \
+                 ({} ns vs {} ns)",
+                s.workload, s.workers, s.min_ns, b.min_ns
+            );
+            ok = false;
+        }
+    }
+    ok
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out_path: Option<String> = None;
+    let mut before_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                i += 1;
+                out_path = Some(args[i].clone());
+            }
+            "--before" => {
+                i += 1;
+                before_path = Some(args[i].clone());
+            }
+            "--check" => {
+                i += 1;
+                check_path = Some(args[i].clone());
+            }
+            other => {
+                eprintln!("unknown flag: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let mut results = Vec::new();
+    for name in WORKLOADS {
+        for workers in WORKERS {
+            let s = bench_one(name, workers, quick);
+            eprintln!(
+                "{:<14} workers={}  min {:>12} ns  median {:>12} ns  ({} launches)",
+                s.workload, s.workers, s.min_ns, s.median_ns, s.launches
+            );
+            results.push(s);
+        }
+    }
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|s| {
+            vec![
+                s.workload.clone(),
+                s.workers.to_string(),
+                s.min_ns.to_string(),
+                s.median_ns.to_string(),
+                s.launches.to_string(),
+            ]
+        })
+        .collect();
+    println!("\nWarm-launch wall clock (dynamic w4), ns per launch");
+    println!(
+        "{}",
+        format_table(&["workload", "workers", "min_ns", "median_ns", "launches"], &rows)
+    );
+
+    let before = before_path.map(|p| {
+        let b = read_results(&p);
+        assert!(!b.is_empty(), "no result lines found in --before file");
+        b
+    });
+    if let Some(path) = out_path {
+        std::fs::write(&path, render_json(before.as_deref(), &results)).expect("write --out file");
+        println!("wrote {path}");
+    }
+    if let Some(path) = check_path {
+        if !check_against(&path, &results) {
+            std::process::exit(1);
+        }
+        println!("perf check vs {path}: within {REGRESSION_FACTOR}x");
+    }
+}

@@ -2,19 +2,27 @@
 //!
 //! Kernels are registered as PTX-like modules, translated lazily to scalar
 //! IR, and specialized per `(warp size, variant)` on first request.
-//! Execution managers running in worker threads query the cache under a
-//! single lock — matching the paper's "execution managers block while
-//! contending for a lock on the dynamic translation cache", with
-//! compilation performed in the querying thread.
+//!
+//! The paper notes that "execution managers block while contending for a
+//! lock on the dynamic translation cache" — and that this contention must
+//! be amortized away for the steady state to run at hardware speed. The
+//! compiled-specialization table is therefore read-mostly: lookups take a
+//! shared read lock with a borrowed key (no allocation per query) and
+//! statistics are relaxed atomics, so warm queries never serialize
+//! against each other. A mutex is held only on the compilation path, and
+//! workers additionally memoize resolutions per launch (see
+//! `exec::DispatchTable`) so steady-state dispatch touches no shared
+//! state at all.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 use std::time::Instant;
 
-use crate::sync::Mutex;
+use crate::sync::{Mutex, RwLock};
 
 use dpvk_ptx as ptx;
-use dpvk_vm::{CostInfo, MachineModel};
+use dpvk_vm::{CostInfo, FrameLayout, MachineModel};
 
 use crate::error::CoreError;
 use crate::translate::{translate, TranslatedKernel};
@@ -66,6 +74,9 @@ pub struct CompiledKernel {
     pub function: Arc<dpvk_ir::Function>,
     /// Cost analysis under the cache's machine model.
     pub cost: CostInfo,
+    /// Register frame layout, computed once here so the interpreter can
+    /// execute against a flat reusable frame with no per-warp setup.
+    pub frame: FrameLayout,
     /// Static instruction count before optimization.
     pub pre_opt_instructions: usize,
     /// Static instruction count after optimization.
@@ -113,21 +124,41 @@ impl std::fmt::Display for CacheStats {
     }
 }
 
+/// Compiled specializations of one kernel. A kernel has at most a
+/// handful of `(width, variant)` entries, so a linear scan of this list
+/// beats hashing a composite key — and needs no key allocation.
+type SpecList = Vec<((u32, Variant), Arc<CompiledKernel>)>;
+
+/// Cache statistics as relaxed atomics, so the hot hit path updates them
+/// without taking any lock. All counters are monotonic sums, so relaxed
+/// ordering cannot misreport a snapshot taken after the work settles.
+#[derive(Default)]
+struct StatCells {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    compile_ns: AtomicU64,
+    spec_failures: AtomicU64,
+    downgrades: AtomicU64,
+}
+
 #[derive(Default)]
 struct Inner {
     translated: HashMap<String, Arc<TranslatedKernel>>,
-    compiled: HashMap<(String, u32, Variant), Arc<CompiledKernel>>,
     /// Specializations that failed to compile, memoized so each launch
     /// does not retry (and re-pay for) a known-bad compilation.
     failed: HashMap<(String, u32, Variant), CoreError>,
-    stats: CacheStats,
 }
 
 /// The translation cache: kernels in, specialized functions out.
 pub struct TranslationCache {
     model: MachineModel,
     kernels: Mutex<HashMap<String, ptx::Kernel>>,
+    /// Read-mostly: warm lookups take the read lock with a borrowed
+    /// `&str` key; the write lock is held only to publish a freshly
+    /// compiled specialization.
+    compiled: RwLock<HashMap<String, SpecList>>,
     inner: Mutex<Inner>,
+    stats: StatCells,
 }
 
 impl TranslationCache {
@@ -136,7 +167,9 @@ impl TranslationCache {
         TranslationCache {
             model,
             kernels: Mutex::new(HashMap::new()),
+            compiled: RwLock::new(HashMap::new()),
             inner: Mutex::new(Inner::default()),
+            stats: StatCells::default(),
         }
     }
 
@@ -196,20 +229,25 @@ impl TranslationCache {
         warp_size: u32,
         variant: Variant,
     ) -> Result<Arc<CompiledKernel>, CoreError> {
-        let key = (kernel.to_string(), warp_size, variant);
-        {
-            let mut inner = self.inner.lock();
-            if let Some(c) = inner.compiled.get(&key) {
-                let c = Arc::clone(c);
-                inner.stats.hits += 1;
+        // Hot path: shared read lock, borrowed key, no allocation. Trace
+        // bookkeeping (including `Variant::label`) runs only when the
+        // trace layer is actually on.
+        if let Some(c) = self.lookup(kernel, warp_size, variant) {
+            self.stats.hits.fetch_add(1, Relaxed);
+            if dpvk_trace::enabled() {
                 dpvk_trace::record_cache_query(kernel, warp_size, variant.label(), true);
-                return Ok(c);
             }
-            if let Some(e) = inner.failed.get(&key) {
+            return Ok(c);
+        }
+        {
+            let inner = self.inner.lock();
+            if let Some(e) = inner.failed.get(&(kernel.to_string(), warp_size, variant)) {
                 return Err(e.clone());
             }
         }
-        dpvk_trace::record_cache_query(kernel, warp_size, variant.label(), false);
+        if dpvk_trace::enabled() {
+            dpvk_trace::record_cache_query(kernel, warp_size, variant.label(), false);
+        }
         let tk = self.translated(kernel)?;
         let start = Instant::now();
         let specialized = {
@@ -230,26 +268,54 @@ impl TranslationCache {
                             variant.label(),
                             &e.to_string(),
                         );
+                        self.stats.spec_failures.fetch_add(1, Relaxed);
                         let mut inner = self.inner.lock();
-                        inner.stats.spec_failures += 1;
-                        inner.failed.entry(key).or_insert_with(|| e.clone());
+                        inner
+                            .failed
+                            .entry((kernel.to_string(), warp_size, variant))
+                            .or_insert_with(|| e.clone());
                     }
                     return Err(e);
                 }
             };
         let cost = CostInfo::analyze(&function, &self.model);
+        let frame = FrameLayout::of(&function);
         let compiled = Arc::new(CompiledKernel {
             function: Arc::new(function),
             cost,
+            frame,
             pre_opt_instructions,
             post_opt_instructions,
         });
         let elapsed = start.elapsed().as_nanos() as u64;
         dpvk_trace::record_compile(kernel, warp_size, variant.label(), elapsed);
-        let mut inner = self.inner.lock();
-        inner.stats.misses += 1;
-        inner.stats.compile_ns += elapsed;
-        Ok(Arc::clone(inner.compiled.entry(key).or_insert(compiled)))
+        self.stats.misses.fetch_add(1, Relaxed);
+        self.stats.compile_ns.fetch_add(elapsed, Relaxed);
+        // Publish under the write lock; on a compile race the first
+        // publication wins (both racers still count their miss, exactly
+        // as the mutex-era cache did).
+        let mut map = self.compiled.write();
+        let list = map.entry(kernel.to_string()).or_default();
+        if let Some((_, existing)) =
+            list.iter().find(|((w, v), _)| *w == warp_size && *v == variant)
+        {
+            return Ok(Arc::clone(existing));
+        }
+        list.push(((warp_size, variant), Arc::clone(&compiled)));
+        Ok(compiled)
+    }
+
+    /// Warm lookup: read lock, borrowed key, linear scan of the kernel's
+    /// few specializations.
+    fn lookup(
+        &self,
+        kernel: &str,
+        warp_size: u32,
+        variant: Variant,
+    ) -> Option<Arc<CompiledKernel>> {
+        let map = self.compiled.read();
+        let list = map.get(kernel)?;
+        list.iter().find(|((w, v), _)| *w == warp_size && *v == variant).map(|(_, c)| Arc::clone(c))
     }
 
     /// Run `specialize`, with the fault-injection hook (forced verify
@@ -295,7 +361,7 @@ impl TranslationCache {
             Err(CoreError::Verify(_) | CoreError::Unsupported { .. })
                 if !(warp_size == 1 && variant == Variant::Baseline) =>
             {
-                self.inner.lock().stats.downgrades += 1;
+                self.stats.downgrades.fetch_add(1, Relaxed);
                 let c = self.get(kernel, 1, Variant::Baseline)?;
                 Ok((c, true))
             }
@@ -303,9 +369,29 @@ impl TranslationCache {
         }
     }
 
+    /// Fold in hit/downgrade counts resolved from a worker-local dispatch
+    /// table (see `exec::DispatchTable`), which answers repeat queries
+    /// without touching the shared cache and flushes its tallies here so
+    /// [`TranslationCache::stats`] totals stay identical to per-query
+    /// counting.
+    pub(crate) fn add_resolved(&self, hits: u64, downgrades: u64) {
+        if hits != 0 {
+            self.stats.hits.fetch_add(hits, Relaxed);
+        }
+        if downgrades != 0 {
+            self.stats.downgrades.fetch_add(downgrades, Relaxed);
+        }
+    }
+
     /// Current statistics.
     pub fn stats(&self) -> CacheStats {
-        self.inner.lock().stats
+        CacheStats {
+            hits: self.stats.hits.load(Relaxed),
+            misses: self.stats.misses.load(Relaxed),
+            compile_ns: self.stats.compile_ns.load(Relaxed),
+            spec_failures: self.stats.spec_failures.load(Relaxed),
+            downgrades: self.stats.downgrades.load(Relaxed),
+        }
     }
 
     /// The registered declaration of `kernel` (signature, register file,
@@ -325,12 +411,13 @@ impl TranslationCache {
 
 impl std::fmt::Debug for TranslationCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let compiled: usize = self.compiled.read().values().map(Vec::len).sum();
         let inner = self.inner.lock();
         f.debug_struct("TranslationCache")
             .field("model", &self.model.name)
             .field("translated", &inner.translated.len())
-            .field("compiled", &inner.compiled.len())
-            .field("stats", &inner.stats)
+            .field("compiled", &compiled)
+            .field("stats", &self.stats())
             .finish()
     }
 }

@@ -11,15 +11,18 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::Instant;
 
 use dpvk_ir::ResumeStatus;
 use dpvk_vm::{
-    execute_warp, CancelToken, ExecLimits, ExecStats, GlobalMem, MemAccess, ThreadContext, VmError,
+    execute_warp_framed, CancelToken, ExecLimits, ExecStats, GlobalMem, MemAccess, RegFrame,
+    ThreadContext, VmError,
 };
 
-use crate::cache::{TranslationCache, Variant};
+use crate::cache::{CompiledKernel, TranslationCache, Variant};
 use crate::error::{CoreError, FaultContext};
+use crate::translate::TranslatedKernel;
 
 /// How warps are formed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -211,8 +214,10 @@ pub fn run_grid_cancellable(
     if cta_size > 4096 {
         return Err(CoreError::BadLaunch(format!("CTA size {cta_size} exceeds the 4096 limit")));
     }
-    // Force translation before spawning workers so errors surface eagerly.
-    let _ = cache.translated(kernel)?;
+    // Force translation before spawning workers so errors surface eagerly,
+    // and share the result so CTAs skip the per-CTA cache lookup.
+    let tk = cache.translated(kernel)?;
+    let tk = &tk;
 
     let workers = if config.workers == 0 { cache.model().cores as usize } else { config.workers }
         .min(cta_count as usize)
@@ -227,6 +232,9 @@ pub fn run_grid_cancellable(
         let mut handles = Vec::with_capacity(workers);
         for worker in 0..workers {
             handles.push(s.spawn(move || {
+                // Scratch lives outside `catch_unwind` so the dispatch
+                // table's stats flush survives CTA panics and faults.
+                let mut scratch = WorkerScratch::new(cache);
                 let mut stats = LaunchStats::new(config.max_warp);
                 let mut error = None;
                 let mut stopped_at = None;
@@ -247,8 +255,19 @@ pub fn run_grid_cancellable(
                     }
                     let run = catch_unwind(AssertUnwindSafe(|| {
                         run_cta(
-                            cache, kernel, grid, block, flat, param, cbank, global, config,
-                            &mut stats, token,
+                            cache,
+                            kernel,
+                            tk,
+                            grid,
+                            block,
+                            flat,
+                            param,
+                            cbank,
+                            global,
+                            config,
+                            &mut stats,
+                            &mut scratch,
+                            token,
                         )
                     }));
                     match run {
@@ -379,11 +398,91 @@ fn panic_payload(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Worker-local memo of resolved specializations. A launch requests the
+/// same few `(width, variant)` pairs for every warp, so after the first
+/// shared-cache query per pair the steady state is answered from this
+/// table: a linear scan over a handful of entries, no lock, no
+/// allocation. Hit and downgrade tallies accumulate locally and flush to
+/// the cache's atomic counters on drop — which runs even when a CTA
+/// panics or faults, because the table lives outside `catch_unwind` — so
+/// [`TranslationCache::stats`] totals are identical to per-query
+/// counting.
+struct DispatchTable<'c> {
+    cache: &'c TranslationCache,
+    entries: Vec<(u32, Variant, Arc<CompiledKernel>, bool)>,
+    hits: u64,
+    downgrades: u64,
+}
+
+impl<'c> DispatchTable<'c> {
+    fn new(cache: &'c TranslationCache) -> Self {
+        DispatchTable { cache, entries: Vec::new(), hits: 0, downgrades: 0 }
+    }
+
+    /// Resolve a specialization plus its downgrade flag, consulting the
+    /// shared cache only on the first request per `(width, variant)`.
+    fn resolve(
+        &mut self,
+        kernel: &str,
+        w: u32,
+        variant: Variant,
+    ) -> Result<(Arc<CompiledKernel>, bool), CoreError> {
+        if let Some((_, _, c, d)) =
+            self.entries.iter().find(|(ew, ev, _, _)| *ew == w && *ev == variant)
+        {
+            // Tally what the shared cache would have counted: one hit per
+            // resolution, and for a downgraded entry a hit on the width-1
+            // baseline plus one downgrade.
+            self.hits += 1;
+            let downgraded = *d;
+            if downgraded {
+                self.downgrades += 1;
+            }
+            if dpvk_trace::enabled() {
+                let (rw, rv) = if downgraded { (1, Variant::Baseline) } else { (w, variant) };
+                dpvk_trace::record_cache_query(kernel, rw, rv.label(), true);
+            }
+            return Ok((Arc::clone(c), downgraded));
+        }
+        let (c, d) = self.cache.get_or_downgrade(kernel, w, variant)?;
+        self.entries.push((w, variant, Arc::clone(&c), d));
+        Ok((c, d))
+    }
+}
+
+impl Drop for DispatchTable<'_> {
+    fn drop(&mut self) {
+        self.cache.add_resolved(self.hits, self.downgrades);
+    }
+}
+
+/// Reusable per-worker execution state: the dispatch memo plus scratch
+/// buffers for warp formation and the interpreter register frame, so the
+/// steady-state CTA loop performs no heap allocation.
+struct WorkerScratch<'c> {
+    dispatch: DispatchTable<'c>,
+    warp: Vec<ThreadContext>,
+    kept: Vec<ThreadContext>,
+    frame: RegFrame,
+}
+
+impl<'c> WorkerScratch<'c> {
+    fn new(cache: &'c TranslationCache) -> Self {
+        WorkerScratch {
+            dispatch: DispatchTable::new(cache),
+            warp: Vec::new(),
+            kept: Vec::new(),
+            frame: RegFrame::new(),
+        }
+    }
+}
+
 /// Execute all threads of one CTA to completion.
 #[allow(clippy::too_many_arguments)]
 fn run_cta(
     cache: &TranslationCache,
     kernel: &str,
+    tk: &TranslatedKernel,
     grid: [u32; 3],
     block: [u32; 3],
     cta_flat: u32,
@@ -392,12 +491,12 @@ fn run_cta(
     global: &GlobalMem,
     config: &ExecConfig,
     stats: &mut LaunchStats,
+    scratch: &mut WorkerScratch<'_>,
     cancel: &CancelToken,
 ) -> Result<(), CoreError> {
     #[cfg(feature = "fault-inject")]
     crate::faults::maybe_panic(cta_flat);
 
-    let tk = cache.translated(kernel)?;
     let cta_size = (block[0] * block[1] * block[2]) as usize;
     let ctaid =
         [cta_flat % grid[0], (cta_flat / grid[0]) % grid[1], cta_flat / (grid[0] * grid[1])];
@@ -420,6 +519,7 @@ fn run_cta(
     let mut barrier_pool: Vec<ThreadContext> = Vec::new();
     let mut exited: usize = 0;
     let mut scan_total: u64 = 0;
+    let tracing = dpvk_trace::enabled();
     // The interpreter polls on an instruction stride; this boundary check
     // covers short warp calls that retire before the first poll.
     let polling = config.limits.deadline.is_some();
@@ -441,7 +541,11 @@ fn run_cta(
         }
         // Gather a warp (round-robin from the queue head, greedy collect of
         // matching resume points).
-        let (mut warp, scanned) = gather(&mut ready, rp, config, tk.local_bytes);
+        let host_t = tracing.then(Instant::now);
+        let scanned = gather(&mut ready, rp, config, &mut scratch.warp, &mut scratch.kept);
+        if let Some(t) = host_t {
+            dpvk_trace::add(dpvk_trace::Counter::HostFormationNs, t.elapsed().as_nanos() as u64);
+        }
         stats.exec.cycles_manager +=
             config.em_cost.formation_base + config.em_cost.per_thread_scanned * scanned as u64;
         scan_total += scanned as u64;
@@ -451,13 +555,13 @@ fn run_cta(
             FormationPolicy::ScalarBaseline => (1u32, Variant::Baseline),
             FormationPolicy::Dynamic => {
                 let mut w = config.max_warp;
-                while w as usize > warp.len() {
+                while w as usize > scratch.warp.len() {
                     w /= 2;
                 }
                 (w.max(1), Variant::Dynamic)
             }
             FormationPolicy::Static => {
-                if warp.len() == config.max_warp as usize && config.max_warp > 1 {
+                if scratch.warp.len() == config.max_warp as usize && config.max_warp > 1 {
                     (config.max_warp, Variant::StaticTie)
                 } else {
                     (1, Variant::StaticTie)
@@ -469,7 +573,11 @@ fn run_cta(
         // compile falls back to the width-1 scalar baseline. Entry-point
         // numbering is shared across variants (assigned in `translate`),
         // so baseline warps resume mid-grid safely.
-        let (compiled, downgraded) = cache.get_or_downgrade(kernel, w, variant)?;
+        let host_t = tracing.then(Instant::now);
+        let (compiled, downgraded) = scratch.dispatch.resolve(kernel, w, variant)?;
+        if let Some(t) = host_t {
+            dpvk_trace::add(dpvk_trace::Counter::HostDispatchNs, t.elapsed().as_nanos() as u64);
+        }
         let w = if downgraded {
             stats.exec.downgraded_warps += 1;
             1
@@ -477,24 +585,26 @@ fn run_cta(
             w
         };
         // Return surplus threads to the queue head (they keep priority).
-        while warp.len() > w as usize {
-            let ctx = warp.pop().expect("warp longer than w");
+        while scratch.warp.len() > w as usize {
+            let ctx = scratch.warp.pop().expect("warp longer than w");
             ready.push_front(ctx);
         }
 
         #[cfg(feature = "fault-inject")]
         if let Some(vm_err) = injected_fault_pending.take() {
-            return Err(warp_fault(kernel, cta_flat, rp, &warp, vm_err));
+            return Err(warp_fault(kernel, cta_flat, rp, &scratch.warp, vm_err));
         }
         #[cfg(feature = "fault-inject")]
         crate::faults::maybe_slow_warp(cta_flat);
 
         let mut mem = MemAccess { global, shared: &mut shared, local: &mut local, param, cbank };
-        let outcome = execute_warp(
+        let outcome = execute_warp_framed(
             &compiled.function,
+            &compiled.frame,
+            &mut scratch.frame,
             &compiled.cost,
             cache.model(),
-            &mut warp,
+            &mut scratch.warp,
             rp,
             &mut mem,
             &mut stats.exec,
@@ -505,12 +615,12 @@ fn run_cta(
             if matches!(e, VmError::Cancelled | VmError::Deadline) {
                 stats.exec.cancelled_warps += 1;
             }
-            warp_fault(kernel, cta_flat, rp, &warp, e)
+            warp_fault(kernel, cta_flat, rp, &scratch.warp, e)
         })?;
         if (w as usize) < stats.warp_hist.len() {
             stats.warp_hist[w as usize] += 1;
         }
-        if dpvk_trace::enabled() {
+        if tracing {
             dpvk_trace::record_warp_entry(w, std::mem::take(&mut scan_total));
             let reason = match outcome.status {
                 ResumeStatus::Exit => dpvk_trace::YieldReason::Exit,
@@ -523,10 +633,11 @@ fn run_cta(
         stats.exec.cycles_manager += config.em_cost.per_yield_thread * w as u64;
         match outcome.status {
             ResumeStatus::Exit => {
-                exited += warp.len();
+                exited += scratch.warp.len();
+                scratch.warp.clear();
             }
             ResumeStatus::Branch => {
-                for ctx in warp {
+                for ctx in scratch.warp.drain(..) {
                     if ctx.is_terminated() {
                         exited += 1;
                     } else {
@@ -536,7 +647,7 @@ fn run_cta(
             }
             ResumeStatus::Barrier => {
                 stats.exec.cycles_manager += config.em_cost.per_barrier_thread * w as u64;
-                barrier_pool.extend(warp);
+                barrier_pool.append(&mut scratch.warp);
             }
         }
 
@@ -561,43 +672,52 @@ fn run_cta(
 }
 
 /// Collect up to `max_warp` contexts with resume point `rp` from the
-/// queue, scanning from the front. For static formation only contexts of
-/// the front thread's group are eligible, and the result is sorted by
-/// thread index (lane order). Returns the gathered warp and the number of
-/// queue entries examined.
+/// queue into `warp`, scanning from the front in one pass: non-matching
+/// contexts are parked in `kept` and restored to the queue head in their
+/// original order. For static formation only contexts of the front
+/// thread's group are eligible, and the result is sorted by thread index
+/// (lane order). Returns the number of queue entries examined.
+///
+/// Host time is O(entries examined) — the previous implementation
+/// removed each picked context by index, which shifts the whole deque
+/// per removal (O(n) per thread, O(n²) per warp on fragmented pools).
+/// The modeled formation charge is unchanged: `scanned` counts exactly
+/// the entries the indexed scan inspected, and both the warp and the
+/// residual queue end up in the same order.
 fn gather(
     ready: &mut VecDeque<ThreadContext>,
     rp: i64,
     config: &ExecConfig,
-    local_bytes: usize,
-) -> (Vec<ThreadContext>, usize) {
+    warp: &mut Vec<ThreadContext>,
+    kept: &mut Vec<ThreadContext>,
+) -> usize {
     let max = config.max_warp as usize;
     let is_static = config.policy == FormationPolicy::Static;
     let group_of =
         |ctx: &ThreadContext| -> u32 { ctx.flat_tid().checked_div(config.max_warp).unwrap_or(0) };
     let front_group = ready.front().map(group_of).unwrap_or(0);
 
-    let mut picked: Vec<usize> = Vec::with_capacity(max);
+    warp.clear();
+    kept.clear();
     let mut scanned = 0usize;
-    for (i, ctx) in ready.iter().enumerate() {
+    while let Some(ctx) = ready.pop_front() {
         scanned += 1;
-        if ctx.resume_point == rp && (!is_static || group_of(ctx) == front_group) {
-            picked.push(i);
-            if picked.len() == max {
+        if ctx.resume_point == rp && (!is_static || group_of(&ctx) == front_group) {
+            warp.push(ctx);
+            if warp.len() == max {
                 break;
             }
+        } else {
+            kept.push(ctx);
         }
     }
-    let mut warp: Vec<ThreadContext> = Vec::with_capacity(picked.len());
-    for &i in picked.iter().rev() {
-        warp.push(ready.remove(i).expect("picked index valid"));
+    for ctx in kept.drain(..).rev() {
+        ready.push_front(ctx);
     }
-    warp.reverse();
     if is_static {
         warp.sort_by_key(|c| c.flat_tid());
     }
-    let _ = local_bytes;
-    (warp, scanned)
+    scanned
 }
 
 #[cfg(test)]
@@ -806,5 +926,83 @@ done:
         let (_, stats) = run_vecadd(&ExecConfig::dynamic(4).with_workers(1));
         let total: f64 = stats.warp_size_fractions().iter().sum();
         assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    /// The indexed-removal gather this PR replaced, kept verbatim as the
+    /// behavioral reference: warp contents and order, residual queue
+    /// order, and the scanned count must all match the single-pass
+    /// implementation.
+    fn gather_reference(
+        ready: &mut VecDeque<ThreadContext>,
+        rp: i64,
+        config: &ExecConfig,
+    ) -> (Vec<ThreadContext>, usize) {
+        let max = config.max_warp as usize;
+        let is_static = config.policy == FormationPolicy::Static;
+        let group_of = |ctx: &ThreadContext| -> u32 {
+            ctx.flat_tid().checked_div(config.max_warp).unwrap_or(0)
+        };
+        let front_group = ready.front().map(group_of).unwrap_or(0);
+
+        let mut picked: Vec<usize> = Vec::with_capacity(max);
+        let mut scanned = 0usize;
+        for (i, ctx) in ready.iter().enumerate() {
+            scanned += 1;
+            if ctx.resume_point == rp && (!is_static || group_of(ctx) == front_group) {
+                picked.push(i);
+                if picked.len() == max {
+                    break;
+                }
+            }
+        }
+        let mut warp: Vec<ThreadContext> = Vec::with_capacity(picked.len());
+        for &i in picked.iter().rev() {
+            warp.push(ready.remove(i).expect("picked index valid"));
+        }
+        warp.reverse();
+        if is_static {
+            warp.sort_by_key(|c| c.flat_tid());
+        }
+        (warp, scanned)
+    }
+
+    #[test]
+    fn gather_matches_reference_formation() {
+        // Seeded LCG so failures reproduce.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let configs = [ExecConfig::dynamic(4), ExecConfig::static_tie(4), ExecConfig::dynamic(2)];
+        for config in &configs {
+            for _ in 0..100 {
+                // A fragmented ready pool: random permutation of thread
+                // ids with random resume points.
+                let n = 1 + (next() % 64) as usize;
+                let mut order: Vec<u32> = (0..n as u32).collect();
+                for i in (1..n).rev() {
+                    order.swap(i, (next() % (i as u64 + 1)) as usize);
+                }
+                let mut queue: VecDeque<ThreadContext> = VecDeque::new();
+                for &tid in &order {
+                    let mut ctx = ThreadContext::new([tid, 0, 0], [64, 1, 1], [0; 3], [1; 3]);
+                    ctx.resume_point = (next() % 4) as i64;
+                    queue.push_back(ctx);
+                }
+                let rp = queue.front().unwrap().resume_point;
+
+                let mut ref_queue = queue.clone();
+                let (ref_warp, ref_scanned) = gather_reference(&mut ref_queue, rp, config);
+
+                let (mut warp, mut kept) = (Vec::new(), Vec::new());
+                let scanned = gather(&mut queue, rp, config, &mut warp, &mut kept);
+
+                assert_eq!(warp, ref_warp, "warp contents/order diverged");
+                assert_eq!(scanned, ref_scanned, "scanned count diverged");
+                assert_eq!(queue, ref_queue, "residual queue order diverged");
+                assert!(kept.is_empty(), "kept scratch must drain back into the queue");
+            }
+        }
     }
 }

@@ -9,10 +9,10 @@
 //! surface so no call site changes.
 
 #[cfg(feature = "parking_lot")]
-pub use parking_lot::{Mutex, MutexGuard};
+pub use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 #[cfg(not(feature = "parking_lot"))]
-pub use fallback::{Mutex, MutexGuard};
+pub use fallback::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 #[cfg(not(feature = "parking_lot"))]
 mod fallback {
@@ -60,11 +60,68 @@ mod fallback {
             self.0.fmt(f)
         }
     }
+
+    /// Guard returned by [`RwLock::read`]; releases on drop.
+    pub struct RwLockReadGuard<'a, T: ?Sized>(std::sync::RwLockReadGuard<'a, T>);
+
+    impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.0
+        }
+    }
+
+    /// Guard returned by [`RwLock::write`]; releases on drop.
+    pub struct RwLockWriteGuard<'a, T: ?Sized>(std::sync::RwLockWriteGuard<'a, T>);
+
+    impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.0
+        }
+    }
+
+    impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.0
+        }
+    }
+
+    /// Reader-writer lock with the `parking_lot` calling convention:
+    /// `read()`/`write()` return guards directly and poisoning is
+    /// ignored, like [`Mutex`].
+    #[derive(Default)]
+    pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+    impl<T> RwLock<T> {
+        /// Create a lock protecting `value`.
+        pub const fn new(value: T) -> Self {
+            RwLock(std::sync::RwLock::new(value))
+        }
+    }
+
+    impl<T: ?Sized> RwLock<T> {
+        /// Acquire shared read access.
+        pub fn read(&self) -> RwLockReadGuard<'_, T> {
+            RwLockReadGuard(self.0.read().unwrap_or_else(std::sync::PoisonError::into_inner))
+        }
+
+        /// Acquire exclusive write access.
+        pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+            RwLockWriteGuard(self.0.write().unwrap_or_else(std::sync::PoisonError::into_inner))
+        }
+    }
+
+    impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            self.0.fmt(f)
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::Mutex;
+    use super::{Mutex, RwLock};
 
     #[test]
     fn lock_guards_mutation() {
@@ -72,5 +129,17 @@ mod tests {
         m.lock().push(1);
         m.lock().push(2);
         assert_eq!(*m.lock(), vec![1, 2]);
+    }
+
+    #[test]
+    fn rwlock_readers_and_writer() {
+        let l = RwLock::new(1);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!((*a, *b), (1, 1));
+        }
+        *l.write() += 1;
+        assert_eq!(*l.read(), 2);
     }
 }

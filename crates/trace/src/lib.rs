@@ -140,11 +140,17 @@ pub enum Counter {
     /// Execution faults surfaced from launches (panics, VM errors,
     /// deadline/cancellation).
     Faults,
+    /// Wall-clock nanoseconds the host spent resolving warp dispatches
+    /// (specialization lookup) in the steady state.
+    HostDispatchNs,
+    /// Wall-clock nanoseconds the host spent forming warps from the
+    /// ready queue.
+    HostFormationNs,
 }
 
 impl Counter {
     /// Every counter, in declaration order.
-    pub const ALL: [Counter; 21] = [
+    pub const ALL: [Counter; 23] = [
         Counter::CacheHit,
         Counter::CacheMiss,
         Counter::CacheCompileNs,
@@ -166,6 +172,8 @@ impl Counter {
         Counter::CancelledWarps,
         Counter::SpecFailures,
         Counter::Faults,
+        Counter::HostDispatchNs,
+        Counter::HostFormationNs,
     ];
 
     /// Stable snake_case name used in reports.
@@ -192,6 +200,8 @@ impl Counter {
             Counter::CancelledWarps => "cancelled_warps",
             Counter::SpecFailures => "spec_failures",
             Counter::Faults => "faults",
+            Counter::HostDispatchNs => "host_dispatch_ns",
+            Counter::HostFormationNs => "host_formation_ns",
         }
     }
 }

@@ -12,6 +12,7 @@ use crate::cancel::CancelToken;
 use crate::context::ThreadContext;
 use crate::cost::{inst_cost, inst_flops, term_cost, CostInfo};
 use crate::error::VmError;
+use crate::frame::{FrameLayout, RegFrame};
 use crate::machine::MachineModel;
 use crate::memory::MemAccess;
 use crate::stats::ExecStats;
@@ -49,29 +50,6 @@ pub struct WarpOutcome {
     /// Why the warp yielded. Per-thread resume points have been written to
     /// the thread contexts.
     pub status: ResumeStatus,
-}
-
-/// Register value: scalar bits or per-lane bits.
-#[derive(Debug, Clone, PartialEq)]
-enum RVal {
-    S(u64),
-    V(Vec<u64>),
-}
-
-impl RVal {
-    fn lane(&self, i: usize) -> u64 {
-        match self {
-            RVal::S(v) => *v,
-            RVal::V(v) => v[i],
-        }
-    }
-
-    fn scalar(&self) -> u64 {
-        match self {
-            RVal::S(v) => *v,
-            RVal::V(v) => v[0],
-        }
-    }
 }
 
 /// Mask `bits` to the width of `sty` (zero-extension representation).
@@ -309,40 +287,63 @@ fn scalar_cvt(to: STy, from: STy, signed: bool, a: u64) -> u64 {
     }
 }
 
+/// A resolved operand: a register's slot range in the flat frame, or an
+/// encoded immediate. Copy-sized, so operands resolve once per
+/// instruction and lane reads are a single indexed load.
+#[derive(Clone, Copy)]
+enum Src {
+    Reg { off: usize, w: usize },
+    Imm(u64),
+}
+
 struct Machine<'a, 'm> {
     f: &'a Function,
-    regs: Vec<RVal>,
+    layout: &'a FrameLayout,
+    regs: &'a mut [u64],
     ctxs: &'a mut [ThreadContext],
     entry_id: i64,
     mem: &'a mut MemAccess<'m>,
 }
 
 impl<'a, 'm> Machine<'a, 'm> {
-    fn eval(&self, v: Value, ty: Type) -> RVal {
+    #[inline]
+    fn src(&self, v: Value, sty: STy) -> Src {
         match v {
-            Value::Reg(r) => self.regs[r.index()].clone(),
-            imm => {
-                let bits = encode_imm(imm, ty.scalar);
-                if ty.is_vector() {
-                    RVal::V(vec![bits; ty.width as usize])
-                } else {
-                    RVal::S(bits)
-                }
-            }
+            Value::Reg(r) => Src::Reg { off: self.layout.offset(r), w: self.layout.width(r) },
+            imm => Src::Imm(encode_imm(imm, sty)),
         }
     }
 
+    /// Lane `i` of a resolved operand. Width-1 registers broadcast, the
+    /// flat-frame equivalent of the old scalar-value read broadcast.
+    #[inline]
+    fn lane(&self, s: Src, i: usize) -> u64 {
+        match s {
+            Src::Reg { off, w } => self.regs[off + if w == 1 { 0 } else { i }],
+            Src::Imm(b) => b,
+        }
+    }
+
+    #[inline]
     fn eval_scalar(&self, v: Value, sty: STy) -> u64 {
         match v {
-            Value::Reg(r) => self.regs[r.index()].scalar(),
+            Value::Reg(r) => self.regs[self.layout.offset(r)],
             imm => encode_imm(imm, sty),
         }
     }
 
-    fn set(&mut self, r: dpvk_ir::VReg, v: RVal) {
-        self.regs[r.index()] = v;
+    /// Write a scalar result, broadcast across the register's declared
+    /// width so later vector-lane reads see the value in every lane.
+    #[inline]
+    fn set_scalar(&mut self, r: dpvk_ir::VReg, v: u64) {
+        let off = self.layout.offset(r);
+        let w = self.layout.width(r);
+        self.regs[off..off + w].fill(v);
     }
 
+    /// In-place lane-wise writes are alias-safe: output lane `i` depends
+    /// only on operand lane `i`, which is read before it is overwritten,
+    /// and distinct registers occupy disjoint slot ranges.
     fn elementwise2(
         &mut self,
         ty: Type,
@@ -351,16 +352,18 @@ impl<'a, 'm> Machine<'a, 'm> {
         b: Value,
         f: impl Fn(u64, u64) -> Result<u64, VmError>,
     ) -> Result<(), VmError> {
-        let av = self.eval(a, ty);
-        let bv = self.eval(b, ty);
+        let sa = self.src(a, ty.scalar);
+        let sb = self.src(b, ty.scalar);
         if ty.is_vector() {
-            let mut out = Vec::with_capacity(ty.width as usize);
+            let doff = self.layout.offset(dst);
+            debug_assert_eq!(self.layout.width(dst), ty.width as usize);
             for i in 0..ty.width as usize {
-                out.push(f(av.lane(i), bv.lane(i))?);
+                let r = f(self.lane(sa, i), self.lane(sb, i))?;
+                self.regs[doff + i] = r;
             }
-            self.set(dst, RVal::V(out));
         } else {
-            self.set(dst, RVal::S(f(av.scalar(), bv.scalar())?));
+            let r = f(self.lane(sa, 0), self.lane(sb, 0))?;
+            self.set_scalar(dst, r);
         }
         Ok(())
     }
@@ -373,40 +376,41 @@ impl<'a, 'm> Machine<'a, 'm> {
                 self.elementwise2(*ty, *dst, *a, *b, move |x, y| scalar_bin(op, sty, sg, x, y))
             }
             Un { op, ty, dst, a } => {
-                let av = self.eval(*a, *ty);
+                let sa = self.src(*a, ty.scalar);
                 if ty.is_vector() {
-                    let mut out = Vec::with_capacity(ty.width as usize);
+                    let doff = self.layout.offset(*dst);
                     for i in 0..ty.width as usize {
-                        out.push(scalar_un(*op, ty.scalar, av.lane(i))?);
+                        let r = scalar_un(*op, ty.scalar, self.lane(sa, i))?;
+                        self.regs[doff + i] = r;
                     }
-                    self.set(*dst, RVal::V(out));
                 } else {
-                    self.set(*dst, RVal::S(scalar_un(*op, ty.scalar, av.scalar())?));
+                    let r = scalar_un(*op, ty.scalar, self.lane(sa, 0))?;
+                    self.set_scalar(*dst, r);
                 }
                 Ok(())
             }
             Fma { ty, dst, a, b, c } => {
-                let av = self.eval(*a, *ty);
-                let bv = self.eval(*b, *ty);
-                let cv = self.eval(*c, *ty);
+                let sa = self.src(*a, ty.scalar);
+                let sb = self.src(*b, ty.scalar);
+                let sc = self.src(*c, ty.scalar);
                 let sty = ty.scalar;
-                let one = |x: u64, y: u64, z: u64| -> Result<u64, VmError> {
+                let one = |x: u64, y: u64, z: u64| -> u64 {
                     if sty.is_float() {
-                        let r = f_of(x, sty).mul_add(f_of(y, sty), f_of(z, sty));
-                        Ok(f_enc(r, sty))
+                        f_enc(f_of(x, sty).mul_add(f_of(y, sty), f_of(z, sty)), sty)
                     } else {
                         let r = sext(x, sty).wrapping_mul(sext(y, sty)).wrapping_add(sext(z, sty));
-                        Ok(mask_to(r as u64, sty))
+                        mask_to(r as u64, sty)
                     }
                 };
                 if ty.is_vector() {
-                    let mut out = Vec::with_capacity(ty.width as usize);
+                    let doff = self.layout.offset(*dst);
                     for i in 0..ty.width as usize {
-                        out.push(one(av.lane(i), bv.lane(i), cv.lane(i))?);
+                        let r = one(self.lane(sa, i), self.lane(sb, i), self.lane(sc, i));
+                        self.regs[doff + i] = r;
                     }
-                    self.set(*dst, RVal::V(out));
                 } else {
-                    self.set(*dst, RVal::S(one(av.scalar(), bv.scalar(), cv.scalar())?));
+                    let r = one(self.lane(sa, 0), self.lane(sb, 0), self.lane(sc, 0));
+                    self.set_scalar(*dst, r);
                 }
                 Ok(())
             }
@@ -415,42 +419,44 @@ impl<'a, 'm> Machine<'a, 'm> {
                 self.elementwise2(*ty, *dst, *a, *b, move |x, y| Ok(scalar_cmp(p, sty, sg, x, y)))
             }
             Select { ty, dst, cond, a, b } => {
-                let cond_ty = Type { scalar: STy::I1, width: ty.width };
-                let cv = self.eval(*cond, cond_ty);
-                let av = self.eval(*a, *ty);
-                let bv = self.eval(*b, *ty);
+                let sc = self.src(*cond, STy::I1);
+                let sa = self.src(*a, ty.scalar);
+                let sb = self.src(*b, ty.scalar);
                 if ty.is_vector() {
-                    let mut out = Vec::with_capacity(ty.width as usize);
+                    let doff = self.layout.offset(*dst);
                     for i in 0..ty.width as usize {
-                        out.push(if cv.lane(i) & 1 != 0 { av.lane(i) } else { bv.lane(i) });
+                        let r = if self.lane(sc, i) & 1 != 0 {
+                            self.lane(sa, i)
+                        } else {
+                            self.lane(sb, i)
+                        };
+                        self.regs[doff + i] = r;
                     }
-                    self.set(*dst, RVal::V(out));
                 } else {
-                    self.set(
-                        *dst,
-                        RVal::S(if cv.scalar() & 1 != 0 { av.scalar() } else { bv.scalar() }),
-                    );
+                    let r =
+                        if self.lane(sc, 0) & 1 != 0 { self.lane(sa, 0) } else { self.lane(sb, 0) };
+                    self.set_scalar(*dst, r);
                 }
                 Ok(())
             }
             Cvt { to, from, signed, width, dst, a } => {
-                let src_ty = Type { scalar: *from, width: *width };
-                let av = self.eval(*a, src_ty);
+                let sa = self.src(*a, *from);
                 if *width > 1 {
-                    let mut out = Vec::with_capacity(*width as usize);
+                    let doff = self.layout.offset(*dst);
                     for i in 0..*width as usize {
-                        out.push(scalar_cvt(*to, *from, *signed, av.lane(i)));
+                        let r = scalar_cvt(*to, *from, *signed, self.lane(sa, i));
+                        self.regs[doff + i] = r;
                     }
-                    self.set(*dst, RVal::V(out));
                 } else {
-                    self.set(*dst, RVal::S(scalar_cvt(*to, *from, *signed, av.scalar())));
+                    let r = scalar_cvt(*to, *from, *signed, self.lane(sa, 0));
+                    self.set_scalar(*dst, r);
                 }
                 Ok(())
             }
             Load { ty, space, dst, addr } => {
                 let a = self.eval_scalar(*addr, STy::I64);
                 let bits = self.mem.read(*space, a, ty.size_bytes())?;
-                self.set(*dst, RVal::S(mask_to(bits, *ty)));
+                self.set_scalar(*dst, mask_to(bits, *ty));
                 Ok(())
             }
             Store { ty, space, addr, value } => {
@@ -463,43 +469,52 @@ impl<'a, 'm> Machine<'a, 'm> {
                 let av = self.eval_scalar(*a, *ty);
                 let bv = b.map(|b| self.eval_scalar(b, *ty));
                 let old = self.exec_atom(*ty, *space, *op, *signed, addr_v, av, bv)?;
-                self.set(*dst, RVal::S(mask_to(old, *ty)));
+                self.set_scalar(*dst, mask_to(old, *ty));
                 Ok(())
             }
             Insert { ty, dst, vec, elem, lane } => {
-                let mut v = match self.eval(*vec, *ty) {
-                    RVal::V(v) => v,
-                    RVal::S(s) => vec![s; ty.width as usize],
-                };
-                v[*lane as usize] = self.eval_scalar(*elem, ty.scalar);
-                self.set(*dst, RVal::V(v));
+                let e = self.eval_scalar(*elem, ty.scalar);
+                let doff = self.layout.offset(*dst);
+                match vec {
+                    // In-place insert: the other lanes are already there.
+                    Value::Reg(r) if r.index() == dst.index() => {}
+                    v => {
+                        let s = self.src(*v, ty.scalar);
+                        for i in 0..ty.width as usize {
+                            let x = self.lane(s, i);
+                            self.regs[doff + i] = x;
+                        }
+                    }
+                }
+                self.regs[doff + *lane as usize] = e;
                 Ok(())
             }
             Extract { ty, dst, vec, lane } => {
-                let v = self.eval(*vec, *ty);
-                self.set(*dst, RVal::S(v.lane(*lane as usize)));
+                let s = self.src(*vec, ty.scalar);
+                let v = self.lane(s, *lane as usize);
+                self.set_scalar(*dst, v);
                 Ok(())
             }
             Splat { ty, dst, a } => {
                 let s = self.eval_scalar(*a, ty.scalar);
-                self.set(*dst, RVal::V(vec![s; ty.width as usize]));
+                self.set_scalar(*dst, s);
                 Ok(())
             }
             Reduce { op, ty, dst, vec } => {
-                let v = self.eval(*vec, *ty);
+                let s = self.src(*vec, ty.scalar);
                 let w = ty.width as usize;
                 let r = match op {
                     ReduceOp::Add => {
                         let mut sum: u64 = 0;
                         for i in 0..w {
-                            sum = sum.wrapping_add(mask_to(v.lane(i), ty.scalar));
+                            sum = sum.wrapping_add(mask_to(self.lane(s, i), ty.scalar));
                         }
                         mask_to(sum, STy::I32)
                     }
-                    ReduceOp::All => (0..w).all(|i| v.lane(i) & 1 != 0) as u64,
-                    ReduceOp::Any => (0..w).any(|i| v.lane(i) & 1 != 0) as u64,
+                    ReduceOp::All => (0..w).all(|i| self.lane(s, i) & 1 != 0) as u64,
+                    ReduceOp::Any => (0..w).any(|i| self.lane(s, i) & 1 != 0) as u64,
                 };
-                self.set(*dst, RVal::S(r));
+                self.set_scalar(*dst, r);
                 Ok(())
             }
             CtxRead { field, lane, dst } => {
@@ -515,7 +530,7 @@ impl<'a, 'm> Machine<'a, 'm> {
                     CtxField::WarpSize => self.f.warp_size as u64,
                     CtxField::EntryId => mask_to(self.entry_id as u64, STy::I32),
                 };
-                self.set(*dst, RVal::S(v));
+                self.set_scalar(*dst, v);
                 Ok(())
             }
             SetResumePoint { lane, value } => {
@@ -534,12 +549,21 @@ impl<'a, 'm> Machine<'a, 'm> {
             Vote { dst, a, .. } => {
                 // Scalar (width-1) semantics: the warp is this one thread.
                 let v = self.eval_scalar(*a, STy::I1);
-                self.set(*dst, RVal::S(v & 1));
+                self.set_scalar(*dst, v & 1);
                 Ok(())
             }
             Mov { ty, dst, a } => {
-                let v = self.eval(*a, *ty);
-                self.set(*dst, v);
+                if ty.is_vector() {
+                    let s = self.src(*a, ty.scalar);
+                    let doff = self.layout.offset(*dst);
+                    for i in 0..ty.width as usize {
+                        let v = self.lane(s, i);
+                        self.regs[doff + i] = v;
+                    }
+                } else {
+                    let v = self.eval_scalar(*a, ty.scalar);
+                    self.set_scalar(*dst, v);
+                }
                 Ok(())
             }
         }
@@ -641,6 +665,45 @@ pub fn execute_warp(
     limits: &ExecLimits,
     cancel: Option<&CancelToken>,
 ) -> Result<WarpOutcome, VmError> {
+    let layout = FrameLayout::of(f);
+    let mut scratch = RegFrame::new();
+    execute_warp_framed(
+        f,
+        &layout,
+        &mut scratch,
+        info,
+        model,
+        ctxs,
+        entry_id,
+        mem,
+        stats,
+        limits,
+        cancel,
+    )
+}
+
+/// [`execute_warp`] with a precomputed [`FrameLayout`] and a reusable
+/// [`RegFrame`]: the steady-state entry point of the execution manager.
+/// `layout` must be the layout of `f` (compute it once at compile time
+/// and cache it alongside the function); `scratch` may be shared across
+/// calls and functions — it is zeroed and resized here, which allocates
+/// nothing once the frame has grown to the largest layout it serves.
+///
+/// Errors and panics are those of [`execute_warp`].
+#[allow(clippy::too_many_arguments)]
+pub fn execute_warp_framed(
+    f: &Function,
+    layout: &FrameLayout,
+    scratch: &mut RegFrame,
+    info: &CostInfo,
+    model: &MachineModel,
+    ctxs: &mut [ThreadContext],
+    entry_id: i64,
+    mem: &mut MemAccess<'_>,
+    stats: &mut ExecStats,
+    limits: &ExecLimits,
+    cancel: Option<&CancelToken>,
+) -> Result<WarpOutcome, VmError> {
     assert_eq!(
         ctxs.len(),
         f.warp_size as usize,
@@ -648,7 +711,9 @@ pub fn execute_warp(
         ctxs.len(),
         f.warp_size
     );
-    let mut m = Machine { f, regs: init_regs(f), ctxs, entry_id, mem };
+    debug_assert_eq!(layout.regs(), f.regs.len(), "frame layout does not match the function");
+    let regs = scratch.prepare(layout);
+    let mut m = Machine { f, layout, regs, ctxs, entry_id, mem };
     let mut cur = dpvk_ir::BlockId(0);
     let mut status: Option<ResumeStatus> = None;
     let mut executed: u64 = 0;
@@ -760,13 +825,6 @@ pub fn execute_warp(
             }
         }
     }
-}
-
-fn init_regs(f: &Function) -> Vec<RVal> {
-    f.regs
-        .iter()
-        .map(|t| if t.is_vector() { RVal::V(vec![0; t.width as usize]) } else { RVal::S(0) })
-        .collect()
 }
 
 #[cfg(test)]

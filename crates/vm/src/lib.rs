@@ -58,6 +58,7 @@ mod cancel;
 mod context;
 mod cost;
 mod error;
+mod frame;
 mod interp;
 mod machine;
 mod memory;
@@ -67,7 +68,8 @@ pub use cancel::CancelToken;
 pub use context::ThreadContext;
 pub use cost::{inst_cost, inst_flops, term_cost, CostInfo};
 pub use error::VmError;
-pub use interp::{execute_warp, ExecLimits, WarpOutcome};
+pub use frame::{FrameLayout, RegFrame};
+pub use interp::{execute_warp, execute_warp_framed, ExecLimits, WarpOutcome};
 pub use machine::MachineModel;
 pub use memory::{GlobalMem, MemAccess};
 pub use stats::ExecStats;

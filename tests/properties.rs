@@ -194,6 +194,195 @@ entry:
     }
 }
 
+// ---------------------------------------------------------------------------
+// Golden launch statistics
+// ---------------------------------------------------------------------------
+//
+// The host-side fast path (flat register frames, per-worker dispatch
+// tables, single-pass warp gathering) must not move a single modeled
+// counter: `LaunchStats` — cycles split by phase, instruction/flop/memory
+// counts, warp histogram, scan-driven manager charges — is folded into a
+// digest per configuration and compared against values recorded before
+// the fast path landed. Any change to modeled results shows up as a
+// digest mismatch. Re-record with `DPVK_BLESS=1 cargo test -q
+// golden_launch_stats -- --nocapture` only when a modeled-semantics
+// change is intended.
+
+use dpvk::core::LaunchStats;
+
+fn fold(h: &mut u64, v: u64) {
+    // FNV-1a over 64-bit words: stable, dependency-free, order-sensitive.
+    *h ^= v;
+    *h = h.wrapping_mul(0x100_0000_01b3);
+}
+
+fn digest_stats(h: &mut u64, s: &LaunchStats) {
+    let e = &s.exec;
+    for v in [
+        e.cycles_body,
+        e.cycles_yield,
+        e.cycles_manager,
+        e.instructions,
+        e.flops,
+        e.loads,
+        e.stores,
+        e.restore_loads,
+        e.spill_stores,
+        e.warp_entries,
+        e.thread_entries,
+        e.spill_bytes,
+        e.restore_bytes,
+        e.downgraded_warps,
+        e.cancelled_warps,
+    ] {
+        fold(h, v);
+    }
+    fold(h, s.warp_hist.len() as u64);
+    for &v in &s.warp_hist {
+        fold(h, v);
+    }
+}
+
+fn run_stats(src: &str, config: &ExecConfig, n: u32) -> LaunchStats {
+    let dev = Device::new(MachineModel::sandybridge_sse(), 1 << 20);
+    dev.register_source(src).unwrap();
+    let po = dev.malloc(n as usize * 4).unwrap();
+    dev.launch("prop", [n.div_ceil(16), 1, 1], [16, 1, 1], &[ParamValue::Ptr(po)], config).unwrap()
+}
+
+/// A fixed barrier-heavy kernel so the sweep also covers barrier pools
+/// and warp re-formation after a release (renamed `prop` to share the
+/// launch helper; output ignored, only the stats digest matters).
+const BARRIER_PROP: &str = r#"
+.kernel prop (.param .u64 out) {
+  .shared .u32 tile[16];
+  .reg .u32 %r<8>;
+  .reg .u64 %rd<4>;
+  .reg .pred %p<2>;
+entry:
+  mov.u32 %r1, %tid.x;
+  cvt.u64.u32 %rd1, %r1;
+  shl.u64 %rd2, %rd1, 2;
+  mov.u64 %rd3, tile;
+  add.u64 %rd3, %rd3, %rd2;
+  st.shared.u32 [%rd3], %r1;
+  mov.u32 %r2, 8;
+loop:
+  bar.sync 0;
+  setp.ge.u32 %p1, %r1, %r2;
+  @%p1 bra skip;
+  add.u32 %r3, %r1, %r2;
+  cvt.u64.u32 %rd1, %r3;
+  shl.u64 %rd1, %rd1, 2;
+  mov.u64 %rd2, tile;
+  add.u64 %rd2, %rd2, %rd1;
+  ld.shared.u32 %r4, [%rd2];
+  ld.shared.u32 %r5, [%rd3];
+  add.u32 %r5, %r5, %r4;
+  st.shared.u32 [%rd3], %r5;
+skip:
+  shr.u32 %r2, %r2, 1;
+  setp.gt.u32 %p1, %r2, 0;
+  @%p1 bra loop;
+  mad.lo.u32 %r6, %ctaid.x, %ntid.x, %r1;
+  cvt.u64.u32 %rd1, %r6;
+  shl.u64 %rd1, %rd1, 2;
+  ld.param.u64 %rd2, [out];
+  add.u64 %rd2, %rd2, %rd1;
+  ld.shared.u32 %r7, [%rd3];
+  st.global.u32 [%rd2], %r7;
+  ret;
+}
+"#;
+
+/// Modeled results are bit-identical across the host fast path: every
+/// `LaunchStats` counter (and the warp histogram) matches the values
+/// recorded before the flat-frame/lock-free-dispatch overhaul, across
+/// formation policies, warp widths 1/2/4/8 and worker counts 1/2/4.
+#[test]
+fn golden_launch_stats() {
+    let mut rng = Prng::new(0x90_1de5);
+    let mut sources: Vec<String> =
+        (0..2).map(|_| kernel_source(&random_ops(&mut rng, 4, 20))).collect();
+    sources.push(BARRIER_PROP.to_string());
+
+    let configs: Vec<(String, ExecConfig)> = {
+        let mut v = vec![("baseline".to_string(), ExecConfig::baseline())];
+        for w in [1u32, 2, 4, 8] {
+            v.push((format!("dynamic_w{w}"), ExecConfig::dynamic(w)));
+        }
+        for w in [2u32, 4, 8] {
+            v.push((format!("static_w{w}"), ExecConfig::static_tie(w)));
+        }
+        v
+    };
+
+    // (config label, workers) -> digest over all kernels. Recorded before
+    // the host fast path landed (DPVK_BLESS output, seed 0x901de5).
+    const GOLDEN: [(&str, usize, u64); 24] = [
+        ("baseline", 1, 0x77369bb26790127f),
+        ("baseline", 2, 0x77369bb26790127f),
+        ("baseline", 4, 0x77369bb26790127f),
+        ("dynamic_w1", 1, 0x154209b860f0789b),
+        ("dynamic_w1", 2, 0x154209b860f0789b),
+        ("dynamic_w1", 4, 0x154209b860f0789b),
+        ("dynamic_w2", 1, 0x7938d8dfd05330f2),
+        ("dynamic_w2", 2, 0x7938d8dfd05330f2),
+        ("dynamic_w2", 4, 0x7938d8dfd05330f2),
+        ("dynamic_w4", 1, 0x2fa4a38a69ee7488),
+        ("dynamic_w4", 2, 0x2fa4a38a69ee7488),
+        ("dynamic_w4", 4, 0x2fa4a38a69ee7488),
+        ("dynamic_w8", 1, 0x539e9fdfe5645764),
+        ("dynamic_w8", 2, 0x539e9fdfe5645764),
+        ("dynamic_w8", 4, 0x539e9fdfe5645764),
+        ("static_w2", 1, 0xeecc63d870cffed6),
+        ("static_w2", 2, 0xeecc63d870cffed6),
+        ("static_w2", 4, 0xeecc63d870cffed6),
+        ("static_w4", 1, 0x093cf51be6782528),
+        ("static_w4", 2, 0x093cf51be6782528),
+        ("static_w4", 4, 0x093cf51be6782528),
+        ("static_w8", 1, 0xc33c9f166144c0a0),
+        ("static_w8", 2, 0xc33c9f166144c0a0),
+        ("static_w8", 4, 0xc33c9f166144c0a0),
+    ];
+
+    let bless = std::env::var("DPVK_BLESS").is_ok();
+    let mut failures = Vec::new();
+    let mut blessed = Vec::new();
+    for (label, config) in &configs {
+        for workers in [1usize, 2, 4] {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for src in &sources {
+                let stats = run_stats(src, &config.with_workers(workers), 64);
+                digest_stats(&mut h, &stats);
+            }
+            if bless {
+                blessed.push(format!("(\"{label}\", {workers}, {h:#018x}),"));
+            } else {
+                let expected = GOLDEN
+                    .iter()
+                    .find(|(l, w, _)| *l == label && *w == workers)
+                    .map(|(_, _, d)| *d)
+                    .unwrap_or_else(|| panic!("no golden entry for ({label}, {workers})"));
+                if h != expected {
+                    failures.push(format!(
+                        "({label}, workers={workers}): digest {h:#018x} != golden {expected:#018x}"
+                    ));
+                }
+            }
+        }
+    }
+    if bless {
+        println!("    const GOLDEN: [(&str, usize, u64); 24] = [");
+        for line in &blessed {
+            println!("        {line}");
+        }
+        println!("    ];");
+        return;
+    }
+    assert!(failures.is_empty(), "modeled results moved:\n{}", failures.join("\n"));
+}
+
 /// The printer's output parses back to an equivalent kernel.
 #[test]
 fn printer_round_trips() {
