@@ -8,9 +8,12 @@
 //! trajectory at the repo root.
 //!
 //! Usage:
-//!   host_perf [--quick] [--out PATH] [--before PATH] [--check PATH]
+//!   host_perf [--quick] [--engine {tree,bytecode}] [--out PATH]
+//!             [--before PATH] [--check PATH]
 //!
 //! * `--quick` — reduced repeat counts (CI smoke configuration)
+//! * `--engine E` — guest engine to benchmark: `bytecode` (the
+//!   pre-decoded default) or `tree` (the tree-walk oracle)
 //! * `--out PATH` — write results as JSON (default: no file, stdout table)
 //! * `--before P` — fold a previous results file in as the "before"
 //!   section and emit before/after/speedup in `--out`
@@ -21,7 +24,7 @@
 use std::time::Instant;
 
 use dpvk_bench::format_table;
-use dpvk_core::ExecConfig;
+use dpvk_core::{Engine, ExecConfig};
 use dpvk_vm::MachineModel;
 use dpvk_workloads::{workload, Workload};
 
@@ -54,9 +57,9 @@ fn fresh_device(w: &dyn Workload) -> dpvk_core::Device {
 /// timed run after that exercises only the steady-state launch path. If
 /// the bump allocator fills up mid-run the device is recycled (and
 /// re-warmed) without counting the cold run.
-fn bench_one(name: &str, workers: usize, quick: bool) -> Sample {
+fn bench_one(name: &str, workers: usize, quick: bool, engine: Engine) -> Sample {
     let w = workload(name).expect("workload exists");
-    let config = ExecConfig::dynamic(4).with_workers(workers);
+    let config = ExecConfig::dynamic(4).with_workers(workers).with_engine(engine);
     let mut dev = fresh_device(w.as_ref());
     w.run(&dev, &config).expect("warm-up run validates");
 
@@ -102,12 +105,13 @@ fn result_line(s: &Sample) -> String {
     )
 }
 
-fn render_json(before: Option<&[Sample]>, after: &[Sample]) -> String {
+fn render_json(before: Option<&[Sample]>, after: &[Sample], engine: Engine) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"host_perf\",\n");
     out.push_str("  \"unit\": \"ns_per_warm_launch\",\n");
     out.push_str("  \"policy\": \"dynamic_w4\",\n");
+    out.push_str(&format!("  \"engine\": \"{}\",\n", engine.label()));
     let emit = |out: &mut String, key: &str, rows: &[Sample], trailing: bool| {
         out.push_str(&format!("  \"{key}\": [\n"));
         for (i, s) in rows.iter().enumerate() {
@@ -119,21 +123,27 @@ fn render_json(before: Option<&[Sample]>, after: &[Sample]) -> String {
     if let Some(b) = before {
         emit(&mut out, "before", b, true);
         emit(&mut out, "after", after, true);
-        out.push_str("  \"speedup_min\": [\n");
-        let mut rows = Vec::new();
-        for s in after {
-            if let Some(prev) =
-                b.iter().find(|p| p.workload == s.workload && p.workers == s.workers)
-            {
-                rows.push(format!(
-                    "    {{\"workload\": \"{}\", \"workers\": {}, \"speedup\": {:.2}}}",
-                    s.workload,
-                    s.workers,
-                    prev.min_ns as f64 / s.min_ns.max(1) as f64
-                ));
+        let speedups = |pick: fn(&Sample) -> u64| {
+            let mut rows = Vec::new();
+            for s in after {
+                if let Some(prev) =
+                    b.iter().find(|p| p.workload == s.workload && p.workers == s.workers)
+                {
+                    rows.push(format!(
+                        "    {{\"workload\": \"{}\", \"workers\": {}, \"speedup\": {:.2}}}",
+                        s.workload,
+                        s.workers,
+                        pick(prev) as f64 / pick(s).max(1) as f64
+                    ));
+                }
             }
-        }
-        out.push_str(&rows.join(",\n"));
+            rows.join(",\n")
+        };
+        out.push_str("  \"speedup_min\": [\n");
+        out.push_str(&speedups(|s| s.min_ns));
+        out.push_str("\n  ],\n");
+        out.push_str("  \"speedup_median\": [\n");
+        out.push_str(&speedups(|s| s.median_ns));
         out.push_str("\n  ]\n");
     } else {
         emit(&mut out, "after", after, false);
@@ -214,6 +224,7 @@ fn check_against(baseline_path: &str, current: &[Sample]) -> bool {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
+    let mut engine = Engine::default();
     let mut out_path: Option<String> = None;
     let mut before_path: Option<String> = None;
     let mut check_path: Option<String> = None;
@@ -221,6 +232,17 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => quick = true,
+            "--engine" => {
+                i += 1;
+                engine = match args[i].as_str() {
+                    "bytecode" => Engine::Bytecode,
+                    "tree" => Engine::Tree,
+                    other => {
+                        eprintln!("unknown engine: {other} (expected tree or bytecode)");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--out" => {
                 i += 1;
                 out_path = Some(args[i].clone());
@@ -244,7 +266,7 @@ fn main() {
     let mut results = Vec::new();
     for name in WORKLOADS {
         for workers in WORKERS {
-            let s = bench_one(name, workers, quick);
+            let s = bench_one(name, workers, quick, engine);
             eprintln!(
                 "{:<14} workers={}  min {:>12} ns  median {:>12} ns  ({} launches)",
                 s.workload, s.workers, s.min_ns, s.median_ns, s.launches
@@ -265,7 +287,7 @@ fn main() {
             ]
         })
         .collect();
-    println!("\nWarm-launch wall clock (dynamic w4), ns per launch");
+    println!("\nWarm-launch wall clock (dynamic w4, {} engine), ns per launch", engine.label());
     println!(
         "{}",
         format_table(&["workload", "workers", "min_ns", "median_ns", "launches"], &rows)
@@ -277,7 +299,8 @@ fn main() {
         b
     });
     if let Some(path) = out_path {
-        std::fs::write(&path, render_json(before.as_deref(), &results)).expect("write --out file");
+        std::fs::write(&path, render_json(before.as_deref(), &results, engine))
+            .expect("write --out file");
         println!("wrote {path}");
     }
     if let Some(path) = check_path {

@@ -22,7 +22,7 @@ use std::time::Instant;
 use crate::sync::{Mutex, RwLock};
 
 use dpvk_ptx as ptx;
-use dpvk_vm::{CostInfo, FrameLayout, MachineModel};
+use dpvk_vm::{BytecodeProgram, CostInfo, FrameLayout, MachineModel};
 
 use crate::error::CoreError;
 use crate::translate::{translate, TranslatedKernel};
@@ -77,6 +77,10 @@ pub struct CompiledKernel {
     /// Register frame layout, computed once here so the interpreter can
     /// execute against a flat reusable frame with no per-warp setup.
     pub frame: FrameLayout,
+    /// The function pre-decoded to linear bytecode, built once here so
+    /// the default engine's inner loop is a flat `match` over µops with
+    /// no per-warp tree walk.
+    pub bytecode: BytecodeProgram,
     /// Static instruction count before optimization.
     pub pre_opt_instructions: usize,
     /// Static instruction count after optimization.
@@ -254,7 +258,7 @@ impl TranslationCache {
             let _phase = dpvk_trace::phase(kernel, "specialize");
             self.specialize_checked(&tk, kernel, warp_size, variant)
         };
-        let Specialized { function, pre_opt_instructions, post_opt_instructions, .. } =
+        let Specialized { function, pre_opt_instructions, post_opt_instructions, fusion, .. } =
             match specialized {
                 Ok(s) => s,
                 Err(e) => {
@@ -280,10 +284,34 @@ impl TranslationCache {
             };
         let cost = CostInfo::analyze(&function, &self.model);
         let frame = FrameLayout::of(&function);
+        let tracing = dpvk_trace::enabled();
+        let decode_t = tracing.then(Instant::now);
+        let bytecode = BytecodeProgram::decode(&function, &frame, &self.model, &cost);
+        // The decoder re-derives fusion legality per pair; the
+        // specializer's static summary bounds what it may form.
+        debug_assert!(
+            bytecode.stats.fused_cmp_br <= fusion.cmp_br_candidates,
+            "decoder fused {} compare-branches but only {} are legal",
+            bytecode.stats.fused_cmp_br,
+            fusion.cmp_br_candidates,
+        );
+        debug_assert!(
+            bytecode.stats.fused_bin_bin + bytecode.stats.fused_load_bin <= fusion.pair_candidates,
+            "decoder fused {} pairs but only {} are legal",
+            bytecode.stats.fused_bin_bin + bytecode.stats.fused_load_bin,
+            fusion.pair_candidates,
+        );
+        if let Some(t) = decode_t {
+            dpvk_trace::add(dpvk_trace::Counter::GuestDecodeNs, t.elapsed().as_nanos() as u64);
+            dpvk_trace::add(dpvk_trace::Counter::FusedCmpBr, bytecode.stats.fused_cmp_br);
+            dpvk_trace::add(dpvk_trace::Counter::FusedBinBin, bytecode.stats.fused_bin_bin);
+            dpvk_trace::add(dpvk_trace::Counter::FusedLoadBin, bytecode.stats.fused_load_bin);
+        }
         let compiled = Arc::new(CompiledKernel {
             function: Arc::new(function),
             cost,
             frame,
+            bytecode,
             pre_opt_instructions,
             post_opt_instructions,
         });

@@ -16,8 +16,8 @@ use std::time::Instant;
 
 use dpvk_ir::ResumeStatus;
 use dpvk_vm::{
-    execute_warp_framed, CancelToken, ExecLimits, ExecStats, GlobalMem, MemAccess, RegFrame,
-    ThreadContext, VmError,
+    execute_warp_bytecode, execute_warp_framed, CancelToken, ExecLimits, ExecStats, GlobalMem,
+    MemAccess, RegFrame, ThreadContext, VmError,
 };
 
 use crate::cache::{CompiledKernel, TranslationCache, Variant};
@@ -37,6 +37,45 @@ pub enum FormationPolicy {
     /// consecutively indexed threads may form a warp, enabling
     /// thread-invariant expression elimination (Section 6.2).
     Static,
+}
+
+/// Which guest interpreter runs warp bodies. Both engines execute the
+/// same compiled specialization and charge modeled cycles identically;
+/// they differ only in host-side speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The pre-decoded linear-bytecode engine (default): operands
+    /// resolved to frame slots at compile time, hot pairs fused, inner
+    /// loop a flat `match` over µops.
+    #[default]
+    Bytecode,
+    /// The tree-walking interpreter over the IR, kept as the
+    /// differential oracle for the bytecode engine.
+    Tree,
+}
+
+impl Engine {
+    /// Stable lowercase label used in benchmark output and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Engine::Bytecode => "bytecode",
+            Engine::Tree => "tree",
+        }
+    }
+
+    /// The session default: `Engine::default()` unless overridden by
+    /// `DPVK_ENGINE={tree,bytecode}`. The env hook lets CI rerun a whole
+    /// reproduction binary on the tree-walk oracle and diff its output
+    /// against the bytecode engine without per-binary flags. Read once;
+    /// explicit `with_engine` calls are unaffected.
+    pub fn from_env() -> Self {
+        static CHOICE: std::sync::OnceLock<Engine> = std::sync::OnceLock::new();
+        *CHOICE.get_or_init(|| match std::env::var("DPVK_ENGINE").as_deref() {
+            Ok("tree") => Engine::Tree,
+            Ok("bytecode") | Err(_) => Engine::Bytecode,
+            Ok(other) => panic!("DPVK_ENGINE={other}: expected `tree` or `bytecode`"),
+        })
+    }
 }
 
 /// Modeled cycle charges for execution-manager work (the "EM" bars of the
@@ -81,6 +120,8 @@ pub struct ExecConfig {
     pub limits: ExecLimits,
     /// Execution-manager cycle charges.
     pub em_cost: EmCostModel,
+    /// Which guest interpreter runs warp bodies.
+    pub engine: Engine,
 }
 
 impl ExecConfig {
@@ -92,6 +133,7 @@ impl ExecConfig {
             workers: 0,
             limits: ExecLimits::default(),
             em_cost: EmCostModel::default(),
+            engine: Engine::from_env(),
         }
     }
 
@@ -108,6 +150,12 @@ impl ExecConfig {
     /// Use exactly `n` worker threads.
     pub fn with_workers(mut self, n: usize) -> Self {
         self.workers = n;
+        self
+    }
+
+    /// Run warp bodies on the given guest engine.
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
         self
     }
 }
@@ -597,20 +645,41 @@ fn run_cta(
         #[cfg(feature = "fault-inject")]
         crate::faults::maybe_slow_warp(cta_flat);
 
+        // Count the dispatch before executing: a warp that faults or is
+        // cancelled mid-body was still dispatched to its engine.
+        if tracing {
+            let engine_counter = match config.engine {
+                Engine::Bytecode => dpvk_trace::Counter::WarpsBytecode,
+                Engine::Tree => dpvk_trace::Counter::WarpsTree,
+            };
+            dpvk_trace::add(engine_counter, 1);
+        }
         let mut mem = MemAccess { global, shared: &mut shared, local: &mut local, param, cbank };
-        let outcome = execute_warp_framed(
-            &compiled.function,
-            &compiled.frame,
-            &mut scratch.frame,
-            &compiled.cost,
-            cache.model(),
-            &mut scratch.warp,
-            rp,
-            &mut mem,
-            &mut stats.exec,
-            &config.limits,
-            Some(cancel),
-        )
+        let outcome = match config.engine {
+            Engine::Bytecode => execute_warp_bytecode(
+                &compiled.bytecode,
+                &mut scratch.frame,
+                &mut scratch.warp,
+                rp,
+                &mut mem,
+                &mut stats.exec,
+                &config.limits,
+                Some(cancel),
+            ),
+            Engine::Tree => execute_warp_framed(
+                &compiled.function,
+                &compiled.frame,
+                &mut scratch.frame,
+                &compiled.cost,
+                cache.model(),
+                &mut scratch.warp,
+                rp,
+                &mut mem,
+                &mut stats.exec,
+                &config.limits,
+                Some(cancel),
+            ),
+        }
         .map_err(|e| {
             if matches!(e, VmError::Cancelled | VmError::Deadline) {
                 stats.exec.cancelled_warps += 1;

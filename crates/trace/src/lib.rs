@@ -146,11 +146,24 @@ pub enum Counter {
     /// Wall-clock nanoseconds the host spent forming warps from the
     /// ready queue.
     HostFormationNs,
+    /// Wall-clock nanoseconds spent pre-decoding compiled functions into
+    /// linear bytecode (part of each cache-miss fill).
+    GuestDecodeNs,
+    /// Warp executions dispatched to the pre-decoded bytecode engine.
+    WarpsBytecode,
+    /// Warp executions dispatched to the tree-walk oracle engine.
+    WarpsTree,
+    /// `Cmp`+`CondBr` pairs fused into compare-branch µops at decode.
+    FusedCmpBr,
+    /// Scalar `Bin`+`Bin` chains fused into one µop at decode.
+    FusedBinBin,
+    /// Scalar `Load`+`Bin` pairs fused into one µop at decode.
+    FusedLoadBin,
 }
 
 impl Counter {
     /// Every counter, in declaration order.
-    pub const ALL: [Counter; 23] = [
+    pub const ALL: [Counter; 29] = [
         Counter::CacheHit,
         Counter::CacheMiss,
         Counter::CacheCompileNs,
@@ -174,6 +187,12 @@ impl Counter {
         Counter::Faults,
         Counter::HostDispatchNs,
         Counter::HostFormationNs,
+        Counter::GuestDecodeNs,
+        Counter::WarpsBytecode,
+        Counter::WarpsTree,
+        Counter::FusedCmpBr,
+        Counter::FusedBinBin,
+        Counter::FusedLoadBin,
     ];
 
     /// Stable snake_case name used in reports.
@@ -202,6 +221,12 @@ impl Counter {
             Counter::Faults => "faults",
             Counter::HostDispatchNs => "host_dispatch_ns",
             Counter::HostFormationNs => "host_formation_ns",
+            Counter::GuestDecodeNs => "guest_decode_ns",
+            Counter::WarpsBytecode => "warps_bytecode",
+            Counter::WarpsTree => "warps_tree",
+            Counter::FusedCmpBr => "fused_cmp_br",
+            Counter::FusedBinBin => "fused_bin_bin",
+            Counter::FusedLoadBin => "fused_load_bin",
         }
     }
 }

@@ -83,8 +83,15 @@ impl RegFrame {
 
     /// Zero the frame and size it for `layout`, returning the slot slice.
     pub(crate) fn prepare(&mut self, layout: &FrameLayout) -> &mut [u64] {
+        self.prepare_slots(layout.slots())
+    }
+
+    /// Zero the frame and size it to `slots` slots, returning the slot
+    /// slice. The bytecode engine's entry point: a decoded program caches
+    /// its slot count, so no layout walk is needed per warp call.
+    pub(crate) fn prepare_slots(&mut self, slots: usize) -> &mut [u64] {
         self.slots.clear();
-        self.slots.resize(layout.slots(), 0);
+        self.slots.resize(slots, 0);
         &mut self.slots
     }
 }

@@ -53,7 +53,12 @@ pub struct WarpOutcome {
 }
 
 /// Mask `bits` to the width of `sty` (zero-extension representation).
-fn mask_to(bits: u64, sty: STy) -> u64 {
+///
+/// Shared with the pre-decoded bytecode engine (`crate::bytecode`), which
+/// must produce bit-identical lane values: both engines funnel every
+/// scalar operation through the helpers below.
+#[inline]
+pub(crate) fn mask_to(bits: u64, sty: STy) -> u64 {
     match sty.bits() {
         1 => bits & 1,
         8 => bits & 0xFF,
@@ -64,7 +69,8 @@ fn mask_to(bits: u64, sty: STy) -> u64 {
 }
 
 /// Sign-extend the `sty`-width value in `bits` to i64.
-fn sext(bits: u64, sty: STy) -> i64 {
+#[inline]
+pub(crate) fn sext(bits: u64, sty: STy) -> i64 {
     match sty.bits() {
         1 => {
             if bits & 1 != 0 {
@@ -80,7 +86,8 @@ fn sext(bits: u64, sty: STy) -> i64 {
     }
 }
 
-fn encode_imm(v: Value, sty: STy) -> u64 {
+#[inline]
+pub(crate) fn encode_imm(v: Value, sty: STy) -> u64 {
     match v {
         Value::ImmI(i) => mask_to(i as u64, sty),
         Value::ImmF(x) => match sty {
@@ -92,7 +99,8 @@ fn encode_imm(v: Value, sty: STy) -> u64 {
     }
 }
 
-fn f_of(bits: u64, sty: STy) -> f64 {
+#[inline]
+pub(crate) fn f_of(bits: u64, sty: STy) -> f64 {
     match sty {
         STy::F32 => f32::from_bits(bits as u32) as f64,
         STy::F64 => f64::from_bits(bits),
@@ -100,7 +108,8 @@ fn f_of(bits: u64, sty: STy) -> f64 {
     }
 }
 
-fn f_enc(v: f64, sty: STy) -> u64 {
+#[inline]
+pub(crate) fn f_enc(v: f64, sty: STy) -> u64 {
     match sty {
         STy::F32 => (v as f32).to_bits() as u64,
         STy::F64 => v.to_bits(),
@@ -108,7 +117,13 @@ fn f_enc(v: f64, sty: STy) -> u64 {
     }
 }
 
-fn scalar_bin(op: BinOp, sty: STy, signed: bool, a: u64, b: u64) -> Result<u64, VmError> {
+pub(crate) fn scalar_bin(
+    op: BinOp,
+    sty: STy,
+    signed: bool,
+    a: u64,
+    b: u64,
+) -> Result<u64, VmError> {
     if sty.is_float() {
         let (x, y) = (f_of(a, sty), f_of(b, sty));
         let r = match op {
@@ -196,7 +211,7 @@ fn scalar_bin(op: BinOp, sty: STy, signed: bool, a: u64, b: u64) -> Result<u64, 
     Ok(mask_to(r, sty))
 }
 
-fn scalar_un(op: UnOp, sty: STy, a: u64) -> Result<u64, VmError> {
+pub(crate) fn scalar_un(op: UnOp, sty: STy, a: u64) -> Result<u64, VmError> {
     if sty.is_float() {
         let x = f_of(a, sty);
         let r = match op {
@@ -228,7 +243,7 @@ fn scalar_un(op: UnOp, sty: STy, a: u64) -> Result<u64, VmError> {
     Ok(mask_to(r, sty))
 }
 
-fn scalar_cmp(pred: CmpPred, sty: STy, signed: bool, a: u64, b: u64) -> u64 {
+pub(crate) fn scalar_cmp(pred: CmpPred, sty: STy, signed: bool, a: u64, b: u64) -> u64 {
     let r = if sty.is_float() {
         let (x, y) = (f_of(a, sty), f_of(b, sty));
         match pred {
@@ -263,7 +278,7 @@ fn scalar_cmp(pred: CmpPred, sty: STy, signed: bool, a: u64, b: u64) -> u64 {
     r as u64
 }
 
-fn scalar_cvt(to: STy, from: STy, signed: bool, a: u64) -> u64 {
+pub(crate) fn scalar_cvt(to: STy, from: STy, signed: bool, a: u64) -> u64 {
     if from.is_float() {
         let x = f_of(a, from);
         if to.is_float() {
@@ -580,59 +595,77 @@ impl<'a, 'm> Machine<'a, 'm> {
         a: u64,
         b: Option<u64>,
     ) -> Result<u64, VmError> {
-        let apply = move |old: u64| -> u64 {
-            match op {
-                AtomKind::Add => {
-                    if ty.is_float() {
-                        f_enc(f_of(old, ty) + f_of(a, ty), ty)
-                    } else {
-                        mask_to(old.wrapping_add(a), ty)
-                    }
-                }
-                AtomKind::Min => {
-                    if ty.is_float() {
-                        f_enc(f_of(old, ty).min(f_of(a, ty)), ty)
-                    } else if signed {
-                        mask_to(sext(old, ty).min(sext(a, ty)) as u64, ty)
-                    } else {
-                        mask_to(mask_to(old, ty).min(mask_to(a, ty)), ty)
-                    }
-                }
-                AtomKind::Max => {
-                    if ty.is_float() {
-                        f_enc(f_of(old, ty).max(f_of(a, ty)), ty)
-                    } else if signed {
-                        mask_to(sext(old, ty).max(sext(a, ty)) as u64, ty)
-                    } else {
-                        mask_to(mask_to(old, ty).max(mask_to(a, ty)), ty)
-                    }
-                }
-                AtomKind::Exch => mask_to(a, ty),
-                AtomKind::Cas => {
-                    if mask_to(old, ty) == mask_to(a, ty) {
-                        mask_to(b.unwrap_or(0), ty)
-                    } else {
-                        old
-                    }
+        atom_rmw(self.mem, ty, space, op, signed, addr, a, b)
+    }
+}
+
+/// Atomic read-modify-write shared by both interpreter engines. Within
+/// one execution manager the CTA's threads are serialized, so shared and
+/// local RMWs are plain read/modify/write; global ones go through the
+/// lock-free cells of [`crate::GlobalMem`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn atom_rmw(
+    mem: &mut MemAccess<'_>,
+    ty: STy,
+    space: dpvk_ir::Space,
+    op: AtomKind,
+    signed: bool,
+    addr: u64,
+    a: u64,
+    b: Option<u64>,
+) -> Result<u64, VmError> {
+    let apply = move |old: u64| -> u64 {
+        match op {
+            AtomKind::Add => {
+                if ty.is_float() {
+                    f_enc(f_of(old, ty) + f_of(a, ty), ty)
+                } else {
+                    mask_to(old.wrapping_add(a), ty)
                 }
             }
-        };
-        match space {
-            dpvk_ir::Space::Global => match ty.size_bytes() {
-                4 => Ok(self.mem.global.atomic_rmw_u32(addr, |v| apply(v as u64) as u32)? as u64),
-                8 => self.mem.global.atomic_rmw_u64(addr, apply),
-                n => Err(VmError::Unsupported(format!("{n}-byte atomic"))),
-            },
-            dpvk_ir::Space::Shared | dpvk_ir::Space::Local => {
-                // Within one execution manager the CTA's threads are
-                // serialized, so a plain read-modify-write is atomic.
-                let old = self.mem.read(space, addr, ty.size_bytes())?;
-                let new = apply(old);
-                self.mem.write(space, addr, ty.size_bytes(), new)?;
-                Ok(old)
+            AtomKind::Min => {
+                if ty.is_float() {
+                    f_enc(f_of(old, ty).min(f_of(a, ty)), ty)
+                } else if signed {
+                    mask_to(sext(old, ty).min(sext(a, ty)) as u64, ty)
+                } else {
+                    mask_to(mask_to(old, ty).min(mask_to(a, ty)), ty)
+                }
             }
-            other => Err(VmError::Unsupported(format!("atomic in {other:?} space"))),
+            AtomKind::Max => {
+                if ty.is_float() {
+                    f_enc(f_of(old, ty).max(f_of(a, ty)), ty)
+                } else if signed {
+                    mask_to(sext(old, ty).max(sext(a, ty)) as u64, ty)
+                } else {
+                    mask_to(mask_to(old, ty).max(mask_to(a, ty)), ty)
+                }
+            }
+            AtomKind::Exch => mask_to(a, ty),
+            AtomKind::Cas => {
+                if mask_to(old, ty) == mask_to(a, ty) {
+                    mask_to(b.unwrap_or(0), ty)
+                } else {
+                    old
+                }
+            }
         }
+    };
+    match space {
+        dpvk_ir::Space::Global => match ty.size_bytes() {
+            4 => Ok(mem.global.atomic_rmw_u32(addr, |v| apply(v as u64) as u32)? as u64),
+            8 => mem.global.atomic_rmw_u64(addr, apply),
+            n => Err(VmError::Unsupported(format!("{n}-byte atomic"))),
+        },
+        dpvk_ir::Space::Shared | dpvk_ir::Space::Local => {
+            // Within one execution manager the CTA's threads are
+            // serialized, so a plain read-modify-write is atomic.
+            let old = mem.read(space, addr, ty.size_bytes())?;
+            let new = apply(old);
+            mem.write(space, addr, ty.size_bytes(), new)?;
+            Ok(old)
+        }
+        other => Err(VmError::Unsupported(format!("atomic in {other:?} space"))),
     }
 }
 

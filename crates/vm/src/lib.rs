@@ -54,9 +54,11 @@
 
 #![warn(missing_docs)]
 
+mod bytecode;
 mod cancel;
 mod context;
 mod cost;
+mod decode;
 mod error;
 mod frame;
 mod interp;
@@ -64,6 +66,7 @@ mod machine;
 mod memory;
 mod stats;
 
+pub use bytecode::{execute_warp_bytecode, BytecodeProgram, DecodeStats};
 pub use cancel::CancelToken;
 pub use context::ThreadContext;
 pub use cost::{inst_cost, inst_flops, term_cost, CostInfo};

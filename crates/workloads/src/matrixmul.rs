@@ -103,14 +103,31 @@ inner:
     }
 
     fn run(&self, dev: &Device, config: &ExecConfig) -> Result<Outcome, WorkloadError> {
-        let mut rng = rng_for(self.name());
-        let a = random_f32(&mut rng, DIM * DIM, -1.0, 1.0);
-        let b = random_f32(&mut rng, DIM * DIM, -1.0, 1.0);
+        // Inputs and the expected product are seeded-deterministic; warm
+        // relaunches reuse them instead of recomputing per launch.
+        type Cached = (Vec<f32>, Vec<f32>, Vec<f32>);
+        static DATA: std::sync::OnceLock<Cached> = std::sync::OnceLock::new();
+        let (a, b, want) = DATA.get_or_init(|| {
+            let mut rng = rng_for("matrixmul");
+            let a = random_f32(&mut rng, DIM * DIM, -1.0, 1.0);
+            let b = random_f32(&mut rng, DIM * DIM, -1.0, 1.0);
+            let mut want = vec![0f32; DIM * DIM];
+            for row in 0..DIM {
+                for col in 0..DIM {
+                    let mut acc = 0f32;
+                    for k in 0..DIM {
+                        acc = a[row * DIM + k].mul_add(b[k * DIM + col], acc);
+                    }
+                    want[row * DIM + col] = acc;
+                }
+            }
+            (a, b, want)
+        });
         let pa = dev.malloc(DIM * DIM * 4)?;
         let pb = dev.malloc(DIM * DIM * 4)?;
         let pc = dev.malloc(DIM * DIM * 4)?;
-        dev.copy_f32_htod(pa, &a)?;
-        dev.copy_f32_htod(pb, &b)?;
+        dev.copy_f32_htod(pa, a)?;
+        dev.copy_f32_htod(pb, b)?;
         let blocks = (DIM / TILE) as u32;
         let stats = dev.launch(
             "matrixmul",
@@ -125,17 +142,7 @@ inner:
             config,
         )?;
         let got = dev.copy_f32_dtoh(pc, DIM * DIM)?;
-        let mut want = vec![0f32; DIM * DIM];
-        for row in 0..DIM {
-            for col in 0..DIM {
-                let mut acc = 0f32;
-                for k in 0..DIM {
-                    acc = a[row * DIM + k].mul_add(b[k * DIM + col], acc);
-                }
-                want[row * DIM + col] = acc;
-            }
-        }
-        check_f32(self.name(), &got, &want, 1e-3)?;
+        check_f32(self.name(), &got, want, 1e-3)?;
         Ok(Outcome { stats })
     }
 }

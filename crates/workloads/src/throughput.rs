@@ -76,6 +76,10 @@ loop:
     }
 
     fn run(&self, dev: &Device, config: &ExecConfig) -> Result<Outcome, WorkloadError> {
+        // The expected outputs are a pure function of the fixed problem
+        // size, so warm relaunches (the host_perf benchmark, CI smoke
+        // loops) pay for the host-side reference computation once.
+        static WANT: std::sync::OnceLock<Vec<f32>> = std::sync::OnceLock::new();
         let n = (CTA * CTAS) as usize;
         let out = dev.malloc(n * 4)?;
         let stats = dev.launch(
@@ -86,8 +90,8 @@ loop:
             config,
         )?;
         let got = dev.copy_f32_dtoh(out, n)?;
-        let want: Vec<f32> = (0..n).map(|tid| reference(tid as u32)).collect();
-        check_f32(self.name(), &got, &want, 1e-3)?;
+        let want = WANT.get_or_init(|| (0..n).map(|tid| reference(tid as u32)).collect());
+        check_f32(self.name(), &got, want, 1e-3)?;
         Ok(Outcome { stats })
     }
 }

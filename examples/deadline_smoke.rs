@@ -9,11 +9,13 @@
 
 use std::time::{Duration, Instant};
 
-use dpvk::core::{Device, ExecConfig, ParamValue};
+use dpvk::core::{Device, Engine, ExecConfig, ParamValue};
 use dpvk::vm::MachineModel;
 
 /// The only block branches to itself: without a deadline this kernel
-/// spins until the instruction watchdog (2^32 instructions) trips.
+/// spins until the instruction watchdog (2^32 instructions) trips. The
+/// loop body is a bare terminator, so the kill depends on the engines
+/// polling the deadline on block retirement, not just per instruction.
 const SPIN: &str = r#"
 .kernel spin (.param .u32 n) {
   .reg .u32 %r<1>;
@@ -27,26 +29,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     dev.register_source(SPIN)?;
 
     let budget = Duration::from_millis(300);
-    let start = Instant::now();
-    let result = dev.launch_with_deadline(
-        "spin",
-        [4, 1, 1],
-        [16, 1, 1],
-        &[ParamValue::U32(0)],
-        &ExecConfig::dynamic(4).with_workers(2),
-        budget,
-    );
-    let elapsed = start.elapsed();
+    for engine in [Engine::Bytecode, Engine::Tree] {
+        let start = Instant::now();
+        let result = dev.launch_with_deadline(
+            "spin",
+            [4, 1, 1],
+            [16, 1, 1],
+            &[ParamValue::U32(0)],
+            &ExecConfig::dynamic(4).with_workers(2).with_engine(engine),
+            budget,
+        );
+        let elapsed = start.elapsed();
 
-    match result {
-        Err(e) if e.is_deadline() => {
-            println!("runaway kernel killed after {elapsed:?} (budget {budget:?}): {e}");
-            if elapsed > budget * 2 {
-                return Err(format!("kill took {elapsed:?}, over 2x the {budget:?} budget").into());
+        match result {
+            Err(e) if e.is_deadline() => {
+                println!(
+                    "[{}] runaway kernel killed after {elapsed:?} (budget {budget:?}): {e}",
+                    engine.label()
+                );
+                if elapsed > budget * 2 {
+                    return Err(format!(
+                        "[{}] kill took {elapsed:?}, over 2x the {budget:?} budget",
+                        engine.label()
+                    )
+                    .into());
+                }
             }
-            Ok(())
+            Err(e) => return Err(format!("expected a deadline fault, got: {e}").into()),
+            Ok(_) => return Err("the spin kernel cannot terminate; launch must not succeed".into()),
         }
-        Err(e) => Err(format!("expected a deadline fault, got: {e}").into()),
-        Ok(_) => Err("the spin kernel cannot terminate; launch must not succeed".into()),
     }
+    Ok(())
 }

@@ -11,8 +11,11 @@
 use std::time::{Duration, Instant};
 
 use dpvk::core::faults::{install, FaultPlan, SlowWarps};
-use dpvk::core::{CancelToken, CoreError, Device, ExecConfig, ParamValue};
+use dpvk::core::{CancelToken, CoreError, Device, Engine, ExecConfig, ParamValue};
 use dpvk::vm::{MachineModel, VmError};
+
+/// Both guest engines must survive every recovery path identically.
+const ENGINES: [Engine; 2] = [Engine::Bytecode, Engine::Tree];
 
 /// In-place `data[i] *= 3` over `n` u32 elements.
 const TRIPLE: &str = r#"
@@ -125,30 +128,38 @@ fn deadline_kills_a_runaway_kernel_within_twice_the_budget() {
 
     let dev = device(SPIN);
     let budget = Duration::from_millis(250);
-    let start = Instant::now();
-    let err = dev
-        .launch_with_deadline(
-            "spin",
-            [2, 1, 1],
-            [8, 1, 1],
-            &[ParamValue::U32(0)],
-            &ExecConfig::dynamic(4).with_workers(2),
-            budget,
-        )
-        .unwrap_err();
-    let elapsed = start.elapsed();
+    for engine in ENGINES {
+        let start = Instant::now();
+        let err = dev
+            .launch_with_deadline(
+                "spin",
+                [2, 1, 1],
+                [8, 1, 1],
+                &[ParamValue::U32(0)],
+                &ExecConfig::dynamic(4).with_workers(2).with_engine(engine),
+                budget,
+            )
+            .unwrap_err();
+        let elapsed = start.elapsed();
 
-    assert!(err.is_deadline(), "expected deadline fault, got {err:?}");
-    let msg = err.to_string();
-    assert!(msg.contains("spin") && msg.contains("CTA"), "missing provenance: {msg}");
-    assert!(elapsed < budget * 2, "runaway kernel outlived 2x budget: {elapsed:?} vs {budget:?}");
+        assert!(err.is_deadline(), "[{engine:?}] expected deadline fault, got {err:?}");
+        let msg = err.to_string();
+        assert!(msg.contains("spin") && msg.contains("CTA"), "missing provenance: {msg}");
+        assert!(
+            elapsed < budget * 2,
+            "[{engine:?}] runaway kernel outlived 2x budget: {elapsed:?} vs {budget:?}"
+        );
+    }
 
     // The warps that were interrupted mid-interpretation are visible in
-    // the trace as cancelled warps.
+    // the trace as cancelled warps, and each engine's dispatch counter
+    // saw its launch.
     let report = dpvk::trace::TraceReport::capture();
     dpvk::trace::disable();
     assert!(report.counter("cancelled_warps") >= 1, "counters: {:?}", report.counters);
-    assert!(report.counter("faults") >= 1);
+    assert!(report.counter("faults") >= 2);
+    assert!(report.counter("warps_bytecode") >= 1, "counters: {:?}", report.counters);
+    assert!(report.counter("warps_tree") >= 1, "counters: {:?}", report.counters);
 }
 
 #[test]
@@ -184,21 +195,24 @@ fn failed_specialization_downgrades_to_scalar_and_is_counted() {
 fn injected_vm_fault_carries_full_provenance() {
     let _guard = install(FaultPlan { oob_at_cta: Some(1), ..Default::default() });
     let dev = device(TRIPLE);
-    let (result, _) = launch_triple(&dev, 2, 4, 8, &ExecConfig::dynamic(4).with_workers(1));
+    for engine in ENGINES {
+        let config = ExecConfig::dynamic(4).with_workers(1).with_engine(engine);
+        let (result, _) = launch_triple(&dev, 2, 4, 8, &config);
 
-    match result {
-        Err(CoreError::Fault { context, source }) => {
-            assert_eq!(context.kernel, "triple");
-            assert_eq!(context.cta, 1);
-            assert!(!context.thread_ids.is_empty(), "warp thread ids missing");
-            assert!(matches!(source, VmError::OutOfBounds { .. }), "source: {source:?}");
-            let msg = CoreError::Fault { context, source }.to_string();
-            assert!(
-                msg.contains("kernel `triple`") && msg.contains("CTA 1"),
-                "display lacks provenance: {msg}"
-            );
+        match result {
+            Err(CoreError::Fault { context, source }) => {
+                assert_eq!(context.kernel, "triple");
+                assert_eq!(context.cta, 1);
+                assert!(!context.thread_ids.is_empty(), "warp thread ids missing");
+                assert!(matches!(source, VmError::OutOfBounds { .. }), "source: {source:?}");
+                let msg = CoreError::Fault { context, source }.to_string();
+                assert!(
+                    msg.contains("kernel `triple`") && msg.contains("CTA 1"),
+                    "display lacks provenance: {msg}"
+                );
+            }
+            other => panic!("[{engine:?}] expected Fault with provenance, got {other:?}"),
         }
-        other => panic!("expected Fault with provenance, got {other:?}"),
     }
 }
 

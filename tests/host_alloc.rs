@@ -16,7 +16,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 
-use dpvk::core::{Device, ExecConfig, ParamValue};
+use dpvk::core::{Device, Engine, ExecConfig, ParamValue};
 use dpvk::vm::MachineModel;
 
 /// System allocator wrapper that counts allocations while armed.
@@ -77,38 +77,44 @@ loop:
 }
 "#;
 
+/// One test body covering both guest engines, kept in a single `#[test]`
+/// so the counting allocator is never shared between concurrently
+/// running tests.
 #[test]
 fn warm_dispatch_does_not_allocate_per_warp() {
     let dev = Device::new(MachineModel::sandybridge_sse(), 1 << 20);
     dev.register_source(SPIN).unwrap();
-    let config = ExecConfig::dynamic(4).with_workers(1);
-    let launch = |iters: u32| {
-        dev.launch("spin", [1, 1, 1], [32, 1, 1], &[ParamValue::U32(iters)], &config).unwrap()
-    };
+    for engine in [Engine::Bytecode, Engine::Tree] {
+        let config = ExecConfig::dynamic(4).with_workers(1).with_engine(engine);
+        let launch = |iters: u32| {
+            dev.launch("spin", [1, 1, 1], [32, 1, 1], &[ParamValue::U32(iters)], &config).unwrap()
+        };
 
-    // Warm: compile the specializations and grow every reusable buffer
-    // to its steady-state capacity.
-    launch(64);
+        // Warm: compile the specializations and grow every reusable
+        // buffer to its steady-state capacity.
+        launch(64);
 
-    let (small_allocs, small_stats) = count_allocs(|| launch(4));
-    let (big_allocs, big_stats) = count_allocs(|| launch(64));
+        let (small_allocs, small_stats) = count_allocs(|| launch(4));
+        let (big_allocs, big_stats) = count_allocs(|| launch(64));
 
-    // Sanity: the big launch really did form many more warps.
-    let warps = |s: &dpvk::core::LaunchStats| s.warp_hist.iter().sum::<u64>();
-    let (small_warps, big_warps) = (warps(&small_stats), warps(&big_stats));
-    assert!(
-        big_warps >= small_warps + 400,
-        "expected a much larger warp count: {small_warps} vs {big_warps}"
-    );
+        // Sanity: the big launch really did form many more warps.
+        let warps = |s: &dpvk::core::LaunchStats| s.warp_hist.iter().sum::<u64>();
+        let (small_warps, big_warps) = (warps(&small_stats), warps(&big_stats));
+        assert!(
+            big_warps >= small_warps + 400,
+            "[{engine:?}] expected a much larger warp count: {small_warps} vs {big_warps}"
+        );
 
-    // Per-launch allocations (thread spawn, CTA arenas, stats) are
-    // identical between the two launches; anything that scales with the
-    // ~480 extra warps would show up here. Allow a little slack for
-    // allocator-internal or platform noise, but nothing near per-warp.
-    let delta = big_allocs.saturating_sub(small_allocs);
-    assert!(
-        delta < (big_warps - small_warps) / 8,
-        "warm dispatch allocated per warp: {small_allocs} allocs for {small_warps} warps vs \
-         {big_allocs} allocs for {big_warps} warps"
-    );
+        // Per-launch allocations (thread spawn, CTA arenas, stats) are
+        // identical between the two launches; anything that scales with
+        // the ~480 extra warps would show up here. Allow a little slack
+        // for allocator-internal or platform noise, but nothing near
+        // per-warp.
+        let delta = big_allocs.saturating_sub(small_allocs);
+        assert!(
+            delta < (big_warps - small_warps) / 8,
+            "[{engine:?}] warm dispatch allocated per warp: {small_allocs} allocs for \
+             {small_warps} warps vs {big_allocs} allocs for {big_warps} warps"
+        );
+    }
 }

@@ -142,28 +142,24 @@ fn vectorization_preserves_straightline_semantics() {
     }
 }
 
-/// Adding a data-dependent branch over half the ops preserves semantics
-/// under yield-on-diverge.
-#[test]
-fn vectorization_preserves_divergent_semantics() {
-    let mut rng = Prng::new(0xd1ae_05e7);
-    for case in 0..24 {
-        let ops = random_ops(&mut rng, 2, 16);
-        let bit = rng.gen_range_u32(4);
-        // Wrap the second half of the ops in `if (tid >> bit) & 1`.
-        let half = ops.len() / 2;
-        let prefix = kernel_body_fragment(&ops[..half]);
-        let suffix = kernel_body_fragment(&ops[half..]);
-        let mut seed = String::new();
-        for i in 0..NREGS {
-            seed.push_str(&format!("  mad.lo.u32 %v{i}, %r0, {}, {};\n", 2 * i + 1, 7 * i + 3));
-        }
-        let mut fold = String::new();
-        for i in 1..NREGS {
-            fold.push_str(&format!("  xor.b32 %v0, %v0, %v{i};\n"));
-        }
-        let src = format!(
-            r#"
+/// Render random ops as a kernel with a data-dependent branch over the
+/// second half (`if (tid >> bit) & 1`), exercising yield-on-diverge.
+fn divergent_kernel_source(rng: &mut Prng) -> String {
+    let ops = random_ops(rng, 2, 16);
+    let bit = rng.gen_range_u32(4);
+    let half = ops.len() / 2;
+    let prefix = kernel_body_fragment(&ops[..half]);
+    let suffix = kernel_body_fragment(&ops[half..]);
+    let mut seed = String::new();
+    for i in 0..NREGS {
+        seed.push_str(&format!("  mad.lo.u32 %v{i}, %r0, {}, {};\n", 2 * i + 1, 7 * i + 3));
+    }
+    let mut fold = String::new();
+    for i in 1..NREGS {
+        fold.push_str(&format!("  xor.b32 %v0, %v0, %v{i};\n"));
+    }
+    format!(
+        r#"
 .kernel prop (.param .u64 out) {{
   .reg .u32 %r<4>;
   .reg .u32 %v<{NREGS}>;
@@ -185,7 +181,16 @@ entry:
   ret;
 }}
 "#
-        );
+    )
+}
+
+/// Adding a data-dependent branch over half the ops preserves semantics
+/// under yield-on-diverge.
+#[test]
+fn vectorization_preserves_divergent_semantics() {
+    let mut rng = Prng::new(0xd1ae_05e7);
+    for case in 0..24 {
+        let src = divergent_kernel_source(&mut rng);
         let scalar = run(&src, &ExecConfig::baseline(), 32);
         let vec4 = run(&src, &ExecConfig::dynamic(4), 32);
         let vec2 = run(&src, &ExecConfig::dynamic(2), 32);
@@ -381,6 +386,48 @@ fn golden_launch_stats() {
         return;
     }
     assert!(failures.is_empty(), "modeled results moved:\n{}", failures.join("\n"));
+}
+
+// ---------------------------------------------------------------------------
+// Differential engine fuzzing
+// ---------------------------------------------------------------------------
+
+use dpvk::core::Engine;
+
+/// The pre-decoded bytecode engine and the tree-walk oracle must be
+/// observationally identical: random kernels — straight-line, divergent,
+/// and the fixed barrier-heavy one — produce the same memory image and
+/// bit-identical `LaunchStats` (modeled cycles included) under both,
+/// across formation policies. Seeded SplitMix64 generator, so every
+/// failure reproduces exactly.
+#[test]
+fn bytecode_engine_matches_tree_walk_oracle() {
+    let mut rng = Prng::new(0x00b1_7ec0_de0a_c1e5_u64);
+    let mut sources: Vec<String> = Vec::new();
+    for _ in 0..8 {
+        sources.push(kernel_source(&random_ops(&mut rng, 1, 24)));
+        sources.push(divergent_kernel_source(&mut rng));
+    }
+    sources.push(BARRIER_PROP.to_string());
+
+    let configs = [
+        ExecConfig::baseline(),
+        ExecConfig::dynamic(2),
+        ExecConfig::dynamic(4),
+        ExecConfig::static_tie(4),
+    ];
+    for (case, src) in sources.iter().enumerate() {
+        for config in &configs {
+            let tree = config.with_engine(Engine::Tree);
+            let byte = config.with_engine(Engine::Bytecode);
+            let out_tree = run(src, &tree, 32);
+            let out_byte = run(src, &byte, 32);
+            assert_eq!(out_tree, out_byte, "case {case}: memory image diverged\n{src}");
+            let stats_tree = run_stats(src, &tree, 64);
+            let stats_byte = run_stats(src, &byte, 64);
+            assert_eq!(stats_tree, stats_byte, "case {case}: launch stats diverged\n{src}");
+        }
+    }
 }
 
 /// The printer's output parses back to an equivalent kernel.
