@@ -8,12 +8,15 @@
 //! trajectory at the repo root.
 //!
 //! Usage:
-//!   host_perf [--quick] [--engine {tree,bytecode}] [--out PATH]
-//!             [--before PATH] [--check PATH]
+//!   host_perf [--quick] [--engine {tree,bytecode}] [--streams N]
+//!             [--out PATH] [--before PATH] [--check PATH]
 //!
 //! * `--quick` — reduced repeat counts (CI smoke configuration)
 //! * `--engine E` — guest engine to benchmark: `bytecode` (the
 //!   pre-decoded default) or `tree` (the tree-walk oracle)
+//! * `--streams N` — additionally benchmark the stream API: warm
+//!   submit-to-complete launch latency on one stream, and launches/sec
+//!   with the same total work spread round-robin over 1 vs N streams
 //! * `--out PATH` — write results as JSON (default: no file, stdout table)
 //! * `--before P` — fold a previous results file in as the "before"
 //!   section and emit before/after/speedup in `--out`
@@ -24,7 +27,7 @@
 use std::time::Instant;
 
 use dpvk_bench::format_table;
-use dpvk_core::{Engine, ExecConfig};
+use dpvk_core::{Engine, ExecConfig, ParamValue};
 use dpvk_vm::MachineModel;
 use dpvk_workloads::{workload, Workload};
 
@@ -97,6 +100,115 @@ fn bench_one(name: &str, workers: usize, quick: bool, engine: Engine) -> Sample 
     }
 }
 
+/// One throughput measurement of the stream benchmark: `launches`
+/// identical kernels spread round-robin over `streams` streams, all
+/// submitted before any is waited on.
+#[derive(Debug, Clone)]
+struct StreamSample {
+    streams: usize,
+    launches: u64,
+    elapsed_ns: u64,
+    launches_per_sec: f64,
+}
+
+#[derive(Debug, Clone)]
+struct StreamReport {
+    latency_launches: u64,
+    latency_min_ns: u64,
+    latency_median_ns: u64,
+    latency_mean_ns: u64,
+    throughput: Vec<StreamSample>,
+    /// N-stream launches/sec over 1-stream launches/sec.
+    multi_stream_speedup: f64,
+}
+
+/// Benchmark the stream API with the Table 1 `throughput` kernel
+/// (9 CTAs x 64 threads): submit-to-complete latency of a warm launch
+/// on one stream, then launches/sec for the same total launch count
+/// driven through 1 stream vs `nstreams` streams. Each stream owns its
+/// output buffer, so concurrent launches never share device state.
+fn bench_streams(nstreams: usize, quick: bool, engine: Engine) -> StreamReport {
+    let w = workload("throughput").expect("workload exists");
+    let dev = fresh_device(w.as_ref());
+    // One pool worker per launch: stream-level overlap, not intra-launch
+    // parallelism, is what this benchmark isolates.
+    let config = ExecConfig::dynamic(4).with_workers(1).with_engine(engine);
+    let grid = [9, 1, 1];
+    let block = [64, 1, 1];
+    let iters = 32u32;
+    let bufs: Vec<_> =
+        (0..nstreams.max(1)).map(|_| dev.malloc(576 * 4).expect("stream buffer")).collect();
+    w.run(&dev, &config).expect("warm-up run validates");
+
+    // Submit-to-complete latency of an otherwise idle stream.
+    let latency_iters = if quick { 24 } else { 96 };
+    let stream = dev.stream();
+    let mut lat = Vec::with_capacity(latency_iters);
+    for _ in 0..latency_iters {
+        let t = Instant::now();
+        let h = stream
+            .launch(
+                "throughput",
+                grid,
+                block,
+                &[ParamValue::Ptr(bufs[0]), ParamValue::U32(iters)],
+                &config,
+            )
+            .expect("latency launch submits");
+        h.wait().expect("latency launch completes");
+        lat.push(t.elapsed().as_nanos() as u64);
+    }
+    lat.sort_unstable();
+
+    // Throughput: identical total work through 1 stream vs N streams.
+    let per_stream = if quick { 8 } else { 24 };
+    let total = (per_stream * nstreams) as u64;
+    let mut throughput = Vec::new();
+    let mut widths = vec![1];
+    if nstreams > 1 {
+        widths.push(nstreams);
+    }
+    for streams in widths {
+        let pool: Vec<_> = (0..streams).map(|_| dev.stream()).collect();
+        let start = Instant::now();
+        let handles: Vec<_> = (0..total)
+            .map(|i| {
+                let s = i as usize % streams;
+                pool[s]
+                    .launch(
+                        "throughput",
+                        grid,
+                        block,
+                        &[ParamValue::Ptr(bufs[s]), ParamValue::U32(iters)],
+                        &config,
+                    )
+                    .expect("throughput launch submits")
+            })
+            .collect();
+        for h in &handles {
+            h.wait().expect("throughput launch completes");
+        }
+        let elapsed_ns = start.elapsed().as_nanos().max(1) as u64;
+        throughput.push(StreamSample {
+            streams,
+            launches: total,
+            elapsed_ns,
+            launches_per_sec: total as f64 * 1e9 / elapsed_ns as f64,
+        });
+    }
+    dev.synchronize();
+    let single = throughput[0].launches_per_sec;
+    let multi = throughput.last().unwrap().launches_per_sec;
+    StreamReport {
+        latency_launches: lat.len() as u64,
+        latency_min_ns: lat[0],
+        latency_median_ns: lat[lat.len() / 2],
+        latency_mean_ns: lat.iter().sum::<u64>() / lat.len() as u64,
+        throughput,
+        multi_stream_speedup: multi / single.max(f64::MIN_POSITIVE),
+    }
+}
+
 fn result_line(s: &Sample) -> String {
     format!(
         "{{\"workload\": \"{}\", \"workers\": {}, \"launches\": {}, \
@@ -105,7 +217,39 @@ fn result_line(s: &Sample) -> String {
     )
 }
 
-fn render_json(before: Option<&[Sample]>, after: &[Sample], engine: Engine) -> String {
+/// Render the `"streams"` JSON object. Deliberately reuses none of the
+/// result-line keys (`workload` + `min_ns`) so `read_results` on a
+/// combined file never mistakes a stream row for a warm-launch sample.
+fn render_streams_json(r: &StreamReport) -> String {
+    let mut out = String::new();
+    out.push_str("  \"streams\": {\n");
+    out.push_str("    \"kernel\": \"throughput\",\n");
+    out.push_str(&format!(
+        "    \"latency\": {{\"launches\": {}, \"submit_to_complete_min_ns\": {}, \
+         \"submit_to_complete_median_ns\": {}, \"submit_to_complete_mean_ns\": {}}},\n",
+        r.latency_launches, r.latency_min_ns, r.latency_median_ns, r.latency_mean_ns
+    ));
+    out.push_str("    \"throughput\": [\n");
+    for (i, s) in r.throughput.iter().enumerate() {
+        let comma = if i + 1 < r.throughput.len() { "," } else { "" };
+        out.push_str(&format!(
+            "      {{\"streams\": {}, \"launches\": {}, \"elapsed_ns\": {}, \
+             \"launches_per_sec\": {:.1}}}{comma}\n",
+            s.streams, s.launches, s.elapsed_ns, s.launches_per_sec
+        ));
+    }
+    out.push_str("    ],\n");
+    out.push_str(&format!("    \"multi_stream_speedup\": {:.2}\n", r.multi_stream_speedup));
+    out.push_str("  }\n");
+    out
+}
+
+fn render_json(
+    before: Option<&[Sample]>,
+    after: &[Sample],
+    engine: Engine,
+    streams: Option<&StreamReport>,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"host_perf\",\n");
@@ -144,9 +288,12 @@ fn render_json(before: Option<&[Sample]>, after: &[Sample], engine: Engine) -> S
         out.push_str("\n  ],\n");
         out.push_str("  \"speedup_median\": [\n");
         out.push_str(&speedups(|s| s.median_ns));
-        out.push_str("\n  ]\n");
+        out.push_str(if streams.is_some() { "\n  ],\n" } else { "\n  ]\n" });
     } else {
-        emit(&mut out, "after", after, false);
+        emit(&mut out, "after", after, streams.is_some());
+    }
+    if let Some(r) = streams {
+        out.push_str(&render_streams_json(r));
     }
     out.push_str("}\n");
     out
@@ -225,6 +372,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut engine = Engine::default();
+    let mut streams_n: Option<usize> = None;
     let mut out_path: Option<String> = None;
     let mut before_path: Option<String> = None;
     let mut check_path: Option<String> = None;
@@ -232,6 +380,15 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => quick = true,
+            "--streams" => {
+                i += 1;
+                let n: usize = args[i].parse().unwrap_or(0);
+                if n == 0 {
+                    eprintln!("--streams expects a positive stream count");
+                    std::process::exit(2);
+                }
+                streams_n = Some(n);
+            }
             "--engine" => {
                 i += 1;
                 engine = match args[i].as_str() {
@@ -293,14 +450,43 @@ fn main() {
         format_table(&["workload", "workers", "min_ns", "median_ns", "launches"], &rows)
     );
 
+    let streams_report = streams_n.map(|n| {
+        let r = bench_streams(n, quick, engine);
+        eprintln!(
+            "stream latency: submit-to-complete min {} ns, median {} ns ({} launches)",
+            r.latency_min_ns, r.latency_median_ns, r.latency_launches
+        );
+        let rows: Vec<Vec<String>> = r
+            .throughput
+            .iter()
+            .map(|s| {
+                vec![
+                    s.streams.to_string(),
+                    s.launches.to_string(),
+                    format!("{:.1}", s.launches_per_sec),
+                ]
+            })
+            .collect();
+        println!(
+            "\nStream throughput ({} engine, throughput kernel, w4 workers=1)",
+            engine.label()
+        );
+        println!("{}", format_table(&["streams", "launches", "launches_per_sec"], &rows));
+        println!("multi-stream speedup: {:.2}x ({n} streams vs 1)", r.multi_stream_speedup);
+        r
+    });
+
     let before = before_path.map(|p| {
         let b = read_results(&p);
         assert!(!b.is_empty(), "no result lines found in --before file");
         b
     });
     if let Some(path) = out_path {
-        std::fs::write(&path, render_json(before.as_deref(), &results, engine))
-            .expect("write --out file");
+        std::fs::write(
+            &path,
+            render_json(before.as_deref(), &results, engine, streams_report.as_ref()),
+        )
+        .expect("write --out file");
         println!("wrote {path}");
     }
     if let Some(path) = check_path {

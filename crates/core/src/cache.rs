@@ -10,9 +10,9 @@
 //! shared read lock with a borrowed key (no allocation per query) and
 //! statistics are relaxed atomics, so warm queries never serialize
 //! against each other. A mutex is held only on the compilation path, and
-//! workers additionally memoize resolutions per launch (see
-//! `exec::DispatchTable`) so steady-state dispatch touches no shared
-//! state at all.
+//! pool workers additionally keep long-lived resolution memos (see
+//! `exec::worker::DispatchMemo`) so steady-state dispatch touches no
+//! shared state at all.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
@@ -154,7 +154,22 @@ struct Inner {
 }
 
 /// The translation cache: kernels in, specialized functions out.
+///
+/// A `TranslationCache` is a cheap handle over shared state: cloning it
+/// produces another handle to the *same* cache, which is what lets the
+/// persistent worker pool own a reference to the cache of whatever
+/// launch it is running without borrowing from the submitting thread.
 pub struct TranslationCache {
+    shared: Arc<CacheShared>,
+}
+
+impl Clone for TranslationCache {
+    fn clone(&self) -> Self {
+        TranslationCache { shared: Arc::clone(&self.shared) }
+    }
+}
+
+struct CacheShared {
     model: MachineModel,
     kernels: Mutex<HashMap<String, ptx::Kernel>>,
     /// Read-mostly: warm lookups take the read lock with a borrowed
@@ -169,23 +184,32 @@ impl TranslationCache {
     /// Create an empty cache compiling for `model`.
     pub fn new(model: MachineModel) -> Self {
         TranslationCache {
-            model,
-            kernels: Mutex::new(HashMap::new()),
-            compiled: RwLock::new(HashMap::new()),
-            inner: Mutex::new(Inner::default()),
-            stats: StatCells::default(),
+            shared: Arc::new(CacheShared {
+                model,
+                kernels: Mutex::new(HashMap::new()),
+                compiled: RwLock::new(HashMap::new()),
+                inner: Mutex::new(Inner::default()),
+                stats: StatCells::default(),
+            }),
         }
+    }
+
+    /// Whether two handles refer to the same underlying cache. Worker
+    /// memos use this to invalidate entries resolved against a
+    /// different device's cache.
+    pub fn same_cache(&self, other: &TranslationCache) -> bool {
+        Arc::ptr_eq(&self.shared, &other.shared)
     }
 
     /// The machine model this cache compiles for.
     pub fn model(&self) -> &MachineModel {
-        &self.model
+        &self.shared.model
     }
 
     /// Register every kernel of a module (later registrations shadow
     /// earlier kernels with the same name).
     pub fn register_module(&self, module: &ptx::Module) {
-        let mut k = self.kernels.lock();
+        let mut k = self.shared.kernels.lock();
         for kernel in &module.kernels {
             k.insert(kernel.name.clone(), kernel.clone());
         }
@@ -200,13 +224,13 @@ impl TranslationCache {
     /// translation error otherwise.
     pub fn translated(&self, kernel: &str) -> Result<Arc<TranslatedKernel>, CoreError> {
         {
-            let inner = self.inner.lock();
+            let inner = self.shared.inner.lock();
             if let Some(t) = inner.translated.get(kernel) {
                 return Ok(Arc::clone(t));
             }
         }
         let ptx_kernel = {
-            let kernels = self.kernels.lock();
+            let kernels = self.shared.kernels.lock();
             kernels
                 .get(kernel)
                 .cloned()
@@ -216,7 +240,7 @@ impl TranslationCache {
             let _phase = dpvk_trace::phase(kernel, "translate");
             Arc::new(translate(&ptx_kernel)?)
         };
-        let mut inner = self.inner.lock();
+        let mut inner = self.shared.inner.lock();
         Ok(Arc::clone(inner.translated.entry(kernel.to_string()).or_insert(t)))
     }
 
@@ -237,14 +261,14 @@ impl TranslationCache {
         // bookkeeping (including `Variant::label`) runs only when the
         // trace layer is actually on.
         if let Some(c) = self.lookup(kernel, warp_size, variant) {
-            self.stats.hits.fetch_add(1, Relaxed);
+            self.shared.stats.hits.fetch_add(1, Relaxed);
             if dpvk_trace::enabled() {
                 dpvk_trace::record_cache_query(kernel, warp_size, variant.label(), true);
             }
             return Ok(c);
         }
         {
-            let inner = self.inner.lock();
+            let inner = self.shared.inner.lock();
             if let Some(e) = inner.failed.get(&(kernel.to_string(), warp_size, variant)) {
                 return Err(e.clone());
             }
@@ -272,8 +296,8 @@ impl TranslationCache {
                             variant.label(),
                             &e.to_string(),
                         );
-                        self.stats.spec_failures.fetch_add(1, Relaxed);
-                        let mut inner = self.inner.lock();
+                        self.shared.stats.spec_failures.fetch_add(1, Relaxed);
+                        let mut inner = self.shared.inner.lock();
                         inner
                             .failed
                             .entry((kernel.to_string(), warp_size, variant))
@@ -282,11 +306,11 @@ impl TranslationCache {
                     return Err(e);
                 }
             };
-        let cost = CostInfo::analyze(&function, &self.model);
+        let cost = CostInfo::analyze(&function, &self.shared.model);
         let frame = FrameLayout::of(&function);
         let tracing = dpvk_trace::enabled();
         let decode_t = tracing.then(Instant::now);
-        let bytecode = BytecodeProgram::decode(&function, &frame, &self.model, &cost);
+        let bytecode = BytecodeProgram::decode(&function, &frame, &self.shared.model, &cost);
         // The decoder re-derives fusion legality per pair; the
         // specializer's static summary bounds what it may form.
         debug_assert!(
@@ -317,12 +341,12 @@ impl TranslationCache {
         });
         let elapsed = start.elapsed().as_nanos() as u64;
         dpvk_trace::record_compile(kernel, warp_size, variant.label(), elapsed);
-        self.stats.misses.fetch_add(1, Relaxed);
-        self.stats.compile_ns.fetch_add(elapsed, Relaxed);
+        self.shared.stats.misses.fetch_add(1, Relaxed);
+        self.shared.stats.compile_ns.fetch_add(elapsed, Relaxed);
         // Publish under the write lock; on a compile race the first
         // publication wins (both racers still count their miss, exactly
         // as the mutex-era cache did).
-        let mut map = self.compiled.write();
+        let mut map = self.shared.compiled.write();
         let list = map.entry(kernel.to_string()).or_default();
         if let Some((_, existing)) =
             list.iter().find(|((w, v), _)| *w == warp_size && *v == variant)
@@ -341,7 +365,7 @@ impl TranslationCache {
         warp_size: u32,
         variant: Variant,
     ) -> Option<Arc<CompiledKernel>> {
-        let map = self.compiled.read();
+        let map = self.shared.compiled.read();
         let list = map.get(kernel)?;
         list.iter().find(|((w, v), _)| *w == warp_size && *v == variant).map(|(_, c)| Arc::clone(c))
     }
@@ -389,7 +413,7 @@ impl TranslationCache {
             Err(CoreError::Verify(_) | CoreError::Unsupported { .. })
                 if !(warp_size == 1 && variant == Variant::Baseline) =>
             {
-                self.stats.downgrades.fetch_add(1, Relaxed);
+                self.shared.stats.downgrades.fetch_add(1, Relaxed);
                 let c = self.get(kernel, 1, Variant::Baseline)?;
                 Ok((c, true))
             }
@@ -398,27 +422,40 @@ impl TranslationCache {
     }
 
     /// Fold in hit/downgrade counts resolved from a worker-local dispatch
-    /// table (see `exec::DispatchTable`), which answers repeat queries
-    /// without touching the shared cache and flushes its tallies here so
-    /// [`TranslationCache::stats`] totals stay identical to per-query
-    /// counting.
+    /// memo (see `exec::worker::DispatchMemo`), which answers repeat
+    /// queries without touching the shared cache and flushes its tallies
+    /// here at chunk boundaries so [`TranslationCache::stats`] totals stay
+    /// identical to per-query counting.
     pub(crate) fn add_resolved(&self, hits: u64, downgrades: u64) {
         if hits != 0 {
-            self.stats.hits.fetch_add(hits, Relaxed);
+            self.shared.stats.hits.fetch_add(hits, Relaxed);
         }
         if downgrades != 0 {
-            self.stats.downgrades.fetch_add(downgrades, Relaxed);
+            self.shared.stats.downgrades.fetch_add(downgrades, Relaxed);
         }
+    }
+
+    /// Record a specialization-type failure that was detected outside
+    /// [`TranslationCache::get`] — e.g. an eager pre-translation failure
+    /// at launch submission — so the async submit path reports compile
+    /// errors with the same statistics and trace events as worker-side
+    /// translation failures.
+    pub(crate) fn note_spec_failure(&self, kernel: &str, error: &CoreError) {
+        if matches!(error, CoreError::Verify(_) | CoreError::Unsupported { .. }) {
+            self.shared.stats.spec_failures.fetch_add(1, Relaxed);
+            dpvk_trace::add(dpvk_trace::Counter::SpecFailures, 1);
+        }
+        dpvk_trace::record_fault(kernel, &error.to_string());
     }
 
     /// Current statistics.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.stats.hits.load(Relaxed),
-            misses: self.stats.misses.load(Relaxed),
-            compile_ns: self.stats.compile_ns.load(Relaxed),
-            spec_failures: self.stats.spec_failures.load(Relaxed),
-            downgrades: self.stats.downgrades.load(Relaxed),
+            hits: self.shared.stats.hits.load(Relaxed),
+            misses: self.shared.stats.misses.load(Relaxed),
+            compile_ns: self.shared.stats.compile_ns.load(Relaxed),
+            spec_failures: self.shared.stats.spec_failures.load(Relaxed),
+            downgrades: self.shared.stats.downgrades.load(Relaxed),
         }
     }
 
@@ -429,7 +466,8 @@ impl TranslationCache {
     ///
     /// Returns [`CoreError::NotFound`] for unregistered kernels.
     pub fn kernel_declaration(&self, kernel: &str) -> Result<ptx::Kernel, CoreError> {
-        self.kernels
+        self.shared
+            .kernels
             .lock()
             .get(kernel)
             .cloned()
@@ -439,10 +477,10 @@ impl TranslationCache {
 
 impl std::fmt::Debug for TranslationCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let compiled: usize = self.compiled.read().values().map(Vec::len).sum();
-        let inner = self.inner.lock();
+        let compiled: usize = self.shared.compiled.read().values().map(Vec::len).sum();
+        let inner = self.shared.inner.lock();
         f.debug_struct("TranslationCache")
-            .field("model", &self.model.name)
+            .field("model", &self.shared.model.name)
             .field("translated", &inner.translated.len())
             .field("compiled", &compiled)
             .field("stats", &self.stats())

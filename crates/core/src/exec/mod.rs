@@ -1,0 +1,545 @@
+//! The dynamic execution manager (paper, Sections 3 and 5.2).
+//!
+//! The paper's execution managers are *resident* services: worker threads
+//! live with the device, park when idle, and have kernels dispatched into
+//! them — they are not spawned per launch. This module tree implements
+//! that shape:
+//!
+//! * [`worker`] — the persistent [`worker::WorkerPool`]: threads created
+//!   once (with the [`Device`](crate::runtime::Device), or lazily for the
+//!   free [`run_grid`] path), parked on a condition variable when idle,
+//!   each owning long-lived dispatch memos and warp-formation scratch;
+//! * [`job`] — one launch as a [`job::LaunchJob`]: an owned, immutable
+//!   description plus shared completion state, exposed to callers as a
+//!   [`LaunchHandle`] that can be waited on, polled, or cancelled
+//!   individually;
+//! * [`gather`] — single-pass warp formation over a CTA's ready queue;
+//! * [`stats`] — per-launch statistics ([`LaunchStats`]).
+//!
+//! Within a CTA the manager keeps a pool of ready thread contexts, forms
+//! warps of threads waiting at the same entry point (round-robin pick,
+//! then greedy gather), executes the matching specialization from the
+//! translation cache, and routes yields: diverged threads re-enter the
+//! ready pool at their recorded resume points, barrier arrivals wait in a
+//! per-CTA pool until every live thread has arrived, and terminated
+//! threads are discarded.
+//!
+//! A launch is split into `min(workers, cta_count)` *chunks*; chunk `i`
+//! runs CTAs `i, i + chunks, i + 2·chunks, …` — exactly the striding the
+//! spawn-per-launch implementation used per worker, so statistics and
+//! modeled outputs are bit-identical. Chunks of one launch run on
+//! whichever pool workers are free, so independent launches (and
+//! different streams) overlap while launches queued on one
+//! [`Stream`](crate::runtime::Stream) retain in-order semantics.
+
+pub(crate) mod gather;
+pub(crate) mod job;
+pub(crate) mod stats;
+pub(crate) mod worker;
+
+use std::sync::Arc;
+
+use dpvk_vm::{CancelToken, ExecLimits, GlobalMem, ThreadContext, VmError};
+
+use crate::cache::TranslationCache;
+use crate::error::{CoreError, FaultContext};
+
+pub use job::LaunchHandle;
+pub use stats::LaunchStats;
+
+/// How warps are formed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FormationPolicy {
+    /// No warps: every thread runs the serialized scalar baseline
+    /// (the comparison baseline of the paper's Figure 6).
+    ScalarBaseline,
+    /// Dynamic warp formation: any ready threads waiting at the same
+    /// entry point may form a warp.
+    Dynamic,
+    /// Static warp formation: only the predetermined group of
+    /// consecutively indexed threads may form a warp, enabling
+    /// thread-invariant expression elimination (Section 6.2).
+    Static,
+}
+
+/// Which guest interpreter runs warp bodies. Both engines execute the
+/// same compiled specialization and charge modeled cycles identically;
+/// they differ only in host-side speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The pre-decoded linear-bytecode engine (default): operands
+    /// resolved to frame slots at compile time, hot pairs fused, inner
+    /// loop a flat `match` over µops.
+    #[default]
+    Bytecode,
+    /// The tree-walking interpreter over the IR, kept as the
+    /// differential oracle for the bytecode engine.
+    Tree,
+}
+
+impl Engine {
+    /// Stable lowercase label used in benchmark output and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Engine::Bytecode => "bytecode",
+            Engine::Tree => "tree",
+        }
+    }
+
+    /// The session default: `Engine::default()` unless overridden by
+    /// `DPVK_ENGINE={tree,bytecode}`. The env hook lets CI rerun a whole
+    /// reproduction binary on the tree-walk oracle and diff its output
+    /// against the bytecode engine without per-binary flags. Read once;
+    /// explicit `with_engine` calls are unaffected.
+    pub fn from_env() -> Self {
+        static CHOICE: std::sync::OnceLock<Engine> = std::sync::OnceLock::new();
+        *CHOICE.get_or_init(|| match std::env::var("DPVK_ENGINE").as_deref() {
+            Ok("tree") => Engine::Tree,
+            Ok("bytecode") | Err(_) => Engine::Bytecode,
+            Ok(other) => panic!("DPVK_ENGINE={other}: expected `tree` or `bytecode`"),
+        })
+    }
+}
+
+/// Modeled cycle charges for execution-manager work (the "EM" bars of the
+/// paper's Figure 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmCostModel {
+    /// Base cost of forming one warp.
+    pub formation_base: u64,
+    /// Cost per ready-pool entry examined while gathering.
+    pub per_thread_scanned: u64,
+    /// Cost per thread of processing a yield (status dispatch, re-queue).
+    pub per_yield_thread: u64,
+    /// Cost per thread of barrier bookkeeping.
+    pub per_barrier_thread: u64,
+    /// Cost of one translation-cache query.
+    pub per_cache_query: u64,
+}
+
+impl Default for EmCostModel {
+    fn default() -> Self {
+        EmCostModel {
+            formation_base: 20,
+            per_thread_scanned: 2,
+            per_yield_thread: 6,
+            per_barrier_thread: 4,
+            per_cache_query: 25,
+        }
+    }
+}
+
+/// Execution configuration for one launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Warp-formation policy.
+    pub policy: FormationPolicy,
+    /// Maximum warp width (the machine vector width in the paper's
+    /// evaluation: 4).
+    pub max_warp: u32,
+    /// Chunks the launch is split into for parallel execution; 0 means
+    /// one per modeled core. (Before the persistent pool this was the
+    /// number of threads spawned per launch; the CTA striding is
+    /// unchanged.)
+    pub workers: usize,
+    /// Interpreter limits.
+    pub limits: ExecLimits,
+    /// Execution-manager cycle charges.
+    pub em_cost: EmCostModel,
+    /// Which guest interpreter runs warp bodies.
+    pub engine: Engine,
+}
+
+impl ExecConfig {
+    /// Dynamic warp formation at the given maximum width.
+    pub fn dynamic(max_warp: u32) -> Self {
+        ExecConfig {
+            policy: FormationPolicy::Dynamic,
+            max_warp,
+            workers: 0,
+            limits: ExecLimits::default(),
+            em_cost: EmCostModel::default(),
+            engine: Engine::from_env(),
+        }
+    }
+
+    /// The serialized scalar baseline.
+    pub fn baseline() -> Self {
+        ExecConfig { policy: FormationPolicy::ScalarBaseline, max_warp: 1, ..Self::dynamic(1) }
+    }
+
+    /// Static warp formation with thread-invariant elimination.
+    pub fn static_tie(max_warp: u32) -> Self {
+        ExecConfig { policy: FormationPolicy::Static, ..Self::dynamic(max_warp) }
+    }
+
+    /// Use exactly `n` worker threads.
+    pub fn with_workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Run warp bodies on the given guest engine.
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+}
+
+/// Run a full kernel grid, partitioning CTAs across the shared worker
+/// pool and blocking until the launch completes.
+///
+/// # Errors
+///
+/// Returns the first error raised by any worker (bad launch geometry,
+/// compilation failure, memory fault, barrier deadlock).
+#[allow(clippy::too_many_arguments)]
+pub fn run_grid(
+    cache: &TranslationCache,
+    kernel: &str,
+    grid: [u32; 3],
+    block: [u32; 3],
+    param: &[u8],
+    cbank: &[u8],
+    global: &Arc<GlobalMem>,
+    config: &ExecConfig,
+) -> Result<LaunchStats, CoreError> {
+    run_grid_cancellable(cache, kernel, grid, block, param, cbank, global, config, None)
+}
+
+/// [`run_grid`] with cooperative cancellation.
+///
+/// The launch is submitted to a process-wide persistent worker pool (a
+/// device-less equivalent of the pool each [`crate::runtime::Device`]
+/// owns) and waited on; no threads are spawned per launch. Every chunk's
+/// CTA loop runs under `catch_unwind`: a panic in one CTA becomes
+/// [`CoreError::WorkerPanic`] instead of tearing down the process or the
+/// pool, and the launch's cancellation token is tripped so sibling chunks
+/// stop at their next poll instead of burning CPU on a doomed launch.
+/// The caller's `cancel` token (when given) *is* the launch token —
+/// cancelling it from another thread stops the launch, and the runtime
+/// cancels it itself on an internal fault, so a token is good for one
+/// launch only.
+///
+/// # Errors
+///
+/// The first error raised by any worker, with genuine faults preferred
+/// over secondary cancellations. VM faults arrive as
+/// [`CoreError::Fault`] carrying kernel/CTA/warp provenance.
+#[allow(clippy::too_many_arguments)]
+pub fn run_grid_cancellable(
+    cache: &TranslationCache,
+    kernel: &str,
+    grid: [u32; 3],
+    block: [u32; 3],
+    param: &[u8],
+    cbank: &[u8],
+    global: &Arc<GlobalMem>,
+    config: &ExecConfig,
+    cancel: Option<&CancelToken>,
+) -> Result<LaunchStats, CoreError> {
+    let req = job::LaunchRequest {
+        cache: cache.clone(),
+        kernel: kernel.to_string(),
+        grid,
+        block,
+        param: param.to_vec(),
+        cbank: cbank.to_vec(),
+        global: Arc::clone(global),
+        config: *config,
+        token: cancel.cloned().unwrap_or_default(),
+    };
+    job::submit(worker::global_pool(), req, None, None)?.wait()
+}
+
+/// Provenance for a fault detected between warps (no warp was formed, so
+/// the thread list is empty and the entry point is the kernel start).
+pub(crate) fn boundary_fault(kernel: &str, cta: u32, source: VmError) -> CoreError {
+    CoreError::Fault {
+        context: FaultContext {
+            kernel: kernel.to_string(),
+            cta,
+            warp_entry: 0,
+            thread_ids: Vec::new(),
+        },
+        source,
+    }
+}
+
+/// Provenance for a fault raised while a formed warp was executing.
+pub(crate) fn warp_fault(
+    kernel: &str,
+    cta: u32,
+    warp_entry: i64,
+    warp: &[ThreadContext],
+    source: VmError,
+) -> CoreError {
+    CoreError::Fault {
+        context: FaultContext {
+            kernel: kernel.to_string(),
+            cta,
+            warp_entry,
+            thread_ids: warp.iter().map(|c| c.flat_tid()).collect(),
+        },
+        source,
+    }
+}
+
+/// Best-effort stringification of a panic payload.
+pub(crate) fn panic_payload(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpvk_ptx::parse_module;
+    use dpvk_vm::MachineModel;
+
+    const VECADD: &str = r#"
+.kernel vecadd (.param .u64 a, .param .u64 b, .param .u64 c, .param .u32 n) {
+  .reg .u32 %r<8>;
+  .reg .u64 %rd<8>;
+  .reg .f32 %f<4>;
+  .reg .pred %p<2>;
+entry:
+  mov.u32 %r1, %tid.x;
+  mad.lo.u32 %r3, %ctaid.x, %ntid.x, %r1;
+  ld.param.u32 %r4, [n];
+  setp.ge.u32 %p1, %r3, %r4;
+  @%p1 bra done;
+  cvt.u64.u32 %rd1, %r3;
+  shl.u64 %rd1, %rd1, 2;
+  ld.param.u64 %rd2, [a];
+  add.u64 %rd2, %rd2, %rd1;
+  ld.global.f32 %f1, [%rd2];
+  ld.param.u64 %rd3, [b];
+  add.u64 %rd3, %rd3, %rd1;
+  ld.global.f32 %f2, [%rd3];
+  add.f32 %f3, %f1, %f2;
+  ld.param.u64 %rd4, [c];
+  add.u64 %rd4, %rd4, %rd1;
+  st.global.f32 [%rd4], %f3;
+done:
+  ret;
+}
+"#;
+
+    fn setup(src: &str) -> TranslationCache {
+        let cache = TranslationCache::new(MachineModel::sandybridge_sse());
+        cache.register_module(&parse_module(src).unwrap());
+        cache
+    }
+
+    fn pack_params(items: &[(usize, &[u8])]) -> Vec<u8> {
+        let size = items.iter().map(|(off, b)| off + b.len()).max().unwrap_or(0);
+        let mut buf = vec![0u8; size];
+        for (off, bytes) in items {
+            buf[*off..*off + bytes.len()].copy_from_slice(bytes);
+        }
+        buf
+    }
+
+    fn run_vecadd(config: &ExecConfig) -> (Vec<f32>, LaunchStats) {
+        let cache = setup(VECADD);
+        let n: u32 = 100; // not a multiple of the CTA size: tests divergence
+        let global = GlobalMem::new(4096);
+        let (a_ptr, b_ptr, c_ptr) = (0u64, 1024u64, 2048u64);
+        let a: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let b: Vec<f32> = (0..n).map(|i| 2.0 * i as f32).collect();
+        for (i, v) in a.iter().enumerate() {
+            global.write::<4>(a_ptr + 4 * i as u64, v.to_le_bytes()).unwrap();
+        }
+        for (i, v) in b.iter().enumerate() {
+            global.write::<4>(b_ptr + 4 * i as u64, v.to_le_bytes()).unwrap();
+        }
+        let param = pack_params(&[
+            (0, &a_ptr.to_le_bytes()),
+            (8, &b_ptr.to_le_bytes()),
+            (16, &c_ptr.to_le_bytes()),
+            (24, &n.to_le_bytes()),
+        ]);
+        let stats = run_grid(&cache, "vecadd", [4, 1, 1], [32, 1, 1], &param, &[], &global, config)
+            .unwrap();
+        let mut out = vec![0f32; n as usize];
+        for (i, v) in out.iter_mut().enumerate() {
+            *v = f32::from_le_bytes(global.read::<4>(c_ptr + 4 * i as u64).unwrap());
+        }
+        (out, stats)
+    }
+
+    #[test]
+    fn vecadd_baseline_is_correct() {
+        let (out, stats) = run_vecadd(&ExecConfig::baseline().with_workers(1));
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, 3.0 * i as f32, "element {i}");
+        }
+        assert!(stats.exec.cycles_body > 0);
+    }
+
+    #[test]
+    fn vecadd_dynamic_matches_baseline_and_forms_warps() {
+        let (out, stats) = run_vecadd(&ExecConfig::dynamic(4).with_workers(2));
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, 3.0 * i as f32, "element {i}");
+        }
+        // Most entries are full 4-wide warps.
+        assert!(stats.warp_hist[4] > 0, "{:?}", stats.warp_hist);
+        assert!(stats.exec.average_warp_size() > 2.0);
+    }
+
+    #[test]
+    fn vecadd_static_matches() {
+        let (out, stats) = run_vecadd(&ExecConfig::static_tie(4).with_workers(1));
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, 3.0 * i as f32, "element {i}");
+        }
+        assert!(stats.warp_hist[4] > 0);
+    }
+
+    #[test]
+    fn vectorization_speeds_up_vecadd() {
+        let (_, scalar) = run_vecadd(&ExecConfig::baseline().with_workers(1));
+        let (_, vec4) = run_vecadd(&ExecConfig::dynamic(4).with_workers(1));
+        let s = scalar.exec.total_cycles() as f64 / vec4.exec.total_cycles() as f64;
+        // Memory-bound kernel: modest speedup, but not a slowdown.
+        assert!(s > 0.9, "speedup {s}");
+    }
+
+    const REDUCTION: &str = r#"
+.kernel reduce_sum (.param .u64 data, .param .u64 out) {
+  .shared .f32 tile[32];
+  .reg .u32 %r<8>;
+  .reg .u64 %rd<8>;
+  .reg .f32 %f<4>;
+  .reg .pred %p<2>;
+entry:
+  mov.u32 %r1, %tid.x;
+  cvt.u64.u32 %rd1, %r1;
+  shl.u64 %rd2, %rd1, 2;
+  ld.param.u64 %rd3, [data];
+  add.u64 %rd3, %rd3, %rd2;
+  ld.global.f32 %f1, [%rd3];
+  mov.u64 %rd4, tile;
+  add.u64 %rd4, %rd4, %rd2;
+  st.shared.f32 [%rd4], %f1;
+  mov.u32 %r2, 16;
+loop:
+  bar.sync 0;
+  setp.ge.u32 %p1, %r1, %r2;
+  @%p1 bra skip;
+  add.u32 %r3, %r1, %r2;
+  cvt.u64.u32 %rd5, %r3;
+  shl.u64 %rd5, %rd5, 2;
+  mov.u64 %rd6, tile;
+  add.u64 %rd6, %rd6, %rd5;
+  ld.shared.f32 %f2, [%rd6];
+  ld.shared.f32 %f3, [%rd4];
+  add.f32 %f3, %f3, %f2;
+  st.shared.f32 [%rd4], %f3;
+skip:
+  shr.u32 %r2, %r2, 1;
+  setp.gt.u32 %p1, %r2, 0;
+  @%p1 bra loop;
+  setp.ne.u32 %p1, %r1, 0;
+  @%p1 bra done;
+  ld.shared.f32 %f3, [tile];
+  ld.param.u64 %rd7, [out];
+  st.global.f32 [%rd7], %f3;
+done:
+  ret;
+}
+"#;
+
+    fn run_reduction(config: &ExecConfig) -> f32 {
+        let cache = setup(REDUCTION);
+        let global = GlobalMem::new(1024);
+        for i in 0..32u64 {
+            global.write::<4>(4 * i, ((i + 1) as f32).to_le_bytes()).unwrap();
+        }
+        let out_ptr = 512u64;
+        let param = pack_params(&[(0, &0u64.to_le_bytes()), (8, &out_ptr.to_le_bytes())]);
+        run_grid(&cache, "reduce_sum", [1, 1, 1], [32, 1, 1], &param, &[], &global, config)
+            .unwrap();
+        f32::from_le_bytes(global.read::<4>(out_ptr).unwrap())
+    }
+
+    #[test]
+    fn barrier_reduction_all_policies() {
+        // sum(1..=32) = 528.
+        assert_eq!(run_reduction(&ExecConfig::baseline().with_workers(1)), 528.0);
+        assert_eq!(run_reduction(&ExecConfig::dynamic(4).with_workers(1)), 528.0);
+        assert_eq!(run_reduction(&ExecConfig::static_tie(4).with_workers(1)), 528.0);
+        assert_eq!(run_reduction(&ExecConfig::dynamic(2).with_workers(1)), 528.0);
+    }
+
+    #[test]
+    fn zero_grid_is_rejected() {
+        let cache = setup(VECADD);
+        let global = GlobalMem::new(64);
+        let err = run_grid(
+            &cache,
+            "vecadd",
+            [0, 1, 1],
+            [32, 1, 1],
+            &[0u8; 28],
+            &[],
+            &global,
+            &ExecConfig::baseline(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::BadLaunch(_)));
+    }
+
+    #[test]
+    fn eager_translation_failure_is_counted_per_submission() {
+        // Guarded stores parse and validate but are outside the
+        // translatable subset, so registration succeeds and the failure
+        // surfaces at launch submission (eager pre-translation).
+        const GUARDED: &str = r#"
+.kernel guarded (.param .u32 n) {
+  .reg .u32 %r<4>;
+  .reg .pred %p<2>;
+entry:
+  ld.param.u32 %r1, [n];
+  setp.lt.u32 %p1, %r1, 10;
+  @%p1 st.global.u32 [0], %r1;
+  ret;
+}
+"#;
+        let cache = setup(GUARDED);
+        let global = GlobalMem::new(64);
+        for attempt in 1..=2u64 {
+            let err = run_grid(
+                &cache,
+                "guarded",
+                [1, 1, 1],
+                [1, 1, 1],
+                &[0u8; 4],
+                &[],
+                &global,
+                &ExecConfig::baseline(),
+            )
+            .unwrap_err();
+            assert!(matches!(err, CoreError::Unsupported { .. }), "{err:?}");
+            assert_eq!(
+                cache.stats().spec_failures,
+                attempt,
+                "each failed submission must be counted"
+            );
+        }
+    }
+
+    #[test]
+    fn warp_fractions_sum_to_one() {
+        let (_, stats) = run_vecadd(&ExecConfig::dynamic(4).with_workers(1));
+        let total: f64 = stats.warp_size_fractions().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,608 @@
+//! The persistent worker pool: the paper's resident execution managers.
+//!
+//! Workers are spawned once — with the device, or lazily for the free
+//! [`run_grid`](super::run_grid) path — and park on a condition variable
+//! when the queue is empty, so the launch hot path performs no thread
+//! spawn or join. Each worker owns a [`WorkerScratch`]: warp-formation
+//! buffers, an interpreter register frame, and a [`DispatchMemo`] of
+//! resolved specializations that now lives as long as the worker does
+//! (flushing its statistics tallies at every chunk boundary, so cache
+//! stats stay exact and fault-safe, and rebinding when a job arrives
+//! from a different cache).
+//!
+//! Fault isolation: each CTA runs under `catch_unwind` (plus a
+//! chunk-level net around the glue), so a panic becomes
+//! [`CoreError::WorkerPanic`] on that launch's handle, the launch's own
+//! token is tripped, and the worker thread survives to serve the next
+//! job — one launch's failure cannot poison its siblings or the pool.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use dpvk_ir::ResumeStatus;
+use dpvk_vm::{
+    execute_warp_bytecode, execute_warp_framed, GlobalMem, MemAccess, RegFrame, ThreadContext,
+    VmError,
+};
+
+use crate::cache::{CompiledKernel, TranslationCache, Variant};
+use crate::error::CoreError;
+use crate::sync::Monitor;
+use crate::translate::TranslatedKernel;
+
+use super::gather::gather;
+use super::job::LaunchJob;
+use super::stats::LaunchStats;
+use super::{boundary_fault, panic_payload, warp_fault, Engine, FormationPolicy};
+
+/// One unit of pool work: the `index`-th chunk of `job` (CTAs
+/// `index, index + chunks, …`).
+struct Chunk {
+    job: Arc<LaunchJob>,
+    index: usize,
+}
+
+#[derive(Default)]
+struct PoolQueue {
+    chunks: VecDeque<Chunk>,
+    shutdown: bool,
+    /// Workers currently executing a chunk (pool occupancy).
+    busy: usize,
+}
+
+/// State shared between the pool handle and its worker threads.
+pub(crate) struct PoolShared {
+    queue: Monitor<PoolQueue>,
+    size: usize,
+}
+
+impl PoolShared {
+    /// Enqueue every chunk of `job` and wake workers. Called at submit
+    /// for unordered jobs, and by the retiring worker for the next job
+    /// of a stream.
+    pub(crate) fn enqueue(&self, job: Arc<LaunchJob>) {
+        let n = job.chunks;
+        {
+            let mut q = self.queue.lock();
+            for index in 0..n {
+                q.chunks.push_back(Chunk { job: Arc::clone(&job), index });
+            }
+        }
+        if n == 1 {
+            self.queue.notify_one();
+        } else {
+            self.queue.notify_all();
+        }
+    }
+}
+
+/// A persistent pool of execution-manager threads.
+///
+/// Dropping the pool is a drain, not an abort: the queue is marked shut
+/// down, workers finish every queued chunk (including stream successors
+/// promoted along the way), and the threads are joined — so every
+/// [`LaunchHandle`](super::LaunchHandle) issued against the pool
+/// completes.
+pub(crate) struct WorkerPool {
+    shared: Arc<PoolShared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn a pool of `size` parked workers.
+    pub(crate) fn new(size: usize) -> Self {
+        let size = size.max(1);
+        let shared = Arc::new(PoolShared { queue: Monitor::new(PoolQueue::default()), size });
+        let threads = (0..size)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("dpvk-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool { shared, threads }
+    }
+
+    pub(crate) fn shared(&self) -> &PoolShared {
+        &self.shared
+    }
+
+    /// Number of worker threads.
+    pub(crate) fn size(&self) -> usize {
+        self.shared.size
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            self.shared.queue.lock().shutdown = true;
+        }
+        self.shared.queue.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Worker count for a new pool: `DPVK_POOL_WORKERS` when set, otherwise
+/// the host's available parallelism, but never below `min_workers` (a
+/// device passes its model's core count so modeled-default launches
+/// always have a chunk's worth of workers to land on).
+pub(crate) fn pool_size(min_workers: usize) -> usize {
+    if let Some(n) = std::env::var("DPVK_POOL_WORKERS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        return n.clamp(1, 256);
+    }
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    host.max(min_workers).max(1)
+}
+
+/// The process-wide pool backing the free [`run_grid`](super::run_grid)
+/// functions (a `Device` owns its own). Created on first use, sized for
+/// the host, and never torn down.
+pub(crate) fn global_pool() -> &'static WorkerPool {
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    POOL.get_or_init(|| WorkerPool::new(pool_size(4)))
+}
+
+/// One worker thread: park until a chunk is available, run it, flush
+/// memo tallies, report completion, repeat until shutdown *and* the
+/// queue is drained.
+fn worker_loop(shared: &Arc<PoolShared>) {
+    let mut scratch = WorkerScratch::new();
+    loop {
+        let chunk = {
+            let mut q = shared.queue.lock();
+            loop {
+                if let Some(c) = q.chunks.pop_front() {
+                    q.busy += 1;
+                    if dpvk_trace::enabled() {
+                        dpvk_trace::record_peak(dpvk_trace::Counter::PoolBusyPeak, q.busy as u64);
+                    }
+                    break c;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.queue.wait(q);
+            }
+        };
+        let Chunk { job, index } = chunk;
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_chunk(&job, index, &mut scratch)));
+        let (stats, error, stopped_at) = outcome.unwrap_or_else(|payload| {
+            // A panic that escaped the per-CTA net (inter-CTA glue).
+            // Contain it exactly like a CTA panic; this chunk's partial
+            // stats are lost, as they were under spawn-per-launch.
+            job.req.token.cancel();
+            (
+                LaunchStats::new(job.req.config.max_warp),
+                Some(CoreError::WorkerPanic {
+                    worker: index,
+                    cta: 0,
+                    payload: panic_payload(payload.as_ref()),
+                }),
+                Some(0),
+            )
+        });
+        // Flush memo tallies *before* completion is observable, so cache
+        // stats are exact the moment a waiter wakes — and flushed even
+        // when the chunk panicked or faulted.
+        scratch.dispatch.flush();
+        {
+            let mut q = shared.queue.lock();
+            q.busy -= 1;
+        }
+        job.complete_chunk(index, stats, error, stopped_at, shared);
+    }
+}
+
+/// Run one chunk of a launch: CTAs `index, index + chunks, …` — the same
+/// striding the spawn-per-launch workers used, so statistics and modeled
+/// outputs are unchanged.
+fn run_chunk(
+    job: &Arc<LaunchJob>,
+    index: usize,
+    scratch: &mut WorkerScratch,
+) -> (LaunchStats, Option<CoreError>, Option<u32>) {
+    let req = &job.req;
+    scratch.dispatch.rebind(&req.cache);
+    let mut stats = LaunchStats::new(req.config.max_warp);
+    let mut error = None;
+    let mut stopped_at = None;
+    let mut cta = index as u64;
+    while cta < job.cta_count {
+        let flat = cta as u32;
+        if req.token.is_cancelled() {
+            stopped_at = Some(flat);
+            break;
+        }
+        if let Some(deadline) = req.config.limits.deadline {
+            if Instant::now() >= deadline {
+                error = Some(boundary_fault(&req.kernel, flat, VmError::Deadline));
+                stopped_at = Some(flat);
+                req.token.cancel();
+                break;
+            }
+        }
+        let run = catch_unwind(AssertUnwindSafe(|| run_cta(job, flat, &mut stats, scratch)));
+        match run {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => {
+                // Secondary cancellations are not faults: the first
+                // failure already tripped the token.
+                if !e.is_cancelled() {
+                    req.token.cancel();
+                }
+                error = Some(e);
+                stopped_at = Some(flat);
+                break;
+            }
+            Err(payload) => {
+                req.token.cancel();
+                error = Some(CoreError::WorkerPanic {
+                    worker: index,
+                    cta: flat,
+                    payload: panic_payload(payload.as_ref()),
+                });
+                stopped_at = Some(flat);
+                break;
+            }
+        }
+        cta += job.chunks as u64;
+    }
+    (stats, error, stopped_at)
+}
+
+/// Worker-local memo of resolved specializations. A launch requests the
+/// same few `(width, variant)` pairs for every warp, so after the first
+/// shared-cache query per pair the steady state is answered from this
+/// table: a linear scan over a handful of entries, no lock, no
+/// allocation. With the persistent pool the memo is long-lived — entries
+/// survive across launches (keyed by the translated kernel's identity,
+/// so back-to-back launches of the same kernel skip the shared cache
+/// entirely) and are invalidated only when a job arrives from a
+/// different cache. Hit and downgrade tallies accumulate locally and
+/// flush to the cache's atomic counters at every chunk boundary — which
+/// runs even when a CTA panics or faults, because the flush sits outside
+/// `catch_unwind` in the worker loop — so
+/// [`TranslationCache::stats`] totals are identical to per-query
+/// counting by the time any waiter observes the launch complete.
+pub(crate) struct DispatchMemo {
+    cache: Option<TranslationCache>,
+    entries: Vec<MemoEntry>,
+    hits: u64,
+    downgrades: u64,
+}
+
+struct MemoEntry {
+    /// Identity key: the translated kernel this entry resolves for. The
+    /// held `Arc` keeps the allocation alive, so pointer equality cannot
+    /// alias a recycled address.
+    tk: Arc<TranslatedKernel>,
+    width: u32,
+    variant: Variant,
+    compiled: Arc<CompiledKernel>,
+    downgraded: bool,
+}
+
+/// Memo entries are a linear scan; past this the scan (and the held
+/// kernels) would outweigh the saved cache query, so start over.
+const MEMO_CAPACITY: usize = 64;
+
+impl DispatchMemo {
+    fn new() -> Self {
+        DispatchMemo { cache: None, entries: Vec::new(), hits: 0, downgrades: 0 }
+    }
+
+    /// Point the memo at `cache`, flushing tallies and dropping entries
+    /// when it differs from the currently bound cache.
+    fn rebind(&mut self, cache: &TranslationCache) {
+        if self.cache.as_ref().is_some_and(|c| c.same_cache(cache)) {
+            return;
+        }
+        self.flush();
+        self.entries.clear();
+        self.cache = Some(cache.clone());
+    }
+
+    /// Resolve a specialization plus its downgrade flag, consulting the
+    /// shared cache only on the first request per `(kernel, width,
+    /// variant)` this worker has seen since binding to the cache.
+    fn resolve(
+        &mut self,
+        kernel: &str,
+        tk: &Arc<TranslatedKernel>,
+        w: u32,
+        variant: Variant,
+    ) -> Result<(Arc<CompiledKernel>, bool), CoreError> {
+        if let Some(e) = self
+            .entries
+            .iter()
+            .find(|e| e.width == w && e.variant == variant && Arc::ptr_eq(&e.tk, tk))
+        {
+            // Tally what the shared cache would have counted: one hit per
+            // resolution, and for a downgraded entry a hit on the width-1
+            // baseline plus one downgrade.
+            self.hits += 1;
+            let downgraded = e.downgraded;
+            if downgraded {
+                self.downgrades += 1;
+            }
+            if dpvk_trace::enabled() {
+                let (rw, rv) = if downgraded { (1, Variant::Baseline) } else { (w, variant) };
+                dpvk_trace::record_cache_query(kernel, rw, rv.label(), true);
+            }
+            return Ok((Arc::clone(&e.compiled), downgraded));
+        }
+        let cache = self.cache.as_ref().expect("memo bound to a cache before resolving");
+        let (compiled, downgraded) = cache.get_or_downgrade(kernel, w, variant)?;
+        if self.entries.len() >= MEMO_CAPACITY {
+            self.entries.clear();
+        }
+        self.entries.push(MemoEntry {
+            tk: Arc::clone(tk),
+            width: w,
+            variant,
+            compiled: Arc::clone(&compiled),
+            downgraded,
+        });
+        Ok((compiled, downgraded))
+    }
+
+    /// Flush accumulated hit/downgrade tallies to the bound cache.
+    pub(crate) fn flush(&mut self) {
+        if self.hits != 0 || self.downgrades != 0 {
+            if let Some(cache) = &self.cache {
+                cache.add_resolved(self.hits, self.downgrades);
+            }
+            self.hits = 0;
+            self.downgrades = 0;
+        }
+    }
+}
+
+/// Reusable per-worker execution state: the dispatch memo plus scratch
+/// buffers for warp formation and the interpreter register frame, so the
+/// steady-state CTA loop performs no heap allocation. Lives as long as
+/// the worker thread.
+pub(crate) struct WorkerScratch {
+    pub(crate) dispatch: DispatchMemo,
+    warp: Vec<ThreadContext>,
+    kept: Vec<ThreadContext>,
+    frame: RegFrame,
+}
+
+impl WorkerScratch {
+    fn new() -> Self {
+        WorkerScratch {
+            dispatch: DispatchMemo::new(),
+            warp: Vec::new(),
+            kept: Vec::new(),
+            frame: RegFrame::new(),
+        }
+    }
+}
+
+/// Execute all threads of one CTA to completion.
+fn run_cta(
+    job: &LaunchJob,
+    cta_flat: u32,
+    stats: &mut LaunchStats,
+    scratch: &mut WorkerScratch,
+) -> Result<(), CoreError> {
+    #[cfg(feature = "fault-inject")]
+    crate::faults::maybe_panic(cta_flat);
+
+    let req = &job.req;
+    let kernel = req.kernel.as_str();
+    let tk = &job.tk;
+    let config = &req.config;
+    let cancel = &req.token;
+    let grid = req.grid;
+    let block = req.block;
+    let global: &GlobalMem = &req.global;
+
+    let cta_size = (block[0] * block[1] * block[2]) as usize;
+    let ctaid =
+        [cta_flat % grid[0], (cta_flat / grid[0]) % grid[1], cta_flat / (grid[0] * grid[1])];
+
+    // Build thread contexts.
+    let mut ready: VecDeque<ThreadContext> = VecDeque::with_capacity(cta_size);
+    for tz in 0..block[2] {
+        for ty in 0..block[1] {
+            for tx in 0..block[0] {
+                let mut ctx = ThreadContext::new([tx, ty, tz], block, ctaid, grid);
+                let flat = ctx.flat_tid() as usize;
+                ctx.local_base = (flat * tk.local_bytes) as u64;
+                ready.push_back(ctx);
+            }
+        }
+    }
+
+    let mut shared = vec![0u8; tk.shared_bytes.max(1)];
+    let mut local = vec![0u8; (tk.local_bytes * cta_size).max(1)];
+    let mut barrier_pool: Vec<ThreadContext> = Vec::new();
+    let mut exited: usize = 0;
+    let mut scan_total: u64 = 0;
+    let tracing = dpvk_trace::enabled();
+    // The interpreter polls on an instruction stride; this boundary check
+    // covers short warp calls that retire before the first poll.
+    let polling = config.limits.deadline.is_some();
+
+    #[cfg(feature = "fault-inject")]
+    let mut injected_fault_pending = crate::faults::injected_warp_fault(cta_flat);
+
+    while let Some(front) = ready.front() {
+        let rp = front.resume_point;
+        if cancel.is_cancelled() {
+            return Err(boundary_fault(kernel, cta_flat, VmError::Cancelled));
+        }
+        if polling {
+            if let Some(deadline) = config.limits.deadline {
+                if Instant::now() >= deadline {
+                    return Err(boundary_fault(kernel, cta_flat, VmError::Deadline));
+                }
+            }
+        }
+        // Gather a warp (round-robin from the queue head, greedy collect of
+        // matching resume points).
+        let host_t = tracing.then(Instant::now);
+        let scanned = gather(&mut ready, rp, config, &mut scratch.warp, &mut scratch.kept);
+        if let Some(t) = host_t {
+            dpvk_trace::add(dpvk_trace::Counter::HostFormationNs, t.elapsed().as_nanos() as u64);
+        }
+        stats.exec.cycles_manager +=
+            config.em_cost.formation_base + config.em_cost.per_thread_scanned * scanned as u64;
+        scan_total += scanned as u64;
+
+        // Pick the widest available specialization.
+        let (w, variant) = match config.policy {
+            FormationPolicy::ScalarBaseline => (1u32, Variant::Baseline),
+            FormationPolicy::Dynamic => {
+                let mut w = config.max_warp;
+                while w as usize > scratch.warp.len() {
+                    w /= 2;
+                }
+                (w.max(1), Variant::Dynamic)
+            }
+            FormationPolicy::Static => {
+                if scratch.warp.len() == config.max_warp as usize && config.max_warp > 1 {
+                    (config.max_warp, Variant::StaticTie)
+                } else {
+                    (1, Variant::StaticTie)
+                }
+            }
+        };
+        stats.exec.cycles_manager += config.em_cost.per_cache_query;
+        // Degrade instead of failing: a specialization that cannot
+        // compile falls back to the width-1 scalar baseline. Entry-point
+        // numbering is shared across variants (assigned in `translate`),
+        // so baseline warps resume mid-grid safely.
+        let host_t = tracing.then(Instant::now);
+        let (compiled, downgraded) = scratch.dispatch.resolve(kernel, tk, w, variant)?;
+        if let Some(t) = host_t {
+            dpvk_trace::add(dpvk_trace::Counter::HostDispatchNs, t.elapsed().as_nanos() as u64);
+        }
+        let w = if downgraded {
+            stats.exec.downgraded_warps += 1;
+            1
+        } else {
+            w
+        };
+        // Return surplus threads to the queue head (they keep priority).
+        while scratch.warp.len() > w as usize {
+            let ctx = scratch.warp.pop().expect("warp longer than w");
+            ready.push_front(ctx);
+        }
+
+        #[cfg(feature = "fault-inject")]
+        if let Some(vm_err) = injected_fault_pending.take() {
+            return Err(warp_fault(kernel, cta_flat, rp, &scratch.warp, vm_err));
+        }
+        #[cfg(feature = "fault-inject")]
+        crate::faults::maybe_slow_warp(cta_flat);
+
+        // Count the dispatch before executing: a warp that faults or is
+        // cancelled mid-body was still dispatched to its engine.
+        if tracing {
+            let engine_counter = match config.engine {
+                Engine::Bytecode => dpvk_trace::Counter::WarpsBytecode,
+                Engine::Tree => dpvk_trace::Counter::WarpsTree,
+            };
+            dpvk_trace::add(engine_counter, 1);
+        }
+        let mut mem = MemAccess {
+            global,
+            shared: &mut shared,
+            local: &mut local,
+            param: &req.param,
+            cbank: &req.cbank,
+        };
+        let outcome = match config.engine {
+            Engine::Bytecode => execute_warp_bytecode(
+                &compiled.bytecode,
+                &mut scratch.frame,
+                &mut scratch.warp,
+                rp,
+                &mut mem,
+                &mut stats.exec,
+                &config.limits,
+                Some(cancel),
+            ),
+            Engine::Tree => execute_warp_framed(
+                &compiled.function,
+                &compiled.frame,
+                &mut scratch.frame,
+                &compiled.cost,
+                req.cache.model(),
+                &mut scratch.warp,
+                rp,
+                &mut mem,
+                &mut stats.exec,
+                &config.limits,
+                Some(cancel),
+            ),
+        }
+        .map_err(|e| {
+            if matches!(e, VmError::Cancelled | VmError::Deadline) {
+                stats.exec.cancelled_warps += 1;
+            }
+            warp_fault(kernel, cta_flat, rp, &scratch.warp, e)
+        })?;
+        if (w as usize) < stats.warp_hist.len() {
+            stats.warp_hist[w as usize] += 1;
+        }
+        if tracing {
+            dpvk_trace::record_warp_entry(w, std::mem::take(&mut scan_total));
+            let reason = match outcome.status {
+                ResumeStatus::Exit => dpvk_trace::YieldReason::Exit,
+                ResumeStatus::Branch => dpvk_trace::YieldReason::Branch,
+                ResumeStatus::Barrier => dpvk_trace::YieldReason::Barrier,
+            };
+            dpvk_trace::record_yield(kernel, rp.max(0) as u32, reason, w);
+        }
+
+        stats.exec.cycles_manager += config.em_cost.per_yield_thread * w as u64;
+        match outcome.status {
+            ResumeStatus::Exit => {
+                exited += scratch.warp.len();
+                scratch.warp.clear();
+            }
+            ResumeStatus::Branch => {
+                for ctx in scratch.warp.drain(..) {
+                    if ctx.is_terminated() {
+                        exited += 1;
+                    } else {
+                        ready.push_back(ctx);
+                    }
+                }
+            }
+            ResumeStatus::Barrier => {
+                stats.exec.cycles_manager += config.em_cost.per_barrier_thread * w as u64;
+                barrier_pool.append(&mut scratch.warp);
+            }
+        }
+
+        // Barrier release: when every live thread has arrived, everyone
+        // resumes at the continuation entry point.
+        let alive = cta_size - exited;
+        if !barrier_pool.is_empty() && barrier_pool.len() == alive {
+            stats.exec.cycles_manager +=
+                config.em_cost.per_barrier_thread * barrier_pool.len() as u64;
+            ready.extend(barrier_pool.drain(..));
+        }
+    }
+
+    if !barrier_pool.is_empty() {
+        return Err(CoreError::BadLaunch(format!(
+            "barrier deadlock in kernel `{kernel}`: {} thread(s) waiting, {} exited",
+            barrier_pool.len(),
+            exited
+        )));
+    }
+    Ok(())
+}

@@ -77,9 +77,10 @@ pub use cache::{CacheStats, CompiledKernel, TranslationCache, Variant};
 pub use dpvk_vm::CancelToken;
 pub use error::{CoreError, FaultContext};
 pub use exec::{
-    run_grid, run_grid_cancellable, EmCostModel, Engine, ExecConfig, FormationPolicy, LaunchStats,
+    run_grid, run_grid_cancellable, EmCostModel, Engine, ExecConfig, FormationPolicy, LaunchHandle,
+    LaunchStats,
 };
 pub use lint::{warp_sync_lint, LintFinding};
-pub use runtime::{Device, DevicePtr, ParamValue};
+pub use runtime::{Device, DevicePtr, ParamValue, Stream};
 pub use translate::{translate, TranslatedKernel};
 pub use vectorize::{specialize, SpecializeOptions, Specialized};

@@ -14,7 +14,9 @@ use dpvk_vm::{CancelToken, GlobalMem, MachineModel};
 
 use crate::cache::{CacheStats, TranslationCache};
 use crate::error::CoreError;
-use crate::exec::{run_grid, run_grid_cancellable, ExecConfig, LaunchStats};
+use crate::exec::job::{self, InflightGauge, LaunchRequest, StreamShared};
+use crate::exec::worker::{pool_size, WorkerPool};
+use crate::exec::{ExecConfig, LaunchHandle, LaunchStats};
 
 /// A kernel launch parameter value.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -42,27 +44,44 @@ impl DevicePtr {
     }
 }
 
-/// The simulated device: global memory, a translation cache, and launch
-/// facilities.
+/// The simulated device: global memory, a translation cache, a
+/// persistent pool of execution-manager workers, and launch facilities.
+///
+/// The pool is created with the device and parks when idle, so launches
+/// — blocking or [asynchronous](Device::launch_async) — enqueue work
+/// instead of spawning threads. Launches on one [`Stream`] run in
+/// submission order; launches on different streams (or plain
+/// `launch_async` calls) may overlap. Dropping the device drains the
+/// pool: every outstanding [`LaunchHandle`] completes first.
 pub struct Device {
     model: MachineModel,
     global: Arc<GlobalMem>,
     cache: TranslationCache,
     next_alloc: std::sync::atomic::AtomicU64,
     heap_size: u64,
+    pool: WorkerPool,
+    inflight: Arc<InflightGauge>,
+    next_stream: std::sync::atomic::AtomicU64,
 }
 
 impl Device {
     /// Create a device with the given machine model and global-memory heap
-    /// size in bytes.
+    /// size in bytes. Spawns the device's worker pool: `DPVK_POOL_WORKERS`
+    /// workers when set, otherwise at least the host parallelism and the
+    /// model's core count (so a default-config launch always has a worker
+    /// per chunk).
     pub fn new(model: MachineModel, heap_size: usize) -> Self {
         dpvk_trace::init_from_env();
+        let pool = WorkerPool::new(pool_size(model.cores as usize));
         Device {
             cache: TranslationCache::new(model.clone()),
             model,
             global: GlobalMem::new(heap_size),
             next_alloc: std::sync::atomic::AtomicU64::new(64), // keep null distinct
             heap_size: heap_size as u64,
+            pool,
+            inflight: Arc::new(InflightGauge::new()),
+            next_stream: std::sync::atomic::AtomicU64::new(1),
         }
     }
 
@@ -242,7 +261,32 @@ impl Device {
         Ok(buf)
     }
 
-    /// Launch `kernel` over `grid` CTAs of `block` threads.
+    /// Package a launch for submission to this device's pool.
+    fn request(
+        &self,
+        kernel: &str,
+        grid: [u32; 3],
+        block: [u32; 3],
+        args: &[ParamValue],
+        config: &ExecConfig,
+        token: CancelToken,
+    ) -> Result<LaunchRequest, CoreError> {
+        let param = self.pack_params(kernel, args)?;
+        Ok(LaunchRequest {
+            cache: self.cache.clone(),
+            kernel: kernel.to_string(),
+            grid,
+            block,
+            param,
+            cbank: Vec::new(),
+            global: Arc::clone(&self.global),
+            config: *config,
+            token,
+        })
+    }
+
+    /// Launch `kernel` over `grid` CTAs of `block` threads and block
+    /// until it completes (submit + wait on the device's worker pool).
     ///
     /// # Errors
     ///
@@ -255,8 +299,51 @@ impl Device {
         args: &[ParamValue],
         config: &ExecConfig,
     ) -> Result<LaunchStats, CoreError> {
-        let params = self.pack_params(kernel, args)?;
-        run_grid(&self.cache, kernel, grid, block, &params, &[], &self.global, config)
+        self.launch_async(kernel, grid, block, args, config)?.wait()
+    }
+
+    /// Launch `kernel` asynchronously: the launch is enqueued on the
+    /// device's worker pool and this call returns immediately with a
+    /// [`LaunchHandle`] to wait on, poll, or cancel. Launches submitted
+    /// this way are unordered with respect to each other; use a
+    /// [`Stream`](Device::stream) for in-order submission.
+    ///
+    /// # Errors
+    ///
+    /// Launch-geometry and compilation errors surface here,
+    /// synchronously; execution errors surface from
+    /// [`LaunchHandle::wait`].
+    pub fn launch_async(
+        &self,
+        kernel: &str,
+        grid: [u32; 3],
+        block: [u32; 3],
+        args: &[ParamValue],
+        config: &ExecConfig,
+    ) -> Result<LaunchHandle, CoreError> {
+        let req = self.request(kernel, grid, block, args, config, CancelToken::new())?;
+        job::submit(&self.pool, req, None, Some(Arc::clone(&self.inflight)))
+    }
+
+    /// Create a new stream on this device. Launches submitted to the
+    /// stream run in submission order (at most one in the pool at a
+    /// time); launches on different streams may overlap. Streams are
+    /// independent and cheap; dropping one does not affect its in-flight
+    /// launches.
+    pub fn stream(&self) -> Stream<'_> {
+        let id = self.next_stream.fetch_add(1, Ordering::Relaxed);
+        Stream { dev: self, shared: Arc::new(StreamShared::new(id)) }
+    }
+
+    /// Block until every launch submitted to this device — blocking,
+    /// async, or via any stream — has completed.
+    pub fn synchronize(&self) {
+        self.inflight.wait_idle();
+    }
+
+    /// Number of worker threads in the device's pool.
+    pub fn pool_workers(&self) -> usize {
+        self.pool.size()
     }
 
     /// [`Device::launch`] with a wall-clock budget: the launch fails with
@@ -303,18 +390,8 @@ impl Device {
         config: &ExecConfig,
         cancel: &CancelToken,
     ) -> Result<LaunchStats, CoreError> {
-        let params = self.pack_params(kernel, args)?;
-        run_grid_cancellable(
-            &self.cache,
-            kernel,
-            grid,
-            block,
-            &params,
-            &[],
-            &self.global,
-            config,
-            Some(cancel),
-        )
+        let req = self.request(kernel, grid, block, args, config, cancel.clone())?;
+        job::submit(&self.pool, req, None, Some(Arc::clone(&self.inflight)))?.wait()
     }
 
     /// Translation-cache statistics.
@@ -328,7 +405,92 @@ impl std::fmt::Debug for Device {
         f.debug_struct("Device")
             .field("model", &self.model.name)
             .field("heap_size", &self.heap_size)
+            .field("pool_workers", &self.pool.size())
             .field("cache", &self.cache)
+            .finish()
+    }
+}
+
+/// An in-order launch queue on a [`Device`] — the CUDA stream of the
+/// front-end. Launches submitted to one stream execute in submission
+/// order (at most one of the stream's launches occupies the pool at a
+/// time; the worker that retires it promotes the next). Launches on
+/// different streams, and plain [`Device::launch_async`] calls, may
+/// overlap freely.
+pub struct Stream<'d> {
+    dev: &'d Device,
+    shared: Arc<StreamShared>,
+}
+
+impl Stream<'_> {
+    /// This stream's device-unique identifier (as reported in dpvk-trace
+    /// stream events).
+    pub fn id(&self) -> u64 {
+        self.shared.id
+    }
+
+    /// Enqueue a launch on this stream, after every launch previously
+    /// submitted to it, and return its handle immediately.
+    ///
+    /// # Errors
+    ///
+    /// Launch-geometry and compilation errors surface here,
+    /// synchronously (nothing is enqueued); execution errors surface
+    /// from [`LaunchHandle::wait`]. A failed launch does *not* block the
+    /// stream: later submissions still run.
+    pub fn launch(
+        &self,
+        kernel: &str,
+        grid: [u32; 3],
+        block: [u32; 3],
+        args: &[ParamValue],
+        config: &ExecConfig,
+    ) -> Result<LaunchHandle, CoreError> {
+        self.launch_cancellable(kernel, grid, block, args, config, &CancelToken::new())
+    }
+
+    /// [`Stream::launch`] with a host-held cancellation token (in
+    /// addition to [`LaunchHandle::cancel`]). Cancelling one launch does
+    /// not cancel or reorder the stream's other launches.
+    ///
+    /// # Errors
+    ///
+    /// See [`Stream::launch`].
+    pub fn launch_cancellable(
+        &self,
+        kernel: &str,
+        grid: [u32; 3],
+        block: [u32; 3],
+        args: &[ParamValue],
+        config: &ExecConfig,
+        cancel: &CancelToken,
+    ) -> Result<LaunchHandle, CoreError> {
+        let req = self.dev.request(kernel, grid, block, args, config, cancel.clone())?;
+        job::submit(
+            &self.dev.pool,
+            req,
+            Some(Arc::clone(&self.shared)),
+            Some(Arc::clone(&self.dev.inflight)),
+        )
+    }
+
+    /// Launches accepted by this stream but not yet released to the pool
+    /// (queued behind the stream's active launch).
+    pub fn pending(&self) -> usize {
+        self.shared.held()
+    }
+
+    /// Block until every launch submitted to this stream has completed.
+    pub fn synchronize(&self) {
+        self.shared.wait_idle();
+    }
+}
+
+impl std::fmt::Debug for Stream<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Stream")
+            .field("id", &self.shared.id)
+            .field("pending", &self.pending())
             .finish()
     }
 }

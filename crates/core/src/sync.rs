@@ -119,9 +119,58 @@ mod fallback {
     }
 }
 
+/// A monitor: a mutex paired with a condition variable, with the same
+/// poison-transparent convention as [`Mutex`]. The persistent worker
+/// pool, launch jobs, streams and the device's in-flight gauge all need
+/// blocking waits, which the `parking_lot`-style wrappers above do not
+/// expose, so this is always backed by `std` regardless of features.
+pub(crate) struct Monitor<T> {
+    state: std::sync::Mutex<T>,
+    cond: std::sync::Condvar,
+}
+
+impl<T> Monitor<T> {
+    /// Create a monitor protecting `value`.
+    pub fn new(value: T) -> Self {
+        Monitor { state: std::sync::Mutex::new(value), cond: std::sync::Condvar::new() }
+    }
+
+    /// Acquire the lock.
+    pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Block on the condition variable, releasing `guard` while parked.
+    pub fn wait<'a>(&self, guard: std::sync::MutexGuard<'a, T>) -> std::sync::MutexGuard<'a, T> {
+        self.cond.wait(guard).unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Park until `condition` returns false.
+    pub fn wait_while<'a, F>(
+        &self,
+        guard: std::sync::MutexGuard<'a, T>,
+        condition: F,
+    ) -> std::sync::MutexGuard<'a, T>
+    where
+        F: FnMut(&mut T) -> bool,
+    {
+        self.cond.wait_while(guard, condition).unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Wake one parked waiter.
+    pub fn notify_one(&self) {
+        self.cond.notify_one();
+    }
+
+    /// Wake every parked waiter.
+    pub fn notify_all(&self) {
+        self.cond.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::{Mutex, RwLock};
+    use super::{Monitor, Mutex, RwLock};
 
     #[test]
     fn lock_guards_mutation() {
@@ -129,6 +178,21 @@ mod tests {
         m.lock().push(1);
         m.lock().push(2);
         assert_eq!(*m.lock(), vec![1, 2]);
+    }
+
+    #[test]
+    fn monitor_wakes_waiter() {
+        let m = std::sync::Arc::new(Monitor::new(false));
+        let m2 = std::sync::Arc::clone(&m);
+        let t = std::thread::spawn(move || {
+            let guard = m2.lock();
+            let guard = m2.wait_while(guard, |done| !*done);
+            *guard
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        *m.lock() = true;
+        m.notify_all();
+        assert!(t.join().unwrap());
     }
 
     #[test]

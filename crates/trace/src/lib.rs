@@ -159,11 +159,21 @@ pub enum Counter {
     FusedBinBin,
     /// Scalar `Load`+`Bin` pairs fused into one µop at decode.
     FusedLoadBin,
+    /// Launches accepted by a worker pool (async or blocking).
+    LaunchesSubmitted,
+    /// Launches whose every chunk completed (result observable).
+    LaunchesRetired,
+    /// High-water mark of launches queued behind a stream's active job
+    /// (peak, not a sum — see [`record_peak`]).
+    StreamQueuePeak,
+    /// High-water mark of pool workers simultaneously executing chunks
+    /// (peak occupancy, not a sum — see [`record_peak`]).
+    PoolBusyPeak,
 }
 
 impl Counter {
     /// Every counter, in declaration order.
-    pub const ALL: [Counter; 29] = [
+    pub const ALL: [Counter; 33] = [
         Counter::CacheHit,
         Counter::CacheMiss,
         Counter::CacheCompileNs,
@@ -193,6 +203,10 @@ impl Counter {
         Counter::FusedCmpBr,
         Counter::FusedBinBin,
         Counter::FusedLoadBin,
+        Counter::LaunchesSubmitted,
+        Counter::LaunchesRetired,
+        Counter::StreamQueuePeak,
+        Counter::PoolBusyPeak,
     ];
 
     /// Stable snake_case name used in reports.
@@ -227,6 +241,10 @@ impl Counter {
             Counter::FusedCmpBr => "fused_cmp_br",
             Counter::FusedBinBin => "fused_bin_bin",
             Counter::FusedLoadBin => "fused_load_bin",
+            Counter::LaunchesSubmitted => "launches_submitted",
+            Counter::LaunchesRetired => "launches_retired",
+            Counter::StreamQueuePeak => "stream_queue_peak",
+            Counter::PoolBusyPeak => "pool_busy_peak",
         }
     }
 }
@@ -240,6 +258,17 @@ static COUNTERS: [AtomicU64; NUM_COUNTERS] = [const { AtomicU64::new(0) }; NUM_C
 pub fn add(counter: Counter, n: u64) {
     if enabled() {
         COUNTERS[counter as usize].fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Raise a high-water-mark counter to `value` if it is below it. Used
+/// for peak gauges ([`Counter::StreamQueuePeak`],
+/// [`Counter::PoolBusyPeak`]) where adding samples would be meaningless.
+/// No-op when tracing is off.
+#[inline]
+pub fn record_peak(counter: Counter, value: u64) {
+    if enabled() {
+        COUNTERS[counter as usize].fetch_max(value, Ordering::Relaxed);
     }
 }
 
@@ -374,6 +403,19 @@ pub enum Event {
         kernel: u32,
         /// Interned rendered error (with provenance).
         detail: u32,
+    },
+    /// A launch entered (`submit = true`) or left (`submit = false`) a
+    /// stream's ordered queue.
+    Stream {
+        /// Interned kernel name.
+        kernel: u32,
+        /// Stream identifier.
+        stream: u64,
+        /// Launches queued behind the stream's active job at the moment
+        /// of the event.
+        depth: u32,
+        /// `true` on submit, `false` on retire.
+        submit: bool,
     },
 }
 
@@ -514,6 +556,19 @@ pub fn record_fault(kernel: &str, detail: &str) {
     let kernel = s.intern(kernel);
     let detail = s.intern(detail);
     s.push_event(Event::Fault { kernel, detail });
+}
+
+/// Record a stream queue transition: a launch of `kernel` was submitted
+/// to (`submit = true`) or retired from (`submit = false`) stream
+/// `stream`, leaving `depth` launches queued behind its active job.
+#[inline]
+pub fn record_stream_event(kernel: &str, stream: u64, depth: u32, submit: bool) {
+    if !enabled() {
+        return;
+    }
+    let mut s = lock_state();
+    let kernel = s.intern(kernel);
+    s.push_event(Event::Stream { kernel, stream, depth, submit });
 }
 
 /// Record a vectorizer effectiveness record and bump the aggregate

@@ -79,6 +79,17 @@ pub enum EventReport {
         /// Rendered error, provenance included.
         detail: String,
     },
+    /// A launch entered or left a stream's ordered queue.
+    Stream {
+        /// Kernel name.
+        kernel: String,
+        /// Stream identifier.
+        stream: u64,
+        /// Launches queued behind the stream's active job.
+        depth: u32,
+        /// `true` on submit, `false` on retire.
+        submit: bool,
+    },
 }
 
 /// A point-in-time snapshot of everything the tracer has recorded,
@@ -143,6 +154,9 @@ impl TraceReport {
                 },
                 Event::Fault { kernel, detail } => {
                     EventReport::Fault { kernel: name_of(kernel), detail: name_of(detail) }
+                }
+                Event::Stream { kernel, stream, depth, submit } => {
+                    EventReport::Stream { kernel: name_of(kernel), stream, depth, submit }
                 }
             })
             .collect();
@@ -257,6 +271,13 @@ impl TraceReport {
                     j.field_str("kernel", kernel);
                     j.field_str("detail", detail);
                 }
+                EventReport::Stream { kernel, stream, depth, submit } => {
+                    j.field_str("type", "stream");
+                    j.field_str("kernel", kernel);
+                    j.field_u64("stream", *stream);
+                    j.field_u64("depth", u64::from(*depth));
+                    j.field_bool("submit", *submit);
+                }
             }
             j.close_obj();
         }
@@ -337,6 +358,17 @@ impl TraceReport {
                     s.dce_removed,
                 );
             }
+        }
+        let (submitted, retired) =
+            (self.counter("launches_submitted"), self.counter("launches_retired"));
+        if submitted > 0 || retired > 0 {
+            let _ = writeln!(
+                out,
+                "  launches: {submitted} submitted, {retired} retired; peak stream queue {}, \
+                 peak pool occupancy {}",
+                self.counter("stream_queue_peak"),
+                self.counter("pool_busy_peak"),
+            );
         }
         let (downgraded, cancelled, spec_failures, faults) = (
             self.counter("downgraded_warps"),

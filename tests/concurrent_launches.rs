@@ -126,3 +126,71 @@ fn concurrent_launches_of_different_kernels_share_one_device() {
     assert_eq!(cache.spec_failures, 0);
     assert!(cache.hits >= cache.misses, "cache stats: {cache:?}");
 }
+
+#[test]
+fn async_launches_from_one_thread_overlap_on_the_pool() {
+    // The spawn-per-launch design needed one host thread per concurrent
+    // launch; the persistent pool lets a single thread keep several
+    // launches in flight through handles. Unordered launches may overlap
+    // arbitrarily, so each gets its own buffer.
+    let dev = Device::new(MachineModel::sandybridge_sse(), 16 << 20);
+    dev.register_source(MODULE).unwrap();
+    let n = 1024u32;
+
+    let triple_in: Vec<u32> = (0..n).map(|i| i.wrapping_mul(2654435761)).collect();
+    let xs_in: Vec<u32> = (0..n).map(|i| i.wrapping_add(17)).collect();
+
+    // Submit everything before waiting on anything.
+    let mut launches = Vec::new();
+    for _ in 0..4 {
+        let pt = dev.malloc(n as usize * 4).unwrap();
+        dev.copy_u32_htod(pt, &triple_in).unwrap();
+        let ht = dev
+            .launch_async(
+                "triple",
+                [n / 64, 1, 1],
+                [64, 1, 1],
+                &[ParamValue::Ptr(pt), ParamValue::U32(n)],
+                &ExecConfig::dynamic(4).with_workers(2),
+            )
+            .unwrap();
+        launches.push(("triple", pt, ht));
+
+        let px = dev.malloc(n as usize * 4).unwrap();
+        dev.copy_u32_htod(px, &xs_in).unwrap();
+        let hx = dev
+            .launch_async(
+                "xorshift",
+                [n / 32, 1, 1],
+                [32, 1, 1],
+                &[ParamValue::Ptr(px), ParamValue::U32(n)],
+                &ExecConfig::static_tie(4).with_workers(2),
+            )
+            .unwrap();
+        launches.push(("xorshift", px, hx));
+    }
+
+    for (kernel, ptr, handle) in &launches {
+        let stats = handle.wait().unwrap();
+        assert!(handle.is_finished());
+        assert_eq!(handle.kernel(), *kernel);
+        assert_ne!(stats.exec.instructions, 0, "{kernel} stats empty");
+        assert_eq!(stats.exec.downgraded_warps, 0);
+
+        // Each buffer saw exactly one application of exactly its kernel,
+        // however the eight launches interleaved on the pool.
+        let out = dev.copy_u32_dtoh(*ptr, n as usize).unwrap();
+        for i in 0..n as usize {
+            let want = match *kernel {
+                "triple" => triple_in[i].wrapping_mul(3),
+                _ => xs_in[i] ^ (xs_in[i] << 1),
+            };
+            assert_eq!(out[i], want, "{kernel}[{i}]");
+        }
+    }
+    dev.synchronize();
+
+    let cache = dev.cache_stats();
+    assert_eq!(cache.spec_failures, 0);
+    assert!(cache.hits >= cache.misses, "cache stats: {cache:?}");
+}

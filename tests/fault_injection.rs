@@ -120,6 +120,80 @@ fn injected_panic_is_contained_and_prior_ctas_complete() {
 }
 
 #[test]
+fn panic_in_one_async_launch_fails_only_its_handle() {
+    // The fault plan keys on the flat CTA index: the victim's 4-CTA grid
+    // reaches CTA 3 and panics; the sibling's 3-CTA grid (flat CTAs
+    // 0..=2) never does. Both run concurrently on the device's
+    // persistent pool — the panic must fail exactly one handle, leave
+    // the sibling's results intact, and leave the pool serviceable.
+    let guard = install(FaultPlan { panic_at_cta: Some(3), ..Default::default() });
+    let dev = device(TRIPLE);
+    let config = ExecConfig::dynamic(4).with_workers(1);
+
+    let n_victim = 32u32;
+    let n_sib = 24u32;
+    let pv = dev.malloc(n_victim as usize * 4).unwrap();
+    let ps = dev.malloc(n_sib as usize * 4).unwrap();
+    dev.copy_u32_htod(pv, &(0..n_victim).collect::<Vec<_>>()).unwrap();
+    dev.copy_u32_htod(ps, &(0..n_sib).collect::<Vec<_>>()).unwrap();
+
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let victim = dev
+        .launch_async(
+            "triple",
+            [4, 1, 1],
+            [8, 1, 1],
+            &[ParamValue::Ptr(pv), ParamValue::U32(n_victim)],
+            &config,
+        )
+        .unwrap();
+    let sibling = dev
+        .launch_async(
+            "triple",
+            [3, 1, 1],
+            [8, 1, 1],
+            &[ParamValue::Ptr(ps), ParamValue::U32(n_sib)],
+            &config,
+        )
+        .unwrap();
+    let victim_result = victim.wait();
+    std::panic::set_hook(prev_hook);
+
+    match victim_result {
+        Err(CoreError::WorkerPanic { cta, payload, .. }) => {
+            assert_eq!(cta, 3);
+            assert!(payload.contains("injected fault"), "payload: {payload}");
+        }
+        other => panic!("expected WorkerPanic on the victim handle, got {other:?}"),
+    }
+
+    // Only the victim's handle failed; the sibling completed correctly.
+    sibling.wait().expect("sibling launch must be unaffected by the panic");
+    let out = dev.copy_u32_dtoh(ps, n_sib as usize).unwrap();
+    assert!(
+        out.iter().enumerate().all(|(i, &v)| v == (i as u32) * 3),
+        "sibling clobbered: {out:?}"
+    );
+
+    // The pool's worker threads survived the contained panic: with the
+    // plan uninstalled, the same device runs the victim grid cleanly.
+    drop(guard);
+    dev.copy_u32_htod(pv, &(0..n_victim).collect::<Vec<_>>()).unwrap();
+    dev.launch(
+        "triple",
+        [4, 1, 1],
+        [8, 1, 1],
+        &[ParamValue::Ptr(pv), ParamValue::U32(n_victim)],
+        &config,
+    )
+    .unwrap();
+    let out = dev.copy_u32_dtoh(pv, n_victim as usize).unwrap();
+    assert!(out.iter().enumerate().all(|(i, &v)| v == (i as u32) * 3));
+    dev.synchronize();
+}
+
+#[test]
 fn deadline_kills_a_runaway_kernel_within_twice_the_budget() {
     // Hold the gate: this test reads global trace counters.
     let _guard = install(FaultPlan::default());
