@@ -10,6 +10,7 @@
 //! Usage:
 //!   host_perf [--quick] [--engine {tree,bytecode}] [--streams N]
 //!             [--out PATH] [--before PATH] [--check PATH]
+//!             [--timeline] [--profile]
 //!
 //! * `--quick` — reduced repeat counts (CI smoke configuration)
 //! * `--engine E` — guest engine to benchmark: `bytecode` (the
@@ -23,6 +24,16 @@
 //! * `--check P` — compare against the `after` (or sole) results in a
 //!   committed baseline; exit non-zero only on a gross (>5x)
 //!   per-configuration regression
+//! * `--timeline` — switch the flight recorder on and write the
+//!   per-launch span timeline as Chrome trace-event JSON (loadable in
+//!   Perfetto); honors `DPVK_TIMELINE_OUT`
+//! * `--profile` — switch the flight recorder on, print the µop hotspot
+//!   table, and write the collapsed-stack µop profile (flamegraph
+//!   input); honors `DPVK_PROFILE_OUT`
+//!
+//! Both recorder flags add tracing overhead to every timed launch —
+//! use the numbers they print for *attribution*, not as the benchmark
+//! result.
 
 use std::time::Instant;
 
@@ -376,10 +387,14 @@ fn main() {
     let mut out_path: Option<String> = None;
     let mut before_path: Option<String> = None;
     let mut check_path: Option<String> = None;
+    let mut timeline = false;
+    let mut profile = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => quick = true,
+            "--timeline" => timeline = true,
+            "--profile" => profile = true,
             "--streams" => {
                 i += 1;
                 let n: usize = args[i].parse().unwrap_or(0);
@@ -418,6 +433,10 @@ fn main() {
             }
         }
         i += 1;
+    }
+
+    if timeline || profile {
+        dpvk_trace::enable();
     }
 
     let mut results = Vec::new();
@@ -494,5 +513,38 @@ fn main() {
             std::process::exit(1);
         }
         println!("perf check vs {path}: within {REGRESSION_FACTOR}x");
+    }
+
+    if profile {
+        let total = dpvk_trace::profile::total_cycles();
+        let hotspots = dpvk_trace::profile::hotspots(10);
+        println!("\nµop hotspots (top {} rows, {total} modeled cycles attributed)", hotspots.len());
+        let rows: Vec<Vec<String>> = hotspots
+            .iter()
+            .map(|h| {
+                let pct = if total == 0 { 0.0 } else { 100.0 * h.cycles as f64 / total as f64 };
+                vec![
+                    h.kernel.clone(),
+                    format!("w{} {}", h.warp_size, h.variant),
+                    h.path.to_string(),
+                    h.uop.to_string(),
+                    h.hits.to_string(),
+                    h.cycles.to_string(),
+                    format!("{pct:.1}%"),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            format_table(&["kernel", "spec", "path", "µop", "hits", "cycles", "share"], &rows)
+        );
+        let path = dpvk_trace::profile::default_folded_path();
+        dpvk_trace::profile::write_folded(&path).expect("write µop profile");
+        println!("µop profile: {} (collapsed stacks, flamegraph input)", path.display());
+    }
+    if timeline {
+        let path = dpvk_trace::timeline::default_timeline_path();
+        dpvk_trace::timeline::write_chrome_trace(&path).expect("write timeline");
+        println!("timeline: {} (load in Perfetto / chrome://tracing)", path.display());
     }
 }

@@ -24,7 +24,10 @@ use crate::sync::{Mutex, RwLock};
 use dpvk_ptx as ptx;
 use dpvk_vm::{BytecodeProgram, CostInfo, FrameLayout, MachineModel};
 
+use dpvk_trace::timeline::SpanKind;
+
 use crate::error::CoreError;
+use crate::flight;
 use crate::translate::{translate, TranslatedKernel};
 use crate::vectorize::{specialize, SpecializeOptions, Specialized};
 
@@ -103,6 +106,13 @@ pub struct CacheStats {
     /// Requests downgraded to the scalar baseline because the requested
     /// specialization had failed.
     pub downgrades: u64,
+    /// Nanoseconds of [`compile_ns`](CacheStats::compile_ns) spent in
+    /// PTX→IR translation (charged once per kernel, not per variant).
+    pub translate_ns: u64,
+    /// Nanoseconds spent specializing (warp formation, TIE, verify).
+    pub specialize_ns: u64,
+    /// Nanoseconds spent decoding specialized IR to bytecode.
+    pub decode_ns: u64,
 }
 
 impl std::fmt::Display for CacheStats {
@@ -124,6 +134,15 @@ impl std::fmt::Display for CacheStats {
                 self.spec_failures, self.downgrades
             )?;
         }
+        if self.translate_ns + self.specialize_ns + self.decode_ns != 0 {
+            write!(
+                f,
+                "\ncompile phases: translate {:.2} ms, specialize {:.2} ms, decode {:.2} ms",
+                self.translate_ns as f64 / 1e6,
+                self.specialize_ns as f64 / 1e6,
+                self.decode_ns as f64 / 1e6
+            )?;
+        }
         Ok(())
     }
 }
@@ -143,6 +162,9 @@ struct StatCells {
     compile_ns: AtomicU64,
     spec_failures: AtomicU64,
     downgrades: AtomicU64,
+    translate_ns: AtomicU64,
+    specialize_ns: AtomicU64,
+    decode_ns: AtomicU64,
 }
 
 #[derive(Default)]
@@ -237,8 +259,15 @@ impl TranslationCache {
                 .ok_or_else(|| CoreError::NotFound(format!("kernel `{kernel}`")))?
         };
         let t = {
+            let start = Instant::now();
+            let span = flight::span_start();
             let _phase = dpvk_trace::phase(kernel, "translate");
-            Arc::new(translate(&ptx_kernel)?)
+            let t = Arc::new(translate(&ptx_kernel)?);
+            self.shared.stats.translate_ns.fetch_add(start.elapsed().as_nanos() as u64, Relaxed);
+            if let Some(s) = span {
+                flight::emit_span(SpanKind::Translate, kernel, s, t.scalar.blocks.len() as u64);
+            }
+            t
         };
         let mut inner = self.shared.inner.lock();
         Ok(Arc::clone(inner.translated.entry(kernel.to_string()).or_insert(t)))
@@ -278,10 +307,16 @@ impl TranslationCache {
         }
         let tk = self.translated(kernel)?;
         let start = Instant::now();
+        let spec_start = Instant::now();
+        let spec_span = flight::span_start();
         let specialized = {
             let _phase = dpvk_trace::phase(kernel, "specialize");
             self.specialize_checked(&tk, kernel, warp_size, variant)
         };
+        self.shared.stats.specialize_ns.fetch_add(spec_start.elapsed().as_nanos() as u64, Relaxed);
+        if let Some(s) = spec_span {
+            flight::emit_span(SpanKind::Specialize, kernel, s, u64::from(warp_size));
+        }
         let Specialized { function, pre_opt_instructions, post_opt_instructions, fusion, .. } =
             match specialized {
                 Ok(s) => s,
@@ -308,9 +343,13 @@ impl TranslationCache {
             };
         let cost = CostInfo::analyze(&function, &self.shared.model);
         let frame = FrameLayout::of(&function);
-        let tracing = dpvk_trace::enabled();
-        let decode_t = tracing.then(Instant::now);
-        let bytecode = BytecodeProgram::decode(&function, &frame, &self.shared.model, &cost);
+        let decode_t = Instant::now();
+        let decode_span = flight::span_start();
+        let mut bytecode = BytecodeProgram::decode(&function, &frame, &self.shared.model, &cost);
+        // Tag the program with its profiler identity unconditionally (one
+        // Arc per compile): the µop profiler may be switched on after
+        // this specialization is already cached.
+        bytecode.attach_profile(kernel, variant.label());
         // The decoder re-derives fusion legality per pair; the
         // specializer's static summary bounds what it may form.
         debug_assert!(
@@ -325,11 +364,14 @@ impl TranslationCache {
             bytecode.stats.fused_bin_bin + bytecode.stats.fused_load_bin,
             fusion.pair_candidates,
         );
-        if let Some(t) = decode_t {
-            dpvk_trace::add(dpvk_trace::Counter::GuestDecodeNs, t.elapsed().as_nanos() as u64);
+        let decode_ns = decode_t.elapsed().as_nanos() as u64;
+        self.shared.stats.decode_ns.fetch_add(decode_ns, Relaxed);
+        if let Some(s) = decode_span {
+            dpvk_trace::add(dpvk_trace::Counter::GuestDecodeNs, decode_ns);
             dpvk_trace::add(dpvk_trace::Counter::FusedCmpBr, bytecode.stats.fused_cmp_br);
             dpvk_trace::add(dpvk_trace::Counter::FusedBinBin, bytecode.stats.fused_bin_bin);
             dpvk_trace::add(dpvk_trace::Counter::FusedLoadBin, bytecode.stats.fused_load_bin);
+            flight::emit_span(SpanKind::Decode, kernel, s, bytecode.stats.ops);
         }
         let compiled = Arc::new(CompiledKernel {
             function: Arc::new(function),
@@ -456,6 +498,9 @@ impl TranslationCache {
             compile_ns: self.shared.stats.compile_ns.load(Relaxed),
             spec_failures: self.shared.stats.spec_failures.load(Relaxed),
             downgrades: self.shared.stats.downgrades.load(Relaxed),
+            translate_ns: self.shared.stats.translate_ns.load(Relaxed),
+            specialize_ns: self.shared.stats.specialize_ns.load(Relaxed),
+            decode_ns: self.shared.stats.decode_ns.load(Relaxed),
         }
     }
 

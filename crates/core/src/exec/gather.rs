@@ -1,10 +1,46 @@
 //! Single-pass warp formation over a CTA's ready queue.
 
 use std::collections::VecDeque;
+use std::time::Instant;
 
 use dpvk_vm::ThreadContext;
 
 use super::{ExecConfig, FormationPolicy};
+
+/// Per-chunk tally of host warp-formation work. The worker resets it at
+/// every chunk start and flushes it into one coalesced gather span at
+/// chunk end (per-call spans would be nanoseconds wide and drown the
+/// timeline).
+#[derive(Default)]
+pub(crate) struct GatherTally {
+    /// Host nanoseconds spent inside [`gather`] this chunk.
+    pub ns: u64,
+    /// Number of gather calls this chunk.
+    pub calls: u64,
+}
+
+/// [`gather`], timed when the trace layer is on: host nanoseconds feed
+/// the `HostFormationNs` counter and accumulate in `tally` for the
+/// chunk's coalesced gather span. When tracing is off this adds one
+/// relaxed atomic load to the plain gather.
+pub(crate) fn gather_timed(
+    ready: &mut VecDeque<ThreadContext>,
+    rp: i64,
+    config: &ExecConfig,
+    warp: &mut Vec<ThreadContext>,
+    kept: &mut Vec<ThreadContext>,
+    tally: &mut GatherTally,
+) -> usize {
+    let t = dpvk_trace::enabled().then(Instant::now);
+    let scanned = gather(ready, rp, config, warp, kept);
+    if let Some(t) = t {
+        let ns = t.elapsed().as_nanos() as u64;
+        dpvk_trace::add(dpvk_trace::Counter::HostFormationNs, ns);
+        tally.ns += ns;
+        tally.calls += 1;
+    }
+    scanned
+}
 
 /// Collect up to `max_warp` contexts with resume point `rp` from the
 /// queue into `warp`, scanning from the front in one pass: non-matching

@@ -9,12 +9,15 @@
 //! individually waitable/cancellable "event" of the CUDA model.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 
+use dpvk_trace::timeline::{self, SpanKind};
 use dpvk_vm::{CancelToken, GlobalMem, VmError};
 
 use crate::cache::TranslationCache;
 use crate::error::CoreError;
+use crate::flight;
 use crate::sync::Monitor;
 use crate::translate::TranslatedKernel;
 
@@ -73,9 +76,41 @@ pub(crate) struct LaunchJob {
     /// Device in-flight gauge, decremented at completion.
     gauge: Option<Arc<InflightGauge>>,
     state: Monitor<JobInner>,
+    /// Flight-recorder launch sequence number; 0 when tracing was off at
+    /// submission, which disables all timeline work for this job.
+    pub(crate) seq: u64,
+    /// Timeline timestamp of submission, origin of the queue-wait span.
+    submit_ns: u64,
+    /// Set by the first chunk to start executing; that chunk closes the
+    /// queue-wait span (submission → first dispatch).
+    queue_wait_done: AtomicBool,
 }
 
 impl LaunchJob {
+    /// Stream id for timeline attribution (0 for the default stream).
+    pub(crate) fn stream_id(&self) -> u64 {
+        self.stream.as_ref().map_or(0, |s| s.id)
+    }
+
+    /// Called by a worker immediately before it runs a chunk of this
+    /// job; the first caller closes the launch's queue-wait span
+    /// (submission → first dispatch) on the stream track. One untaken
+    /// branch per chunk when the flight recorder is off.
+    pub(crate) fn note_chunk_start(&self) {
+        if self.seq == 0 || self.queue_wait_done.swap(true, Relaxed) {
+            return;
+        }
+        flight::emit_stream_span(
+            SpanKind::QueueWait,
+            &self.req.kernel,
+            self.seq,
+            self.stream_id(),
+            self.submit_ns,
+            timeline::now_ns().saturating_sub(self.submit_ns),
+            self.chunks as u64,
+        );
+    }
+
     /// Record one finished chunk; the worker that retires the last chunk
     /// finalizes the outcome, wakes waiters, and releases the stream's
     /// next job into `pool`.
@@ -104,6 +139,18 @@ impl LaunchJob {
         if finished {
             self.state.notify_all();
             dpvk_trace::add(dpvk_trace::Counter::LaunchesRetired, 1);
+            if self.seq != 0 {
+                // Instantaneous retire edge on the stream track.
+                flight::emit_stream_span(
+                    SpanKind::Retire,
+                    &self.req.kernel,
+                    self.seq,
+                    self.stream_id(),
+                    timeline::now_ns(),
+                    0,
+                    self.cta_count,
+                );
+            }
             if let Some(gauge) = &self.gauge {
                 gauge.dec();
             }
@@ -372,13 +419,25 @@ pub(crate) fn submit(
     if cta_size > 4096 {
         return Err(CoreError::BadLaunch(format!("CTA size {cta_size} exceeds the 4096 limit")));
     }
+    // Flight-recorder identity: a nonzero sequence number marks this
+    // launch as recorded; everything downstream keys off it, so a
+    // launch submitted with tracing off stays off the timeline even if
+    // tracing turns on mid-flight.
+    let tracing = dpvk_trace::enabled();
+    let seq = if tracing { timeline::next_launch_seq() } else { 0 };
+    let stream_id = stream.as_ref().map_or(0, |s| s.id);
+    let submit_ns = if tracing { timeline::now_ns() } else { 0 };
     // Force translation at submission so errors surface eagerly (and
-    // chunks skip the per-CTA cache lookup).
-    let tk = match req.cache.translated(&req.kernel) {
-        Ok(tk) => tk,
-        Err(e) => {
-            req.cache.note_spec_failure(&req.kernel, &e);
-            return Err(e);
+    // chunks skip the per-CTA cache lookup). The launch scope attributes
+    // any cold translate span to this launch.
+    let tk = {
+        let _scope = tracing.then(|| timeline::launch_scope(seq, stream_id));
+        match req.cache.translated(&req.kernel) {
+            Ok(tk) => tk,
+            Err(e) => {
+                req.cache.note_spec_failure(&req.kernel, &e);
+                return Err(e);
+            }
         }
     };
 
@@ -402,6 +461,9 @@ pub(crate) fn submit(
             outcome: None,
         }),
         req,
+        seq,
+        submit_ns,
+        queue_wait_done: AtomicBool::new(false),
     });
     if let Some(gauge) = &job.gauge {
         gauge.inc();

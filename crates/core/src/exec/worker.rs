@@ -22,6 +22,7 @@ use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use dpvk_ir::ResumeStatus;
+use dpvk_trace::timeline::{self, SpanKind};
 use dpvk_vm::{
     execute_warp_bytecode, execute_warp_framed, GlobalMem, MemAccess, RegFrame, ThreadContext,
     VmError,
@@ -29,10 +30,11 @@ use dpvk_vm::{
 
 use crate::cache::{CompiledKernel, TranslationCache, Variant};
 use crate::error::CoreError;
+use crate::flight;
 use crate::sync::Monitor;
 use crate::translate::TranslatedKernel;
 
-use super::gather::gather;
+use super::gather::{gather_timed, GatherTally};
 use super::job::LaunchJob;
 use super::stats::LaunchStats;
 use super::{boundary_fault, panic_payload, warp_fault, Engine, FormationPolicy};
@@ -153,6 +155,10 @@ pub(crate) fn global_pool() -> &'static WorkerPool {
 /// memo tallies, report completion, repeat until shutdown *and* the
 /// queue is drained.
 fn worker_loop(shared: &Arc<PoolShared>) {
+    // Claim a timeline track up front (one atomic increment per worker
+    // thread lifetime) so spans emitted on this thread — including
+    // compile spans from deep inside the cache — carry its identity.
+    timeline::register_worker();
     let mut scratch = WorkerScratch::new();
     loop {
         let chunk = {
@@ -210,6 +216,13 @@ fn run_chunk(
 ) -> (LaunchStats, Option<CoreError>, Option<u32>) {
     let req = &job.req;
     scratch.dispatch.rebind(&req.cache);
+    job.note_chunk_start();
+    // Flight recorder: only launches that drew a sequence number at
+    // submission are recorded, and only while tracing is still on.
+    let recording = job.seq != 0 && dpvk_trace::enabled();
+    let _scope = recording.then(|| timeline::launch_scope(job.seq, job.stream_id()));
+    let exec_start = recording.then(timeline::now_ns);
+    scratch.gather = GatherTally::default();
     let mut stats = LaunchStats::new(req.config.max_warp);
     let mut error = None;
     let mut stopped_at = None;
@@ -253,6 +266,21 @@ fn run_chunk(
             }
         }
         cta += job.chunks as u64;
+    }
+    if let Some(start) = exec_start {
+        // The chunk's gather work as one coalesced child span at the
+        // head of the execute span (its duration is the sum of the
+        // chunk's gather calls, so it always nests).
+        if scratch.gather.calls != 0 {
+            flight::emit_span_at(
+                SpanKind::Gather,
+                &req.kernel,
+                start,
+                scratch.gather.ns,
+                scratch.gather.calls,
+            );
+        }
+        flight::emit_span(SpanKind::Execute, &req.kernel, start, stats.exec.warp_entries);
     }
     (stats, error, stopped_at)
 }
@@ -374,6 +402,9 @@ pub(crate) struct WorkerScratch {
     warp: Vec<ThreadContext>,
     kept: Vec<ThreadContext>,
     frame: RegFrame,
+    /// Host gather time accumulated over the current chunk, flushed into
+    /// one coalesced timeline span per chunk.
+    gather: GatherTally,
 }
 
 impl WorkerScratch {
@@ -383,6 +414,7 @@ impl WorkerScratch {
             warp: Vec::new(),
             kept: Vec::new(),
             frame: RegFrame::new(),
+            gather: GatherTally::default(),
         }
     }
 }
@@ -450,11 +482,14 @@ fn run_cta(
         }
         // Gather a warp (round-robin from the queue head, greedy collect of
         // matching resume points).
-        let host_t = tracing.then(Instant::now);
-        let scanned = gather(&mut ready, rp, config, &mut scratch.warp, &mut scratch.kept);
-        if let Some(t) = host_t {
-            dpvk_trace::add(dpvk_trace::Counter::HostFormationNs, t.elapsed().as_nanos() as u64);
-        }
+        let scanned = gather_timed(
+            &mut ready,
+            rp,
+            config,
+            &mut scratch.warp,
+            &mut scratch.kept,
+            &mut scratch.gather,
+        );
         stats.exec.cycles_manager +=
             config.em_cost.formation_base + config.em_cost.per_thread_scanned * scanned as u64;
         scan_total += scanned as u64;

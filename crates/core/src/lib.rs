@@ -62,6 +62,7 @@
 #![warn(missing_docs)]
 
 mod error;
+mod flight;
 
 pub mod cache;
 pub mod exec;

@@ -611,6 +611,10 @@ impl<'k> Translator<'k> {
 /// [`CoreError::Unsupported`] for constructs outside the supported subset
 /// (guarded stores/atomics, address-of in narrow registers, ...).
 pub fn translate(kernel: &ptx::Kernel) -> Result<TranslatedKernel, CoreError> {
+    // Nested sub-phases of the cache's "translate" phase, so cold-start
+    // time splits into lowering vs. entry-point/liveness analysis in the
+    // trace report. Free when tracing is off.
+    let lower_phase = dpvk_trace::phase(&kernel.name, "translate:lower");
     ptx::validate_kernel(kernel)?;
 
     let mut f = Function::new(format!("{}::scalar", kernel.name), 1);
@@ -714,6 +718,8 @@ pub fn translate(kernel: &ptx::Kernel) -> Result<TranslatedKernel, CoreError> {
     }
 
     let Translator { f, barrier_edges, .. } = tr;
+    drop(lower_phase);
+    let _analyze_phase = dpvk_trace::phase(&kernel.name, "translate:analyze");
     ir::verify(&f)?;
 
     // Entry points: kernel entry + barrier continuations + conditional

@@ -104,6 +104,14 @@ impl Json {
         let _ = write!(self.out, ":{v}");
     }
 
+    /// Emit field `key` with a finite float value, three decimal places
+    /// (used for microsecond timestamps in the Chrome trace export).
+    pub fn field_f64(&mut self, key: &str, v: f64) {
+        self.pre_item();
+        push_str_lit(&mut self.out, key);
+        let _ = write!(self.out, ":{v:.3}");
+    }
+
     /// Emit a bare unsigned integer array element.
     pub fn elem_u64(&mut self, v: u64) {
         self.pre_item();

@@ -39,7 +39,9 @@
 #![warn(missing_docs)]
 
 mod json;
+pub mod profile;
 mod report;
+pub mod timeline;
 
 pub use report::{write_if_enabled, EventReport, PhaseReport, TraceReport};
 
@@ -75,12 +77,19 @@ pub fn disable() {
 
 /// Enable tracing if the `DPVK_TRACE` environment variable is truthy
 /// (`1`, `true`, `on`, `yes`). Idempotent; the variable is read once per
-/// process so repeated calls cost one `Once` check.
+/// process so repeated calls cost one `Once` check. Also applies the
+/// `DPVK_TRACE_UOPS` opt-out for the µop profiler (see
+/// [`profile::set_uop_profiling`]).
 pub fn init_from_env() {
     ENV_INIT.call_once(|| {
         if let Ok(v) = std::env::var("DPVK_TRACE") {
             if matches!(v.as_str(), "1" | "true" | "on" | "yes") {
                 enable();
+            }
+        }
+        if let Ok(v) = std::env::var("DPVK_TRACE_UOPS") {
+            if matches!(v.as_str(), "0" | "false" | "off" | "no") {
+                profile::set_uop_profiling(false);
             }
         }
     });
@@ -419,9 +428,26 @@ pub enum Event {
     },
 }
 
-/// Capacity of the bounded event ring; past it, events are counted in
-/// [`Counter::EventsDropped`] instead of stored.
+/// Default capacity of the bounded event ring; past it, events are
+/// counted in [`Counter::EventsDropped`] instead of stored. Override
+/// with the `DPVK_TRACE_EVENTS` environment variable (clamped to
+/// [16, 4Mi]; read once per process — see [`event_capacity`]).
 pub const EVENT_CAPACITY: usize = 4096;
+
+fn parse_event_capacity(v: Option<&str>) -> usize {
+    v.and_then(|s| s.trim().parse::<usize>().ok())
+        .map(|n| n.clamp(16, 1 << 22))
+        .unwrap_or(EVENT_CAPACITY)
+}
+
+/// Effective event-ring capacity: `DPVK_TRACE_EVENTS` if set to a valid
+/// size (clamped to [16, 4Mi]), else [`EVENT_CAPACITY`]. Long
+/// stream-stress runs that used to silently overflow the default ring
+/// can raise it without a rebuild.
+pub fn event_capacity() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| parse_event_capacity(std::env::var("DPVK_TRACE_EVENTS").ok().as_deref()))
+}
 
 /// Per-`(kernel, warp_size, variant)` vectorizer effectiveness record.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -484,7 +510,7 @@ impl State {
     }
 
     fn push_event(&mut self, event: Event) {
-        if self.events.len() < EVENT_CAPACITY {
+        if self.events.len() < event_capacity() {
             self.events.push(event);
         } else {
             COUNTERS[Counter::EventsDropped as usize].fetch_add(1, Ordering::Relaxed);
@@ -633,8 +659,8 @@ impl Drop for PhaseGuard {
 // Reset + snapshot plumbing (used by report.rs)
 // ---------------------------------------------------------------------------
 
-/// Clear all recorded data (counters, histograms, events, timers).
-/// The enabled flag is left as-is.
+/// Clear all recorded data (counters, histograms, events, timers,
+/// timeline spans, µop profiles). The enabled flag is left as-is.
 pub fn reset() {
     for c in &COUNTERS {
         c.store(0, Ordering::Relaxed);
@@ -642,6 +668,8 @@ pub fn reset() {
     for c in &OCCUPANCY {
         c.store(0, Ordering::Relaxed);
     }
+    timeline::reset_timeline();
+    profile::reset_profile();
     let mut s = lock_state();
     s.names.clear();
     s.by_name.clear();
@@ -650,7 +678,7 @@ pub fn reset() {
     s.specs.clear();
 }
 
-pub(crate) struct Snapshot {
+pub(crate) struct FullSnapshot {
     pub counters: Vec<(&'static str, u64)>,
     pub occupancy: Vec<u64>,
     pub names: Vec<String>,
@@ -659,7 +687,7 @@ pub(crate) struct Snapshot {
     pub specs: Vec<SpecRecord>,
 }
 
-pub(crate) fn snapshot() -> Snapshot {
+pub(crate) fn full_snapshot() -> FullSnapshot {
     let s = lock_state();
     let mut phases: Vec<_> = s
         .phases
@@ -667,25 +695,138 @@ pub(crate) fn snapshot() -> Snapshot {
         .map(|((kernel, phase, depth), t)| (kernel.clone(), *phase, *depth, t.calls, t.total_ns))
         .collect();
     phases.sort();
-    Snapshot {
+    let mut specs = s.specs.clone();
+    specs.sort_by(|a, b| {
+        (a.kernel.as_str(), a.warp_size, a.variant).cmp(&(
+            b.kernel.as_str(),
+            b.warp_size,
+            b.variant,
+        ))
+    });
+    FullSnapshot {
         counters: Counter::ALL.iter().map(|&c| (c.name(), counter(c))).collect(),
         occupancy: occupancy_histogram(),
         names: s.names.clone(),
         events: s.events.clone(),
         phases,
-        specs: s.specs.clone(),
+        specs,
     }
+}
+
+// ---------------------------------------------------------------------------
+// Live metrics snapshots
+// ---------------------------------------------------------------------------
+
+/// A point-in-time view of the metrics registry (counters + the warp
+/// occupancy histogram), cheap to capture (no locks — two fixed atomic
+/// arrays) and delta-capable: subtracting an earlier snapshot yields
+/// exactly the work done in between. This is the polling interface a
+/// `/metrics` endpoint or a benchmark harness uses instead of the
+/// export-once-at-exit report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    counters: [u64; NUM_COUNTERS],
+    occupancy: [u64; MAX_TRACKED_WIDTH + 1],
+}
+
+/// Capture a [`MetricsSnapshot`] of the current counter and occupancy
+/// values. Works whether or not tracing is enabled (disabled tracing
+/// simply yields all-zero deltas).
+pub fn snapshot() -> MetricsSnapshot {
+    let mut counters = [0u64; NUM_COUNTERS];
+    for (slot, c) in counters.iter_mut().zip(&COUNTERS) {
+        *slot = c.load(Ordering::Relaxed);
+    }
+    let mut occupancy = [0u64; MAX_TRACKED_WIDTH + 1];
+    for (slot, c) in occupancy.iter_mut().zip(&OCCUPANCY) {
+        *slot = c.load(Ordering::Relaxed);
+    }
+    MetricsSnapshot { counters, occupancy }
+}
+
+impl Counter {
+    /// Whether this counter is a high-water mark (recorded with
+    /// [`record_peak`]) rather than a monotonic sum. Peaks cannot be
+    /// meaningfully subtracted; snapshot deltas carry the later
+    /// snapshot's value through unchanged.
+    pub fn is_peak(self) -> bool {
+        matches!(self, Counter::StreamQueuePeak | Counter::PoolBusyPeak)
+    }
+}
+
+impl MetricsSnapshot {
+    /// Value of one counter at capture time.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c as usize]
+    }
+
+    /// Iterate `(name, value)` over every counter, in declaration order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        Counter::ALL.iter().map(move |&c| (c.name(), self.counters[c as usize]))
+    }
+
+    /// The warp-occupancy histogram at capture time, trailing zero
+    /// buckets trimmed.
+    pub fn occupancy(&self) -> Vec<u64> {
+        let mut hist = self.occupancy.to_vec();
+        while hist.last() == Some(&0) {
+            hist.pop();
+        }
+        hist
+    }
+
+    /// The work recorded between `baseline` and `self`: monotonic
+    /// counters and occupancy buckets are subtracted (saturating, so a
+    /// `reset` between snapshots cannot underflow); peak counters
+    /// ([`Counter::is_peak`]) keep `self`'s value.
+    pub fn delta(&self, baseline: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut out = self.clone();
+        for c in Counter::ALL {
+            if !c.is_peak() {
+                let i = c as usize;
+                out.counters[i] = self.counters[i].saturating_sub(baseline.counters[i]);
+            }
+        }
+        for i in 0..out.occupancy.len() {
+            out.occupancy[i] = self.occupancy[i].saturating_sub(baseline.occupancy[i]);
+        }
+        out
+    }
+}
+
+impl std::ops::Sub for MetricsSnapshot {
+    type Output = MetricsSnapshot;
+
+    /// `later - earlier` = the work done in between (see
+    /// [`MetricsSnapshot::delta`]).
+    fn sub(self, baseline: MetricsSnapshot) -> MetricsSnapshot {
+        self.delta(&baseline)
+    }
+}
+
+impl std::ops::Sub for &MetricsSnapshot {
+    type Output = MetricsSnapshot;
+
+    fn sub(self, baseline: &MetricsSnapshot) -> MetricsSnapshot {
+        self.delta(baseline)
+    }
+}
+
+// Trace state is process-global; tests (including the timeline and
+// profile submodules') serialize on this lock and reset around
+// themselves.
+#[cfg(test)]
+pub(crate) fn test_serial() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    // Trace state is process-global; every test below serializes on this
-    // lock and resets around itself.
     fn serial() -> std::sync::MutexGuard<'static, ()> {
-        static LOCK: Mutex<()> = Mutex::new(());
-        LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        test_serial()
     }
 
     #[test]
@@ -701,8 +842,8 @@ mod tests {
         assert_eq!(counter(Counter::CacheHit), 0);
         assert_eq!(counter(Counter::YieldBranch), 0);
         assert!(occupancy_histogram().is_empty());
-        assert!(snapshot().events.is_empty());
-        assert!(snapshot().phases.is_empty());
+        assert!(full_snapshot().events.is_empty());
+        assert!(full_snapshot().phases.is_empty());
     }
 
     #[test]
@@ -722,7 +863,7 @@ mod tests {
         let hist = occupancy_histogram();
         assert_eq!(hist[2], 1);
         assert_eq!(hist[4], 1);
-        let snap = snapshot();
+        let snap = full_snapshot();
         assert_eq!(snap.events.len(), 1);
         assert_eq!(snap.names, vec!["k".to_string()]);
         disable();
@@ -742,12 +883,53 @@ mod tests {
                 std::thread::sleep(std::time::Duration::from_millis(1));
             }
         }
-        let snap = snapshot();
+        let snap = full_snapshot();
         let outer = snap.phases.iter().find(|(_, p, ..)| *p == "specialize").unwrap();
         let inner = snap.phases.iter().find(|(_, p, ..)| *p == "opt:dce").unwrap();
         assert_eq!(outer.2, 0, "outer phase at depth 0");
         assert_eq!(inner.2, 1, "inner phase nested at depth 1");
         assert!(inner.4 <= outer.4, "inner time contained in outer");
+        disable();
+        reset();
+    }
+
+    #[test]
+    fn event_capacity_parses_and_clamps() {
+        assert_eq!(parse_event_capacity(None), EVENT_CAPACITY);
+        assert_eq!(parse_event_capacity(Some("not a number")), EVENT_CAPACITY);
+        assert_eq!(parse_event_capacity(Some("65536")), 65536);
+        assert_eq!(parse_event_capacity(Some(" 8192 ")), 8192);
+        assert_eq!(parse_event_capacity(Some("1")), 16, "clamped to the floor");
+        assert_eq!(parse_event_capacity(Some("999999999999")), 1 << 22, "clamped to the cap");
+    }
+
+    #[test]
+    fn snapshot_delta_is_the_work_in_between() {
+        let _g = serial();
+        enable();
+        reset();
+        add(Counter::CacheHit, 5);
+        record_peak(Counter::PoolBusyPeak, 3);
+        let before = snapshot();
+        add(Counter::CacheHit, 2);
+        add(Counter::LaunchesSubmitted, 1);
+        record_warp_entry(4, 1);
+        record_peak(Counter::PoolBusyPeak, 7);
+        let after = snapshot();
+        let delta = &after - &before;
+        assert_eq!(delta.counter(Counter::CacheHit), 2);
+        assert_eq!(delta.counter(Counter::LaunchesSubmitted), 1);
+        assert_eq!(delta.counter(Counter::WarpEntries), 1);
+        assert_eq!(delta.counter(Counter::ThreadEntries), 4);
+        // Peaks carry the later snapshot's value, not a difference.
+        assert_eq!(delta.counter(Counter::PoolBusyPeak), 7);
+        // Occupancy deltas too.
+        assert_eq!(delta.occupancy()[4], 1);
+        // The owned Sub form agrees.
+        assert_eq!(after.clone() - before.clone(), delta);
+        // An empty interval deltas to zero everywhere (peaks aside).
+        let idle = snapshot().delta(&after);
+        assert!(idle.counters().all(|(n, v)| v == 0 || n.ends_with("_peak")));
         disable();
         reset();
     }
@@ -760,7 +942,7 @@ mod tests {
         for i in 0..(EVENT_CAPACITY as u32 + 10) {
             record_yield("k", i, YieldReason::Exit, 1);
         }
-        assert_eq!(snapshot().events.len(), EVENT_CAPACITY);
+        assert_eq!(full_snapshot().events.len(), EVENT_CAPACITY);
         assert_eq!(counter(Counter::EventsDropped), 10);
         // Aggregate counters still see every yield.
         assert_eq!(counter(Counter::YieldExit), EVENT_CAPACITY as u64 + 10);

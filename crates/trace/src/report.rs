@@ -6,7 +6,9 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::json::Json;
-use crate::{snapshot, Event, SpecRecord};
+use crate::profile::{self, UopProfile};
+use crate::timeline::{self, SpanTotal};
+use crate::{full_snapshot, Event, SpecRecord};
 
 /// Accumulated wall time of one compile phase of one kernel.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -109,6 +111,11 @@ pub struct TraceReport {
     pub events: Vec<EventReport>,
     /// Events discarded after the ring filled.
     pub events_dropped: u64,
+    /// Flight-recorder span totals per launch phase (queue-wait,
+    /// translate, ..., retire), in pipeline order.
+    pub span_totals: Vec<SpanTotal>,
+    /// µop profiles per kernel × specialization × engine path.
+    pub uop_profiles: Vec<UopProfile>,
 }
 
 fn fmt_ns(ns: u64) -> String {
@@ -126,7 +133,7 @@ fn fmt_ns(ns: u64) -> String {
 impl TraceReport {
     /// Capture a snapshot of the current trace state.
     pub fn capture() -> TraceReport {
-        let snap = snapshot();
+        let snap = full_snapshot();
         let name_of = |id: u32| {
             snap.names.get(id as usize).cloned().unwrap_or_else(|| format!("<kernel {id}>"))
         };
@@ -179,6 +186,8 @@ impl TraceReport {
             specializations: snap.specs,
             events,
             events_dropped,
+            span_totals: timeline::span_totals(),
+            uop_profiles: profile::profiles(),
         }
     }
 
@@ -230,6 +239,35 @@ impl TraceReport {
             j.field_u64("pack_glue", s.pack_glue);
             j.field_u64("unpack_glue", s.unpack_glue);
             j.field_u64("dce_removed", s.dce_removed);
+            j.close_obj();
+        }
+        j.close_arr();
+        j.open_obj(Some("span_totals"));
+        for t in &self.span_totals {
+            j.open_obj(Some(t.kind.name()));
+            j.field_u64("calls", t.calls);
+            j.field_u64("total_ns", t.total_ns);
+            j.close_obj();
+        }
+        j.close_obj();
+        j.open_arr(Some("uop_profile"));
+        for p in &self.uop_profiles {
+            j.open_obj(None);
+            j.field_str("kernel", &p.kernel);
+            j.field_u64("warp_size", u64::from(p.warp_size));
+            j.field_str("variant", &p.variant);
+            j.field_str("path", p.path);
+            j.open_arr(Some("uops"));
+            for r in &p.rows {
+                j.open_obj(None);
+                j.field_str("uop", r.uop);
+                j.field_bool("fused", r.fused);
+                j.field_u64("hits", r.hits);
+                j.field_u64("cycles", r.cycles);
+                j.field_u64("static_ops", r.static_ops);
+                j.close_obj();
+            }
+            j.close_arr();
             j.close_obj();
         }
         j.close_arr();
@@ -383,6 +421,47 @@ impl TraceReport {
                  downgraded to scalar, {cancelled} warps cancelled, {faults} faults",
             );
         }
+        if self.span_totals.iter().any(|t| t.calls > 0) {
+            let _ = writeln!(out, "  launch phases (span · calls · total):");
+            for t in &self.span_totals {
+                if t.calls == 0 {
+                    continue;
+                }
+                let _ = writeln!(
+                    out,
+                    "    {:<16} {:>6}  {}",
+                    t.kind.name(),
+                    t.calls,
+                    fmt_ns(t.total_ns)
+                );
+            }
+        }
+        if !self.uop_profiles.is_empty() {
+            let total: u64 =
+                self.uop_profiles.iter().flat_map(|p| p.rows.iter().map(|r| r.cycles)).sum();
+            let mut rows: Vec<(&UopProfile, &profile::UopRow)> = self
+                .uop_profiles
+                .iter()
+                .flat_map(|p| p.rows.iter().map(move |r| (p, r)))
+                .filter(|(_, r)| r.cycles > 0 || r.hits > 0)
+                .collect();
+            rows.sort_by_key(|r| std::cmp::Reverse(r.1.cycles));
+            let shown = rows.len().min(10);
+            let _ = writeln!(
+                out,
+                "  µop hotspots (top {shown} of {}; kernel · spec · path · µop · hits · cycles):",
+                rows.len()
+            );
+            for (p, r) in rows.iter().take(shown) {
+                let pct = if total > 0 { 100.0 * r.cycles as f64 / total as f64 } else { 0.0 };
+                let _ = writeln!(
+                    out,
+                    "    {:<20} w{:<3}{:<10} {:<8} {:<12} {:>10} {:>12} ({pct:>5.1}%)",
+                    p.kernel, p.warp_size, p.variant, p.path, r.uop, r.hits, r.cycles,
+                );
+            }
+            let _ = writeln!(out, "  µop cycles attributed: {total}");
+        }
         if self.events_dropped > 0 {
             let _ = writeln!(
                 out,
@@ -447,6 +526,16 @@ pub fn write_if_enabled() -> io::Result<Option<PathBuf>> {
     let path = report.write_default()?;
     print!("{}", report.summary());
     println!("  report: {}", path.display());
+    if report.span_totals.iter().any(|t| t.calls > 0) {
+        let timeline_path = timeline::default_timeline_path();
+        timeline::write_chrome_trace(&timeline_path)?;
+        println!("  timeline: {} (load in Perfetto / chrome://tracing)", timeline_path.display());
+    }
+    if !report.uop_profiles.is_empty() {
+        let folded_path = profile::default_folded_path();
+        profile::write_folded(&folded_path)?;
+        println!("  µop profile: {} (collapsed stacks)", folded_path.display());
+    }
     Ok(Some(path))
 }
 
@@ -463,6 +552,8 @@ mod tests {
             specializations: vec![],
             events: vec![],
             events_dropped: 0,
+            span_totals: vec![],
+            uop_profiles: vec![],
         };
         let json = report.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
@@ -501,6 +592,8 @@ mod tests {
                 width: 4,
             }],
             events_dropped: 0,
+            span_totals: vec![],
+            uop_profiles: vec![],
         };
         let json = report.to_json();
         for needle in [
@@ -539,6 +632,8 @@ mod tests {
                 },
             ],
             events_dropped: 0,
+            span_totals: vec![],
+            uop_profiles: vec![],
         };
         let json = report.to_json();
         for needle in [

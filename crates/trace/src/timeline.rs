@@ -1,0 +1,471 @@
+//! Span-based per-launch timeline — the "flight recorder".
+//!
+//! Every launch is assigned a monotonically increasing sequence number at
+//! submission and accumulates nested spans as it moves through the
+//! pipeline: queue-wait (submission to first worker pickup), translate /
+//! specialize / decode (compile phases, attributed to the launch that
+//! triggered them), per-chunk execute with a coalesced gather child, and
+//! retire. Spans are tagged with the stream id (0 = direct, unstreamed)
+//! and — when they were produced on a pool worker thread — the worker's
+//! track id, so the Chrome-trace export renders one track per worker and
+//! one per stream.
+//!
+//! Like the rest of `dpvk-trace`, the recorder is disabled by default:
+//! every entry point is gated on [`crate::enabled`], one relaxed atomic
+//! load on the fast path.
+
+use std::cell::Cell;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::json::Json;
+
+// ---------------------------------------------------------------------------
+// Clock + identifiers
+// ---------------------------------------------------------------------------
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the recorder's process-wide epoch (first use).
+/// Span start timestamps are expressed on this clock.
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+static LAUNCH_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Allocate the next launch sequence number (1-based; 0 means "no
+/// launch"). Called once per traced launch at submission.
+pub fn next_launch_seq() -> u64 {
+    LAUNCH_SEQ.fetch_add(1, Ordering::Relaxed) + 1
+}
+
+static WORKER_IDS: AtomicU32 = AtomicU32::new(0);
+
+thread_local! {
+    static WORKER_TRACK: Cell<u32> = const { Cell::new(u32::MAX) };
+    static CURRENT_LAUNCH: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
+}
+
+/// Register the calling thread as a pool worker and return its track id.
+/// Worker ids are process-unique and stable for the thread's lifetime;
+/// spans recorded on this thread (including compile phases that happen to
+/// run on it) are attributed to its track.
+pub fn register_worker() -> u32 {
+    let id = WORKER_IDS.fetch_add(1, Ordering::Relaxed);
+    WORKER_TRACK.with(|t| t.set(id));
+    id
+}
+
+/// The calling thread's worker track, if [`register_worker`] ran on it.
+pub fn worker_track() -> Option<u32> {
+    WORKER_TRACK.with(|t| {
+        let v = t.get();
+        (v != u32::MAX).then_some(v)
+    })
+}
+
+/// Number of worker tracks registered so far.
+pub fn worker_count() -> u32 {
+    WORKER_IDS.load(Ordering::Relaxed)
+}
+
+/// RAII scope marking the calling thread as working on behalf of a
+/// launch, so spans recorded deeper in the call stack (e.g. a cache miss
+/// compiling inside a chunk) inherit the launch's seq and stream.
+#[must_use = "the launch context lasts until the scope is dropped"]
+pub struct LaunchScope {
+    prev: (u64, u64),
+}
+
+/// Enter a launch context (see [`LaunchScope`]). The previous context is
+/// restored when the returned scope drops, even on unwind.
+pub fn launch_scope(seq: u64, stream: u64) -> LaunchScope {
+    let prev = CURRENT_LAUNCH.with(|c| c.replace((seq, stream)));
+    LaunchScope { prev }
+}
+
+impl Drop for LaunchScope {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        CURRENT_LAUNCH.with(|c| c.set(prev));
+    }
+}
+
+/// The `(seq, stream)` of the launch the calling thread is currently
+/// working for, or `(0, 0)` outside any [`launch_scope`].
+pub fn current_launch() -> (u64, u64) {
+    CURRENT_LAUNCH.with(|c| c.get())
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+/// The launch phases the flight recorder distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SpanKind {
+    /// Submission until the first worker picked up a chunk.
+    QueueWait,
+    /// PTX → IR translation (cold; cached afterwards).
+    Translate,
+    /// Warp-width specialization of the IR (cache-miss fill).
+    Specialize,
+    /// Pre-decoding a specialization into linear bytecode.
+    Decode,
+    /// One worker executing one chunk of the launch's CTAs.
+    Execute,
+    /// Warp formation inside one chunk, coalesced into a single span.
+    Gather,
+    /// The launch's last chunk completed and the result became
+    /// observable.
+    Retire,
+}
+
+impl SpanKind {
+    /// Every kind, in pipeline order.
+    pub const ALL: [SpanKind; 7] = [
+        SpanKind::QueueWait,
+        SpanKind::Translate,
+        SpanKind::Specialize,
+        SpanKind::Decode,
+        SpanKind::Execute,
+        SpanKind::Gather,
+        SpanKind::Retire,
+    ];
+
+    /// Stable snake_case name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::QueueWait => "queue_wait",
+            SpanKind::Translate => "translate",
+            SpanKind::Specialize => "specialize",
+            SpanKind::Decode => "decode",
+            SpanKind::Execute => "execute",
+            SpanKind::Gather => "gather",
+            SpanKind::Retire => "retire",
+        }
+    }
+}
+
+/// One recorded span on the timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Which phase this span covers.
+    pub kind: SpanKind,
+    /// Kernel the span belongs to.
+    pub kernel: String,
+    /// Launch sequence number (0 = not attributed to a launch).
+    pub seq: u64,
+    /// Stream id (0 = direct, unstreamed launch).
+    pub stream: u64,
+    /// Worker track the span ran on, if it ran on a pool worker.
+    pub worker: Option<u32>,
+    /// Start, nanoseconds on the [`now_ns`] clock.
+    pub start_ns: u64,
+    /// Duration in nanoseconds (0 for instantaneous markers).
+    pub dur_ns: u64,
+    /// Kind-specific detail: warps executed (execute), gather calls
+    /// coalesced (gather), chunk count (queue-wait); 0 otherwise.
+    pub detail: u64,
+}
+
+/// Capacity of the bounded span store; past it, spans are counted in
+/// [`dropped_spans`] instead of stored.
+pub const SPAN_CAPACITY: usize = 1 << 16;
+
+#[derive(Default)]
+struct TimelineState {
+    spans: Vec<Span>,
+    dropped: u64,
+}
+
+fn state() -> &'static Mutex<TimelineState> {
+    static STATE: OnceLock<Mutex<TimelineState>> = OnceLock::new();
+    STATE.get_or_init(|| Mutex::new(TimelineState::default()))
+}
+
+fn lock_state() -> std::sync::MutexGuard<'static, TimelineState> {
+    state().lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Record one span. No-op (one relaxed atomic load) when tracing is off.
+pub fn record_span(span: Span) {
+    if !crate::enabled() {
+        return;
+    }
+    let mut s = lock_state();
+    if s.spans.len() < SPAN_CAPACITY {
+        s.spans.push(span);
+    } else {
+        s.dropped += 1;
+    }
+}
+
+/// Spans discarded because the bounded store was full.
+pub fn dropped_spans() -> u64 {
+    lock_state().dropped
+}
+
+/// All recorded spans, sorted by start time (then seq) so exports are
+/// deterministic for a deterministic workload.
+pub fn spans() -> Vec<Span> {
+    let mut spans = lock_state().spans.clone();
+    spans.sort_by_key(|s| (s.start_ns, s.seq, s.kind));
+    spans
+}
+
+/// Clear all recorded spans (used by `trace::reset`). Worker track ids
+/// and the launch-sequence counter keep running: they identify live
+/// threads and launches, not recorded data.
+pub(crate) fn reset_timeline() {
+    let mut s = lock_state();
+    s.spans.clear();
+    s.dropped = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Launch records + aggregates
+// ---------------------------------------------------------------------------
+
+/// All spans of one launch, grouped by sequence number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaunchRecord {
+    /// Launch sequence number.
+    pub seq: u64,
+    /// Kernel name.
+    pub kernel: String,
+    /// Stream id (0 = direct).
+    pub stream: u64,
+    /// The launch's spans, in start order.
+    pub spans: Vec<Span>,
+}
+
+/// Group recorded spans into per-launch records, sorted by sequence
+/// number. Spans not attributed to a launch (seq 0) are omitted.
+pub fn launch_records() -> Vec<LaunchRecord> {
+    let mut records: Vec<LaunchRecord> = Vec::new();
+    for span in spans() {
+        if span.seq == 0 {
+            continue;
+        }
+        match records.iter_mut().find(|r| r.seq == span.seq) {
+            Some(r) => r.spans.push(span),
+            None => records.push(LaunchRecord {
+                seq: span.seq,
+                kernel: span.kernel.clone(),
+                stream: span.stream,
+                spans: vec![span],
+            }),
+        }
+    }
+    records.sort_by_key(|r| r.seq);
+    records
+}
+
+/// Aggregate time per span kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanTotal {
+    /// The span kind being totalled.
+    pub kind: SpanKind,
+    /// Number of spans of this kind.
+    pub calls: u64,
+    /// Summed duration in nanoseconds.
+    pub total_ns: u64,
+}
+
+/// Per-kind span totals in pipeline order (kinds with no spans included
+/// with zero counts, so the shape is stable).
+pub fn span_totals() -> Vec<SpanTotal> {
+    let mut totals: Vec<SpanTotal> =
+        SpanKind::ALL.iter().map(|&kind| SpanTotal { kind, calls: 0, total_ns: 0 }).collect();
+    for span in lock_state().spans.iter() {
+        let t = &mut totals[span.kind as usize];
+        t.calls += 1;
+        t.total_ns += span.dur_ns;
+    }
+    totals
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event export
+// ---------------------------------------------------------------------------
+
+/// Synthetic pid of the per-worker track group in the Chrome export.
+const WORKERS_PID: u64 = 1;
+/// Synthetic pid of the per-stream track group in the Chrome export.
+const STREAMS_PID: u64 = 2;
+
+fn meta_event(j: &mut Json, name: &str, pid: u64, tid: u64, value: &str) {
+    j.open_obj(None);
+    j.field_str("name", name);
+    j.field_str("ph", "M");
+    j.field_u64("pid", pid);
+    j.field_u64("tid", tid);
+    j.open_obj(Some("args"));
+    j.field_str("name", value);
+    j.close_obj();
+    j.close_obj();
+}
+
+/// Render the recorded timeline as Chrome trace-event JSON (the format
+/// Perfetto and `chrome://tracing` load): complete (`ph:"X"`) events with
+/// microsecond timestamps, one track per worker (pid 1) and one per
+/// stream (pid 2).
+pub fn chrome_trace() -> String {
+    let spans = spans();
+    let mut j = Json::new();
+    j.open_obj(None);
+    j.field_str("displayTimeUnit", "ms");
+    j.open_arr(Some("traceEvents"));
+
+    meta_event(&mut j, "process_name", WORKERS_PID, 0, "workers");
+    meta_event(&mut j, "process_name", STREAMS_PID, 0, "streams");
+    let mut workers: Vec<u32> = spans.iter().filter_map(|s| s.worker).collect();
+    workers.sort_unstable();
+    workers.dedup();
+    for w in workers {
+        meta_event(&mut j, "thread_name", WORKERS_PID, u64::from(w), &format!("worker {w}"));
+    }
+    let mut streams: Vec<u64> =
+        spans.iter().filter(|s| s.worker.is_none()).map(|s| s.stream).collect();
+    streams.sort_unstable();
+    streams.dedup();
+    for s in streams {
+        let name = if s == 0 { "direct".to_string() } else { format!("stream {s}") };
+        meta_event(&mut j, "thread_name", STREAMS_PID, s, &name);
+    }
+
+    for span in &spans {
+        let (pid, tid) = match span.worker {
+            Some(w) => (WORKERS_PID, u64::from(w)),
+            None => (STREAMS_PID, span.stream),
+        };
+        j.open_obj(None);
+        j.field_str("name", span.kind.name());
+        j.field_str("cat", "dpvk");
+        j.field_str("ph", "X");
+        j.field_f64("ts", span.start_ns as f64 / 1000.0);
+        j.field_f64("dur", span.dur_ns as f64 / 1000.0);
+        j.field_u64("pid", pid);
+        j.field_u64("tid", tid);
+        j.open_obj(Some("args"));
+        j.field_str("kernel", &span.kernel);
+        j.field_u64("seq", span.seq);
+        j.field_u64("stream", span.stream);
+        j.field_u64("detail", span.detail);
+        j.close_obj();
+        j.close_obj();
+    }
+
+    j.close_arr();
+    j.close_obj();
+    j.finish()
+}
+
+/// Write the Chrome trace to `path`, creating parent directories.
+pub fn write_chrome_trace(path: &Path) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, chrome_trace())
+}
+
+/// Default timeline output path: `DPVK_TIMELINE_OUT` if set, else
+/// `target/dpvk-timeline.json`.
+pub fn default_timeline_path() -> PathBuf {
+    match std::env::var_os("DPVK_TIMELINE_OUT") {
+        Some(p) => PathBuf::from(p),
+        None => PathBuf::from("target").join("dpvk-timeline.json"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(kind: SpanKind, seq: u64, start: u64, dur: u64, worker: Option<u32>) -> Span {
+        Span {
+            kind,
+            kernel: "k".to_string(),
+            seq,
+            stream: 0,
+            worker,
+            start_ns: start,
+            dur_ns: dur,
+            detail: 0,
+        }
+    }
+
+    #[test]
+    fn records_group_by_seq_and_totals_aggregate() {
+        let _g = crate::test_serial();
+        crate::enable();
+        crate::reset();
+        record_span(span(SpanKind::QueueWait, 1, 0, 10, None));
+        record_span(span(SpanKind::Execute, 1, 10, 100, Some(0)));
+        record_span(span(SpanKind::Execute, 2, 20, 50, Some(1)));
+        record_span(span(SpanKind::Gather, 1, 10, 30, Some(0)));
+        let records = launch_records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].seq, 1);
+        assert_eq!(records[0].spans.len(), 3);
+        assert_eq!(records[1].spans.len(), 1);
+        let totals = span_totals();
+        let exec = totals.iter().find(|t| t.kind == SpanKind::Execute).unwrap();
+        assert_eq!(exec.calls, 2);
+        assert_eq!(exec.total_ns, 150);
+        crate::disable();
+        crate::reset();
+    }
+
+    #[test]
+    fn chrome_trace_has_tracks_and_events() {
+        let _g = crate::test_serial();
+        crate::enable();
+        crate::reset();
+        record_span(span(SpanKind::Execute, 1, 1500, 2500, Some(3)));
+        record_span(span(SpanKind::QueueWait, 1, 0, 1500, None));
+        let json = chrome_trace();
+        assert!(json.contains("\"traceEvents\":["), "{json}");
+        assert!(json.contains("\"name\":\"worker 3\""), "{json}");
+        assert!(json.contains("\"name\":\"direct\""), "{json}");
+        assert!(json.contains("\"ph\":\"X\""), "{json}");
+        assert!(json.contains("\"ts\":1.500"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        crate::disable();
+        crate::reset();
+    }
+
+    #[test]
+    fn disabled_recorder_stores_nothing() {
+        let _g = crate::test_serial();
+        crate::disable();
+        crate::reset();
+        record_span(span(SpanKind::Execute, 1, 0, 1, Some(0)));
+        assert!(spans().is_empty());
+        assert_eq!(dropped_spans(), 0);
+    }
+
+    #[test]
+    fn launch_scope_nests_and_restores() {
+        assert_eq!(current_launch(), (0, 0));
+        {
+            let _outer = launch_scope(7, 2);
+            assert_eq!(current_launch(), (7, 2));
+            {
+                let _inner = launch_scope(8, 0);
+                assert_eq!(current_launch(), (8, 0));
+            }
+            assert_eq!(current_launch(), (7, 2));
+        }
+        assert_eq!(current_launch(), (0, 0));
+    }
+}

@@ -25,6 +25,7 @@
 //!
 //! [`FrameLayout`]: crate::frame::FrameLayout
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use dpvk_ir::{AtomKind, BinOp, CmpPred, CtxField, ReduceOp, ResumeStatus, STy, Space, UnOp};
@@ -272,6 +273,167 @@ pub(crate) enum OpKind {
     Ret { term: TermInfo },
 }
 
+/// Number of distinct µop opcodes ([`OpKind`] variants).
+pub(crate) const N_UOPS: usize = 32;
+
+/// Stable snake_case µop names, indexed by [`OpKind::opcode`]. The
+/// profiler's reports and collapsed-stack output use these.
+pub(crate) static UOP_NAMES: [&str; N_UOPS] = [
+    "bin",
+    "un",
+    "fma",
+    "cmp",
+    "select",
+    "cvt",
+    "load",
+    "store",
+    "atom",
+    "insert",
+    "extract",
+    "splat",
+    "reduce",
+    "ctx_read",
+    "set_rp_imm",
+    "set_rp_reg",
+    "set_status",
+    "vote",
+    "mov_vec",
+    "mov_scalar",
+    "unsupported",
+    "cmp_br",
+    "bin_bin",
+    "load_bin",
+    "copy_run",
+    "load_run",
+    "store_run",
+    "ctx_read_run",
+    "br",
+    "cond_br",
+    "switch",
+    "ret",
+];
+
+/// Which opcodes are decode-time superinstructions (fused µops), indexed
+/// like [`UOP_NAMES`].
+pub(crate) static UOP_FUSED: [bool; N_UOPS] = {
+    let mut fused = [false; N_UOPS];
+    // CmpBr, BinBin, LoadBin, CopyRun, LoadRun, StoreRun, CtxReadRun.
+    let mut i = 21;
+    while i <= 27 {
+        fused[i] = true;
+        i += 1;
+    }
+    fused
+};
+
+impl OpKind {
+    /// Dense opcode index (declaration order), used to key the µop
+    /// profiler's count arrays.
+    #[inline(always)]
+    pub(crate) fn opcode(&self) -> usize {
+        match self {
+            OpKind::Bin { .. } => 0,
+            OpKind::Un { .. } => 1,
+            OpKind::Fma { .. } => 2,
+            OpKind::Cmp { .. } => 3,
+            OpKind::Select { .. } => 4,
+            OpKind::Cvt { .. } => 5,
+            OpKind::Load { .. } => 6,
+            OpKind::Store { .. } => 7,
+            OpKind::Atom { .. } => 8,
+            OpKind::Insert { .. } => 9,
+            OpKind::Extract { .. } => 10,
+            OpKind::Splat { .. } => 11,
+            OpKind::Reduce { .. } => 12,
+            OpKind::CtxRead { .. } => 13,
+            OpKind::SetRpImm { .. } => 14,
+            OpKind::SetRpReg { .. } => 15,
+            OpKind::SetStatus { .. } => 16,
+            OpKind::Vote { .. } => 17,
+            OpKind::MovVec { .. } => 18,
+            OpKind::MovScalar { .. } => 19,
+            OpKind::Unsupported { .. } => 20,
+            OpKind::CmpBr { .. } => 21,
+            OpKind::BinBin { .. } => 22,
+            OpKind::LoadBin { .. } => 23,
+            OpKind::CopyRun { .. } => 24,
+            OpKind::LoadRun { .. } => 25,
+            OpKind::StoreRun { .. } => 26,
+            OpKind::CtxReadRun { .. } => 27,
+            OpKind::Br { .. } => 28,
+            OpKind::CondBr { .. } => 29,
+            OpKind::Switch { .. } => 30,
+            OpKind::Ret { .. } => 31,
+        }
+    }
+}
+
+/// Compile-time sink for the µop profiler. The execution loop is
+/// monomorphized over this, so the unprofiled instantiation (the
+/// [`NoProfile`] impl, all no-ops) carries zero per-µop overhead — the
+/// hot path stays byte-for-byte what it was before profiling existed.
+pub(crate) trait UopSink {
+    /// Called once per µop dispatch; returns the opcode index the
+    /// following [`charge`](Self::charge) calls attribute to.
+    fn note_op(&mut self, kind: &OpKind) -> usize;
+    /// Attribute `cycles` modeled cycles to opcode `opc` (called by the
+    /// charge/retire macros, including per fused component).
+    fn charge(&mut self, opc: usize, cycles: u32);
+}
+
+/// The disabled sink: everything inlines to nothing.
+pub(crate) struct NoProfile;
+
+impl UopSink for NoProfile {
+    #[inline(always)]
+    fn note_op(&mut self, _kind: &OpKind) -> usize {
+        0
+    }
+
+    #[inline(always)]
+    fn charge(&mut self, _opc: usize, _cycles: u32) {}
+}
+
+/// Stack-allocated per-warp-call µop histogram, flushed to
+/// `dpvk_trace::profile` after the warp returns.
+pub(crate) struct UopCounts {
+    /// Dispatch count per opcode.
+    pub hits: [u64; N_UOPS],
+    /// Modeled cycles attributed per opcode (charge + retire costs, so
+    /// the per-warp sum equals exactly `cycles_body + cycles_yield`).
+    pub cycles: [u64; N_UOPS],
+}
+
+impl UopCounts {
+    fn new() -> UopCounts {
+        UopCounts { hits: [0; N_UOPS], cycles: [0; N_UOPS] }
+    }
+}
+
+impl UopSink for UopCounts {
+    #[inline(always)]
+    fn note_op(&mut self, kind: &OpKind) -> usize {
+        let opc = kind.opcode();
+        self.hits[opc] += 1;
+        opc
+    }
+
+    #[inline(always)]
+    fn charge(&mut self, opc: usize, cycles: u32) {
+        self.cycles[opc] += u64::from(cycles);
+    }
+}
+
+/// Profiler identity of a decoded program: which kernel ×
+/// specialization its samples aggregate under.
+#[derive(Debug, Clone)]
+pub(crate) struct ProfileTag {
+    /// Kernel name.
+    pub kernel: Arc<str>,
+    /// Specialization variant label (`"baseline"`, `"dynamic"`, ...).
+    pub variant: &'static str,
+}
+
 /// Decode-time tallies: µop counts and superinstruction fusion hits.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DecodeStats {
@@ -306,9 +468,32 @@ pub struct BytecodeProgram {
     pub(crate) warp_size: u32,
     /// Decode statistics (µop count, fusion tallies).
     pub stats: DecodeStats,
+    /// Profiler identity (kernel × specialization). `None` until
+    /// [`BytecodeProgram::attach_profile`] runs; without it the µop
+    /// profiler has nothing to aggregate under and skips this program.
+    pub(crate) profile: Option<ProfileTag>,
 }
 
 impl BytecodeProgram {
+    /// Tag this program with its kernel name and specialization variant
+    /// so the µop profiler can attribute its samples, and (when tracing
+    /// is live) record the static µop mix for the profile report.
+    pub fn attach_profile(&mut self, kernel: &str, variant: &'static str) {
+        self.profile = Some(ProfileTag { kernel: Arc::from(kernel), variant });
+        if dpvk_trace::profile::uop_enabled() {
+            let mut counts = [0u64; N_UOPS];
+            for op in &self.code {
+                counts[op.kind.opcode()] += 1;
+            }
+            dpvk_trace::profile::record_static_mix(kernel, self.warp_size, variant, &counts);
+        }
+    }
+
+    /// Profiler key `(kernel, variant)` if [`attach_profile`]
+    /// (`Self::attach_profile`) has run.
+    pub fn profile_key(&self) -> Option<(&str, &'static str)> {
+        self.profile.as_ref().map(|t| (&*t.kernel, t.variant))
+    }
     /// Check every register-slot index, branch target and case-table
     /// range the engine can touch at runtime against the program's
     /// bounds, panicking on any violation.
@@ -805,20 +990,51 @@ pub fn execute_warp_bytecode(
     // (cached) CPUID probe. Non-x86 hosts (e.g. aarch64, whose baseline
     // already includes fused multiply-add) always take the generic twin.
     #[cfg(target_arch = "x86_64")]
-    if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
-        // SAFETY: AVX2 and FMA support was just verified at runtime.
-        return unsafe {
-            exec_loop_simd(program, scratch, ctxs, entry_id, mem, stats, limits, cancel)
-        };
+    let simd =
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma");
+    #[cfg(not(target_arch = "x86_64"))]
+    let simd = false;
+
+    // Profiled warps run the same loop monomorphized over `UopCounts`;
+    // the per-warp histogram lives on the stack and flushes to the
+    // global profile in one call after the warp returns, so the loop
+    // body itself touches no shared state.
+    if dpvk_trace::profile::uop_enabled() {
+        if let Some((kernel, variant)) = program.profile_key() {
+            let mut counts = UopCounts::new();
+            let result = dispatch(
+                simd,
+                program,
+                scratch,
+                ctxs,
+                entry_id,
+                mem,
+                stats,
+                limits,
+                cancel,
+                &mut counts,
+            );
+            dpvk_trace::profile::record_uops(&dpvk_trace::profile::UopSample {
+                kernel,
+                warp_size: program.warp_size,
+                variant,
+                path: if simd { "avx2" } else { "portable" },
+                names: &UOP_NAMES,
+                fused: &UOP_FUSED,
+                hits: &counts.hits,
+                cycles: &counts.cycles,
+            });
+            return result;
+        }
     }
-    exec_loop(program, scratch, ctxs, entry_id, mem, stats, limits, cancel)
+    dispatch(simd, program, scratch, ctxs, entry_id, mem, stats, limits, cancel, &mut NoProfile)
 }
 
-/// The AVX2+FMA twin of [`exec_loop`]; see [`execute_warp_bytecode`].
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "avx2,fma")]
+/// Route one warp call to the SIMD or portable twin of the loop.
 #[allow(clippy::too_many_arguments)]
-unsafe fn exec_loop_simd(
+#[inline(always)]
+fn dispatch<P: UopSink>(
+    simd: bool,
     program: &BytecodeProgram,
     scratch: &mut RegFrame,
     ctxs: &mut [ThreadContext],
@@ -827,8 +1043,36 @@ unsafe fn exec_loop_simd(
     stats: &mut ExecStats,
     limits: &ExecLimits,
     cancel: Option<&CancelToken>,
+    prof: &mut P,
 ) -> Result<WarpOutcome, VmError> {
-    exec_loop(program, scratch, ctxs, entry_id, mem, stats, limits, cancel)
+    #[cfg(target_arch = "x86_64")]
+    if simd {
+        // SAFETY: the caller verified AVX2 and FMA support at runtime.
+        return unsafe {
+            exec_loop_simd(program, scratch, ctxs, entry_id, mem, stats, limits, cancel, prof)
+        };
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = simd;
+    exec_loop(program, scratch, ctxs, entry_id, mem, stats, limits, cancel, prof)
+}
+
+/// The AVX2+FMA twin of [`exec_loop`]; see [`execute_warp_bytecode`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn exec_loop_simd<P: UopSink>(
+    program: &BytecodeProgram,
+    scratch: &mut RegFrame,
+    ctxs: &mut [ThreadContext],
+    entry_id: i64,
+    mem: &mut MemAccess<'_>,
+    stats: &mut ExecStats,
+    limits: &ExecLimits,
+    cancel: Option<&CancelToken>,
+    prof: &mut P,
+) -> Result<WarpOutcome, VmError> {
+    exec_loop(program, scratch, ctxs, entry_id, mem, stats, limits, cancel, prof)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -836,7 +1080,7 @@ unsafe fn exec_loop_simd(
 // that return right after (Ret, Unsupported) those writes are dead.
 #[allow(unused_assignments)]
 #[inline(always)]
-fn exec_loop(
+fn exec_loop<P: UopSink>(
     program: &BytecodeProgram,
     scratch: &mut RegFrame,
     ctxs: &mut [ThreadContext],
@@ -845,6 +1089,7 @@ fn exec_loop(
     stats: &mut ExecStats,
     limits: &ExecLimits,
     cancel: Option<&CancelToken>,
+    prof: &mut P,
 ) -> Result<WarpOutcome, VmError> {
     assert_eq!(
         ctxs.len(),
@@ -862,6 +1107,10 @@ fn exec_loop(
     let polling = limits.deadline.is_some() || cancel.is_some();
     let mut next_poll = poll_stride;
     let mut cycles: u64 = 0;
+    // Opcode of the µop currently dispatching; the charge/retire macros
+    // attribute modeled cycles to it via the (monomorphized) sink. Must
+    // be declared before the macros so their bodies resolve to it.
+    let mut opc: usize = 0;
 
     stats.warp_entries += 1;
     stats.thread_entries += program.warp_size as u64;
@@ -894,6 +1143,7 @@ fn exec_loop(
         ($meta:expr) => {
             tick!();
             cycles += $meta.cost as u64;
+            prof.charge(opc, $meta.cost);
             stats.flops += $meta.flops as u64;
             if $meta.flags != 0 {
                 if $meta.flags & F_LOAD != 0 {
@@ -916,6 +1166,7 @@ fn exec_loop(
     macro_rules! retire_block {
         ($term:expr) => {
             cycles += $term.cost as u64;
+            prof.charge(opc, $term.cost);
             tick!();
             stats.instructions += $term.insts as u64;
             if $term.overhead {
@@ -929,6 +1180,7 @@ fn exec_loop(
 
     loop {
         let op = &code[pc];
+        opc = prof.note_op(&op.kind);
         match op.kind {
             OpKind::Bin { op: bop, sty, signed, w, dst, a, b } => {
                 charge!(op.meta);

@@ -81,6 +81,7 @@ impl BytecodeProgram {
             slots: layout.slots(),
             warp_size: f.warp_size,
             stats: d.stats,
+            profile: None,
         };
         // Every slot index and branch target is checked once here; the
         // execution loop relies on this to elide per-access bounds

@@ -132,6 +132,11 @@ impl std::fmt::Display for ExecStats {
         )?;
         writeln!(
             f,
+            "phase cycles: body {:>12}   yield {:>12}   manager {:>12}",
+            self.cycles_body, self.cycles_yield, self.cycles_manager
+        )?;
+        writeln!(
+            f,
             "instructions: {:>10}   flops: {:>10}   loads: {:>10}   stores: {:>10}",
             self.instructions, self.flops, self.loads, self.stores
         )?;
@@ -237,5 +242,7 @@ mod tests {
         assert!(text.contains("body  50.0%"), "{text}");
         assert!(text.contains("spill bytes"), "{text}");
         assert!(text.contains("128"), "{text}");
+        assert!(text.contains("phase cycles:"), "{text}");
+        assert!(text.contains("yield           25"), "{text}");
     }
 }

@@ -178,15 +178,35 @@ fn compile_phase_timers_nest() {
         report.phases.iter().filter(|p| p.phase.starts_with(prefix)).map(|p| p.depth).collect()
     };
 
-    // Every top-level compiler phase ran and was timed.
+    // Every top-level compiler phase ran and was timed. Exact-name depth
+    // check: `translate:*` sub-phases share the prefix but nest deeper.
     for phase in ["parse", "translate", "specialize"] {
         assert!(
             report.phases.iter().any(|p| p.phase == phase),
             "phase `{phase}` missing from {:?}",
             report.phases
         );
-        assert!(depths_of(phase).iter().all(|&d| d == 0), "`{phase}` not at depth 0");
+        let depths: Vec<usize> =
+            report.phases.iter().filter(|p| p.phase == phase).map(|p| p.depth).collect();
+        assert!(depths.iter().all(|&d| d == 0), "`{phase}` not at depth 0");
     }
+
+    // Translation sub-phases nest inside translate, one level down, and
+    // their total time is bounded by the enclosing translate time.
+    let tr_depths = depths_of("translate:");
+    assert!(!tr_depths.is_empty(), "no translate:* phases recorded");
+    assert!(tr_depths.iter().all(|&d| d == 1), "translate sub-phases not at depth 1");
+    let tr_ns: u64 = report
+        .phases
+        .iter()
+        .filter(|p| p.phase.starts_with("translate:"))
+        .map(|p| p.total_ns)
+        .sum();
+    assert!(
+        tr_ns <= total_of("translate"),
+        "nested translate time {tr_ns} exceeds translate time {}",
+        total_of("translate")
+    );
 
     // Optimization passes run nested inside specialize, one level down,
     // and their total time is bounded by the enclosing specialize time.
