@@ -487,7 +487,7 @@ impl TranslationCache {
             self.shared.stats.spec_failures.fetch_add(1, Relaxed);
             dpvk_trace::add(dpvk_trace::Counter::SpecFailures, 1);
         }
-        dpvk_trace::record_fault(kernel, &error.to_string());
+        dpvk_trace::record_fault(kernel, &format!("[{}] {error}", error.code()));
     }
 
     /// Current statistics.

@@ -92,6 +92,40 @@ impl CoreError {
             CoreError::Vm(VmError::Deadline) | CoreError::Fault { source: VmError::Deadline, .. }
         )
     }
+
+    /// Stable machine-readable error code.
+    ///
+    /// Wire protocols and trace events classify failures by this string
+    /// instead of matching [`Display`](fmt::Display) output, so the
+    /// human-readable messages can evolve freely. Codes are part of the
+    /// serving API: never rename one, only add.
+    pub fn code(&self) -> &'static str {
+        match self {
+            CoreError::Ptx(_) => "ptx",
+            CoreError::Verify(_) => "verify",
+            CoreError::Vm(e) | CoreError::Fault { source: e, .. } => match e {
+                VmError::Cancelled => "cancelled",
+                VmError::Deadline => "deadline",
+                _ => "vm_fault",
+            },
+            CoreError::WorkerPanic { .. } => "worker_panic",
+            CoreError::Unsupported { .. } => "unsupported",
+            CoreError::NotFound(_) => "not_found",
+            CoreError::BadLaunch(_) => "bad_launch",
+            CoreError::Memory(_) => "memory",
+        }
+    }
+
+    /// Whether a retry of the same launch may plausibly succeed.
+    ///
+    /// Transient failures — a contained worker panic, or a deadline
+    /// expiry that may have been caused by momentary contention — are
+    /// retryable; everything else (parse/verify errors, genuine VM
+    /// faults, cancellation by the caller) is deterministic or
+    /// caller-initiated and retrying would only repeat it.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, CoreError::WorkerPanic { .. }) || self.is_deadline()
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -195,5 +229,48 @@ mod tests {
         assert!(CoreError::Vm(VmError::Deadline).is_deadline());
         assert!(CoreError::Fault { context: ctx, source: VmError::Deadline }.is_deadline());
         assert!(!CoreError::Vm(VmError::Cancelled).is_deadline());
+    }
+
+    #[test]
+    fn codes_are_stable_and_classify_retryability() {
+        let ctx = FaultContext { kernel: "k".into(), cta: 0, warp_entry: 0, thread_ids: vec![] };
+        let cases: Vec<(CoreError, &str, bool)> = vec![
+            (PtxError::UndefinedLabel("x".into()).into(), "ptx", false),
+            (
+                CoreError::Verify(VerifyError {
+                    function: "f".into(),
+                    block: "b".into(),
+                    message: "m".into(),
+                }),
+                "verify",
+                false,
+            ),
+            (CoreError::Vm(VmError::DivisionByZero), "vm_fault", false),
+            (CoreError::Vm(VmError::Cancelled), "cancelled", false),
+            (CoreError::Vm(VmError::Deadline), "deadline", true),
+            (
+                CoreError::Fault { context: ctx.clone(), source: VmError::Deadline },
+                "deadline",
+                true,
+            ),
+            (CoreError::Fault { context: ctx, source: VmError::DivisionByZero }, "vm_fault", false),
+            (
+                CoreError::WorkerPanic { worker: 0, cta: 0, payload: "p".into() },
+                "worker_panic",
+                true,
+            ),
+            (
+                CoreError::Unsupported { kernel: "k".into(), message: "m".into() },
+                "unsupported",
+                false,
+            ),
+            (CoreError::NotFound("k".into()), "not_found", false),
+            (CoreError::BadLaunch("m".into()), "bad_launch", false),
+            (CoreError::Memory("m".into()), "memory", false),
+        ];
+        for (err, code, retryable) in cases {
+            assert_eq!(err.code(), code, "{err}");
+            assert_eq!(err.is_retryable(), retryable, "{err}");
+        }
     }
 }

@@ -206,7 +206,9 @@ fn finalize(kernel: &str, st: &mut JobInner) -> Result<LaunchStats, CoreError> {
     }
     match first_error {
         Some(e) => {
-            dpvk_trace::record_fault(kernel, &e.to_string());
+            // Lead with the stable error code so trace consumers classify
+            // faults without parsing the human-readable rendering.
+            dpvk_trace::record_fault(kernel, &format!("[{}] {e}", e.code()));
             Err(e)
         }
         None => Ok(st.stats.clone()),

@@ -36,6 +36,11 @@ pub struct FaultPlan {
     /// Panic (worker-thread panic, not an error return) when the manager
     /// starts executing this flat CTA index.
     pub panic_at_cta: Option<u32>,
+    /// Budget for [`panic_at_cta`](Self::panic_at_cta): `Some(n)` trips
+    /// the panic at most `n` times and then lets execution through, so a
+    /// retrying caller deterministically recovers; `None` panics on every
+    /// matching execution (the original behavior).
+    pub panic_budget: Option<u32>,
     /// Fail specialization with a synthetic [`VerifyError`] for any
     /// non-baseline variant requested at this warp width.
     pub fail_specialize_width: Option<u32>,
@@ -90,11 +95,24 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Panic if the plan demands a worker panic at `cta`.
+/// Panic if the plan demands a worker panic at `cta`. A finite
+/// [`FaultPlan::panic_budget`] is decremented under the plan lock, so
+/// concurrent workers racing on the same CTA consume it exactly once
+/// per trip.
 pub(crate) fn maybe_panic(cta: u32) {
-    if plan().and_then(|p| p.panic_at_cta) == Some(cta) {
-        panic!("injected fault: forced panic at CTA {cta}");
+    let mut slot = PLAN.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let Some(p) = slot.as_mut() else { return };
+    if p.panic_at_cta != Some(cta) {
+        return;
     }
+    if let Some(remaining) = p.panic_budget.as_mut() {
+        if *remaining == 0 {
+            return;
+        }
+        *remaining -= 1;
+    }
+    drop(slot);
+    panic!("injected fault: forced panic at CTA {cta}");
 }
 
 /// Synthetic specialization failure for `(kernel, warp_size, variant)`,
@@ -160,6 +178,22 @@ mod tests {
         assert!(injected_specialize_failure("k", 4, Variant::Baseline).is_none());
         assert!(injected_specialize_failure("k", 2, Variant::Dynamic).is_none());
         drop(guard);
+    }
+
+    #[test]
+    fn panic_budget_is_consumed_then_execution_passes() {
+        let _guard = install(FaultPlan {
+            panic_at_cta: Some(3),
+            panic_budget: Some(2),
+            ..Default::default()
+        });
+        for _ in 0..2 {
+            let caught = std::panic::catch_unwind(|| maybe_panic(3));
+            assert!(caught.is_err(), "budgeted panic should trip");
+        }
+        // Budget exhausted: the same CTA now runs clean.
+        maybe_panic(3);
+        maybe_panic(3);
     }
 
     #[test]

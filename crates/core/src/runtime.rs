@@ -346,6 +346,19 @@ impl Device {
         self.pool.size()
     }
 
+    /// Bytes of device heap consumed by allocations so far. The heap is
+    /// a bump allocator — individual allocations are never freed — so
+    /// long-running services (the serving layer's buffer pool) watch
+    /// this to decide when to reuse rather than allocate.
+    pub fn heap_used(&self) -> u64 {
+        self.next_alloc.load(Ordering::Relaxed)
+    }
+
+    /// Total device heap capacity in bytes.
+    pub fn heap_capacity(&self) -> u64 {
+        self.heap_size
+    }
+
     /// [`Device::launch`] with a wall-clock budget: the launch fails with
     /// a [`dpvk_vm::VmError::Deadline`] fault (wrapped in
     /// [`CoreError::Fault`] with provenance) if it is still running when

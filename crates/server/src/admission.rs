@@ -1,0 +1,189 @@
+//! Admission control: per-tenant token buckets and a global in-flight
+//! capacity gate. Requests that do not pass are *shed* — answered
+//! immediately with `Overloaded{retry_after}` — instead of queued, so a
+//! traffic spike degrades into fast refusals rather than unbounded
+//! memory growth and collapsing latency.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------------
+// Token bucket
+// ---------------------------------------------------------------------------
+
+/// A classic token bucket: `burst` capacity, refilled at `rate_per_sec`.
+/// Each launch request takes one token; an empty bucket rejects with a
+/// retry-after hint sized to when the next token lands.
+#[derive(Debug)]
+pub struct TokenBucket {
+    rate_per_sec: f64,
+    burst: f64,
+    tokens: f64,
+    last_refill: Instant,
+}
+
+impl TokenBucket {
+    /// A bucket holding `burst` tokens, refilled at `rate_per_sec`.
+    /// Rates and bursts are clamped to at least a trickle so a
+    /// zero-configured bucket cannot divide by zero or deadlock clients
+    /// forever.
+    pub fn new(rate_per_sec: f64, burst: f64) -> TokenBucket {
+        let rate_per_sec = rate_per_sec.max(0.001);
+        let burst = burst.max(1.0);
+        TokenBucket { rate_per_sec, burst, tokens: burst, last_refill: Instant::now() }
+    }
+
+    fn refill(&mut self, now: Instant) {
+        let dt = now.duration_since(self.last_refill).as_secs_f64();
+        self.tokens = (self.tokens + dt * self.rate_per_sec).min(self.burst);
+        self.last_refill = now;
+    }
+
+    /// Take one token, or say how many milliseconds until one is
+    /// available.
+    pub fn try_take(&mut self, now: Instant) -> Result<(), u32> {
+        self.refill(now);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            return Ok(());
+        }
+        let missing = 1.0 - self.tokens;
+        let wait_ms = (missing / self.rate_per_sec * 1_000.0).ceil();
+        Err((wait_ms as u64).clamp(1, 60_000) as u32)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Capacity gate
+// ---------------------------------------------------------------------------
+
+/// A non-blocking counting semaphore over the device pool: at most
+/// `capacity` launches may be in flight at once; the rest are shed. A
+/// condvar lets shutdown (and tests) wait for drain without polling.
+#[derive(Debug)]
+pub struct CapacityGate {
+    capacity: usize,
+    inflight: Mutex<usize>,
+    idle: Condvar,
+}
+
+/// Holds one slot of a [`CapacityGate`]; released on drop.
+#[derive(Debug)]
+pub struct GatePermit {
+    gate: Arc<CapacityGate>,
+}
+
+impl CapacityGate {
+    /// A gate admitting at most `capacity` concurrent holders (floored
+    /// at 1).
+    pub fn new(capacity: usize) -> Arc<CapacityGate> {
+        Arc::new(CapacityGate {
+            capacity: capacity.max(1),
+            inflight: Mutex::new(0),
+            idle: Condvar::new(),
+        })
+    }
+
+    /// Acquire a slot without blocking; `None` means saturated.
+    pub fn try_acquire(self: &Arc<CapacityGate>) -> Option<GatePermit> {
+        let mut inflight = lock(&self.inflight);
+        if *inflight >= self.capacity {
+            return None;
+        }
+        *inflight += 1;
+        Some(GatePermit { gate: Arc::clone(self) })
+    }
+
+    /// Currently held slots.
+    pub fn in_flight(&self) -> usize {
+        *lock(&self.inflight)
+    }
+
+    /// Total slots.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Block until every permit has been released.
+    pub fn wait_idle(&self) {
+        let mut inflight = lock(&self.inflight);
+        while *inflight > 0 {
+            inflight = self.idle.wait(inflight).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+impl Drop for GatePermit {
+    fn drop(&mut self) {
+        let mut inflight = lock(&self.gate.inflight);
+        *inflight -= 1;
+        if *inflight == 0 {
+            self.gate.idle.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn bucket_burst_then_refuses_with_hint() {
+        let mut b = TokenBucket::new(10.0, 3.0);
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            assert!(b.try_take(t0).is_ok(), "burst tokens available immediately");
+        }
+        let hint = b.try_take(t0).unwrap_err();
+        // 10 tokens/sec → the next token is ~100 ms away.
+        assert!((1..=150).contains(&hint), "hint {hint} ms");
+    }
+
+    #[test]
+    fn bucket_refills_over_time() {
+        let mut b = TokenBucket::new(1_000.0, 1.0);
+        let t0 = Instant::now();
+        assert!(b.try_take(t0).is_ok());
+        assert!(b.try_take(t0).is_err(), "burst of one is spent");
+        // 10 ms at 1000 tokens/sec refills well past one token.
+        assert!(b.try_take(t0 + Duration::from_millis(10)).is_ok());
+    }
+
+    #[test]
+    fn bucket_never_exceeds_burst() {
+        let mut b = TokenBucket::new(1_000_000.0, 2.0);
+        let later = Instant::now() + Duration::from_secs(60);
+        assert!(b.try_take(later).is_ok());
+        assert!(b.try_take(later).is_ok());
+        assert!(b.try_take(later).is_err(), "long idle must not bank more than burst");
+    }
+
+    #[test]
+    fn gate_sheds_past_capacity_and_releases_on_drop() {
+        let gate = CapacityGate::new(2);
+        let a = gate.try_acquire().expect("slot 1");
+        let _b = gate.try_acquire().expect("slot 2");
+        assert!(gate.try_acquire().is_none(), "saturated");
+        assert_eq!(gate.in_flight(), 2);
+        drop(a);
+        assert!(gate.try_acquire().is_some(), "slot returns on drop");
+    }
+
+    #[test]
+    fn gate_wait_idle_observes_drain() {
+        let gate = CapacityGate::new(4);
+        let permit = gate.try_acquire().unwrap();
+        let g2 = Arc::clone(&gate);
+        let waiter = std::thread::spawn(move || g2.wait_idle());
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(!waiter.is_finished(), "waiter blocked while a permit is held");
+        drop(permit);
+        waiter.join().unwrap();
+        assert_eq!(gate.in_flight(), 0);
+    }
+}

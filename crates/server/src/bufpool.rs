@@ -1,0 +1,115 @@
+//! Device-buffer reuse on top of the bump allocator.
+//!
+//! `Device::malloc` never frees: the heap only grows until the device
+//! drops. A per-request `malloc` would therefore exhaust the heap after
+//! a bounded number of requests no matter how small each one is — fatal
+//! for a long-running service. The pool rounds requests up to
+//! power-of-two size classes and recycles returned buffers, so the heap
+//! footprint converges to the working set's high-water mark instead of
+//! growing with request count.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use dpvk_core::{CoreError, Device, DevicePtr};
+
+/// Smallest size class handed out (matches the allocator's 64-byte
+/// alignment granule).
+const MIN_CLASS: u64 = 64;
+
+fn size_class(len: usize) -> u64 {
+    (len.max(1) as u64).next_power_of_two().max(MIN_CLASS)
+}
+
+/// Free lists of recycled device buffers, keyed by power-of-two size
+/// class.
+#[derive(Default)]
+pub struct BufferPool {
+    free: Mutex<HashMap<u64, Vec<DevicePtr>>>,
+}
+
+impl BufferPool {
+    /// Get a device buffer of at least `len` bytes: recycled if a free
+    /// buffer of the right class exists, freshly allocated otherwise.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Memory`] when the heap is exhausted and nothing is
+    /// free to recycle.
+    pub fn acquire(&self, dev: &Device, len: usize) -> Result<DevicePtr, CoreError> {
+        let class = size_class(len);
+        if let Some(ptr) = self
+            .free
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get_mut(&class)
+            .and_then(Vec::pop)
+        {
+            return Ok(ptr);
+        }
+        dev.malloc(class as usize)
+    }
+
+    /// Return a buffer acquired with the same `len` to its free list.
+    pub fn release(&self, ptr: DevicePtr, len: usize) {
+        let class = size_class(len);
+        self.free
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .entry(class)
+            .or_default()
+            .push(ptr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpvk_vm::MachineModel;
+
+    #[test]
+    fn size_classes_round_up_to_powers_of_two() {
+        assert_eq!(size_class(0), 64);
+        assert_eq!(size_class(1), 64);
+        assert_eq!(size_class(64), 64);
+        assert_eq!(size_class(65), 128);
+        assert_eq!(size_class(4096), 4096);
+        assert_eq!(size_class(4097), 8192);
+    }
+
+    #[test]
+    fn released_buffers_are_recycled_not_reallocated() {
+        let dev = Device::new(MachineModel::sandybridge_sse(), 1 << 16);
+        let pool = BufferPool::default();
+        let a = pool.acquire(&dev, 100).unwrap();
+        let used_after_first = dev.heap_used();
+        pool.release(a, 100);
+        // Same size class → the exact pointer comes back, no heap growth.
+        let b = pool.acquire(&dev, 120).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(dev.heap_used(), used_after_first);
+        // A different class allocates fresh.
+        let c = pool.acquire(&dev, 1000).unwrap();
+        assert_ne!(b, c);
+        assert!(dev.heap_used() > used_after_first);
+    }
+
+    #[test]
+    fn steady_state_heap_is_bounded() {
+        let dev = Device::new(MachineModel::sandybridge_sse(), 1 << 16);
+        let pool = BufferPool::default();
+        // Many sequential "requests" of the same shape must not grow the
+        // heap past the first round — the whole point of the pool.
+        let mut high_water = 0;
+        for round in 0..1_000 {
+            let a = pool.acquire(&dev, 256).unwrap();
+            let b = pool.acquire(&dev, 512).unwrap();
+            pool.release(a, 256);
+            pool.release(b, 512);
+            if round == 0 {
+                high_water = dev.heap_used();
+            }
+        }
+        assert_eq!(dev.heap_used(), high_water, "heap frozen after the first round");
+    }
+}

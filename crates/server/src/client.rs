@@ -1,0 +1,81 @@
+//! A minimal blocking client for the wire protocol, used by the
+//! integration tests and the closed-loop benchmark. One request is in
+//! flight per connection at a time; open more connections for
+//! concurrency.
+
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::protocol::{read_frame, write_frame, LaunchSpec, Request, Response, TenantStats};
+
+/// A blocking connection to a [`Server`](crate::Server).
+pub struct Client {
+    stream: TcpStream,
+}
+
+fn bad_data(e: impl std::fmt::Display) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+}
+
+impl Client {
+    /// Connect to a server.
+    ///
+    /// # Errors
+    ///
+    /// Connection errors.
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        // A response must arrive eventually; a wedged server should not
+        // hang the client forever.
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        Ok(Client { stream })
+    }
+
+    /// Send one request and wait for its response.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, a server hang-up mid-response, or a malformed
+    /// response payload (as [`io::ErrorKind::InvalidData`]).
+    pub fn call(&mut self, req: &Request) -> io::Result<Response> {
+        write_frame(&mut self.stream, &req.encode())?;
+        let payload = read_frame(&mut self.stream)?
+            .ok_or_else(|| io::Error::from(io::ErrorKind::UnexpectedEof))?;
+        Response::decode(&payload).map_err(bad_data)
+    }
+
+    /// Register kernel source under `tenant`.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors as I/O errors; registration failures arrive as
+    /// [`Response::Error`].
+    pub fn register(&mut self, tenant: &str, source: &str) -> io::Result<Response> {
+        self.call(&Request::Register { tenant: tenant.into(), source: source.into() })
+    }
+
+    /// Launch a kernel.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors as I/O errors; launch failures arrive as
+    /// [`Response::Error`] / [`Response::Overloaded`].
+    pub fn launch(&mut self, spec: LaunchSpec) -> io::Result<Response> {
+        self.call(&Request::Launch(spec))
+    }
+
+    /// Fetch `tenant`'s serving statistics.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or a non-`Stats` response (as
+    /// [`io::ErrorKind::InvalidData`]).
+    pub fn stats(&mut self, tenant: &str) -> io::Result<TenantStats> {
+        match self.call(&Request::Stats { tenant: tenant.into() })? {
+            Response::Stats(s) => Ok(s),
+            other => Err(bad_data(format!("expected Stats, got {other:?}"))),
+        }
+    }
+}

@@ -178,11 +178,30 @@ pub enum Counter {
     /// High-water mark of pool workers simultaneously executing chunks
     /// (peak occupancy, not a sum — see [`record_peak`]).
     PoolBusyPeak,
+    /// Launch requests received by the serving layer (before admission).
+    ServerRequests,
+    /// Launch requests admitted past the token bucket and capacity gate.
+    ServerAdmitted,
+    /// Launch requests shed with an `Overloaded` response (bucket empty
+    /// or device pool saturated).
+    ServerShed,
+    /// Server-side retries of transient launch failures (worker panics,
+    /// deadline-adjacent timeouts).
+    ServerRetries,
+    /// Admitted requests that fell back to the scalar baseline after the
+    /// vectorized retry budget was exhausted.
+    ServerDegraded,
+    /// Admitted requests that completed successfully (including after
+    /// retries or degradation).
+    ServerCompleted,
+    /// Admitted requests that exhausted the retry ladder and surfaced a
+    /// typed error to the client.
+    ServerFailed,
 }
 
 impl Counter {
     /// Every counter, in declaration order.
-    pub const ALL: [Counter; 33] = [
+    pub const ALL: [Counter; 40] = [
         Counter::CacheHit,
         Counter::CacheMiss,
         Counter::CacheCompileNs,
@@ -216,6 +235,13 @@ impl Counter {
         Counter::LaunchesRetired,
         Counter::StreamQueuePeak,
         Counter::PoolBusyPeak,
+        Counter::ServerRequests,
+        Counter::ServerAdmitted,
+        Counter::ServerShed,
+        Counter::ServerRetries,
+        Counter::ServerDegraded,
+        Counter::ServerCompleted,
+        Counter::ServerFailed,
     ];
 
     /// Stable snake_case name used in reports.
@@ -254,6 +280,13 @@ impl Counter {
             Counter::LaunchesRetired => "launches_retired",
             Counter::StreamQueuePeak => "stream_queue_peak",
             Counter::PoolBusyPeak => "pool_busy_peak",
+            Counter::ServerRequests => "server_requests",
+            Counter::ServerAdmitted => "server_admitted",
+            Counter::ServerShed => "server_shed",
+            Counter::ServerRetries => "server_retries",
+            Counter::ServerDegraded => "server_degraded",
+            Counter::ServerCompleted => "server_completed",
+            Counter::ServerFailed => "server_failed",
         }
     }
 }
@@ -474,6 +507,55 @@ pub struct SpecRecord {
     pub dce_removed: u64,
 }
 
+/// Per-tenant serving-layer totals, accumulated by [`record_server`] and
+/// reported as the report's `tenants` section.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct TenantRecord {
+    /// Tenant name (empty in the accumulator; filled in snapshots).
+    pub tenant: String,
+    /// Launch requests received (before admission).
+    pub requests: u64,
+    /// Requests admitted past the token bucket and capacity gate.
+    pub admitted: u64,
+    /// Requests shed with an `Overloaded` response.
+    pub shed: u64,
+    /// Server-side retries of transient failures.
+    pub retries: u64,
+    /// Requests that fell back to the scalar baseline.
+    pub degraded: u64,
+    /// Requests that completed successfully.
+    pub completed: u64,
+    /// Requests that surfaced a typed error after the retry ladder.
+    pub failed: u64,
+    /// Device wall-clock nanoseconds spent executing this tenant's
+    /// admitted launches (all attempts included).
+    pub exec_ns: u64,
+}
+
+/// One serving-layer lifecycle transition of a tenant's launch request,
+/// recorded via [`record_server`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerOutcome {
+    /// A launch request arrived (counted before any admission decision).
+    Request,
+    /// The request passed admission control.
+    Admitted,
+    /// The request was shed with an `Overloaded` response.
+    Shed,
+    /// One transient failure was retried server-side.
+    Retried,
+    /// The request fell back to the scalar baseline.
+    Degraded,
+    /// The request completed successfully after `exec_ns` nanoseconds of
+    /// cumulative device execution (all attempts).
+    Completed {
+        /// Cumulative execution wall time across attempts.
+        exec_ns: u64,
+    },
+    /// The request exhausted the retry ladder and failed.
+    Failed,
+}
+
 #[derive(Default)]
 struct State {
     names: Vec<String>,
@@ -481,6 +563,7 @@ struct State {
     events: Vec<Event>,
     phases: HashMap<(String, &'static str, usize), PhaseTotals>,
     specs: Vec<SpecRecord>,
+    tenants: HashMap<String, TenantRecord>,
 }
 
 #[derive(Default, Clone, Copy)]
@@ -597,6 +680,52 @@ pub fn record_stream_event(kernel: &str, stream: u64, depth: u32, submit: bool) 
     s.push_event(Event::Stream { kernel, stream, depth, submit });
 }
 
+/// Record one serving-layer transition for `tenant`: bumps the matching
+/// global `server_*` counter and the tenant's [`TenantRecord`] totals.
+#[inline]
+pub fn record_server(tenant: &str, outcome: ServerOutcome) {
+    if !enabled() {
+        return;
+    }
+    let (counter, exec_ns) = match outcome {
+        ServerOutcome::Request => (Counter::ServerRequests, 0),
+        ServerOutcome::Admitted => (Counter::ServerAdmitted, 0),
+        ServerOutcome::Shed => (Counter::ServerShed, 0),
+        ServerOutcome::Retried => (Counter::ServerRetries, 0),
+        ServerOutcome::Degraded => (Counter::ServerDegraded, 0),
+        ServerOutcome::Completed { exec_ns } => (Counter::ServerCompleted, exec_ns),
+        ServerOutcome::Failed => (Counter::ServerFailed, 0),
+    };
+    COUNTERS[counter as usize].fetch_add(1, Ordering::Relaxed);
+    let mut s = lock_state();
+    let rec = s.tenants.entry(tenant.to_string()).or_default();
+    match outcome {
+        ServerOutcome::Request => rec.requests += 1,
+        ServerOutcome::Admitted => rec.admitted += 1,
+        ServerOutcome::Shed => rec.shed += 1,
+        ServerOutcome::Retried => rec.retries += 1,
+        ServerOutcome::Degraded => rec.degraded += 1,
+        ServerOutcome::Completed { .. } => {
+            rec.completed += 1;
+            rec.exec_ns += exec_ns;
+        }
+        ServerOutcome::Failed => rec.failed += 1,
+    }
+}
+
+/// Per-tenant serving-layer totals so far, sorted by tenant name. Empty
+/// unless a server recorded [`ServerOutcome`]s while tracing was on.
+pub fn tenant_records() -> Vec<TenantRecord> {
+    let s = lock_state();
+    let mut out: Vec<TenantRecord> = s
+        .tenants
+        .iter()
+        .map(|(name, rec)| TenantRecord { tenant: name.clone(), ..rec.clone() })
+        .collect();
+    out.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+    out
+}
+
 /// Record a vectorizer effectiveness record and bump the aggregate
 /// counters.
 pub fn record_specialization(rec: SpecRecord) {
@@ -676,6 +805,7 @@ pub fn reset() {
     s.events.clear();
     s.phases.clear();
     s.specs.clear();
+    s.tenants.clear();
 }
 
 pub(crate) struct FullSnapshot {
@@ -685,6 +815,7 @@ pub(crate) struct FullSnapshot {
     pub events: Vec<Event>,
     pub phases: Vec<(String, &'static str, usize, u64, u64)>,
     pub specs: Vec<SpecRecord>,
+    pub tenants: Vec<TenantRecord>,
 }
 
 pub(crate) fn full_snapshot() -> FullSnapshot {
@@ -703,6 +834,12 @@ pub(crate) fn full_snapshot() -> FullSnapshot {
             b.variant,
         ))
     });
+    let mut tenants: Vec<TenantRecord> = s
+        .tenants
+        .iter()
+        .map(|(name, rec)| TenantRecord { tenant: name.clone(), ..rec.clone() })
+        .collect();
+    tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
     FullSnapshot {
         counters: Counter::ALL.iter().map(|&c| (c.name(), counter(c))).collect(),
         occupancy: occupancy_histogram(),
@@ -710,6 +847,7 @@ pub(crate) fn full_snapshot() -> FullSnapshot {
         events: s.events.clone(),
         phases,
         specs,
+        tenants,
     }
 }
 
@@ -932,6 +1070,52 @@ mod tests {
         assert!(idle.counters().all(|(n, v)| v == 0 || n.ends_with("_peak")));
         disable();
         reset();
+    }
+
+    #[test]
+    fn server_outcomes_accumulate_per_tenant_and_globally() {
+        let _g = serial();
+        enable();
+        reset();
+        for _ in 0..3 {
+            record_server("alpha", ServerOutcome::Request);
+        }
+        record_server("alpha", ServerOutcome::Admitted);
+        record_server("alpha", ServerOutcome::Retried);
+        record_server("alpha", ServerOutcome::Completed { exec_ns: 1_000 });
+        record_server("beta", ServerOutcome::Request);
+        record_server("beta", ServerOutcome::Shed);
+        record_server("beta", ServerOutcome::Degraded);
+        record_server("beta", ServerOutcome::Failed);
+        assert_eq!(counter(Counter::ServerRequests), 4);
+        assert_eq!(counter(Counter::ServerAdmitted), 1);
+        assert_eq!(counter(Counter::ServerShed), 1);
+        assert_eq!(counter(Counter::ServerRetries), 1);
+        assert_eq!(counter(Counter::ServerDegraded), 1);
+        assert_eq!(counter(Counter::ServerCompleted), 1);
+        assert_eq!(counter(Counter::ServerFailed), 1);
+        let tenants = tenant_records();
+        assert_eq!(tenants.len(), 2);
+        assert_eq!(tenants[0].tenant, "alpha", "sorted by name");
+        assert_eq!(tenants[0].requests, 3);
+        assert_eq!(tenants[0].completed, 1);
+        assert_eq!(tenants[0].exec_ns, 1_000);
+        assert_eq!(tenants[1].tenant, "beta");
+        assert_eq!(tenants[1].shed, 1);
+        assert_eq!(tenants[1].degraded, 1);
+        assert_eq!(tenants[1].failed, 1);
+        disable();
+        reset();
+    }
+
+    #[test]
+    fn server_records_are_dark_when_disabled() {
+        let _g = serial();
+        disable();
+        reset();
+        record_server("ghost", ServerOutcome::Request);
+        assert_eq!(counter(Counter::ServerRequests), 0);
+        assert!(tenant_records().is_empty());
     }
 
     #[test]

@@ -8,7 +8,7 @@ use std::path::{Path, PathBuf};
 use crate::json::Json;
 use crate::profile::{self, UopProfile};
 use crate::timeline::{self, SpanTotal};
-use crate::{full_snapshot, Event, SpecRecord};
+use crate::{full_snapshot, Event, SpecRecord, TenantRecord};
 
 /// Accumulated wall time of one compile phase of one kernel.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -116,6 +116,9 @@ pub struct TraceReport {
     pub span_totals: Vec<SpanTotal>,
     /// µop profiles per kernel × specialization × engine path.
     pub uop_profiles: Vec<UopProfile>,
+    /// Per-tenant serving-layer totals (admission, shedding, retries,
+    /// degradation), sorted by tenant name; empty when no server ran.
+    pub tenants: Vec<TenantRecord>,
 }
 
 fn fmt_ns(ns: u64) -> String {
@@ -188,6 +191,7 @@ impl TraceReport {
             events_dropped,
             span_totals: timeline::span_totals(),
             uop_profiles: profile::profiles(),
+            tenants: snap.tenants,
         }
     }
 
@@ -268,6 +272,21 @@ impl TraceReport {
                 j.close_obj();
             }
             j.close_arr();
+            j.close_obj();
+        }
+        j.close_arr();
+        j.open_arr(Some("tenants"));
+        for t in &self.tenants {
+            j.open_obj(None);
+            j.field_str("tenant", &t.tenant);
+            j.field_u64("requests", t.requests);
+            j.field_u64("admitted", t.admitted);
+            j.field_u64("shed", t.shed);
+            j.field_u64("retries", t.retries);
+            j.field_u64("degraded", t.degraded);
+            j.field_u64("completed", t.completed);
+            j.field_u64("failed", t.failed);
+            j.field_u64("exec_ns", t.exec_ns);
             j.close_obj();
         }
         j.close_arr();
@@ -421,6 +440,41 @@ impl TraceReport {
                  downgraded to scalar, {cancelled} warps cancelled, {faults} faults",
             );
         }
+        let requests = self.counter("server_requests");
+        if requests > 0 || !self.tenants.is_empty() {
+            let _ = writeln!(
+                out,
+                "  server: {requests} requests, {} admitted, {} shed, {} retries, {} degraded, \
+                 {} completed, {} failed",
+                self.counter("server_admitted"),
+                self.counter("server_shed"),
+                self.counter("server_retries"),
+                self.counter("server_degraded"),
+                self.counter("server_completed"),
+                self.counter("server_failed"),
+            );
+            if !self.tenants.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "  tenants (name · req · adm · shed · retry · degr · done · fail · exec):"
+                );
+                for t in &self.tenants {
+                    let _ = writeln!(
+                        out,
+                        "    {:<20} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}  {}",
+                        t.tenant,
+                        t.requests,
+                        t.admitted,
+                        t.shed,
+                        t.retries,
+                        t.degraded,
+                        t.completed,
+                        t.failed,
+                        fmt_ns(t.exec_ns),
+                    );
+                }
+            }
+        }
         if self.span_totals.iter().any(|t| t.calls > 0) {
             let _ = writeln!(out, "  launch phases (span · calls · total):");
             for t in &self.span_totals {
@@ -554,6 +608,7 @@ mod tests {
             events_dropped: 0,
             span_totals: vec![],
             uop_profiles: vec![],
+            tenants: vec![],
         };
         let json = report.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
@@ -594,6 +649,7 @@ mod tests {
             events_dropped: 0,
             span_totals: vec![],
             uop_profiles: vec![],
+            tenants: vec![],
         };
         let json = report.to_json();
         for needle in [
@@ -634,6 +690,7 @@ mod tests {
             events_dropped: 0,
             span_totals: vec![],
             uop_profiles: vec![],
+            tenants: vec![],
         };
         let json = report.to_json();
         for needle in [

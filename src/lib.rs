@@ -18,6 +18,9 @@
 //! * [`workloads`] — the 22-kernel benchmark suite of the evaluation.
 //! * [`trace`] — structured tracing, metrics and profiling hooks across
 //!   the compile + execute pipeline (set `DPVK_TRACE=1` to enable).
+//! * [`server`] — the hardened multi-tenant kernel service: wire
+//!   protocol, admission control, load shedding and
+//!   retry-with-degradation on top of the device pool.
 //!
 //! ## Quickstart
 //!
@@ -82,6 +85,7 @@
 pub use dpvk_core as core;
 pub use dpvk_ir as ir;
 pub use dpvk_ptx as ptx;
+pub use dpvk_server as server;
 pub use dpvk_trace as trace;
 pub use dpvk_vm as vm;
 pub use dpvk_workloads as workloads;

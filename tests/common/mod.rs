@@ -1,0 +1,55 @@
+//! Golden-digest helpers shared by the integration suites
+//! (`properties.rs` pins modeled semantics with them; the fault-injected
+//! serving tests reuse them to prove tenant isolation bit-for-bit).
+//!
+//! Each test binary compiles its own copy of this module, so not every
+//! helper is used everywhere.
+#![allow(dead_code)]
+
+use dpvk::core::LaunchStats;
+
+/// FNV-1a over 64-bit words: stable, dependency-free, order-sensitive.
+pub fn fold(h: &mut u64, v: u64) {
+    *h ^= v;
+    *h = h.wrapping_mul(0x100_0000_01b3);
+}
+
+/// Fold every modeled-execution field of a launch's stats into `h`.
+pub fn digest_stats(h: &mut u64, s: &LaunchStats) {
+    let e = &s.exec;
+    for v in [
+        e.cycles_body,
+        e.cycles_yield,
+        e.cycles_manager,
+        e.instructions,
+        e.flops,
+        e.loads,
+        e.stores,
+        e.restore_loads,
+        e.spill_stores,
+        e.warp_entries,
+        e.thread_entries,
+        e.spill_bytes,
+        e.restore_bytes,
+        e.downgraded_warps,
+        e.cancelled_warps,
+    ] {
+        fold(h, v);
+    }
+    fold(h, s.warp_hist.len() as u64);
+    for &v in &s.warp_hist {
+        fold(h, v);
+    }
+}
+
+/// Digest a byte buffer (kernel output) into a single word.
+pub fn digest_bytes(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325;
+    fold(&mut h, bytes.len() as u64);
+    for chunk in bytes.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        fold(&mut h, u64::from_le_bytes(word));
+    }
+    h
+}

@@ -194,3 +194,59 @@ fn async_launches_from_one_thread_overlap_on_the_pool() {
     assert_eq!(cache.spec_failures, 0);
     assert!(cache.hits >= cache.misses, "cache stats: {cache:?}");
 }
+
+#[test]
+fn dropped_handles_detach_without_cancelling_or_wedging_the_pool() {
+    // Regression guard for the serving layer: a client that fires
+    // launches and walks away (its handles dropped un-waited) must not
+    // cancel the work, lose its memory effects, or wedge the pool for
+    // the next client.
+    let dev = Device::new(MachineModel::sandybridge_sse(), 16 << 20);
+    dev.register_source(MODULE).unwrap();
+    let n = 1024u32;
+
+    let input: Vec<u32> = (0..n).map(|i| i.wrapping_mul(2654435761)).collect();
+    let mut buffers = Vec::new();
+    for _ in 0..8 {
+        let ptr = dev.malloc(n as usize * 4).unwrap();
+        dev.copy_u32_htod(ptr, &input).unwrap();
+        let handle = dev
+            .launch_async(
+                "triple",
+                [n / 64, 1, 1],
+                [64, 1, 1],
+                &[ParamValue::Ptr(ptr), ParamValue::U32(n)],
+                &ExecConfig::dynamic(4).with_workers(2),
+            )
+            .unwrap();
+        buffers.push(ptr);
+        drop(handle); // Detach: the launch must keep running.
+    }
+
+    // Every detached launch still completes and its memory effects land.
+    dev.synchronize();
+    for (b, &ptr) in buffers.iter().enumerate() {
+        let out = dev.copy_u32_dtoh(ptr, n as usize).unwrap();
+        for i in 0..n as usize {
+            assert_eq!(out[i], input[i].wrapping_mul(3), "buffer {b}, element {i}");
+        }
+    }
+
+    // The pool is not wedged: a fresh blocking launch on the same device
+    // runs to completion with clean stats.
+    let ptr = dev.malloc(n as usize * 4).unwrap();
+    dev.copy_u32_htod(ptr, &input).unwrap();
+    let stats = dev
+        .launch(
+            "triple",
+            [n / 64, 1, 1],
+            [64, 1, 1],
+            &[ParamValue::Ptr(ptr), ParamValue::U32(n)],
+            &ExecConfig::dynamic(4),
+        )
+        .unwrap();
+    assert_ne!(stats.exec.instructions, 0);
+    assert_eq!(stats.exec.cancelled_warps, 0, "detached handles must not cancel work");
+    let out = dev.copy_u32_dtoh(ptr, n as usize).unwrap();
+    assert_eq!(out[1], input[1].wrapping_mul(3));
+}

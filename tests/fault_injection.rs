@@ -8,6 +8,8 @@
 
 #![cfg(feature = "fault-inject")]
 
+mod common;
+
 use std::time::{Duration, Instant};
 
 use dpvk::core::faults::{install, FaultPlan, SlowWarps};
@@ -336,4 +338,164 @@ fn host_cancellation_stops_slow_warps_early() {
         elapsed < Duration::from_millis(400),
         "cancellation should beat the ~480ms uncancelled runtime: {elapsed:?}"
     );
+}
+
+/// `data[i] *= 2` — a second kernel so the serving test's bystander
+/// tenant owns its own entry point.
+const DOUBLE: &str = r#"
+.kernel dbl (.param .u64 data, .param .u32 n) {
+  .reg .u32 %r<3>;
+  .reg .u64 %rd<2>;
+  .reg .pred %p<1>;
+entry:
+  mov.u32 %r0, %tid.x;
+  mad.lo.u32 %r0, %ctaid.x, %ntid.x, %r0;
+  ld.param.u32 %r1, [n];
+  setp.ge.u32 %p0, %r0, %r1;
+  @%p0 bra done;
+  cvt.u64.u32 %rd0, %r0;
+  shl.u64 %rd0, %rd0, 2;
+  ld.param.u64 %rd1, [data];
+  add.u64 %rd1, %rd1, %rd0;
+  ld.global.u32 %r2, [%rd1];
+  mul.lo.u32 %r2, %r2, 2;
+  st.global.u32 [%rd1], %r2;
+done:
+  ret;
+}
+"#;
+
+#[test]
+fn server_retries_injected_panic_and_leaves_other_tenants_bit_identical() {
+    use dpvk::server::{Client, LaunchSpec, Response, Server, ServerConfig, WireBuffer, WireParam};
+
+    // The plan keys on the flat CTA index: tenant `faulty` launches an
+    // 8-CTA grid whose CTA 7 panics exactly once (the budget), while
+    // tenant `bystander`'s 4-CTA grid can never reach CTA 7. The server
+    // must retry the panicked launch transparently and the bystander's
+    // outputs must be bit-identical to its fault-free runs.
+    let _guard =
+        install(FaultPlan { panic_at_cta: Some(7), panic_budget: Some(1), ..Default::default() });
+    dpvk::trace::enable();
+    dpvk::trace::reset();
+
+    let server =
+        Server::bind(MachineModel::sandybridge_sse(), 8 << 20, ServerConfig::default()).unwrap();
+    let handle = server.start().unwrap();
+    let addr = handle.addr();
+
+    let mut faulty = Client::connect(addr).unwrap();
+    let mut bystander = Client::connect(addr).unwrap();
+    assert_eq!(faulty.register("faulty", TRIPLE).unwrap(), Response::Registered);
+    assert_eq!(bystander.register("bystander", DOUBLE).unwrap(), Response::Registered);
+
+    let bystander_spec = || LaunchSpec {
+        tenant: "bystander".into(),
+        kernel: "dbl".into(),
+        grid: [4, 1, 1],
+        block: [8, 1, 1],
+        deadline_ms: 0,
+        buffers: vec![WireBuffer {
+            bytes: (0u32..32).flat_map(u32::to_le_bytes).collect(),
+            read_back: true,
+        }],
+        params: vec![WireParam::Buffer(0), WireParam::U32(32)],
+    };
+
+    // Reference digest: the plan cannot trip on a 4-CTA grid, so this
+    // run *is* the fault-free behavior.
+    let reference = match bystander.launch(bystander_spec()).unwrap() {
+        Response::Launched { outputs, .. } => {
+            let out = &outputs[0];
+            assert_eq!(u32::from_le_bytes(out[12..16].try_into().unwrap()), 6);
+            common::digest_bytes(out)
+        }
+        other => panic!("reference launch failed: {other:?}"),
+    };
+
+    // The injected panic inside the server's pool worker would spam the
+    // log through the default hook; silence it for the serving window.
+    // The injection gate serializes this suite, so no other test's
+    // panic message is swallowed.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let bystander_thread = std::thread::spawn(move || {
+        let mut digests = Vec::new();
+        for _ in 0..5 {
+            match bystander.launch(bystander_spec()).unwrap() {
+                Response::Launched { attempts, degraded, outputs } => {
+                    assert_eq!(attempts, 1, "bystander must never need retries");
+                    assert!(!degraded);
+                    digests.push(common::digest_bytes(&outputs[0]));
+                }
+                other => panic!("bystander shed or failed: {other:?}"),
+            }
+        }
+        digests
+    });
+
+    let faulty_resp = faulty
+        .launch(LaunchSpec {
+            tenant: "faulty".into(),
+            kernel: "triple".into(),
+            grid: [8, 1, 1],
+            block: [8, 1, 1],
+            deadline_ms: 0,
+            buffers: vec![WireBuffer {
+                bytes: (0u32..64).flat_map(u32::to_le_bytes).collect(),
+                read_back: true,
+            }],
+            params: vec![WireParam::Buffer(0), WireParam::U32(64)],
+        })
+        .unwrap();
+    let digests = bystander_thread.join().unwrap();
+    std::panic::set_hook(prev_hook);
+
+    // The panicked first attempt was retried with re-uploaded inputs:
+    // one retry, correct (not double-applied) output, no degradation.
+    match faulty_resp {
+        Response::Launched { attempts, degraded, outputs } => {
+            assert_eq!(attempts, 2, "exactly one retry after the budgeted panic");
+            assert!(!degraded, "retry succeeded before the scalar rung");
+            let out: Vec<u32> = outputs[0]
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            for (i, &v) in out.iter().enumerate() {
+                assert_eq!(v, 3 * i as u32, "element {i} after retry");
+            }
+        }
+        other => panic!("expected retried Launched, got {other:?}"),
+    }
+
+    // Bit-identical bystander runs while the fault was tripping next door.
+    for (i, &d) in digests.iter().enumerate() {
+        assert_eq!(d, reference, "bystander run {i} diverged from fault-free digest");
+    }
+
+    // The retry is visible end-to-end: per-tenant wire stats, the global
+    // trace counters, and the report's per-tenant records.
+    let stats = faulty.stats("faulty").unwrap();
+    assert_eq!(stats.retries, 1);
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.failed, 0);
+    let bystats = faulty.stats("bystander").unwrap();
+    assert_eq!(bystats.retries, 0);
+    assert_eq!(bystats.completed, 6);
+
+    let report = dpvk::trace::TraceReport::capture();
+    dpvk::trace::disable();
+    assert!(report.counter("server_retries") >= 1, "counters: {:?}", report.counters);
+    assert!(report.counter("server_completed") >= 7, "counters: {:?}", report.counters);
+    assert!(report.counter("faults") >= 1, "the panicked attempt must be traced as a fault");
+    let faulty_rec = report
+        .tenants
+        .iter()
+        .find(|t| t.tenant == "faulty")
+        .expect("per-tenant record missing from report");
+    assert_eq!(faulty_rec.retries, 1);
+    assert_eq!(faulty_rec.completed, 1);
+
+    handle.shutdown();
 }

@@ -9,6 +9,8 @@ use dpvk::ptx;
 use dpvk::vm::MachineModel;
 use dpvk::workloads::Prng;
 
+mod common;
+
 /// One random straight-line integer instruction over registers
 /// `%v0..%v{NREGS}`.
 #[derive(Debug, Clone)]
@@ -215,38 +217,7 @@ fn vectorization_preserves_divergent_semantics() {
 
 use dpvk::core::LaunchStats;
 
-fn fold(h: &mut u64, v: u64) {
-    // FNV-1a over 64-bit words: stable, dependency-free, order-sensitive.
-    *h ^= v;
-    *h = h.wrapping_mul(0x100_0000_01b3);
-}
-
-fn digest_stats(h: &mut u64, s: &LaunchStats) {
-    let e = &s.exec;
-    for v in [
-        e.cycles_body,
-        e.cycles_yield,
-        e.cycles_manager,
-        e.instructions,
-        e.flops,
-        e.loads,
-        e.stores,
-        e.restore_loads,
-        e.spill_stores,
-        e.warp_entries,
-        e.thread_entries,
-        e.spill_bytes,
-        e.restore_bytes,
-        e.downgraded_warps,
-        e.cancelled_warps,
-    ] {
-        fold(h, v);
-    }
-    fold(h, s.warp_hist.len() as u64);
-    for &v in &s.warp_hist {
-        fold(h, v);
-    }
-}
+use crate::common::digest_stats;
 
 fn run_stats(src: &str, config: &ExecConfig, n: u32) -> LaunchStats {
     let dev = Device::new(MachineModel::sandybridge_sse(), 1 << 20);
