@@ -8,13 +8,14 @@
 //! trajectory at the repo root.
 //!
 //! Usage:
-//!   host_perf [--quick] [--engine {tree,bytecode}] [--streams N]
+//!   host_perf [--quick] [--engine {bytecode,tree,jit}] [--streams N]
 //!             [--out PATH] [--before PATH] [--check PATH]
 //!             [--timeline] [--profile]
 //!
 //! * `--quick` — reduced repeat counts (CI smoke configuration)
 //! * `--engine E` — guest engine to benchmark: `bytecode` (the
-//!   pre-decoded default) or `tree` (the tree-walk oracle)
+//!   pre-decoded default), `tree` (the tree-walk oracle), or `jit`
+//!   (the native copy-and-patch tier)
 //! * `--streams N` — additionally benchmark the stream API: warm
 //!   submit-to-complete launch latency on one stream, and launches/sec
 //!   with the same total work spread round-robin over 1 vs N streams
@@ -406,11 +407,10 @@ fn main() {
             }
             "--engine" => {
                 i += 1;
-                engine = match args[i].as_str() {
-                    "bytecode" => Engine::Bytecode,
-                    "tree" => Engine::Tree,
-                    other => {
-                        eprintln!("unknown engine: {other} (expected tree or bytecode)");
+                engine = match Engine::parse(args[i].as_str()) {
+                    Ok(e) => e,
+                    Err(e) => {
+                        eprintln!("--engine: {e}");
                         std::process::exit(2);
                     }
                 };

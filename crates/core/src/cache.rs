@@ -16,13 +16,13 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use crate::sync::{Mutex, RwLock};
 
 use dpvk_ptx as ptx;
-use dpvk_vm::{BytecodeProgram, CostInfo, FrameLayout, MachineModel};
+use dpvk_vm::{BytecodeProgram, CostInfo, FrameLayout, JitProgram, MachineModel};
 
 use dpvk_trace::timeline::SpanKind;
 
@@ -88,6 +88,36 @@ pub struct CompiledKernel {
     pub pre_opt_instructions: usize,
     /// Static instruction count after optimization.
     pub post_opt_instructions: usize,
+    /// The bytecode JIT-compiled to native x86-64, emitted lazily on the
+    /// first `Engine::Jit` warp and cached here alongside the bytecode
+    /// (`None` once emission has been tried and declined).
+    jit: OnceLock<Option<Arc<JitProgram>>>,
+}
+
+impl CompiledKernel {
+    /// The native-code form of this specialization, emitting it on first
+    /// request. Returns `None` when the host cannot run JIT code or the
+    /// program has no native lowering; callers fall back to
+    /// [`CompiledKernel::bytecode`].
+    pub fn jit(&self, kernel: &str) -> Option<&Arc<JitProgram>> {
+        self.jit
+            .get_or_init(|| {
+                let span = flight::span_start();
+                let _phase = dpvk_trace::phase(kernel, "jit:emit");
+                let program = dpvk_vm::jit_compile(&self.bytecode).map(Arc::new);
+                if let Some(jit) = &program {
+                    let s = jit.emit_stats();
+                    dpvk_trace::add(dpvk_trace::Counter::JitCodeBytes, s.code_bytes);
+                    dpvk_trace::add(dpvk_trace::Counter::JitTemplateUops, s.template_uops);
+                    dpvk_trace::add(dpvk_trace::Counter::JitHelperUops, s.helper_uops);
+                    if let Some(start) = span {
+                        flight::emit_span(SpanKind::JitEmit, kernel, start, s.code_bytes);
+                    }
+                }
+                program
+            })
+            .as_ref()
+    }
 }
 
 /// Cache statistics.
@@ -380,6 +410,7 @@ impl TranslationCache {
             bytecode,
             pre_opt_instructions,
             post_opt_instructions,
+            jit: OnceLock::new(),
         });
         let elapsed = start.elapsed().as_nanos() as u64;
         dpvk_trace::record_compile(kernel, warp_size, variant.label(), elapsed);

@@ -62,9 +62,9 @@ pub enum FormationPolicy {
     Static,
 }
 
-/// Which guest interpreter runs warp bodies. Both engines execute the
-/// same compiled specialization and charge modeled cycles identically;
-/// they differ only in host-side speed.
+/// Which guest engine runs warp bodies. All engines execute the same
+/// compiled specialization and charge modeled cycles identically; they
+/// differ only in host-side speed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Engine {
     /// The pre-decoded linear-bytecode engine (default): operands
@@ -75,6 +75,11 @@ pub enum Engine {
     /// The tree-walking interpreter over the IR, kept as the
     /// differential oracle for the bytecode engine.
     Tree,
+    /// The native tier: the µop stream copy-and-patch compiled to
+    /// x86-64 in-process, cached per specialization in the translation
+    /// cache. Falls back to the bytecode engine per warp when the host
+    /// cannot emit native code.
+    Jit,
 }
 
 impl Engine {
@@ -83,23 +88,63 @@ impl Engine {
         match self {
             Engine::Bytecode => "bytecode",
             Engine::Tree => "tree",
+            Engine::Jit => "jit",
+        }
+    }
+
+    /// Parse an engine name as accepted by `DPVK_ENGINE` and the
+    /// benchmark `--engine` flags.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownEngineError`] (listing the valid names) for
+    /// anything other than `bytecode`, `tree`, or `jit`.
+    pub fn parse(name: &str) -> Result<Self, UnknownEngineError> {
+        match name {
+            "bytecode" => Ok(Engine::Bytecode),
+            "tree" => Ok(Engine::Tree),
+            "jit" => Ok(Engine::Jit),
+            other => Err(UnknownEngineError { value: other.to_string() }),
         }
     }
 
     /// The session default: `Engine::default()` unless overridden by
-    /// `DPVK_ENGINE={tree,bytecode}`. The env hook lets CI rerun a whole
-    /// reproduction binary on the tree-walk oracle and diff its output
+    /// `DPVK_ENGINE={bytecode,tree,jit}`. The env hook lets CI rerun a
+    /// whole reproduction binary on another engine and diff its output
     /// against the bytecode engine without per-binary flags. Read once;
     /// explicit `with_engine` calls are unaffected.
+    ///
+    /// # Panics
+    ///
+    /// Panics (fail-fast, with the [`UnknownEngineError`] message) when
+    /// `DPVK_ENGINE` is set to an unrecognized name: a typo must surface
+    /// at startup, not silently select the default engine.
     pub fn from_env() -> Self {
         static CHOICE: std::sync::OnceLock<Engine> = std::sync::OnceLock::new();
-        *CHOICE.get_or_init(|| match std::env::var("DPVK_ENGINE").as_deref() {
-            Ok("tree") => Engine::Tree,
-            Ok("bytecode") | Err(_) => Engine::Bytecode,
-            Ok(other) => panic!("DPVK_ENGINE={other}: expected `tree` or `bytecode`"),
+        *CHOICE.get_or_init(|| match std::env::var("DPVK_ENGINE") {
+            Err(_) => Engine::default(),
+            Ok(value) => match Engine::parse(&value) {
+                Ok(engine) => engine,
+                Err(e) => panic!("DPVK_ENGINE: {e}"),
+            },
         })
     }
 }
+
+/// An engine name that is not one of the recognized engines; see
+/// [`Engine::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownEngineError {
+    value: String,
+}
+
+impl std::fmt::Display for UnknownEngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown engine `{}`: expected `bytecode`, `tree`, or `jit`", self.value)
+    }
+}
+
+impl std::error::Error for UnknownEngineError {}
 
 /// Modeled cycle charges for execution-manager work (the "EM" bars of the
 /// paper's Figure 9).

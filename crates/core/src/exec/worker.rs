@@ -24,8 +24,8 @@ use std::time::Instant;
 use dpvk_ir::ResumeStatus;
 use dpvk_trace::timeline::{self, SpanKind};
 use dpvk_vm::{
-    execute_warp_bytecode, execute_warp_framed, GlobalMem, MemAccess, RegFrame, ThreadContext,
-    VmError,
+    execute_warp_bytecode, execute_warp_framed, execute_warp_jit, GlobalMem, MemAccess, RegFrame,
+    ThreadContext, VmError,
 };
 
 use crate::cache::{CompiledKernel, TranslationCache, Variant};
@@ -541,12 +541,25 @@ fn run_cta(
         #[cfg(feature = "fault-inject")]
         crate::faults::maybe_slow_warp(cta_flat);
 
+        // Resolve the native code for this specialization up front (the
+        // first warp pays the emit; the rest hit the per-kernel cache).
+        // `None` — unsupported host or no native lowering — degrades the
+        // warp to the bytecode engine.
+        let jit = match config.engine {
+            Engine::Jit => compiled.jit(kernel),
+            Engine::Bytecode | Engine::Tree => None,
+        };
         // Count the dispatch before executing: a warp that faults or is
         // cancelled mid-body was still dispatched to its engine.
         if tracing {
             let engine_counter = match config.engine {
                 Engine::Bytecode => dpvk_trace::Counter::WarpsBytecode,
                 Engine::Tree => dpvk_trace::Counter::WarpsTree,
+                Engine::Jit if jit.is_some() => dpvk_trace::Counter::WarpsJit,
+                Engine::Jit => {
+                    dpvk_trace::add(dpvk_trace::Counter::JitFallbackWarps, 1);
+                    dpvk_trace::Counter::WarpsBytecode
+                }
             };
             dpvk_trace::add(engine_counter, 1);
         }
@@ -557,8 +570,9 @@ fn run_cta(
             param: &req.param,
             cbank: &req.cbank,
         };
-        let outcome = match config.engine {
-            Engine::Bytecode => execute_warp_bytecode(
+        let outcome = match (config.engine, jit) {
+            (Engine::Jit, Some(jit)) => execute_warp_jit(
+                jit,
                 &compiled.bytecode,
                 &mut scratch.frame,
                 &mut scratch.warp,
@@ -568,7 +582,17 @@ fn run_cta(
                 &config.limits,
                 Some(cancel),
             ),
-            Engine::Tree => execute_warp_framed(
+            (Engine::Bytecode | Engine::Jit, _) => execute_warp_bytecode(
+                &compiled.bytecode,
+                &mut scratch.frame,
+                &mut scratch.warp,
+                rp,
+                &mut mem,
+                &mut stats.exec,
+                &config.limits,
+                Some(cancel),
+            ),
+            (Engine::Tree, _) => execute_warp_framed(
                 &compiled.function,
                 &compiled.frame,
                 &mut scratch.frame,

@@ -79,7 +79,7 @@ pub use dpvk_vm::CancelToken;
 pub use error::{CoreError, FaultContext};
 pub use exec::{
     run_grid, run_grid_cancellable, EmCostModel, Engine, ExecConfig, FormationPolicy, LaunchHandle,
-    LaunchStats,
+    LaunchStats, UnknownEngineError,
 };
 pub use lint::{warp_sync_lint, LintFinding};
 pub use runtime::{Device, DevicePtr, ParamValue, Stream};

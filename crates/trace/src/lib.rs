@@ -162,6 +162,20 @@ pub enum Counter {
     WarpsBytecode,
     /// Warp executions dispatched to the tree-walk oracle engine.
     WarpsTree,
+    /// Warp executions dispatched to native x86-64 code emitted by the
+    /// copy-and-patch JIT tier.
+    WarpsJit,
+    /// Bytes of executable x86-64 emitted by the JIT tier.
+    JitCodeBytes,
+    /// µops lowered through an inline machine-code template at JIT emit.
+    JitTemplateUops,
+    /// µops lowered to a call into the shared interpreter helper at JIT
+    /// emit (no inline template for the op shape).
+    JitHelperUops,
+    /// Warp executions requested under `DPVK_ENGINE=jit` that fell back
+    /// to the bytecode interpreter (unsupported host, emit failure, or
+    /// µop-profiling active).
+    JitFallbackWarps,
     /// `Cmp`+`CondBr` pairs fused into compare-branch µops at decode.
     FusedCmpBr,
     /// Scalar `Bin`+`Bin` chains fused into one µop at decode.
@@ -201,7 +215,7 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in declaration order.
-    pub const ALL: [Counter; 40] = [
+    pub const ALL: [Counter; 45] = [
         Counter::CacheHit,
         Counter::CacheMiss,
         Counter::CacheCompileNs,
@@ -228,6 +242,11 @@ impl Counter {
         Counter::GuestDecodeNs,
         Counter::WarpsBytecode,
         Counter::WarpsTree,
+        Counter::WarpsJit,
+        Counter::JitCodeBytes,
+        Counter::JitTemplateUops,
+        Counter::JitHelperUops,
+        Counter::JitFallbackWarps,
         Counter::FusedCmpBr,
         Counter::FusedBinBin,
         Counter::FusedLoadBin,
@@ -273,6 +292,11 @@ impl Counter {
             Counter::GuestDecodeNs => "guest_decode_ns",
             Counter::WarpsBytecode => "warps_bytecode",
             Counter::WarpsTree => "warps_tree",
+            Counter::WarpsJit => "warps_jit",
+            Counter::JitCodeBytes => "jit_code_bytes",
+            Counter::JitTemplateUops => "jit_template_uops",
+            Counter::JitHelperUops => "jit_helper_uops",
+            Counter::JitFallbackWarps => "jit_fallback_warps",
             Counter::FusedCmpBr => "fused_cmp_br",
             Counter::FusedBinBin => "fused_bin_bin",
             Counter::FusedLoadBin => "fused_load_bin",

@@ -119,6 +119,9 @@ pub enum SpanKind {
     Specialize,
     /// Pre-decoding a specialization into linear bytecode.
     Decode,
+    /// Lowering a decoded specialization to native x86-64 (JIT emit,
+    /// cache-miss fill under `DPVK_ENGINE=jit`).
+    JitEmit,
     /// One worker executing one chunk of the launch's CTAs.
     Execute,
     /// Warp formation inside one chunk, coalesced into a single span.
@@ -130,11 +133,12 @@ pub enum SpanKind {
 
 impl SpanKind {
     /// Every kind, in pipeline order.
-    pub const ALL: [SpanKind; 7] = [
+    pub const ALL: [SpanKind; 8] = [
         SpanKind::QueueWait,
         SpanKind::Translate,
         SpanKind::Specialize,
         SpanKind::Decode,
+        SpanKind::JitEmit,
         SpanKind::Execute,
         SpanKind::Gather,
         SpanKind::Retire,
@@ -147,6 +151,7 @@ impl SpanKind {
             SpanKind::Translate => "translate",
             SpanKind::Specialize => "specialize",
             SpanKind::Decode => "decode",
+            SpanKind::JitEmit => "jit_emit",
             SpanKind::Execute => "execute",
             SpanKind::Gather => "gather",
             SpanKind::Retire => "retire",

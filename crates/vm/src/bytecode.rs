@@ -697,7 +697,7 @@ impl BytecodeProgram {
 /// Lane `i` of a resolved operand; width-1 slots broadcast and `Prev`
 /// yields the fused predecessor's value.
 #[inline(always)]
-fn lane(regs: &[u64], s: BSrc, i: usize, prev: u64) -> u64 {
+pub(crate) fn lane(regs: &[u64], s: BSrc, i: usize, prev: u64) -> u64 {
     match s {
         BSrc::Imm(v) => v,
         // SAFETY: slot/lane offsets were validated at decode time and
@@ -710,7 +710,7 @@ fn lane(regs: &[u64], s: BSrc, i: usize, prev: u64) -> u64 {
 
 /// Four consecutive lanes starting at `base`, as one chunk.
 #[inline(always)]
-fn read4(regs: &[u64], s: BSrc, base: usize) -> [u64; 4] {
+pub(crate) fn read4(regs: &[u64], s: BSrc, base: usize) -> [u64; 4] {
     match s {
         BSrc::Imm(v) => [v; 4],
         BSrc::Slot(o) => [regs[o as usize]; 4],
@@ -733,7 +733,7 @@ fn read4(regs: &[u64], s: BSrc, base: usize) -> [u64; 4] {
 
 /// Broadcast-write a scalar result across the register's declared width.
 #[inline(always)]
-fn set_bcast(regs: &mut [u64], dst: BDst, v: u64) {
+pub(crate) fn set_bcast(regs: &mut [u64], dst: BDst, v: u64) {
     let off = dst.off as usize;
     // SAFETY: `dst.off + dst.w` was validated at decode time.
     unsafe { regs.get_unchecked_mut(off..off + dst.w as usize) }.fill(v);
@@ -743,7 +743,7 @@ fn set_bcast(regs: &mut [u64], dst: BDst, v: u64) {
 /// hoisted into `f`'s monomorphized body, leaving the chunk loop
 /// branch-free for the autovectorizer.
 #[inline(always)]
-fn vec1(regs: &mut [u64], w: usize, doff: usize, a: BSrc, f: impl Fn(u64) -> u64) {
+pub(crate) fn vec1(regs: &mut [u64], w: usize, doff: usize, a: BSrc, f: impl Fn(u64) -> u64) {
     let mut i = 0;
     while i + 4 <= w {
         let x = read4(regs, a, i);
@@ -761,7 +761,14 @@ fn vec1(regs: &mut [u64], w: usize, doff: usize, a: BSrc, f: impl Fn(u64) -> u64
 
 /// Lane-wise binary kernel over `[u64; 4]` chunks.
 #[inline(always)]
-fn vec2(regs: &mut [u64], w: usize, doff: usize, a: BSrc, b: BSrc, f: impl Fn(u64, u64) -> u64) {
+pub(crate) fn vec2(
+    regs: &mut [u64],
+    w: usize,
+    doff: usize,
+    a: BSrc,
+    b: BSrc,
+    f: impl Fn(u64, u64) -> u64,
+) {
     let mut i = 0;
     while i + 4 <= w {
         let x = read4(regs, a, i);
@@ -780,7 +787,7 @@ fn vec2(regs: &mut [u64], w: usize, doff: usize, a: BSrc, b: BSrc, f: impl Fn(u6
 
 /// Lane-wise ternary kernel over `[u64; 4]` chunks.
 #[inline(always)]
-fn vec3(
+pub(crate) fn vec3(
     regs: &mut [u64],
     w: usize,
     doff: usize,
@@ -817,7 +824,7 @@ fn vec3(
 /// tree-walk.
 #[allow(clippy::too_many_arguments)]
 #[inline(always)]
-fn exec_bin(
+pub(crate) fn exec_bin(
     regs: &mut [u64],
     op: BinOp,
     sty: STy,
@@ -908,7 +915,7 @@ fn exec_bin(
 
 /// Element-wise unary op.
 #[inline(always)]
-fn exec_un(
+pub(crate) fn exec_un(
     regs: &mut [u64],
     op: UnOp,
     sty: STy,
@@ -1505,7 +1512,7 @@ fn exec_loop<P: UopSink>(
 /// widen-to-f64 `mul_add`, narrow once — `f64::mul_add` is correctly
 /// rounded, so the value is bit-identical to the generic path).
 #[inline(always)]
-fn exec_fma(regs: &mut [u64], sty: STy, w: u32, dst: BDst, a: BSrc, b: BSrc, c: BSrc) {
+pub(crate) fn exec_fma(regs: &mut [u64], sty: STy, w: u32, dst: BDst, a: BSrc, b: BSrc, c: BSrc) {
     if w == 1 {
         let r = fma_one(sty, lane(regs, a, 0, 0), lane(regs, b, 0, 0), lane(regs, c, 0, 0));
         set_bcast(regs, dst, r);
@@ -1535,7 +1542,7 @@ fn exec_fma(regs: &mut [u64], sty: STy, w: u32, dst: BDst, a: BSrc, b: BSrc, c: 
 
 /// One FMA lane, matching the tree-walk's `Fma` arm exactly.
 #[inline(always)]
-fn fma_one(sty: STy, x: u64, y: u64, z: u64) -> u64 {
+pub(crate) fn fma_one(sty: STy, x: u64, y: u64, z: u64) -> u64 {
     if sty.is_float() {
         f_enc(f_of(x, sty).mul_add(f_of(y, sty), f_of(z, sty)), sty)
     } else {

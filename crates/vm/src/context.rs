@@ -6,7 +6,11 @@ use dpvk_ir::EXIT_ENTRY_ID;
 /// Section 4: grid and block geometry, the thread's position, and the base
 /// of its private (local) memory. The execution manager owns one context
 /// per live thread and hands warps of them to vectorized kernels.
+/// The layout is `repr(C)` so the JIT tier (`crate::jit`) can address
+/// fields with compile-time offsets; field order is part of that
+/// contract.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[repr(C)]
 pub struct ThreadContext {
     /// Thread index within its CTA.
     pub tid: [u32; 3],

@@ -1,0 +1,1298 @@
+//! The copy-and-patch template emitter: lowers a validated
+//! [`BytecodeProgram`] to straight-line x86-64, one template per µop,
+//! with operands patched to register-frame displacements and branch
+//! targets fixed up to µop entry offsets.
+//!
+//! Fidelity contract: every template reproduces the bytecode
+//! interpreter's observable behaviour bit-for-bit — lane values funnel
+//! through the same masking/sign-extension rules, modeled cycles and
+//! stat counters charge the same amounts in the same order, and the
+//! watchdog/deadline/cancellation polls tick on the same dynamic
+//! instruction counts. µop shapes without a template (atomics,
+//! division, transcendentals, wide vectors) call back into
+//! [`crate::jit::rt::jit_step`], which re-runs the whole µop through
+//! the interpreter's own helpers; memory templates bounds-check
+//! *before* charging (a pure register read, so the reorder is
+//! unobservable) and take the same helper on the slow path so faulting
+//! accesses charge and error exactly as interpreted.
+//!
+//! Register conventions inside generated code:
+//!   r15 = &JitEnv      rbx = register-frame base
+//!   rbp = value kept live across helper calls (poll clobbers the rest)
+//!   rax/rcx/rdx/rsi/rdi/r11, xmm0-2 = scratch
+
+use std::mem::offset_of;
+
+use dpvk_ir::{BinOp, CmpPred, CtxField, ReduceOp, ResumeStatus, STy, Space, UnOp};
+
+use crate::bytecode::{
+    BDst, BSrc, BytecodeProgram, OpKind, OpMeta, SwitchVal, TermInfo, F_LOAD, F_RESTORE, F_SPILL,
+    F_STORE,
+};
+use crate::context::ThreadContext;
+use crate::jit::asm::{
+    Alu, Asm, Cc, Fixup, Sh, Sse, R11, R15, RAX, RBP, RBX, RCX, RDI, RDX, RSI, XMM0, XMM1, XMM2,
+};
+use crate::jit::rt::{
+    jit_f2i, jit_fail, jit_poll, jit_run_from, jit_step, JitEnv, FAIL_FLOAT_SWITCH, FAIL_WATCHDOG,
+    STATUS_BARRIER, STATUS_BRANCH, STATUS_EXIT,
+};
+
+/// Widest vector µop lowered lane-by-lane inline; wider ops fall back
+/// to the [`jit_step`] helper. Benchmarks run dynamic-width warps of at
+/// most 4 lanes, so 8 covers everything hot with bounded code size.
+const VEC_INLINE_MAX: u32 = 8;
+
+/// Emission counters surfaced through the trace layer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JitEmitStats {
+    /// Bytes of executable code emitted.
+    pub code_bytes: u64,
+    /// Static µops lowered to inline templates.
+    pub template_uops: u64,
+    /// Static µops routed to the interpreter-helper fallback.
+    pub helper_uops: u64,
+}
+
+// JitEnv field displacements, resolved at compile time from the
+// `repr(C)` layout.
+const ENV_REGS: i32 = offset_of!(JitEnv, regs) as i32;
+const ENV_EXECUTED: i32 = offset_of!(JitEnv, executed) as i32;
+const ENV_MAX_INSTRUCTIONS: i32 = offset_of!(JitEnv, max_instructions) as i32;
+const ENV_NEXT_POLL: i32 = offset_of!(JitEnv, next_poll) as i32;
+const ENV_CYCLES: i32 = offset_of!(JitEnv, cycles) as i32;
+const ENV_INSTRUCTIONS: i32 = offset_of!(JitEnv, instructions) as i32;
+const ENV_FLOPS: i32 = offset_of!(JitEnv, flops) as i32;
+const ENV_LOADS: i32 = offset_of!(JitEnv, loads) as i32;
+const ENV_STORES: i32 = offset_of!(JitEnv, stores) as i32;
+const ENV_RESTORE_LOADS: i32 = offset_of!(JitEnv, restore_loads) as i32;
+const ENV_RESTORE_BYTES: i32 = offset_of!(JitEnv, restore_bytes) as i32;
+const ENV_SPILL_STORES: i32 = offset_of!(JitEnv, spill_stores) as i32;
+const ENV_SPILL_BYTES: i32 = offset_of!(JitEnv, spill_bytes) as i32;
+const ENV_CYCLES_BODY: i32 = offset_of!(JitEnv, cycles_body) as i32;
+const ENV_CYCLES_YIELD: i32 = offset_of!(JitEnv, cycles_yield) as i32;
+const ENV_STATUS: i32 = offset_of!(JitEnv, status) as i32;
+const ENV_ENTRY_ID_MASKED: i32 = offset_of!(JitEnv, entry_id_masked) as i32;
+const ENV_CTXS: i32 = offset_of!(JitEnv, ctxs) as i32;
+const ENV_GLOBAL_BASE: i32 = offset_of!(JitEnv, global_base) as i32;
+const ENV_GLOBAL_LEN: i32 = offset_of!(JitEnv, global_len) as i32;
+const ENV_SHARED_BASE: i32 = offset_of!(JitEnv, shared_base) as i32;
+const ENV_SHARED_LEN: i32 = offset_of!(JitEnv, shared_len) as i32;
+const ENV_LOCAL_BASE: i32 = offset_of!(JitEnv, local_base) as i32;
+const ENV_LOCAL_LEN: i32 = offset_of!(JitEnv, local_len) as i32;
+const ENV_PARAM_BASE: i32 = offset_of!(JitEnv, param_base) as i32;
+const ENV_PARAM_LEN: i32 = offset_of!(JitEnv, param_len) as i32;
+const ENV_CONST_BASE: i32 = offset_of!(JitEnv, const_base) as i32;
+const ENV_CONST_LEN: i32 = offset_of!(JitEnv, const_len) as i32;
+
+// ThreadContext field displacements (also `repr(C)`).
+const CTX_SIZE: i32 = std::mem::size_of::<ThreadContext>() as i32;
+const CTX_TID: i32 = offset_of!(ThreadContext, tid) as i32;
+const CTX_NTID: i32 = offset_of!(ThreadContext, ntid) as i32;
+const CTX_CTAID: i32 = offset_of!(ThreadContext, ctaid) as i32;
+const CTX_NCTAID: i32 = offset_of!(ThreadContext, nctaid) as i32;
+const CTX_LOCAL_BASE: i32 = offset_of!(ThreadContext, local_base) as i32;
+const CTX_RESUME_POINT: i32 = offset_of!(ThreadContext, resume_point) as i32;
+
+const SIGN_BIT: u64 = 0x8000_0000_0000_0000;
+
+fn addr_poll() -> u64 {
+    jit_poll as unsafe extern "C" fn(*mut JitEnv) -> u32 as usize as u64
+}
+fn addr_fail() -> u64 {
+    jit_fail as unsafe extern "C" fn(*mut JitEnv, u32) -> u32 as usize as u64
+}
+fn addr_step() -> u64 {
+    jit_step as unsafe extern "C" fn(*mut JitEnv, u32) -> u32 as usize as u64
+}
+fn addr_run_from() -> u64 {
+    jit_run_from as unsafe extern "C" fn(*mut JitEnv, u32, u32) -> u32 as usize as u64
+}
+fn addr_f2i() -> u64 {
+    jit_f2i as unsafe extern "C" fn(u64, u32, u32) -> u64 as usize as u64
+}
+
+/// Emit the whole program. Returns `None` when a structural limit rules
+/// out code generation (frame too large for disp32 addressing).
+pub(crate) fn emit_program(program: &BytecodeProgram) -> Option<(Vec<u8>, JitEmitStats)> {
+    // Frame-slot and context displacements must fit disp32.
+    let max_slot_disp = (program.slots as u64 + 64) * 8;
+    let max_ctx_disp = program.warp_size as u64 * CTX_SIZE as u64 + 64;
+    if max_slot_disp > i32::MAX as u64 || max_ctx_disp > i32::MAX as u64 {
+        return None;
+    }
+    let mut e = Emitter {
+        asm: Asm::new(),
+        program,
+        uop_start: Vec::with_capacity(program.code.len()),
+        branch_fixups: Vec::new(),
+        watchdog_fixups: Vec::new(),
+        badfloat_fixups: Vec::new(),
+        err_fixups: Vec::new(),
+        ok_fixups: Vec::new(),
+        stats: JitEmitStats::default(),
+    };
+    e.prologue();
+    for idx in 0..program.code.len() {
+        let start = e.asm.here();
+        e.uop_start.push(start);
+        e.emit_op(idx as u32);
+    }
+    e.finish();
+    let mut stats = e.stats;
+    let code = e.asm.into_code();
+    stats.code_bytes = code.len() as u64;
+    Some((code, stats))
+}
+
+/// Space-specific env fields: (base offset, len offset, writable).
+fn space_offsets(space: Space) -> (i32, i32, bool) {
+    match space {
+        Space::Global => (ENV_GLOBAL_BASE, ENV_GLOBAL_LEN, true),
+        Space::Shared => (ENV_SHARED_BASE, ENV_SHARED_LEN, true),
+        Space::Local => (ENV_LOCAL_BASE, ENV_LOCAL_LEN, true),
+        Space::Param => (ENV_PARAM_BASE, ENV_PARAM_LEN, false),
+        Space::Const => (ENV_CONST_BASE, ENV_CONST_LEN, false),
+    }
+}
+
+/// Whether an integer `Bin` op has an inline template.
+fn int_bin_ok(op: BinOp) -> bool {
+    matches!(
+        op,
+        BinOp::Add
+            | BinOp::Sub
+            | BinOp::Mul
+            | BinOp::And
+            | BinOp::Or
+            | BinOp::Xor
+            | BinOp::Shl
+            | BinOp::Shr
+            | BinOp::Min
+            | BinOp::Max
+    )
+}
+
+/// Whether a float `Bin` op has an inline template. `Min`/`Max` stay on
+/// the helper: Rust `f64::min` prefers the non-NaN operand, `minsd`
+/// does not.
+fn float_bin_ok(op: BinOp) -> bool {
+    matches!(
+        op,
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::And | BinOp::Or | BinOp::Xor
+    )
+}
+
+fn bin_ok(op: BinOp, sty: STy) -> bool {
+    if sty.is_float() {
+        float_bin_ok(op)
+    } else {
+        int_bin_ok(op)
+    }
+}
+
+fn un_ok(op: UnOp, sty: STy) -> bool {
+    if sty.is_float() {
+        matches!(op, UnOp::Neg | UnOp::Abs | UnOp::Sqrt | UnOp::Rsqrt | UnOp::Rcp)
+    } else {
+        matches!(op, UnOp::Neg | UnOp::Not | UnOp::Abs)
+    }
+}
+
+/// Whether a `Cvt` has an inline template. The one exclusion is
+/// unsigned i64 → float, whose u64 rounding `cvtsi2sd` cannot express.
+fn cvt_ok(to: STy, from: STy, signed: bool) -> bool {
+    !(to.is_float() && from == STy::I64 && !signed)
+}
+
+struct Emitter<'p> {
+    asm: Asm,
+    program: &'p BytecodeProgram,
+    /// Code offset of each µop's template (branch-fixup targets).
+    uop_start: Vec<usize>,
+    /// (fixup, target µop index) pairs patched once all µops are placed.
+    branch_fixups: Vec<(Fixup, u32)>,
+    watchdog_fixups: Vec<Fixup>,
+    badfloat_fixups: Vec<Fixup>,
+    err_fixups: Vec<Fixup>,
+    ok_fixups: Vec<Fixup>,
+    stats: JitEmitStats,
+}
+
+impl Emitter<'_> {
+    /// Frame displacement of lane `i` of the register starting at `slot`.
+    fn disp(&self, slot: u32, i: u32) -> i32 {
+        ((slot + i) * 8) as i32
+    }
+
+    fn prologue(&mut self) {
+        let a = &mut self.asm;
+        a.push(RBP);
+        a.push(RBX);
+        a.push(R15);
+        // Three pushes after the call's return address leave rsp
+        // 16-aligned at every helper call site below.
+        a.mov_rr(R15, RDI);
+        a.load(RBX, R15, ENV_REGS);
+    }
+
+    /// The interpreter's `tick!`: bump `executed`, trip the watchdog,
+    /// poll cancel/deadline when the counter crosses `next_poll`.
+    fn tick(&mut self) {
+        let a = &mut self.asm;
+        a.load(RAX, R15, ENV_EXECUTED);
+        a.alu_ri(Alu::Add, RAX, 1);
+        a.store(R15, ENV_EXECUTED, RAX);
+        a.alu_rm(Alu::Cmp, RAX, R15, ENV_MAX_INSTRUCTIONS);
+        let wd = a.jcc_fwd(Cc::A);
+        self.watchdog_fixups.push(wd);
+        let a = &mut self.asm;
+        a.alu_rm(Alu::Cmp, RAX, R15, ENV_NEXT_POLL);
+        let skip = a.jcc_fwd(Cc::B);
+        a.mov_rr(RDI, R15);
+        a.mov_ri(R11, addr_poll());
+        a.call_reg(R11);
+        a.test_rr32(RAX, RAX);
+        let err = a.jcc_fwd(Cc::Ne);
+        self.err_fixups.push(err);
+        self.asm.bind(skip);
+    }
+
+    /// The interpreter's `charge!`: tick, then accumulate the µop's
+    /// modeled cycles, flops, and memory-traffic stats.
+    fn charge(&mut self, meta: OpMeta) {
+        self.tick();
+        let a = &mut self.asm;
+        if meta.cost != 0 {
+            a.alu_mi(Alu::Add, R15, ENV_CYCLES, meta.cost as i32);
+        }
+        if meta.flops != 0 {
+            a.alu_mi(Alu::Add, R15, ENV_FLOPS, meta.flops as i32);
+        }
+        if meta.flags & F_LOAD != 0 {
+            a.alu_mi(Alu::Add, R15, ENV_LOADS, 1);
+            if meta.flags & F_RESTORE != 0 {
+                a.alu_mi(Alu::Add, R15, ENV_RESTORE_LOADS, 1);
+                a.alu_mi(Alu::Add, R15, ENV_RESTORE_BYTES, meta.bytes as i32);
+            }
+        }
+        if meta.flags & F_STORE != 0 {
+            a.alu_mi(Alu::Add, R15, ENV_STORES, 1);
+            if meta.flags & F_SPILL != 0 {
+                a.alu_mi(Alu::Add, R15, ENV_SPILL_STORES, 1);
+                a.alu_mi(Alu::Add, R15, ENV_SPILL_BYTES, meta.bytes as i32);
+            }
+        }
+    }
+
+    /// The interpreter's `retire_block!`: terminator cost joins the
+    /// running block cycles *before* the tick so a watchdog trip
+    /// discards them exactly as the interpreter does, then the block's
+    /// cycles flush to the body/yield bucket.
+    fn retire(&mut self, term: TermInfo) {
+        if term.cost != 0 {
+            self.asm.alu_mi(Alu::Add, R15, ENV_CYCLES, term.cost as i32);
+        }
+        self.tick();
+        let a = &mut self.asm;
+        if term.insts != 0 {
+            a.alu_mi(Alu::Add, R15, ENV_INSTRUCTIONS, term.insts as i32);
+        }
+        a.load(RAX, R15, ENV_CYCLES);
+        let bucket = if term.overhead { ENV_CYCLES_YIELD } else { ENV_CYCLES_BODY };
+        a.alu_mr(Alu::Add, R15, bucket, RAX);
+        a.store_imm(R15, ENV_CYCLES, 0);
+    }
+
+    /// Call `jit_step(env, idx)`: the full-µop interpreter fallback.
+    fn call_step(&mut self, idx: u32) {
+        let a = &mut self.asm;
+        a.mov_rr(RDI, R15);
+        a.mov_ri(RSI, idx as u64);
+        a.mov_ri(R11, addr_step());
+        a.call_reg(R11);
+        a.test_rr32(RAX, RAX);
+        let err = a.jcc_fwd(Cc::Ne);
+        self.err_fixups.push(err);
+    }
+
+    /// Call `jit_run_from(env, idx, comp)`: resume a run µop at a
+    /// component whose inline bounds check failed.
+    fn call_run_from(&mut self, idx: u32, comp: u32) {
+        let a = &mut self.asm;
+        a.mov_rr(RDI, R15);
+        a.mov_ri(RSI, idx as u64);
+        a.mov_ri(RDX, comp as u64);
+        a.mov_ri(R11, addr_run_from());
+        a.call_reg(R11);
+        a.test_rr32(RAX, RAX);
+        let err = a.jcc_fwd(Cc::Ne);
+        self.err_fixups.push(err);
+    }
+
+    /// Load operand lane `i` into GPR `r` (`lane()` of the interpreter:
+    /// `Slot` broadcasts, `Lanes` indexes, `Prev` reads the fused
+    /// predecessor from its register).
+    fn load_src(&mut self, r: u8, src: BSrc, i: u32, prev: Option<u8>) {
+        match src {
+            BSrc::Imm(v) => self.asm.mov_ri(r, v),
+            BSrc::Slot(s) => {
+                let d = self.disp(s, 0);
+                self.asm.load(r, RBX, d);
+            }
+            BSrc::Lanes(s) => {
+                let d = self.disp(s, i);
+                self.asm.load(r, RBX, d);
+            }
+            BSrc::Prev => {
+                let p = prev.expect("Prev operand outside a fused µop");
+                if p != r {
+                    self.asm.mov_rr(r, p);
+                }
+            }
+        }
+    }
+
+    /// Broadcast-fill all `w` declared slots of `dst` from `r`
+    /// (`set_bcast`).
+    fn store_bcast(&mut self, dst: BDst, r: u8) {
+        for j in 0..dst.w {
+            let d = self.disp(dst.off, j);
+            self.asm.store(RBX, d, r);
+        }
+    }
+
+    /// Sign-extend the `sty`-masked value in `r` to 64 bits (`sext`).
+    fn sext_reg(&mut self, r: u8, sty: STy) {
+        match sty.bits() {
+            1 => {
+                self.asm.alu_ri(Alu::And, r, 1);
+                self.asm.neg(r);
+            }
+            8 => self.asm.movsx_rr(r, r, 1),
+            16 => self.asm.movsx_rr(r, r, 2),
+            32 => self.asm.movsx_rr(r, r, 4),
+            _ => {}
+        }
+    }
+
+    /// Re-establish the masked-storage invariant on `r` (`mask_to`).
+    fn mask_reg(&mut self, r: u8, sty: STy) {
+        match sty.bits() {
+            1 => self.asm.alu_ri(Alu::And, r, 1),
+            8 => self.asm.movzx_rr(r, r, 1),
+            16 => self.asm.movzx_rr(r, r, 2),
+            32 => self.asm.mov_rr32(r, r),
+            _ => {}
+        }
+    }
+
+    /// Load a float operand into `x` as f64 (`f_of`: f32 widens through
+    /// `cvtss2sd`, which quietizes sNaN exactly like Rust `as f64`).
+    fn load_f(&mut self, x: u8, src: BSrc, i: u32, sty: STy, tmp: u8, prev: Option<u8>) {
+        self.load_src(tmp, src, i, prev);
+        self.asm.movq_xr(x, tmp);
+        if sty == STy::F32 {
+            self.asm.cvtss2sd(x, x);
+        }
+    }
+
+    /// Encode the f64 in `x` back to `sty` bits in GPR `r` (`f_enc`).
+    fn store_f(&mut self, r: u8, x: u8, sty: STy) {
+        if sty == STy::F32 {
+            self.asm.cvtsd2ss(x, x);
+            self.asm.movd_rx(r, x);
+        } else {
+            self.asm.movq_rx(r, x);
+        }
+    }
+
+    /// Write a computed lane: scalar µops broadcast-fill, vector µops
+    /// write lane `i` only.
+    fn write_lane(&mut self, dst: BDst, w: u32, i: u32, r: u8) {
+        if w == 1 {
+            self.store_bcast(dst, r);
+        } else {
+            let d = self.disp(dst.off, i);
+            self.asm.store(RBX, d, r);
+        }
+    }
+
+    /// Jump to µop `target` unless it is the fall-through successor.
+    fn emit_jump(&mut self, target: u32, idx: u32) {
+        if target == idx + 1 {
+            return;
+        }
+        let f = self.asm.jmp_fwd();
+        self.branch_fixups.push((f, target));
+    }
+
+    /// `setcc` + zero-extend (setcc writes only the low byte).
+    fn setcc_zx(&mut self, cc: Cc, r: u8) {
+        self.asm.setcc(cc, r);
+        self.asm.movzx_rr(r, r, 1);
+    }
+
+    /// Inline bounds check `addr + size <= len`: loads the address into
+    /// RAX and branches to the pushed fixups when the access would
+    /// fault (`len < size` underflow, or `addr > len - size`). Pure
+    /// register/env reads, so running it before `charge` is
+    /// unobservable; the slow path re-runs the µop through a helper
+    /// that charges and errors exactly as interpreted.
+    fn emit_bounds(&mut self, src: BSrc, i: u32, len_off: i32, size: usize, slow: &mut Vec<Fixup>) {
+        self.load_src(RAX, src, i, None);
+        self.asm.load(RCX, R15, len_off);
+        self.asm.alu_ri(Alu::Sub, RCX, size as i32);
+        slow.push(self.asm.jcc_fwd(Cc::B));
+        self.asm.alu_rr(Alu::Cmp, RAX, RCX);
+        slow.push(self.asm.jcc_fwd(Cc::A));
+    }
+
+    /// RAX ← context field for lane `l`. The context dereference clamps
+    /// to the last lane exactly like the interpreter; `LaneId` reports
+    /// the unclamped lane.
+    fn emit_ctx_field(&mut self, field: CtxField, l: u32) {
+        let warp = self.program.warp_size;
+        let base = l.min(warp - 1) as i32 * CTX_SIZE;
+        match field {
+            CtxField::Tid(d) => self.ctx_load32(base + CTX_TID + d as i32 * 4),
+            CtxField::Ntid(d) => self.ctx_load32(base + CTX_NTID + d as i32 * 4),
+            CtxField::Ctaid(d) => self.ctx_load32(base + CTX_CTAID + d as i32 * 4),
+            CtxField::Nctaid(d) => self.ctx_load32(base + CTX_NCTAID + d as i32 * 4),
+            CtxField::LocalBase => {
+                self.asm.load(RCX, R15, ENV_CTXS);
+                self.asm.load(RAX, RCX, base + CTX_LOCAL_BASE);
+            }
+            CtxField::LaneId => self.asm.mov_ri(RAX, l as u64),
+            CtxField::WarpSize => self.asm.mov_ri(RAX, warp as u64),
+            CtxField::EntryId => self.asm.load(RAX, R15, ENV_ENTRY_ID_MASKED),
+        }
+    }
+
+    fn ctx_load32(&mut self, disp: i32) {
+        self.asm.load(RCX, R15, ENV_CTXS);
+        self.asm.load32(RAX, RCX, disp);
+    }
+
+    /// Compute one `scalar_bin` lane into RAX (clobbers RCX, and XMM0/1
+    /// for float arithmetic). Only called for `bin_ok` shapes, which
+    /// never error. Exploits the masked-storage invariant: inputs are
+    /// already `mask_to`-normalized, so wrap-then-mask replaces
+    /// sext-op-mask wherever the low bits are independent of the high
+    /// bits (add/sub/mul/shl), and masked inputs make bitwise results
+    /// and unsigned shifts/compares pre-masked.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_bin_lane(
+        &mut self,
+        op: BinOp,
+        sty: STy,
+        signed: bool,
+        a: BSrc,
+        b: BSrc,
+        i: u32,
+        prev: Option<u8>,
+    ) {
+        if sty.is_float() && !matches!(op, BinOp::And | BinOp::Or | BinOp::Xor) {
+            self.load_f(XMM0, a, i, sty, RAX, prev);
+            self.load_f(XMM1, b, i, sty, RCX, prev);
+            let sse = match op {
+                BinOp::Add => Sse::Add,
+                BinOp::Sub => Sse::Sub,
+                BinOp::Mul => Sse::Mul,
+                _ => Sse::Div,
+            };
+            self.asm.sse_sd(sse, XMM0, XMM1);
+            self.store_f(RAX, XMM0, sty);
+            return;
+        }
+        self.load_src(RAX, a, i, prev);
+        self.load_src(RCX, b, i, prev);
+        match op {
+            BinOp::Add => {
+                self.asm.alu_rr(Alu::Add, RAX, RCX);
+                self.mask_reg(RAX, sty);
+            }
+            BinOp::Sub => {
+                self.asm.alu_rr(Alu::Sub, RAX, RCX);
+                self.mask_reg(RAX, sty);
+            }
+            BinOp::Mul => {
+                self.asm.imul_rr(RAX, RCX);
+                self.mask_reg(RAX, sty);
+            }
+            BinOp::And => self.asm.alu_rr(Alu::And, RAX, RCX),
+            BinOp::Or => self.asm.alu_rr(Alu::Or, RAX, RCX),
+            BinOp::Xor => self.asm.alu_rr(Alu::Xor, RAX, RCX),
+            BinOp::Shl => {
+                self.asm.alu_ri(Alu::And, RCX, shift_mask(sty));
+                self.asm.shift_cl(Sh::Shl, RAX);
+                self.mask_reg(RAX, sty);
+            }
+            BinOp::Shr => {
+                if signed {
+                    self.sext_reg(RAX, sty);
+                }
+                self.asm.alu_ri(Alu::And, RCX, shift_mask(sty));
+                self.asm.shift_cl(if signed { Sh::Sar } else { Sh::Shr }, RAX);
+                if signed {
+                    self.mask_reg(RAX, sty);
+                }
+            }
+            BinOp::Min | BinOp::Max => {
+                if signed {
+                    self.sext_reg(RAX, sty);
+                    self.sext_reg(RCX, sty);
+                }
+                self.asm.alu_rr(Alu::Cmp, RAX, RCX);
+                let cc = match (op, signed) {
+                    (BinOp::Min, true) => Cc::G,
+                    (BinOp::Min, false) => Cc::A,
+                    (BinOp::Max, true) => Cc::L,
+                    _ => Cc::B,
+                };
+                self.asm.cmov(cc, RAX, RCX);
+                if signed {
+                    self.mask_reg(RAX, sty);
+                }
+            }
+            _ => unreachable!("µop without an inline template reached emit_bin_lane"),
+        }
+    }
+
+    /// Compute one `scalar_un` lane into RAX. Only `un_ok` shapes.
+    fn emit_un_lane(&mut self, op: UnOp, sty: STy, a: BSrc, i: u32) {
+        if sty.is_float() {
+            match op {
+                UnOp::Neg | UnOp::Abs => {
+                    // Sign-bit ops; f32 still takes the widen/narrow
+                    // dance so sNaN quietizes exactly like `f_of`/`f_enc`.
+                    if sty == STy::F32 {
+                        self.load_f(XMM0, a, i, sty, RAX, None);
+                        self.asm.movq_rx(RAX, XMM0);
+                    } else {
+                        self.load_src(RAX, a, i, None);
+                    }
+                    if op == UnOp::Neg {
+                        self.asm.mov_ri(RCX, SIGN_BIT);
+                        self.asm.alu_rr(Alu::Xor, RAX, RCX);
+                    } else {
+                        self.asm.mov_ri(RCX, !SIGN_BIT);
+                        self.asm.alu_rr(Alu::And, RAX, RCX);
+                    }
+                    if sty == STy::F32 {
+                        self.asm.movq_xr(XMM0, RAX);
+                        self.store_f(RAX, XMM0, sty);
+                    }
+                }
+                UnOp::Sqrt => {
+                    self.load_f(XMM0, a, i, sty, RAX, None);
+                    self.asm.sse_sd(Sse::Sqrt, XMM0, XMM0);
+                    self.store_f(RAX, XMM0, sty);
+                }
+                UnOp::Rsqrt | UnOp::Rcp => {
+                    self.load_f(XMM0, a, i, sty, RAX, None);
+                    if op == UnOp::Rsqrt {
+                        self.asm.sse_sd(Sse::Sqrt, XMM0, XMM0);
+                    }
+                    self.asm.mov_ri(RAX, 1.0f64.to_bits());
+                    self.asm.movq_xr(XMM1, RAX);
+                    self.asm.sse_sd(Sse::Div, XMM1, XMM0);
+                    self.store_f(RAX, XMM1, sty);
+                }
+                _ => unreachable!("µop without an inline template reached emit_un_lane"),
+            }
+            return;
+        }
+        self.load_src(RAX, a, i, None);
+        match op {
+            UnOp::Neg => {
+                self.asm.neg(RAX);
+                self.mask_reg(RAX, sty);
+            }
+            UnOp::Not => {
+                if sty == STy::I1 {
+                    self.asm.alu_ri(Alu::And, RAX, 1);
+                    self.asm.alu_ri(Alu::Xor, RAX, 1);
+                } else {
+                    self.asm.not(RAX);
+                    self.mask_reg(RAX, sty);
+                }
+            }
+            UnOp::Abs => {
+                // wrapping_abs via the sar/xor/sub identity.
+                self.sext_reg(RAX, sty);
+                self.asm.mov_rr(RCX, RAX);
+                self.asm.shift_ri(Sh::Sar, RCX, 63);
+                self.asm.alu_rr(Alu::Xor, RAX, RCX);
+                self.asm.alu_rr(Alu::Sub, RAX, RCX);
+                self.mask_reg(RAX, sty);
+            }
+            _ => unreachable!("µop without an inline template reached emit_un_lane"),
+        }
+    }
+
+    /// Compute one `scalar_cmp` lane (0/1) into RAX; clobbers RCX and
+    /// XMM0/1 for floats.
+    fn emit_cmp_lane(&mut self, pred: CmpPred, sty: STy, signed: bool, a: BSrc, b: BSrc, i: u32) {
+        if sty.is_float() {
+            // `ucomisd` raises CF/ZF/PF on unordered; `a`/`ae` are
+            // false then (NaN compares false), and Lt/Le swap operands
+            // to reuse the same conditions. Eq must also reject
+            // unordered (PF), Ne must accept it.
+            self.load_f(XMM0, a, i, sty, RAX, None);
+            self.load_f(XMM1, b, i, sty, RCX, None);
+            match pred {
+                CmpPred::Gt => {
+                    self.asm.ucomisd(XMM0, XMM1);
+                    self.setcc_zx(Cc::A, RAX);
+                }
+                CmpPred::Ge => {
+                    self.asm.ucomisd(XMM0, XMM1);
+                    self.setcc_zx(Cc::Ae, RAX);
+                }
+                CmpPred::Lt => {
+                    self.asm.ucomisd(XMM1, XMM0);
+                    self.setcc_zx(Cc::A, RAX);
+                }
+                CmpPred::Le => {
+                    self.asm.ucomisd(XMM1, XMM0);
+                    self.setcc_zx(Cc::Ae, RAX);
+                }
+                CmpPred::Eq => {
+                    self.asm.ucomisd(XMM0, XMM1);
+                    self.setcc_zx(Cc::E, RAX);
+                    self.setcc_zx(Cc::Np, RCX);
+                    self.asm.alu_rr(Alu::And, RAX, RCX);
+                }
+                CmpPred::Ne => {
+                    self.asm.ucomisd(XMM0, XMM1);
+                    self.setcc_zx(Cc::Ne, RAX);
+                    self.setcc_zx(Cc::P, RCX);
+                    self.asm.alu_rr(Alu::Or, RAX, RCX);
+                }
+            }
+            return;
+        }
+        self.load_src(RAX, a, i, None);
+        self.load_src(RCX, b, i, None);
+        if signed {
+            self.sext_reg(RAX, sty);
+            self.sext_reg(RCX, sty);
+        }
+        self.asm.alu_rr(Alu::Cmp, RAX, RCX);
+        let cc = match (pred, signed) {
+            (CmpPred::Eq, _) => Cc::E,
+            (CmpPred::Ne, _) => Cc::Ne,
+            (CmpPred::Lt, true) => Cc::L,
+            (CmpPred::Le, true) => Cc::Le,
+            (CmpPred::Gt, true) => Cc::G,
+            (CmpPred::Ge, true) => Cc::Ge,
+            (CmpPred::Lt, false) => Cc::B,
+            (CmpPred::Le, false) => Cc::Be,
+            (CmpPred::Gt, false) => Cc::A,
+            (CmpPred::Ge, false) => Cc::Ae,
+        };
+        self.setcc_zx(cc, RAX);
+    }
+
+    /// Compute one `scalar_cvt` lane into RAX.
+    fn emit_cvt_lane(&mut self, to: STy, from: STy, signed: bool, a: BSrc, i: u32) {
+        if from.is_float() {
+            if to.is_float() {
+                if from == STy::F64 && to == STy::F64 {
+                    // f64 → f64 is the identity.
+                    self.load_src(RAX, a, i, None);
+                } else {
+                    // Widen/narrow dance; f32 → f32 keeps it so sNaN
+                    // quietizes exactly like the interpreter's
+                    // `f_enc(f_of(x))` round trip.
+                    self.load_f(XMM0, a, i, from, RAX, None);
+                    self.store_f(RAX, XMM0, to);
+                }
+                return;
+            }
+            // float → int: `cvttsd2si` fast path; the i64::MIN sentinel
+            // (overflow/NaN) — or any negative result for unsigned —
+            // takes the saturating `jit_f2i` helper, which returns the
+            // Rust `as`-cast value already masked.
+            self.load_f(XMM0, a, i, from, RAX, None);
+            self.asm.cvttsd2si(RAX, XMM0);
+            let slow = if signed {
+                self.asm.mov_ri(RCX, i64::MIN as u64);
+                self.asm.alu_rr(Alu::Cmp, RAX, RCX);
+                self.asm.jcc_fwd(Cc::E)
+            } else {
+                self.asm.test_rr(RAX, RAX);
+                self.asm.jcc_fwd(Cc::S)
+            };
+            self.mask_reg(RAX, to);
+            let done = self.asm.jmp_fwd();
+            self.asm.bind(slow);
+            self.asm.movq_rx(RDI, XMM0);
+            self.asm.mov_ri(RSI, to.bits() as u64);
+            self.asm.mov_ri(RDX, signed as u64);
+            self.asm.mov_ri(R11, addr_f2i());
+            self.asm.call_reg(R11);
+            self.asm.bind(done);
+            return;
+        }
+        self.load_src(RAX, a, i, None);
+        if to.is_float() {
+            if signed {
+                self.sext_reg(RAX, from);
+            }
+            // Unsigned sources below i64 are masked, hence
+            // non-negative, so the signed convert is exact; unsigned
+            // i64 is excluded by `cvt_ok`. The f32 narrow reproduces
+            // the interpreter's double rounding through f64.
+            self.asm.cvtsi2sd(XMM0, RAX);
+            self.store_f(RAX, XMM0, to);
+        } else {
+            if signed {
+                self.sext_reg(RAX, from);
+            }
+            self.mask_reg(RAX, to);
+        }
+    }
+}
+
+/// `scalar_bin`'s shift-amount mask for `sty`.
+fn shift_mask(sty: STy) -> i32 {
+    (sty.bits() - 1).max(1) as i32
+}
+
+impl Emitter<'_> {
+    /// Lower µop `idx`: an inline template when one applies, otherwise
+    /// the whole-µop interpreter helper.
+    fn emit_op(&mut self, idx: u32) {
+        let op = self.program.code[idx as usize];
+        if self.try_emit(idx, op.kind, op.meta) {
+            self.stats.template_uops += 1;
+        } else {
+            self.stats.helper_uops += 1;
+            self.call_step(idx);
+        }
+    }
+
+    /// Emit an inline template for the µop if its shape has one.
+    /// Returns false (emitting nothing) otherwise; terminators always
+    /// inline.
+    fn try_emit(&mut self, idx: u32, kind: OpKind, meta: OpMeta) -> bool {
+        match kind {
+            OpKind::Bin { op, sty, signed, w, dst, a, b } => {
+                if !bin_ok(op, sty) || w > VEC_INLINE_MAX {
+                    return false;
+                }
+                self.charge(meta);
+                for i in 0..w {
+                    self.emit_bin_lane(op, sty, signed, a, b, i, None);
+                    self.write_lane(dst, w, i, RAX);
+                }
+                true
+            }
+            OpKind::Un { op, sty, w, dst, a } => {
+                if !un_ok(op, sty) || w > VEC_INLINE_MAX {
+                    return false;
+                }
+                self.charge(meta);
+                for i in 0..w {
+                    self.emit_un_lane(op, sty, a, i);
+                    self.write_lane(dst, w, i, RAX);
+                }
+                true
+            }
+            OpKind::Fma { sty, w, dst, a, b, c } => {
+                if w > VEC_INLINE_MAX {
+                    return false;
+                }
+                self.charge(meta);
+                for i in 0..w {
+                    if sty.is_float() {
+                        self.load_f(XMM0, a, i, sty, RAX, None);
+                        self.load_f(XMM1, b, i, sty, RAX, None);
+                        self.load_f(XMM2, c, i, sty, RAX, None);
+                        // One fused rounding — `vfmadd213sd` is the
+                        // hardware twin of `f64::mul_add`.
+                        self.asm.vfmadd213sd(XMM0, XMM1, XMM2);
+                        self.store_f(RAX, XMM0, sty);
+                    } else {
+                        // Low bits of mul/add are independent of the
+                        // high bits, so the interpreter's
+                        // sext·sext+sext reduces to wrap-and-mask.
+                        self.load_src(RAX, a, i, None);
+                        self.load_src(RCX, b, i, None);
+                        self.asm.imul_rr(RAX, RCX);
+                        self.load_src(RCX, c, i, None);
+                        self.asm.alu_rr(Alu::Add, RAX, RCX);
+                        self.mask_reg(RAX, sty);
+                    }
+                    self.write_lane(dst, w, i, RAX);
+                }
+                true
+            }
+            OpKind::Cmp { pred, sty, signed, w, dst, a, b } => {
+                if w > VEC_INLINE_MAX {
+                    return false;
+                }
+                self.charge(meta);
+                for i in 0..w {
+                    self.emit_cmp_lane(pred, sty, signed, a, b, i);
+                    self.write_lane(dst, w, i, RAX);
+                }
+                true
+            }
+            OpKind::Select { w, dst, cond, a, b } => {
+                if w > VEC_INLINE_MAX {
+                    return false;
+                }
+                self.charge(meta);
+                for i in 0..w {
+                    self.load_src(RAX, cond, i, None);
+                    self.load_src(RCX, a, i, None);
+                    self.load_src(RDX, b, i, None);
+                    self.asm.test_ri(RAX, 1);
+                    self.asm.cmov(Cc::E, RCX, RDX);
+                    self.write_lane(dst, w, i, RCX);
+                }
+                true
+            }
+            OpKind::Cvt { to, from, signed, w, dst, a } => {
+                if !cvt_ok(to, from, signed) || w > VEC_INLINE_MAX {
+                    return false;
+                }
+                self.charge(meta);
+                for i in 0..w {
+                    self.emit_cvt_lane(to, from, signed, a, i);
+                    self.write_lane(dst, w, i, RAX);
+                }
+                true
+            }
+            OpKind::Load { sty, space, dst, addr } => {
+                let (base_off, len_off, _) = space_offsets(space);
+                let size = sty.size_bytes();
+                let mut slow = Vec::new();
+                self.emit_bounds(addr, 0, len_off, size, &mut slow);
+                self.charge(meta);
+                // Reload the address: the poll call inside charge
+                // clobbers the scratch registers.
+                self.load_src(RAX, addr, 0, None);
+                self.asm.load(RDX, R15, base_off);
+                self.asm.load_index(RCX, RDX, RAX, size as u8);
+                if sty == STy::I1 {
+                    self.asm.alu_ri(Alu::And, RCX, 1);
+                }
+                self.store_bcast(dst, RCX);
+                let done = self.asm.jmp_fwd();
+                for f in slow {
+                    self.asm.bind(f);
+                }
+                self.call_step(idx);
+                self.asm.bind(done);
+                true
+            }
+            OpKind::Store { sty, space, addr, value } => {
+                let (base_off, len_off, writable) = space_offsets(space);
+                if !writable {
+                    // Read-only space: the helper charges, then errors
+                    // identically to the interpreter.
+                    return false;
+                }
+                let size = sty.size_bytes();
+                let mut slow = Vec::new();
+                self.emit_bounds(addr, 0, len_off, size, &mut slow);
+                self.charge(meta);
+                self.load_src(RAX, addr, 0, None);
+                self.load_src(RCX, value, 0, None);
+                self.asm.load(RDX, R15, base_off);
+                self.asm.store_index(RDX, RAX, RCX, size as u8);
+                let done = self.asm.jmp_fwd();
+                for f in slow {
+                    self.asm.bind(f);
+                }
+                self.call_step(idx);
+                self.asm.bind(done);
+                true
+            }
+            OpKind::Insert { w, dst, vec, elem, lane: l } => {
+                if w > VEC_INLINE_MAX {
+                    return false;
+                }
+                self.charge(meta);
+                // Element first, then the initializer copy, then the
+                // lane write — the interpreter's exact order.
+                self.load_src(RAX, elem, 0, None);
+                if let Some(v) = vec {
+                    for i in 0..w {
+                        self.load_src(RCX, v, i, None);
+                        let d = self.disp(dst.off, i);
+                        self.asm.store(RBX, d, RCX);
+                    }
+                }
+                let d = self.disp(dst.off, l);
+                self.asm.store(RBX, d, RAX);
+                true
+            }
+            OpKind::Extract { dst, vec, lane: l } => {
+                self.charge(meta);
+                self.load_src(RAX, vec, l, None);
+                self.store_bcast(dst, RAX);
+                true
+            }
+            OpKind::Splat { dst, a } | OpKind::MovScalar { dst, a } | OpKind::Vote { dst, a } => {
+                self.charge(meta);
+                self.load_src(RAX, a, 0, None);
+                if matches!(kind, OpKind::Vote { .. }) {
+                    self.asm.alu_ri(Alu::And, RAX, 1);
+                }
+                self.store_bcast(dst, RAX);
+                true
+            }
+            OpKind::Reduce { op: rop, sty, w, dst, vec } => {
+                if w > VEC_INLINE_MAX {
+                    return false;
+                }
+                self.charge(meta);
+                match rop {
+                    ReduceOp::Add => {
+                        self.asm.mov_ri(RAX, 0);
+                        for i in 0..w {
+                            self.load_src(RCX, vec, i, None);
+                            self.mask_reg(RCX, sty);
+                            self.asm.alu_rr(Alu::Add, RAX, RCX);
+                        }
+                        self.mask_reg(RAX, STy::I32);
+                    }
+                    // Bit 0 of the AND/OR fold is the all/any of the
+                    // lanes' bit 0.
+                    ReduceOp::All | ReduceOp::Any => {
+                        let fold = if matches!(rop, ReduceOp::All) { Alu::And } else { Alu::Or };
+                        self.load_src(RAX, vec, 0, None);
+                        for i in 1..w {
+                            self.load_src(RCX, vec, i, None);
+                            self.asm.alu_rr(fold, RAX, RCX);
+                        }
+                        self.asm.alu_ri(Alu::And, RAX, 1);
+                    }
+                }
+                self.store_bcast(dst, RAX);
+                true
+            }
+            OpKind::CtxRead { field, lane: l, dst } => {
+                self.charge(meta);
+                self.emit_ctx_field(field, l);
+                self.store_bcast(dst, RAX);
+                true
+            }
+            OpKind::SetRpImm { lane: l, id } => {
+                self.charge(meta);
+                self.asm.load(RCX, R15, ENV_CTXS);
+                self.asm.mov_ri(RAX, id as u64);
+                self.asm.store(RCX, l as i32 * CTX_SIZE + CTX_RESUME_POINT, RAX);
+                true
+            }
+            OpKind::SetRpReg { lane: l, slot, sty } => {
+                self.charge(meta);
+                let d = self.disp(slot, 0);
+                self.asm.load(RAX, RBX, d);
+                self.sext_reg(RAX, sty);
+                self.asm.load(RCX, R15, ENV_CTXS);
+                self.asm.store(RCX, l as i32 * CTX_SIZE + CTX_RESUME_POINT, RAX);
+                true
+            }
+            OpKind::SetStatus { status } => {
+                self.charge(meta);
+                let code = match status {
+                    ResumeStatus::Branch => STATUS_BRANCH,
+                    ResumeStatus::Barrier => STATUS_BARRIER,
+                    ResumeStatus::Exit => STATUS_EXIT,
+                };
+                self.asm.store_imm(R15, ENV_STATUS, code as i32);
+                true
+            }
+            OpKind::MovVec { w, off, a } => {
+                if w > VEC_INLINE_MAX {
+                    return false;
+                }
+                self.charge(meta);
+                for i in 0..w {
+                    self.load_src(RAX, a, i, None);
+                    let d = self.disp(off, i);
+                    self.asm.store(RBX, d, RAX);
+                }
+                true
+            }
+            OpKind::CopyRun { n, src, sstride, dst, prefill } => {
+                for i in 0..n {
+                    self.charge(meta);
+                    let sd = self.disp(src, i * sstride);
+                    self.asm.load(RAX, RBX, sd);
+                    if i == 0 {
+                        if let Some((v, w)) = prefill {
+                            for j in 0..w {
+                                self.load_src(RCX, v, j, None);
+                                let d = self.disp(dst, j);
+                                self.asm.store(RBX, d, RCX);
+                            }
+                        }
+                    }
+                    let d = self.disp(dst, i);
+                    self.asm.store(RBX, d, RAX);
+                }
+                true
+            }
+            OpKind::LoadRun { n, sty, space, addr, dst } => {
+                let (base_off, len_off, _) = space_offsets(space);
+                let size = sty.size_bytes();
+                let mut slow: Vec<(Vec<Fixup>, u32)> = Vec::new();
+                for i in 0..n {
+                    let mut s = Vec::new();
+                    self.emit_bounds(BSrc::Lanes(addr), i, len_off, size, &mut s);
+                    slow.push((s, i));
+                    self.charge(meta);
+                    self.load_src(RAX, BSrc::Lanes(addr), i, None);
+                    self.asm.load(RDX, R15, base_off);
+                    self.asm.load_index(RCX, RDX, RAX, size as u8);
+                    if sty == STy::I1 {
+                        self.asm.alu_ri(Alu::And, RCX, 1);
+                    }
+                    let d = self.disp(dst, i);
+                    self.asm.store(RBX, d, RCX);
+                }
+                self.emit_run_slow_paths(idx, slow);
+                true
+            }
+            OpKind::StoreRun { n, sty, space, avec, atmp, val, vstride, smeta } => {
+                let (base_off, len_off, writable) = space_offsets(space);
+                if !writable {
+                    return false;
+                }
+                let size = sty.size_bytes();
+                let mut slow: Vec<(Vec<Fixup>, u32)> = Vec::new();
+                for i in 0..n {
+                    let mut s = Vec::new();
+                    self.emit_bounds(BSrc::Lanes(avec), i, len_off, size, &mut s);
+                    slow.push((s, i));
+                    self.charge(meta);
+                    self.load_src(RAX, BSrc::Lanes(avec), i, None);
+                    let d = self.disp(atmp, i);
+                    self.asm.store(RBX, d, RAX);
+                    self.charge(smeta);
+                    self.load_src(RAX, BSrc::Lanes(avec), i, None);
+                    let vd = self.disp(val, i * vstride);
+                    self.asm.load(RCX, RBX, vd);
+                    self.asm.load(RDX, R15, base_off);
+                    self.asm.store_index(RDX, RAX, RCX, size as u8);
+                }
+                self.emit_run_slow_paths(idx, slow);
+                true
+            }
+            OpKind::CtxReadRun { field, n, dst } => {
+                for i in 0..n {
+                    self.charge(meta);
+                    self.emit_ctx_field(field, i);
+                    let d = self.disp(dst, i);
+                    self.asm.store(RBX, d, RAX);
+                }
+                true
+            }
+            OpKind::BinBin {
+                op1,
+                sty1,
+                sg1,
+                a1,
+                b1,
+                dst1,
+                op2,
+                sty2,
+                sg2,
+                a2,
+                b2,
+                dst2,
+                meta2,
+            } => {
+                if !bin_ok(op1, sty1) || !bin_ok(op2, sty2) {
+                    return false;
+                }
+                self.charge(meta);
+                self.emit_bin_lane(op1, sty1, sg1, a1, b1, 0, None);
+                // v1 lives in rbp across the second charge's poll call.
+                self.asm.mov_rr(RBP, RAX);
+                if let Some(d) = dst1 {
+                    self.store_bcast(d, RBP);
+                }
+                self.charge(meta2);
+                self.emit_bin_lane(op2, sty2, sg2, a2, b2, 0, Some(RBP));
+                self.store_bcast(dst2, RAX);
+                true
+            }
+            OpKind::LoadBin { sty1, space, addr, dst1, op2, sty2, sg2, a2, b2, dst2, meta2 } => {
+                if !bin_ok(op2, sty2) {
+                    return false;
+                }
+                let (base_off, len_off, _) = space_offsets(space);
+                let size = sty1.size_bytes();
+                let mut slow = Vec::new();
+                self.emit_bounds(addr, 0, len_off, size, &mut slow);
+                self.charge(meta);
+                self.load_src(RAX, addr, 0, None);
+                self.asm.load(RDX, R15, base_off);
+                self.asm.load_index(RBP, RDX, RAX, size as u8);
+                if sty1 == STy::I1 {
+                    self.asm.alu_ri(Alu::And, RBP, 1);
+                }
+                if let Some(d) = dst1 {
+                    self.store_bcast(d, RBP);
+                }
+                self.charge(meta2);
+                self.emit_bin_lane(op2, sty2, sg2, a2, b2, 0, Some(RBP));
+                self.store_bcast(dst2, RAX);
+                let done = self.asm.jmp_fwd();
+                for f in slow {
+                    self.asm.bind(f);
+                }
+                self.call_step(idx);
+                self.asm.bind(done);
+                true
+            }
+            OpKind::CmpBr { pred, sty, signed, a, b, dst, taken, fall, term } => {
+                self.charge(meta);
+                self.emit_cmp_lane(pred, sty, signed, a, b, 0);
+                // The 0/1 result must survive the retire's poll call.
+                self.asm.mov_rr(RBP, RAX);
+                if let Some(d) = dst {
+                    self.store_bcast(d, RBP);
+                }
+                self.retire(term);
+                self.asm.test_ri(RBP, 1);
+                let f = self.asm.jcc_fwd(Cc::Ne);
+                self.branch_fixups.push((f, taken));
+                self.emit_jump(fall, idx);
+                true
+            }
+            OpKind::Br { target, term } => {
+                self.retire(term);
+                self.emit_jump(target, idx);
+                true
+            }
+            OpKind::CondBr { cond, taken, fall, term } => {
+                self.retire(term);
+                self.load_src(RAX, cond, 0, None);
+                self.asm.test_ri(RAX, 1);
+                let f = self.asm.jcc_fwd(Cc::Ne);
+                self.branch_fixups.push((f, taken));
+                self.emit_jump(fall, idx);
+                true
+            }
+            OpKind::Switch { val, cases, default, term } => {
+                self.retire(term);
+                match val {
+                    SwitchVal::BadFloat => {
+                        // Errors after the retire, like the interpreter.
+                        let f = self.asm.jmp_fwd();
+                        self.badfloat_fixups.push(f);
+                    }
+                    SwitchVal::Reg { .. } | SwitchVal::Imm(_) => {
+                        match val {
+                            SwitchVal::Reg { slot, sty } => {
+                                let d = self.disp(slot, 0);
+                                self.asm.load(RAX, RBX, d);
+                                self.sext_reg(RAX, sty);
+                            }
+                            SwitchVal::Imm(v) => self.asm.mov_ri(RAX, v as u64),
+                            SwitchVal::BadFloat => unreachable!(),
+                        }
+                        // Linear compare chain in the side table's
+                        // order, preserving the interpreter's
+                        // first-match scan.
+                        let (start, len) = cases;
+                        for ci in start..start + len {
+                            let (case, target) = self.program.cases[ci as usize];
+                            self.asm.mov_ri(RCX, case as u64);
+                            self.asm.alu_rr(Alu::Cmp, RAX, RCX);
+                            let f = self.asm.jcc_fwd(Cc::E);
+                            self.branch_fixups.push((f, target));
+                        }
+                        self.emit_jump(default, idx);
+                    }
+                }
+                true
+            }
+            OpKind::Ret { term } => {
+                self.retire(term);
+                // `status.unwrap_or(Exit)`: fill resume points unless a
+                // SetStatus recorded Branch or Barrier.
+                self.asm.load(RAX, R15, ENV_STATUS);
+                self.asm.alu_ri(Alu::Cmp, RAX, STATUS_BRANCH as i32);
+                let s1 = self.asm.jcc_fwd(Cc::E);
+                self.asm.alu_ri(Alu::Cmp, RAX, STATUS_BARRIER as i32);
+                let s2 = self.asm.jcc_fwd(Cc::E);
+                self.asm.load(RCX, R15, ENV_CTXS);
+                for l in 0..self.program.warp_size {
+                    let d = l as i32 * CTX_SIZE + CTX_RESUME_POINT;
+                    self.asm.store_imm(RCX, d, dpvk_ir::EXIT_ENTRY_ID as i32);
+                }
+                self.asm.bind(s1);
+                self.asm.bind(s2);
+                let f = self.asm.jmp_fwd();
+                self.ok_fixups.push(f);
+                true
+            }
+            OpKind::Atom { .. } | OpKind::Unsupported { .. } => false,
+        }
+    }
+
+    /// Per-component slow paths of a run µop: each bounds-check failure
+    /// re-enters the run at its component through `jit_run_from`, then
+    /// rejoins after the run.
+    fn emit_run_slow_paths(&mut self, idx: u32, slow: Vec<(Vec<Fixup>, u32)>) {
+        let mut dones = vec![self.asm.jmp_fwd()];
+        for (fs, comp) in slow {
+            for f in fs {
+                self.asm.bind(f);
+            }
+            self.call_run_from(idx, comp);
+            dones.push(self.asm.jmp_fwd());
+        }
+        for f in dones {
+            self.asm.bind(f);
+        }
+    }
+
+    /// Shared stubs and the epilogue; patches all pending fixups.
+    fn finish(&mut self) {
+        let fixups = std::mem::take(&mut self.branch_fixups);
+        for (f, target) in fixups {
+            let t = self.uop_start[target as usize];
+            self.asm.patch(f, t);
+        }
+        // Watchdog and float-switch failures funnel into jit_fail.
+        for f in std::mem::take(&mut self.watchdog_fixups) {
+            self.asm.bind(f);
+        }
+        self.asm.mov_ri(RSI, FAIL_WATCHDOG as u64);
+        let to_fail = self.asm.jmp_fwd();
+        for f in std::mem::take(&mut self.badfloat_fixups) {
+            self.asm.bind(f);
+        }
+        self.asm.mov_ri(RSI, FAIL_FLOAT_SWITCH as u64);
+        self.asm.bind(to_fail);
+        self.asm.mov_rr(RDI, R15);
+        self.asm.mov_ri(R11, addr_fail());
+        self.asm.call_reg(R11);
+        // jit_fail returned 1 in eax; fall through to the error exit,
+        // where failed helper calls also land with eax nonzero.
+        for f in std::mem::take(&mut self.err_fixups) {
+            self.asm.bind(f);
+        }
+        let to_exit = self.asm.jmp_fwd();
+        for f in std::mem::take(&mut self.ok_fixups) {
+            self.asm.bind(f);
+        }
+        self.asm.alu_rr32(Alu::Xor, RAX, RAX);
+        self.asm.bind(to_exit);
+        self.asm.pop(R15);
+        self.asm.pop(RBX);
+        self.asm.pop(RBP);
+        self.asm.ret();
+    }
+}

@@ -62,6 +62,7 @@ mod decode;
 mod error;
 mod frame;
 mod interp;
+mod jit;
 mod machine;
 mod memory;
 mod stats;
@@ -73,6 +74,7 @@ pub use cost::{inst_cost, inst_flops, term_cost, CostInfo};
 pub use error::VmError;
 pub use frame::{FrameLayout, RegFrame};
 pub use interp::{execute_warp, execute_warp_framed, ExecLimits, WarpOutcome};
+pub use jit::{compile as jit_compile, execute_warp_jit, jit_supported, JitEmitStats, JitProgram};
 pub use machine::MachineModel;
 pub use memory::{GlobalMem, MemAccess};
 pub use stats::ExecStats;

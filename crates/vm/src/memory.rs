@@ -49,6 +49,13 @@ impl GlobalMem {
         self.len
     }
 
+    /// Raw base/len of the arena, used by the JIT tier's inline
+    /// bounds-checked address computations (the JIT mirrors [`Self::check`]
+    /// in generated code).
+    pub(crate) fn raw_parts(&self) -> (*mut u8, usize) {
+        (self.base(), self.len)
+    }
+
     fn check(&self, addr: u64, size: usize) -> Result<usize, VmError> {
         let len = self.size();
         let addr_usize = addr as usize;

@@ -327,14 +327,22 @@ fn golden_launch_stats() {
     let mut blessed = Vec::new();
     for (label, config) in &configs {
         for workers in [1usize, 2, 4] {
-            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-            for src in &sources {
-                let stats = run_stats(src, &config.with_workers(workers), 64);
-                digest_stats(&mut h, &stats);
-            }
-            if bless {
-                blessed.push(format!("(\"{label}\", {workers}, {h:#018x}),"));
-            } else {
+            // Modeled results are also engine-invariant: every guest
+            // engine (tree-walk, bytecode, native JIT) must hit the same
+            // golden digest, so the whole sweep runs on all three.
+            for engine in [Engine::Bytecode, Engine::Tree, Engine::Jit] {
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for src in &sources {
+                    let stats =
+                        run_stats(src, &config.with_workers(workers).with_engine(engine), 64);
+                    digest_stats(&mut h, &stats);
+                }
+                if bless {
+                    if engine == Engine::Bytecode {
+                        blessed.push(format!("(\"{label}\", {workers}, {h:#018x}),"));
+                    }
+                    continue;
+                }
                 let expected = GOLDEN
                     .iter()
                     .find(|(l, w, _)| *l == label && *w == workers)
@@ -342,7 +350,8 @@ fn golden_launch_stats() {
                     .unwrap_or_else(|| panic!("no golden entry for ({label}, {workers})"));
                 if h != expected {
                     failures.push(format!(
-                        "({label}, workers={workers}): digest {h:#018x} != golden {expected:#018x}"
+                        "({label}, workers={workers}, {}): digest {h:#018x} != golden {expected:#018x}",
+                        engine.label(),
                     ));
                 }
             }
@@ -365,14 +374,16 @@ fn golden_launch_stats() {
 
 use dpvk::core::Engine;
 
-/// The pre-decoded bytecode engine and the tree-walk oracle must be
-/// observationally identical: random kernels — straight-line, divergent,
-/// and the fixed barrier-heavy one — produce the same memory image and
-/// bit-identical `LaunchStats` (modeled cycles included) under both,
-/// across formation policies. Seeded SplitMix64 generator, so every
-/// failure reproduces exactly.
+/// All three guest engines must be pairwise observationally identical:
+/// random kernels — straight-line, divergent, and the fixed
+/// barrier-heavy one — produce the same memory image and bit-identical
+/// `LaunchStats` (modeled cycles included) under the tree-walk oracle,
+/// the pre-decoded bytecode engine, and the native JIT tier, across
+/// formation policies. Every engine is diffed against bytecode, which
+/// gives all three pairings by transitivity. Seeded SplitMix64
+/// generator, so every failure reproduces exactly.
 #[test]
-fn bytecode_engine_matches_tree_walk_oracle() {
+fn engines_are_pairwise_identical() {
     let mut rng = Prng::new(0x00b1_7ec0_de0a_c1e5_u64);
     let mut sources: Vec<String> = Vec::new();
     for _ in 0..8 {
@@ -389,14 +400,26 @@ fn bytecode_engine_matches_tree_walk_oracle() {
     ];
     for (case, src) in sources.iter().enumerate() {
         for config in &configs {
-            let tree = config.with_engine(Engine::Tree);
             let byte = config.with_engine(Engine::Bytecode);
-            let out_tree = run(src, &tree, 32);
             let out_byte = run(src, &byte, 32);
-            assert_eq!(out_tree, out_byte, "case {case}: memory image diverged\n{src}");
-            let stats_tree = run_stats(src, &tree, 64);
             let stats_byte = run_stats(src, &byte, 64);
-            assert_eq!(stats_tree, stats_byte, "case {case}: launch stats diverged\n{src}");
+            for engine in [Engine::Tree, Engine::Jit] {
+                let other = config.with_engine(engine);
+                let out = run(src, &other, 32);
+                assert_eq!(
+                    out,
+                    out_byte,
+                    "case {case}: {} memory image diverged from bytecode\n{src}",
+                    engine.label()
+                );
+                let stats = run_stats(src, &other, 64);
+                assert_eq!(
+                    stats,
+                    stats_byte,
+                    "case {case}: {} launch stats diverged from bytecode\n{src}",
+                    engine.label()
+                );
+            }
         }
     }
 }
