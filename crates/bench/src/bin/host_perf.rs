@@ -9,10 +9,15 @@
 //!
 //! Usage:
 //!   host_perf [--quick] [--engine {bytecode,tree,jit}] [--streams N]
-//!             [--out PATH] [--before PATH] [--check PATH]
+//!             [--cold-start] [--out PATH] [--before PATH] [--check PATH]
 //!             [--timeline] [--profile]
 //!
 //! * `--quick` — reduced repeat counts (CI smoke configuration)
+//! * `--cold-start` — additionally measure first-launch latency on a
+//!   fresh device with an empty persistent cache directory (cold:
+//!   parse + translate + specialize) vs a fresh device over the
+//!   populated directory (warm restart: rehydrate artifacts from disk),
+//!   and report the speedup
 //! * `--engine E` — guest engine to benchmark: `bytecode` (the
 //!   pre-decoded default), `tree` (the tree-walk oracle), or `jit`
 //!   (the native copy-and-patch tier)
@@ -109,6 +114,55 @@ fn bench_one(name: &str, workers: usize, quick: bool, engine: Engine) -> Sample 
         min_ns: samples_ns[0],
         median_ns: samples_ns[samples_ns.len() / 2],
         mean_ns: samples_ns.iter().sum::<u64>() / launches,
+    }
+}
+
+/// First-launch latency with and without the persistent translation
+/// cache populated.
+#[derive(Debug, Clone)]
+struct ColdStartSample {
+    workload: String,
+    /// Best-of-reps first launch on an empty cache directory.
+    cold_ns: u64,
+    /// Best-of-reps first launch on the directory the cold run filled.
+    warm_ns: u64,
+    /// `cold_ns / warm_ns`.
+    speedup: f64,
+}
+
+/// Measure one workload's cold-start vs warm-restart first launch.
+///
+/// Every sample uses a brand-new device, so the in-memory caches are
+/// exactly what a new process would have; only the on-disk artifact
+/// cache distinguishes cold from warm. Best-of-`reps` on both sides
+/// keeps scheduler noise out of the headline speedup.
+fn bench_cold_start(name: &str, reps: usize, engine: Engine) -> ColdStartSample {
+    let w = workload(name).expect("workload exists");
+    let config = ExecConfig::dynamic(4).with_workers(1).with_engine(engine);
+    let dir = std::env::temp_dir().join(format!("dpvk-coldstart-{name}-{}", std::process::id()));
+    let run_fresh = |persist_dir: &std::path::Path| -> u64 {
+        let dev = dpvk_core::Device::with_persist(
+            MachineModel::sandybridge_sse(),
+            HEAP,
+            Some(dpvk_core::PersistConfig::at(persist_dir)),
+        );
+        dev.register_source(&w.source()).expect("workload source parses");
+        let t = Instant::now();
+        w.run(&dev, &config).expect("cold-start run validates");
+        t.elapsed().as_nanos() as u64
+    };
+    let (mut cold, mut warm) = (u64::MAX, u64::MAX);
+    for _ in 0..reps.max(1) {
+        let _ = std::fs::remove_dir_all(&dir);
+        cold = cold.min(run_fresh(&dir));
+        warm = warm.min(run_fresh(&dir));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    ColdStartSample {
+        workload: name.to_string(),
+        cold_ns: cold,
+        warm_ns: warm,
+        speedup: cold as f64 / warm.max(1) as f64,
     }
 }
 
@@ -256,11 +310,30 @@ fn render_streams_json(r: &StreamReport) -> String {
     out
 }
 
+/// Render the `"cold_start"` JSON array. Like the stream section, the
+/// rows share no key pair with the warm-launch result lines (`cold_ns`
+/// instead of `min_ns`), so `read_results` never picks them up.
+fn render_cold_start_json(rows: &[ColdStartSample], trailing: bool) -> String {
+    let mut out = String::new();
+    out.push_str("  \"cold_start\": [\n");
+    for (i, s) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"cold_ns\": {}, \"warm_ns\": {}, \
+             \"speedup\": {:.2}}}{comma}\n",
+            s.workload, s.cold_ns, s.warm_ns, s.speedup
+        ));
+    }
+    out.push_str(if trailing { "  ],\n" } else { "  ]\n" });
+    out
+}
+
 fn render_json(
     before: Option<&[Sample]>,
     after: &[Sample],
     engine: Engine,
     streams: Option<&StreamReport>,
+    cold_start: Option<&[ColdStartSample]>,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -300,9 +373,16 @@ fn render_json(
         out.push_str("\n  ],\n");
         out.push_str("  \"speedup_median\": [\n");
         out.push_str(&speedups(|s| s.median_ns));
-        out.push_str(if streams.is_some() { "\n  ],\n" } else { "\n  ]\n" });
+        out.push_str(if streams.is_some() || cold_start.is_some() {
+            "\n  ],\n"
+        } else {
+            "\n  ]\n"
+        });
     } else {
-        emit(&mut out, "after", after, streams.is_some());
+        emit(&mut out, "after", after, streams.is_some() || cold_start.is_some());
+    }
+    if let Some(rows) = cold_start {
+        out.push_str(&render_cold_start_json(rows, streams.is_some()));
     }
     if let Some(r) = streams {
         out.push_str(&render_streams_json(r));
@@ -384,6 +464,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut engine = Engine::default();
+    let mut cold_start = false;
     let mut streams_n: Option<usize> = None;
     let mut out_path: Option<String> = None;
     let mut before_path: Option<String> = None;
@@ -394,6 +475,7 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => quick = true,
+            "--cold-start" => cold_start = true,
             "--timeline" => timeline = true,
             "--profile" => profile = true,
             "--streams" => {
@@ -469,6 +551,32 @@ fn main() {
         format_table(&["workload", "workers", "min_ns", "median_ns", "launches"], &rows)
     );
 
+    let cold_results = cold_start.then(|| {
+        let reps = if quick { 3 } else { 6 };
+        let rows: Vec<ColdStartSample> =
+            WORKLOADS.iter().map(|name| bench_cold_start(name, reps, engine)).collect();
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|s| {
+                vec![
+                    s.workload.clone(),
+                    s.cold_ns.to_string(),
+                    s.warm_ns.to_string(),
+                    format!("{:.2}x", s.speedup),
+                ]
+            })
+            .collect();
+        println!(
+            "\nCold start vs warm restart ({} engine), first-launch ns on a fresh device",
+            engine.label()
+        );
+        println!(
+            "{}",
+            format_table(&["workload", "cold_ns", "warm_restart_ns", "speedup"], &table)
+        );
+        rows
+    });
+
     let streams_report = streams_n.map(|n| {
         let r = bench_streams(n, quick, engine);
         eprintln!(
@@ -503,7 +611,13 @@ fn main() {
     if let Some(path) = out_path {
         std::fs::write(
             &path,
-            render_json(before.as_deref(), &results, engine, streams_report.as_ref()),
+            render_json(
+                before.as_deref(),
+                &results,
+                engine,
+                streams_report.as_ref(),
+                cold_results.as_deref(),
+            ),
         )
         .expect("write --out file");
         println!("wrote {path}");

@@ -28,6 +28,7 @@ use dpvk_trace::timeline::SpanKind;
 
 use crate::error::CoreError;
 use crate::flight;
+use crate::persist::{PersistConfig, PersistStore};
 use crate::translate::{translate, TranslatedKernel};
 use crate::vectorize::{specialize, SpecializeOptions, Specialized};
 
@@ -143,6 +144,19 @@ pub struct CacheStats {
     pub specialize_ns: u64,
     /// Nanoseconds spent decoding specialized IR to bytecode.
     pub decode_ns: u64,
+    /// Artifacts rehydrated from the persistent (disk) cache. Each
+    /// persist hit still counts as a [`miss`](CacheStats::misses) of the
+    /// in-memory cache — it just pays rehydration instead of
+    /// translation/specialization.
+    pub persist_hits: u64,
+    /// Persistent-cache lookups that found nothing (or a corrupt
+    /// artifact) and fell through to compilation.
+    pub persist_misses: u64,
+    /// Artifacts written to the persistent cache.
+    pub persist_writes: u64,
+    /// Artifacts deleted from the persistent cache enforcing its size
+    /// cap.
+    pub persist_evictions: u64,
 }
 
 impl std::fmt::Display for CacheStats {
@@ -173,6 +187,15 @@ impl std::fmt::Display for CacheStats {
                 self.decode_ns as f64 / 1e6
             )?;
         }
+        if self.persist_hits + self.persist_misses + self.persist_writes + self.persist_evictions
+            != 0
+        {
+            write!(
+                f,
+                "\npersist: {} hits, {} misses, {} writes, {} evictions",
+                self.persist_hits, self.persist_misses, self.persist_writes, self.persist_evictions
+            )?;
+        }
         Ok(())
     }
 }
@@ -195,6 +218,10 @@ struct StatCells {
     translate_ns: AtomicU64,
     specialize_ns: AtomicU64,
     decode_ns: AtomicU64,
+    persist_hits: AtomicU64,
+    persist_misses: AtomicU64,
+    persist_writes: AtomicU64,
+    persist_evictions: AtomicU64,
 }
 
 #[derive(Default)]
@@ -203,6 +230,11 @@ struct Inner {
     /// Specializations that failed to compile, memoized so each launch
     /// does not retry (and re-pay for) a known-bad compilation.
     failed: HashMap<(String, u32, Variant), CoreError>,
+    /// Persistent-cache translation key per kernel (hash of format
+    /// version × model × printed source), memoized alongside the
+    /// translation so specialization keys derive from it without
+    /// re-printing the kernel. Populated only when persistence is on.
+    persist_keys: HashMap<String, u64>,
 }
 
 /// The translation cache: kernels in, specialized functions out.
@@ -230,11 +262,23 @@ struct CacheShared {
     compiled: RwLock<HashMap<String, SpecList>>,
     inner: Mutex<Inner>,
     stats: StatCells,
+    /// Disk-backed artifact store; `None` when persistence is disabled.
+    persist: Option<PersistStore>,
 }
 
 impl TranslationCache {
-    /// Create an empty cache compiling for `model`.
+    /// Create an empty cache compiling for `model`, with the persistent
+    /// disk cache configured from the environment (see
+    /// [`PersistConfig::from_env`]).
     pub fn new(model: MachineModel) -> Self {
+        Self::with_persist(model, PersistConfig::from_env())
+    }
+
+    /// Create an empty cache compiling for `model` with explicit
+    /// persistence control: `None` keeps everything in memory, `Some`
+    /// rehydrates translations and specializations from (and stores
+    /// them to) the configured directory.
+    pub fn with_persist(model: MachineModel, persist: Option<PersistConfig>) -> Self {
         TranslationCache {
             shared: Arc::new(CacheShared {
                 model,
@@ -242,6 +286,7 @@ impl TranslationCache {
                 compiled: RwLock::new(HashMap::new()),
                 inner: Mutex::new(Inner::default()),
                 stats: StatCells::default(),
+                persist: persist.and_then(PersistStore::open),
             }),
         }
     }
@@ -288,6 +333,35 @@ impl TranslationCache {
                 .cloned()
                 .ok_or_else(|| CoreError::NotFound(format!("kernel `{kernel}`")))?
         };
+        // Persistent cache: key by format version × model × printed
+        // source, so a changed kernel body never matches a stale
+        // artifact. A disk hit skips translation entirely and charges
+        // no translate time.
+        let mut tkey = None;
+        if let Some(ps) = &self.shared.persist {
+            let source = ptx::print_kernel(&ptx_kernel);
+            let key = PersistStore::translation_key(&self.shared.model.name, &source);
+            tkey = Some(key);
+            let span = flight::span_start();
+            if let Some(tk) = ps.load_translation(kernel, key) {
+                self.shared.stats.persist_hits.fetch_add(1, Relaxed);
+                dpvk_trace::add(dpvk_trace::Counter::PersistHits, 1);
+                if let Some(s) = span {
+                    flight::emit_span(
+                        SpanKind::PersistLoad,
+                        kernel,
+                        s,
+                        tk.scalar.blocks.len() as u64,
+                    );
+                }
+                let t = Arc::new(tk);
+                let mut inner = self.shared.inner.lock();
+                inner.persist_keys.insert(kernel.to_string(), key);
+                return Ok(Arc::clone(inner.translated.entry(kernel.to_string()).or_insert(t)));
+            }
+            self.shared.stats.persist_misses.fetch_add(1, Relaxed);
+            dpvk_trace::add(dpvk_trace::Counter::PersistMisses, 1);
+        }
         let t = {
             let start = Instant::now();
             let span = flight::span_start();
@@ -299,7 +373,20 @@ impl TranslationCache {
             }
             t
         };
+        if let (Some(ps), Some(key)) = (&self.shared.persist, tkey) {
+            let span = flight::span_start();
+            let evicted = ps.store_translation(kernel, key, &t);
+            self.shared.stats.persist_writes.fetch_add(1, Relaxed);
+            self.shared.stats.persist_evictions.fetch_add(evicted, Relaxed);
+            dpvk_trace::add(dpvk_trace::Counter::PersistWrites, 1);
+            if let Some(s) = span {
+                flight::emit_span(SpanKind::PersistStore, kernel, s, t.scalar.blocks.len() as u64);
+            }
+        }
         let mut inner = self.shared.inner.lock();
+        if let Some(key) = tkey {
+            inner.persist_keys.insert(kernel.to_string(), key);
+        }
         Ok(Arc::clone(inner.translated.entry(kernel.to_string()).or_insert(t)))
     }
 
@@ -336,6 +423,9 @@ impl TranslationCache {
             dpvk_trace::record_cache_query(kernel, warp_size, variant.label(), false);
         }
         let tk = self.translated(kernel)?;
+        if let Some(compiled) = self.load_persisted_spec(kernel, warp_size, variant) {
+            return Ok(compiled);
+        }
         let start = Instant::now();
         let spec_start = Instant::now();
         let spec_span = flight::span_start();
@@ -416,6 +506,7 @@ impl TranslationCache {
         dpvk_trace::record_compile(kernel, warp_size, variant.label(), elapsed);
         self.shared.stats.misses.fetch_add(1, Relaxed);
         self.shared.stats.compile_ns.fetch_add(elapsed, Relaxed);
+        self.store_persisted_spec(kernel, warp_size, variant, &compiled);
         // Publish under the write lock; on a compile race the first
         // publication wins (both racers still count their miss, exactly
         // as the mutex-era cache did).
@@ -441,6 +532,125 @@ impl TranslationCache {
         let map = self.shared.compiled.read();
         let list = map.get(kernel)?;
         list.iter().find(|((w, v), _)| *w == warp_size && *v == variant).map(|(_, c)| Arc::clone(c))
+    }
+
+    /// Try to rehydrate a `(kernel, warp_size, variant)` specialization
+    /// from the persistent cache. Cost analysis and the frame layout
+    /// are recomputed live (they depend on the machine model, not the
+    /// artifact); the persisted program's slot count is cross-checked
+    /// against the recomputed layout and any disagreement is treated as
+    /// a miss. A hit counts as an in-memory **miss** whose `compile_ns`
+    /// is the rehydration time, so hit/miss totals stay comparable with
+    /// persistence on or off.
+    fn load_persisted_spec(
+        &self,
+        kernel: &str,
+        warp_size: u32,
+        variant: Variant,
+    ) -> Option<Arc<CompiledKernel>> {
+        let ps = self.shared.persist.as_ref()?;
+        // A planned injected fault must not be masked by a disk hit:
+        // probe first and let the normal specialize path take (and
+        // memoize) the failure.
+        #[cfg(feature = "fault-inject")]
+        if crate::faults::injected_specialize_failure(kernel, warp_size, variant).is_some() {
+            return None;
+        }
+        let tkey = {
+            let inner = self.shared.inner.lock();
+            *inner.persist_keys.get(kernel)?
+        };
+        let skey = PersistStore::spec_key(tkey, warp_size, variant.label());
+        let start = Instant::now();
+        let span = flight::span_start();
+        let Some(mut art) = ps.load_spec(kernel, skey) else {
+            self.shared.stats.persist_misses.fetch_add(1, Relaxed);
+            dpvk_trace::add(dpvk_trace::Counter::PersistMisses, 1);
+            return None;
+        };
+        let cost = CostInfo::analyze(&art.function, &self.shared.model);
+        let frame = FrameLayout::of(&art.function);
+        if frame.slots() != art.bytecode.slots() {
+            // This build lays out frames differently than the one that
+            // stored the artifact (format drift without a version
+            // bump): miss, recompile.
+            self.shared.stats.persist_misses.fetch_add(1, Relaxed);
+            dpvk_trace::add(dpvk_trace::Counter::PersistMisses, 1);
+            return None;
+        }
+        art.bytecode.attach_profile(kernel, variant.label());
+        let compiled = Arc::new(CompiledKernel {
+            function: Arc::new(art.function),
+            cost,
+            frame,
+            bytecode: art.bytecode,
+            pre_opt_instructions: art.pre_opt_instructions,
+            post_opt_instructions: art.post_opt_instructions,
+            jit: OnceLock::new(),
+        });
+        let elapsed = start.elapsed().as_nanos() as u64;
+        self.shared.stats.misses.fetch_add(1, Relaxed);
+        self.shared.stats.compile_ns.fetch_add(elapsed, Relaxed);
+        self.shared.stats.persist_hits.fetch_add(1, Relaxed);
+        dpvk_trace::add(dpvk_trace::Counter::PersistHits, 1);
+        if let Some(s) = span {
+            flight::emit_span(SpanKind::PersistLoad, kernel, s, compiled.bytecode.len() as u64);
+        }
+        let mut map = self.shared.compiled.write();
+        let list = map.entry(kernel.to_string()).or_default();
+        if let Some((_, existing)) =
+            list.iter().find(|((w, v), _)| *w == warp_size && *v == variant)
+        {
+            return Some(Arc::clone(existing));
+        }
+        list.push(((warp_size, variant), Arc::clone(&compiled)));
+        Some(compiled)
+    }
+
+    /// Persist a freshly compiled specialization (best effort). The JIT
+    /// byte count is advisory metadata: native code is emitted lazily
+    /// after compilation (and is not relocatable across processes), so
+    /// it is almost always 0 here.
+    fn store_persisted_spec(
+        &self,
+        kernel: &str,
+        warp_size: u32,
+        variant: Variant,
+        compiled: &CompiledKernel,
+    ) {
+        let Some(ps) = self.shared.persist.as_ref() else { return };
+        let tkey = {
+            let inner = self.shared.inner.lock();
+            match inner.persist_keys.get(kernel) {
+                Some(k) => *k,
+                None => return,
+            }
+        };
+        let skey = PersistStore::spec_key(tkey, warp_size, variant.label());
+        let span = flight::span_start();
+        let jit_code_bytes = compiled
+            .jit
+            .get()
+            .and_then(|o| o.as_ref())
+            .map(|j| j.emit_stats().code_bytes)
+            .unwrap_or(0);
+        let evicted = ps.store_spec(
+            kernel,
+            skey,
+            &compiled.function,
+            &compiled.bytecode,
+            crate::persist::SpecMeta {
+                pre_opt_instructions: compiled.pre_opt_instructions,
+                post_opt_instructions: compiled.post_opt_instructions,
+                jit_code_bytes,
+            },
+        );
+        self.shared.stats.persist_writes.fetch_add(1, Relaxed);
+        self.shared.stats.persist_evictions.fetch_add(evicted, Relaxed);
+        dpvk_trace::add(dpvk_trace::Counter::PersistWrites, 1);
+        if let Some(s) = span {
+            flight::emit_span(SpanKind::PersistStore, kernel, s, compiled.bytecode.len() as u64);
+        }
     }
 
     /// Run `specialize`, with the fault-injection hook (forced verify
@@ -532,6 +742,10 @@ impl TranslationCache {
             translate_ns: self.shared.stats.translate_ns.load(Relaxed),
             specialize_ns: self.shared.stats.specialize_ns.load(Relaxed),
             decode_ns: self.shared.stats.decode_ns.load(Relaxed),
+            persist_hits: self.shared.stats.persist_hits.load(Relaxed),
+            persist_misses: self.shared.stats.persist_misses.load(Relaxed),
+            persist_writes: self.shared.stats.persist_writes.load(Relaxed),
+            persist_evictions: self.shared.stats.persist_evictions.load(Relaxed),
         }
     }
 
@@ -637,6 +851,56 @@ done:
             cache.get_or_downgrade("absent", 4, Variant::Dynamic),
             Err(CoreError::NotFound(_))
         ));
+    }
+
+    #[test]
+    fn persisted_specialization_rehydrates_across_cache_instances() {
+        let dir =
+            std::env::temp_dir().join(format!("dpvk-cache-test-rehydrate-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fresh = || {
+            let c = TranslationCache::with_persist(
+                MachineModel::sandybridge_sse(),
+                Some(PersistConfig::at(&dir)),
+            );
+            c.register_module(&ptx::parse_module(SRC).unwrap());
+            c
+        };
+        let a = fresh();
+        let c1 = a.get("k", 4, Variant::Dynamic).unwrap();
+        assert!(a.stats().persist_writes >= 2, "translation + spec should be written");
+        // A fresh cache over the same directory models a restarted
+        // process: both artifacts rehydrate, no translate/specialize/
+        // decode time is charged, and the program is identical.
+        let b = fresh();
+        let c2 = b.get("k", 4, Variant::Dynamic).unwrap();
+        let stats = b.stats();
+        assert_eq!(stats.persist_hits, 2, "{stats:?}");
+        assert_eq!(stats.translate_ns, 0);
+        assert_eq!(stats.specialize_ns, 0);
+        assert_eq!(stats.decode_ns, 0);
+        assert_eq!(stats.misses, 1, "a persist hit still counts as an in-memory miss");
+        assert_eq!(*c1.function, *c2.function);
+        assert_eq!(
+            format!("{:?}", c1.bytecode),
+            format!("{:?}", c2.bytecode),
+            "rehydrated bytecode must match the compiled program exactly"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disabled_persistence_keeps_everything_in_memory() {
+        let dir =
+            std::env::temp_dir().join(format!("dpvk-cache-test-disabled-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let c = TranslationCache::with_persist(MachineModel::sandybridge_sse(), None);
+        c.register_module(&ptx::parse_module(SRC).unwrap());
+        c.get("k", 4, Variant::Dynamic).unwrap();
+        let stats = c.stats();
+        assert_eq!(stats.persist_hits + stats.persist_misses + stats.persist_writes, 0);
+        assert!(stats.translate_ns > 0);
+        assert!(!dir.exists());
     }
 
     #[test]

@@ -73,6 +73,19 @@ pub enum CoreError {
     BadLaunch(String),
     /// Device memory exhausted or bad pointer.
     Memory(String),
+    /// Device heap genuinely out of space: the request could not be
+    /// satisfied even after evicting every idle block. Distinct from
+    /// [`CoreError::Memory`] (which covers arithmetic overflow and bad
+    /// pointers) so serving layers can shed load on pool exhaustion
+    /// without misclassifying caller bugs.
+    MemoryExhausted {
+        /// Bytes the caller asked for.
+        requested: usize,
+        /// Bytes currently live on the heap.
+        live: u64,
+        /// Total heap capacity in bytes.
+        capacity: u64,
+    },
 }
 
 impl CoreError {
@@ -113,6 +126,7 @@ impl CoreError {
             CoreError::NotFound(_) => "not_found",
             CoreError::BadLaunch(_) => "bad_launch",
             CoreError::Memory(_) => "memory",
+            CoreError::MemoryExhausted { .. } => "memory_exhausted",
         }
     }
 
@@ -146,6 +160,11 @@ impl fmt::Display for CoreError {
             CoreError::NotFound(what) => write!(f, "not found: {what}"),
             CoreError::BadLaunch(m) => write!(f, "bad launch configuration: {m}"),
             CoreError::Memory(m) => write!(f, "device memory error: {m}"),
+            CoreError::MemoryExhausted { requested, live, capacity } => write!(
+                f,
+                "device heap exhausted: {requested} bytes requested, \
+                 {live} of {capacity} live after eviction"
+            ),
         }
     }
 }
@@ -267,6 +286,11 @@ mod tests {
             (CoreError::NotFound("k".into()), "not_found", false),
             (CoreError::BadLaunch("m".into()), "bad_launch", false),
             (CoreError::Memory("m".into()), "memory", false),
+            (
+                CoreError::MemoryExhausted { requested: 64, live: 0, capacity: 32 },
+                "memory_exhausted",
+                false,
+            ),
         ];
         for (err, code, retryable) in cases {
             assert_eq!(err.code(), code, "{err}");

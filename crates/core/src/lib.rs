@@ -61,6 +61,7 @@
 
 #![warn(missing_docs)]
 
+mod devmem;
 mod error;
 mod flight;
 
@@ -69,12 +70,14 @@ pub mod exec;
 #[cfg(feature = "fault-inject")]
 pub mod faults;
 pub mod lint;
+pub mod persist;
 pub mod runtime;
 pub mod sync;
 pub mod translate;
 pub mod vectorize;
 
 pub use cache::{CacheStats, CompiledKernel, TranslationCache, Variant};
+pub use devmem::MemoryStats;
 pub use dpvk_vm::CancelToken;
 pub use error::{CoreError, FaultContext};
 pub use exec::{
@@ -82,6 +85,7 @@ pub use exec::{
     LaunchStats, UnknownEngineError,
 };
 pub use lint::{warp_sync_lint, LintFinding};
-pub use runtime::{Device, DevicePtr, ParamValue, Stream};
+pub use persist::PersistConfig;
+pub use runtime::{Device, DeviceBuffer, DevicePtr, ParamValue, Stream};
 pub use translate::{translate, TranslatedKernel};
 pub use vectorize::{specialize, SpecializeOptions, Specialized};

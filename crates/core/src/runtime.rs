@@ -13,6 +13,7 @@ use dpvk_ptx as ptx;
 use dpvk_vm::{CancelToken, GlobalMem, MachineModel};
 
 use crate::cache::{CacheStats, TranslationCache};
+use crate::devmem::{DevHeap, MemoryStats};
 use crate::error::CoreError;
 use crate::exec::job::{self, InflightGauge, LaunchRequest, StreamShared};
 use crate::exec::worker::{pool_size, WorkerPool};
@@ -57,7 +58,7 @@ pub struct Device {
     model: MachineModel,
     global: Arc<GlobalMem>,
     cache: TranslationCache,
-    next_alloc: std::sync::atomic::AtomicU64,
+    heap: DevHeap,
     heap_size: u64,
     pool: WorkerPool,
     inflight: Arc<InflightGauge>,
@@ -71,13 +72,29 @@ impl Device {
     /// model's core count (so a default-config launch always has a worker
     /// per chunk).
     pub fn new(model: MachineModel, heap_size: usize) -> Self {
+        Self::with_persist(model, heap_size, crate::persist::PersistConfig::from_env())
+    }
+
+    /// [`Device::new`] with explicit control of the persistent
+    /// translation cache: `None` keeps compilation artifacts in memory
+    /// only, `Some` rehydrates translations and specializations from
+    /// (and stores them to) the configured directory. [`Device::new`]
+    /// itself configures persistence from the environment
+    /// (`DPVK_CACHE`, `DPVK_CACHE_DIR`, `DPVK_CACHE_CAP`).
+    pub fn with_persist(
+        model: MachineModel,
+        heap_size: usize,
+        persist: Option<crate::persist::PersistConfig>,
+    ) -> Self {
         dpvk_trace::init_from_env();
         let pool = WorkerPool::new(pool_size(model.cores as usize));
+        let global = GlobalMem::new(heap_size);
         Device {
-            cache: TranslationCache::new(model.clone()),
+            cache: TranslationCache::with_persist(model.clone(), persist),
             model,
-            global: GlobalMem::new(heap_size),
-            next_alloc: std::sync::atomic::AtomicU64::new(64), // keep null distinct
+            // The heap starts at offset 64 so null stays distinct.
+            heap: DevHeap::new(Arc::clone(&global), heap_size as u64),
+            global,
             heap_size: heap_size as u64,
             pool,
             inflight: Arc::new(InflightGauge::new()),
@@ -120,40 +137,48 @@ impl Device {
         Ok(())
     }
 
-    /// Allocate `size` bytes of global memory (64-byte aligned bump
-    /// allocation; freed only with the device).
+    /// Allocate `size` bytes of global memory (64-byte aligned,
+    /// zero-initialized). The block is owned by the caller until
+    /// [`Device::free`]; prefer [`Device::alloc`] for scope-tied
+    /// buffers that free themselves.
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::Memory`] when the heap is exhausted or the
-    /// rounded size overflows.
+    /// Returns [`CoreError::Memory`] when the rounded size overflows,
+    /// or [`CoreError::MemoryExhausted`] when the heap cannot satisfy
+    /// the request even after evicting idle blocks.
     pub fn malloc(&self, size: usize) -> Result<DevicePtr, CoreError> {
-        // Round up to the 64-byte alignment without wrapping: a request
-        // near `u64::MAX` must fail cleanly, not alias a live allocation.
-        let aligned = (size.max(1) as u64).checked_add(63).map(|v| v & !63).ok_or_else(|| {
-            CoreError::Memory(format!("allocation of {size} bytes overflows the address space"))
-        })?;
-        // CAS loop: a failed allocation leaves the bump pointer where it
-        // was instead of permanently burning heap (fetch_add would).
-        let mut base = self.next_alloc.load(Ordering::Relaxed);
-        loop {
-            let end =
-                base.checked_add(aligned).filter(|&e| e <= self.heap_size).ok_or_else(|| {
-                    CoreError::Memory(format!(
-                        "heap exhausted: {size} bytes requested, {base} of {} used",
-                        self.heap_size
-                    ))
-                })?;
-            match self.next_alloc.compare_exchange_weak(
-                base,
-                end,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
-                Ok(_) => return Ok(DevicePtr(base)),
-                Err(current) => base = current,
-            }
-        }
+        self.heap.alloc(size).map(DevicePtr)
+    }
+
+    /// Release a block previously returned by [`Device::malloc`] back
+    /// to the heap's free lists, making it eligible for reuse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Memory`] on a pointer that is not a live
+    /// allocation (never allocated, already freed, or interior).
+    pub fn free(&self, ptr: DevicePtr) -> Result<(), CoreError> {
+        self.heap.free(ptr.0)
+    }
+
+    /// Allocate `size` bytes as an RAII [`DeviceBuffer`] that frees
+    /// itself when dropped. The CUDA-style manual pair is still
+    /// available as [`Device::malloc`]/[`Device::free`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Device::malloc`].
+    pub fn alloc(&self, size: usize) -> Result<DeviceBuffer<'_>, CoreError> {
+        let ptr = self.malloc(size)?;
+        Ok(DeviceBuffer { dev: self, ptr, len: size })
+    }
+
+    /// A snapshot of heap occupancy and allocator activity: live/free/
+    /// reserve bytes, the high-water mark, and cumulative reuse, fresh
+    /// and eviction byte counts.
+    pub fn memory_stats(&self) -> MemoryStats {
+        self.heap.stats()
     }
 
     /// Copy host bytes to device memory.
@@ -346,12 +371,12 @@ impl Device {
         self.pool.size()
     }
 
-    /// Bytes of device heap consumed by allocations so far. The heap is
-    /// a bump allocator — individual allocations are never freed — so
-    /// long-running services (the serving layer's buffer pool) watch
-    /// this to decide when to reuse rather than allocate.
+    /// Bytes of device heap currently live (allocated and not yet
+    /// freed), at block granularity. Freed and reused blocks are
+    /// reflected: long-running services watch this for admission
+    /// decisions, and it falls when buffers are released.
     pub fn heap_used(&self) -> u64 {
-        self.next_alloc.load(Ordering::Relaxed)
+        self.heap.live_bytes()
     }
 
     /// Total device heap capacity in bytes.
@@ -421,6 +446,62 @@ impl std::fmt::Debug for Device {
             .field("pool_workers", &self.pool.size())
             .field("cache", &self.cache)
             .finish()
+    }
+}
+
+/// An RAII device allocation from [`Device::alloc`]: frees itself back
+/// to the heap when dropped, so per-iteration scratch buffers in
+/// workloads and examples recycle instead of leaking bump space.
+///
+/// The buffer dereferences to its [`DevicePtr`] via [`DeviceBuffer::ptr`];
+/// pass that to launches and copies. Dropping the buffer while a launch
+/// that references it is still in flight is a caller bug (like freeing
+/// a CUDA buffer mid-kernel): the memory may be recycled under the
+/// kernel. Synchronize first.
+#[derive(Debug)]
+pub struct DeviceBuffer<'d> {
+    dev: &'d Device,
+    ptr: DevicePtr,
+    len: usize,
+}
+
+impl DeviceBuffer<'_> {
+    /// The device pointer to the start of the buffer.
+    pub fn ptr(&self) -> DevicePtr {
+        self.ptr
+    }
+
+    /// Requested length in bytes (the underlying block may be larger).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the requested length was zero (the underlying block is
+    /// still at least one 64-byte class).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Release the buffer explicitly, surfacing any free error (drop
+    /// ignores it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Memory`] if the block was already freed
+    /// out from under the buffer via [`Device::free`].
+    pub fn release(self) -> Result<(), CoreError> {
+        let ptr = self.ptr;
+        let dev = self.dev;
+        std::mem::forget(self);
+        dev.free(ptr)
+    }
+}
+
+impl Drop for DeviceBuffer<'_> {
+    fn drop(&mut self) {
+        // Double-free via a manual `Device::free` on our pointer is a
+        // caller bug; the heap reports it, drop cannot.
+        let _ = self.dev.free(self.ptr);
     }
 }
 

@@ -56,6 +56,7 @@ mod value;
 mod verify;
 
 pub mod opt;
+pub mod serial;
 
 pub use analysis::{max_live_vector_regs, use_counts, Liveness};
 pub use function::{Block, BlockKind, Function};

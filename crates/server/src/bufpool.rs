@@ -1,64 +1,47 @@
-//! Device-buffer reuse on top of the bump allocator.
+//! Device-buffer lifecycle for the request loop.
 //!
-//! `Device::malloc` never frees: the heap only grows until the device
-//! drops. A per-request `malloc` would therefore exhaust the heap after
-//! a bounded number of requests no matter how small each one is — fatal
-//! for a long-running service. The pool rounds requests up to
-//! power-of-two size classes and recycles returned buffers, so the heap
-//! footprint converges to the working set's high-water mark instead of
-//! growing with request count.
-
-use std::collections::HashMap;
-use std::sync::Mutex;
+//! Historically this module carried its own power-of-two free lists
+//! because `Device::malloc` was a grow-only bump allocator: without a
+//! server-side pool, a long-running service would exhaust the heap
+//! after a bounded number of requests. The device heap now does
+//! size-classed reuse, LRU eviction and real `free` itself
+//! (`dpvk_core::runtime::Device::free`), so the pool is a thin
+//! delegate: `acquire` is `malloc`, `release` is `free`, and recycling
+//! happens inside the device where it is shared with every other
+//! allocation path (workloads, examples, benches) instead of being
+//! private to the server.
+//!
+//! The type is kept so the service has a single choke point for buffer
+//! lifecycle — a natural seam for per-tenant accounting or quotas later
+//! — and so `service.rs` reads as acquire/release rather than
+//! malloc/free.
 
 use dpvk_core::{CoreError, Device, DevicePtr};
 
-/// Smallest size class handed out (matches the allocator's 64-byte
-/// alignment granule).
-const MIN_CLASS: u64 = 64;
-
-fn size_class(len: usize) -> u64 {
-    (len.max(1) as u64).next_power_of_two().max(MIN_CLASS)
-}
-
-/// Free lists of recycled device buffers, keyed by power-of-two size
-/// class.
+/// Acquire/release seam over the device heap's size-classed allocator.
 #[derive(Default)]
-pub struct BufferPool {
-    free: Mutex<HashMap<u64, Vec<DevicePtr>>>,
-}
+pub struct BufferPool {}
 
 impl BufferPool {
-    /// Get a device buffer of at least `len` bytes: recycled if a free
-    /// buffer of the right class exists, freshly allocated otherwise.
+    /// Get a device buffer of at least `len` bytes. The device heap
+    /// recycles a previously freed block of the same size class when
+    /// one exists, and evicts idle blocks under pressure before
+    /// growing.
     ///
     /// # Errors
     ///
-    /// [`CoreError::Memory`] when the heap is exhausted and nothing is
-    /// free to recycle.
+    /// [`CoreError::MemoryExhausted`] when the heap is full even after
+    /// eviction; [`CoreError::Memory`] for degenerate requests (zero
+    /// size or larger than the whole heap).
     pub fn acquire(&self, dev: &Device, len: usize) -> Result<DevicePtr, CoreError> {
-        let class = size_class(len);
-        if let Some(ptr) = self
-            .free
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .get_mut(&class)
-            .and_then(Vec::pop)
-        {
-            return Ok(ptr);
-        }
-        dev.malloc(class as usize)
+        dev.malloc(len.max(1))
     }
 
-    /// Return a buffer acquired with the same `len` to its free list.
-    pub fn release(&self, ptr: DevicePtr, len: usize) {
-        let class = size_class(len);
-        self.free
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .entry(class)
-            .or_default()
-            .push(ptr);
+    /// Return a buffer to the device heap's free lists.
+    pub fn release(&self, dev: &Device, ptr: DevicePtr) {
+        // A stale or double release is a server bug but must not take
+        // the request loop down; the heap rejects it and we move on.
+        let _ = dev.free(ptr);
     }
 }
 
@@ -68,23 +51,13 @@ mod tests {
     use dpvk_vm::MachineModel;
 
     #[test]
-    fn size_classes_round_up_to_powers_of_two() {
-        assert_eq!(size_class(0), 64);
-        assert_eq!(size_class(1), 64);
-        assert_eq!(size_class(64), 64);
-        assert_eq!(size_class(65), 128);
-        assert_eq!(size_class(4096), 4096);
-        assert_eq!(size_class(4097), 8192);
-    }
-
-    #[test]
     fn released_buffers_are_recycled_not_reallocated() {
         let dev = Device::new(MachineModel::sandybridge_sse(), 1 << 16);
         let pool = BufferPool::default();
         let a = pool.acquire(&dev, 100).unwrap();
         let used_after_first = dev.heap_used();
-        pool.release(a, 100);
-        // Same size class → the exact pointer comes back, no heap growth.
+        pool.release(&dev, a);
+        // Same size class → the exact block comes back, no heap growth.
         let b = pool.acquire(&dev, 120).unwrap();
         assert_eq!(a, b);
         assert_eq!(dev.heap_used(), used_after_first);
@@ -98,18 +71,33 @@ mod tests {
     fn steady_state_heap_is_bounded() {
         let dev = Device::new(MachineModel::sandybridge_sse(), 1 << 16);
         let pool = BufferPool::default();
-        // Many sequential "requests" of the same shape must not grow the
-        // heap past the first round — the whole point of the pool.
+        // Many sequential "requests" of the same shape must not grow
+        // the live set past one round, and the high-water mark must
+        // freeze after the first round — the device free lists absorb
+        // the churn.
         let mut high_water = 0;
         for round in 0..1_000 {
             let a = pool.acquire(&dev, 256).unwrap();
             let b = pool.acquire(&dev, 512).unwrap();
-            pool.release(a, 256);
-            pool.release(b, 512);
+            pool.release(&dev, a);
+            pool.release(&dev, b);
             if round == 0 {
-                high_water = dev.heap_used();
+                high_water = dev.memory_stats().high_water;
             }
         }
-        assert_eq!(dev.heap_used(), high_water, "heap frozen after the first round");
+        assert_eq!(dev.heap_used(), 0, "everything released");
+        assert_eq!(dev.memory_stats().high_water, high_water, "heap frozen after the first round");
+    }
+
+    #[test]
+    fn release_of_unknown_pointer_is_ignored() {
+        let dev = Device::new(MachineModel::sandybridge_sse(), 1 << 16);
+        let pool = BufferPool::default();
+        let a = pool.acquire(&dev, 64).unwrap();
+        pool.release(&dev, a);
+        // Double release must not panic or poison anything.
+        pool.release(&dev, a);
+        let b = pool.acquire(&dev, 64).unwrap();
+        assert_eq!(a, b);
     }
 }

@@ -250,7 +250,7 @@ impl Server {
             match self.buffers.acquire(&self.dev, buf.bytes.len()) {
                 Ok(ptr) => ptrs.push(ptr),
                 Err(e) => {
-                    self.release_buffers(&ptrs, spec);
+                    self.release_buffers(&ptrs);
                     return self.fail(tenant, &e, 0, 0);
                 }
             }
@@ -265,7 +265,7 @@ impl Server {
                 WireParam::Buffer(i) => match ptrs.get(i as usize) {
                     Some(&ptr) => ParamValue::Ptr(ptr),
                     None => {
-                        self.release_buffers(&ptrs, spec);
+                        self.release_buffers(&ptrs);
                         let e = CoreError::BadLaunch(format!(
                             "parameter references buffer {i} of {}",
                             ptrs.len()
@@ -373,7 +373,7 @@ impl Server {
             }
             Err(e) => self.fail(tenant, &e, attempts, exec_ns),
         };
-        self.release_buffers(&ptrs, spec);
+        self.release_buffers(&ptrs);
         response
     }
 
@@ -387,9 +387,9 @@ impl Server {
         error_response(e, attempts)
     }
 
-    fn release_buffers(&self, ptrs: &[dpvk_core::DevicePtr], spec: &LaunchSpec) {
-        for (&ptr, buf) in ptrs.iter().zip(&spec.buffers) {
-            self.buffers.release(ptr, buf.bytes.len());
+    fn release_buffers(&self, ptrs: &[dpvk_core::DevicePtr]) {
+        for &ptr in ptrs {
+            self.buffers.release(&self.dev, ptr);
         }
     }
 }

@@ -211,11 +211,31 @@ pub enum Counter {
     /// Admitted requests that exhausted the retry ladder and surfaced a
     /// typed error to the client.
     ServerFailed,
+    /// Persistent-cache artifacts loaded successfully from disk (a
+    /// translate/specialize pipeline skipped).
+    PersistHits,
+    /// Persistent-cache lookups that found no usable artifact (absent,
+    /// corrupt, or version-mismatched) and fell back to compilation.
+    PersistMisses,
+    /// Artifacts written to the persistent cache after a compile.
+    PersistWrites,
+    /// Artifacts evicted from the persistent cache directory to stay
+    /// under its size cap (oldest first).
+    PersistEvictions,
+    /// Bytes served by the device allocator from recycled blocks
+    /// (free-list or eviction-reserve hits).
+    AllocReuseBytes,
+    /// Bytes served by the device allocator from previously untouched
+    /// heap (bump carving).
+    AllocFreshBytes,
+    /// Bytes of idle free-list blocks evicted (coalesced into the
+    /// reserve) to satisfy an allocation under pressure.
+    AllocEvictedBytes,
 }
 
 impl Counter {
     /// Every counter, in declaration order.
-    pub const ALL: [Counter; 45] = [
+    pub const ALL: [Counter; 52] = [
         Counter::CacheHit,
         Counter::CacheMiss,
         Counter::CacheCompileNs,
@@ -261,6 +281,13 @@ impl Counter {
         Counter::ServerDegraded,
         Counter::ServerCompleted,
         Counter::ServerFailed,
+        Counter::PersistHits,
+        Counter::PersistMisses,
+        Counter::PersistWrites,
+        Counter::PersistEvictions,
+        Counter::AllocReuseBytes,
+        Counter::AllocFreshBytes,
+        Counter::AllocEvictedBytes,
     ];
 
     /// Stable snake_case name used in reports.
@@ -311,6 +338,13 @@ impl Counter {
             Counter::ServerDegraded => "server_degraded",
             Counter::ServerCompleted => "server_completed",
             Counter::ServerFailed => "server_failed",
+            Counter::PersistHits => "persist_hits",
+            Counter::PersistMisses => "persist_misses",
+            Counter::PersistWrites => "persist_writes",
+            Counter::PersistEvictions => "persist_evictions",
+            Counter::AllocReuseBytes => "alloc_reuse_bytes",
+            Counter::AllocFreshBytes => "alloc_fresh_bytes",
+            Counter::AllocEvictedBytes => "alloc_evicted_bytes",
         }
     }
 }

@@ -129,11 +129,17 @@ pub enum SpanKind {
     /// The launch's last chunk completed and the result became
     /// observable.
     Retire,
+    /// Loading a translation/specialization artifact from the
+    /// persistent on-disk cache (replaces Translate/Specialize/Decode
+    /// on a warm restart).
+    PersistLoad,
+    /// Writing a freshly compiled artifact to the persistent cache.
+    PersistStore,
 }
 
 impl SpanKind {
     /// Every kind, in pipeline order.
-    pub const ALL: [SpanKind; 8] = [
+    pub const ALL: [SpanKind; 10] = [
         SpanKind::QueueWait,
         SpanKind::Translate,
         SpanKind::Specialize,
@@ -142,6 +148,8 @@ impl SpanKind {
         SpanKind::Execute,
         SpanKind::Gather,
         SpanKind::Retire,
+        SpanKind::PersistLoad,
+        SpanKind::PersistStore,
     ];
 
     /// Stable snake_case name used in exports.
@@ -155,6 +163,8 @@ impl SpanKind {
             SpanKind::Execute => "execute",
             SpanKind::Gather => "gather",
             SpanKind::Retire => "retire",
+            SpanKind::PersistLoad => "persist_load",
+            SpanKind::PersistStore => "persist_store",
         }
     }
 }

@@ -676,6 +676,13 @@ impl BytecodeProgram {
         self.warp_size
     }
 
+    /// Number of register-frame slots the program was validated against.
+    /// Callers rehydrating a persisted program cross-check this against
+    /// the [`FrameLayout`](crate::FrameLayout) they recompute.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
     /// Number of µops in the decoded stream.
     pub fn len(&self) -> usize {
         self.code.len()

@@ -65,6 +65,7 @@ mod interp;
 mod jit;
 mod machine;
 mod memory;
+pub mod serial;
 mod stats;
 
 pub use bytecode::{execute_warp_bytecode, BytecodeProgram, DecodeStats};

@@ -129,6 +129,24 @@ impl GlobalMem {
         Ok(())
     }
 
+    /// Zero `len` bytes starting at `addr` (the `cudaMemset(0)` analog).
+    ///
+    /// The device allocator uses this to re-establish the
+    /// fresh-allocations-are-zeroed invariant when it recycles a freed
+    /// block, so reuse is indistinguishable from a bump allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::OutOfBounds`] when the range exceeds the arena.
+    pub fn fill_zero(&self, addr: u64, len: usize) -> Result<(), VmError> {
+        let off = self.check(addr, len)?;
+        // SAFETY: bounds checked; called between kernels by the host.
+        unsafe {
+            std::ptr::write_bytes(self.base().add(off), 0, len);
+        }
+        Ok(())
+    }
+
     /// Atomically apply `f` to the aligned `u32` at `addr`, returning the
     /// previous value.
     ///

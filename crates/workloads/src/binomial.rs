@@ -146,16 +146,16 @@ done:
         let pd = 1.0 - pu;
         let disc = 1.0 / growth;
 
-        let psx = dev.malloc(OPTIONS * 8)?;
-        let pout = dev.malloc(OPTIONS * 4)?;
-        dev.copy_f32_htod(psx, &sx)?;
+        let psx = dev.alloc(OPTIONS * 8)?;
+        let pout = dev.alloc(OPTIONS * 4)?;
+        dev.copy_f32_htod(psx.ptr(), &sx)?;
         let stats = dev.launch(
             "binomial",
             [OPTIONS as u32, 1, 1],
             [STEPS as u32, 1, 1],
             &[
-                ParamValue::Ptr(psx),
-                ParamValue::Ptr(pout),
+                ParamValue::Ptr(psx.ptr()),
+                ParamValue::Ptr(pout.ptr()),
                 ParamValue::U32(STEPS as u32),
                 ParamValue::F32(pu),
                 ParamValue::F32(pd),
@@ -165,7 +165,7 @@ done:
             ],
             config,
         )?;
-        let got = dev.copy_f32_dtoh(pout, OPTIONS)?;
+        let got = dev.copy_f32_dtoh(pout.ptr(), OPTIONS)?;
         let want: Vec<f32> =
             (0..OPTIONS).map(|i| reference(spots[i], strikes[i], pu, pd, disc, up, down)).collect();
         check_f32(self.name(), &got, &want, 5e-3)?;

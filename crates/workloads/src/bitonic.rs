@@ -101,17 +101,17 @@ skip:
             }
             (data, want)
         });
-        let pd = dev.malloc(N * 4)?;
-        let po = dev.malloc(N * 4)?;
-        dev.copy_u32_htod(pd, data)?;
+        let pd = dev.alloc(N * 4)?;
+        let po = dev.alloc(N * 4)?;
+        dev.copy_u32_htod(pd.ptr(), data)?;
         let stats = dev.launch(
             "bitonic",
             [(N / CTA) as u32, 1, 1],
             [CTA as u32, 1, 1],
-            &[ParamValue::Ptr(pd), ParamValue::Ptr(po)],
+            &[ParamValue::Ptr(pd.ptr()), ParamValue::Ptr(po.ptr())],
             config,
         )?;
-        let got = dev.copy_u32_dtoh(po, N)?;
+        let got = dev.copy_u32_dtoh(po.ptr(), N)?;
         check_u32(self.name(), &got, want)?;
         Ok(Outcome { stats })
     }

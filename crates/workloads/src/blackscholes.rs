@@ -164,29 +164,29 @@ done:
                 .collect();
             (spot, strike, years, want)
         });
-        let ps = dev.malloc(N * 4)?;
-        let px = dev.malloc(N * 4)?;
-        let pt = dev.malloc(N * 4)?;
-        let pc = dev.malloc(N * 4)?;
-        dev.copy_f32_htod(ps, spot)?;
-        dev.copy_f32_htod(px, strike)?;
-        dev.copy_f32_htod(pt, years)?;
+        let ps = dev.alloc(N * 4)?;
+        let px = dev.alloc(N * 4)?;
+        let pt = dev.alloc(N * 4)?;
+        let pc = dev.alloc(N * 4)?;
+        dev.copy_f32_htod(ps.ptr(), spot)?;
+        dev.copy_f32_htod(px.ptr(), strike)?;
+        dev.copy_f32_htod(pt.ptr(), years)?;
         let stats = dev.launch(
             "blackscholes",
             [(N as u32).div_ceil(CTA), 1, 1],
             [CTA, 1, 1],
             &[
-                ParamValue::Ptr(ps),
-                ParamValue::Ptr(px),
-                ParamValue::Ptr(pt),
-                ParamValue::Ptr(pc),
+                ParamValue::Ptr(ps.ptr()),
+                ParamValue::Ptr(px.ptr()),
+                ParamValue::Ptr(pt.ptr()),
+                ParamValue::Ptr(pc.ptr()),
                 ParamValue::U32(N as u32),
                 ParamValue::F32(RISK_FREE),
                 ParamValue::F32(VOLATILITY),
             ],
             config,
         )?;
-        let got = dev.copy_f32_dtoh(pc, N)?;
+        let got = dev.copy_f32_dtoh(pc.ptr(), N)?;
         check_f32(self.name(), &got, want, 2e-3)?;
         Ok(Outcome { stats })
     }

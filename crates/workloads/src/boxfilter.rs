@@ -73,17 +73,17 @@ done:
     fn run(&self, dev: &Device, config: &ExecConfig) -> Result<Outcome, WorkloadError> {
         let mut rng = rng_for(self.name());
         let data = random_f32(&mut rng, N, 0.0, 255.0);
-        let pd = dev.malloc(N * 4)?;
-        let po = dev.malloc(N * 4)?;
-        dev.copy_f32_htod(pd, &data)?;
+        let pd = dev.alloc(N * 4)?;
+        let po = dev.alloc(N * 4)?;
+        dev.copy_f32_htod(pd.ptr(), &data)?;
         let stats = dev.launch(
             "boxfilter",
             [(N as u32).div_ceil(64), 1, 1],
             [64, 1, 1],
-            &[ParamValue::Ptr(pd), ParamValue::Ptr(po), ParamValue::U32(N as u32)],
+            &[ParamValue::Ptr(pd.ptr()), ParamValue::Ptr(po.ptr()), ParamValue::U32(N as u32)],
             config,
         )?;
-        let got = dev.copy_f32_dtoh(po, N)?;
+        let got = dev.copy_f32_dtoh(po.ptr(), N)?;
         let want: Vec<f32> = (0..N as i64)
             .map(|i| {
                 let mut acc = 0f32;

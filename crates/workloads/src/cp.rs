@@ -78,23 +78,23 @@ loop:
         let mut rng = rng_for(self.name());
         let atoms = random_f32(&mut rng, ATOMS * 4, 0.1, GRID as f32 * SPACING);
         let n = GRID * GRID;
-        let pa = dev.malloc(ATOMS * 16)?;
-        let po = dev.malloc(n * 4)?;
-        dev.copy_f32_htod(pa, &atoms)?;
+        let pa = dev.alloc(ATOMS * 16)?;
+        let po = dev.alloc(n * 4)?;
+        dev.copy_f32_htod(pa.ptr(), &atoms)?;
         let stats = dev.launch(
             "cp",
             [(n as u32).div_ceil(64), 1, 1],
             [64, 1, 1],
             &[
-                ParamValue::Ptr(pa),
-                ParamValue::Ptr(po),
+                ParamValue::Ptr(pa.ptr()),
+                ParamValue::Ptr(po.ptr()),
                 ParamValue::U32(ATOMS as u32),
                 ParamValue::U32(GRID as u32),
                 ParamValue::F32(SPACING),
             ],
             config,
         )?;
-        let got = dev.copy_f32_dtoh(po, n)?;
+        let got = dev.copy_f32_dtoh(po.ptr(), n)?;
         let want: Vec<f32> = (0..n)
             .map(|i| {
                 let px = (i % GRID) as f32 * SPACING;

@@ -90,18 +90,18 @@ merge:
     fn run(&self, dev: &Device, config: &ExecConfig) -> Result<Outcome, WorkloadError> {
         let mut rng = rng_for(self.name());
         let data = random_u32(&mut rng, N, BINS as u32);
-        let pd = dev.malloc(N * 4)?;
-        let ph = dev.malloc(BINS * 4)?;
-        dev.copy_u32_htod(pd, &data)?;
-        dev.copy_u32_htod(ph, &vec![0u32; BINS])?;
+        let pd = dev.alloc(N * 4)?;
+        let ph = dev.alloc(BINS * 4)?;
+        dev.copy_u32_htod(pd.ptr(), &data)?;
+        dev.copy_u32_htod(ph.ptr(), &vec![0u32; BINS])?;
         let stats = dev.launch(
             "histogram64",
             [CTAS as u32, 1, 1],
             [CTA as u32, 1, 1],
-            &[ParamValue::Ptr(pd), ParamValue::Ptr(ph), ParamValue::U32(N as u32)],
+            &[ParamValue::Ptr(pd.ptr()), ParamValue::Ptr(ph.ptr()), ParamValue::U32(N as u32)],
             config,
         )?;
-        let got = dev.copy_u32_dtoh(ph, BINS)?;
+        let got = dev.copy_u32_dtoh(ph.ptr(), BINS)?;
         let mut want = vec![0u32; BINS];
         for &v in &data {
             want[v as usize] += 1;

@@ -123,25 +123,25 @@ inner:
             }
             (a, b, want)
         });
-        let pa = dev.malloc(DIM * DIM * 4)?;
-        let pb = dev.malloc(DIM * DIM * 4)?;
-        let pc = dev.malloc(DIM * DIM * 4)?;
-        dev.copy_f32_htod(pa, a)?;
-        dev.copy_f32_htod(pb, b)?;
+        let pa = dev.alloc(DIM * DIM * 4)?;
+        let pb = dev.alloc(DIM * DIM * 4)?;
+        let pc = dev.alloc(DIM * DIM * 4)?;
+        dev.copy_f32_htod(pa.ptr(), a)?;
+        dev.copy_f32_htod(pb.ptr(), b)?;
         let blocks = (DIM / TILE) as u32;
         let stats = dev.launch(
             "matrixmul",
             [blocks, blocks, 1],
             [TILE as u32, TILE as u32, 1],
             &[
-                ParamValue::Ptr(pa),
-                ParamValue::Ptr(pb),
-                ParamValue::Ptr(pc),
+                ParamValue::Ptr(pa.ptr()),
+                ParamValue::Ptr(pb.ptr()),
+                ParamValue::Ptr(pc.ptr()),
                 ParamValue::U32(DIM as u32),
             ],
             config,
         )?;
-        let got = dev.copy_f32_dtoh(pc, DIM * DIM)?;
+        let got = dev.copy_f32_dtoh(pc.ptr(), DIM * DIM)?;
         check_f32(self.name(), &got, want, 1e-3)?;
         Ok(Outcome { stats })
     }

@@ -77,17 +77,17 @@ merged:
     fn run(&self, dev: &Device, config: &ExecConfig) -> Result<Outcome, WorkloadError> {
         let mut rng = rng_for(self.name());
         let seeds = random_u32(&mut rng, N, u32::MAX);
-        let ps = dev.malloc(N * 4)?;
-        let po = dev.malloc(N * 4)?;
-        dev.copy_u32_htod(ps, &seeds)?;
+        let ps = dev.alloc(N * 4)?;
+        let po = dev.alloc(N * 4)?;
+        dev.copy_u32_htod(ps.ptr(), &seeds)?;
         let stats = dev.launch(
             "mersenne",
             [(N as u32).div_ceil(64), 1, 1],
             [64, 1, 1],
-            &[ParamValue::Ptr(ps), ParamValue::Ptr(po), ParamValue::U32(ROUNDS)],
+            &[ParamValue::Ptr(ps.ptr()), ParamValue::Ptr(po.ptr()), ParamValue::U32(ROUNDS)],
             config,
         )?;
-        let got = dev.copy_u32_dtoh(po, N)?;
+        let got = dev.copy_u32_dtoh(po.ptr(), N)?;
         let want: Vec<u32> = seeds.iter().map(|&s| reference(s, ROUNDS)).collect();
         check_u32(self.name(), &got, &want)?;
         Ok(Outcome { stats })

@@ -74,17 +74,17 @@ next:
     fn run(&self, dev: &Device, config: &ExecConfig) -> Result<Outcome, WorkloadError> {
         let mut rng = rng_for(self.name());
         let seeds = random_u32(&mut rng, N, u32::MAX);
-        let ps = dev.malloc(N * 4)?;
-        let po = dev.malloc(N * 4)?;
-        dev.copy_u32_htod(ps, &seeds)?;
+        let ps = dev.alloc(N * 4)?;
+        let po = dev.alloc(N * 4)?;
+        dev.copy_u32_htod(ps.ptr(), &seeds)?;
         let stats = dev.launch(
             "montecarlo",
             [(N as u32).div_ceil(64), 1, 1],
             [64, 1, 1],
-            &[ParamValue::Ptr(ps), ParamValue::Ptr(po), ParamValue::U32(STEPS)],
+            &[ParamValue::Ptr(ps.ptr()), ParamValue::Ptr(po.ptr()), ParamValue::U32(STEPS)],
             config,
         )?;
-        let got = dev.copy_f32_dtoh(po, N)?;
+        let got = dev.copy_f32_dtoh(po.ptr(), N)?;
         let want: Vec<f32> = seeds.iter().map(|&s| reference(s, STEPS)).collect();
         check_f32(self.name(), &got, &want, 1e-3)?;
         Ok(Outcome { stats })

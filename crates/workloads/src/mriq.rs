@@ -81,24 +81,24 @@ loop:
         let mut rng = rng_for(self.name());
         let traj = random_f32(&mut rng, SAMPLES * 4, -1.0, 1.0);
         let pos = random_f32(&mut rng, POINTS * 3, -1.0, 1.0);
-        let pt = dev.malloc(SAMPLES * 16)?;
-        let pp = dev.malloc(POINTS * 12)?;
-        let po = dev.malloc(POINTS * 8)?;
-        dev.copy_f32_htod(pt, &traj)?;
-        dev.copy_f32_htod(pp, &pos)?;
+        let pt = dev.alloc(SAMPLES * 16)?;
+        let pp = dev.alloc(POINTS * 12)?;
+        let po = dev.alloc(POINTS * 8)?;
+        dev.copy_f32_htod(pt.ptr(), &traj)?;
+        dev.copy_f32_htod(pp.ptr(), &pos)?;
         let stats = dev.launch(
             "mriq",
             [(POINTS as u32).div_ceil(64), 1, 1],
             [64, 1, 1],
             &[
-                ParamValue::Ptr(pt),
-                ParamValue::Ptr(pp),
-                ParamValue::Ptr(po),
+                ParamValue::Ptr(pt.ptr()),
+                ParamValue::Ptr(pp.ptr()),
+                ParamValue::Ptr(po.ptr()),
                 ParamValue::U32(SAMPLES as u32),
             ],
             config,
         )?;
-        let got = dev.copy_f32_dtoh(po, POINTS * 2)?;
+        let got = dev.copy_f32_dtoh(po.ptr(), POINTS * 2)?;
         let mut want = vec![0f32; POINTS * 2];
         for i in 0..POINTS {
             let (x, y, z) = (pos[3 * i], pos[3 * i + 1], pos[3 * i + 2]);

@@ -83,17 +83,17 @@ loop:
     fn run(&self, dev: &Device, config: &ExecConfig) -> Result<Outcome, WorkloadError> {
         let mut rng = rng_for(self.name());
         let bodies = random_f32(&mut rng, N * 4, -2.0, 2.0);
-        let pb = dev.malloc(N * 16)?;
-        let pa = dev.malloc(N * 12)?;
-        dev.copy_f32_htod(pb, &bodies)?;
+        let pb = dev.alloc(N * 16)?;
+        let pa = dev.alloc(N * 12)?;
+        dev.copy_f32_htod(pb.ptr(), &bodies)?;
         let stats = dev.launch(
             "nbody",
             [(N as u32).div_ceil(64), 1, 1],
             [64, 1, 1],
-            &[ParamValue::Ptr(pb), ParamValue::Ptr(pa), ParamValue::U32(N as u32)],
+            &[ParamValue::Ptr(pb.ptr()), ParamValue::Ptr(pa.ptr()), ParamValue::U32(N as u32)],
             config,
         )?;
-        let got = dev.copy_f32_dtoh(pa, N * 3)?;
+        let got = dev.copy_f32_dtoh(pa.ptr(), N * 3)?;
         let mut want = vec![0f32; N * 3];
         for i in 0..N {
             let (xi, yi, zi) = (bodies[4 * i], bodies[4 * i + 1], bodies[4 * i + 2]);

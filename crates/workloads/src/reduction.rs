@@ -75,18 +75,18 @@ done:
     fn run(&self, dev: &Device, config: &ExecConfig) -> Result<Outcome, WorkloadError> {
         let mut rng = rng_for(self.name());
         let data = random_f32(&mut rng, N, 0.0, 1.0);
-        let pd = dev.malloc(N * 4)?;
-        let po = dev.malloc(4)?;
-        dev.copy_f32_htod(pd, &data)?;
-        dev.copy_f32_htod(po, &[0.0])?;
+        let pd = dev.alloc(N * 4)?;
+        let po = dev.alloc(4)?;
+        dev.copy_f32_htod(pd.ptr(), &data)?;
+        dev.copy_f32_htod(po.ptr(), &[0.0])?;
         let stats = dev.launch(
             "reduce",
             [(N / CTA) as u32, 1, 1],
             [CTA as u32, 1, 1],
-            &[ParamValue::Ptr(pd), ParamValue::Ptr(po)],
+            &[ParamValue::Ptr(pd.ptr()), ParamValue::Ptr(po.ptr())],
             config,
         )?;
-        let got = dev.copy_f32_dtoh(po, 1)?;
+        let got = dev.copy_f32_dtoh(po.ptr(), 1)?;
         let want: f32 = data.iter().sum();
         // Atomic combination order varies; use a loose tolerance.
         check_f32(self.name(), &got, &[want], 1e-2)?;

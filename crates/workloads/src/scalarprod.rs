@@ -97,24 +97,24 @@ done:
         let mut rng = rng_for(self.name());
         let a = random_f32(&mut rng, PAIRS * LEN, -1.0, 1.0);
         let b = random_f32(&mut rng, PAIRS * LEN, -1.0, 1.0);
-        let pa = dev.malloc(PAIRS * LEN * 4)?;
-        let pb = dev.malloc(PAIRS * LEN * 4)?;
-        let po = dev.malloc(PAIRS * 4)?;
-        dev.copy_f32_htod(pa, &a)?;
-        dev.copy_f32_htod(pb, &b)?;
+        let pa = dev.alloc(PAIRS * LEN * 4)?;
+        let pb = dev.alloc(PAIRS * LEN * 4)?;
+        let po = dev.alloc(PAIRS * 4)?;
+        dev.copy_f32_htod(pa.ptr(), &a)?;
+        dev.copy_f32_htod(pb.ptr(), &b)?;
         let stats = dev.launch(
             "scalarprod",
             [PAIRS as u32, 1, 1],
             [CTA as u32, 1, 1],
             &[
-                ParamValue::Ptr(pa),
-                ParamValue::Ptr(pb),
-                ParamValue::Ptr(po),
+                ParamValue::Ptr(pa.ptr()),
+                ParamValue::Ptr(pb.ptr()),
+                ParamValue::Ptr(po.ptr()),
                 ParamValue::U32(LEN as u32),
             ],
             config,
         )?;
-        let got = dev.copy_f32_dtoh(po, PAIRS)?;
+        let got = dev.copy_f32_dtoh(po.ptr(), PAIRS)?;
         let want: Vec<f32> = (0..PAIRS)
             .map(|p| {
                 // Match the kernel's strided accumulation + tree order as

@@ -97,17 +97,17 @@ write:
     fn run(&self, dev: &Device, config: &ExecConfig) -> Result<Outcome, WorkloadError> {
         let mut rng = rng_for(self.name());
         let data = random_f32(&mut rng, N, -1.0, 1.0);
-        let pd = dev.malloc(N * 4)?;
-        let po = dev.malloc(N * 4)?;
-        dev.copy_f32_htod(pd, &data)?;
+        let pd = dev.alloc(N * 4)?;
+        let po = dev.alloc(N * 4)?;
+        dev.copy_f32_htod(pd.ptr(), &data)?;
         let stats = dev.launch(
             "scan",
             [(N / CTA) as u32, 1, 1],
             [CTA as u32, 1, 1],
-            &[ParamValue::Ptr(pd), ParamValue::Ptr(po)],
+            &[ParamValue::Ptr(pd.ptr()), ParamValue::Ptr(po.ptr())],
             config,
         )?;
-        let got = dev.copy_f32_dtoh(po, N)?;
+        let got = dev.copy_f32_dtoh(po.ptr(), N)?;
         let mut want = vec![0f32; N];
         for seg in 0..(N / CTA) {
             // Hillis-Steele addition order differs from a serial prefix

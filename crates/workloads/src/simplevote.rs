@@ -54,10 +54,15 @@ entry:
 
     fn run(&self, dev: &Device, config: &ExecConfig) -> Result<Outcome, WorkloadError> {
         let n = (CTAS * CTA) as usize;
-        let po = dev.malloc(n * 4)?;
-        let stats =
-            dev.launch("simplevote", [CTAS, 1, 1], [CTA, 1, 1], &[ParamValue::Ptr(po)], config)?;
-        let got = dev.copy_u32_dtoh(po, n)?;
+        let po = dev.alloc(n * 4)?;
+        let stats = dev.launch(
+            "simplevote",
+            [CTAS, 1, 1],
+            [CTA, 1, 1],
+            &[ParamValue::Ptr(po.ptr())],
+            config,
+        )?;
+        let got = dev.copy_u32_dtoh(po.ptr(), n)?;
         // The vote results depend on the dynamically formed warp. With a
         // 2-thread CTA a warp is either both threads (all=false, any=true,
         // uni=false) or a single thread (all=any=pred, uni=true). Check

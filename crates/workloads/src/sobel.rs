@@ -103,22 +103,22 @@ done:
     fn run(&self, dev: &Device, config: &ExecConfig) -> Result<Outcome, WorkloadError> {
         let mut rng = rng_for(self.name());
         let img = random_f32(&mut rng, W * H, 0.0, 1.0);
-        let pi = dev.malloc(W * H * 4)?;
-        let po = dev.malloc(W * H * 4)?;
-        dev.copy_f32_htod(pi, &img)?;
+        let pi = dev.alloc(W * H * 4)?;
+        let po = dev.alloc(W * H * 4)?;
+        dev.copy_f32_htod(pi.ptr(), &img)?;
         let stats = dev.launch(
             "sobel",
             [((W * H) as u32).div_ceil(64), 1, 1],
             [64, 1, 1],
             &[
-                ParamValue::Ptr(pi),
-                ParamValue::Ptr(po),
+                ParamValue::Ptr(pi.ptr()),
+                ParamValue::Ptr(po.ptr()),
                 ParamValue::U32(W as u32),
                 ParamValue::U32(H as u32),
             ],
             config,
         )?;
-        let got = dev.copy_f32_dtoh(po, W * H)?;
+        let got = dev.copy_f32_dtoh(po.ptr(), W * H)?;
         let mut want = vec![0f32; W * H];
         for y in 1..H - 1 {
             for x in 1..W - 1 {

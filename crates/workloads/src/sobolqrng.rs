@@ -64,17 +64,17 @@ done:
     fn run(&self, dev: &Device, config: &ExecConfig) -> Result<Outcome, WorkloadError> {
         let mut rng = rng_for(self.name());
         let dirs: Vec<u32> = (0..DIRECTIONS).map(|_| rng.next_u32()).collect();
-        let pd = dev.malloc(DIRECTIONS * 4)?;
-        let po = dev.malloc(N * 4)?;
-        dev.copy_u32_htod(pd, &dirs)?;
+        let pd = dev.alloc(DIRECTIONS * 4)?;
+        let po = dev.alloc(N * 4)?;
+        dev.copy_u32_htod(pd.ptr(), &dirs)?;
         let stats = dev.launch(
             "sobol",
             [(N as u32).div_ceil(64), 1, 1],
             [64, 1, 1],
-            &[ParamValue::Ptr(pd), ParamValue::Ptr(po), ParamValue::U32(N as u32)],
+            &[ParamValue::Ptr(pd.ptr()), ParamValue::Ptr(po.ptr()), ParamValue::U32(N as u32)],
             config,
         )?;
-        let got = dev.copy_u32_dtoh(po, N)?;
+        let got = dev.copy_u32_dtoh(po.ptr(), N)?;
         let want: Vec<u32> = (0..N as u32)
             .map(|i| {
                 let mut acc = 0u32;

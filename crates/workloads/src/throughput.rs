@@ -81,15 +81,15 @@ loop:
         // loops) pay for the host-side reference computation once.
         static WANT: std::sync::OnceLock<Vec<f32>> = std::sync::OnceLock::new();
         let n = (CTA * CTAS) as usize;
-        let out = dev.malloc(n * 4)?;
+        let out = dev.alloc(n * 4)?;
         let stats = dev.launch(
             "throughput",
             [CTAS, 1, 1],
             [CTA, 1, 1],
-            &[ParamValue::Ptr(out), ParamValue::U32(ITERS)],
+            &[ParamValue::Ptr(out.ptr()), ParamValue::U32(ITERS)],
             config,
         )?;
-        let got = dev.copy_f32_dtoh(out, n)?;
+        let got = dev.copy_f32_dtoh(out.ptr(), n)?;
         let want = WANT.get_or_init(|| (0..n).map(|tid| reference(tid as u32)).collect());
         check_f32(self.name(), &got, want, 1e-3)?;
         Ok(Outcome { stats })

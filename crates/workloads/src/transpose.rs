@@ -74,18 +74,18 @@ entry:
     fn run(&self, dev: &Device, config: &ExecConfig) -> Result<Outcome, WorkloadError> {
         let mut rng = rng_for(self.name());
         let a = random_f32(&mut rng, DIM * DIM, -5.0, 5.0);
-        let pa = dev.malloc(DIM * DIM * 4)?;
-        let pb = dev.malloc(DIM * DIM * 4)?;
-        dev.copy_f32_htod(pa, &a)?;
+        let pa = dev.alloc(DIM * DIM * 4)?;
+        let pb = dev.alloc(DIM * DIM * 4)?;
+        dev.copy_f32_htod(pa.ptr(), &a)?;
         let blocks = (DIM / TILE) as u32;
         let stats = dev.launch(
             "transpose",
             [blocks, blocks, 1],
             [TILE as u32, TILE as u32, 1],
-            &[ParamValue::Ptr(pa), ParamValue::Ptr(pb), ParamValue::U32(DIM as u32)],
+            &[ParamValue::Ptr(pa.ptr()), ParamValue::Ptr(pb.ptr()), ParamValue::U32(DIM as u32)],
             config,
         )?;
-        let got = dev.copy_f32_dtoh(pb, DIM * DIM)?;
+        let got = dev.copy_f32_dtoh(pb.ptr(), DIM * DIM)?;
         let mut want = vec![0f32; DIM * DIM];
         for r in 0..DIM {
             for c in 0..DIM {

@@ -57,25 +57,25 @@ done:
         let mut rng = rng_for(self.name());
         let a = random_f32(&mut rng, N, -10.0, 10.0);
         let b = random_f32(&mut rng, N, -10.0, 10.0);
-        let pa = dev.malloc(N * 4)?;
-        let pb = dev.malloc(N * 4)?;
-        let pc = dev.malloc(N * 4)?;
-        dev.copy_f32_htod(pa, &a)?;
-        dev.copy_f32_htod(pb, &b)?;
+        let pa = dev.alloc(N * 4)?;
+        let pb = dev.alloc(N * 4)?;
+        let pc = dev.alloc(N * 4)?;
+        dev.copy_f32_htod(pa.ptr(), &a)?;
+        dev.copy_f32_htod(pb.ptr(), &b)?;
         let ctas = (N as u32).div_ceil(CTA);
         let stats = dev.launch(
             "vecadd",
             [ctas, 1, 1],
             [CTA, 1, 1],
             &[
-                ParamValue::Ptr(pa),
-                ParamValue::Ptr(pb),
-                ParamValue::Ptr(pc),
+                ParamValue::Ptr(pa.ptr()),
+                ParamValue::Ptr(pb.ptr()),
+                ParamValue::Ptr(pc.ptr()),
                 ParamValue::U32(N as u32),
             ],
             config,
         )?;
-        let got = dev.copy_f32_dtoh(pc, N)?;
+        let got = dev.copy_f32_dtoh(pc.ptr(), N)?;
         let want: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
         check_f32(self.name(), &got, &want, 1e-6)?;
         Ok(Outcome { stats })

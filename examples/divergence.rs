@@ -69,17 +69,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         let dev = Device::new(MachineModel::sandybridge_sse(), 4 << 20);
         dev.register_source(DIVERGE)?;
-        let ps = dev.malloc(n * 4)?;
-        let po = dev.malloc(n * 4)?;
-        dev.copy_u32_htod(ps, &seeds)?;
+        let ps = dev.alloc(n * 4)?;
+        let po = dev.alloc(n * 4)?;
+        dev.copy_u32_htod(ps.ptr(), &seeds)?;
         let stats = dev.launch(
             "collatz_steps",
             [(n as u32).div_ceil(64), 1, 1],
             [64, 1, 1],
-            &[ParamValue::Ptr(ps), ParamValue::Ptr(po), ParamValue::U32(n as u32)],
+            &[ParamValue::Ptr(ps.ptr()), ParamValue::Ptr(po.ptr()), ParamValue::U32(n as u32)],
             &config,
         )?;
-        let got = dev.copy_u32_dtoh(po, n)?;
+        let got = dev.copy_u32_dtoh(po.ptr(), n)?;
         assert_eq!(got, expected, "{label} computed wrong step counts");
         let e = &stats.exec;
         println!(

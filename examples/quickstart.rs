@@ -40,10 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     dev.register_source(SAXPY)?;
 
     let n = 1000usize;
-    let xs = dev.malloc(n * 4)?;
-    let ys = dev.malloc(n * 4)?;
-    dev.copy_f32_htod(xs, &(0..n).map(|i| i as f32).collect::<Vec<_>>())?;
-    dev.copy_f32_htod(ys, &vec![1.0f32; n])?;
+    let xs = dev.alloc(n * 4)?;
+    let ys = dev.alloc(n * 4)?;
+    dev.copy_f32_htod(xs.ptr(), &(0..n).map(|i| i as f32).collect::<Vec<_>>())?;
+    dev.copy_f32_htod(ys.ptr(), &vec![1.0f32; n])?;
 
     // Launch under dynamic warp formation with max warp width 4: the
     // translation cache JITs scalar + vectorized specializations lazily.
@@ -52,15 +52,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         [(n as u32).div_ceil(128), 1, 1],
         [128, 1, 1],
         &[
-            ParamValue::Ptr(xs),
-            ParamValue::Ptr(ys),
+            ParamValue::Ptr(xs.ptr()),
+            ParamValue::Ptr(ys.ptr()),
             ParamValue::F32(2.0),
             ParamValue::U32(n as u32),
         ],
         &ExecConfig::dynamic(4),
     )?;
 
-    let out = dev.copy_f32_dtoh(ys, n)?;
+    let out = dev.copy_f32_dtoh(ys.ptr(), n)?;
     assert!(out.iter().enumerate().all(|(i, &v)| v == 2.0 * i as f32 + 1.0));
 
     println!("saxpy over {n} elements: OK");

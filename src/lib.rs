@@ -59,23 +59,25 @@
 //! "#,
 //! )?;
 //! let n = 100u32;
-//! let xs = dev.malloc(n as usize * 4)?;
-//! let ys = dev.malloc(n as usize * 4)?;
-//! dev.copy_f32_htod(xs, &vec![1.0; n as usize])?;
-//! dev.copy_f32_htod(ys, &vec![2.0; n as usize])?;
+//! // RAII buffers: freed back to the device heap's size-classed free
+//! // lists when they go out of scope.
+//! let xs = dev.alloc(n as usize * 4)?;
+//! let ys = dev.alloc(n as usize * 4)?;
+//! dev.copy_f32_htod(xs.ptr(), &vec![1.0; n as usize])?;
+//! dev.copy_f32_htod(ys.ptr(), &vec![2.0; n as usize])?;
 //! dev.launch(
 //!     "axpy",
 //!     [2, 1, 1],
 //!     [64, 1, 1],
 //!     &[
-//!         ParamValue::Ptr(xs),
-//!         ParamValue::Ptr(ys),
+//!         ParamValue::Ptr(xs.ptr()),
+//!         ParamValue::Ptr(ys.ptr()),
 //!         ParamValue::F32(3.0),
 //!         ParamValue::U32(n),
 //!     ],
 //!     &ExecConfig::dynamic(4),
 //! )?;
-//! let out = dev.copy_f32_dtoh(ys, n as usize)?;
+//! let out = dev.copy_f32_dtoh(ys.ptr(), n as usize)?;
 //! assert!(out.iter().all(|&v| v == 5.0));
 //! # Ok::<(), dpvk::core::CoreError>(())
 //! ```

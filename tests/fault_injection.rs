@@ -53,7 +53,9 @@ entry:
 "#;
 
 fn device(src: &str) -> Device {
-    let dev = Device::new(MachineModel::sandybridge_sse(), 4 << 20);
+    // No persistent cache: fault plans target the compile path (e.g.
+    // `fail_specialize_width`), which a warm disk artifact would bypass.
+    let dev = Device::with_persist(MachineModel::sandybridge_sse(), 4 << 20, None);
     dev.register_source(src).unwrap();
     dev
 }
@@ -338,6 +340,64 @@ fn host_cancellation_stops_slow_warps_early() {
         elapsed < Duration::from_millis(400),
         "cancellation should beat the ~480ms uncancelled runtime: {elapsed:?}"
     );
+}
+
+#[test]
+fn eviction_under_pressure_never_touches_a_buffer_in_flight() {
+    // Slow every warp so the launch holds its buffer in flight for
+    // hundreds of milliseconds while the host thread drives the heap
+    // through exhaustion and forced eviction. Eviction only consumes
+    // *freed* idle blocks, so the launch's live buffer must come out
+    // bit-exact no matter how much churn coalesces around it.
+    let _guard = install(FaultPlan {
+        slow_warps: Some(SlowWarps {
+            seed: 0xE51C,
+            fraction: 1.0,
+            delay: Duration::from_millis(10),
+        }),
+        ..Default::default()
+    });
+    let dev = Device::with_persist(MachineModel::sandybridge_sse(), 1 << 18, None);
+    dev.register_source(TRIPLE).unwrap();
+
+    let n = 16u32 * 8;
+    let ptr = dev.malloc(n as usize * 4).unwrap();
+    dev.copy_u32_htod(ptr, &(0..n).collect::<Vec<_>>()).unwrap();
+    let handle = dev
+        .launch_async(
+            "triple",
+            [16, 1, 1],
+            [8, 1, 1],
+            &[ParamValue::Ptr(ptr), ParamValue::U32(n)],
+            &ExecConfig::dynamic(4).with_workers(1),
+        )
+        .unwrap();
+
+    // While the kernel runs: fill the heap, free everything, then
+    // demand blocks of a class no free list holds — each round forces
+    // the allocator to evict and coalesce idle corpses.
+    for _round in 0..3 {
+        let mut hog = Vec::new();
+        while let Ok(p) = dev.malloc(8 << 10) {
+            hog.push(p);
+        }
+        assert!(!hog.is_empty(), "pressure loop never allocated");
+        for p in hog {
+            dev.free(p).unwrap();
+        }
+        let big = dev.malloc(16 << 10).expect("eviction must rescue the large request");
+        dev.free(big).unwrap();
+    }
+    let stats = dev.memory_stats();
+    assert!(stats.evicted_bytes > 0, "pressure loop never forced eviction: {stats:?}");
+
+    handle.wait().expect("launch must survive concurrent eviction");
+    let out = dev.copy_u32_dtoh(ptr, n as usize).unwrap();
+    for (i, &v) in out.iter().enumerate() {
+        assert_eq!(v, 3 * i as u32, "element {i}: in-flight buffer corrupted by eviction");
+    }
+    dev.free(ptr).unwrap();
+    assert_eq!(dev.heap_used(), 0);
 }
 
 /// `data[i] *= 2` — a second kernel so the serving test's bystander

@@ -58,7 +58,9 @@ done:
 
 fn run_divergent(config: &ExecConfig) -> LaunchStats {
     let n = 128usize;
-    let dev = Device::new(MachineModel::sandybridge_sse(), 4 << 20);
+    // No persistent cache: these tests assert on cold-compile spans
+    // (Specialize/Decode), which a warm disk cache legitimately skips.
+    let dev = Device::with_persist(MachineModel::sandybridge_sse(), 4 << 20, None);
     dev.register_source(DIVERGENT).unwrap();
     let seeds: Vec<u32> = (0..n as u32).map(|i| i * 7 + 1).collect();
     let ps = dev.malloc(n * 4).unwrap();

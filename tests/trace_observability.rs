@@ -85,7 +85,9 @@ entry:
 
 fn run_divergent(config: &ExecConfig) -> LaunchStats {
     let n = 128usize;
-    let dev = Device::new(MachineModel::sandybridge_sse(), 4 << 20);
+    // No persistent cache: these tests assert cold-compile phase timers,
+    // which a warm disk cache legitimately skips.
+    let dev = Device::with_persist(MachineModel::sandybridge_sse(), 4 << 20, None);
     dev.register_source(DIVERGENT).unwrap();
     let seeds: Vec<u32> = (0..n as u32).map(|i| i * 7 + 1).collect();
     let ps = dev.malloc(n * 4).unwrap();
@@ -102,7 +104,7 @@ fn run_divergent(config: &ExecConfig) -> LaunchStats {
 }
 
 fn run_barrier(config: &ExecConfig) -> LaunchStats {
-    let dev = Device::new(MachineModel::sandybridge_sse(), 1 << 20);
+    let dev = Device::with_persist(MachineModel::sandybridge_sse(), 1 << 20, None);
     dev.register_source(BARRIER).unwrap();
     let po = dev.malloc(32 * 4).unwrap();
     dev.launch("twophase", [1, 1, 1], [32, 1, 1], &[ParamValue::Ptr(po)], config).unwrap()
