@@ -9,10 +9,16 @@
 //!
 //! Usage:
 //!   host_perf [--quick] [--engine {bytecode,tree,jit}] [--streams N]
-//!             [--cold-start] [--out PATH] [--before PATH] [--check PATH]
-//!             [--timeline] [--profile]
+//!             [--widths W1,W2,...] [--cold-start] [--out PATH]
+//!             [--before PATH] [--check PATH] [--timeline] [--profile]
 //!
 //! * `--quick` — reduced repeat counts (CI smoke configuration)
+//! * `--widths W1,W2,...` — sweep warm-launch latency per static warp
+//!   width, then run each workload once more under the adaptive width
+//!   policy (`DPVK_ADAPT=on` semantics, candidates = the sweep widths)
+//!   starting from the measured-worst width, and report the width the
+//!   policy converged to next to the static best (the `adaptive`
+//!   section of `--out`)
 //! * `--cold-start` — additionally measure first-launch latency on a
 //!   fresh device with an empty persistent cache directory (cold:
 //!   parse + translate + specialize) vs a fresh device over the
@@ -44,7 +50,7 @@
 use std::time::Instant;
 
 use dpvk_bench::format_table;
-use dpvk_core::{Engine, ExecConfig, ParamValue};
+use dpvk_core::{AdaptConfig, Engine, ExecConfig, ParamValue};
 use dpvk_vm::MachineModel;
 use dpvk_workloads::{workload, Workload};
 
@@ -163,6 +169,124 @@ fn bench_cold_start(name: &str, reps: usize, engine: Engine) -> ColdStartSample 
         cold_ns: cold,
         warm_ns: warm,
         speedup: cold as f64 / warm.max(1) as f64,
+    }
+}
+
+/// Warm-launch latency of one workload at one static warp width.
+#[derive(Debug, Clone)]
+struct WidthSample {
+    width: u32,
+    median_ns: u64,
+    launches: u64,
+}
+
+/// One workload's width sweep: static latency per width, plus the
+/// adaptive policy's converged choice starting from the worst width.
+#[derive(Debug, Clone)]
+struct AdaptiveSample {
+    workload: String,
+    widths: Vec<WidthSample>,
+    /// Width with the lowest static median.
+    static_best_width: u32,
+    static_best_ns: u64,
+    /// Width the sweep measured as slowest — the adaptive run's
+    /// deliberately bad starting point.
+    adaptive_start_width: u32,
+    /// Width the policy committed (0 = never converged).
+    adaptive_chosen_width: u32,
+    /// Warm-launch median once the policy has converged.
+    adaptive_ns: u64,
+    /// Background respecializations the run scheduled.
+    respec_events: u64,
+}
+
+/// Median warm-launch nanoseconds of `iters` runs on an already-warm
+/// device.
+fn time_warm(
+    w: &dyn Workload,
+    dev: &dpvk_core::Device,
+    config: &ExecConfig,
+    iters: usize,
+) -> (u64, u64) {
+    let mut samples: Vec<u64> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        if w.run(dev, config).is_ok() {
+            samples.push(t.elapsed().as_nanos() as u64);
+        }
+    }
+    assert!(!samples.is_empty(), "no successful timed runs for {}", w.name());
+    samples.sort_unstable();
+    (samples[samples.len() / 2], samples.len() as u64)
+}
+
+/// Sweep one workload across `widths`: static warm-launch latency per
+/// width (adaptation forced off), then one adaptive run whose policy may
+/// pick any sweep width, started at the measured-worst width and driven
+/// past convergence.
+fn bench_widths(name: &str, widths: &[u32], quick: bool, engine: Engine) -> AdaptiveSample {
+    let w = workload(name).expect("workload exists");
+    let iters = if quick { 8 } else { 24 };
+
+    let mut rows = Vec::with_capacity(widths.len());
+    for &width in widths {
+        let config = ExecConfig::dynamic(width)
+            .with_workers(1)
+            .with_engine(engine)
+            .with_adapt(AdaptConfig::off());
+        let dev = fresh_device(w.as_ref());
+        w.run(&dev, &config).expect("warm-up run validates");
+        let (median_ns, launches) = time_warm(w.as_ref(), &dev, &config, iters);
+        rows.push(WidthSample { width, median_ns, launches });
+    }
+    let best = rows.iter().min_by_key(|r| r.median_ns).expect("non-empty sweep");
+    let worst = rows.iter().max_by_key(|r| r.median_ns).expect("non-empty sweep");
+    let (static_best_width, static_best_ns) = (best.width, best.median_ns);
+    let start_width = worst.width;
+
+    // Adaptive run: request the worst width every launch and let the
+    // policy steer. Enough launches to warm up, explore every candidate,
+    // and commit; the hotness threshold is lowered so the bench stays
+    // fast.
+    let threshold: u32 = if quick { 3 } else { 6 };
+    let adapt = AdaptConfig::on().with_threshold(threshold).with_candidates(widths);
+    let config =
+        ExecConfig::dynamic(start_width).with_workers(1).with_engine(engine).with_adapt(adapt);
+    let dev = fresh_device(w.as_ref());
+    let converge_runs = threshold as usize * (widths.len() + 1) + 6;
+    for _ in 0..converge_runs {
+        w.run(&dev, &config).expect("adaptive run validates");
+    }
+    dev.synchronize();
+    let (adaptive_ns, _) = time_warm(w.as_ref(), &dev, &config, iters);
+
+    // The policy is per kernel; report the most-launched kernel of the
+    // workload (multi-kernel workloads converge per kernel).
+    let kernels: Vec<String> = dpvk_ptx::parse_module(&w.source())
+        .map(|m| m.kernels.iter().map(|k| k.name.clone()).collect())
+        .unwrap_or_default();
+    let mut chosen = 0u32;
+    let mut respec_events = 0u64;
+    let mut best_launches = 0u64;
+    for kernel in &kernels {
+        let snap = dev.width_policy(kernel);
+        respec_events += snap.respec_events;
+        if let Some(cw) = snap.chosen_width {
+            if snap.launches > best_launches {
+                best_launches = snap.launches;
+                chosen = cw;
+            }
+        }
+    }
+    AdaptiveSample {
+        workload: name.to_string(),
+        widths: rows,
+        static_best_width,
+        static_best_ns,
+        adaptive_start_width: start_width,
+        adaptive_chosen_width: chosen,
+        adaptive_ns,
+        respec_events,
     }
 }
 
@@ -328,12 +452,50 @@ fn render_cold_start_json(rows: &[ColdStartSample], trailing: bool) -> String {
     out
 }
 
+/// Render the `"adaptive"` JSON array. Rows carry `width`/`median_ns`
+/// pairs but never the `workers` + `min_ns` combination, so
+/// `read_results` on a combined file skips them.
+fn render_adaptive_json(rows: &[AdaptiveSample], trailing: bool) -> String {
+    let mut out = String::new();
+    out.push_str("  \"adaptive\": [\n");
+    for (i, s) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let widths = s
+            .widths
+            .iter()
+            .map(|w| {
+                format!(
+                    "{{\"width\": {}, \"median_ns\": {}, \"launches\": {}}}",
+                    w.width, w.median_ns, w.launches
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"static\": [{widths}], \
+             \"static_best_width\": {}, \"static_best_ns\": {}, \
+             \"adaptive_start_width\": {}, \"adaptive_chosen_width\": {}, \
+             \"adaptive_ns\": {}, \"respec_events\": {}}}{comma}\n",
+            s.workload,
+            s.static_best_width,
+            s.static_best_ns,
+            s.adaptive_start_width,
+            s.adaptive_chosen_width,
+            s.adaptive_ns,
+            s.respec_events
+        ));
+    }
+    out.push_str(if trailing { "  ],\n" } else { "  ]\n" });
+    out
+}
+
 fn render_json(
     before: Option<&[Sample]>,
     after: &[Sample],
     engine: Engine,
     streams: Option<&StreamReport>,
     cold_start: Option<&[ColdStartSample]>,
+    adaptive: Option<&[AdaptiveSample]>,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -373,13 +535,21 @@ fn render_json(
         out.push_str("\n  ],\n");
         out.push_str("  \"speedup_median\": [\n");
         out.push_str(&speedups(|s| s.median_ns));
-        out.push_str(if streams.is_some() || cold_start.is_some() {
+        out.push_str(if streams.is_some() || cold_start.is_some() || adaptive.is_some() {
             "\n  ],\n"
         } else {
             "\n  ]\n"
         });
     } else {
-        emit(&mut out, "after", after, streams.is_some() || cold_start.is_some());
+        emit(
+            &mut out,
+            "after",
+            after,
+            streams.is_some() || cold_start.is_some() || adaptive.is_some(),
+        );
+    }
+    if let Some(rows) = adaptive {
+        out.push_str(&render_adaptive_json(rows, streams.is_some() || cold_start.is_some()));
     }
     if let Some(rows) = cold_start {
         out.push_str(&render_cold_start_json(rows, streams.is_some()));
@@ -465,6 +635,7 @@ fn main() {
     let mut quick = false;
     let mut engine = Engine::default();
     let mut cold_start = false;
+    let mut widths_arg: Option<Vec<u32>> = None;
     let mut streams_n: Option<usize> = None;
     let mut out_path: Option<String> = None;
     let mut before_path: Option<String> = None;
@@ -478,6 +649,23 @@ fn main() {
             "--cold-start" => cold_start = true,
             "--timeline" => timeline = true,
             "--profile" => profile = true,
+            "--widths" => {
+                i += 1;
+                let parsed: Result<Vec<u32>, _> =
+                    args[i].split(',').map(|s| s.trim().parse::<u32>()).collect();
+                match parsed {
+                    Ok(ws) if ws.len() >= 2 && ws.iter().all(|&w| w >= 1) => {
+                        widths_arg = Some(ws);
+                    }
+                    _ => {
+                        eprintln!(
+                            "--widths expects a comma-separated list of at least two \
+                             positive warp widths (e.g. 4,8,16)"
+                        );
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--streams" => {
                 i += 1;
                 let n: usize = args[i].parse().unwrap_or(0);
@@ -577,6 +765,47 @@ fn main() {
         rows
     });
 
+    let adaptive_results = widths_arg.map(|widths| {
+        let rows: Vec<AdaptiveSample> =
+            WORKLOADS.iter().map(|name| bench_widths(name, &widths, quick, engine)).collect();
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|s| {
+                let sweep = s
+                    .widths
+                    .iter()
+                    .map(|w| format!("w{}:{}", w.width, w.median_ns))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                vec![
+                    s.workload.clone(),
+                    sweep,
+                    format!("w{}", s.static_best_width),
+                    format!("w{}", s.adaptive_start_width),
+                    if s.adaptive_chosen_width == 0 {
+                        "-".to_string()
+                    } else {
+                        format!("w{}", s.adaptive_chosen_width)
+                    },
+                    s.adaptive_ns.to_string(),
+                    s.respec_events.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "\nWidth sweep ({} engine): static median ns per width vs adaptive policy",
+            engine.label()
+        );
+        println!(
+            "{}",
+            format_table(
+                &["workload", "static_ns", "best", "start", "chosen", "adaptive_ns", "respecs"],
+                &table
+            )
+        );
+        rows
+    });
+
     let streams_report = streams_n.map(|n| {
         let r = bench_streams(n, quick, engine);
         eprintln!(
@@ -617,6 +846,7 @@ fn main() {
                 engine,
                 streams_report.as_ref(),
                 cold_results.as_deref(),
+                adaptive_results.as_deref(),
             ),
         )
         .expect("write --out file");

@@ -56,6 +56,17 @@ impl Variant {
         }
     }
 
+    /// Parse a label produced by [`Variant::label`]; `None` for anything
+    /// else (e.g. a corrupt or future-format width manifest).
+    pub(crate) fn from_label(label: &str) -> Option<Variant> {
+        match label {
+            "baseline" => Some(Variant::Baseline),
+            "dynamic" => Some(Variant::Dynamic),
+            "static_tie" => Some(Variant::StaticTie),
+            _ => None,
+        }
+    }
+
     fn options(self, warp_size: u32) -> SpecializeOptions {
         match self {
             Variant::Baseline => SpecializeOptions::baseline(),
@@ -111,6 +122,7 @@ impl CompiledKernel {
                     dpvk_trace::add(dpvk_trace::Counter::JitCodeBytes, s.code_bytes);
                     dpvk_trace::add(dpvk_trace::Counter::JitTemplateUops, s.template_uops);
                     dpvk_trace::add(dpvk_trace::Counter::JitHelperUops, s.helper_uops);
+                    dpvk_trace::add(dpvk_trace::Counter::JitWideHelperUops, s.wide_helper_uops);
                     if let Some(start) = span {
                         flight::emit_span(SpanKind::JitEmit, kernel, start, s.code_bytes);
                     }
@@ -200,10 +212,54 @@ impl std::fmt::Display for CacheStats {
     }
 }
 
-/// Compiled specializations of one kernel. A kernel has at most a
-/// handful of `(width, variant)` entries, so a linear scan of this list
-/// beats hashing a composite key — and needs no key allocation.
-type SpecList = Vec<((u32, Variant), Arc<CompiledKernel>)>;
+/// One compiled width of a kernel, with per-width hotness accounting.
+///
+/// `hits` counts warm resolutions served at this width (direct cache
+/// hits plus memo-resolved dispatches flushed at chunk boundaries);
+/// `warps` counts warps actually dispatched against this entry. Both are
+/// relaxed monotonic sums, updated without the map's write lock, and are
+/// what the adaptive width policy and the trace report read.
+struct WidthEntry {
+    width: u32,
+    variant: Variant,
+    compiled: Arc<CompiledKernel>,
+    hits: AtomicU64,
+    warps: AtomicU64,
+}
+
+/// The set of compiled widths of one translation — the cache's unit of
+/// multi-width storage. A kernel has at most a handful of
+/// `(width, variant)` entries, so a linear scan beats hashing a
+/// composite key — and needs no key allocation.
+#[derive(Default)]
+struct WidthSet {
+    entries: Vec<WidthEntry>,
+}
+
+impl WidthSet {
+    fn find(&self, warp_size: u32, variant: Variant) -> Option<&WidthEntry> {
+        self.entries.iter().find(|e| e.width == warp_size && e.variant == variant)
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Snapshot of one width's accounting, for trace reports, the adaptive
+/// policy, and tests. See [`TranslationCache::width_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WidthStats {
+    /// The specialized warp width.
+    pub width: u32,
+    /// The specialization family compiled at this width.
+    pub variant: Variant,
+    /// Warm resolutions served at this width (cache hits plus
+    /// memo-resolved dispatches).
+    pub hits: u64,
+    /// Warps dispatched against this entry.
+    pub warps: u64,
+}
 
 /// Cache statistics as relaxed atomics, so the hot hit path updates them
 /// without taking any lock. All counters are monotonic sums, so relaxed
@@ -259,7 +315,7 @@ struct CacheShared {
     /// Read-mostly: warm lookups take the read lock with a borrowed
     /// `&str` key; the write lock is held only to publish a freshly
     /// compiled specialization.
-    compiled: RwLock<HashMap<String, SpecList>>,
+    compiled: RwLock<HashMap<String, WidthSet>>,
     inner: Mutex<Inner>,
     stats: StatCells,
     /// Disk-backed artifact store; `None` when persistence is disabled.
@@ -355,9 +411,16 @@ impl TranslationCache {
                     );
                 }
                 let t = Arc::new(tk);
-                let mut inner = self.shared.inner.lock();
-                inner.persist_keys.insert(kernel.to_string(), key);
-                return Ok(Arc::clone(inner.translated.entry(kernel.to_string()).or_insert(t)));
+                let (t, first) = {
+                    let mut inner = self.shared.inner.lock();
+                    inner.persist_keys.insert(kernel.to_string(), key);
+                    let first = !inner.translated.contains_key(kernel);
+                    (Arc::clone(inner.translated.entry(kernel.to_string()).or_insert(t)), first)
+                };
+                if first {
+                    self.rehydrate_widths(kernel, key);
+                }
+                return Ok(t);
             }
             self.shared.stats.persist_misses.fetch_add(1, Relaxed);
             dpvk_trace::add(dpvk_trace::Counter::PersistMisses, 1);
@@ -383,11 +446,36 @@ impl TranslationCache {
                 flight::emit_span(SpanKind::PersistStore, kernel, s, t.scalar.blocks.len() as u64);
             }
         }
-        let mut inner = self.shared.inner.lock();
-        if let Some(key) = tkey {
-            inner.persist_keys.insert(kernel.to_string(), key);
+        let (t, first) = {
+            let mut inner = self.shared.inner.lock();
+            if let Some(key) = tkey {
+                inner.persist_keys.insert(kernel.to_string(), key);
+            }
+            let first = !inner.translated.contains_key(kernel);
+            (Arc::clone(inner.translated.entry(kernel.to_string()).or_insert(t)), first)
+        };
+        // Specialization artifacts can outlive an evicted translation, so
+        // even a fresh translate rehydrates any widths the width manifest
+        // still lists.
+        if let (Some(key), true) = (tkey, first) {
+            self.rehydrate_widths(kernel, key);
         }
-        Ok(Arc::clone(inner.translated.entry(kernel.to_string()).or_insert(t)))
+        Ok(t)
+    }
+
+    /// Rehydrate every width the persistent width manifest lists for
+    /// `kernel`, so a restarted process starts with the same `WidthSet`
+    /// it shut down with — not just the one width the first launch asks
+    /// for. Runs once, when the translation is first materialized.
+    fn rehydrate_widths(&self, kernel: &str, tkey: u64) {
+        let Some(ps) = self.shared.persist.as_ref() else { return };
+        for (width, label) in ps.load_widths(kernel, tkey) {
+            let Some(variant) = Variant::from_label(&label) else { continue };
+            if self.lookup(kernel, width, variant).is_some() {
+                continue;
+            }
+            let _ = self.load_persisted_spec(kernel, width, variant);
+        }
     }
 
     /// The specialization of `kernel` for `(warp_size, variant)`,
@@ -406,7 +494,7 @@ impl TranslationCache {
         // Hot path: shared read lock, borrowed key, no allocation. Trace
         // bookkeeping (including `Variant::label`) runs only when the
         // trace layer is actually on.
-        if let Some(c) = self.lookup(kernel, warp_size, variant) {
+        if let Some(c) = self.lookup_counting(kernel, warp_size, variant) {
             self.shared.stats.hits.fetch_add(1, Relaxed);
             if dpvk_trace::enabled() {
                 dpvk_trace::record_cache_query(kernel, warp_size, variant.label(), true);
@@ -423,6 +511,13 @@ impl TranslationCache {
             dpvk_trace::record_cache_query(kernel, warp_size, variant.label(), false);
         }
         let tk = self.translated(kernel)?;
+        // Materializing the translation may have rehydrated this very
+        // width from the persistent width manifest: re-probe before
+        // touching the disk again so the rehydration is charged once.
+        if let Some(c) = self.lookup_counting(kernel, warp_size, variant) {
+            self.shared.stats.hits.fetch_add(1, Relaxed);
+            return Ok(c);
+        }
         if let Some(compiled) = self.load_persisted_spec(kernel, warp_size, variant) {
             return Ok(compiled);
         }
@@ -511,18 +606,22 @@ impl TranslationCache {
         // publication wins (both racers still count their miss, exactly
         // as the mutex-era cache did).
         let mut map = self.shared.compiled.write();
-        let list = map.entry(kernel.to_string()).or_default();
-        if let Some((_, existing)) =
-            list.iter().find(|((w, v), _)| *w == warp_size && *v == variant)
-        {
-            return Ok(Arc::clone(existing));
+        let set = map.entry(kernel.to_string()).or_default();
+        if let Some(existing) = set.find(warp_size, variant) {
+            return Ok(Arc::clone(&existing.compiled));
         }
-        list.push(((warp_size, variant), Arc::clone(&compiled)));
+        set.entries.push(WidthEntry {
+            width: warp_size,
+            variant,
+            compiled: Arc::clone(&compiled),
+            hits: AtomicU64::new(0),
+            warps: AtomicU64::new(0),
+        });
         Ok(compiled)
     }
 
     /// Warm lookup: read lock, borrowed key, linear scan of the kernel's
-    /// few specializations.
+    /// few specializations. Pure probe — no accounting.
     fn lookup(
         &self,
         kernel: &str,
@@ -530,8 +629,74 @@ impl TranslationCache {
         variant: Variant,
     ) -> Option<Arc<CompiledKernel>> {
         let map = self.shared.compiled.read();
-        let list = map.get(kernel)?;
-        list.iter().find(|((w, v), _)| *w == warp_size && *v == variant).map(|(_, c)| Arc::clone(c))
+        let set = map.get(kernel)?;
+        set.find(warp_size, variant).map(|e| Arc::clone(&e.compiled))
+    }
+
+    /// Warm lookup that also charges the served width's hit counter.
+    fn lookup_counting(
+        &self,
+        kernel: &str,
+        warp_size: u32,
+        variant: Variant,
+    ) -> Option<Arc<CompiledKernel>> {
+        let map = self.shared.compiled.read();
+        let set = map.get(kernel)?;
+        let e = set.find(warp_size, variant)?;
+        e.hits.fetch_add(1, Relaxed);
+        Some(Arc::clone(&e.compiled))
+    }
+
+    /// Snapshot per-width accounting for `kernel`: every compiled
+    /// `(width, variant)` with its hit and dispatched-warp tallies,
+    /// ordered by `(width, variant)` for deterministic reporting.
+    pub fn width_stats(&self, kernel: &str) -> Vec<WidthStats> {
+        let map = self.shared.compiled.read();
+        let mut out: Vec<WidthStats> = map
+            .get(kernel)
+            .map(|set| {
+                set.entries
+                    .iter()
+                    .map(|e| WidthStats {
+                        width: e.width,
+                        variant: e.variant,
+                        hits: e.hits.load(Relaxed),
+                        warps: e.warps.load(Relaxed),
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        out.sort_by_key(|s| (s.width, s.variant.label()));
+        out
+    }
+
+    /// Every `(width, variant)` currently compiled for `kernel`, in
+    /// deterministic `(width, variant)` order.
+    pub fn observed_widths(&self, kernel: &str) -> Vec<(u32, Variant)> {
+        self.width_stats(kernel).into_iter().map(|s| (s.width, s.variant)).collect()
+    }
+
+    /// Fold per-width usage flushed from a worker's dispatch memo into
+    /// the served entry's accounting: `hits` resolutions and `warps`
+    /// dispatched warps at `(warp_size, variant)`. Read lock only — the
+    /// entry's counters are relaxed atomics.
+    pub(crate) fn note_width_use(
+        &self,
+        kernel: &str,
+        warp_size: u32,
+        variant: Variant,
+        hits: u64,
+        warps: u64,
+    ) {
+        let map = self.shared.compiled.read();
+        if let Some(e) = map.get(kernel).and_then(|set| set.find(warp_size, variant)) {
+            if hits != 0 {
+                e.hits.fetch_add(hits, Relaxed);
+            }
+            if warps != 0 {
+                e.warps.fetch_add(warps, Relaxed);
+            }
+        }
     }
 
     /// Try to rehydrate a `(kernel, warp_size, variant)` specialization
@@ -597,13 +762,17 @@ impl TranslationCache {
             flight::emit_span(SpanKind::PersistLoad, kernel, s, compiled.bytecode.len() as u64);
         }
         let mut map = self.shared.compiled.write();
-        let list = map.entry(kernel.to_string()).or_default();
-        if let Some((_, existing)) =
-            list.iter().find(|((w, v), _)| *w == warp_size && *v == variant)
-        {
-            return Some(Arc::clone(existing));
+        let set = map.entry(kernel.to_string()).or_default();
+        if let Some(existing) = set.find(warp_size, variant) {
+            return Some(Arc::clone(&existing.compiled));
         }
-        list.push(((warp_size, variant), Arc::clone(&compiled)));
+        set.entries.push(WidthEntry {
+            width: warp_size,
+            variant,
+            compiled: Arc::clone(&compiled),
+            hits: AtomicU64::new(0),
+            warps: AtomicU64::new(0),
+        });
         Some(compiled)
     }
 
@@ -648,6 +817,9 @@ impl TranslationCache {
         self.shared.stats.persist_writes.fetch_add(1, Relaxed);
         self.shared.stats.persist_evictions.fetch_add(evicted, Relaxed);
         dpvk_trace::add(dpvk_trace::Counter::PersistWrites, 1);
+        // Keep the width manifest in step so a restart rehydrates every
+        // width that was observed, not just the first one requested.
+        ps.record_width(kernel, tkey, warp_size, variant.label());
         if let Some(s) = span {
             flight::emit_span(SpanKind::PersistStore, kernel, s, compiled.bytecode.len() as u64);
         }
@@ -767,7 +939,7 @@ impl TranslationCache {
 
 impl std::fmt::Debug for TranslationCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let compiled: usize = self.shared.compiled.read().values().map(Vec::len).sum();
+        let compiled: usize = self.shared.compiled.read().values().map(WidthSet::len).sum();
         let inner = self.shared.inner.lock();
         f.debug_struct("TranslationCache")
             .field("model", &self.shared.model.name)
@@ -798,7 +970,11 @@ done:
 "#;
 
     fn cache_with_kernel() -> TranslationCache {
-        let cache = TranslationCache::new(MachineModel::sandybridge_sse());
+        // In-memory only: these tests pin exact demand-path counter
+        // values, which must not depend on what an earlier process left
+        // in the shared env cache directory (width-manifest rehydration
+        // would pre-load entries and shift hit/miss totals).
+        let cache = TranslationCache::with_persist(MachineModel::sandybridge_sse(), None);
         cache.register_module(&ptx::parse_module(SRC).unwrap());
         cache
     }
@@ -901,6 +1077,74 @@ done:
         assert_eq!(stats.persist_hits + stats.persist_misses + stats.persist_writes, 0);
         assert!(stats.translate_ns > 0);
         assert!(!dir.exists());
+    }
+
+    #[test]
+    fn width_set_keeps_independent_per_width_stats() {
+        let cache = cache_with_kernel();
+        for w in [2u32, 4, 8] {
+            cache.get("k", w, Variant::Dynamic).unwrap();
+        }
+        cache.get("k", 4, Variant::Dynamic).unwrap();
+        cache.get("k", 4, Variant::Dynamic).unwrap();
+        cache.get("k", 8, Variant::Dynamic).unwrap();
+        let stats = cache.width_stats("k");
+        assert_eq!(stats.len(), 3);
+        let hits = |w: u32| stats.iter().find(|s| s.width == w).unwrap().hits;
+        assert_eq!(hits(2), 0);
+        assert_eq!(hits(4), 2);
+        assert_eq!(hits(8), 1);
+        cache.note_width_use("k", 8, Variant::Dynamic, 3, 7);
+        let s8 = *cache.width_stats("k").iter().find(|s| s.width == 8).unwrap();
+        assert_eq!(s8.hits, 4);
+        assert_eq!(s8.warps, 7);
+        assert_eq!(
+            cache.observed_widths("k"),
+            vec![(2, Variant::Dynamic), (4, Variant::Dynamic), (8, Variant::Dynamic)]
+        );
+    }
+
+    #[test]
+    fn width_manifest_rehydrates_every_observed_width() {
+        let dir =
+            std::env::temp_dir().join(format!("dpvk-cache-test-widths-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fresh = || {
+            let c = TranslationCache::with_persist(
+                MachineModel::sandybridge_sse(),
+                Some(PersistConfig::at(&dir)),
+            );
+            c.register_module(&ptx::parse_module(SRC).unwrap());
+            c
+        };
+        let a = fresh();
+        for w in [2u32, 4, 8] {
+            a.get("k", w, Variant::Dynamic).unwrap();
+        }
+        a.get("k", 1, Variant::Baseline).unwrap();
+        // A restarted process materializes the translation once and gets
+        // every previously observed width back without asking for them.
+        let b = fresh();
+        b.translated("k").unwrap();
+        assert_eq!(
+            b.observed_widths("k"),
+            vec![
+                (1, Variant::Baseline),
+                (2, Variant::Dynamic),
+                (4, Variant::Dynamic),
+                (8, Variant::Dynamic)
+            ]
+        );
+        let stats = b.stats();
+        assert_eq!(stats.persist_hits, 5, "translation + four widths: {stats:?}");
+        assert_eq!(stats.translate_ns, 0);
+        assert_eq!(stats.specialize_ns, 0);
+        assert_eq!(stats.decode_ns, 0);
+        // Asking for a rehydrated width is now a pure in-memory hit.
+        b.get("k", 4, Variant::Dynamic).unwrap();
+        assert_eq!(b.stats().persist_hits, 5);
+        assert_eq!(b.stats().hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

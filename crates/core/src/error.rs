@@ -31,6 +31,40 @@ impl fmt::Display for FaultContext {
     }
 }
 
+/// An environment variable held a value that does not parse.
+///
+/// Configuration knobs read from the environment fail loudly at startup
+/// (the same contract as `DPVK_ENGINE`'s `UnknownEngineError`): a typo'd
+/// `DPVK_POOL_WORKERS` or `DPVK_CACHE_CAP` is a configuration bug, and
+/// silently falling back to a default hides it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidEnvValue {
+    /// The environment variable that failed to parse.
+    pub var: &'static str,
+    /// The offending value.
+    pub value: String,
+    /// What the variable expects, for the error message.
+    pub expected: &'static str,
+}
+
+impl fmt::Display for InvalidEnvValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid value `{}`: expected {}", self.value, self.expected)
+    }
+}
+
+impl std::error::Error for InvalidEnvValue {}
+
+/// Read an integer knob from the environment. `Ok(None)` when unset;
+/// panics (startup configuration bug) when set to something unparsable.
+pub(crate) fn env_u64(var: &'static str, expected: &'static str) -> Option<u64> {
+    let value = std::env::var(var).ok()?;
+    match value.parse() {
+        Ok(v) => Some(v),
+        Err(_) => panic!("{var}: {}", InvalidEnvValue { var, value, expected }),
+    }
+}
+
 /// Error from translation, vectorization, caching or kernel execution.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CoreError {

@@ -41,6 +41,10 @@ pub(crate) struct LaunchRequest {
     /// otherwise. Chunks trip it on any fault so siblings of *this*
     /// launch stop early; other launches' tokens are untouched.
     pub token: CancelToken,
+    /// The device's adaptive width-policy table, when the launch came
+    /// through a [`Device`](crate::Device) with adaptation enabled; the
+    /// retiring worker feeds the launch's `ExecStats` back into it.
+    pub policy: Option<Arc<crate::specialize::policy::PolicyTable>>,
 }
 
 /// Mutable completion state of one launch, updated by pool workers as
@@ -130,6 +134,20 @@ impl LaunchJob {
             st.remaining -= 1;
             if st.remaining == 0 {
                 let outcome = finalize(&self.req.kernel, &mut st);
+                if let (Some(policy), Ok(stats)) = (&self.req.policy, &outcome) {
+                    // Feed the launch's modeled cost back into the
+                    // adaptive width policy before the outcome becomes
+                    // visible to waiters, so a caller that immediately
+                    // relaunches observes every prior launch's score.
+                    policy.observe(
+                        &self.req.kernel,
+                        self.req.config.max_warp,
+                        stats,
+                        &self.req.config.adapt,
+                        &self.req.cache,
+                        pool,
+                    );
+                }
                 st.outcome = Some(outcome);
                 true
             } else {

@@ -46,11 +46,20 @@ struct Chunk {
     index: usize,
 }
 
+/// A queued unit of pool work: a launch chunk, or a detached background
+/// task (the adaptive width policy compiles candidate specializations
+/// this way, so re-specialization never runs on a launch's critical
+/// path).
+enum PoolItem {
+    Chunk(Chunk),
+    Task(Box<dyn FnOnce() + Send>),
+}
+
 #[derive(Default)]
 struct PoolQueue {
-    chunks: VecDeque<Chunk>,
+    items: VecDeque<PoolItem>,
     shutdown: bool,
-    /// Workers currently executing a chunk (pool occupancy).
+    /// Workers currently executing an item (pool occupancy).
     busy: usize,
 }
 
@@ -69,7 +78,7 @@ impl PoolShared {
         {
             let mut q = self.queue.lock();
             for index in 0..n {
-                q.chunks.push_back(Chunk { job: Arc::clone(&job), index });
+                q.items.push_back(PoolItem::Chunk(Chunk { job: Arc::clone(&job), index }));
             }
         }
         if n == 1 {
@@ -77,6 +86,17 @@ impl PoolShared {
         } else {
             self.queue.notify_all();
         }
+    }
+
+    /// Enqueue a detached background task; it runs on a pool worker when
+    /// one frees up, behind any queued chunks. The pool's drain-on-drop
+    /// contract covers tasks too.
+    pub(crate) fn submit_task(&self, task: Box<dyn FnOnce() + Send>) {
+        {
+            let mut q = self.queue.lock();
+            q.items.push_back(PoolItem::Task(task));
+        }
+        self.queue.notify_one();
     }
 }
 
@@ -136,8 +156,10 @@ impl Drop for WorkerPool {
 /// device passes its model's core count so modeled-default launches
 /// always have a chunk's worth of workers to land on).
 pub(crate) fn pool_size(min_workers: usize) -> usize {
-    if let Some(n) = std::env::var("DPVK_POOL_WORKERS").ok().and_then(|v| v.parse::<usize>().ok()) {
-        return n.clamp(1, 256);
+    // An unparsable value is a startup configuration bug and panics
+    // (same contract as `DPVK_ENGINE`), it is never silently ignored.
+    if let Some(n) = crate::error::env_u64("DPVK_POOL_WORKERS", "a worker count (1..=256)") {
+        return usize::try_from(n).unwrap_or(usize::MAX).clamp(1, 256);
     }
     let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     host.max(min_workers).max(1)
@@ -161,15 +183,15 @@ fn worker_loop(shared: &Arc<PoolShared>) {
     timeline::register_worker();
     let mut scratch = WorkerScratch::new();
     loop {
-        let chunk = {
+        let item = {
             let mut q = shared.queue.lock();
             loop {
-                if let Some(c) = q.chunks.pop_front() {
+                if let Some(item) = q.items.pop_front() {
                     q.busy += 1;
                     if dpvk_trace::enabled() {
                         dpvk_trace::record_peak(dpvk_trace::Counter::PoolBusyPeak, q.busy as u64);
                     }
-                    break c;
+                    break item;
                 }
                 if q.shutdown {
                     return;
@@ -177,7 +199,17 @@ fn worker_loop(shared: &Arc<PoolShared>) {
                 q = shared.queue.wait(q);
             }
         };
-        let Chunk { job, index } = chunk;
+        let Chunk { job, index } = match item {
+            PoolItem::Chunk(c) => c,
+            PoolItem::Task(task) => {
+                // Background work is panic-contained like a chunk: a bad
+                // candidate compile must not kill the worker thread.
+                let _ = catch_unwind(AssertUnwindSafe(task));
+                let mut q = shared.queue.lock();
+                q.busy -= 1;
+                continue;
+            }
+        };
         let outcome = catch_unwind(AssertUnwindSafe(|| run_chunk(&job, index, &mut scratch)));
         let (stats, error, stopped_at) = outcome.unwrap_or_else(|payload| {
             // A panic that escaped the per-CTA net (inter-CTA glue).
@@ -315,6 +347,13 @@ struct MemoEntry {
     variant: Variant,
     compiled: Arc<CompiledKernel>,
     downgraded: bool,
+    /// Memo hits since the last flush, folded into the cache entry's
+    /// per-width hit counter at chunk boundaries.
+    pending_hits: u64,
+    /// Warps resolved through this entry since the last flush (memo hits
+    /// plus the initial shared-cache resolution), folded into the cache
+    /// entry's per-width dispatched-warp counter.
+    pending_warps: u64,
 }
 
 /// Memo entries are a linear scan; past this the scan (and the held
@@ -349,26 +388,31 @@ impl DispatchMemo {
     ) -> Result<(Arc<CompiledKernel>, bool), CoreError> {
         if let Some(e) = self
             .entries
-            .iter()
+            .iter_mut()
             .find(|e| e.width == w && e.variant == variant && Arc::ptr_eq(&e.tk, tk))
         {
             // Tally what the shared cache would have counted: one hit per
             // resolution, and for a downgraded entry a hit on the width-1
             // baseline plus one downgrade.
             self.hits += 1;
+            e.pending_hits += 1;
+            e.pending_warps += 1;
             let downgraded = e.downgraded;
             if downgraded {
                 self.downgrades += 1;
             }
+            let compiled = Arc::clone(&e.compiled);
             if dpvk_trace::enabled() {
                 let (rw, rv) = if downgraded { (1, Variant::Baseline) } else { (w, variant) };
                 dpvk_trace::record_cache_query(kernel, rw, rv.label(), true);
             }
-            return Ok((Arc::clone(&e.compiled), downgraded));
+            return Ok((compiled, downgraded));
         }
         let cache = self.cache.as_ref().expect("memo bound to a cache before resolving");
         let (compiled, downgraded) = cache.get_or_downgrade(kernel, w, variant)?;
         if self.entries.len() >= MEMO_CAPACITY {
+            // Flush before discarding so no per-width tallies are lost.
+            self.flush();
             self.entries.clear();
         }
         self.entries.push(MemoEntry {
@@ -377,11 +421,15 @@ impl DispatchMemo {
             variant,
             compiled: Arc::clone(&compiled),
             downgraded,
+            pending_hits: 0,
+            pending_warps: 1,
         });
         Ok((compiled, downgraded))
     }
 
-    /// Flush accumulated hit/downgrade tallies to the bound cache.
+    /// Flush accumulated hit/downgrade and per-width tallies to the
+    /// bound cache. A downgraded entry's usage is attributed to the
+    /// width-1 baseline it actually dispatched.
     pub(crate) fn flush(&mut self) {
         if self.hits != 0 || self.downgrades != 0 {
             if let Some(cache) = &self.cache {
@@ -389,6 +437,22 @@ impl DispatchMemo {
             }
             self.hits = 0;
             self.downgrades = 0;
+        }
+        if let Some(cache) = &self.cache {
+            let tracing = dpvk_trace::enabled();
+            for e in &mut self.entries {
+                if e.pending_hits == 0 && e.pending_warps == 0 {
+                    continue;
+                }
+                let hits = std::mem::take(&mut e.pending_hits);
+                let warps = std::mem::take(&mut e.pending_warps);
+                let (w, v) =
+                    if e.downgraded { (1, Variant::Baseline) } else { (e.width, e.variant) };
+                cache.note_width_use(&e.tk.name, w, v, hits, warps);
+                if tracing {
+                    dpvk_trace::record_width_use(&e.tk.name, w, warps);
+                }
+            }
         }
     }
 }

@@ -72,20 +72,22 @@ pub mod faults;
 pub mod lint;
 pub mod persist;
 pub mod runtime;
+pub mod specialize;
 pub mod sync;
 pub mod translate;
 pub mod vectorize;
 
-pub use cache::{CacheStats, CompiledKernel, TranslationCache, Variant};
+pub use cache::{CacheStats, CompiledKernel, TranslationCache, Variant, WidthStats};
 pub use devmem::MemoryStats;
 pub use dpvk_vm::CancelToken;
-pub use error::{CoreError, FaultContext};
+pub use error::{CoreError, FaultContext, InvalidEnvValue};
 pub use exec::{
-    run_grid, run_grid_cancellable, EmCostModel, Engine, ExecConfig, FormationPolicy, LaunchHandle,
-    LaunchStats, UnknownEngineError,
+    run_grid, run_grid_cancellable, AdaptConfig, AdaptMode, EmCostModel, Engine, ExecConfig,
+    FormationPolicy, LaunchHandle, LaunchStats, UnknownAdaptModeError, UnknownEngineError,
 };
 pub use lint::{warp_sync_lint, LintFinding};
 pub use persist::PersistConfig;
 pub use runtime::{Device, DeviceBuffer, DevicePtr, ParamValue, Stream};
+pub use specialize::{PolicySnapshot, PolicyTable};
 pub use translate::{translate, TranslatedKernel};
 pub use vectorize::{specialize, SpecializeOptions, Specialized};

@@ -56,6 +56,12 @@ const MAGIC: &[u8; 8] = b"DPVKART\x01";
 const KIND_TRANSLATION: u8 = 1;
 /// Artifact kind byte: a compiled specialization.
 const KIND_SPEC: u8 = 2;
+/// Artifact kind byte: a translation's width manifest — the list of
+/// `(width, variant)` specializations observed for it, so a restart
+/// rehydrates the whole `WidthSet`, not just the first width asked for.
+/// Old readers never look for this kind or its extension, so adding it
+/// needs no `FORMAT_VERSION` bump.
+const KIND_WIDTHS: u8 = 3;
 
 /// Default directory size cap: 256 MiB.
 const DEFAULT_CAP_BYTES: u64 = 256 << 20;
@@ -95,9 +101,7 @@ impl PersistConfig {
         }
         let dir =
             std::env::var_os("DPVK_CACHE_DIR").map(PathBuf::from).unwrap_or_else(default_cache_dir);
-        let cap_bytes = std::env::var("DPVK_CACHE_CAP")
-            .ok()
-            .and_then(|v| v.parse().ok())
+        let cap_bytes = crate::error::env_u64("DPVK_CACHE_CAP", "a size cap in bytes")
             .unwrap_or(DEFAULT_CAP_BYTES);
         Some(PersistConfig { dir, cap_bytes })
     }
@@ -252,6 +256,48 @@ impl PersistStore {
         irs::put_u64(&mut payload, pbytes.len() as u64);
         payload.extend_from_slice(&pbytes);
         self.write_artifact(&self.artifact_path(kernel, key, "spec"), KIND_SPEC, &payload)
+    }
+
+    /// The `(width, variant-label)` pairs recorded for a translation's
+    /// width manifest, or empty on miss/corruption (corrupt manifests
+    /// are deleted; the cost is re-observing widths, never wrong code).
+    pub(crate) fn load_widths(&self, kernel: &str, translation_key: u64) -> Vec<(u32, String)> {
+        let path = self.artifact_path(kernel, translation_key, "widths");
+        let Some(payload) = self.read_artifact(&path, KIND_WIDTHS) else { return Vec::new() };
+        match decode_widths(&payload) {
+            Ok(widths) => widths,
+            Err(_) => {
+                let _ = fs::remove_file(&path);
+                Vec::new()
+            }
+        }
+    }
+
+    /// Merge `(width, variant)` into the translation's width manifest.
+    /// Best-effort read-modify-write: concurrent writers may drop one
+    /// another's entry for a run, which only delays rehydration of that
+    /// width — it never produces wrong code.
+    pub(crate) fn record_width(
+        &self,
+        kernel: &str,
+        translation_key: u64,
+        width: u32,
+        variant: &str,
+    ) {
+        let mut widths = self.load_widths(kernel, translation_key);
+        if widths.iter().any(|(w, v)| *w == width && v == variant) {
+            return;
+        }
+        widths.push((width, variant.to_string()));
+        widths.sort();
+        let mut payload = Vec::with_capacity(16 * widths.len());
+        irs::put_u32(&mut payload, widths.len() as u32);
+        for (w, v) in &widths {
+            irs::put_u32(&mut payload, *w);
+            irs::put_str(&mut payload, v);
+        }
+        let path = self.artifact_path(kernel, translation_key, "widths");
+        self.write_artifact(&path, KIND_WIDTHS, &payload);
     }
 
     /// Read and unwrap a container file: magic, version, kind, length
@@ -547,6 +593,26 @@ fn decode_spec(bytes: &[u8]) -> SerialResult<SpecArtifact> {
     })
 }
 
+/// Decode a width manifest payload: count, then `(u32 width, str
+/// variant-label)` pairs.
+fn decode_widths(bytes: &[u8]) -> SerialResult<Vec<(u32, String)>> {
+    let mut r = Reader::new(bytes);
+    let n = r.take_len(5)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let width = r.take_u32()?;
+        let variant = r.take_str()?;
+        out.push((width, variant));
+    }
+    if !r.is_done() {
+        return Err(SerialError::new(format!(
+            "{} trailing bytes after width manifest",
+            r.remaining()
+        )));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -635,6 +701,33 @@ done:
         assert_eq!(art.jit_code_bytes, 123, "advisory JIT metadata must round-trip");
         assert_eq!(art.bytecode.slots(), program.slots());
         assert_eq!(format!("{:?}", art.bytecode), format!("{program:?}"));
+    }
+
+    #[test]
+    fn width_manifest_merges_and_round_trips() {
+        let store = tmp_store("widths");
+        let tkey = PersistStore::translation_key("model", SRC);
+        assert!(store.load_widths("pk", tkey).is_empty(), "cold manifest must be empty");
+        store.record_width("pk", tkey, 4, "dynamic");
+        store.record_width("pk", tkey, 8, "dynamic");
+        store.record_width("pk", tkey, 4, "dynamic"); // idempotent
+        store.record_width("pk", tkey, 1, "baseline");
+        assert_eq!(
+            store.load_widths("pk", tkey),
+            vec![
+                (1, "baseline".to_string()),
+                (4, "dynamic".to_string()),
+                (8, "dynamic".to_string())
+            ]
+        );
+        // A corrupt manifest misses cleanly and is scrubbed.
+        let path = store.artifact_path("pk", tkey, "widths");
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        assert!(store.load_widths("pk", tkey).is_empty());
+        assert!(!path.exists(), "corrupt manifest must be scrubbed");
     }
 
     #[test]

@@ -17,7 +17,8 @@ use crate::devmem::{DevHeap, MemoryStats};
 use crate::error::CoreError;
 use crate::exec::job::{self, InflightGauge, LaunchRequest, StreamShared};
 use crate::exec::worker::{pool_size, WorkerPool};
-use crate::exec::{ExecConfig, LaunchHandle, LaunchStats};
+use crate::exec::{ExecConfig, FormationPolicy, LaunchHandle, LaunchStats};
+use crate::specialize::{PolicySnapshot, PolicyTable};
 
 /// A kernel launch parameter value.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,6 +64,9 @@ pub struct Device {
     pool: WorkerPool,
     inflight: Arc<InflightGauge>,
     next_stream: std::sync::atomic::AtomicU64,
+    /// Adaptive width-policy table shared by every launch path of this
+    /// device (blocking, async, stream).
+    policy: Arc<PolicyTable>,
 }
 
 impl Device {
@@ -99,6 +103,7 @@ impl Device {
             pool,
             inflight: Arc::new(InflightGauge::new()),
             next_stream: std::sync::atomic::AtomicU64::new(1),
+            policy: Arc::new(PolicyTable::new()),
         }
     }
 
@@ -297,6 +302,13 @@ impl Device {
         token: CancelToken,
     ) -> Result<LaunchRequest, CoreError> {
         let param = self.pack_params(kernel, args)?;
+        let mut config = *config;
+        if config.policy == FormationPolicy::Dynamic {
+            // Let the adaptive policy steer the width (identity unless
+            // `DPVK_ADAPT=on`); a finished background respecialization
+            // is adopted here, at the launch boundary.
+            config.max_warp = self.policy.decide(kernel, config.max_warp, &config.adapt);
+        }
         Ok(LaunchRequest {
             cache: self.cache.clone(),
             kernel: kernel.to_string(),
@@ -305,8 +317,9 @@ impl Device {
             param,
             cbank: Vec::new(),
             global: Arc::clone(&self.global),
-            config: *config,
+            config,
             token,
+            policy: Some(Arc::clone(&self.policy)),
         })
     }
 
@@ -435,6 +448,16 @@ impl Device {
     /// Translation-cache statistics.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Adaptation state of `kernel` under the device's width policy:
+    /// launches observed, the width currently steered to, the final
+    /// committed width once exploration converges, and how many
+    /// background respecializations were scheduled. Zeroed for kernels
+    /// the device has never launched (or when `DPVK_ADAPT` is off —
+    /// observe mode still counts launches).
+    pub fn width_policy(&self, kernel: &str) -> PolicySnapshot {
+        self.policy.snapshot(kernel)
     }
 }
 

@@ -1,0 +1,10 @@
+//! Adaptive specialization: profile-guided warp-width selection.
+//!
+//! The paper's compiler specializes each kernel for a warp width chosen
+//! at launch time; this module closes the loop by *measuring* launches
+//! and steering subsequent ones toward the width that models cheapest.
+//! See [`policy`] for the state machine and its invariants.
+
+pub mod policy;
+
+pub use policy::{PolicySnapshot, PolicyTable};

@@ -135,11 +135,15 @@ pub enum SpanKind {
     PersistLoad,
     /// Writing a freshly compiled artifact to the persistent cache.
     PersistStore,
+    /// A background respecialization task compiling a candidate warp
+    /// width for the adaptive policy (runs on a pool worker track,
+    /// off every launch's critical path).
+    Respecialize,
 }
 
 impl SpanKind {
     /// Every kind, in pipeline order.
-    pub const ALL: [SpanKind; 10] = [
+    pub const ALL: [SpanKind; 11] = [
         SpanKind::QueueWait,
         SpanKind::Translate,
         SpanKind::Specialize,
@@ -150,6 +154,7 @@ impl SpanKind {
         SpanKind::Retire,
         SpanKind::PersistLoad,
         SpanKind::PersistStore,
+        SpanKind::Respecialize,
     ];
 
     /// Stable snake_case name used in exports.
@@ -165,6 +170,7 @@ impl SpanKind {
             SpanKind::Retire => "retire",
             SpanKind::PersistLoad => "persist_load",
             SpanKind::PersistStore => "persist_store",
+            SpanKind::Respecialize => "respecialize",
         }
     }
 }

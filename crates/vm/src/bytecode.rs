@@ -366,6 +366,37 @@ impl OpKind {
             OpKind::Ret { .. } => 31,
         }
     }
+
+    /// Vector lanes the µop operates over: the `w` of element-wise µops,
+    /// 1 for scalar, memory, glue, and control µops. This is the decoded
+    /// form of the chosen warp width — element-wise µops of a width-`w`
+    /// specialization carry `w` (or 1 when the specializer proved the
+    /// value uniform), so the per-program tally
+    /// ([`DecodeStats::vector_ops`]) measures how much of the stream
+    /// actually vectorized at that width.
+    #[inline(always)]
+    pub(crate) fn lanes(&self) -> u32 {
+        match *self {
+            OpKind::Bin { w, .. }
+            | OpKind::Un { w, .. }
+            | OpKind::Fma { w, .. }
+            | OpKind::Cmp { w, .. }
+            | OpKind::Select { w, .. }
+            | OpKind::Cvt { w, .. }
+            | OpKind::Insert { w, .. }
+            | OpKind::Reduce { w, .. }
+            | OpKind::MovVec { w, .. } => w,
+            _ => 1,
+        }
+    }
+}
+
+/// Count the µops of `code` that operate on more than one lane. Derived
+/// from the stream (never serialized): decode fills it for fresh
+/// programs and `serial` recomputes it on rehydration, so persisted
+/// artifacts from older builds stay readable.
+pub(crate) fn count_vector_ops(code: &[Op]) -> u64 {
+    code.iter().filter(|op| op.kind.lanes() > 1).count() as u64
 }
 
 /// Compile-time sink for the µop profiler. The execution loop is
@@ -450,6 +481,11 @@ pub struct DecodeStats {
     /// Per-lane glue runs (`Extract`/`Insert`/`Load`/`Store`/`Mov`/
     /// `CtxRead` sequences) collapsed into run superinstructions.
     pub fused_runs: u64,
+    /// µops operating on more than one lane — the share of the stream
+    /// that actually vectorized at the specialization's warp width.
+    /// Derived from the µop stream, not serialized: decode fills it for
+    /// fresh programs and `serial` recomputes it on rehydration.
+    pub vector_ops: u64,
 }
 
 /// A function lowered to linear bytecode, ready for

@@ -41,7 +41,7 @@ use crate::jit::rt::{
 /// Widest vector µop lowered lane-by-lane inline; wider ops fall back
 /// to the [`jit_step`] helper. Benchmarks run dynamic-width warps of at
 /// most 4 lanes, so 8 covers everything hot with bounded code size.
-const VEC_INLINE_MAX: u32 = 8;
+pub(crate) const VEC_INLINE_MAX: u32 = 8;
 
 /// Emission counters surfaced through the trace layer.
 #[derive(Debug, Clone, Copy, Default)]
@@ -52,6 +52,12 @@ pub struct JitEmitStats {
     pub template_uops: u64,
     /// Static µops routed to the interpreter-helper fallback.
     pub helper_uops: u64,
+    /// The subset of `helper_uops` that fell back *solely* because the
+    /// µop's vector width exceeds [`VEC_INLINE_MAX`] — the shape itself
+    /// has an inline template. A specialization with a high wide share
+    /// pays helper-call overhead per dynamic µop, which the adaptive
+    /// width policy observes as inflated cycles at that width.
+    pub wide_helper_uops: u64,
 }
 
 // JitEnv field displacements, resolved at compile time from the
@@ -761,6 +767,23 @@ fn shift_mask(sty: STy) -> i32 {
     (sty.bits() - 1).max(1) as i32
 }
 
+/// Whether `kind` missed its inline template *solely* because its vector
+/// width exceeds [`VEC_INLINE_MAX`] — i.e. the same shape at a narrower
+/// width would have inlined. Mirrors the width gates in
+/// [`Emitter::try_emit`]; widthless µops (memory, glue, terminators)
+/// never qualify.
+fn wide_only_fallback(kind: OpKind) -> bool {
+    match kind {
+        OpKind::Bin { op, sty, w, .. } => w > VEC_INLINE_MAX && bin_ok(op, sty),
+        OpKind::Un { op, sty, w, .. } => w > VEC_INLINE_MAX && un_ok(op, sty),
+        OpKind::Fma { w, .. } | OpKind::Cmp { w, .. } | OpKind::Select { w, .. } => {
+            w > VEC_INLINE_MAX
+        }
+        OpKind::Cvt { to, from, signed, w, .. } => w > VEC_INLINE_MAX && cvt_ok(to, from, signed),
+        _ => false,
+    }
+}
+
 impl Emitter<'_> {
     /// Lower µop `idx`: an inline template when one applies, otherwise
     /// the whole-µop interpreter helper.
@@ -770,6 +793,9 @@ impl Emitter<'_> {
             self.stats.template_uops += 1;
         } else {
             self.stats.helper_uops += 1;
+            if wide_only_fallback(op.kind) {
+                self.stats.wide_helper_uops += 1;
+            }
             self.call_step(idx);
         }
     }

@@ -60,6 +60,15 @@ impl JitProgram {
 unsafe impl Send for JitProgram {}
 unsafe impl Sync for JitProgram {}
 
+/// Widest vector µop the JIT lowers lane-by-lane inline; wider vector
+/// µops stay correct but call back into the interpreter helper per
+/// dynamic dispatch (counted in [`JitEmitStats::wide_helper_uops`]).
+/// Width-selection policies use this to anticipate the JIT efficiency
+/// cliff when ranking candidate warp widths.
+pub fn jit_inline_width_cap() -> u32 {
+    emit::VEC_INLINE_MAX
+}
+
 /// Whether this host can emit and run native code at all. When false,
 /// [`compile`] always returns `None`.
 pub fn jit_supported() -> bool {

@@ -75,7 +75,10 @@ pub use cost::{inst_cost, inst_flops, term_cost, CostInfo};
 pub use error::VmError;
 pub use frame::{FrameLayout, RegFrame};
 pub use interp::{execute_warp, execute_warp_framed, ExecLimits, WarpOutcome};
-pub use jit::{compile as jit_compile, execute_warp_jit, jit_supported, JitEmitStats, JitProgram};
+pub use jit::{
+    compile as jit_compile, execute_warp_jit, jit_inline_width_cap, jit_supported, JitEmitStats,
+    JitProgram,
+};
 pub use machine::MachineModel;
 pub use memory::{GlobalMem, MemAccess};
 pub use stats::ExecStats;

@@ -605,13 +605,14 @@ pub fn program_from_bytes(bytes: &[u8]) -> SerialResult<BytecodeProgram> {
     if slots > u32::MAX as u64 {
         return Err(SerialError::new(format!("implausible slot count {slots}")));
     }
-    let stats = DecodeStats {
+    let mut stats = DecodeStats {
         ops: r.take_u64()?,
         source_insts: r.take_u64()?,
         fused_cmp_br: r.take_u64()?,
         fused_bin_bin: r.take_u64()?,
         fused_load_bin: r.take_u64()?,
         fused_runs: r.take_u64()?,
+        vector_ops: 0,
     };
     let ncases = r.take_len(12)?;
     let mut cases = Vec::with_capacity(ncases);
@@ -630,6 +631,9 @@ pub fn program_from_bytes(bytes: &[u8]) -> SerialResult<BytecodeProgram> {
     if !r.is_done() {
         return Err(SerialError::new(format!("{} trailing bytes after program", r.remaining())));
     }
+    // Derived, not on the wire: recompute so rehydrated programs carry
+    // the same tally as a fresh decode.
+    stats.vector_ops = crate::bytecode::count_vector_ops(&code);
     let program =
         BytecodeProgram { code, cases, slots: slots as usize, warp_size, stats, profile: None };
     // The execution loop elides register-file bounds checks because

@@ -1,0 +1,114 @@
+//! The adaptive width policy end-to-end through the environment knobs:
+//! launch one divergent workload repeatedly at a deliberately narrow
+//! width and watch `DPVK_ADAPT=on` steer it to a better one.
+//!
+//! Run with:
+//!
+//! ```console
+//! $ DPVK_ADAPT=on DPVK_ADAPT_THRESHOLD=2 DPVK_ADAPT_WIDTHS=2,4,8 \
+//!     cargo run --release --example adaptive_width
+//! ```
+//!
+//! Without `DPVK_ADAPT` the same binary shows the static behavior (the
+//! policy observes nothing and the width never moves). With
+//! `DPVK_TRACE=1` the re-specialization events, per-width occupancy and
+//! the committed width land in `target/dpvk-trace.json` — this is the
+//! CI `adapt-smoke` artifact.
+
+use dpvk::core::{Device, ExecConfig, ParamValue};
+use dpvk::vm::MachineModel;
+
+/// Data-dependent trip counts: threads drain at different times, so
+/// narrow widths pay heavy yield traffic and the policy has a real
+/// gradient to climb.
+const KERNEL: &str = r#"
+.kernel mixwork (.param .u64 out) {
+  .reg .u32 %r<8>;
+  .reg .u64 %rd<3>;
+  .reg .pred %p<2>;
+entry:
+  mov.u32 %r0, %tid.x;
+  mad.lo.u32 %r0, %ctaid.x, %ntid.x, %r0;
+  and.b32 %r2, %r0, 15;
+  add.u32 %r2, %r2, 4;
+  mov.u32 %r1, %r0;
+loop:
+  mul.lo.u32 %r1, %r1, 2654435761;
+  xor.b32 %r1, %r1, %r0;
+  sub.u32 %r2, %r2, 1;
+  setp.gt.u32 %p0, %r2, 0;
+  @%p0 bra loop;
+  shl.u32 %r3, %r0, 2;
+  cvt.u64.u32 %rd0, %r3;
+  ld.param.u64 %rd1, [out];
+  add.u64 %rd1, %rd1, %rd0;
+  st.global.u32 [%rd1], %r1;
+  ret;
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let adapting = std::env::var("DPVK_ADAPT").is_ok_and(|v| v.eq_ignore_ascii_case("on"));
+    let n = 256usize;
+    let dev = Device::new(MachineModel::sandybridge_sse(), 4 << 20);
+    dev.register_source(KERNEL)?;
+    let out = dev.malloc(n * 4)?;
+
+    // Start deliberately narrow; `ExecConfig::dynamic` inherits the
+    // DPVK_ADAPT* environment, so the policy may steer away from it.
+    let config = ExecConfig::dynamic(2).with_workers(1);
+    let launches = 48usize;
+    let mut reference: Option<Vec<u32>> = None;
+    for i in 1..=launches {
+        dev.launch(
+            "mixwork",
+            [(n as u32).div_ceil(64), 1, 1],
+            [64, 1, 1],
+            &[ParamValue::Ptr(out)],
+            &config,
+        )?;
+        let got = dev.copy_u32_dtoh(out, n)?;
+        match &reference {
+            Some(r) => assert_eq!(&got, r, "launch {i}: width adaptation changed the output"),
+            None => reference = Some(got),
+        }
+        let snap = dev.width_policy("mixwork");
+        if i % 8 == 0 || snap.chosen_width.is_some() {
+            let w = |o: Option<u32>| o.map_or("-".to_string(), |v| format!("w{v}"));
+            println!(
+                "launch {i:>3}: active {} chosen {} respecs {}",
+                w(snap.active_width),
+                w(snap.chosen_width),
+                snap.respec_events
+            );
+        }
+        if snap.chosen_width.is_some() {
+            break;
+        }
+        // Let queued background respecializations land between launches.
+        dev.synchronize();
+    }
+
+    let snap = dev.width_policy("mixwork");
+    if adapting {
+        // CI gate: under DPVK_ADAPT=on the policy must have explored and
+        // committed within the launch budget.
+        assert!(
+            snap.chosen_width.is_some(),
+            "DPVK_ADAPT=on but no width committed after {launches} launches: {snap:?}"
+        );
+        assert!(snap.respec_events > 0, "committed without any background respecialization");
+        println!(
+            "\nconverged: w{} after {} launches, {} respecialization(s)",
+            snap.chosen_width.unwrap(),
+            snap.launches,
+            snap.respec_events
+        );
+    } else {
+        assert_eq!(snap.chosen_width, None, "width moved without DPVK_ADAPT=on: {snap:?}");
+        println!("\nDPVK_ADAPT not set: width stayed put over {launches} launches");
+        println!("re-run with DPVK_ADAPT=on DPVK_ADAPT_THRESHOLD=2 to watch it move");
+    }
+    dpvk::trace::write_if_enabled()?;
+    Ok(())
+}

@@ -374,14 +374,18 @@ fn golden_launch_stats() {
 
 use dpvk::core::Engine;
 
-/// All three guest engines must be pairwise observationally identical:
-/// random kernels — straight-line, divergent, and the fixed
-/// barrier-heavy one — produce the same memory image and bit-identical
-/// `LaunchStats` (modeled cycles included) under the tree-walk oracle,
-/// the pre-decoded bytecode engine, and the native JIT tier, across
-/// formation policies. Every engine is diffed against bytecode, which
-/// gives all three pairings by transitivity. Seeded SplitMix64
-/// generator, so every failure reproduces exactly.
+/// All three guest engines must be pairwise observationally identical
+/// at every warp width: random kernels — straight-line, divergent, and
+/// the fixed barrier-heavy one — produce the same memory image and
+/// bit-identical `LaunchStats` (modeled cycles included) under the
+/// tree-walk oracle, the pre-decoded bytecode engine, and the native
+/// JIT tier, across formation policies and widths 1/2/4/8. Every
+/// engine is diffed against bytecode, which gives all three pairings
+/// by transitivity — and every config's memory image is diffed against
+/// the scalar baseline's, so width itself is proven not to change what
+/// is computed (the invariant the adaptive width policy relies on to
+/// switch widths between launches). Seeded SplitMix64 generator, so
+/// every failure reproduces exactly.
 #[test]
 fn engines_are_pairwise_identical() {
     let mut rng = Prng::new(0x00b1_7ec0_de0a_c1e5_u64);
@@ -394,15 +398,29 @@ fn engines_are_pairwise_identical() {
 
     let configs = [
         ExecConfig::baseline(),
+        ExecConfig::dynamic(1),
         ExecConfig::dynamic(2),
         ExecConfig::dynamic(4),
+        ExecConfig::dynamic(8),
+        ExecConfig::static_tie(2),
         ExecConfig::static_tie(4),
+        ExecConfig::static_tie(8),
     ];
     for (case, src) in sources.iter().enumerate() {
+        // Memory image of the first (scalar baseline) config: the
+        // cross-width/cross-policy reference.
+        let mut reference: Option<Vec<u32>> = None;
         for config in &configs {
             let byte = config.with_engine(Engine::Bytecode);
             let out_byte = run(src, &byte, 32);
             let stats_byte = run_stats(src, &byte, 64);
+            match &reference {
+                Some(r) => assert_eq!(
+                    &out_byte, r,
+                    "case {case}: width/policy changed the memory image\n{src}"
+                ),
+                None => reference = Some(out_byte.clone()),
+            }
             for engine in [Engine::Tree, Engine::Jit] {
                 let other = config.with_engine(engine);
                 let out = run(src, &other, 32);

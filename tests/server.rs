@@ -142,6 +142,12 @@ fn register_launch_read_back_round_trip() {
     assert_eq!(stats.completed, 1);
     assert_eq!(stats.failed, 0);
     assert!(stats.exec_ns > 0, "completed launch must charge exec time");
+    // Device-heap observability rides on the same response: the launch
+    // above allocated real device memory, so the high-water mark is up.
+    assert!(stats.heap_high_water > 0, "launch must move the heap high-water mark");
+    // Adaptation is off by default: no width committed, no respecs.
+    assert_eq!(stats.chosen_width, 0);
+    assert_eq!(stats.respec_events, 0);
     handle.shutdown();
 }
 
